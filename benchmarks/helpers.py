@@ -1,0 +1,218 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark module regenerates one experiment from DESIGN.md.  The
+experiments share a common recipe — tokenize, build contexts, pre-train a
+foundation model, fine-tune / probe, compare against baselines — so the
+plumbing lives here and each benchmark only states its experimental design.
+
+Sizes are deliberately small (hundreds of contexts, one- or two-layer models)
+so the full benchmark suite completes in minutes on a laptop CPU.  The *shape*
+of the results — who wins, roughly by how much — is what the benchmarks check
+and report, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.baselines import GloVe, GloVeConfig, GRUClassifier, GRUClassifierConfig
+from repro.context import ContextBuilder, FlowContextBuilder, encode_contexts
+from repro.core import (
+    FinetuneConfig,
+    LabelEncoder,
+    NetFMConfig,
+    NetFoundationModel,
+    Pretrainer,
+    PretrainingConfig,
+    SequenceClassifier,
+)
+from repro.net.packet import Packet
+from repro.tokenize import FieldAwareTokenizer, PacketTokenizer, Vocabulary
+
+__all__ = [
+    "ExperimentScale",
+    "EncodedSplit",
+    "prepare_split",
+    "pretrain_model",
+    "finetune_and_evaluate",
+    "train_gru",
+    "print_table",
+]
+
+
+@dataclasses.dataclass
+class ExperimentScale:
+    """Knobs bounding how much compute an experiment spends."""
+
+    max_tokens: int = 48
+    max_train_contexts: int = 300
+    max_eval_contexts: int = 300
+    pretrain_epochs: int = 2
+    finetune_epochs: int = 3
+    gru_epochs: int = 4
+    batch_size: int = 16
+    d_model: int = 32
+    num_layers: int = 2
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class EncodedSplit:
+    """Contexts of one task encoded against a shared vocabulary."""
+
+    train_contexts: list
+    eval_contexts: list
+    vocabulary: Vocabulary
+    label_encoder: LabelEncoder
+    train: tuple[np.ndarray, np.ndarray, np.ndarray]
+    eval: tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _subsample(items: list, limit: int, rng: np.random.Generator) -> list:
+    if len(items) <= limit:
+        return items
+    chosen = rng.choice(len(items), size=limit, replace=False)
+    return [items[i] for i in sorted(chosen)]
+
+
+def prepare_split(
+    train_packets: list[Packet],
+    eval_packets: list[Packet],
+    label_key: str,
+    scale: ExperimentScale,
+    tokenizer: PacketTokenizer | None = None,
+    builder: ContextBuilder | None = None,
+) -> EncodedSplit:
+    """Tokenize both traces, build a shared vocabulary and encode them."""
+    rng = np.random.default_rng(scale.seed)
+    tokenizer = tokenizer or FieldAwareTokenizer()
+    tokenizer.fit(train_packets)
+    builder = builder or FlowContextBuilder(max_tokens=scale.max_tokens, label_key=label_key)
+    train_contexts = [c for c in builder.build(train_packets, tokenizer) if c.label is not None]
+    eval_contexts = [c for c in builder.build(eval_packets, tokenizer) if c.label is not None]
+    train_contexts = _subsample(train_contexts, scale.max_train_contexts, rng)
+    eval_contexts = _subsample(eval_contexts, scale.max_eval_contexts, rng)
+    vocabulary = Vocabulary.build([c.tokens for c in train_contexts])
+    label_encoder = LabelEncoder(
+        [c.label for c in train_contexts] + [c.label for c in eval_contexts]
+    )
+    train_ids, train_mask = encode_contexts(train_contexts, vocabulary, scale.max_tokens)
+    eval_ids, eval_mask = encode_contexts(eval_contexts, vocabulary, scale.max_tokens)
+    train_labels = label_encoder.encode([c.label for c in train_contexts])
+    eval_labels = label_encoder.encode([c.label for c in eval_contexts])
+    return EncodedSplit(
+        train_contexts=train_contexts,
+        eval_contexts=eval_contexts,
+        vocabulary=vocabulary,
+        label_encoder=label_encoder,
+        train=(train_ids, train_mask, train_labels),
+        eval=(eval_ids, eval_mask, eval_labels),
+    )
+
+
+def pretrain_model(
+    split: EncodedSplit,
+    scale: ExperimentScale,
+    objectives: tuple[str, ...] = ("mlm",),
+    packets: list[Packet] | None = None,
+    tokenizer: PacketTokenizer | None = None,
+) -> NetFoundationModel:
+    """Pre-train a foundation model on the split's unlabeled training contexts."""
+    config = NetFMConfig(
+        vocab_size=len(split.vocabulary),
+        d_model=scale.d_model,
+        num_layers=scale.num_layers,
+        num_heads=4,
+        d_ff=scale.d_model * 2,
+        max_len=scale.max_tokens,
+        dropout=0.0,
+        seed=scale.seed,
+    )
+    model = NetFoundationModel(config)
+    pretrainer = Pretrainer(
+        model,
+        split.vocabulary,
+        PretrainingConfig(
+            epochs=scale.pretrain_epochs,
+            batch_size=scale.batch_size,
+            objectives=objectives,
+            seed=scale.seed,
+        ),
+    )
+    pretrainer.pretrain(split.train_contexts, packets=packets, tokenizer=tokenizer)
+    return model
+
+
+def finetune_and_evaluate(
+    model: NetFoundationModel,
+    split: EncodedSplit,
+    scale: ExperimentScale,
+    train_fraction: float = 1.0,
+) -> dict[str, float]:
+    """Fine-tune a classifier head and report metrics on the eval split."""
+    classifier = SequenceClassifier(
+        model,
+        split.label_encoder.num_classes,
+        FinetuneConfig(epochs=scale.finetune_epochs, batch_size=scale.batch_size, seed=scale.seed),
+    )
+    ids, mask, labels = split.train
+    if train_fraction < 1.0:
+        count = max(int(len(labels) * train_fraction), split.label_encoder.num_classes)
+        ids, mask, labels = ids[:count], mask[:count], labels[:count]
+    classifier.fit(ids, mask, labels)
+    return classifier.evaluate(*split.eval)
+
+
+def train_gru(
+    split: EncodedSplit,
+    scale: ExperimentScale,
+    pretrained_embeddings: np.ndarray | None = None,
+    train_fraction: float = 1.0,
+) -> dict[str, float]:
+    """Train a GRU baseline (random or pretrained embeddings) on the split."""
+    classifier = GRUClassifier(
+        vocab_size=len(split.vocabulary),
+        num_classes=split.label_encoder.num_classes,
+        config=GRUClassifierConfig(
+            embedding_dim=scale.d_model,
+            hidden_size=scale.d_model,
+            epochs=scale.gru_epochs,
+            batch_size=scale.batch_size,
+            seed=scale.seed,
+        ),
+        pretrained_embeddings=pretrained_embeddings,
+    )
+    ids, mask, labels = split.train
+    if train_fraction < 1.0:
+        count = max(int(len(labels) * train_fraction), split.label_encoder.num_classes)
+        ids, mask, labels = ids[:count], mask[:count], labels[:count]
+    classifier.fit(ids, mask, labels)
+    return classifier.evaluate(*split.eval)
+
+
+def glove_embeddings_for(split: EncodedSplit, scale: ExperimentScale) -> np.ndarray:
+    """Train GloVe on the split's token sequences, aligned to its vocabulary."""
+    glove = GloVe(GloVeConfig(dim=scale.d_model, epochs=8, seed=scale.seed)).fit(
+        [c.tokens for c in split.train_contexts], split.vocabulary
+    )
+    return glove.embedding_matrix()
+
+
+def print_table(title: str, rows: dict[str, dict[str, float]], metric_order: list[str] | None = None) -> None:
+    """Print an experiment's result table (the rows the paper-style report shows)."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    metrics = metric_order or sorted({key for row in rows.values() for key in row})
+    header = f"{'system':32}" + "".join(f"{m:>14}" for m in metrics)
+    print(header)
+    print("-" * len(header))
+    for name, values in rows.items():
+        line = f"{name:32}"
+        for metric in metrics:
+            value = values.get(metric, float("nan"))
+            line += f"{value:14.3f}"
+        print(line)

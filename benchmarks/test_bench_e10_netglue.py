@@ -1,0 +1,55 @@
+"""E10 (Table 6) — the NetGLUE leaderboard (paper Sections 3.1 and 4.2).
+
+One foundation-model recipe fine-tuned per task versus per-task baselines
+(GRU trained from scratch, hand-engineered flow statistics + logistic
+regression), across the five benchmark tasks, with the aggregate NetGLUE score.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netglue import (
+    FlowStatsSolver,
+    FoundationModelSolver,
+    GRUSolver,
+    NetGLUE,
+    SolverSettings,
+    format_leaderboard,
+    run_leaderboard,
+)
+
+from .helpers import print_table
+
+SETTINGS = SolverSettings(
+    max_tokens=40,
+    max_train_contexts=250,
+    max_eval_contexts=250,
+    pretrain_epochs=2,
+    finetune_epochs=3,
+    gru_epochs=3,
+    d_model=24,
+    num_layers=1,
+    seed=0,
+)
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    tasks = NetGLUE(seed=0, scale="tiny").tasks()
+    solvers = [FoundationModelSolver(SETTINGS), GRUSolver(SETTINGS), FlowStatsSolver(SETTINGS)]
+    return run_leaderboard(tasks, solvers)
+
+
+@pytest.mark.benchmark(group="e10-netglue")
+def test_bench_e10_netglue(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print("\n=== E10 / Table 6 — NetGLUE leaderboard (headline metric per task) ===")
+    print(format_leaderboard(results))
+    print_table("E10 raw scores", results)
+    for system, scores in results.items():
+        benchmark.extra_info[system] = scores["netglue"]
+    assert set(results) == {"foundation-model", "gru", "flow-stats"}
+    for scores in results.values():
+        assert 0.0 <= scores["netglue"] <= 1.0
+    # The foundation model should be competitive with (or beat) the per-task baselines overall.
+    assert results["foundation-model"]["netglue"] >= results["gru"]["netglue"] - 0.05

@@ -1,0 +1,85 @@
+"""E11 (Figure 6) — labelled-data efficiency (paper Section 2, GPT-3 discussion).
+
+F1 as a function of the number of labelled examples, for: full fine-tuning of
+the pre-trained model, gradient-free few-shot prototype adaptation on the
+frozen pre-trained encoder, and a GRU trained from scratch.  The claim
+reproduced is the *shape*: pre-training dominates in the low-label regime and
+the curves converge as labels become plentiful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRUClassifier, GRUClassifierConfig
+from repro.core import FinetuneConfig, PrototypeClassifier, SequenceClassifier
+from repro.tasks import build_application_classification
+
+from .helpers import ExperimentScale, prepare_split, pretrain_model, print_table
+
+SCALE = ExperimentScale(
+    max_tokens=40, max_train_contexts=400, max_eval_contexts=300,
+    pretrain_epochs=3, finetune_epochs=4, gru_epochs=6, d_model=24, num_layers=1, seed=8,
+)
+SHOT_COUNTS = [2, 8, 32]
+
+
+def _take_per_class(ids, mask, labels, shots, rng):
+    chosen = []
+    for cls in np.unique(labels):
+        indices = np.nonzero(labels == cls)[0]
+        chosen.extend(rng.permutation(indices)[:shots].tolist())
+    chosen = np.array(sorted(chosen))
+    return ids[chosen], mask[chosen], labels[chosen]
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    task = build_application_classification(seed=9, duration=30.0)
+    split = prepare_split(task.train_packets, task.test_packets, task.label_key, SCALE)
+    model = pretrain_model(split, SCALE)
+    rng = np.random.default_rng(0)
+
+    rows: dict[str, dict[str, float]] = {}
+    for shots in SHOT_COUNTS:
+        ids, mask, labels = _take_per_class(*split.train, shots, rng)
+
+        finetuned = SequenceClassifier(
+            pretrain_model(split, SCALE) if shots == SHOT_COUNTS[0] else model,
+            split.label_encoder.num_classes,
+            FinetuneConfig(epochs=SCALE.finetune_epochs, batch_size=8, seed=SCALE.seed),
+        )
+        finetuned.fit(ids, mask, labels)
+        rows.setdefault("fm fine-tuned", {})[f"{shots}-shot"] = finetuned.evaluate(*split.eval)["f1"]
+
+        prototype = PrototypeClassifier(model).fit(ids, mask, labels)
+        rows.setdefault("fm prototype (no gradients)", {})[f"{shots}-shot"] = (
+            prototype.evaluate(*split.eval)["f1"]
+        )
+
+        gru = GRUClassifier(
+            vocab_size=len(split.vocabulary),
+            num_classes=split.label_encoder.num_classes,
+            config=GRUClassifierConfig(embedding_dim=SCALE.d_model, hidden_size=SCALE.d_model,
+                                       epochs=SCALE.gru_epochs, batch_size=8, seed=SCALE.seed),
+        )
+        gru.fit(ids, mask, labels)
+        rows.setdefault("gru from scratch", {})[f"{shots}-shot"] = gru.evaluate(*split.eval)["f1"]
+    return rows
+
+
+@pytest.mark.benchmark(group="e11-label-efficiency")
+def test_bench_e11_label_efficiency(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E11 / Figure 6 — weighted F1 vs labelled examples per class",
+        rows,
+        metric_order=[f"{s}-shot" for s in SHOT_COUNTS],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row[f"{SHOT_COUNTS[0]}-shot"]
+    low_label = f"{SHOT_COUNTS[0]}-shot"
+    best_fm = max(rows["fm fine-tuned"][low_label], rows["fm prototype (no gradients)"][low_label])
+    # In the scarce-label regime, approaches built on the pre-trained encoder
+    # should beat training a sequence model from scratch.
+    assert best_fm >= rows["gru from scratch"][low_label] - 0.02

@@ -1,0 +1,88 @@
+"""E12 (Figure 7) — scaling with unlabeled data and embedding dimension
+(paper Sections 3.2 and 4.5).
+
+The paper motivates foundation models with the abundance of unlabeled traffic
+and asks, under "learning complexity", what embedding dimensionality network
+data requires.  We sweep (a) the amount of unlabeled pre-training traffic at a
+fixed labelled budget and (b) the model width, reporting masked-token accuracy
+and downstream F1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import NetFMConfig, NetFoundationModel, Pretrainer, PretrainingConfig
+from repro.tasks import build_dns_category_classification
+from repro.traffic import DNSWorkloadConfig, DNSWorkloadGenerator
+
+from .helpers import ExperimentScale, finetune_and_evaluate, prepare_split, print_table
+
+SCALE = ExperimentScale(
+    max_tokens=40, max_train_contexts=500, max_eval_contexts=250,
+    pretrain_epochs=2, finetune_epochs=3, d_model=24, num_layers=1, seed=9,
+)
+LABEL_FRACTION = 0.25
+CORPUS_FRACTIONS = [0.1, 0.4, 1.0]
+DIMENSIONS = [8, 24, 48]
+
+
+def _pretrain_on_fraction(split, fraction: float, d_model: int):
+    contexts = split.train_contexts[: max(int(len(split.train_contexts) * fraction), 10)]
+    config = NetFMConfig(
+        vocab_size=len(split.vocabulary), d_model=d_model, num_layers=SCALE.num_layers,
+        num_heads=4, d_ff=d_model * 2, max_len=SCALE.max_tokens, dropout=0.0, seed=SCALE.seed,
+    )
+    model = NetFoundationModel(config)
+    pretrainer = Pretrainer(
+        model, split.vocabulary,
+        PretrainingConfig(epochs=SCALE.pretrain_epochs, batch_size=SCALE.batch_size, seed=SCALE.seed),
+    )
+    pretrainer.pretrain(contexts)
+    mlm_accuracy = pretrainer.masked_token_accuracy(split.eval_contexts, samples=48)
+    return model, mlm_accuracy
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    task = build_dns_category_classification(seed=13, num_clients=24, queries_per_client=20)
+    split = prepare_split(task.train_packets, task.test_packets, task.label_key, SCALE)
+
+    rows: dict[str, dict[str, float]] = {}
+    for fraction in CORPUS_FRACTIONS:
+        scaled = dataclasses.replace(SCALE, d_model=24)
+        model, mlm_accuracy = _pretrain_on_fraction(split, fraction, scaled.d_model)
+        metrics = finetune_and_evaluate(model, split, scaled, train_fraction=LABEL_FRACTION)
+        rows[f"corpus fraction {fraction:.0%}"] = {
+            "downstream_f1": metrics["f1"],
+            "mlm_accuracy": mlm_accuracy,
+        }
+    for dimension in DIMENSIONS:
+        scaled = dataclasses.replace(SCALE, d_model=dimension)
+        model, mlm_accuracy = _pretrain_on_fraction(split, 1.0, dimension)
+        metrics = finetune_and_evaluate(model, split, scaled, train_fraction=LABEL_FRACTION)
+        rows[f"embedding dim {dimension}"] = {
+            "downstream_f1": metrics["f1"],
+            "mlm_accuracy": mlm_accuracy,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="e12-scaling")
+def test_bench_e12_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E12 / Figure 7 — scaling unlabeled pre-training data and embedding dimension",
+        rows,
+        metric_order=["downstream_f1", "mlm_accuracy"],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["downstream_f1"]
+    # More unlabeled pre-training data should not hurt downstream quality.
+    small = rows[f"corpus fraction {CORPUS_FRACTIONS[0]:.0%}"]["downstream_f1"]
+    large = rows[f"corpus fraction {CORPUS_FRACTIONS[-1]:.0%}"]["downstream_f1"]
+    assert large >= small - 0.05
+    # A very narrow model should not beat the widest one by a large margin.
+    assert rows[f"embedding dim {DIMENSIONS[-1]}"]["downstream_f1"] >= \
+        rows[f"embedding dim {DIMENSIONS[0]}"]["downstream_f1"] - 0.1

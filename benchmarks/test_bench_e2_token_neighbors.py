@@ -1,0 +1,81 @@
+"""E2 (Table 2) — token-neighbour semantics (paper Section 3.4, NorBERT probe).
+
+Pre-train on mixed HTTPS/TLS-heavy traffic and inspect nearest neighbours of
+port and ciphersuite tokens.  NorBERT found port 80's closest neighbour to be
+443, and ciphersuite 49199 (0xC02F) to neighbour 49200 (0xC030).
+
+Here we report, for each probe token, the rank of its expected semantic
+neighbour among all tokens, and check that the expected neighbour ranks far
+higher than chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import contextual_token_embeddings
+from repro.traffic import (
+    EnterpriseScenario,
+    EnterpriseScenarioConfig,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+    merge_traces,
+)
+from repro.embeddings import neighbor_rank
+
+from .helpers import ExperimentScale, prepare_split, pretrain_model, print_table
+
+SCALE = ExperimentScale(max_tokens=40, max_train_contexts=400, pretrain_epochs=3, d_model=32, seed=1)
+
+#: (token, expected close neighbour) pairs — the web-port pair and the
+#: adjacent-strong-ciphersuite pair from the paper, plus a mail-port probe.
+PROBES = [
+    ("tcp.dport=80", "tcp.dport=443"),
+    (f"tls.cs={0xC02F}", f"tls.cs={0xC030}"),
+    ("tcp.dport=25", "tcp.dport=143"),
+]
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    enterprise = EnterpriseScenario(
+        EnterpriseScenarioConfig(seed=2, duration=45.0, http_sessions=60, tls_sessions=80)
+    ).generate()
+    extra_tls = TLSWorkloadGenerator(TLSWorkloadConfig(seed=7, num_sessions=80, duration=45.0)).generate()
+    trace = merge_traces(enterprise, extra_tls)
+
+    split = prepare_split(trace, trace, "application", SCALE)
+    model = pretrain_model(split, SCALE)
+    embeddings = contextual_token_embeddings(
+        model, split.train_contexts, split.vocabulary, max_len=SCALE.max_tokens
+    )
+
+    rows: dict[str, dict[str, float]] = {}
+    vocab_size = len(embeddings)
+    rng = np.random.default_rng(0)
+    for token, expected in PROBES:
+        if token not in embeddings or expected not in embeddings:
+            continue
+        rank = neighbor_rank(embeddings, token, expected)
+        random_rank = float(np.mean([rng.integers(1, vocab_size) for _ in range(200)]))
+        rows[f"{token} -> {expected}"] = {
+            "rank": float(rank),
+            "random_rank": random_rank,
+            "vocab_size": float(vocab_size),
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="e2-token-neighbors")
+def test_bench_e2_token_neighbors(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E2 / Table 2 — rank of the expected semantic neighbour (lower is better)",
+        rows,
+        metric_order=["rank", "random_rank", "vocab_size"],
+    )
+    assert rows, "no probe tokens found in the vocabulary"
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["rank"]
+        # The expected neighbour must rank far better than a random token would.
+        assert row["rank"] < row["random_rank"] / 2, name

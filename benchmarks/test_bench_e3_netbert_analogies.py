@@ -1,0 +1,62 @@
+"""E3 (Table 3) — NetBERT-style analogies on networking text (paper Section 3.4).
+
+Train Word2Vec embeddings on the synthetic networking-text corpus and evaluate
+the analogy battery the paper quotes ("BGP is to router as STP is to switch",
+"MAC is to switch as IP is to router", "IP is to network as TCP is to
+transport", ...).  A random-embedding control provides the chance floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Word2Vec, Word2VecConfig
+from repro.corpus import CorpusConfig, NetworkingCorpusGenerator
+from repro.embeddings import NETWORKING_ANALOGIES, analogy_accuracy
+
+from .helpers import print_table
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    corpus = NetworkingCorpusGenerator(CorpusConfig(seed=0, num_sentences=3000)).generate()
+    model = Word2Vec(Word2VecConfig(dim=48, epochs=4, window=4, seed=0)).fit(corpus)
+    trained = analogy_accuracy(model.embeddings(), top_k=1)
+    trained_top3 = analogy_accuracy(model.embeddings(), top_k=3)
+
+    rng = np.random.default_rng(0)
+    random_embeddings = {token: rng.normal(size=48) for token in model.embeddings()}
+    control = analogy_accuracy(random_embeddings, top_k=1)
+
+    return {
+        "word2vec (networking corpus)": {
+            "top1_accuracy": trained["accuracy"],
+            "top3_accuracy": trained_top3["accuracy"],
+            "evaluated": float(trained["evaluated"]),
+        },
+        "random embeddings (control)": {
+            "top1_accuracy": control["accuracy"],
+            "top3_accuracy": analogy_accuracy(random_embeddings, top_k=3)["accuracy"],
+            "evaluated": float(control["evaluated"]),
+        },
+    }
+
+
+@pytest.mark.benchmark(group="e3-analogies")
+def test_bench_e3_netbert_analogies(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E3 / Table 3 — networking analogy accuracy (3CosAdd)",
+        rows,
+        metric_order=["top1_accuracy", "top3_accuracy", "evaluated"],
+    )
+    trained = rows["word2vec (networking corpus)"]
+    control = rows["random embeddings (control)"]
+    benchmark.extra_info.update({
+        "analogies": len(NETWORKING_ANALOGIES),
+        "top1": trained["top1_accuracy"],
+    })
+    assert trained["evaluated"] >= 5
+    # Corpus-trained embeddings recover relational structure; random ones do not.
+    assert trained["top1_accuracy"] >= 0.5
+    assert trained["top1_accuracy"] > control["top1_accuracy"]

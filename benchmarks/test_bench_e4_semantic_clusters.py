@@ -1,0 +1,85 @@
+"""E4 (Figure 2) — semantic clusters in learned embeddings (paper Section 3.3).
+
+The paper argues that protocol-field values form semantic clusters: ports
+cluster by application family (web, mail, name/time services) and ciphersuites
+by strength.  We pre-train on mixed traffic, extract contextual token
+embeddings and measure how well the known groupings are separated, against a
+one-hot (equidistant) control — the representation the paper contrasts
+embeddings with in Section 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import contextual_token_embeddings
+from repro.embeddings import evaluate_grouping
+from repro.net import CIPHERSUITE_STRENGTH, PORT_SEMANTIC_GROUPS
+from repro.traffic import (
+    EnterpriseScenario,
+    EnterpriseScenarioConfig,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+    merge_traces,
+)
+
+from .helpers import ExperimentScale, prepare_split, pretrain_model, print_table
+
+SCALE = ExperimentScale(max_tokens=40, max_train_contexts=400, pretrain_epochs=3, d_model=32, seed=2)
+
+
+def _port_groups() -> dict[str, list[str]]:
+    groups = {}
+    for family, ports in PORT_SEMANTIC_GROUPS.items():
+        groups[family] = [f"tcp.dport={p}" for p in ports] + [f"udp.dport={p}" for p in ports]
+    return groups
+
+
+def _ciphersuite_groups() -> dict[str, list[str]]:
+    return {
+        strength: [f"tls.cs={code}" for code in codes]
+        for strength, codes in CIPHERSUITE_STRENGTH.items()
+    }
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    trace = merge_traces(
+        EnterpriseScenario(
+            EnterpriseScenarioConfig(seed=4, duration=40.0, http_sessions=50, tls_sessions=70)
+        ).generate(),
+        TLSWorkloadGenerator(TLSWorkloadConfig(seed=9, num_sessions=90, duration=40.0)).generate(),
+    )
+    split = prepare_split(trace, trace, "application", SCALE)
+    model = pretrain_model(split, SCALE)
+    learned = contextual_token_embeddings(
+        model, split.train_contexts, split.vocabulary, max_len=SCALE.max_tokens
+    )
+    rng = np.random.default_rng(0)
+    one_hot = {
+        token: np.eye(len(learned))[i] for i, token in enumerate(sorted(learned))
+    }
+
+    rows: dict[str, dict[str, float]] = {}
+    for name, groups in (("ports", _port_groups()), ("ciphersuites", _ciphersuite_groups())):
+        learned_eval = evaluate_grouping(learned, groups, rng=rng)
+        onehot_eval = evaluate_grouping(one_hot, groups, rng=rng)
+        rows[f"{name} / learned embeddings"] = learned_eval
+        rows[f"{name} / one-hot control"] = onehot_eval
+    return rows
+
+
+@pytest.mark.benchmark(group="e4-clusters")
+def test_bench_e4_semantic_clusters(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E4 / Figure 2 — semantic cluster separation (within-vs-across similarity gap, silhouette)",
+        rows,
+        metric_order=["gap", "silhouette", "purity", "coverage"],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["gap"]
+    # Learned embeddings must separate the port families better than one-hot,
+    # whose pairwise similarities are all identical (gap ~ 0).
+    assert rows["ports / learned embeddings"]["gap"] > rows["ports / one-hot control"]["gap"]
+    assert rows["ports / learned embeddings"]["gap"] > 0.0

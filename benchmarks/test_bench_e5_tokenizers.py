@@ -1,0 +1,76 @@
+"""E5 (Figure 3) — tokenizer ablation (paper Section 4.1.2).
+
+How should packets be tokenized?  We compare byte-level, hex-character,
+learned BPE, learned WordPiece and field-aware (protocol-format) tokenization
+on the same application-classification task with the same foundation-model
+recipe, reporting downstream F1 and vocabulary statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tasks import build_application_classification
+from repro.tokenize import (
+    BPETokenizer,
+    ByteTokenizer,
+    FieldAwareTokenizer,
+    HexCharTokenizer,
+    WordPieceTokenizer,
+)
+
+from .helpers import (
+    ExperimentScale,
+    finetune_and_evaluate,
+    prepare_split,
+    pretrain_model,
+    print_table,
+)
+
+SCALE = ExperimentScale(
+    max_tokens=48, max_train_contexts=220, max_eval_contexts=220,
+    pretrain_epochs=2, finetune_epochs=2, d_model=24, num_layers=1, seed=3,
+)
+
+TOKENIZERS = {
+    "field-aware": FieldAwareTokenizer(),
+    "byte": ByteTokenizer(max_bytes=40),
+    "hex-char": HexCharTokenizer(max_bytes=20),
+    "bpe (learned)": BPETokenizer(num_merges=120, max_bytes=40),
+    "wordpiece (learned)": WordPieceTokenizer(vocab_size=250, max_bytes=40),
+}
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    task = build_application_classification(seed=5, duration=25.0)
+    rows: dict[str, dict[str, float]] = {}
+    for name, tokenizer in TOKENIZERS.items():
+        split = prepare_split(task.train_packets, task.test_packets, task.label_key, SCALE,
+                              tokenizer=tokenizer)
+        model = pretrain_model(split, SCALE)
+        metrics = finetune_and_evaluate(model, split, SCALE)
+        mean_len = float(np.mean([len(c.tokens) for c in split.train_contexts]))
+        rows[name] = {
+            "f1": metrics["f1"],
+            "accuracy": metrics["accuracy"],
+            "vocab_size": float(len(split.vocabulary)),
+            "mean_context_tokens": mean_len,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="e5-tokenizers")
+def test_bench_e5_tokenizers(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E5 / Figure 3 — tokenization strategies on application classification",
+        rows,
+        metric_order=["f1", "accuracy", "vocab_size", "mean_context_tokens"],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["f1"]
+    # The paper's hypothesis: preserving protocol-field semantics helps.
+    best_learned_bytes = max(rows["byte"]["f1"], rows["hex-char"]["f1"])
+    assert rows["field-aware"]["f1"] >= best_learned_bytes - 0.05
+    assert all(0.0 <= row["f1"] <= 1.0 for row in rows.values())

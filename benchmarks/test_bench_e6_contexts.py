@@ -1,0 +1,82 @@
+"""E6 (Figure 4) — context-construction ablation (paper Section 4.1.3).
+
+The paper asks whether contexts should follow packet boundaries, connection
+boundaries, session boundaries, or a non-standard construction (the first M
+tokens of each of N successive packets of an endpoint), given interleaving at
+the capture point.  We compare all four on the same interleaved capture and
+classification task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import (
+    FirstMOfNContextBuilder,
+    FlowContextBuilder,
+    PacketContextBuilder,
+    SessionContextBuilder,
+)
+from repro.tasks import build_application_classification
+from repro.traffic import interleave_at_capture_point
+
+from .helpers import (
+    ExperimentScale,
+    finetune_and_evaluate,
+    prepare_split,
+    pretrain_model,
+    print_table,
+)
+
+SCALE = ExperimentScale(
+    max_tokens=64, max_train_contexts=240, max_eval_contexts=240,
+    pretrain_epochs=2, finetune_epochs=2, d_model=24, num_layers=1, seed=4,
+)
+
+BUILDERS = {
+    "packet boundaries": PacketContextBuilder(max_tokens=64),
+    "connection boundaries": FlowContextBuilder(max_tokens=64, max_packets=6),
+    "session boundaries": SessionContextBuilder(max_tokens=64, max_packets=8),
+    "first-M-of-N packets": FirstMOfNContextBuilder(
+        tokens_per_packet=10, packets_per_context=6, max_tokens=64
+    ),
+}
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    task = build_application_classification(seed=6, duration=25.0)
+    rng = np.random.default_rng(0)
+    # Re-interleave with jitter to model a border-router capture point.
+    train = interleave_at_capture_point(task.train_packets, rng=rng, jitter_std=0.002)
+    test = interleave_at_capture_point(task.test_packets, rng=rng, jitter_std=0.002)
+
+    rows: dict[str, dict[str, float]] = {}
+    for name, builder in BUILDERS.items():
+        split = prepare_split(train, test, task.label_key, SCALE, builder=builder)
+        model = pretrain_model(split, SCALE)
+        metrics = finetune_and_evaluate(model, split, SCALE)
+        rows[name] = {
+            "f1": metrics["f1"],
+            "accuracy": metrics["accuracy"],
+            "num_contexts": float(len(split.train_contexts)),
+            "mean_tokens": float(np.mean([len(c.tokens) for c in split.train_contexts])),
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="e6-contexts")
+def test_bench_e6_contexts(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E6 / Figure 4 — context construction strategies on an interleaved capture",
+        rows,
+        metric_order=["f1", "accuracy", "num_contexts", "mean_tokens"],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["f1"]
+    assert all(0.0 <= row["f1"] <= 1.0 for row in rows.values())
+    # Wider-than-packet contexts should not lose to single-packet contexts.
+    widest = max(rows["connection boundaries"]["f1"], rows["session boundaries"]["f1"],
+                 rows["first-M-of-N packets"]["f1"])
+    assert widest >= rows["packet boundaries"]["f1"] - 0.05

@@ -1,0 +1,75 @@
+"""E7 (Figure 5) — pre-training objective ablation (paper Section 4.1.4).
+
+Compare masked token modeling alone, MLM + next-segment prediction (the BERT
+recipe transplanted to flows), and MLM + query-answer prediction (the
+network-specific objective the paper proposes), plus a no-pre-training
+control, on the DNS service-category task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NetFMConfig, NetFoundationModel
+from repro.tasks import build_dns_category_classification
+from repro.tokenize import FieldAwareTokenizer
+
+from .helpers import (
+    ExperimentScale,
+    finetune_and_evaluate,
+    prepare_split,
+    pretrain_model,
+    print_table,
+)
+
+SCALE = ExperimentScale(
+    max_tokens=40, max_train_contexts=260, max_eval_contexts=260,
+    pretrain_epochs=2, finetune_epochs=2, d_model=24, num_layers=1, seed=5,
+)
+LABEL_FRACTION = 0.4
+
+OBJECTIVES = {
+    "no pre-training": None,
+    "mlm": ("mlm",),
+    "mlm + next-segment": ("mlm", "nsp"),
+    "mlm + query-answer": ("mlm", "qa"),
+}
+
+
+def run_experiment() -> dict[str, dict[str, float]]:
+    task = build_dns_category_classification(seed=11, num_clients=16, queries_per_client=16)
+    tokenizer = FieldAwareTokenizer()
+    split = prepare_split(task.train_packets, task.test_packets, task.label_key, SCALE,
+                          tokenizer=tokenizer)
+
+    rows: dict[str, dict[str, float]] = {}
+    for name, objectives in OBJECTIVES.items():
+        if objectives is None:
+            config = NetFMConfig(
+                vocab_size=len(split.vocabulary), d_model=SCALE.d_model,
+                num_layers=SCALE.num_layers, num_heads=4, d_ff=SCALE.d_model * 2,
+                max_len=SCALE.max_tokens, dropout=0.0, seed=SCALE.seed,
+            )
+            model = NetFoundationModel(config)
+        else:
+            model = pretrain_model(split, SCALE, objectives=objectives,
+                                   packets=task.train_packets, tokenizer=tokenizer)
+        metrics = finetune_and_evaluate(model, split, SCALE, train_fraction=LABEL_FRACTION)
+        rows[name] = {"f1": metrics["f1"], "accuracy": metrics["accuracy"]}
+    return rows
+
+
+@pytest.mark.benchmark(group="e7-pretraining")
+def test_bench_e7_pretraining_tasks(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E7 / Figure 5 — pre-training objectives on DNS category classification (scarce labels)",
+        rows,
+        metric_order=["f1", "accuracy"],
+    )
+    for name, row in rows.items():
+        benchmark.extra_info[name] = row["f1"]
+    best_pretrained = max(row["f1"] for name, row in rows.items() if name != "no pre-training")
+    # Pre-training (any objective) should beat training the encoder from scratch
+    # when labels are scarce.
+    assert best_pretrained >= rows["no pre-training"]["f1"]

@@ -1,0 +1,94 @@
+"""The NorBERT-style experiment as a runnable example (paper Section 3.4).
+
+Pre-train on unlabeled DNS traffic, fine-tune on a small labelled subset for
+service-category classification, and evaluate on a distribution-shifted
+workload (new client population, new resolvers, re-weighted domain popularity,
+previously-unseen hostnames).  Compare against GRU baselines with random and
+GloVe-initialised embeddings trained on the same small labelled subset.
+
+Run with:  python examples/dns_classification_under_shift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import GloVe, GloVeConfig, GRUClassifier, GRUClassifierConfig
+from repro.context import FlowContextBuilder, encode_contexts
+from repro.core import (
+    FinetuneConfig,
+    LabelEncoder,
+    NetFMConfig,
+    NetFoundationModel,
+    Pretrainer,
+    PretrainingConfig,
+    SequenceClassifier,
+)
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+from repro.traffic import DNSWorkloadConfig, DNSWorkloadGenerator, shifted_dns_config
+
+MAX_TOKENS = 40
+LABELLED_FRACTION = 0.5
+
+
+def main() -> None:
+    print("Generating DNS workloads (training + distribution-shifted evaluation) ...")
+    base = DNSWorkloadConfig(seed=0, num_clients=20, queries_per_client=20, duration=60.0)
+    train_trace = DNSWorkloadGenerator(base).generate()
+    shifted_trace = DNSWorkloadGenerator(shifted_dns_config(base)).generate()
+
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=MAX_TOKENS, label_key="domain_category")
+    train_contexts = [c for c in builder.build(train_trace, tokenizer) if c.label]
+    eval_contexts = [c for c in builder.build(shifted_trace, tokenizer) if c.label]
+    vocabulary = Vocabulary.build([c.tokens for c in train_contexts])
+    labels = LabelEncoder([c.label for c in train_contexts] + [c.label for c in eval_contexts])
+
+    train_ids, train_mask = encode_contexts(train_contexts, vocabulary, MAX_TOKENS)
+    train_y = labels.encode([c.label for c in train_contexts])
+    eval_ids, eval_mask = encode_contexts(eval_contexts, vocabulary, MAX_TOKENS)
+    eval_y = labels.encode([c.label for c in eval_contexts])
+
+    labelled = int(len(train_y) * LABELLED_FRACTION)
+    print(f"  {len(train_contexts)} training contexts ({labelled} labelled), "
+          f"{len(eval_contexts)} shifted evaluation contexts, {labels.num_classes} classes")
+
+    # Foundation model: pre-train on ALL training contexts (unlabeled), then
+    # fine-tune on the small labelled subset.
+    print("\nPre-training the foundation model on unlabeled DNS traffic ...")
+    model = NetFoundationModel(NetFMConfig(
+        vocab_size=len(vocabulary), d_model=32, num_layers=2, num_heads=4, d_ff=64,
+        max_len=MAX_TOKENS, dropout=0.0,
+    ))
+    Pretrainer(model, vocabulary, PretrainingConfig(epochs=4, batch_size=16)).pretrain(train_contexts)
+    classifier = SequenceClassifier(model, labels.num_classes, FinetuneConfig(epochs=8, batch_size=16))
+    classifier.fit(train_ids[:labelled], train_mask[:labelled], train_y[:labelled])
+    fm_metrics = classifier.evaluate(eval_ids, eval_mask, eval_y)
+
+    # Baselines: GRU with random and GloVe-initialised embeddings.
+    print("Training the GRU baselines on the same labelled subset ...")
+    gru_random = GRUClassifier(len(vocabulary), labels.num_classes,
+                               GRUClassifierConfig(embedding_dim=32, hidden_size=32, epochs=8))
+    gru_random.fit(train_ids[:labelled], train_mask[:labelled], train_y[:labelled])
+    random_metrics = gru_random.evaluate(eval_ids, eval_mask, eval_y)
+
+    glove = GloVe(GloVeConfig(dim=32, epochs=8)).fit(
+        [c.tokens for c in train_contexts], vocabulary
+    )
+    gru_glove = GRUClassifier(len(vocabulary), labels.num_classes,
+                              GRUClassifierConfig(embedding_dim=32, hidden_size=32, epochs=8),
+                              pretrained_embeddings=glove.embedding_matrix())
+    gru_glove.fit(train_ids[:labelled], train_mask[:labelled], train_y[:labelled])
+    glove_metrics = gru_glove.evaluate(eval_ids, eval_mask, eval_y)
+
+    print("\nWeighted F1 on the distribution-shifted DNS workload:")
+    for name, metrics in (
+        ("foundation model (pre-trained)", fm_metrics),
+        ("GRU, random embeddings", random_metrics),
+        ("GRU, GloVe embeddings", glove_metrics),
+    ):
+        print(f"  {name:34} {metrics['f1']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim; project metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

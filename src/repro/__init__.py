@@ -1,0 +1,61 @@
+"""repro — network foundation models, from packets to benchmarks.
+
+A from-scratch reproduction of the system envisioned by "Rethinking
+Data-driven Networking with Foundation Models: Challenges and Opportunities"
+(HotNets 2022).  The package is organised as:
+
+* :mod:`repro.nn` — NumPy autograd, transformer / GRU layers, optimizers.
+* :mod:`repro.net` — packet and protocol substrate (headers, DNS/HTTP/TLS/NTP,
+  flows, pcap).
+* :mod:`repro.traffic` — synthetic, labelled workload generators.
+* :mod:`repro.tokenize` / :mod:`repro.context` — tokenization strategies and
+  context construction (paper Sections 4.1.2-4.1.3).
+* :mod:`repro.core` — the network foundation model, its pre-training
+  objectives, fine-tuning, few-shot adaptation (Sections 2, 4.1).
+* :mod:`repro.baselines` — Word2Vec, GloVe, GRU and classical baselines.
+* :mod:`repro.embeddings` — neighbour / analogy / cluster probes (Section 3).
+* :mod:`repro.ood` — rare and unseen event detection (Section 4.3).
+* :mod:`repro.interpret` — attention, occlusion, integrated gradients,
+  superfields (Section 4.4).
+* :mod:`repro.netglue` — the GLUE-style benchmark suite (Section 4.2).
+* :mod:`repro.corpus` — networking-text corpus for the NetBERT analogy probe.
+"""
+
+from . import (
+    baselines,
+    context,
+    core,
+    corpus,
+    embeddings,
+    interpret,
+    net,
+    netglue,
+    nn,
+    ood,
+    tasks,
+    tokenize,
+    traffic,
+)
+from .core import NetFMConfig, NetFMPipeline, NetFoundationModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "net",
+    "traffic",
+    "tokenize",
+    "context",
+    "core",
+    "baselines",
+    "embeddings",
+    "ood",
+    "interpret",
+    "netglue",
+    "tasks",
+    "corpus",
+    "NetFMConfig",
+    "NetFMPipeline",
+    "NetFoundationModel",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""``repro.baselines`` — every comparator the paper's argument needs.
+
+Word2Vec and GloVe (the context-independent embeddings of Section 2), the GRU
+classifiers NorBERT was compared against, and classical feature-engineered
+baselines (logistic regression, kNN, majority class).
+"""
+
+from .classical import (
+    KNearestNeighbors,
+    LogisticRegression,
+    LogisticRegressionConfig,
+    MajorityClassBaseline,
+    standardize_features,
+)
+from .glove import GloVe, GloVeConfig
+from .gru import GRUClassifier, GRUClassifierConfig
+from .word2vec import Word2Vec, Word2VecConfig
+
+__all__ = [
+    "Word2Vec",
+    "Word2VecConfig",
+    "GloVe",
+    "GloVeConfig",
+    "GRUClassifier",
+    "GRUClassifierConfig",
+    "LogisticRegression",
+    "LogisticRegressionConfig",
+    "KNearestNeighbors",
+    "MajorityClassBaseline",
+    "standardize_features",
+]

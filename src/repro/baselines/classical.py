@@ -1,0 +1,161 @@
+"""Classical (non-neural) baselines: logistic regression, kNN, majority class.
+
+These represent the per-task feature-engineering approach the paper argues
+foundation models should subsume: hand-crafted flow statistics fed to a
+shallow model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..nn.metrics import accuracy, macro_f1, weighted_f1
+
+__all__ = [
+    "LogisticRegressionConfig",
+    "LogisticRegression",
+    "KNearestNeighbors",
+    "MajorityClassBaseline",
+    "standardize_features",
+]
+
+
+def standardize_features(
+    train: np.ndarray, *others: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Z-score features using the training split's statistics."""
+    mean = train.mean(axis=0, keepdims=True)
+    std = train.std(axis=0, keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    results = [(train - mean) / std]
+    results.extend((other - mean) / std for other in others)
+    return tuple(results)
+
+
+@dataclasses.dataclass
+class LogisticRegressionConfig:
+    """Optimization settings for multinomial logistic regression."""
+
+    epochs: int = 200
+    learning_rate: float = 0.1
+    l2: float = 1e-3
+    seed: int = 0
+
+
+class LogisticRegression:
+    """Multinomial logistic regression trained by full-batch gradient descent."""
+
+    def __init__(self, config: LogisticRegressionConfig | None = None):
+        self.config = config or LogisticRegressionConfig()
+        self.weights: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self.num_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        cfg = self.config
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        n, d = features.shape
+        self.num_classes = int(labels.max()) + 1
+        rng = np.random.default_rng(cfg.seed)
+        self.weights = rng.normal(0, 0.01, size=(d, self.num_classes))
+        self.bias = np.zeros(self.num_classes)
+        one_hot = np.zeros((n, self.num_classes))
+        one_hot[np.arange(n), labels] = 1.0
+        for _ in range(cfg.epochs):
+            logits = features @ self.weights + self.bias
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            gradient = features.T @ (probs - one_hot) / n + cfg.l2 * self.weights
+            bias_gradient = (probs - one_hot).mean(axis=0)
+            self.weights -= cfg.learning_rate * gradient
+            self.bias -= cfg.learning_rate * bias_gradient
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() must be called first")
+        logits = np.asarray(features, dtype=float) @ self.weights + self.bias
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+        predictions = self.predict(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        return {
+            "accuracy": accuracy(labels, predictions),
+            "f1": weighted_f1(labels, predictions, self.num_classes),
+            "macro_f1": macro_f1(labels, predictions, self.num_classes),
+        }
+
+
+class KNearestNeighbors:
+    """Plain Euclidean k-nearest-neighbour classifier."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNearestNeighbors":
+        self._features = np.asarray(features, dtype=float)
+        self._labels = np.asarray(labels, dtype=np.int64)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(features, dtype=float)
+        predictions = np.empty(len(features), dtype=np.int64)
+        k = min(self.k, len(self._features))
+        for index, row in enumerate(features):
+            distances = ((self._features - row) ** 2).sum(axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            values, counts = np.unique(self._labels[nearest], return_counts=True)
+            predictions[index] = values[counts.argmax()]
+        return predictions
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+        predictions = self.predict(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        num_classes = int(max(labels.max(initial=0), predictions.max(initial=0))) + 1
+        return {
+            "accuracy": accuracy(labels, predictions),
+            "f1": weighted_f1(labels, predictions, num_classes),
+            "macro_f1": macro_f1(labels, predictions, num_classes),
+        }
+
+
+class MajorityClassBaseline:
+    """Always predict the most frequent training class (sanity floor)."""
+
+    def __init__(self):
+        self.majority = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MajorityClassBaseline":
+        labels = np.asarray(labels, dtype=np.int64)
+        values, counts = np.unique(labels, return_counts=True)
+        self.majority = int(values[counts.argmax()])
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.full(len(features), self.majority, dtype=np.int64)
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+        predictions = self.predict(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        num_classes = int(max(labels.max(initial=0), predictions.max(initial=0))) + 1
+        return {
+            "accuracy": accuracy(labels, predictions),
+            "f1": weighted_f1(labels, predictions, num_classes),
+            "macro_f1": macro_f1(labels, predictions, num_classes),
+        }

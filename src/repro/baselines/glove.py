@@ -1,0 +1,117 @@
+"""GloVe: global-vector embeddings from a co-occurrence matrix.
+
+NorBERT's GRU baselines were initialised either randomly or with GloVe
+(context-independent) embeddings; this module provides the GloVe half of that
+comparison, trained on the same tokenized traffic as everything else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from ..tokenize.vocab import Vocabulary
+
+__all__ = ["GloVeConfig", "GloVe"]
+
+
+@dataclasses.dataclass
+class GloVeConfig:
+    """Training hyper-parameters for GloVe."""
+
+    dim: int = 48
+    window: int = 4
+    epochs: int = 15
+    learning_rate: float = 0.05
+    x_max: float = 50.0
+    alpha: float = 0.75
+    seed: int = 0
+
+
+class GloVe:
+    """Weighted least-squares factorization of the log co-occurrence matrix."""
+
+    def __init__(self, config: GloVeConfig | None = None):
+        self.config = config or GloVeConfig()
+        self.vocabulary: Vocabulary | None = None
+        self.vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, sequences: Sequence[Sequence[str]], vocabulary: Vocabulary | None = None) -> "GloVe":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.vocabulary = vocabulary or Vocabulary.build(sequences)
+        vocab_size = len(self.vocabulary)
+
+        cooccurrence = self._cooccurrence(sequences)
+        if not cooccurrence:
+            self.vectors = np.zeros((vocab_size, cfg.dim))
+            return self
+
+        w_main = (rng.random((vocab_size, cfg.dim)) - 0.5) / cfg.dim
+        w_context = (rng.random((vocab_size, cfg.dim)) - 0.5) / cfg.dim
+        b_main = np.zeros(vocab_size)
+        b_context = np.zeros(vocab_size)
+
+        entries = [(i, j, value) for (i, j), value in cooccurrence.items()]
+        for _ in range(cfg.epochs):
+            rng.shuffle(entries)
+            for i, j, value in entries:
+                weight = min((value / cfg.x_max) ** cfg.alpha, 1.0)
+                inner = w_main[i] @ w_context[j] + b_main[i] + b_context[j] - np.log(value)
+                gradient = weight * inner * cfg.learning_rate
+                grad_main = gradient * w_context[j]
+                grad_context = gradient * w_main[i]
+                w_main[i] -= grad_main
+                w_context[j] -= grad_context
+                b_main[i] -= gradient
+                b_context[j] -= gradient
+        self.vectors = w_main + w_context
+        return self
+
+    def _cooccurrence(self, sequences: Sequence[Sequence[str]]) -> dict[tuple[int, int], float]:
+        cfg = self.config
+        counts: Counter[tuple[int, int]] = Counter()
+        for sequence in sequences:
+            ids = self.vocabulary.encode(sequence)
+            for position, center in enumerate(ids):
+                left = max(position - cfg.window, 0)
+                right = min(position + cfg.window + 1, len(ids))
+                for other in range(left, right):
+                    if other == position:
+                        continue
+                    distance = abs(other - position)
+                    counts[(center, ids[other])] += 1.0 / distance
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, token: str) -> bool:
+        return self.vocabulary is not None and token in self.vocabulary
+
+    def vector(self, token: str) -> np.ndarray:
+        if self.vocabulary is None or self.vectors is None:
+            raise RuntimeError("fit() must be called first")
+        if token not in self.vocabulary:
+            raise KeyError(f"token {token!r} not in vocabulary")
+        return self.vectors[self.vocabulary.token_to_id(token)]
+
+    def embedding_matrix(self) -> np.ndarray:
+        if self.vectors is None:
+            raise RuntimeError("fit() must be called first")
+        return self.vectors.copy()
+
+    def embeddings(self) -> dict[str, np.ndarray]:
+        if self.vocabulary is None or self.vectors is None:
+            raise RuntimeError("fit() must be called first")
+        return {
+            token: self.vectors[self.vocabulary.token_to_id(token)]
+            for token in self.vocabulary.tokens()
+            if self.vocabulary.token_to_id(token) not in self.vocabulary.special_ids
+        }

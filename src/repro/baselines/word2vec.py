@@ -1,0 +1,167 @@
+"""Word2Vec (CBOW and skip-gram with negative sampling), from scratch.
+
+Word2Vec is the paper's Section 2 stepping stone toward foundation models:
+context-independent embeddings learned by predicting a token from its
+neighbours (CBOW) or its neighbours from the token (skip-gram).  It is used
+by the NetBERT-style analogy experiment (E3) on the networking text corpus,
+and as a pre-BERT baseline for token-embedding probes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..tokenize.vocab import Vocabulary
+
+__all__ = ["Word2VecConfig", "Word2Vec"]
+
+
+@dataclasses.dataclass
+class Word2VecConfig:
+    """Training hyper-parameters."""
+
+    dim: int = 48
+    window: int = 4
+    negative_samples: int = 5
+    epochs: int = 5
+    learning_rate: float = 0.05
+    min_learning_rate: float = 0.001
+    mode: str = "skip-gram"  # or "cbow"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("skip-gram", "cbow"):
+            raise ValueError(f"mode must be 'skip-gram' or 'cbow', got {self.mode!r}")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+
+
+class Word2Vec:
+    """Negative-sampling Word2Vec over token-string sequences."""
+
+    def __init__(self, config: Word2VecConfig | None = None):
+        self.config = config or Word2VecConfig()
+        self.vocabulary: Vocabulary | None = None
+        self.input_vectors: np.ndarray | None = None
+        self.output_vectors: np.ndarray | None = None
+        self._unigram_table: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, sequences: Sequence[Sequence[str]], vocabulary: Vocabulary | None = None) -> "Word2Vec":
+        """Train on ``sequences`` (lists of token strings)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.vocabulary = vocabulary or Vocabulary.build(sequences)
+        vocab_size = len(self.vocabulary)
+        encoded = [np.array(self.vocabulary.encode(seq), dtype=np.int64) for seq in sequences if seq]
+
+        self.input_vectors = (rng.random((vocab_size, cfg.dim)) - 0.5) / cfg.dim
+        self.output_vectors = np.zeros((vocab_size, cfg.dim))
+        self._build_unigram_table(encoded, vocab_size)
+
+        pairs = self._training_pairs(encoded)
+        total_updates = max(len(pairs) * cfg.epochs, 1)
+        update = 0
+        for _ in range(cfg.epochs):
+            rng.shuffle(pairs)
+            for center, contexts in pairs:
+                progress = update / total_updates
+                lr = cfg.learning_rate * (1 - progress) + cfg.min_learning_rate * progress
+                if cfg.mode == "skip-gram":
+                    for context in contexts:
+                        self._sgd_step(center, context, lr, rng)
+                else:
+                    self._cbow_step(contexts, center, lr, rng)
+                update += 1
+        return self
+
+    def _training_pairs(self, encoded: list[np.ndarray]) -> list[tuple[int, list[int]]]:
+        cfg = self.config
+        pairs: list[tuple[int, list[int]]] = []
+        for sequence in encoded:
+            length = len(sequence)
+            for position in range(length):
+                left = max(position - cfg.window, 0)
+                right = min(position + cfg.window + 1, length)
+                contexts = [int(sequence[i]) for i in range(left, right) if i != position]
+                if contexts:
+                    pairs.append((int(sequence[position]), contexts))
+        return pairs
+
+    def _build_unigram_table(self, encoded: list[np.ndarray], vocab_size: int) -> None:
+        counts = np.zeros(vocab_size)
+        for sequence in encoded:
+            np.add.at(counts, sequence, 1)
+        weights = counts ** 0.75
+        total = weights.sum()
+        if total == 0:
+            weights = np.ones(vocab_size)
+            total = vocab_size
+        self._unigram_table = weights / total
+
+    def _negatives(self, rng: np.random.Generator, exclude: int) -> np.ndarray:
+        negatives = rng.choice(
+            len(self._unigram_table), size=self.config.negative_samples, p=self._unigram_table
+        )
+        return negatives[negatives != exclude]
+
+    def _sgd_step(self, center: int, context: int, lr: float, rng: np.random.Generator) -> None:
+        v = self.input_vectors[center]
+        grad_v = np.zeros_like(v)
+        targets = [(context, 1.0)] + [(int(n), 0.0) for n in self._negatives(rng, context)]
+        for index, label in targets:
+            u = self.output_vectors[index]
+            score = 1.0 / (1.0 + np.exp(-np.dot(v, u)))
+            gradient = (score - label) * lr
+            grad_v += gradient * u
+            self.output_vectors[index] = u - gradient * v
+        self.input_vectors[center] = v - grad_v
+
+    def _cbow_step(self, contexts: list[int], center: int, lr: float, rng: np.random.Generator) -> None:
+        v = self.input_vectors[contexts].mean(axis=0)
+        grad_v = np.zeros_like(v)
+        targets = [(center, 1.0)] + [(int(n), 0.0) for n in self._negatives(rng, center)]
+        for index, label in targets:
+            u = self.output_vectors[index]
+            score = 1.0 / (1.0 + np.exp(-np.dot(v, u)))
+            gradient = (score - label) * lr
+            grad_v += gradient * u
+            self.output_vectors[index] = u - gradient * v
+        share = grad_v / len(contexts)
+        for context in contexts:
+            self.input_vectors[context] -= share
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, token: str) -> bool:
+        return self.vocabulary is not None and token in self.vocabulary
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of a token (raises ``KeyError`` for unknown tokens)."""
+        if self.vocabulary is None or self.input_vectors is None:
+            raise RuntimeError("fit() must be called first")
+        if token not in self.vocabulary:
+            raise KeyError(f"token {token!r} not in vocabulary")
+        return self.input_vectors[self.vocabulary.token_to_id(token)]
+
+    def embedding_matrix(self) -> np.ndarray:
+        """The full (vocab_size, dim) input-embedding matrix."""
+        if self.input_vectors is None:
+            raise RuntimeError("fit() must be called first")
+        return self.input_vectors.copy()
+
+    def embeddings(self) -> dict[str, np.ndarray]:
+        """Token -> vector mapping (excluding special tokens)."""
+        if self.vocabulary is None or self.input_vectors is None:
+            raise RuntimeError("fit() must be called first")
+        return {
+            token: self.input_vectors[self.vocabulary.token_to_id(token)]
+            for token in self.vocabulary.tokens()
+            if self.vocabulary.token_to_id(token) not in self.vocabulary.special_ids
+        }

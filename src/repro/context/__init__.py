@@ -1,0 +1,21 @@
+"""``repro.context`` — strategies for building model contexts from traces."""
+
+from .builders import (
+    Context,
+    ContextBuilder,
+    FirstMOfNContextBuilder,
+    FlowContextBuilder,
+    PacketContextBuilder,
+    SessionContextBuilder,
+    encode_contexts,
+)
+
+__all__ = [
+    "Context",
+    "ContextBuilder",
+    "PacketContextBuilder",
+    "FlowContextBuilder",
+    "SessionContextBuilder",
+    "FirstMOfNContextBuilder",
+    "encode_contexts",
+]

@@ -1,0 +1,267 @@
+"""Context construction strategies (paper Section 4.1.3).
+
+A *context* is the token sequence presented to the foundation model for one
+training or inference example.  The paper asks how contexts should be defined
+over network traffic — packet boundaries, connection boundaries, session
+boundaries, or non-standard constructions such as "the first M tokens from
+each of the N successive packets of an endpoint" — given that packets from
+different connections are interleaved at the capture point and practical
+limits cap contexts at a few hundred tokens.
+
+Every builder turns ``(packets, tokenizer)`` into a list of
+:class:`Context` objects carrying the token strings, the originating packets
+and the ground-truth label pulled from packet metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from ..net.flow import FlowKey
+from ..net.packet import Packet
+from ..tokenize.base import PacketTokenizer
+from ..tokenize.vocab import CLS, SEP, Vocabulary
+
+__all__ = [
+    "Context",
+    "ContextBuilder",
+    "PacketContextBuilder",
+    "FlowContextBuilder",
+    "SessionContextBuilder",
+    "FirstMOfNContextBuilder",
+    "encode_contexts",
+]
+
+
+@dataclasses.dataclass
+class Context:
+    """One model input: token strings plus provenance and label.
+
+    ``segments`` marks, for each token, which packet (0-based within the
+    context) it came from; the pre-training objectives and the superfield
+    explanations both use it.
+    """
+
+    tokens: list[str]
+    segments: list[int]
+    packets: list[Packet]
+    label: str | None = None
+    group_key: str = ""
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class ContextBuilder:
+    """Base class; subclasses implement :meth:`build`."""
+
+    #: Identifier used in benchmark tables (experiment E6).
+    name = "base"
+
+    def __init__(self, max_tokens: int = 128, label_key: str | None = "application"):
+        if max_tokens < 4:
+            raise ValueError("max_tokens must be at least 4")
+        self.max_tokens = max_tokens
+        self.label_key = label_key
+
+    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _label_of(self, packets: Sequence[Packet]) -> str | None:
+        if self.label_key is None:
+            return None
+        values = [p.metadata.get(self.label_key) for p in packets if self.label_key in p.metadata]
+        if not values:
+            return None
+        # Majority vote (contexts can straddle packets with differing labels).
+        unique, counts = np.unique(np.asarray(values, dtype=object), return_counts=True)
+        return str(unique[int(np.argmax(counts))])
+
+    def _assemble(
+        self,
+        packet_groups: list[list[Packet]],
+        tokenizer: PacketTokenizer,
+        group_key: str = "",
+    ) -> Context:
+        """Concatenate the tokens of several packets, separated by ``[SEP]``."""
+        tokens: list[str] = [CLS]
+        segments: list[int] = [0]
+        packets: list[Packet] = []
+        for index, group in enumerate(packet_groups):
+            for packet in group:
+                packet_tokens = tokenizer.tokenize_packet(packet)
+                remaining = self.max_tokens - len(tokens) - 1
+                if remaining <= 0:
+                    break
+                packet_tokens = packet_tokens[:remaining]
+                tokens.extend(packet_tokens)
+                segments.extend([index] * len(packet_tokens))
+                packets.append(packet)
+            if len(tokens) >= self.max_tokens - 1:
+                break
+            tokens.append(SEP)
+            segments.append(index)
+        if tokens[-1] != SEP:
+            tokens.append(SEP)
+            segments.append(segments[-1] if segments else 0)
+        return Context(
+            tokens=tokens,
+            segments=segments,
+            packets=packets,
+            label=self._label_of(packets),
+            group_key=group_key,
+        )
+
+
+class PacketContextBuilder(ContextBuilder):
+    """One context per packet — the shortest possible context."""
+
+    name = "packet"
+
+    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+        return [
+            self._assemble([[packet]], tokenizer, group_key=f"pkt-{i}")
+            for i, packet in enumerate(packets)
+        ]
+
+
+class FlowContextBuilder(ContextBuilder):
+    """One context per connection (bidirectional 5-tuple), first packets first.
+
+    Uses ``metadata["connection_id"]`` when the generators provided it and
+    falls back to the 5-tuple otherwise, so it also works on parsed pcaps.
+    """
+
+    name = "flow"
+
+    def __init__(self, max_tokens: int = 128, label_key: str | None = "application", max_packets: int = 8):
+        super().__init__(max_tokens=max_tokens, label_key=label_key)
+        self.max_packets = max_packets
+
+    def _group(self, packets: Sequence[Packet]) -> dict[str, list[Packet]]:
+        groups: dict[str, list[Packet]] = defaultdict(list)
+        for packet in packets:
+            if "connection_id" in packet.metadata:
+                key = f"conn-{packet.metadata['connection_id']}"
+            else:
+                key = str(FlowKey.from_packet(packet))
+            groups[key].append(packet)
+        return groups
+
+    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+        contexts = []
+        for key, group in self._group(packets).items():
+            group = sorted(group, key=lambda p: p.timestamp)[: self.max_packets]
+            contexts.append(self._assemble([group], tokenizer, group_key=key))
+        return contexts
+
+
+class SessionContextBuilder(FlowContextBuilder):
+    """One context per user-level session (may span several connections)."""
+
+    name = "session"
+
+    def _group(self, packets: Sequence[Packet]) -> dict[str, list[Packet]]:
+        groups: dict[str, list[Packet]] = defaultdict(list)
+        for packet in packets:
+            if "session_id" in packet.metadata:
+                key = f"sess-{packet.metadata['session_id']}"
+            else:
+                key = packet.src_ip or "unknown"
+            groups[key].append(packet)
+        return groups
+
+
+class FirstMOfNContextBuilder(ContextBuilder):
+    """The paper's non-standard construction: the first M tokens of each of the
+    N successive packets sent or received by an endpoint.
+
+    Packets are grouped by endpoint (client IP) regardless of connection, in
+    timestamp order, and chunked into windows of N packets; from each packet
+    only the first M tokens are kept.
+    """
+
+    name = "first-m-of-n"
+
+    def __init__(
+        self,
+        tokens_per_packet: int = 12,
+        packets_per_context: int = 8,
+        max_tokens: int = 128,
+        label_key: str | None = "application",
+    ):
+        super().__init__(max_tokens=max_tokens, label_key=label_key)
+        self.tokens_per_packet = tokens_per_packet
+        self.packets_per_context = packets_per_context
+
+    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+        by_endpoint: dict[str, list[Packet]] = defaultdict(list)
+        for packet in packets:
+            endpoint = self._endpoint(packet)
+            by_endpoint[endpoint].append(packet)
+        contexts = []
+        for endpoint, group in by_endpoint.items():
+            group = sorted(group, key=lambda p: p.timestamp)
+            for start in range(0, len(group), self.packets_per_context):
+                window = group[start : start + self.packets_per_context]
+                if not window:
+                    continue
+                contexts.append(self._assemble_window(window, tokenizer, endpoint, start))
+        return contexts
+
+    @staticmethod
+    def _endpoint(packet: Packet) -> str:
+        """The client-side endpoint: prefer private (RFC1918-looking) addresses."""
+        for address in (packet.src_ip, packet.dst_ip):
+            if address.startswith(("10.", "192.168.", "172.16.", "172.17.")):
+                return address
+        return packet.src_ip or "unknown"
+
+    def _assemble_window(
+        self, window: list[Packet], tokenizer: PacketTokenizer, endpoint: str, start: int
+    ) -> Context:
+        tokens: list[str] = [CLS]
+        segments: list[int] = [0]
+        for index, packet in enumerate(window):
+            packet_tokens = tokenizer.tokenize_packet(packet)[: self.tokens_per_packet]
+            remaining = self.max_tokens - len(tokens) - 1
+            if remaining <= 0:
+                break
+            packet_tokens = packet_tokens[:remaining]
+            tokens.extend(packet_tokens)
+            segments.extend([index] * len(packet_tokens))
+            tokens.append(SEP)
+            segments.append(index)
+        return Context(
+            tokens=tokens,
+            segments=segments,
+            packets=list(window),
+            label=self._label_of(window),
+            group_key=f"{endpoint}-{start}",
+        )
+
+
+def encode_contexts(
+    contexts: Sequence[Context],
+    vocabulary: Vocabulary,
+    max_len: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode contexts into padded id and attention-mask matrices.
+
+    Returns ``(token_ids, attention_mask)`` of shape ``(len(contexts), max_len)``;
+    the mask is True for real tokens and False for padding.
+    """
+    token_ids = np.full((len(contexts), max_len), vocabulary.pad_id, dtype=np.int64)
+    mask = np.zeros((len(contexts), max_len), dtype=bool)
+    for row, context in enumerate(contexts):
+        ids = vocabulary.encode(context.tokens)[:max_len]
+        token_ids[row, : len(ids)] = ids
+        mask[row, : len(ids)] = True
+    return token_ids, mask

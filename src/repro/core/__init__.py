@@ -1,0 +1,47 @@
+"""``repro.core`` — the network foundation model (the paper's envisioned system).
+
+A BERT-style encoder over packet tokens, pre-training objectives (masked token
+modeling, next-segment prediction, query-answer prediction), fine-tuning heads,
+gradient-free few-shot adaptation and representation extraction, plus an
+end-to-end pipeline tying tokenizer, context builder and model together.
+"""
+
+from .config import NetFMConfig
+from .fewshot import PrototypeClassifier, few_shot_episode
+from .finetuning import FinetuneConfig, LabelEncoder, SequenceClassifier
+from .model import MaskedTokenHead, NetFoundationModel, SegmentPairHead
+from .pipeline import NetFMPipeline, PipelineResult
+from .pretraining import (
+    Pretrainer,
+    PretrainingConfig,
+    make_query_answer_pairs,
+    make_segment_pairs,
+    mask_tokens,
+)
+from .representation import (
+    contextual_token_embeddings,
+    input_token_embeddings,
+    sequence_embeddings,
+)
+
+__all__ = [
+    "NetFMConfig",
+    "NetFoundationModel",
+    "MaskedTokenHead",
+    "SegmentPairHead",
+    "PretrainingConfig",
+    "Pretrainer",
+    "mask_tokens",
+    "make_segment_pairs",
+    "make_query_answer_pairs",
+    "FinetuneConfig",
+    "SequenceClassifier",
+    "LabelEncoder",
+    "PrototypeClassifier",
+    "few_shot_episode",
+    "NetFMPipeline",
+    "PipelineResult",
+    "input_token_embeddings",
+    "contextual_token_embeddings",
+    "sequence_embeddings",
+]

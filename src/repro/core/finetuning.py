@@ -1,0 +1,184 @@
+"""Fine-tuning the pre-trained foundation model on labelled downstream tasks.
+
+Mirrors BERT's recipe: a small classification head is added on top of the
+``[CLS]`` embedding and the whole model is trained for a few epochs on the
+labelled examples (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..context.builders import Context
+from ..nn.autograd import Tensor, no_grad
+from ..nn.layers import Dropout, Linear
+from ..nn.losses import cross_entropy
+from ..nn.metrics import accuracy, macro_f1, weighted_f1
+from ..nn.module import Module
+from ..nn.optim import AdamW
+from ..nn.schedules import WarmupLinearSchedule
+from ..nn.trainer import Trainer, TrainingHistory
+from ..tokenize.vocab import Vocabulary
+from .model import NetFoundationModel
+
+__all__ = ["FinetuneConfig", "SequenceClassifier", "LabelEncoder"]
+
+
+class LabelEncoder:
+    """Map string labels to consecutive integer ids (deterministic order)."""
+
+    def __init__(self, labels: Sequence[str]):
+        self.classes: list[str] = sorted(set(str(label) for label in labels))
+        self._to_id = {label: index for index, label in enumerate(self.classes)}
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        unknown = [str(l) for l in labels if str(l) not in self._to_id]
+        if unknown:
+            raise KeyError(f"unknown labels {sorted(set(unknown))[:5]}")
+        return np.array([self._to_id[str(label)] for label in labels], dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        return [self.classes[int(i)] for i in ids]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+@dataclasses.dataclass
+class FinetuneConfig:
+    """Optimization settings for fine-tuning."""
+
+    epochs: int = 4
+    batch_size: int = 16
+    learning_rate: float = 2e-3
+    weight_decay: float = 0.01
+    warmup_fraction: float = 0.1
+    dropout: float = 0.1
+    freeze_encoder: bool = False
+    seed: int = 0
+
+
+class SequenceClassifier(Module):
+    """Foundation model + classification head over the ``[CLS]`` embedding."""
+
+    def __init__(
+        self,
+        model: NetFoundationModel,
+        num_classes: int,
+        config: FinetuneConfig | None = None,
+    ):
+        super().__init__()
+        self.config = config or FinetuneConfig()
+        self.model = model
+        rng = np.random.default_rng(self.config.seed + 7)
+        self.dropout = Dropout(self.config.dropout, rng=rng)
+        self.head = Linear(model.config.d_model, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        cls = self.model.encode_cls(token_ids, attention_mask=attention_mask)
+        return self.head(self.dropout(cls))
+
+    # ------------------------------------------------------------------
+    # Training / inference over encoded arrays
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: np.ndarray,
+        labels: np.ndarray,
+        eval_data: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Fine-tune on encoded inputs; ``labels`` are integer class ids."""
+        cfg = self.config
+        labels = np.asarray(labels, dtype=np.int64)
+        if cfg.freeze_encoder:
+            parameters = self.head.parameters()
+        else:
+            parameters = self.parameters()
+        optimizer = AdamW(parameters, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        steps = max(len(labels) // cfg.batch_size, 1) * cfg.epochs
+        schedule = WarmupLinearSchedule(
+            optimizer, warmup_steps=max(int(cfg.warmup_fraction * steps), 1), total_steps=steps
+        )
+        trainer = Trainer(self, optimizer, schedule=schedule)
+        rng = np.random.default_rng(cfg.seed)
+
+        def make_batches():
+            order = rng.permutation(len(labels))
+            closures = []
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+
+                def loss_fn(idx=idx) -> Tensor:
+                    logits = self(token_ids[idx], attention_mask=attention_mask[idx])
+                    return cross_entropy(logits, labels[idx])
+
+                closures.append(loss_fn)
+            return closures
+
+        eval_fn = None
+        if eval_data is not None:
+            eval_ids, eval_mask, eval_labels = eval_data
+
+            def eval_fn() -> dict[str, float]:
+                return self.evaluate(eval_ids, eval_mask, eval_labels)
+
+        return trainer.fit(make_batches, epochs=cfg.epochs, eval_fn=eval_fn, verbose=verbose)
+
+    def predict(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Predicted class ids."""
+        return self.predict_proba(token_ids, attention_mask, batch_size).argmax(axis=-1)
+
+    def predict_proba(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Predicted class probabilities (softmax over logits)."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(token_ids), batch_size):
+                logits = self(
+                    token_ids[start : start + batch_size],
+                    attention_mask=attention_mask[start : start + batch_size],
+                )
+                outputs.append(logits.softmax(axis=-1).data)
+        self.train()
+        return np.concatenate(outputs, axis=0)
+
+    def evaluate(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray, labels: np.ndarray
+    ) -> dict[str, float]:
+        """Accuracy, macro-F1 and weighted-F1 on encoded data."""
+        predictions = self.predict(token_ids, attention_mask)
+        labels = np.asarray(labels, dtype=np.int64)
+        return {
+            "accuracy": accuracy(labels, predictions),
+            "f1": weighted_f1(labels, predictions, self.num_classes),
+            "macro_f1": macro_f1(labels, predictions, self.num_classes),
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers over Context objects
+    # ------------------------------------------------------------------
+    @staticmethod
+    def encode_dataset(
+        contexts: Sequence[Context],
+        vocabulary: Vocabulary,
+        label_encoder: LabelEncoder,
+        max_len: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode contexts (with labels) into arrays for :meth:`fit`."""
+        from ..context.builders import encode_contexts
+
+        labelled = [c for c in contexts if c.label is not None]
+        ids, mask = encode_contexts(labelled, vocabulary, max_len)
+        labels = label_encoder.encode([c.label for c in labelled])
+        return ids, mask, labels

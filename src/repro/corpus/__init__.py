@@ -1,0 +1,15 @@
+"""``repro.corpus`` — synthetic networking-text corpus (NetBERT substitute)."""
+
+from .generator import (
+    CorpusConfig,
+    NetworkingCorpusGenerator,
+    PROTOCOL_DEVICE,
+    PROTOCOL_LAYER,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "NetworkingCorpusGenerator",
+    "PROTOCOL_DEVICE",
+    "PROTOCOL_LAYER",
+]

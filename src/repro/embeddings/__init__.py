@@ -1,0 +1,35 @@
+"""``repro.embeddings`` — probes over learned token embeddings.
+
+Nearest neighbours (the port-80/443 probe), analogy solving (the NetBERT
+probe), semantic-cluster metrics (transport/routing/tunneling, weak/strong
+ciphersuites) and PCA projection.
+"""
+
+from .analogies import NETWORKING_ANALOGIES, Analogy, analogy_accuracy, solve_analogy
+from .clusters import (
+    cluster_purity,
+    evaluate_grouping,
+    group_separation,
+    kmeans,
+    silhouette_score,
+)
+from .neighbors import cosine_similarity, nearest_neighbors, neighbor_rank, similarity_matrix
+from .projection import pca, project_embeddings
+
+__all__ = [
+    "cosine_similarity",
+    "nearest_neighbors",
+    "neighbor_rank",
+    "similarity_matrix",
+    "Analogy",
+    "NETWORKING_ANALOGIES",
+    "solve_analogy",
+    "analogy_accuracy",
+    "silhouette_score",
+    "kmeans",
+    "cluster_purity",
+    "group_separation",
+    "evaluate_grouping",
+    "pca",
+    "project_embeddings",
+]

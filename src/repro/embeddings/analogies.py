@@ -1,0 +1,114 @@
+"""Analogy solving over embeddings (the "King - Man + Woman = Queen" probe).
+
+NetBERT's networking analogies — "BGP is to router as STP is to switch",
+"MAC is to switch as IP is to router", "IP is to network as TCP is to
+transport" — are evaluated with the standard 3CosAdd method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .neighbors import cosine_similarity
+
+__all__ = ["Analogy", "NETWORKING_ANALOGIES", "solve_analogy", "analogy_accuracy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Analogy:
+    """``a`` is to ``b`` as ``c`` is to ``expected``."""
+
+    a: str
+    b: str
+    c: str
+    expected: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"{self.a}:{self.b} :: {self.c}:{self.expected}"
+
+
+#: The analogies the paper quotes from NetBERT (Section 3.4), plus a few more
+#: of the same structure that the synthetic corpus encodes.
+NETWORKING_ANALOGIES: list[Analogy] = [
+    Analogy("bgp", "router", "stp", "switch"),
+    Analogy("mac", "switch", "ip", "router"),
+    Analogy("ip", "network", "tcp", "transport"),
+    Analogy("ospf", "router", "vlan", "switch"),
+    Analogy("udp", "transport", "http", "application"),
+    Analogy("tcp", "transport", "ethernet", "link"),
+    Analogy("dns", "application", "icmp", "network"),
+]
+
+
+def solve_analogy(
+    embeddings: dict[str, np.ndarray],
+    a: str,
+    b: str,
+    c: str,
+    k: int = 1,
+    exclude_inputs: bool = True,
+) -> list[tuple[str, float]]:
+    """Return the top-``k`` answers to "a is to b as c is to ?" via 3CosAdd.
+
+    The query vector is ``v(b) - v(a) + v(c)``; candidates are ranked by
+    cosine similarity to it, excluding the three input tokens by default.
+    """
+    for token in (a, b, c):
+        if token not in embeddings:
+            raise KeyError(f"token {token!r} has no embedding")
+    query = (
+        np.asarray(embeddings[b], dtype=float)
+        - np.asarray(embeddings[a], dtype=float)
+        + np.asarray(embeddings[c], dtype=float)
+    )
+    excluded = {a, b, c} if exclude_inputs else set()
+    scores = [
+        (token, cosine_similarity(query, vector))
+        for token, vector in embeddings.items()
+        if token not in excluded
+    ]
+    scores.sort(key=lambda kv: -kv[1])
+    return scores[:k]
+
+
+def analogy_accuracy(
+    embeddings: dict[str, np.ndarray],
+    analogies: list[Analogy] | None = None,
+    top_k: int = 1,
+) -> dict[str, object]:
+    """Fraction of analogies whose expected answer appears in the top-``k``.
+
+    Analogies whose tokens are missing from the embedding vocabulary are
+    skipped and reported separately.
+    """
+    analogies = analogies if analogies is not None else NETWORKING_ANALOGIES
+    correct = 0
+    evaluated = 0
+    skipped: list[str] = []
+    details: list[dict[str, object]] = []
+    for analogy in analogies:
+        needed = (analogy.a, analogy.b, analogy.c, analogy.expected)
+        if any(token not in embeddings for token in needed):
+            skipped.append(str(analogy))
+            continue
+        answers = solve_analogy(embeddings, analogy.a, analogy.b, analogy.c, k=top_k)
+        hit = any(token == analogy.expected for token, _ in answers)
+        correct += int(hit)
+        evaluated += 1
+        details.append(
+            {
+                "analogy": str(analogy),
+                "predicted": answers[0][0] if answers else None,
+                "correct": hit,
+            }
+        )
+    accuracy = correct / evaluated if evaluated else 0.0
+    return {
+        "accuracy": accuracy,
+        "evaluated": evaluated,
+        "correct": correct,
+        "skipped": skipped,
+        "details": details,
+    }

@@ -1,0 +1,139 @@
+"""Semantic-cluster probes over token embeddings.
+
+Section 3.3 of the paper claims protocol numbers form semantic clusters
+(transport vs routing vs tunneling) and ciphersuites cluster by strength.
+These probes quantify how well a set of embeddings recovers a given grouping,
+via silhouette score, cluster purity under k-means, and a same-group vs
+cross-group similarity gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "silhouette_score",
+    "kmeans",
+    "cluster_purity",
+    "group_separation",
+    "evaluate_grouping",
+]
+
+
+def _pairwise_distances(matrix: np.ndarray) -> np.ndarray:
+    squared = (matrix ** 2).sum(axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * matrix @ matrix.T
+    return np.sqrt(np.maximum(distances, 0.0))
+
+
+def silhouette_score(matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient; requires at least two clusters."""
+    matrix = np.asarray(matrix, dtype=float)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    distances = _pairwise_distances(matrix)
+    scores = np.zeros(len(matrix))
+    for i in range(len(matrix)):
+        same = labels == labels[i]
+        same[i] = False
+        a = distances[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            mask = labels == other
+            if mask.any():
+                b = min(b, distances[i, mask].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def kmeans(
+    matrix: np.ndarray, k: int, rng: np.random.Generator | None = None, iterations: int = 50
+) -> np.ndarray:
+    """Plain Lloyd's k-means; returns integer cluster assignments."""
+    matrix = np.asarray(matrix, dtype=float)
+    rng = rng or np.random.default_rng(0)
+    if k < 1 or k > len(matrix):
+        raise ValueError(f"k must be in [1, {len(matrix)}]")
+    centroids = matrix[rng.choice(len(matrix), size=k, replace=False)]
+    assignment = np.zeros(len(matrix), dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1)
+        new_assignment = distances.argmin(axis=1)
+        if (new_assignment == assignment).all():
+            break
+        assignment = new_assignment
+        for cluster in range(k):
+            members = matrix[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return assignment
+
+
+def cluster_purity(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Purity of predicted clusters against ground-truth groups."""
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    total = 0
+    for cluster in np.unique(predicted):
+        members = truth[predicted == cluster]
+        if len(members) == 0:
+            continue
+        _, counts = np.unique(members, return_counts=True)
+        total += counts.max()
+    return float(total / len(truth))
+
+
+def group_separation(matrix: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+    """Mean cosine similarity within groups vs across groups, and their gap."""
+    matrix = np.asarray(matrix, dtype=float)
+    labels = np.asarray(labels)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    normalized = matrix / norms
+    similarity = normalized @ normalized.T
+    same_mask = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same_mask, False)
+    cross_mask = ~ (labels[:, None] == labels[None, :])
+    within = float(similarity[same_mask].mean()) if same_mask.any() else 0.0
+    across = float(similarity[cross_mask].mean()) if cross_mask.any() else 0.0
+    return {"within": within, "across": across, "gap": within - across}
+
+
+def evaluate_grouping(
+    embeddings: dict[str, np.ndarray],
+    groups: dict[str, list[str]],
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Evaluate how well ``embeddings`` separate the given token ``groups``.
+
+    Tokens missing from ``embeddings`` are skipped.  Returns silhouette,
+    k-means purity (k = number of groups) and the within/across similarity gap,
+    plus the token coverage.
+    """
+    tokens: list[str] = []
+    labels: list[int] = []
+    for index, (_, members) in enumerate(sorted(groups.items())):
+        for token in members:
+            if token in embeddings:
+                tokens.append(token)
+                labels.append(index)
+    if len(set(labels)) < 2 or len(tokens) < 4:
+        return {"silhouette": 0.0, "purity": 0.0, "gap": 0.0, "coverage": 0.0}
+    matrix = np.stack([embeddings[t] for t in tokens])
+    label_array = np.array(labels)
+    assignment = kmeans(matrix, k=len(set(labels)), rng=rng)
+    separation = group_separation(matrix, label_array)
+    total_members = sum(len(m) for m in groups.values())
+    return {
+        "silhouette": silhouette_score(matrix, label_array),
+        "purity": cluster_purity(assignment, label_array),
+        "gap": separation["gap"],
+        "within": separation["within"],
+        "across": separation["across"],
+        "coverage": len(tokens) / max(total_members, 1),
+    }

@@ -1,0 +1,59 @@
+"""Nearest-neighbour analysis of token embeddings.
+
+Reproduces the NorBERT probe the paper reports: "the closest neighbor to the
+token 80 (HTTP) was the token 443 (HTTPS); and the closest neighbor to the
+token 49199 ... is token 49200".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "nearest_neighbors", "neighbor_rank", "similarity_matrix"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0 if either is all-zero)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def similarity_matrix(embeddings: dict[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
+    """Pairwise cosine-similarity matrix over a token->vector mapping."""
+    tokens = sorted(embeddings)
+    matrix = np.stack([np.asarray(embeddings[t], dtype=float) for t in tokens])
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    normalized = matrix / norms
+    return tokens, normalized @ normalized.T
+
+
+def nearest_neighbors(
+    embeddings: dict[str, np.ndarray], token: str, k: int = 5
+) -> list[tuple[str, float]]:
+    """The ``k`` most cosine-similar tokens to ``token`` (excluding itself)."""
+    if token not in embeddings:
+        raise KeyError(f"token {token!r} has no embedding")
+    query = np.asarray(embeddings[token], dtype=float)
+    scores = [
+        (other, cosine_similarity(query, vector))
+        for other, vector in embeddings.items()
+        if other != token
+    ]
+    scores.sort(key=lambda kv: -kv[1])
+    return scores[:k]
+
+
+def neighbor_rank(embeddings: dict[str, np.ndarray], token: str, target: str) -> int:
+    """1-based rank of ``target`` in ``token``'s neighbour list (1 = closest)."""
+    if target not in embeddings:
+        raise KeyError(f"target token {target!r} has no embedding")
+    neighbors = nearest_neighbors(embeddings, token, k=len(embeddings))
+    for rank, (other, _) in enumerate(neighbors, start=1):
+        if other == target:
+            return rank
+    raise KeyError(f"target {target!r} not found among neighbours of {token!r}")

@@ -1,0 +1,33 @@
+"""Dimensionality reduction for visualizing embedding spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pca", "project_embeddings"]
+
+
+def pca(matrix: np.ndarray, components: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Principal component analysis via SVD.
+
+    Returns ``(projected, explained_variance_ratio)``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if components < 1 or components > min(matrix.shape):
+        raise ValueError(f"components must be in [1, {min(matrix.shape)}]")
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    _, singular_values, v_transpose = np.linalg.svd(centered, full_matrices=False)
+    projected = centered @ v_transpose[:components].T
+    variance = singular_values ** 2
+    ratio = variance[:components] / variance.sum() if variance.sum() > 0 else np.zeros(components)
+    return projected, ratio
+
+
+def project_embeddings(
+    embeddings: dict[str, np.ndarray], components: int = 2
+) -> dict[str, np.ndarray]:
+    """Project every embedding to ``components`` dimensions with PCA."""
+    tokens = sorted(embeddings)
+    matrix = np.stack([embeddings[t] for t in tokens])
+    projected, _ = pca(matrix, components)
+    return {token: projected[i] for i, token in enumerate(tokens)}

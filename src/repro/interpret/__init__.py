@@ -1,0 +1,21 @@
+"""``repro.interpret`` — interpretability for network foundation models (Section 4.4)."""
+
+from .attention import attention_rollout, cls_attention
+from .faithfulness import deletion_score, faithfulness_gap, random_deletion_score
+from .integrated_gradients import integrated_gradients
+from .occlusion import grouped_occlusion_saliency, occlusion_saliency
+from .superfield import byte_region_superfields, field_superfields, packet_superfields
+
+__all__ = [
+    "cls_attention",
+    "attention_rollout",
+    "occlusion_saliency",
+    "grouped_occlusion_saliency",
+    "integrated_gradients",
+    "field_superfields",
+    "packet_superfields",
+    "byte_region_superfields",
+    "deletion_score",
+    "random_deletion_score",
+    "faithfulness_gap",
+]

@@ -1,0 +1,95 @@
+"""Faithfulness metrics for explanations: deletion / insertion curves.
+
+An explanation is faithful if removing the tokens it marks as important
+actually changes the model's prediction.  The deletion metric removes the
+top-k most important positions (by the explanation) and records the drop in
+the predicted class probability; comparing that drop against deleting random
+positions quantifies how much better than chance the explanation is.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .occlusion import PredictFn
+
+__all__ = ["deletion_score", "random_deletion_score", "faithfulness_gap"]
+
+
+def _apply_deletion(
+    token_ids: np.ndarray, positions: Sequence[int], mask_token_id: int
+) -> np.ndarray:
+    modified = np.asarray(token_ids, dtype=np.int64).copy()
+    for position in positions:
+        modified[position] = mask_token_id
+    return modified
+
+
+def deletion_score(
+    predict_proba: PredictFn,
+    token_ids: np.ndarray,
+    attention_mask: np.ndarray,
+    target_class: int,
+    saliency: np.ndarray,
+    mask_token_id: int,
+    fraction: float = 0.2,
+) -> float:
+    """Probability drop after deleting the top-``fraction`` most salient tokens."""
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    attention_mask = np.asarray(attention_mask, dtype=bool)
+    saliency = np.asarray(saliency, dtype=float)
+    valid = np.nonzero(attention_mask)[0]
+    k = max(int(round(fraction * len(valid))), 1)
+    ranked = valid[np.argsort(-saliency[valid])][:k]
+    base = predict_proba(token_ids[None, :], attention_mask[None, :])[0, target_class]
+    deleted = _apply_deletion(token_ids, ranked, mask_token_id)
+    after = predict_proba(deleted[None, :], attention_mask[None, :])[0, target_class]
+    return float(base - after)
+
+
+def random_deletion_score(
+    predict_proba: PredictFn,
+    token_ids: np.ndarray,
+    attention_mask: np.ndarray,
+    target_class: int,
+    mask_token_id: int,
+    fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+    repeats: int = 5,
+) -> float:
+    """Average probability drop after deleting the same number of random tokens."""
+    rng = rng or np.random.default_rng(0)
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    attention_mask = np.asarray(attention_mask, dtype=bool)
+    valid = np.nonzero(attention_mask)[0]
+    k = max(int(round(fraction * len(valid))), 1)
+    base = predict_proba(token_ids[None, :], attention_mask[None, :])[0, target_class]
+    drops = []
+    for _ in range(repeats):
+        chosen = rng.choice(valid, size=min(k, len(valid)), replace=False)
+        deleted = _apply_deletion(token_ids, chosen, mask_token_id)
+        after = predict_proba(deleted[None, :], attention_mask[None, :])[0, target_class]
+        drops.append(base - after)
+    return float(np.mean(drops))
+
+
+def faithfulness_gap(
+    predict_proba: PredictFn,
+    token_ids: np.ndarray,
+    attention_mask: np.ndarray,
+    target_class: int,
+    saliency: np.ndarray,
+    mask_token_id: int,
+    fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Deletion drop of the explanation minus that of a random explanation."""
+    explained = deletion_score(
+        predict_proba, token_ids, attention_mask, target_class, saliency, mask_token_id, fraction
+    )
+    random_drop = random_deletion_score(
+        predict_proba, token_ids, attention_mask, target_class, mask_token_id, fraction, rng
+    )
+    return {"explained": explained, "random": random_drop, "gap": explained - random_drop}

@@ -1,0 +1,71 @@
+"""Superfields: the networking analogue of superpixels (paper Section 4.4).
+
+A superfield is a group of adjacent tokens that belong to one semantic unit —
+all the tokens of one protocol field, or all the tokens of one packet inside a
+multi-packet context.  Explaining at superfield granularity yields meaningful
+statements ("the DNS answer section mattered") instead of attributions over
+individual bytes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..context.builders import Context
+from ..tokenize.vocab import SPECIAL_TOKENS
+
+__all__ = ["field_superfields", "packet_superfields", "byte_region_superfields"]
+
+
+def field_superfields(tokens: list[str]) -> dict[str, list[int]]:
+    """Group field-aware tokens by their field prefix.
+
+    ``"dns.qname=netflix.com"`` and ``"dns.qname.label=www"`` both fall into
+    the ``dns.qname`` superfield; ``"tcp.flags=SYN"`` into ``tcp.flags``; plain
+    tokens (no ``=``) each form their own group.  Special tokens are skipped.
+    """
+    groups: dict[str, list[int]] = defaultdict(list)
+    for position, token in enumerate(tokens):
+        if token in SPECIAL_TOKENS:
+            continue
+        if "=" in token:
+            prefix = token.split("=", 1)[0]
+            prefix = prefix.replace(".label", "")
+        else:
+            prefix = token
+        groups[prefix].append(position)
+    return dict(groups)
+
+
+def packet_superfields(context: Context) -> dict[str, list[int]]:
+    """Group a context's tokens by originating packet (via ``Context.segments``)."""
+    groups: dict[str, list[int]] = defaultdict(list)
+    for position, (token, segment) in enumerate(zip(context.tokens, context.segments)):
+        if token in SPECIAL_TOKENS:
+            continue
+        groups[f"packet-{segment}"].append(position)
+    return dict(groups)
+
+
+def byte_region_superfields(tokens: list[str]) -> dict[str, list[int]]:
+    """Group byte-level tokens into protocol header regions by offset.
+
+    Assumes the byte tokenizer's convention (Ethernet stripped, IPv4 first):
+    bytes 0-19 are the IP header, 20-39 the transport header, and the rest the
+    application payload.  Special tokens are skipped and do not advance the
+    byte offset.
+    """
+    groups: dict[str, list[int]] = defaultdict(list)
+    offset = 0
+    for position, token in enumerate(tokens):
+        if token in SPECIAL_TOKENS:
+            continue
+        if offset < 20:
+            region = "ip-header"
+        elif offset < 40:
+            region = "transport-header"
+        else:
+            region = "payload"
+        groups[region].append(position)
+        offset += 1
+    return dict(groups)

@@ -1,0 +1,109 @@
+"""``repro.net`` — the packet and protocol substrate.
+
+Byte-exact protocol headers (Ethernet, IPv4, TCP, UDP, ICMP), application
+messages (DNS, HTTP, TLS handshake, NTP), a packet container, flow assembly
+and a pcap-compatible trace format.  Everything the synthetic workload
+generators and the tokenizers need to treat network traffic "as a language".
+"""
+
+from .addresses import (
+    bytes_to_ipv4,
+    bytes_to_mac,
+    in_subnet,
+    int_to_ipv4,
+    ipv4_to_bytes,
+    ipv4_to_int,
+    mac_to_bytes,
+    random_ipv4,
+    random_mac,
+    random_private_ipv4,
+)
+from .checksum import internet_checksum, verify_checksum
+from .dns import DNSAnswer, DNSMessage, DNSQuestion, RECORD_TYPES
+from .flow import Flow, FlowKey, FlowTable, flow_statistics
+from .headers import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    ICMPHeader,
+    IPv4Header,
+    TCPHeader,
+    TCP_FLAG_ACK,
+    TCP_FLAG_FIN,
+    TCP_FLAG_PSH,
+    TCP_FLAG_RST,
+    TCP_FLAG_SYN,
+    UDPHeader,
+)
+from .http import COMMON_USER_AGENTS, HTTPRequest, HTTPResponse, STATUS_REASONS
+from .ntp import NTPPacket
+from .packet import Packet, build_packet, parse_packet
+from .pcap import read_pcap, write_pcap
+from .ports import (
+    CIPHERSUITES,
+    CIPHERSUITE_STRENGTH,
+    Ciphersuite,
+    IP_PROTOCOL_NUMBERS,
+    PORT_SEMANTIC_GROUPS,
+    PROTOCOL_SEMANTIC_GROUPS,
+    WELL_KNOWN_PORTS,
+    ciphersuite_name,
+    port_service,
+    protocol_name,
+)
+from .tls import TLSClientHello, TLSServerHello
+
+__all__ = [
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "UDPHeader",
+    "ICMPHeader",
+    "ETHERTYPE_IPV4",
+    "TCP_FLAG_SYN",
+    "TCP_FLAG_ACK",
+    "TCP_FLAG_FIN",
+    "TCP_FLAG_RST",
+    "TCP_FLAG_PSH",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSAnswer",
+    "RECORD_TYPES",
+    "HTTPRequest",
+    "HTTPResponse",
+    "STATUS_REASONS",
+    "COMMON_USER_AGENTS",
+    "TLSClientHello",
+    "TLSServerHello",
+    "NTPPacket",
+    "Packet",
+    "build_packet",
+    "parse_packet",
+    "Flow",
+    "FlowKey",
+    "FlowTable",
+    "flow_statistics",
+    "write_pcap",
+    "read_pcap",
+    "internet_checksum",
+    "verify_checksum",
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv4_to_bytes",
+    "bytes_to_ipv4",
+    "random_ipv4",
+    "random_private_ipv4",
+    "in_subnet",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "random_mac",
+    "IP_PROTOCOL_NUMBERS",
+    "PROTOCOL_SEMANTIC_GROUPS",
+    "WELL_KNOWN_PORTS",
+    "PORT_SEMANTIC_GROUPS",
+    "Ciphersuite",
+    "CIPHERSUITES",
+    "CIPHERSUITE_STRENGTH",
+    "port_service",
+    "protocol_name",
+    "ciphersuite_name",
+]

@@ -1,0 +1,109 @@
+"""IPv4 / MAC address helpers used throughout the packet substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv4_to_bytes",
+    "bytes_to_ipv4",
+    "random_ipv4",
+    "random_private_ipv4",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "random_mac",
+    "in_subnet",
+]
+
+
+def ipv4_to_int(address: str) -> int:
+    """Convert dotted-quad notation to a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {part!r} in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ipv4(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ipv4_to_bytes(address: str) -> bytes:
+    """Convert dotted-quad notation to 4 network-order bytes."""
+    return ipv4_to_int(address).to_bytes(4, "big")
+
+
+def bytes_to_ipv4(data: bytes) -> str:
+    """Convert 4 bytes to dotted-quad notation."""
+    if len(data) != 4:
+        raise ValueError(f"expected 4 bytes, got {len(data)}")
+    return int_to_ipv4(int.from_bytes(data, "big"))
+
+
+def random_ipv4(rng: np.random.Generator) -> str:
+    """A uniformly random public-looking IPv4 address (avoids 0/127/224+)."""
+    first = int(rng.integers(1, 224))
+    while first in (10, 127, 172, 192):
+        first = int(rng.integers(1, 224))
+    rest = rng.integers(0, 256, size=3)
+    return f"{first}.{rest[0]}.{rest[1]}.{rest[2]}"
+
+
+def random_private_ipv4(rng: np.random.Generator, subnet: str = "10.0.0.0/8") -> str:
+    """A random address inside the given private subnet (CIDR notation)."""
+    base, prefix = subnet.split("/")
+    prefix_len = int(prefix)
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"invalid prefix length {prefix_len}")
+    base_int = ipv4_to_int(base)
+    host_bits = 32 - prefix_len
+    host = int(rng.integers(1, max(2 ** host_bits - 1, 2)))
+    network = (base_int >> host_bits) << host_bits
+    return int_to_ipv4(network | host)
+
+
+def in_subnet(address: str, subnet: str) -> bool:
+    """True if ``address`` falls inside CIDR ``subnet``."""
+    base, prefix = subnet.split("/")
+    prefix_len = int(prefix)
+    mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+    return (ipv4_to_int(address) & mask) == (ipv4_to_int(base) & mask)
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """Convert colon-separated MAC notation to 6 bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address: {mac!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def bytes_to_mac(data: bytes) -> str:
+    """Convert 6 bytes to colon-separated MAC notation."""
+    if len(data) != 6:
+        raise ValueError(f"expected 6 bytes, got {len(data)}")
+    return ":".join(f"{b:02x}" for b in data)
+
+
+def random_mac(rng: np.random.Generator, oui: str | None = None) -> str:
+    """A random MAC address, optionally with a fixed vendor OUI prefix."""
+    if oui is not None:
+        prefix = oui.split(":")
+        if len(prefix) != 3:
+            raise ValueError(f"OUI must have three octets, got {oui!r}")
+        head = [int(p, 16) for p in prefix]
+    else:
+        head = [int(b) & 0xFE for b in rng.integers(0, 256, size=3)]
+    tail = [int(b) for b in rng.integers(0, 256, size=3)]
+    return ":".join(f"{b:02x}" for b in head + tail)

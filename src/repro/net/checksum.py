@@ -1,0 +1,32 @@
+"""The Internet checksum (RFC 1071) used by IPv4, TCP, UDP and ICMP headers."""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement sum of ``data``.
+
+    Odd-length input is padded with one zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its embedded checksum field) sums to zero."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,235 @@
+"""DNS message encoding and decoding.
+
+The paper highlights DNS twice: the DNS query field as a categorical variable
+with rich semantics (Section 3.3) and the query/answer relation as a candidate
+network-specific pre-training task (Section 4.1.4).  NorBERT, the early work
+the paper builds its quantitative argument on, was pre-trained on DNS traffic.
+This module therefore implements a reasonably complete DNS wire format:
+header, question section and answer records (A, AAAA, CNAME, MX, NS, TXT, PTR),
+without name compression (synthetic traces never need it, and its absence keeps
+decode unambiguous).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+__all__ = [
+    "DNSQuestion",
+    "DNSAnswer",
+    "DNSMessage",
+    "RECORD_TYPES",
+    "RECORD_TYPE_NAMES",
+    "encode_name",
+    "decode_name",
+]
+
+RECORD_TYPES: dict[str, int] = {
+    "A": 1,
+    "NS": 2,
+    "CNAME": 5,
+    "PTR": 12,
+    "MX": 15,
+    "TXT": 16,
+    "AAAA": 28,
+    "SRV": 33,
+}
+
+RECORD_TYPE_NAMES: dict[int, str] = {value: name for name, value in RECORD_TYPES.items()}
+
+DNS_FLAG_QR_RESPONSE = 0x8000
+DNS_FLAG_RD = 0x0100
+DNS_FLAG_RA = 0x0080
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels terminated by a zero byte."""
+    if name in ("", "."):
+        return b"\x00"
+    encoded = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("ascii")
+        if not raw:
+            raise ValueError(f"empty label in domain name {name!r}")
+        if len(raw) > 63:
+            raise ValueError(f"label too long in domain name {name!r}")
+        encoded.append(len(raw))
+        encoded.extend(raw)
+    encoded.append(0)
+    return bytes(encoded)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a domain name starting at ``offset``; returns (name, next_offset)."""
+    labels: list[str] = []
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated domain name")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        if length > 63:
+            raise ValueError("name compression pointers are not supported")
+        labels.append(data[offset : offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), offset
+
+
+@dataclasses.dataclass
+class DNSQuestion:
+    """A single entry of the DNS question section."""
+
+    name: str
+    qtype: int = RECORD_TYPES["A"]
+    qclass: int = 1  # IN
+
+    def pack(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> tuple["DNSQuestion", int]:
+        name, offset = decode_name(data, offset)
+        qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+        return cls(name=name, qtype=qtype, qclass=qclass), offset + 4
+
+    @property
+    def type_name(self) -> str:
+        return RECORD_TYPE_NAMES.get(self.qtype, f"TYPE{self.qtype}")
+
+
+@dataclasses.dataclass
+class DNSAnswer:
+    """A single resource record of the DNS answer section."""
+
+    name: str
+    rtype: int = RECORD_TYPES["A"]
+    rclass: int = 1
+    ttl: int = 300
+    rdata: str = "0.0.0.0"
+
+    def pack(self) -> bytes:
+        payload = self._pack_rdata()
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(payload))
+            + payload
+        )
+
+    def _pack_rdata(self) -> bytes:
+        type_name = RECORD_TYPE_NAMES.get(self.rtype, "")
+        if type_name == "A":
+            from .addresses import ipv4_to_bytes
+
+            return ipv4_to_bytes(self.rdata)
+        if type_name == "AAAA":
+            parts = self.rdata.split(":")
+            full = [int(p, 16) if p else 0 for p in parts] + [0] * (8 - len(parts))
+            return b"".join(struct.pack("!H", p) for p in full[:8])
+        if type_name in ("CNAME", "NS", "PTR"):
+            return encode_name(self.rdata)
+        if type_name == "MX":
+            priority, _, host = self.rdata.partition(" ")
+            return struct.pack("!H", int(priority)) + encode_name(host)
+        # TXT and anything else: raw character string.
+        raw = self.rdata.encode("utf-8")
+        return bytes([min(len(raw), 255)]) + raw[:255]
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> tuple["DNSAnswer", int]:
+        name, offset = decode_name(data, offset)
+        rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[offset : offset + 10])
+        offset += 10
+        rdata_raw = data[offset : offset + rdlength]
+        offset += rdlength
+        rdata = cls._unpack_rdata(rtype, rdata_raw)
+        return cls(name=name, rtype=rtype, rclass=rclass, ttl=ttl, rdata=rdata), offset
+
+    @staticmethod
+    def _unpack_rdata(rtype: int, raw: bytes) -> str:
+        type_name = RECORD_TYPE_NAMES.get(rtype, "")
+        if type_name == "A":
+            from .addresses import bytes_to_ipv4
+
+            return bytes_to_ipv4(raw)
+        if type_name == "AAAA":
+            groups = struct.unpack("!8H", raw)
+            return ":".join(f"{g:x}" for g in groups)
+        if type_name in ("CNAME", "NS", "PTR"):
+            name, _ = decode_name(raw, 0)
+            return name
+        if type_name == "MX":
+            priority = struct.unpack("!H", raw[:2])[0]
+            host, _ = decode_name(raw, 2)
+            return f"{priority} {host}"
+        if raw and raw[0] <= len(raw) - 1:
+            return raw[1 : 1 + raw[0]].decode("utf-8", errors="replace")
+        return raw.decode("utf-8", errors="replace")
+
+    @property
+    def type_name(self) -> str:
+        return RECORD_TYPE_NAMES.get(self.rtype, f"TYPE{self.rtype}")
+
+
+@dataclasses.dataclass
+class DNSMessage:
+    """A DNS query or response message."""
+
+    transaction_id: int = 0
+    is_response: bool = False
+    questions: list[DNSQuestion] = dataclasses.field(default_factory=list)
+    answers: list[DNSAnswer] = dataclasses.field(default_factory=list)
+    recursion_desired: bool = True
+    rcode: int = 0
+
+    HEADER_LENGTH = 12
+
+    def pack(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= DNS_FLAG_QR_RESPONSE | DNS_FLAG_RA
+        if self.recursion_desired:
+            flags |= DNS_FLAG_RD
+        flags |= self.rcode & 0x0F
+        header = struct.pack(
+            "!HHHHHH",
+            self.transaction_id,
+            flags,
+            len(self.questions),
+            len(self.answers),
+            0,
+            0,
+        )
+        body = b"".join(q.pack() for q in self.questions)
+        body += b"".join(a.pack() for a in self.answers)
+        return header + body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DNSMessage":
+        if len(data) < cls.HEADER_LENGTH:
+            raise ValueError("truncated DNS header")
+        transaction_id, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
+        message = cls(
+            transaction_id=transaction_id,
+            is_response=bool(flags & DNS_FLAG_QR_RESPONSE),
+            recursion_desired=bool(flags & DNS_FLAG_RD),
+            rcode=flags & 0x0F,
+        )
+        offset = cls.HEADER_LENGTH
+        for _ in range(qdcount):
+            question, offset = DNSQuestion.unpack(data, offset)
+            message.questions.append(question)
+        for _ in range(ancount):
+            answer, offset = DNSAnswer.unpack(data, offset)
+            message.answers.append(answer)
+        return message
+
+    @property
+    def query_name(self) -> str:
+        """Convenience accessor: the first question's name (or empty string)."""
+        return self.questions[0].name if self.questions else ""
+
+    def answer_values(self) -> list[str]:
+        """The rdata of every answer record — a *set*-valued field (Section 4.1.4)."""
+        return [answer.rdata for answer in self.answers]

@@ -1,0 +1,177 @@
+"""Flow (connection) abstraction: 5-tuple keys, flow assembly and statistics.
+
+Section 4.1.3 of the paper discusses the choice of context: packet boundaries,
+connection boundaries, or session boundaries, and notes that packets from
+different connections are interleaved at the capture point.  The
+:class:`FlowTable` here is the substrate for the connection- and
+session-boundary context builders in :mod:`repro.context`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+import numpy as np
+
+from .packet import Packet
+
+__all__ = ["FlowKey", "Flow", "FlowTable", "flow_statistics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowKey:
+    """Canonical bidirectional 5-tuple key.
+
+    The key is normalised so that both directions of a connection map to the
+    same flow: the (ip, port) pair that sorts lower becomes ``(ip_a, port_a)``.
+    """
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+    protocol: int
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        ends = sorted(
+            [(packet.src_ip, packet.src_port), (packet.dst_ip, packet.dst_port)]
+        )
+        (ip_a, port_a), (ip_b, port_b) = ends
+        return cls(ip_a=ip_a, port_a=port_a, ip_b=ip_b, port_b=port_b, protocol=packet.protocol)
+
+
+@dataclasses.dataclass
+class Flow:
+    """All packets of one bidirectional connection, in timestamp order."""
+
+    key: FlowKey
+    packets: list[Packet] = dataclasses.field(default_factory=list)
+
+    def add(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+    def sort(self) -> None:
+        self.packets.sort(key=lambda p: p.timestamp)
+
+    @property
+    def start_time(self) -> float:
+        return self.packets[0].timestamp if self.packets else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.packets[-1].timestamp if self.packets else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.length for p in self.packets)
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    def label(self, key: str, default=None):
+        """Majority metadata value among this flow's packets for ``key``."""
+        values = [p.metadata.get(key) for p in self.packets if key in p.metadata]
+        if not values:
+            return default
+        unique, counts = np.unique(np.asarray(values, dtype=object), return_counts=True)
+        return unique[int(np.argmax(counts))]
+
+    def client_server(self) -> tuple[str, str]:
+        """Best-effort (client_ip, server_ip) based on the first packet's direction."""
+        if not self.packets:
+            return self.key.ip_a, self.key.ip_b
+        first = self.packets[0]
+        return first.src_ip, first.dst_ip
+
+
+class FlowTable:
+    """Group packets by bidirectional 5-tuple.
+
+    Parameters
+    ----------
+    idle_timeout:
+        If positive, a gap longer than this many seconds between consecutive
+        packets of the same 5-tuple starts a new flow (the usual NetFlow-style
+        flow-expiry semantics).
+    """
+
+    def __init__(self, idle_timeout: float = 0.0):
+        self.idle_timeout = idle_timeout
+        self._flows: dict[tuple[FlowKey, int], Flow] = {}
+        self._generation: dict[FlowKey, int] = {}
+        self._last_seen: dict[FlowKey, float] = {}
+
+    def add(self, packet: Packet) -> Flow:
+        """Insert a packet, returning the flow it was assigned to."""
+        key = FlowKey.from_packet(packet)
+        generation = self._generation.get(key, 0)
+        last = self._last_seen.get(key)
+        if (
+            self.idle_timeout > 0
+            and last is not None
+            and packet.timestamp - last > self.idle_timeout
+        ):
+            generation += 1
+            self._generation[key] = generation
+        self._last_seen[key] = packet.timestamp
+        flow = self._flows.get((key, generation))
+        if flow is None:
+            flow = Flow(key=key)
+            self._flows[(key, generation)] = flow
+            self._generation.setdefault(key, generation)
+        flow.add(packet)
+        return flow
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.add(packet)
+
+    def flows(self) -> list[Flow]:
+        """All flows, each with packets sorted by time, ordered by start time."""
+        result = list(self._flows.values())
+        for flow in result:
+            flow.sort()
+        result.sort(key=lambda f: f.start_time)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+
+def flow_statistics(flow: Flow) -> dict[str, float]:
+    """Classical flow features (the hand-engineered baseline's input).
+
+    These are the kind of features per-task solutions engineer manually —
+    exactly what the foundation-model approach is supposed to subsume.
+    """
+    if not flow.packets:
+        return {name: 0.0 for name in (
+            "packet_count", "total_bytes", "duration", "mean_length", "std_length",
+            "mean_interarrival", "std_interarrival", "client_packets", "server_packets",
+            "min_length", "max_length",
+        )}
+    lengths = np.array([p.length for p in flow.packets], dtype=float)
+    times = np.array([p.timestamp for p in flow.packets], dtype=float)
+    inter = np.diff(times) if len(times) > 1 else np.zeros(1)
+    client_ip, _ = flow.client_server()
+    client_packets = sum(1 for p in flow.packets if p.src_ip == client_ip)
+    return {
+        "packet_count": float(len(flow.packets)),
+        "total_bytes": float(lengths.sum()),
+        "duration": float(flow.duration),
+        "mean_length": float(lengths.mean()),
+        "std_length": float(lengths.std()),
+        "min_length": float(lengths.min()),
+        "max_length": float(lengths.max()),
+        "mean_interarrival": float(inter.mean()),
+        "std_interarrival": float(inter.std()),
+        "client_packets": float(client_packets),
+        "server_packets": float(len(flow.packets) - client_packets),
+    }

@@ -1,0 +1,251 @@
+"""Layer-2/3/4 protocol headers with byte-exact encode/decode.
+
+Each header is a frozen-ish dataclass with ``pack()`` producing wire-format
+bytes and a classmethod ``unpack()`` parsing them back.  Checksums are
+computed on ``pack()`` and verified (optionally) on ``unpack()``, so the
+synthetic traces produced by :mod:`repro.traffic` are byte-valid packets that
+any field-aware tokenizer can segment exactly as a real parser would
+(Section 4.1.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from .addresses import bytes_to_ipv4, bytes_to_mac, ipv4_to_bytes, mac_to_bytes
+from .checksum import internet_checksum
+
+__all__ = [
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "UDPHeader",
+    "ICMPHeader",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV6",
+    "TCP_FLAG_FIN",
+    "TCP_FLAG_SYN",
+    "TCP_FLAG_RST",
+    "TCP_FLAG_PSH",
+    "TCP_FLAG_ACK",
+    "TCP_FLAG_URG",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+TCP_FLAG_URG = 0x20
+
+
+@dataclasses.dataclass
+class EthernetHeader:
+    """Ethernet II frame header (14 bytes)."""
+
+    dst_mac: str = "ff:ff:ff:ff:ff:ff"
+    src_mac: str = "00:00:00:00:00:00"
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    def pack(self) -> bytes:
+        return mac_to_bytes(self.dst_mac) + mac_to_bytes(self.src_mac) + struct.pack(
+            "!H", self.ethertype
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"Ethernet header needs {cls.LENGTH} bytes, got {len(data)}")
+        return cls(
+            dst_mac=bytes_to_mac(data[0:6]),
+            src_mac=bytes_to_mac(data[6:12]),
+            ethertype=struct.unpack("!H", data[12:14])[0],
+        )
+
+
+@dataclasses.dataclass
+class IPv4Header:
+    """IPv4 header (20 bytes, options unsupported).
+
+    ``total_length`` covers header plus payload; it is filled in by
+    :meth:`pack` when ``payload_length`` is supplied.
+    """
+
+    src_ip: str = "0.0.0.0"
+    dst_ip: str = "0.0.0.0"
+    protocol: int = 6
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 2  # don't fragment
+    fragment_offset: int = 0
+    total_length: int = 20
+
+    LENGTH = 20
+
+    def pack(self, payload_length: int | None = None) -> bytes:
+        if payload_length is not None:
+            self.total_length = self.LENGTH + payload_length
+        version_ihl = (4 << 4) | 5
+        flags_fragment = (self.flags << 13) | self.fragment_offset
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            ipv4_to_bytes(self.src_ip),
+            ipv4_to_bytes(self.dst_ip),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes, verify: bool = False) -> "IPv4Header":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"IPv4 header needs {cls.LENGTH} bytes, got {len(data)}")
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not an IPv4 header (version={version})")
+        if verify:
+            computed = internet_checksum(data[:10] + b"\x00\x00" + data[12:20])
+            if computed != checksum:
+                raise ValueError("IPv4 header checksum mismatch")
+        return cls(
+            src_ip=bytes_to_ipv4(src),
+            dst_ip=bytes_to_ipv4(dst),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            dscp=dscp_ecn >> 2,
+            flags=flags_fragment >> 13,
+            fragment_offset=flags_fragment & 0x1FFF,
+            total_length=total_length,
+        )
+
+
+@dataclasses.dataclass
+class TCPHeader:
+    """TCP header (20 bytes, options unsupported)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent: int = 0
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        data_offset = (5 << 4)
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            self.flags,
+            self.window,
+            0,  # checksum (pseudo-header checksum omitted in synthetic traces)
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"TCP header needs {cls.LENGTH} bytes, got {len(data)}")
+        src, dst, seq, ack, offset_byte, flags, window, _checksum, urgent = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        return cls(
+            src_port=src, dst_port=dst, seq=seq, ack=ack, flags=flags, window=window, urgent=urgent
+        )
+
+    def flag_names(self) -> list[str]:
+        """Symbolic names of the set flags, in conventional order."""
+        names = []
+        for name, bit in (
+            ("FIN", TCP_FLAG_FIN),
+            ("SYN", TCP_FLAG_SYN),
+            ("RST", TCP_FLAG_RST),
+            ("PSH", TCP_FLAG_PSH),
+            ("ACK", TCP_FLAG_ACK),
+            ("URG", TCP_FLAG_URG),
+        ):
+            if self.flags & bit:
+                names.append(name)
+        return names
+
+
+@dataclasses.dataclass
+class UDPHeader:
+    """UDP header (8 bytes)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 8
+
+    LENGTH = 8
+
+    def pack(self, payload_length: int | None = None) -> bytes:
+        if payload_length is not None:
+            self.length = self.LENGTH + payload_length
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"UDP header needs {cls.LENGTH} bytes, got {len(data)}")
+        src, dst, length, _checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src, dst_port=dst, length=length)
+
+
+@dataclasses.dataclass
+class ICMPHeader:
+    """ICMP header (8 bytes: type, code, checksum, rest-of-header)."""
+
+    icmp_type: int = 8  # echo request
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+
+    LENGTH = 8
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        header = struct.pack("!BBHHH", self.icmp_type, self.code, 0, self.identifier, self.sequence)
+        checksum = internet_checksum(header + payload)
+        return header[:2] + struct.pack("!H", checksum) + header[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ICMPHeader":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"ICMP header needs {cls.LENGTH} bytes, got {len(data)}")
+        icmp_type, code, _checksum, identifier, sequence = struct.unpack("!BBHHH", data[:8])
+        return cls(icmp_type=icmp_type, code=code, identifier=identifier, sequence=sequence)

@@ -1,0 +1,128 @@
+"""Minimal HTTP/1.1 request and response messages.
+
+HTTP is the paper's running example of a protocol "language" (Section 4.1.1):
+a GET elicits a STATUS 200, and wider context such as the User-Agent or the
+response size helps predict future utterances.  The synthetic HTTP workload
+generator builds on these message classes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["HTTPRequest", "HTTPResponse", "STATUS_REASONS", "COMMON_USER_AGENTS"]
+
+STATUS_REASONS: dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+COMMON_USER_AGENTS: list[str] = [
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/109.0",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 13_1) Safari/605.1",
+    "Mozilla/5.0 (X11; Linux x86_64) Firefox/108.0",
+    "curl/7.85.0",
+    "python-requests/2.28.1",
+    "Go-http-client/2.0",
+    "okhttp/4.10.0",
+    "iot-sensor-agent/1.2",
+]
+
+
+@dataclasses.dataclass
+class HTTPRequest:
+    """An HTTP/1.1 request line plus headers (body omitted for brevity)."""
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = "example.com"
+    user_agent: str = COMMON_USER_AGENTS[0]
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    version: str = "HTTP/1.1"
+
+    def encode(self) -> bytes:
+        lines = [f"{self.method} {self.path} {self.version}"]
+        lines.append(f"Host: {self.host}")
+        lines.append(f"User-Agent: {self.user_agent}")
+        for key, value in self.headers.items():
+            lines.append(f"{key}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HTTPRequest":
+        text = data.decode("utf-8", errors="replace")
+        head, _, _ = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        if not lines or len(lines[0].split(" ")) != 3:
+            raise ValueError("malformed HTTP request line")
+        method, path, version = lines[0].split(" ")
+        request = cls(method=method, path=path, version=version, headers={})
+        for line in lines[1:]:
+            key, _, value = line.partition(": ")
+            if not key:
+                continue
+            lowered = key.lower()
+            if lowered == "host":
+                request.host = value
+            elif lowered == "user-agent":
+                request.user_agent = value
+            else:
+                request.headers[key] = value
+        return request
+
+
+@dataclasses.dataclass
+class HTTPResponse:
+    """An HTTP/1.1 status line plus headers and content length."""
+
+    status: int = 200
+    content_length: int = 0
+    content_type: str = "text/html"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    def encode(self) -> bytes:
+        lines = [f"{self.version} {self.status} {self.reason}"]
+        lines.append(f"Content-Type: {self.content_type}")
+        lines.append(f"Content-Length: {self.content_length}")
+        for key, value in self.headers.items():
+            lines.append(f"{key}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HTTPResponse":
+        text = data.decode("utf-8", errors="replace")
+        head, _, _ = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise ValueError("malformed HTTP status line")
+        response = cls(version=parts[0], status=int(parts[1]), headers={})
+        for line in lines[1:]:
+            key, _, value = line.partition(": ")
+            if not key:
+                continue
+            lowered = key.lower()
+            if lowered == "content-type":
+                response.content_type = value
+            elif lowered == "content-length":
+                response.content_length = int(value)
+            else:
+                response.headers[key] = value
+        return response

@@ -1,0 +1,62 @@
+"""NTP (RFC 5905) packet header — one of the "time service" protocols the
+paper lists among the few dozen popular deployed protocols."""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+__all__ = ["NTPPacket"]
+
+
+@dataclasses.dataclass
+class NTPPacket:
+    """A minimal NTPv4 client/server packet (48 bytes)."""
+
+    leap: int = 0
+    version: int = 4
+    mode: int = 3  # 3 = client, 4 = server
+    stratum: int = 0
+    poll: int = 6
+    precision: int = -20
+    transmit_timestamp: float = 0.0
+
+    LENGTH = 48
+    _NTP_EPOCH_OFFSET = 2208988800  # seconds between 1900 and 1970 epochs
+
+    def pack(self) -> bytes:
+        first = ((self.leap & 0x3) << 6) | ((self.version & 0x7) << 3) | (self.mode & 0x7)
+        ntp_time = self.transmit_timestamp + self._NTP_EPOCH_OFFSET
+        seconds = int(ntp_time)
+        fraction = int((ntp_time - seconds) * (2 ** 32)) & 0xFFFFFFFF
+        return struct.pack(
+            "!BBbb11I",
+            first,
+            self.stratum,
+            self.poll,
+            self.precision,
+            0, 0, 0,            # root delay, root dispersion, reference id
+            0, 0,               # reference timestamp
+            0, 0,               # origin timestamp
+            0, 0,               # receive timestamp
+            seconds & 0xFFFFFFFF,
+            fraction,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "NTPPacket":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"NTP packet needs {cls.LENGTH} bytes, got {len(data)}")
+        fields = struct.unpack("!BBbb11I", data[: cls.LENGTH])
+        first, stratum, poll, precision = fields[:4]
+        seconds, fraction = fields[-2], fields[-1]
+        transmit = seconds + fraction / (2 ** 32) - cls._NTP_EPOCH_OFFSET
+        return cls(
+            leap=(first >> 6) & 0x3,
+            version=(first >> 3) & 0x7,
+            mode=first & 0x7,
+            stratum=stratum,
+            poll=poll,
+            precision=precision,
+            transmit_timestamp=transmit,
+        )

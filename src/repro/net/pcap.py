@@ -1,0 +1,67 @@
+"""A libpcap-compatible trace container.
+
+Traces produced by the synthetic generators can be written to standard pcap
+files (magic 0xA1B2C3D4, microsecond resolution, LINKTYPE_ETHERNET) and read
+back, so they can also be inspected with external tools if desired.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable
+
+from .packet import Packet, parse_packet
+
+__all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC", "LINKTYPE_ETHERNET"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet], snaplen: int = 65535) -> Path:
+    """Write packets to a classic little-endian pcap file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET)
+        )
+        for packet in packets:
+            data = packet.to_bytes()
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            captured = min(len(data), snaplen)
+            handle.write(_RECORD_HEADER.pack(seconds, micros, captured, len(data)))
+            handle.write(data[:captured])
+    return path
+
+
+def read_pcap(path: str | Path) -> list[Packet]:
+    """Read a pcap file written by :func:`write_pcap` (or any Ethernet pcap)."""
+    path = Path(path)
+    packets: list[Packet] = []
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError(f"{path} is not a pcap file (truncated header)")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            endian = "<"
+        elif magic == 0xD4C3B2A1:
+            endian = ">"
+        else:
+            raise ValueError(f"{path} is not a pcap file (bad magic 0x{magic:08x})")
+        record = struct.Struct(endian + "IIII")
+        while True:
+            raw = handle.read(record.size)
+            if len(raw) < record.size:
+                break
+            seconds, micros, captured, _original = record.unpack(raw)
+            data = handle.read(captured)
+            if len(data) < captured:
+                raise ValueError(f"{path} truncated mid-record")
+            packets.append(parse_packet(data, timestamp=seconds + micros / 1_000_000))
+    return packets

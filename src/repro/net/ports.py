@@ -1,0 +1,184 @@
+"""Registries of well-known ports, IP protocol numbers and TLS ciphersuites.
+
+These registries encode exactly the semantic structure the paper argues a
+network foundation model should discover (Section 3.3): transport vs routing
+vs tunneling protocol numbers, application-port clusters (mail, web, time,
+name resolution), and weak vs strong ciphersuites.  The generators in
+:mod:`repro.traffic` emit traffic consistent with these registries and the
+probes in :mod:`repro.embeddings` check whether trained embeddings recover
+the clusters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "IP_PROTOCOL_NUMBERS",
+    "PROTOCOL_SEMANTIC_GROUPS",
+    "WELL_KNOWN_PORTS",
+    "PORT_SEMANTIC_GROUPS",
+    "Ciphersuite",
+    "CIPHERSUITES",
+    "CIPHERSUITE_STRENGTH",
+    "port_service",
+    "protocol_name",
+    "ciphersuite_name",
+]
+
+
+# ---------------------------------------------------------------------------
+# IP protocol numbers (the 8-bit "protocol" field of the IPv4 header)
+# ---------------------------------------------------------------------------
+IP_PROTOCOL_NUMBERS: dict[str, int] = {
+    "ICMP": 1,
+    "IGMP": 2,
+    "IPV4": 4,      # IP-in-IP tunneling
+    "TCP": 6,
+    "EGP": 8,
+    "UDP": 17,
+    "DCCP": 33,
+    "IPV6": 41,     # 6in4 tunneling
+    "GRE": 47,
+    "ESP": 50,
+    "AH": 51,
+    "EIGRP": 88,
+    "OSPF": 89,
+    "PIM": 103,
+    "SCTP": 132,
+    "UDPLITE": 136,
+    "MPLS_IN_IP": 137,
+    "DSR": 48,
+}
+
+#: Semantic grouping the paper gives as an example (Section 3.3): transport
+#: protocols, routing protocols and tunneling encapsulations.
+PROTOCOL_SEMANTIC_GROUPS: dict[str, list[str]] = {
+    "transport": ["TCP", "UDP", "SCTP", "DCCP", "UDPLITE"],
+    "routing": ["EIGRP", "OSPF", "EGP", "PIM", "DSR"],
+    "tunneling": ["IPV4", "IPV6", "GRE", "MPLS_IN_IP"],
+    "security": ["ESP", "AH"],
+    "control": ["ICMP", "IGMP"],
+}
+
+# ---------------------------------------------------------------------------
+# Well-known transport ports
+# ---------------------------------------------------------------------------
+WELL_KNOWN_PORTS: dict[int, str] = {
+    20: "ftp-data",
+    21: "ftp",
+    22: "ssh",
+    23: "telnet",
+    25: "smtp",
+    53: "dns",
+    67: "dhcp-server",
+    68: "dhcp-client",
+    80: "http",
+    110: "pop3",
+    123: "ntp",
+    143: "imap",
+    161: "snmp",
+    179: "bgp",
+    389: "ldap",
+    443: "https",
+    465: "smtps",
+    514: "syslog",
+    554: "rtsp",
+    587: "submission",
+    853: "dns-over-tls",
+    993: "imaps",
+    995: "pop3s",
+    1883: "mqtt",
+    3306: "mysql",
+    3389: "rdp",
+    5060: "sip",
+    5222: "xmpp",
+    5353: "mdns",
+    5683: "coap",
+    8080: "http-alt",
+    8443: "https-alt",
+    8883: "mqtts",
+}
+
+#: Application-level semantic clusters over ports (web, mail, name/time
+#: services, IoT messaging, remote access) — the structure the token-neighbour
+#: probe (experiment E2/E4) checks for.
+PORT_SEMANTIC_GROUPS: dict[str, list[int]] = {
+    "web": [80, 443, 8080, 8443],
+    "mail": [25, 110, 143, 465, 587, 993, 995],
+    "name-and-time": [53, 123, 853, 5353],
+    "iot-messaging": [1883, 8883, 5683],
+    "remote-access": [22, 23, 3389],
+    "file-transfer": [20, 21],
+    "realtime": [554, 5060, 5222],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Ciphersuite:
+    """A TLS ciphersuite with the attributes the paper's example relies on."""
+
+    code: int
+    name: str
+    key_exchange: str
+    authentication: str
+    cipher: str
+    key_bits: int
+    mac: str
+    strength: str  # "strong", "medium", or "weak"
+
+
+#: Registry of TLS ciphersuites including the exact pair used by the paper's
+#: NorBERT example: 0xC02F (49199) and 0xC030 (49200), which differ only in
+#: key length / hash.
+CIPHERSUITES: dict[int, Ciphersuite] = {
+    suite.code: suite
+    for suite in [
+        Ciphersuite(0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA", "RSA", "RSA", "AES-CBC", 128, "SHA1", "medium"),
+        Ciphersuite(0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", "RSA", "RSA", "AES-CBC", 256, "SHA1", "medium"),
+        Ciphersuite(0x000A, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", "RSA", "RSA", "3DES", 112, "SHA1", "weak"),
+        Ciphersuite(0x0005, "TLS_RSA_WITH_RC4_128_SHA", "RSA", "RSA", "RC4", 128, "SHA1", "weak"),
+        Ciphersuite(0x0004, "TLS_RSA_WITH_RC4_128_MD5", "RSA", "RSA", "RC4", 128, "MD5", "weak"),
+        Ciphersuite(0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", "ECDHE", "RSA", "AES-CBC", 128, "SHA1", "medium"),
+        Ciphersuite(0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", "ECDHE", "RSA", "AES-CBC", 256, "SHA1", "medium"),
+        Ciphersuite(0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", "ECDHE", "RSA", "AES-GCM", 128, "SHA256", "strong"),
+        Ciphersuite(0xC030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", "ECDHE", "RSA", "AES-GCM", 256, "SHA384", "strong"),
+        Ciphersuite(0xC02B, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", "ECDHE", "ECDSA", "AES-GCM", 128, "SHA256", "strong"),
+        Ciphersuite(0xC02C, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", "ECDHE", "ECDSA", "AES-GCM", 256, "SHA384", "strong"),
+        Ciphersuite(0x1301, "TLS_AES_128_GCM_SHA256", "TLS1.3", "TLS1.3", "AES-GCM", 128, "SHA256", "strong"),
+        Ciphersuite(0x1302, "TLS_AES_256_GCM_SHA384", "TLS1.3", "TLS1.3", "AES-GCM", 256, "SHA384", "strong"),
+        Ciphersuite(0x1303, "TLS_CHACHA20_POLY1305_SHA256", "TLS1.3", "TLS1.3", "CHACHA20", 256, "SHA256", "strong"),
+        Ciphersuite(0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", "DHE", "RSA", "AES-CBC", 256, "SHA1", "medium"),
+        Ciphersuite(0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", "DHE", "RSA", "AES-CBC", 128, "SHA1", "medium"),
+    ]
+}
+
+#: Weak vs strong grouping referenced in Section 3 ("ciphersuites may form
+#: clusters (e.g., weak versus strong)").
+CIPHERSUITE_STRENGTH: dict[str, list[int]] = {
+    strength: [code for code, suite in CIPHERSUITES.items() if suite.strength == strength]
+    for strength in ("strong", "medium", "weak")
+}
+
+
+def port_service(port: int) -> str:
+    """Service name for a well-known port, or ``"ephemeral"``/``"unknown"``."""
+    if port in WELL_KNOWN_PORTS:
+        return WELL_KNOWN_PORTS[port]
+    if port >= 49152:
+        return "ephemeral"
+    return "unknown"
+
+
+def protocol_name(number: int) -> str:
+    """Name of an IP protocol number, or ``"proto-N"`` if unregistered."""
+    for name, value in IP_PROTOCOL_NUMBERS.items():
+        if value == number:
+            return name
+    return f"proto-{number}"
+
+
+def ciphersuite_name(code: int) -> str:
+    """Name of a TLS ciphersuite code, or ``"cs-0xXXXX"`` if unregistered."""
+    suite = CIPHERSUITES.get(code)
+    return suite.name if suite else f"cs-0x{code:04x}"

@@ -1,0 +1,125 @@
+"""Simplified TLS handshake records (ClientHello / ServerHello).
+
+Only the pieces the paper's examples need are modelled: the ciphersuite list
+offered by the client, the ciphersuite selected by the server, and the SNI
+server name.  The encoding follows the TLS record + handshake framing closely
+enough that a field-aware tokenizer can segment it (record type, version,
+length, handshake type, ciphersuites, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from .ports import CIPHERSUITES
+
+__all__ = ["TLSClientHello", "TLSServerHello", "TLS_HANDSHAKE", "TLS_VERSION_1_2"]
+
+TLS_HANDSHAKE = 22
+TLS_VERSION_1_2 = 0x0303
+_CLIENT_HELLO = 1
+_SERVER_HELLO = 2
+
+
+def _record(handshake_type: int, body: bytes) -> bytes:
+    handshake = struct.pack("!B", handshake_type) + struct.pack("!I", len(body))[1:] + body
+    return struct.pack("!BHH", TLS_HANDSHAKE, TLS_VERSION_1_2, len(handshake)) + handshake
+
+
+def _parse_record(data: bytes, expected_type: int) -> bytes:
+    if len(data) < 9:
+        raise ValueError("truncated TLS record")
+    content_type, _version, length = struct.unpack("!BHH", data[:5])
+    if content_type != TLS_HANDSHAKE:
+        raise ValueError(f"not a TLS handshake record (type={content_type})")
+    handshake = data[5 : 5 + length]
+    if handshake[0] != expected_type:
+        raise ValueError(f"unexpected handshake type {handshake[0]}")
+    body_length = int.from_bytes(handshake[1:4], "big")
+    return handshake[4 : 4 + body_length]
+
+
+@dataclasses.dataclass
+class TLSClientHello:
+    """ClientHello: offered ciphersuites plus the SNI server name."""
+
+    ciphersuites: list[int] = dataclasses.field(default_factory=list)
+    server_name: str = ""
+    client_random: bytes = b"\x00" * 32
+
+    def pack(self) -> bytes:
+        body = struct.pack("!H", TLS_VERSION_1_2)
+        body += self.client_random[:32].ljust(32, b"\x00")
+        body += b"\x00"  # empty session id
+        body += struct.pack("!H", len(self.ciphersuites) * 2)
+        body += b"".join(struct.pack("!H", cs) for cs in self.ciphersuites)
+        body += b"\x01\x00"  # one compression method: null
+        sni = self.server_name.encode("ascii")
+        # Extension: server_name (type 0)
+        ext_body = struct.pack("!HBH", len(sni) + 3, 0, len(sni)) + sni
+        extension = struct.pack("!HH", 0, len(ext_body)) + ext_body
+        body += struct.pack("!H", len(extension)) + extension
+        return _record(_CLIENT_HELLO, body)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TLSClientHello":
+        body = _parse_record(data, _CLIENT_HELLO)
+        offset = 2
+        client_random = body[offset : offset + 32]
+        offset += 32
+        session_len = body[offset]
+        offset += 1 + session_len
+        cs_len = struct.unpack("!H", body[offset : offset + 2])[0]
+        offset += 2
+        suites = [
+            struct.unpack("!H", body[offset + i : offset + i + 2])[0] for i in range(0, cs_len, 2)
+        ]
+        offset += cs_len
+        compression_len = body[offset]
+        offset += 1 + compression_len
+        server_name = ""
+        if offset + 2 <= len(body):
+            ext_total = struct.unpack("!H", body[offset : offset + 2])[0]
+            offset += 2
+            end = offset + ext_total
+            while offset + 4 <= end:
+                ext_type, ext_len = struct.unpack("!HH", body[offset : offset + 4])
+                offset += 4
+                if ext_type == 0 and ext_len >= 5:
+                    name_len = struct.unpack("!H", body[offset + 3 : offset + 5])[0]
+                    server_name = body[offset + 5 : offset + 5 + name_len].decode("ascii")
+                offset += ext_len
+        return cls(ciphersuites=suites, server_name=server_name, client_random=client_random)
+
+    def offered_names(self) -> list[str]:
+        """Symbolic names of the offered ciphersuites (unknown codes skipped)."""
+        return [CIPHERSUITES[c].name for c in self.ciphersuites if c in CIPHERSUITES]
+
+
+@dataclasses.dataclass
+class TLSServerHello:
+    """ServerHello: the single ciphersuite selected by the server."""
+
+    ciphersuite: int = 0xC02F
+    server_random: bytes = b"\x00" * 32
+
+    def pack(self) -> bytes:
+        body = struct.pack("!H", TLS_VERSION_1_2)
+        body += self.server_random[:32].ljust(32, b"\x00")
+        body += b"\x00"  # empty session id
+        body += struct.pack("!H", self.ciphersuite)
+        body += b"\x00"  # null compression
+        body += struct.pack("!H", 0)  # no extensions
+        return _record(_SERVER_HELLO, body)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TLSServerHello":
+        body = _parse_record(data, _SERVER_HELLO)
+        offset = 2
+        server_random = body[offset : offset + 32]
+        offset += 32
+        session_len = body[offset]
+        offset += 1 + session_len
+        ciphersuite = struct.unpack("!H", body[offset : offset + 2])[0]
+        return cls(ciphersuite=ciphersuite, server_random=server_random)

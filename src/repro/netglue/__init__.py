@@ -1,0 +1,16 @@
+"""``repro.netglue`` — the GLUE-style multi-task benchmark for network models."""
+
+from .benchmark import NetGLUE, NetGLUETask
+from .leaderboard import format_leaderboard, run_leaderboard
+from .solvers import FlowStatsSolver, FoundationModelSolver, GRUSolver, SolverSettings
+
+__all__ = [
+    "NetGLUE",
+    "NetGLUETask",
+    "run_leaderboard",
+    "format_leaderboard",
+    "SolverSettings",
+    "FoundationModelSolver",
+    "GRUSolver",
+    "FlowStatsSolver",
+]

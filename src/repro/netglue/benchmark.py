@@ -1,0 +1,113 @@
+"""NetGLUE: the multi-task benchmark the paper calls for (Section 4.2).
+
+GLUE bundles a set of language-understanding tasks with a shared evaluation
+protocol and an aggregate score; NetGLUE does the same over the synthetic
+network workloads: application classification, DNS service-category
+classification (with distribution shift), IoT device classification,
+benign-vs-attack detection and congestion prediction.  Every task reports a
+single headline metric and the benchmark score is their unweighted mean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..tasks.builders import (
+    ArrayTaskData,
+    TaskData,
+    build_application_classification,
+    build_congestion_prediction,
+    build_device_classification,
+    build_dns_category_classification,
+    build_malware_detection,
+)
+
+__all__ = ["NetGLUETask", "NetGLUE"]
+
+
+@dataclasses.dataclass
+class NetGLUETask:
+    """One benchmark task: data plus the headline metric to report."""
+
+    name: str
+    data: TaskData | ArrayTaskData
+    metric: str
+    description: str
+
+    @property
+    def is_packet_task(self) -> bool:
+        return isinstance(self.data, TaskData)
+
+
+class NetGLUE:
+    """Build the benchmark's task list at a given scale.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; each task derives its own seeds from it.
+    scale:
+        ``"tiny"`` (unit tests / CI), ``"small"`` (benchmarks, default) or
+        ``"full"`` (longer traces for more stable numbers).
+    """
+
+    SCALES = {
+        "tiny": {"duration": 15.0, "dns_clients": 6, "dns_queries": 8, "congestion_duration": 120.0},
+        "small": {"duration": 30.0, "dns_clients": 12, "dns_queries": 15, "congestion_duration": 300.0},
+        "full": {"duration": 90.0, "dns_clients": 25, "dns_queries": 30, "congestion_duration": 900.0},
+    }
+
+    def __init__(self, seed: int = 0, scale: str = "small"):
+        if scale not in self.SCALES:
+            raise ValueError(f"unknown scale {scale!r}; choose from {sorted(self.SCALES)}")
+        self.seed = seed
+        self.scale = scale
+
+    def tasks(self) -> list[NetGLUETask]:
+        """Instantiate every benchmark task (generates the data)."""
+        params = self.SCALES[self.scale]
+        return [
+            NetGLUETask(
+                name="application",
+                data=build_application_classification(self.seed, duration=params["duration"]),
+                metric="f1",
+                description="Application classification (dns/http/https/iot)",
+            ),
+            NetGLUETask(
+                name="dns-category",
+                data=build_dns_category_classification(
+                    self.seed + 1,
+                    num_clients=params["dns_clients"],
+                    queries_per_client=params["dns_queries"],
+                ),
+                metric="f1",
+                description="DNS service-category classification under distribution shift",
+            ),
+            NetGLUETask(
+                name="device",
+                data=build_device_classification(self.seed + 2, duration=params["duration"] * 2),
+                metric="f1",
+                description="IoT device classification",
+            ),
+            NetGLUETask(
+                name="malware",
+                data=build_malware_detection(self.seed + 3, duration=params["duration"]),
+                metric="f1",
+                description="Benign vs attack traffic detection",
+            ),
+            NetGLUETask(
+                name="congestion",
+                data=build_congestion_prediction(
+                    self.seed + 4, duration=params["congestion_duration"]
+                ),
+                metric="f1",
+                description="Near-future congestion prediction",
+            ),
+        ]
+
+    @staticmethod
+    def aggregate(per_task_scores: dict[str, float]) -> float:
+        """The NetGLUE score: unweighted mean of per-task headline metrics."""
+        if not per_task_scores:
+            return 0.0
+        return float(sum(per_task_scores.values()) / len(per_task_scores))

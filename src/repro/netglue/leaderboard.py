@@ -1,0 +1,44 @@
+"""Leaderboard assembly and formatting for NetGLUE runs."""
+
+from __future__ import annotations
+
+from .benchmark import NetGLUE, NetGLUETask
+
+__all__ = ["run_leaderboard", "format_leaderboard"]
+
+
+def run_leaderboard(
+    tasks: list[NetGLUETask], solvers: list
+) -> dict[str, dict[str, float]]:
+    """Run every solver on every task.
+
+    Returns ``{solver_name: {task_name: headline_metric, ..., "netglue": mean}}``.
+    Solvers must expose ``name`` and ``solve(task) -> dict[str, float]``.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for solver in solvers:
+        per_task: dict[str, float] = {}
+        for task in tasks:
+            metrics = solver.solve(task)
+            per_task[task.name] = float(metrics.get(task.metric, 0.0))
+        per_task["netglue"] = NetGLUE.aggregate(
+            {name: value for name, value in per_task.items() if name != "netglue"}
+        )
+        results[solver.name] = per_task
+    return results
+
+
+def format_leaderboard(results: dict[str, dict[str, float]]) -> str:
+    """Human-readable leaderboard table (systems as rows, tasks as columns)."""
+    if not results:
+        return "(empty leaderboard)"
+    task_names = [name for name in next(iter(results.values())) if name != "netglue"]
+    header = f"{'system':20}" + "".join(f"{name:>16}" for name in task_names) + f"{'NetGLUE':>10}"
+    lines = [header, "-" * len(header)]
+    for system, scores in sorted(results.items(), key=lambda kv: -kv[1].get("netglue", 0.0)):
+        row = f"{system:20}"
+        for name in task_names:
+            row += f"{scores.get(name, float('nan')):16.3f}"
+        row += f"{scores.get('netglue', float('nan')):10.3f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The paper assumes the PyTorch / HuggingFace ecosystem; this subpackage
+replaces it with a self-contained implementation: reverse-mode autograd,
+layers (Linear, Embedding, LayerNorm, attention, transformer encoder, GRU),
+losses, optimizers, LR schedules, metrics, a generic trainer and
+checkpointing.
+"""
+
+from .autograd import Tensor, as_tensor, no_grad
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Sigmoid, Tanh
+from .attention import MultiHeadAttention, scaled_dot_product_attention
+from .transformer import PositionalEmbedding, TransformerEncoder, TransformerEncoderLayer
+from .recurrent import GRU, GRUCell
+from .losses import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    mae_loss,
+    masked_cross_entropy,
+    mse_loss,
+)
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .schedules import ConstantSchedule, CosineSchedule, LRSchedule, WarmupLinearSchedule
+from .metrics import (
+    accuracy,
+    auroc,
+    average_precision,
+    classification_report,
+    confusion_matrix,
+    fpr_at_tpr,
+    macro_f1,
+    micro_f1,
+    precision_recall_f1,
+    weighted_f1,
+)
+from .data import batch_indices, iterate_minibatches, train_test_split
+from .serialization import load_checkpoint, load_state, save_checkpoint, save_state
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "PositionalEmbedding",
+    "GRU",
+    "GRUCell",
+    "cross_entropy",
+    "masked_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "mae_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LRSchedule",
+    "ConstantSchedule",
+    "WarmupLinearSchedule",
+    "CosineSchedule",
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "micro_f1",
+    "weighted_f1",
+    "auroc",
+    "fpr_at_tpr",
+    "average_precision",
+    "classification_report",
+    "batch_indices",
+    "iterate_minibatches",
+    "train_test_split",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state",
+    "load_state",
+    "Trainer",
+    "TrainingHistory",
+]

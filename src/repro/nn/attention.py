@@ -1,0 +1,106 @@
+"""Multi-head scaled dot-product attention.
+
+The attention layer optionally records its attention weights so that the
+interpretability tools in :mod:`repro.interpret` (attention rollout,
+Section 4.4 of the paper) can inspect them after a forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor
+from .layers import Dropout, Linear
+from .module import Module
+
+__all__ = ["MultiHeadAttention", "scaled_dot_product_attention"]
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: np.ndarray | None = None,
+) -> tuple[Tensor, Tensor]:
+    """Compute ``softmax(Q K^T / sqrt(d)) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(..., seq, d_head)``.
+    mask:
+        Boolean array broadcastable to ``(..., seq_q, seq_k)`` where True
+        marks positions that must *not* be attended to (padding).
+
+    Returns
+    -------
+    (output, attention_weights)
+    """
+    d_head = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_head))
+    if mask is not None:
+        scores = scores.masked_fill(mask, -1e9)
+    weights = scores.softmax(axis=-1)
+    return weights @ value, weights
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention with learned projections.
+
+    Attributes
+    ----------
+    last_attention:
+        NumPy array of shape ``(batch, heads, seq, seq)`` holding the
+        attention weights of the most recent forward pass (detached).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.last_attention: np.ndarray | None = None
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+
+    def forward(self, x, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Self-attention over ``x`` of shape ``(batch, seq, d_model)``.
+
+        ``attention_mask`` is a boolean array of shape ``(batch, seq)`` with
+        True for *valid* (non-padding) tokens, matching the convention used
+        throughout the library.
+        """
+        x = as_tensor(x)
+        batch, seq, _ = x.shape
+        query = self._split_heads(self.q_proj(x), batch, seq)
+        key = self._split_heads(self.k_proj(x), batch, seq)
+        value = self._split_heads(self.v_proj(x), batch, seq)
+
+        mask = None
+        if attention_mask is not None:
+            valid = np.asarray(attention_mask, dtype=bool)
+            # Convert "valid token" mask into "blocked key position" mask.
+            mask = ~valid[:, None, None, :]
+
+        context, weights = scaled_dot_product_attention(query, key, value, mask=mask)
+        self.last_attention = weights.data.copy()
+        context = self._merge_heads(context, batch, seq)
+        return self.dropout(self.out_proj(context))

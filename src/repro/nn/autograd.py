@@ -1,0 +1,570 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate.  The paper's
+envisioned system ("a BERT for packets") assumes a deep-learning framework;
+none is available offline, so we implement a small but complete reverse-mode
+autograd engine from scratch.  The design mirrors the familiar
+define-by-run model:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` together with an optional
+  gradient and a closure that propagates gradients to its parents.
+* Every differentiable operation builds a node in an implicit DAG.
+* :meth:`Tensor.backward` performs a topological sort of the DAG and runs
+  each node's backward closure exactly once, accumulating gradients into
+  every tensor that has ``requires_grad`` set.
+
+Only the operations needed by the library (transformers, GRUs, embedding
+models, classifiers) are implemented, but each handles NumPy broadcasting
+correctly so that the layers above can be written naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Used for evaluation and for in-place parameter updates inside
+    optimizers, exactly like ``torch.no_grad()``.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting can expand operands along new leading axes or along
+    axes of size one; the gradient of a broadcast operand is the sum over
+    the broadcast axes.
+    """
+    grad = np.asarray(grad)
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, scalar, nested list) to a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Integer inputs are promoted to
+        ``float64`` so that gradients are always well defined.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    name:
+        Optional human-readable label, useful when debugging parameter
+        collections.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype == object:
+            raise TypeError("Tensor data must be numeric, got object dtype")
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached copy of this tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _result(cls, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+        return out
+
+    def _add_grad(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` (unbroadcast to this tensor's shape)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(grad, self.data.shape).astype(self.data.dtype, copy=False)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate through the graph rooted at this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ones, which is only valid for scalar tensors
+            (matching the usual ``loss.backward()`` idiom).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor"
+                )
+            grad = np.ones_like(self.data)
+        self._add_grad(np.asarray(grad, dtype=self.data.dtype))
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad)
+                other._add_grad(out.grad)
+            out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor._result(-self.data, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(-out.grad)
+            out._backward = backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data * other.data, (self, other))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * other.data)
+                other._add_grad(out.grad * self.data)
+            out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data / other.data, (self, other))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad / other.data)
+                other._add_grad(-out.grad * self.data / (other.data ** 2))
+            out._backward = backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor._result(self.data ** exponent, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * exponent * self.data ** (exponent - 1))
+            out._backward = backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            def backward() -> None:
+                grad = out.grad
+                a, b = self.data, other.data
+                if a.ndim == 1 and b.ndim == 1:
+                    self._add_grad(grad * b)
+                    other._add_grad(grad * a)
+                    return
+                if a.ndim == 1:
+                    a2 = a.reshape(1, -1)
+                    grad2 = np.expand_dims(grad, -2)
+                    self._add_grad((grad2 @ np.swapaxes(b, -1, -2)).reshape(a.shape))
+                    other._add_grad(np.swapaxes(a2, -1, -2) @ grad2)
+                    return
+                if b.ndim == 1:
+                    b2 = b.reshape(-1, 1)
+                    grad2 = np.expand_dims(grad, -1)
+                    self._add_grad(grad2 @ b2.T)
+                    other._add_grad((np.swapaxes(a, -1, -2) @ grad2).reshape(b.shape))
+                    return
+                self._add_grad(grad @ np.swapaxes(b, -1, -2))
+                other._add_grad(np.swapaxes(a, -1, -2) @ grad)
+            out._backward = backward
+        return out
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return as_tensor(other) @ self
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor._result(out_data, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * out_data)
+            out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._result(np.log(self.data), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad / self.data)
+            out._backward = backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor._result(out_data, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * (1.0 - out_data ** 2))
+            out._backward = backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor._result(out_data, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * out_data * (1.0 - out_data))
+            out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor._result(self.data * mask, (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * mask)
+            out._backward = backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        out = Tensor._result(0.5 * x * (1.0 + tanh_inner), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                sech2 = 1.0 - tanh_inner ** 2
+                d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+                self._add_grad(out.grad * local)
+            out._backward = backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out = Tensor._result(np.clip(self.data, low, high), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * mask)
+            out._backward = backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor._result(np.abs(self.data), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(out.grad * sign)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor._result(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                g = np.asarray(out.grad)
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        g = np.expand_dims(g, ax)
+                self._add_grad(np.broadcast_to(g, self.data.shape))
+            out._backward = backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / max(count, 1))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor._result(self.data.max(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                g = np.asarray(out.grad)
+                expanded = self.data.max(axis=axis, keepdims=True)
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        g = np.expand_dims(g, ax)
+                mask = (self.data == expanded).astype(self.data.dtype)
+                mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                self._add_grad(mask * g)
+            out._backward = backward
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._result(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(np.asarray(out.grad).reshape(self.data.shape))
+            out._backward = backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(np.argsort(axes))
+        out = Tensor._result(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(np.asarray(out.grad).transpose(inverse))
+            out._backward = backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor._result(self.data[index], (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, np.asarray(out.grad))
+                self._add_grad(full)
+            out._backward = backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = Tensor._result(np.expand_dims(self.data, axis), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(np.asarray(out.grad).reshape(self.data.shape))
+            out._backward = backward
+        return out
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        out = Tensor._result(np.squeeze(self.data, axis=axis), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(np.asarray(out.grad).reshape(self.data.shape))
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Composite ops used by layers
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor where positions with ``mask`` True are set to ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        keep = (~mask).astype(self.data.dtype)
+        out = Tensor._result(np.where(mask, value, self.data), (self,))
+        if out.requires_grad:
+            def backward() -> None:
+                self._add_grad(np.asarray(out.grad) * keep)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+        out = Tensor._result(out_data, tuple(tensors))
+        if out.requires_grad:
+            def backward() -> None:
+                grad = np.asarray(out.grad)
+                for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(int(start), int(stop))
+                    tensor._add_grad(grad[tuple(slicer)])
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        expanded = [t.expand_dims(axis) for t in tensors]
+        return Tensor.concatenate(expanded, axis=axis)
+
+    @staticmethod
+    def take_rows(table: "Tensor", indices: np.ndarray) -> "Tensor":
+        """Differentiable row lookup ``table[indices]`` used by embeddings."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = Tensor._result(table.data[indices], (table,))
+        if out.requires_grad:
+            def backward() -> None:
+                full = np.zeros_like(table.data)
+                np.add.at(
+                    full,
+                    indices.reshape(-1),
+                    np.asarray(out.grad).reshape(-1, table.data.shape[-1]),
+                )
+                table._add_grad(full)
+            out._backward = backward
+        return out

@@ -1,0 +1,58 @@
+"""Mini-batch iteration helpers shared by training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["batch_indices", "iterate_minibatches", "train_test_split"]
+
+
+def batch_indices(
+    n: int, batch_size: int, rng: np.random.Generator | None = None, shuffle: bool = True
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(n)
+    if shuffle:
+        rng = rng or np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def iterate_minibatches(
+    arrays: Sequence[np.ndarray],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield aligned batches from several arrays of equal first dimension."""
+    if not arrays:
+        raise ValueError("need at least one array")
+    n = len(arrays[0])
+    for array in arrays:
+        if len(array) != n:
+            raise ValueError("all arrays must have the same length")
+    for idx in batch_indices(n, batch_size, rng=rng, shuffle=shuffle):
+        yield tuple(np.asarray(array)[idx] for array in arrays)
+
+
+def train_test_split(
+    arrays: Sequence[np.ndarray],
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Random split of aligned arrays into train and test portions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n = len(arrays[0])
+    order = rng.permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    train_idx, test_idx = order[:cut], order[cut:]
+    train = [np.asarray(a)[train_idx] for a in arrays]
+    test = [np.asarray(a)[test_idx] for a in arrays]
+    return train, test

@@ -1,0 +1,71 @@
+"""Weight initialization utilities.
+
+Deterministic given a :class:`numpy.random.Generator`, so that every model in
+the library can be reproduced from a seed — essential for regenerating the
+paper's experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "truncated_normal",
+]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization, appropriate before ReLU."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Plain normal initialization (BERT uses std=0.02)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02, bound: float = 2.0
+) -> np.ndarray:
+    """Normal initialization truncated to ``bound`` standard deviations."""
+    values = rng.normal(0.0, std, size=shape)
+    return np.clip(values, -bound * std, bound * std)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

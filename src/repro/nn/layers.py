@@ -1,0 +1,156 @@
+"""Core neural network layers: Linear, Embedding, LayerNorm, Dropout, activations.
+
+Every layer accepts a ``numpy.random.Generator`` for initialization so models
+are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .autograd import Tensor, as_tensor
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality of the last axis.
+    bias:
+        Whether to add a learned bias vector.
+    rng:
+        Generator used for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.02,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), rng, std=std), name="weight"
+        )
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={token_ids.min()}, max={token_ids.max()}"
+            )
+        return Tensor.take_rows(self.weight, token_ids)
+
+    def load_pretrained(self, matrix: np.ndarray, freeze: bool = False) -> None:
+        """Replace the embedding table with a pretrained matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (self.num_embeddings, self.embedding_dim):
+            raise ValueError(
+                f"expected shape {(self.num_embeddings, self.embedding_dim)}, got {matrix.shape}"
+            )
+        self.weight.data = matrix.copy()
+        if freeze:
+            self.weight.requires_grad = False
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(init.ones((normalized_shape,)), name="gamma")
+        self.beta = Parameter(init.zeros((normalized_shape,)), name="beta")
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / ((variance + self.eps) ** 0.5)
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).relu()
+
+
+class GELU(Module):
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).gelu()
+
+
+class Tanh(Module):
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).sigmoid()

@@ -1,0 +1,84 @@
+"""Loss functions used across pre-training, fine-tuning and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "masked_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "mae_loss",
+]
+
+
+def cross_entropy(logits, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(N, C)`` and integer ``targets`` ``(N,)``.
+
+    Parameters
+    ----------
+    label_smoothing:
+        If non-zero, targets are smoothed toward the uniform distribution.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected logits of shape (N, C), got {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("logits and targets disagree on batch size")
+    n, c = logits.shape
+    log_probs = logits.log_softmax(axis=-1)
+    one_hot = np.zeros((n, c))
+    one_hot[np.arange(n), targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / c
+    return -(log_probs * Tensor(one_hot)).sum(axis=-1).mean()
+
+
+def masked_cross_entropy(logits, targets: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Cross-entropy averaged over positions where ``mask`` is True.
+
+    Used by masked token modeling: ``logits`` is ``(batch, seq, vocab)``,
+    ``targets`` is ``(batch, seq)`` and ``mask`` marks the masked positions
+    whose original tokens must be predicted.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.sum() == 0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    batch, seq, vocab = logits.shape
+    flat_logits = logits.reshape(batch * seq, vocab)
+    flat_targets = targets.reshape(-1)
+    flat_mask = mask.reshape(-1)
+    indices = np.nonzero(flat_mask)[0]
+    selected = flat_logits[indices]
+    return cross_entropy(selected, flat_targets[indices])
+
+
+def binary_cross_entropy_with_logits(logits, targets: np.ndarray) -> Tensor:
+    """Numerically-stable binary cross-entropy on raw logits."""
+    logits = as_tensor(logits)
+    targets = Tensor(np.asarray(targets, dtype=float))
+    # log(1 + exp(-|x|)) + max(x, 0) - x * t   (stable formulation)
+    abs_logits = logits.abs()
+    losses = logits.clip(0.0, np.inf) - logits * targets + ((-abs_logits).exp() + 1.0).log()
+    return losses.mean()
+
+
+def mse_loss(predictions, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    predictions = as_tensor(predictions)
+    targets = Tensor(np.asarray(targets, dtype=float))
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def mae_loss(predictions, targets: np.ndarray) -> Tensor:
+    """Mean absolute error."""
+    predictions = as_tensor(predictions)
+    targets = Tensor(np.asarray(targets, dtype=float))
+    return (predictions - targets).abs().mean()

@@ -1,0 +1,170 @@
+"""Evaluation metrics: accuracy, precision/recall/F1, confusion matrix, AUROC.
+
+These are implemented directly (rather than via scikit-learn, which is not
+available offline) and are used by every downstream task, the NetGLUE
+benchmark, and the OOD evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "micro_f1",
+    "weighted_f1",
+    "auroc",
+    "fpr_at_tpr",
+    "average_precision",
+    "classification_report",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """Return matrix ``C`` where ``C[i, j]`` counts true class ``i`` predicted as ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None
+) -> dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    tp = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    precision = np.divide(tp, predicted, out=np.zeros_like(tp), where=predicted > 0)
+    recall = np.divide(tp, actual, out=np.zeros_like(tp), where=actual > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0)
+    return {"precision": precision, "recall": recall, "f1": f1, "support": actual}
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 over classes present in ``y_true``."""
+    stats = precision_recall_f1(y_true, y_pred, num_classes)
+    present = stats["support"] > 0
+    if not present.any():
+        return 0.0
+    return float(stats["f1"][present].mean())
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label classification)."""
+    return accuracy(y_true, y_pred)
+
+
+def weighted_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None) -> float:
+    """Support-weighted mean of per-class F1."""
+    stats = precision_recall_f1(y_true, y_pred, num_classes)
+    support = stats["support"]
+    total = support.sum()
+    if total == 0:
+        return 0.0
+    return float((stats["f1"] * support).sum() / total)
+
+
+def auroc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    ``labels`` are binary (1 = positive); ``scores`` are real-valued with
+    higher meaning "more positive".
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    positives = scores[labels]
+    negatives = scores[~labels]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("AUROC requires at least one positive and one negative sample")
+    order = np.argsort(np.concatenate([negatives, positives]), kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, order.size + 1)
+    # Average ranks for ties.
+    combined = np.concatenate([negatives, positives])
+    sorted_scores = combined[order]
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    positive_ranks = ranks[negatives.size :]
+    u_stat = positive_ranks.sum() - positives.size * (positives.size + 1) / 2.0
+    return float(u_stat / (positives.size * negatives.size))
+
+
+def fpr_at_tpr(labels: np.ndarray, scores: np.ndarray, tpr_target: float = 0.95) -> float:
+    """False-positive rate at the threshold achieving ``tpr_target`` recall."""
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    positives = np.sort(scores[labels])[::-1]
+    if positives.size == 0:
+        raise ValueError("need at least one positive sample")
+    index = min(int(np.ceil(tpr_target * positives.size)) - 1, positives.size - 1)
+    threshold = positives[max(index, 0)]
+    negatives = scores[~labels]
+    if negatives.size == 0:
+        return 0.0
+    return float((negatives >= threshold).mean())
+
+
+def average_precision(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    tp_cum = np.cumsum(sorted_labels)
+    total_pos = sorted_labels.sum()
+    if total_pos == 0:
+        raise ValueError("need at least one positive sample")
+    precision = tp_cum / np.arange(1, sorted_labels.size + 1)
+    return float((precision * sorted_labels).sum() / total_pos)
+
+
+def classification_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    class_names: list[str] | None = None,
+) -> str:
+    """Human-readable per-class precision/recall/F1 table."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    num_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    stats = precision_recall_f1(y_true, y_pred, num_classes)
+    if class_names is None:
+        class_names = [f"class_{i}" for i in range(num_classes)]
+    width = max(len(name) for name in class_names) + 2
+    lines = [f"{'':{width}}  prec   recall  f1      support"]
+    for i, name in enumerate(class_names):
+        lines.append(
+            f"{name:{width}}  {stats['precision'][i]:.3f}  {stats['recall'][i]:.3f}   "
+            f"{stats['f1'][i]:.3f}   {int(stats['support'][i])}"
+        )
+    lines.append(
+        f"{'macro':{width}}  {stats['precision'].mean():.3f}  {stats['recall'].mean():.3f}   "
+        f"{macro_f1(y_true, y_pred, num_classes):.3f}   {int(stats['support'].sum())}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Recurrent layers: GRU cell and multi-step GRU.
+
+The GRU is the baseline architecture NorBERT was compared against in the
+paper's Section 3.4 (GRU with random initialization and GRU with GloVe
+embeddings), so it is a first-class citizen of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .autograd import Tensor, as_tensor
+from .layers import Linear
+from .module import Module, Parameter
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell.
+
+    Follows the standard formulation:
+
+    .. math::
+        z_t = \\sigma(x_t W_{xz} + h_{t-1} W_{hz} + b_z) \\\\
+        r_t = \\sigma(x_t W_{xr} + h_{t-1} W_{hr} + b_r) \\\\
+        \\tilde{h}_t = \\tanh(x_t W_{xh} + (r_t \\odot h_{t-1}) W_{hh} + b_h) \\\\
+        h_t = (1 - z_t) \\odot h_{t-1} + z_t \\odot \\tilde{h}_t
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_xz = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hz = Parameter(init.xavier_uniform((hidden_size, hidden_size), rng))
+        self.b_z = Parameter(init.zeros((hidden_size,)))
+        self.w_xr = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hr = Parameter(init.xavier_uniform((hidden_size, hidden_size), rng))
+        self.b_r = Parameter(init.zeros((hidden_size,)))
+        self.w_xh = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hh = Parameter(init.xavier_uniform((hidden_size, hidden_size), rng))
+        self.b_h = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x, h) -> Tensor:
+        """One step: ``x`` is ``(batch, input_size)``, ``h`` is ``(batch, hidden_size)``."""
+        x = as_tensor(x)
+        h = as_tensor(h)
+        z = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
+        r = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
+        h_tilde = (x @ self.w_xh + (r * h) @ self.w_hh + self.b_h).tanh()
+        return (1.0 - z) * h + z * h_tilde
+
+
+class GRU(Module):
+    """Multi-step (optionally bidirectional) GRU over ``(batch, seq, input)`` inputs."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        bidirectional: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.bidirectional = bidirectional
+        self.forward_cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.backward_cell = GRUCell(input_size, hidden_size, rng=rng) if bidirectional else None
+
+    @property
+    def output_size(self) -> int:
+        return self.hidden_size * (2 if self.bidirectional else 1)
+
+    def _run(self, cell: GRUCell, x: Tensor, reverse: bool) -> tuple[Tensor, Tensor]:
+        batch, seq, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        steps = range(seq - 1, -1, -1) if reverse else range(seq)
+        for t in steps:
+            h = cell(x[:, t, :], h)
+            outputs.append(h)
+        if reverse:
+            outputs = outputs[::-1]
+        stacked = Tensor.stack(outputs, axis=1)
+        return stacked, h
+
+    def forward(self, x) -> tuple[Tensor, Tensor]:
+        """Return ``(outputs, final_hidden)``.
+
+        ``outputs`` has shape ``(batch, seq, output_size)``; ``final_hidden``
+        has shape ``(batch, output_size)``.
+        """
+        x = as_tensor(x)
+        fwd_out, fwd_h = self._run(self.forward_cell, x, reverse=False)
+        if not self.bidirectional:
+            return fwd_out, fwd_h
+        bwd_out, bwd_h = self._run(self.backward_cell, x, reverse=True)
+        outputs = Tensor.concatenate([fwd_out, bwd_out], axis=-1)
+        final = Tensor.concatenate([fwd_h, bwd_h], axis=-1)
+        return outputs, final

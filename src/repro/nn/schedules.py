@@ -1,0 +1,67 @@
+"""Learning-rate schedules (constant, linear warmup/decay, cosine)."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRSchedule", "ConstantSchedule", "WarmupLinearSchedule", "CosineSchedule"]
+
+
+class LRSchedule:
+    """Base class: multiplies the optimizer's base learning rate each step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def multiplier(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and return the learning rate now in effect."""
+        self.step_count += 1
+        lr = self.base_lr * self.multiplier(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(LRSchedule):
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class WarmupLinearSchedule(LRSchedule):
+    """Linear warmup to the base LR then linear decay to zero (BERT's schedule)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = max(warmup_steps, 1)
+        self.total_steps = total_steps
+
+    def multiplier(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        span = max(self.total_steps - self.warmup_steps, 1)
+        return remaining / span
+
+
+class CosineSchedule(LRSchedule):
+    """Cosine decay from the base LR to ``min_factor * base LR``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_factor: float = 0.1):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = total_steps
+        self.min_factor = min_factor
+
+    def multiplier(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_factor + (1.0 - self.min_factor) * cosine

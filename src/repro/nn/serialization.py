@@ -1,0 +1,52 @@
+"""Model checkpointing: save / load parameter state dicts to ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state", "load_state"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path, metadata: dict | None = None) -> Path:
+    """Write a flat parameter mapping to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a parameter mapping and metadata written by :func:`save_state`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = {}
+        state: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(bytes(archive[key]).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, metadata
+
+
+def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialize a module's parameters plus optional metadata."""
+    return save_state(model.state_dict(), path, metadata)
+
+
+def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> dict:
+    """Restore a module's parameters; returns the stored metadata."""
+    state, metadata = load_state(path)
+    model.load_state_dict(state, strict=strict)
+    return metadata

@@ -1,0 +1,128 @@
+"""A small generic training loop with history tracking and early stopping."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+import numpy as np
+
+from .autograd import Tensor
+from .module import Module
+from .optim import Optimizer, clip_grad_norm
+from .schedules import LRSchedule
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Losses and metrics recorded during training."""
+
+    losses: list[float] = dataclasses.field(default_factory=list)
+    eval_metrics: list[dict[str, float]] = dataclasses.field(default_factory=list)
+    learning_rates: list[float] = dataclasses.field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def best_metric(self, key: str, maximize: bool = True) -> float:
+        values = [m[key] for m in self.eval_metrics if key in m]
+        if not values:
+            return float("nan")
+        return max(values) if maximize else min(values)
+
+
+class Trainer:
+    """Drives epochs of (batch -> loss) closures over a model.
+
+    The trainer is deliberately generic: the caller supplies a
+    ``loss_fn(batch) -> Tensor`` closure, so the same loop serves MLM
+    pre-training, classification fine-tuning, Word2Vec and the GRU baselines.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        schedule: LRSchedule | None = None,
+        max_grad_norm: float | None = 1.0,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.max_grad_norm = max_grad_norm
+        self.history = TrainingHistory()
+
+    def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
+        """One optimization step; returns the scalar loss value."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        loss = loss_fn()
+        if not isinstance(loss, Tensor):
+            raise TypeError("loss_fn must return a Tensor")
+        loss.backward()
+        if self.max_grad_norm is not None:
+            clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        if self.schedule is not None:
+            lr = self.schedule.step()
+        else:
+            lr = self.optimizer.lr
+        value = loss.item()
+        self.history.losses.append(value)
+        self.history.learning_rates.append(lr)
+        return value
+
+    def fit(
+        self,
+        batches: Callable[[], list[Callable[[], Tensor]]],
+        epochs: int = 1,
+        eval_fn: Callable[[], dict[str, float]] | None = None,
+        patience: int | None = None,
+        monitor: str = "f1",
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Run ``epochs`` passes over ``batches()`` (a factory of loss closures).
+
+        Parameters
+        ----------
+        batches:
+            Called at the start of every epoch; must return a list of zero-arg
+            closures, each computing the loss of one mini-batch.
+        eval_fn:
+            Optional; called after each epoch to compute validation metrics.
+        patience:
+            If set, stop early when ``monitor`` has not improved for this many
+            consecutive epochs.
+        """
+        start = time.perf_counter()
+        best = -np.inf
+        stale = 0
+        for epoch in range(epochs):
+            epoch_losses = []
+            for loss_fn in batches():
+                epoch_losses.append(self.train_step(loss_fn))
+            if eval_fn is not None:
+                metrics = eval_fn()
+                self.history.eval_metrics.append(metrics)
+                if verbose:
+                    mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+                    print(f"epoch {epoch + 1}/{epochs} loss={mean_loss:.4f} {metrics}")
+                if patience is not None:
+                    current = metrics.get(monitor, -np.inf)
+                    if current > best + 1e-9:
+                        best = current
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= patience:
+                            break
+            elif verbose:
+                mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+                print(f"epoch {epoch + 1}/{epochs} loss={mean_loss:.4f}")
+        self.history.wall_time = time.perf_counter() - start
+        return self.history

@@ -1,0 +1,98 @@
+"""Transformer encoder blocks (the BERT-style backbone of the foundation model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .autograd import Tensor, as_tensor
+from .layers import Dropout, Linear, LayerNorm
+from .module import Module, ModuleList
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder", "PositionalEmbedding"]
+
+
+class PositionalEmbedding(Module):
+    """Learned absolute positional embeddings (as in BERT)."""
+
+    def __init__(self, max_len: int, d_model: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        from .layers import Embedding
+
+        self.max_len = max_len
+        self.table = Embedding(max_len, d_model, rng=rng)
+
+    def forward(self, seq_len: int, batch: int) -> Tensor:
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds maximum {self.max_len}")
+        positions = np.tile(np.arange(seq_len), (batch, 1))
+        return self.table(positions)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LayerNorm transformer encoder layer.
+
+    Pre-norm is used (rather than BERT's original post-norm) because it is
+    markedly more stable to train without learning-rate warmup at the small
+    scales this library targets.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff_in = Linear(d_model, d_ff, rng=rng)
+        self.ff_out = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x, attention_mask: np.ndarray | None = None) -> Tensor:
+        x = as_tensor(x)
+        attended = self.attention(self.norm1(x), attention_mask=attention_mask)
+        x = x + attended
+        hidden = self.ff_out(self.ff_in(self.norm2(x)).gelu())
+        return x + self.dropout(hidden)
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` with a final LayerNorm."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(self, x, attention_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_mask=attention_mask)
+        return self.final_norm(x)
+
+    def attention_maps(self) -> list[np.ndarray]:
+        """Attention weights from the most recent forward pass, one per layer."""
+        maps = []
+        for layer in self.layers:
+            if layer.attention.last_attention is not None:
+                maps.append(layer.attention.last_attention)
+        return maps

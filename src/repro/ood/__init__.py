@@ -1,0 +1,25 @@
+"""``repro.ood`` — rare and unseen event detection (paper Section 4.3)."""
+
+from .detectors import (
+    EnergyDetector,
+    EnsembleDisagreementDetector,
+    KNNDistanceDetector,
+    MahalanobisDetector,
+    MaxSoftmaxDetector,
+    OODDetector,
+)
+from .evaluation import detection_report, evaluate_scores
+from .scenarios import ZeroDayScenario, ZeroDaySplit
+
+__all__ = [
+    "OODDetector",
+    "MaxSoftmaxDetector",
+    "EnergyDetector",
+    "MahalanobisDetector",
+    "KNNDistanceDetector",
+    "EnsembleDisagreementDetector",
+    "evaluate_scores",
+    "detection_report",
+    "ZeroDayScenario",
+    "ZeroDaySplit",
+]

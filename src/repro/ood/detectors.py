@@ -1,0 +1,151 @@
+"""Out-of-distribution detectors (paper Section 4.3).
+
+The paper argues that recent OOD-detection methods may overcome the classic
+Sommer-Paxson objection to ML-based anomaly detection.  The detectors here
+cover the families the paper cites: confidence-based (max softmax),
+energy-based, distance-based (Mahalanobis, kNN) and ensemble disagreement.
+Each produces a score where *higher means more anomalous*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "OODDetector",
+    "MaxSoftmaxDetector",
+    "EnergyDetector",
+    "MahalanobisDetector",
+    "KNNDistanceDetector",
+    "EnsembleDisagreementDetector",
+]
+
+
+class OODDetector:
+    """Interface: ``fit`` on in-distribution data, ``score`` arbitrary data."""
+
+    name = "base"
+
+    def fit(self, features: np.ndarray, labels: np.ndarray | None = None) -> "OODDetector":
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MaxSoftmaxDetector(OODDetector):
+    """1 - max predicted probability (Hendrycks & Gimpel style).
+
+    Operates on probability vectors rather than raw features; ``fit`` is a
+    no-op because the classifier is trained separately.
+    """
+
+    name = "max-softmax"
+
+    def score(self, probabilities: np.ndarray) -> np.ndarray:
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.ndim != 2:
+            raise ValueError("expected (N, C) probability matrix")
+        return 1.0 - probabilities.max(axis=1)
+
+
+class EnergyDetector(OODDetector):
+    """Negative log-sum-exp of logits (Liu et al., energy-based OOD)."""
+
+    name = "energy"
+
+    def __init__(self, temperature: float = 1.0):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def score(self, logits: np.ndarray) -> np.ndarray:
+        logits = np.asarray(logits, dtype=float) / self.temperature
+        maximum = logits.max(axis=1, keepdims=True)
+        log_sum_exp = maximum.squeeze(1) + np.log(np.exp(logits - maximum).sum(axis=1))
+        return -self.temperature * log_sum_exp
+
+
+class MahalanobisDetector(OODDetector):
+    """Minimum class-conditional Mahalanobis distance (Lee et al.)."""
+
+    name = "mahalanobis"
+
+    def __init__(self, regularization: float = 1e-3):
+        self.regularization = regularization
+        self._means: np.ndarray | None = None
+        self._precision: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray | None = None) -> "MahalanobisDetector":
+        features = np.asarray(features, dtype=float)
+        if labels is None:
+            labels = np.zeros(len(features), dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        classes = np.unique(labels)
+        means = []
+        centered_parts = []
+        for cls in classes:
+            members = features[labels == cls]
+            mean = members.mean(axis=0)
+            means.append(mean)
+            centered_parts.append(members - mean)
+        centered = np.concatenate(centered_parts, axis=0)
+        covariance = centered.T @ centered / max(len(centered) - 1, 1)
+        covariance += self.regularization * np.eye(covariance.shape[0])
+        self._means = np.stack(means)
+        self._precision = np.linalg.inv(covariance)
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        if self._means is None or self._precision is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(features, dtype=float)
+        distances = np.empty((len(features), len(self._means)))
+        for index, mean in enumerate(self._means):
+            delta = features - mean
+            distances[:, index] = np.einsum("ij,jk,ik->i", delta, self._precision, delta)
+        return distances.min(axis=1)
+
+
+class KNNDistanceDetector(OODDetector):
+    """Distance to the k-th nearest in-distribution embedding."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._bank: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray | None = None) -> "KNNDistanceDetector":
+        self._bank = np.asarray(features, dtype=float)
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        if self._bank is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(features, dtype=float)
+        k = min(self.k, len(self._bank))
+        scores = np.empty(len(features))
+        for index, row in enumerate(features):
+            distances = np.sqrt(((self._bank - row) ** 2).sum(axis=1))
+            scores[index] = np.partition(distances, k - 1)[k - 1]
+        return scores
+
+
+class EnsembleDisagreementDetector(OODDetector):
+    """Variance of class predictions across an ensemble of classifiers.
+
+    ``score`` takes a list/array of probability matrices, one per ensemble
+    member, and returns the mean per-class variance — the deep-ensembles
+    uncertainty estimate the paper cites.
+    """
+
+    name = "ensemble"
+
+    def score(self, member_probabilities: np.ndarray) -> np.ndarray:
+        stacked = np.asarray(member_probabilities, dtype=float)
+        if stacked.ndim != 3:
+            raise ValueError("expected (members, N, C) probability stack")
+        return stacked.var(axis=0).mean(axis=1)

@@ -1,0 +1,42 @@
+"""Evaluation protocol for OOD / zero-day detection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.metrics import auroc, average_precision, fpr_at_tpr
+
+__all__ = ["evaluate_scores", "detection_report"]
+
+
+def evaluate_scores(in_scores: np.ndarray, out_scores: np.ndarray) -> dict[str, float]:
+    """Standard OOD metrics given anomaly scores for ID and OOD samples.
+
+    Higher scores must mean "more anomalous".  Returns AUROC, FPR at 95% TPR
+    and average precision (AUPR with OOD as the positive class).
+    """
+    in_scores = np.asarray(in_scores, dtype=float)
+    out_scores = np.asarray(out_scores, dtype=float)
+    if in_scores.size == 0 or out_scores.size == 0:
+        raise ValueError("both ID and OOD score arrays must be non-empty")
+    labels = np.concatenate([np.zeros(len(in_scores)), np.ones(len(out_scores))])
+    scores = np.concatenate([in_scores, out_scores])
+    return {
+        "auroc": auroc(labels, scores),
+        "fpr_at_95tpr": fpr_at_tpr(labels, scores, 0.95),
+        "aupr": average_precision(labels, scores),
+        "id_mean": float(in_scores.mean()),
+        "ood_mean": float(out_scores.mean()),
+    }
+
+
+def detection_report(results: dict[str, dict[str, float]]) -> str:
+    """Format a table of detector-name -> metrics mappings."""
+    header = f"{'detector':24}  {'AUROC':>7}  {'FPR@95':>7}  {'AUPR':>7}"
+    lines = [header, "-" * len(header)]
+    for name, metrics in results.items():
+        lines.append(
+            f"{name:24}  {metrics['auroc']:7.3f}  {metrics['fpr_at_95tpr']:7.3f}  "
+            f"{metrics['aupr']:7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Zero-day scenario construction for the rare/unseen-events experiment (E8).
+
+The scenario mirrors the operational setting the paper discusses: a model is
+trained on benign traffic (optionally with some *known* attack families), and
+must flag traffic of an attack family it has never seen — the "zero-day".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..net.packet import Packet
+from ..traffic.anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
+from ..traffic.base import merge_traces
+from ..traffic.scenario import EnterpriseScenario, EnterpriseScenarioConfig
+
+__all__ = ["ZeroDayScenario", "ZeroDaySplit"]
+
+
+@dataclasses.dataclass
+class ZeroDaySplit:
+    """The packets of one zero-day evaluation scenario."""
+
+    train_benign: list[Packet]
+    train_known_attacks: list[Packet]
+    test_benign: list[Packet]
+    test_zero_day: list[Packet]
+    zero_day_type: str
+    known_types: tuple[str, ...]
+
+    @property
+    def train(self) -> list[Packet]:
+        """Training capture: benign plus known attacks, time-interleaved."""
+        return merge_traces(self.train_benign, self.train_known_attacks)
+
+    @property
+    def test(self) -> list[Packet]:
+        """Test capture: fresh benign traffic plus the unseen attack family."""
+        return merge_traces(self.test_benign, self.test_zero_day)
+
+
+class ZeroDayScenario:
+    """Build train/test splits where one attack family is held out as zero-day."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        duration: float = 40.0,
+        zero_day_type: str = "dns-tunnel",
+        known_attack_fraction: float = 0.5,
+    ):
+        if zero_day_type not in ATTACK_TYPES:
+            raise ValueError(f"unknown attack type {zero_day_type!r}; known: {ATTACK_TYPES}")
+        self.seed = seed
+        self.duration = duration
+        self.zero_day_type = zero_day_type
+        self.known_attack_fraction = known_attack_fraction
+
+    def build(self) -> ZeroDaySplit:
+        known_types = tuple(t for t in ATTACK_TYPES if t != self.zero_day_type)
+        if self.known_attack_fraction <= 0:
+            known_types = ()
+        train_benign = EnterpriseScenario(
+            EnterpriseScenarioConfig(seed=self.seed, duration=self.duration, include_attacks=False)
+        ).generate()
+        test_benign = EnterpriseScenario(
+            EnterpriseScenarioConfig(
+                seed=self.seed + 100, duration=self.duration, include_attacks=False
+            )
+        ).generate()
+        train_attacks: list[Packet] = []
+        if known_types:
+            train_attacks = AttackGenerator(
+                AttackConfig(seed=self.seed + 1, duration=self.duration, attack_types=known_types)
+            ).generate()
+        zero_day = AttackGenerator(
+            AttackConfig(
+                seed=self.seed + 2, duration=self.duration, attack_types=(self.zero_day_type,)
+            )
+        ).generate()
+        return ZeroDaySplit(
+            train_benign=train_benign,
+            train_known_attacks=train_attacks,
+            test_benign=test_benign,
+            test_zero_day=zero_day,
+            zero_day_type=self.zero_day_type,
+            known_types=known_types,
+        )

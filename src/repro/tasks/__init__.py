@@ -1,0 +1,28 @@
+"""``repro.tasks`` — downstream task datasets and per-task baselines."""
+
+from .builders import (
+    ArrayTaskData,
+    TaskData,
+    build_application_classification,
+    build_congestion_prediction,
+    build_device_classification,
+    build_dns_category_classification,
+    build_malware_detection,
+    build_performance_prediction,
+)
+from .regression import MLPRegressor, MLPRegressorConfig, RidgeRegression, regression_metrics
+
+__all__ = [
+    "TaskData",
+    "ArrayTaskData",
+    "build_application_classification",
+    "build_dns_category_classification",
+    "build_device_classification",
+    "build_malware_detection",
+    "build_congestion_prediction",
+    "build_performance_prediction",
+    "RidgeRegression",
+    "MLPRegressor",
+    "MLPRegressorConfig",
+    "regression_metrics",
+]

@@ -1,0 +1,188 @@
+"""Downstream-task dataset builders.
+
+Each builder returns a :class:`TaskData` bundle: a labelled training trace, a
+labelled evaluation trace (generated with a different seed, and optionally a
+distribution shift), the metadata key holding the label, and a human-readable
+description.  Regression/windowed tasks return arrays instead of packets.
+
+These are the concrete instantiations of the downstream tasks the paper
+enumerates in Section 3.1 (traffic classification, device classification,
+malware detection, congestion prediction, performance prediction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..net.packet import Packet
+from ..traffic.anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
+from ..traffic.base import merge_traces
+from ..traffic.datacenter import (
+    CongestionConfig,
+    CongestionSimulator,
+    DatacenterConfig,
+    DatacenterFlowGenerator,
+)
+from ..traffic.dns_workload import DNSWorkloadConfig, DNSWorkloadGenerator
+from ..traffic.iot import IoTWorkloadConfig, IoTWorkloadGenerator
+from ..traffic.scenario import EnterpriseScenario, EnterpriseScenarioConfig
+from ..traffic.shift import shifted_dns_config
+
+__all__ = [
+    "TaskData",
+    "ArrayTaskData",
+    "build_application_classification",
+    "build_dns_category_classification",
+    "build_device_classification",
+    "build_malware_detection",
+    "build_congestion_prediction",
+    "build_performance_prediction",
+]
+
+
+@dataclasses.dataclass
+class TaskData:
+    """A packet-level classification task."""
+
+    name: str
+    train_packets: list[Packet]
+    test_packets: list[Packet]
+    label_key: str
+    description: str
+
+
+@dataclasses.dataclass
+class ArrayTaskData:
+    """A feature-array task (windowed classification or regression)."""
+
+    name: str
+    train_features: np.ndarray
+    train_targets: np.ndarray
+    test_features: np.ndarray
+    test_targets: np.ndarray
+    kind: str  # "classification" or "regression"
+    description: str
+
+
+def build_application_classification(seed: int = 0, duration: float = 40.0) -> TaskData:
+    """Classify flows by application (dns / http / https / iot)."""
+    train = EnterpriseScenario(
+        EnterpriseScenarioConfig(seed=seed, duration=duration, include_attacks=False)
+    ).generate()
+    test = EnterpriseScenario(
+        EnterpriseScenarioConfig(seed=seed + 31, duration=duration, include_attacks=False)
+    ).generate()
+    return TaskData(
+        name="application-classification",
+        train_packets=train,
+        test_packets=test,
+        label_key="application",
+        description="Flow-level application classification over a mixed enterprise capture",
+    )
+
+
+def build_dns_category_classification(
+    seed: int = 0,
+    num_clients: int = 20,
+    queries_per_client: int = 25,
+    shifted_eval: bool = True,
+) -> TaskData:
+    """Classify DNS transactions by the semantic category of the queried service."""
+    base = DNSWorkloadConfig(
+        seed=seed, num_clients=num_clients, queries_per_client=queries_per_client, duration=60.0
+    )
+    train = DNSWorkloadGenerator(base).generate()
+    eval_config = shifted_dns_config(base) if shifted_eval else dataclasses.replace(base, seed=seed + 77)
+    test = DNSWorkloadGenerator(eval_config).generate()
+    return TaskData(
+        name="dns-category",
+        train_packets=train,
+        test_packets=test,
+        label_key="domain_category",
+        description="DNS service-category classification, evaluated under distribution shift",
+    )
+
+
+def build_device_classification(seed: int = 0, duration: float = 90.0) -> TaskData:
+    """Classify IoT traffic by device type (camera, thermostat, bulb, ...)."""
+    train = IoTWorkloadGenerator(
+        IoTWorkloadConfig(seed=seed, duration=duration, devices_per_type=3)
+    ).generate()
+    test = IoTWorkloadGenerator(
+        IoTWorkloadConfig(seed=seed + 13, duration=duration, devices_per_type=2)
+    ).generate()
+    return TaskData(
+        name="device-classification",
+        train_packets=train,
+        test_packets=test,
+        label_key="device",
+        description="IoT device classification from behavioural traffic profiles",
+    )
+
+
+def build_malware_detection(
+    seed: int = 0,
+    duration: float = 40.0,
+    attack_types: tuple[str, ...] = ATTACK_TYPES,
+) -> TaskData:
+    """Binary benign-vs-attack classification over a contaminated capture."""
+
+    def one_split(split_seed: int) -> list[Packet]:
+        benign = EnterpriseScenario(
+            EnterpriseScenarioConfig(seed=split_seed, duration=duration, include_attacks=False)
+        ).generate()
+        attacks = AttackGenerator(
+            AttackConfig(seed=split_seed + 1, duration=duration, attack_types=attack_types)
+        ).generate()
+        merged = merge_traces(benign, attacks)
+        for packet in merged:
+            packet.metadata["malicious"] = "attack" if packet.metadata.get("anomaly") else "benign"
+        return merged
+
+    return TaskData(
+        name="malware-detection",
+        train_packets=one_split(seed),
+        test_packets=one_split(seed + 53),
+        label_key="malicious",
+        description="Benign vs attack traffic detection (supervised, known attack families)",
+    )
+
+
+def build_congestion_prediction(seed: int = 0, duration: float = 400.0, window: int = 30) -> ArrayTaskData:
+    """Predict whether the bottleneck queue will exceed its threshold soon."""
+    train_x, train_y = CongestionSimulator(
+        CongestionConfig(seed=seed, duration=duration)
+    ).windowed_dataset(window=window)
+    test_x, test_y = CongestionSimulator(
+        CongestionConfig(seed=seed + 29, duration=duration)
+    ).windowed_dataset(window=window)
+    return ArrayTaskData(
+        name="congestion-prediction",
+        train_features=train_x,
+        train_targets=train_y,
+        test_features=test_x,
+        test_targets=test_y,
+        kind="classification",
+        description="Predict near-future congestion of a bottleneck link from recent load windows",
+    )
+
+
+def build_performance_prediction(seed: int = 0, num_flows: int = 600) -> ArrayTaskData:
+    """Predict flow completion time from flow features (regression)."""
+    train_x, train_y = DatacenterFlowGenerator(
+        DatacenterConfig(seed=seed, num_flows=num_flows)
+    ).dataset()
+    test_x, test_y = DatacenterFlowGenerator(
+        DatacenterConfig(seed=seed + 17, num_flows=num_flows // 2)
+    ).dataset()
+    return ArrayTaskData(
+        name="performance-prediction",
+        train_features=train_x,
+        train_targets=np.log10(train_y + 1e-9),
+        test_features=test_x,
+        test_targets=np.log10(test_y + 1e-9),
+        kind="regression",
+        description="Predict (log) flow completion time in a leaf-spine datacenter",
+    )

@@ -1,0 +1,30 @@
+"""``repro.tokenize`` — tokenizers for network traffic (paper Section 4.1.2).
+
+Five strategies are provided so their effect on downstream performance can be
+compared (experiment E5): byte-level, hex-character-level, field-aware
+(protocol-format), learned BPE and learned WordPiece, plus the shared
+:class:`Vocabulary`.
+"""
+
+from .base import PacketTokenizer
+from .bpe import BPETokenizer
+from .byte_level import ByteTokenizer, HexCharTokenizer
+from .field_aware import FieldAwareTokenizer
+from .vocab import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, Vocabulary
+from .wordpiece import WordPieceTokenizer
+
+__all__ = [
+    "PacketTokenizer",
+    "ByteTokenizer",
+    "HexCharTokenizer",
+    "FieldAwareTokenizer",
+    "BPETokenizer",
+    "WordPieceTokenizer",
+    "Vocabulary",
+    "SPECIAL_TOKENS",
+    "PAD",
+    "UNK",
+    "CLS",
+    "SEP",
+    "MASK",
+]

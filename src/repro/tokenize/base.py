@@ -1,0 +1,64 @@
+"""Tokenizer interface.
+
+A tokenizer turns a :class:`~repro.net.packet.Packet` into a list of string
+tokens (and, symmetrically, raw byte strings into tokens).  The choice of
+tokenizer is one of the open questions the paper poses (Section 4.1.2):
+character/byte level, or protocol-format ("field-aware") segmentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..net.packet import Packet
+from .vocab import Vocabulary
+
+__all__ = ["PacketTokenizer"]
+
+
+class PacketTokenizer:
+    """Base class for all packet tokenizers."""
+
+    #: Short machine-readable identifier used in benchmark tables.
+    name = "base"
+
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        """Tokenize one packet into a list of string tokens."""
+        raise NotImplementedError
+
+    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
+        """Tokenize every packet of a trace."""
+        return [self.tokenize_packet(p) for p in packets]
+
+    def build_vocabulary(
+        self,
+        packets: Sequence[Packet],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> Vocabulary:
+        """Build a vocabulary over a corpus of packets."""
+        return Vocabulary.build(self.tokenize_trace(packets), min_count=min_count, max_size=max_size)
+
+    def fit(self, packets: Sequence[Packet]) -> "PacketTokenizer":
+        """Learn any data-dependent state (BPE merges, WordPiece vocab).
+
+        The default implementation is stateless and returns ``self``.
+        """
+        return self
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def length_bucket(length: int) -> str:
+        """Coarse packet-length bucket token (log-spaced)."""
+        for bound in (64, 128, 256, 512, 1024, 1500):
+            if length <= bound:
+                return f"len<={bound}"
+        return "len>1500"
+
+    @staticmethod
+    def chunked(items: Iterable[str], max_tokens: int) -> list[str]:
+        """Truncate a token list to ``max_tokens``."""
+        result = list(items)
+        return result[:max_tokens]

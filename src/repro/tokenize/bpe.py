@@ -1,0 +1,110 @@
+"""Byte-Pair Encoding trained on packet bytes.
+
+RoBERTa uses BPE over text; here the base symbols are packet bytes (hex
+pairs) and merges are learned from the frequency of adjacent byte pairs in a
+training trace.  Frequent multi-byte patterns — protocol magic numbers,
+well-known ports, common header prefixes — become single tokens, which is the
+data-driven analogue of the hand-written field-aware tokenizer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..net.packet import Packet
+from .base import PacketTokenizer
+
+__all__ = ["BPETokenizer"]
+
+
+class BPETokenizer(PacketTokenizer):
+    """Learned byte-pair-encoding tokenizer.
+
+    Parameters
+    ----------
+    num_merges:
+        Number of merge operations to learn in :meth:`fit`.
+    max_bytes:
+        Per-packet byte truncation applied before tokenization.
+    skip_ethernet:
+        Drop the Ethernet header before tokenizing.
+    """
+
+    name = "bpe"
+
+    def __init__(self, num_merges: int = 200, max_bytes: int = 96, skip_ethernet: bool = True):
+        self.num_merges = num_merges
+        self.max_bytes = max_bytes
+        self.skip_ethernet = skip_ethernet
+        #: Ordered list of learned merges; each merge joins two symbols.
+        self.merges: list[tuple[str, str]] = []
+        self._merge_ranks: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, packets: Sequence[Packet]) -> "BPETokenizer":
+        """Learn merges from the byte sequences of ``packets``."""
+        sequences = [self._base_symbols(p) for p in packets]
+        sequences = [s for s in sequences if len(s) >= 2]
+        self.merges = []
+        for _ in range(self.num_merges):
+            pair_counts: Counter[tuple[str, str]] = Counter()
+            for symbols in sequences:
+                pair_counts.update(zip(symbols, symbols[1:]))
+            if not pair_counts:
+                break
+            (best_pair, best_count), = pair_counts.most_common(1)
+            if best_count < 2:
+                break
+            self.merges.append(best_pair)
+            merged_symbol = best_pair[0] + best_pair[1]
+            sequences = [self._apply_merge(s, best_pair, merged_symbol) for s in sequences]
+        self._merge_ranks = {pair: rank for rank, pair in enumerate(self.merges)}
+        return self
+
+    @staticmethod
+    def _apply_merge(symbols: list[str], pair: tuple[str, str], merged: str) -> list[str]:
+        result: list[str] = []
+        i = 0
+        while i < len(symbols):
+            if i + 1 < len(symbols) and symbols[i] == pair[0] and symbols[i + 1] == pair[1]:
+                result.append(merged)
+                i += 2
+            else:
+                result.append(symbols[i])
+                i += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Tokenization
+    # ------------------------------------------------------------------
+    def _base_symbols(self, packet: Packet) -> list[str]:
+        data = packet.to_bytes()
+        if self.skip_ethernet and len(data) > 14:
+            data = data[14:]
+        data = data[: self.max_bytes]
+        return [f"{b:02x}" for b in data]
+
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        symbols = self._base_symbols(packet)
+        if not self._merge_ranks:
+            return symbols
+        # Repeatedly apply the best-ranked merge present in the sequence.
+        while len(symbols) >= 2:
+            candidate = None
+            candidate_rank = None
+            for pair in zip(symbols, symbols[1:]):
+                rank = self._merge_ranks.get(pair)
+                if rank is not None and (candidate_rank is None or rank < candidate_rank):
+                    candidate = pair
+                    candidate_rank = rank
+            if candidate is None:
+                break
+            symbols = self._apply_merge(symbols, candidate, candidate[0] + candidate[1])
+        return symbols
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.merges)

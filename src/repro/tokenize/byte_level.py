@@ -1,0 +1,71 @@
+"""Byte- and hex-character-level tokenizers.
+
+The "packet trace as a sequence of bytes with no delimiters" view the paper
+describes: every byte of the wire representation becomes one token (or two
+hex characters).  These tokenizers need no training and have a tiny, fixed
+vocabulary, but discard all protocol structure — the property experiment E5
+quantifies against field-aware tokenization.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import PacketTokenizer
+
+__all__ = ["ByteTokenizer", "HexCharTokenizer"]
+
+
+class ByteTokenizer(PacketTokenizer):
+    """One token per byte of the packet's wire format.
+
+    Parameters
+    ----------
+    max_bytes:
+        Truncate each packet to this many bytes (contexts are limited to a
+        few hundred tokens, Section 4.1.3).
+    skip_ethernet:
+        Skip the 14-byte Ethernet header, which carries little semantic
+        content in a single-LAN capture.
+    """
+
+    name = "byte"
+
+    def __init__(self, max_bytes: int = 96, skip_ethernet: bool = True):
+        self.max_bytes = max_bytes
+        self.skip_ethernet = skip_ethernet
+
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        data = packet.to_bytes()
+        if self.skip_ethernet and len(data) > 14:
+            data = data[14:]
+        data = data[: self.max_bytes]
+        return [f"0x{b:02x}" for b in data]
+
+    def tokenize_bytes(self, data: bytes) -> list[str]:
+        """Tokenize a raw byte string (used by unit tests and by BPE training)."""
+        return [f"0x{b:02x}" for b in data[: self.max_bytes]]
+
+
+class HexCharTokenizer(PacketTokenizer):
+    """Two tokens per byte: the high and low hex nibbles as characters.
+
+    An even more extreme character-level segmentation, included because the
+    paper cites character-based tokenizers [26, 35, 58] as one option.
+    """
+
+    name = "hex-char"
+
+    def __init__(self, max_bytes: int = 64, skip_ethernet: bool = True):
+        self.max_bytes = max_bytes
+        self.skip_ethernet = skip_ethernet
+
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        data = packet.to_bytes()
+        if self.skip_ethernet and len(data) > 14:
+            data = data[14:]
+        data = data[: self.max_bytes]
+        tokens: list[str] = []
+        for byte in data:
+            tokens.append(f"{byte >> 4:x}")
+            tokens.append(f"{byte & 0xF:x}")
+        return tokens

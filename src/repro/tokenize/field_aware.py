@@ -1,0 +1,216 @@
+"""Field-aware (protocol-format) tokenizer.
+
+The alternative the paper proposes in Section 4.1.2: "recognizing the network
+protocol (language) and tokenizing it based on protocol format (e.g., 4 byte
+IP address, 2 byte port number, one byte TCP flag, HTTP fields, etc.).  This
+would preserve the semantics of the tokens as per the underlying network
+protocol specifications."
+
+Tokens are ``field=value`` strings for categorical fields (protocol number,
+ports, TCP flags, DNS record types, TLS ciphersuites, HTTP methods/statuses)
+and bucketed tokens for numerical fields (lengths, TTLs).  Domain names are
+split into registrable-domain + per-label subtokens so that rare hostnames
+share structure with their parent domain (the sub-word idea transplanted to
+DNS names).
+"""
+
+from __future__ import annotations
+
+from ..net.dns import DNSMessage
+from ..net.headers import ICMPHeader, TCPHeader, UDPHeader
+from ..net.http import HTTPRequest, HTTPResponse
+from ..net.ntp import NTPPacket
+from ..net.packet import Packet
+from ..net.ports import port_service, protocol_name
+from ..net.tls import TLSClientHello, TLSServerHello
+from .base import PacketTokenizer
+
+__all__ = ["FieldAwareTokenizer"]
+
+
+class FieldAwareTokenizer(PacketTokenizer):
+    """Tokenize packets along protocol field boundaries.
+
+    Parameters
+    ----------
+    include_addresses:
+        Whether to emit subnet-level tokens for IP addresses.  Raw addresses
+        are high-cardinality and rarely transfer across captures, so only the
+        /16 prefix is tokenized, and only when this flag is set.
+    max_dns_answers:
+        Cap on the number of answer-record tokens emitted per DNS response.
+    max_ciphersuites:
+        Cap on the number of offered-ciphersuite tokens per ClientHello.
+    """
+
+    name = "field"
+
+    def __init__(
+        self,
+        include_addresses: bool = False,
+        max_dns_answers: int = 6,
+        max_ciphersuites: int = 8,
+    ):
+        self.include_addresses = include_addresses
+        self.max_dns_answers = max_dns_answers
+        self.max_ciphersuites = max_ciphersuites
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        tokens: list[str] = []
+        tokens.extend(self._ip_tokens(packet))
+        tokens.extend(self._transport_tokens(packet))
+        tokens.extend(self._application_tokens(packet))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Layer-specific tokenization
+    # ------------------------------------------------------------------
+    def _ip_tokens(self, packet: Packet) -> list[str]:
+        if packet.ip is None:
+            return []
+        tokens = [
+            f"ip.proto={protocol_name(packet.ip.protocol)}",
+            self.length_bucket(packet.ip.total_length),
+            f"ip.ttl={self._ttl_bucket(packet.ip.ttl)}",
+        ]
+        if self.include_addresses:
+            tokens.append(f"ip.src16={'.'.join(packet.ip.src_ip.split('.')[:2])}")
+            tokens.append(f"ip.dst16={'.'.join(packet.ip.dst_ip.split('.')[:2])}")
+        return tokens
+
+    def _transport_tokens(self, packet: Packet) -> list[str]:
+        transport = packet.transport
+        if isinstance(transport, TCPHeader):
+            tokens = ["tp=tcp"]
+            tokens.append(f"tcp.dport={self._port_token(transport.dst_port)}")
+            tokens.append(f"tcp.sport={self._port_token(transport.src_port)}")
+            flags = "+".join(transport.flag_names()) or "NONE"
+            tokens.append(f"tcp.flags={flags}")
+            tokens.append(f"tcp.win={self._window_bucket(transport.window)}")
+            return tokens
+        if isinstance(transport, UDPHeader):
+            return [
+                "tp=udp",
+                f"udp.dport={self._port_token(transport.dst_port)}",
+                f"udp.sport={self._port_token(transport.src_port)}",
+            ]
+        if isinstance(transport, ICMPHeader):
+            return ["tp=icmp", f"icmp.type={transport.icmp_type}", f"icmp.code={transport.code}"]
+        return []
+
+    def _application_tokens(self, packet: Packet) -> list[str]:
+        app = packet.application
+        if isinstance(app, DNSMessage):
+            return self._dns_tokens(app)
+        if isinstance(app, HTTPRequest):
+            return [
+                "app=http",
+                f"http.method={app.method}",
+                f"http.path={self._path_token(app.path)}",
+                *self._domain_tokens("http.host", app.host),
+                f"http.ua={self._user_agent_family(app.user_agent)}",
+            ]
+        if isinstance(app, HTTPResponse):
+            return [
+                "app=http",
+                f"http.status={app.status}",
+                f"http.ctype={app.content_type.split('/')[0]}",
+                f"http.clen={self.length_bucket(app.content_length)}",
+            ]
+        if isinstance(app, TLSClientHello):
+            tokens = ["app=tls", "tls.msg=client-hello"]
+            tokens.extend(self._domain_tokens("tls.sni", app.server_name))
+            for suite in app.ciphersuites[: self.max_ciphersuites]:
+                tokens.append(f"tls.cs={suite}")
+            return tokens
+        if isinstance(app, TLSServerHello):
+            return ["app=tls", "tls.msg=server-hello", f"tls.cs={app.ciphersuite}"]
+        if isinstance(app, NTPPacket):
+            return ["app=ntp", f"ntp.mode={app.mode}", f"ntp.stratum={app.stratum}"]
+        if packet.payload:
+            return ["app=raw", self.length_bucket(len(packet.payload))]
+        return []
+
+    def _dns_tokens(self, message: DNSMessage) -> list[str]:
+        tokens = ["app=dns", "dns.qr=response" if message.is_response else "dns.qr=query"]
+        if message.rcode:
+            tokens.append(f"dns.rcode={message.rcode}")
+        for question in message.questions[:2]:
+            tokens.append(f"dns.qtype={question.type_name}")
+            tokens.extend(self._domain_tokens("dns.qname", question.name))
+        for answer in message.answers[: self.max_dns_answers]:
+            tokens.append(f"dns.atype={answer.type_name}")
+            if answer.type_name in ("CNAME", "NS", "PTR", "MX"):
+                target = answer.rdata.split(" ")[-1]
+                tokens.extend(self._domain_tokens("dns.adata", target))
+            else:
+                tokens.append(f"dns.answers={min(len(message.answers), self.max_dns_answers)}")
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Value bucketing helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _port_token(port: int) -> str:
+        service = port_service(port)
+        if service in ("ephemeral", "unknown"):
+            return service
+        return str(port)
+
+    @staticmethod
+    def _ttl_bucket(ttl: int) -> str:
+        for bound in (32, 64, 128, 255):
+            if ttl <= bound:
+                return f"<={bound}"
+        return ">255"
+
+    @staticmethod
+    def _window_bucket(window: int) -> str:
+        for bound in (1024, 8192, 32768, 65535):
+            if window <= bound:
+                return f"<={bound}"
+        return ">65535"
+
+    @staticmethod
+    def _path_token(path: str) -> str:
+        head = path.split("?")[0]
+        parts = [p for p in head.split("/") if p]
+        if not parts:
+            return "/"
+        suffix = parts[-1].rsplit(".", 1)
+        if len(suffix) == 2:
+            return f"*.{suffix[1]}"
+        return f"/{parts[0]}"
+
+    @staticmethod
+    def _user_agent_family(user_agent: str) -> str:
+        lowered = user_agent.lower()
+        for family in ("chrome", "safari", "firefox", "curl", "python", "go-http", "okhttp", "iot"):
+            if family in lowered:
+                return family
+        return "other"
+
+    @staticmethod
+    def _domain_tokens(prefix: str, domain: str) -> list[str]:
+        """Registrable-domain token plus per-label subtokens.
+
+        ``www.cdn-3.netflix.com`` becomes
+        ``["dns.qname=netflix.com", "dns.qlabel=www", "dns.qlabel=cdn-3"]`` —
+        rare hostnames share the registrable-domain token with their parent,
+        which is the sub-word idea (WordPiece/BPE) adapted to DNS names.
+        """
+        if not domain:
+            return []
+        labels = domain.rstrip(".").split(".")
+        if len(labels) >= 2:
+            registrable = ".".join(labels[-2:])
+            extra = labels[:-2]
+        else:
+            registrable = domain
+            extra = []
+        tokens = [f"{prefix}={registrable}"]
+        tokens.extend(f"{prefix}.label={label}" for label in extra[:3])
+        return tokens

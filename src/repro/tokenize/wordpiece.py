@@ -1,0 +1,99 @@
+"""WordPiece-style tokenizer over packet bytes.
+
+BERT uses WordPiece: a vocabulary of sub-word units, applied by greedy
+longest-match-first segmentation.  Here the "words" are packets' hex strings
+and the learned units are frequent multi-byte substrings; segmentation walks
+the hex string taking the longest vocabulary entry at each position, marking
+continuation pieces with the familiar ``##`` prefix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..net.packet import Packet
+from .base import PacketTokenizer
+
+__all__ = ["WordPieceTokenizer"]
+
+
+class WordPieceTokenizer(PacketTokenizer):
+    """Greedy longest-match sub-byte-string tokenizer.
+
+    Parameters
+    ----------
+    vocab_size:
+        Maximum number of learned multi-byte units (single bytes are always
+        in the vocabulary so segmentation cannot fail).
+    max_piece_bytes:
+        Longest unit, in bytes, considered during training.
+    min_count:
+        Minimum frequency for a unit to enter the vocabulary.
+    """
+
+    name = "wordpiece"
+
+    def __init__(
+        self,
+        vocab_size: int = 400,
+        max_piece_bytes: int = 4,
+        min_count: int = 4,
+        max_bytes: int = 96,
+        skip_ethernet: bool = True,
+    ):
+        self.vocab_size = vocab_size
+        self.max_piece_bytes = max_piece_bytes
+        self.min_count = min_count
+        self.max_bytes = max_bytes
+        self.skip_ethernet = skip_ethernet
+        #: Learned unit set, each unit a hex string of 2..2*max_piece_bytes chars.
+        self.pieces: set[str] = set()
+
+    def _hex_string(self, packet: Packet) -> str:
+        data = packet.to_bytes()
+        if self.skip_ethernet and len(data) > 14:
+            data = data[14:]
+        return data[: self.max_bytes].hex()
+
+    def fit(self, packets: Sequence[Packet]) -> "WordPieceTokenizer":
+        """Collect frequent multi-byte substrings as vocabulary units."""
+        counts: Counter[str] = Counter()
+        for packet in packets:
+            hex_string = self._hex_string(packet)
+            for size in range(2, self.max_piece_bytes + 1):
+                width = size * 2
+                for start in range(0, len(hex_string) - width + 1, 2):
+                    counts[hex_string[start : start + width]] += 1
+        frequent = [
+            piece for piece, count in counts.most_common() if count >= self.min_count
+        ]
+        self.pieces = set(frequent[: self.vocab_size])
+        return self
+
+    def tokenize_packet(self, packet: Packet) -> list[str]:
+        hex_string = self._hex_string(packet)
+        tokens: list[str] = []
+        position = 0
+        first = True
+        while position < len(hex_string):
+            match = None
+            for size in range(self.max_piece_bytes, 0, -1):
+                width = size * 2
+                candidate = hex_string[position : position + width]
+                if len(candidate) < width:
+                    continue
+                if size == 1 or candidate in self.pieces:
+                    match = candidate
+                    break
+            if match is None:
+                match = hex_string[position : position + 2]
+            token = match if first else f"##{match}"
+            tokens.append(token)
+            position += len(match)
+            first = False
+        return tokens
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.pieces)

@@ -1,0 +1,80 @@
+"""``repro.traffic`` — protocol-faithful synthetic workload generators.
+
+Real traces at the terabyte scales the paper cites are unavailable offline
+(and raise the privacy concerns of Section 4.2); the paper itself points to
+synthetic trace generation as the mitigation.  Every generator here produces
+byte-valid packets with ground-truth labels in ``Packet.metadata``.
+"""
+
+from .anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
+from .base import TraceConfig, TrafficGenerator, merge_traces, split_by_label
+from .datacenter import (
+    CongestionConfig,
+    CongestionSimulator,
+    DatacenterConfig,
+    DatacenterFlow,
+    DatacenterFlowGenerator,
+    build_leaf_spine,
+)
+from .dns_workload import DNSWorkloadConfig, DNSWorkloadGenerator
+from .domains import (
+    ALL_DOMAINS,
+    DOMAIN_CATEGORIES,
+    DomainSampler,
+    domain_category,
+    generate_dga_domain,
+)
+from .http_workload import (
+    HTTPWorkloadConfig,
+    HTTPWorkloadGenerator,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+)
+from .interleave import (
+    apply_jitter,
+    drop_packets,
+    interleave_at_capture_point,
+    reorder_within_window,
+)
+from .iot import DEVICE_PROFILES, DeviceProfile, IoTWorkloadConfig, IoTWorkloadGenerator
+from .scenario import EnterpriseScenario, EnterpriseScenarioConfig
+from .shift import reweight_categories, shifted_dns_config
+
+__all__ = [
+    "TraceConfig",
+    "TrafficGenerator",
+    "merge_traces",
+    "split_by_label",
+    "DNSWorkloadConfig",
+    "DNSWorkloadGenerator",
+    "HTTPWorkloadConfig",
+    "HTTPWorkloadGenerator",
+    "TLSWorkloadConfig",
+    "TLSWorkloadGenerator",
+    "IoTWorkloadConfig",
+    "IoTWorkloadGenerator",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "AttackConfig",
+    "AttackGenerator",
+    "ATTACK_TYPES",
+    "DatacenterConfig",
+    "DatacenterFlow",
+    "DatacenterFlowGenerator",
+    "CongestionConfig",
+    "CongestionSimulator",
+    "build_leaf_spine",
+    "DomainSampler",
+    "DOMAIN_CATEGORIES",
+    "ALL_DOMAINS",
+    "domain_category",
+    "generate_dga_domain",
+    "interleave_at_capture_point",
+    "apply_jitter",
+    "drop_packets",
+    "reorder_within_window",
+    "EnterpriseScenario",
+    "EnterpriseScenarioConfig",
+    "shifted_dns_config",
+    "reweight_categories",
+]

@@ -1,0 +1,185 @@
+"""Attack and anomaly traffic generators.
+
+Section 4.3 of the paper asks whether foundation models can detect zero-day
+attacks and unusual behaviours, i.e. instances unlike anything seen during
+training.  These generators produce several attack families so the OOD
+experiments can hold entire families out as "zero-days":
+
+* port scans (horizontal SYN sweeps),
+* SYN floods,
+* DNS tunnelling / exfiltration (high-entropy subdomains of one domain),
+* command-and-control beaconing (periodic small HTTPS connections to a DGA
+  domain),
+* brute-force login attempts (rapid small request/response pairs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..net.addresses import random_ipv4, random_private_ipv4
+from ..net.dns import DNSMessage, DNSQuestion, RECORD_TYPES
+from ..net.headers import TCP_FLAG_ACK, TCP_FLAG_PSH, TCP_FLAG_SYN
+from ..net.http import HTTPRequest, HTTPResponse
+from ..net.packet import Packet, build_packet
+from ..net.tls import TLSClientHello
+from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .domains import generate_dga_domain
+
+__all__ = ["AttackConfig", "AttackGenerator", "ATTACK_TYPES"]
+
+ATTACK_TYPES = ("port-scan", "syn-flood", "dns-tunnel", "c2-beacon", "brute-force")
+
+
+@dataclasses.dataclass
+class AttackConfig(TraceConfig):
+    """Which attacks to generate and at what intensity."""
+
+    attack_types: tuple[str, ...] = ATTACK_TYPES
+    events_per_attack: int = 1
+    scan_ports: int = 60
+    flood_packets: int = 80
+    tunnel_queries: int = 40
+    beacon_count: int = 30
+    brute_force_attempts: int = 50
+
+
+class AttackGenerator(TrafficGenerator):
+    """Generate labelled attack traffic (``metadata["anomaly"] is True``)."""
+
+    def __init__(self, config: AttackConfig | None = None):
+        super().__init__(config or AttackConfig())
+        self.config: AttackConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        packets: list[Packet] = []
+        builders = {
+            "port-scan": self._port_scan,
+            "syn-flood": self._syn_flood,
+            "dns-tunnel": self._dns_tunnel,
+            "c2-beacon": self._c2_beacon,
+            "brute-force": self._brute_force,
+        }
+        for attack in cfg.attack_types:
+            if attack not in builders:
+                raise ValueError(f"unknown attack type {attack!r}; known: {sorted(builders)}")
+            for _ in range(cfg.events_per_attack):
+                start = cfg.start_time + float(rng.uniform(0, cfg.duration))
+                packets.extend(builders[attack](rng, start))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    # ------------------------------------------------------------------
+    # Attack families
+    # ------------------------------------------------------------------
+    def _metadata(self, attack: str) -> dict:
+        return {
+            "application": "attack",
+            "attack_type": attack,
+            "anomaly": True,
+            "session_id": next_session_id(),
+        }
+
+    def _port_scan(self, rng: np.random.Generator, start: float) -> list[Packet]:
+        cfg = self.config
+        attacker = random_ipv4(rng)
+        victim = random_private_ipv4(rng, cfg.client_subnet)
+        base = self._metadata("port-scan")
+        packets = []
+        ports = rng.choice(np.arange(1, 1024), size=cfg.scan_ports, replace=False)
+        for i, port in enumerate(ports):
+            md = dict(base, connection_id=next_connection_id())
+            packets.append(build_packet(
+                start + i * 0.01, attacker, victim, "TCP",
+                int(rng.integers(49152, 65535)), int(port),
+                tcp_flags=TCP_FLAG_SYN, metadata=md,
+            ))
+        return packets
+
+    def _syn_flood(self, rng: np.random.Generator, start: float) -> list[Packet]:
+        cfg = self.config
+        victim = random_private_ipv4(rng, cfg.client_subnet)
+        base = self._metadata("syn-flood")
+        packets = []
+        for i in range(cfg.flood_packets):
+            spoofed = random_ipv4(rng)
+            md = dict(base, connection_id=next_connection_id())
+            packets.append(build_packet(
+                start + i * 0.002, spoofed, victim, "TCP",
+                int(rng.integers(1024, 65535)), 80,
+                tcp_flags=TCP_FLAG_SYN, metadata=md,
+            ))
+        return packets
+
+    def _dns_tunnel(self, rng: np.random.Generator, start: float) -> list[Packet]:
+        cfg = self.config
+        client = random_private_ipv4(rng, cfg.client_subnet)
+        exfil_domain = generate_dga_domain(rng, length=10, tld="net")
+        base = self._metadata("dns-tunnel")
+        packets = []
+        src_port = int(rng.integers(49152, 65535))
+        for i in range(cfg.tunnel_queries):
+            # Long, high-entropy subdomain encoding exfiltrated data.
+            chunk = "".join(
+                "abcdefghijklmnopqrstuvwxyz234567"[int(c)]
+                for c in rng.integers(0, 32, size=40)
+            )
+            name = f"{chunk}.{exfil_domain}"
+            md = dict(base, connection_id=next_connection_id(), domain=name)
+            query = DNSMessage(
+                transaction_id=int(rng.integers(0, 65536)),
+                questions=[DNSQuestion(name=name, qtype=RECORD_TYPES["TXT"])],
+            )
+            packets.append(build_packet(
+                start + i * 0.2, client, "8.8.8.8", "UDP", src_port, 53,
+                application=query, metadata=dict(md, direction="query"),
+            ))
+        return packets
+
+    def _c2_beacon(self, rng: np.random.Generator, start: float) -> list[Packet]:
+        cfg = self.config
+        infected = random_private_ipv4(rng, cfg.client_subnet)
+        c2_server = random_ipv4(rng)
+        c2_domain = generate_dga_domain(rng)
+        base = self._metadata("c2-beacon")
+        packets = []
+        period = float(rng.uniform(5.0, 15.0))
+        for i in range(cfg.beacon_count):
+            when = start + i * period + float(rng.normal(0, 0.05))
+            md = dict(base, connection_id=next_connection_id(), domain=c2_domain)
+            hello = TLSClientHello(ciphersuites=[0x002F, 0x0035, 0x000A], server_name=c2_domain)
+            packets.append(build_packet(
+                when, infected, c2_server, "TCP", int(rng.integers(49152, 65535)), 443,
+                application=hello, tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=md,
+            ))
+        return packets
+
+    def _brute_force(self, rng: np.random.Generator, start: float) -> list[Packet]:
+        cfg = self.config
+        attacker = random_ipv4(rng)
+        victim = random_private_ipv4(rng, cfg.client_subnet)
+        base = self._metadata("brute-force")
+        packets = []
+        for i in range(cfg.brute_force_attempts):
+            when = start + i * 0.3
+            md = dict(base, connection_id=next_connection_id())
+            request = HTTPRequest(
+                method="POST", path="/login", host="intranet.corp.example.com",
+                user_agent="python-requests/2.28.1",
+            )
+            packets.append(build_packet(
+                when, attacker, victim, "TCP", int(rng.integers(49152, 65535)), 80,
+                application=request, tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK,
+                metadata=dict(md, direction="request"),
+            ))
+            packets.append(build_packet(
+                when + 0.02, victim, attacker, "TCP", 80, int(rng.integers(49152, 65535)),
+                application=HTTPResponse(status=401, content_length=64),
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK,
+                metadata=dict(md, direction="response"),
+            ))
+        return packets

@@ -1,0 +1,108 @@
+"""Shared infrastructure for synthetic traffic generators.
+
+Every generator in this package produces ``list[Packet]`` with ground-truth
+labels stored in ``Packet.metadata``.  The common metadata keys are:
+
+``application``
+    Application category ("dns", "http", "video", "mail", ...), used by the
+    flow-classification tasks.
+``domain_category``
+    For DNS traffic, the semantic category of the queried domain.
+``device``
+    IoT device type, used by device classification.
+``anomaly`` / ``attack_type``
+    Whether the packet belongs to attack traffic and which kind.
+``connection_id`` / ``session_id``
+    Identifiers linking packets of one connection / one user-level session,
+    used by the context builders (Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterable
+
+import numpy as np
+
+from ..net.packet import Packet
+
+__all__ = ["TraceConfig", "TrafficGenerator", "merge_traces", "split_by_label"]
+
+_connection_counter = itertools.count(1)
+_session_counter = itertools.count(1)
+
+
+def next_connection_id() -> int:
+    """Globally unique connection identifier (monotonically increasing)."""
+    return next(_connection_counter)
+
+
+def next_session_id() -> int:
+    """Globally unique session identifier (monotonically increasing)."""
+    return next(_session_counter)
+
+
+@dataclasses.dataclass
+class TraceConfig:
+    """Parameters shared by all generators.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the generator's private RNG; two generators built with the
+        same configuration produce identical traces.
+    start_time:
+        Timestamp of the first packet in seconds.
+    duration:
+        Length of the simulated capture window in seconds.
+    client_subnet:
+        CIDR from which client addresses are drawn.
+    """
+
+    seed: int = 0
+    start_time: float = 0.0
+    duration: float = 60.0
+    client_subnet: str = "10.0.0.0/16"
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+
+class TrafficGenerator:
+    """Base class: subclasses implement :meth:`generate`."""
+
+    def __init__(self, config: TraceConfig | None = None):
+        self.config = config or TraceConfig()
+
+    def generate(self) -> list[Packet]:
+        raise NotImplementedError
+
+    def generate_sorted(self) -> list[Packet]:
+        """Generate and return packets sorted by timestamp."""
+        packets = self.generate()
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+
+def merge_traces(*traces: Iterable[Packet]) -> list[Packet]:
+    """Merge traces from several generators into one time-ordered capture.
+
+    This models the capture point (e.g. a border router) where packets from
+    different endpoints and connections are interleaved — the complication
+    Section 4.1.3 highlights for context construction.
+    """
+    merged: list[Packet] = []
+    for trace in traces:
+        merged.extend(trace)
+    merged.sort(key=lambda p: p.timestamp)
+    return merged
+
+
+def split_by_label(packets: Iterable[Packet], key: str) -> dict[str, list[Packet]]:
+    """Group packets by a metadata label value."""
+    groups: dict[str, list[Packet]] = {}
+    for packet in packets:
+        value = str(packet.metadata.get(key, "unknown"))
+        groups.setdefault(value, []).append(packet)
+    return groups

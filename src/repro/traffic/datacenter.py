@@ -1,0 +1,246 @@
+"""Datacenter flow-level workload and a bottleneck-link congestion simulator.
+
+Two of the downstream tasks the paper enumerates (Section 3.1) are performance
+prediction / estimation and congestion prediction.  This module supplies the
+substrate for both:
+
+* :class:`DatacenterFlowGenerator` draws flows from a heavy-tailed size
+  distribution (mice and elephants) over a leaf-spine topology built with
+  ``networkx``, and computes each flow's completion time under a simple
+  max-min fair-share model of the bottleneck link — the regression target of
+  the performance-prediction task.
+* :class:`CongestionSimulator` evolves a bottleneck queue over time under the
+  offered load and emits fixed-length windows labelled with whether the queue
+  exceeds a congestion threshold in the near future — the target of the
+  congestion-prediction task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "DatacenterConfig",
+    "DatacenterFlow",
+    "DatacenterFlowGenerator",
+    "CongestionConfig",
+    "CongestionSimulator",
+    "build_leaf_spine",
+]
+
+
+def build_leaf_spine(num_leaves: int = 4, num_spines: int = 2, hosts_per_leaf: int = 8) -> nx.Graph:
+    """Build a leaf-spine topology; hosts are named ``h<leaf>_<index>``."""
+    graph = nx.Graph()
+    for spine in range(num_spines):
+        graph.add_node(f"spine{spine}", kind="spine")
+    for leaf in range(num_leaves):
+        leaf_name = f"leaf{leaf}"
+        graph.add_node(leaf_name, kind="leaf")
+        for spine in range(num_spines):
+            graph.add_edge(leaf_name, f"spine{spine}", capacity_gbps=40.0)
+        for host in range(hosts_per_leaf):
+            host_name = f"h{leaf}_{host}"
+            graph.add_node(host_name, kind="host")
+            graph.add_edge(leaf_name, host_name, capacity_gbps=10.0)
+    return graph
+
+
+@dataclasses.dataclass
+class DatacenterFlow:
+    """One flow with the features and target used by performance prediction."""
+
+    flow_id: int
+    src_host: str
+    dst_host: str
+    size_bytes: float
+    start_time: float
+    concurrent_flows: int
+    path_length: int
+    bottleneck_gbps: float
+    completion_time: float
+
+    def feature_vector(self) -> np.ndarray:
+        """Features available at flow start (the predictor's input)."""
+        return np.array(
+            [
+                np.log10(self.size_bytes + 1.0),
+                self.concurrent_flows,
+                self.path_length,
+                self.bottleneck_gbps,
+                self.start_time % 1.0,
+            ],
+            dtype=float,
+        )
+
+
+@dataclasses.dataclass
+class DatacenterConfig:
+    """Workload parameters for the datacenter flow generator."""
+
+    seed: int = 0
+    num_flows: int = 500
+    duration: float = 10.0
+    num_leaves: int = 4
+    num_spines: int = 2
+    hosts_per_leaf: int = 8
+    elephant_fraction: float = 0.1
+    mice_mean_kb: float = 30.0
+    elephant_mean_mb: float = 20.0
+    intra_rack_fraction: float = 0.3
+
+
+class DatacenterFlowGenerator:
+    """Generate datacenter flows and their completion times."""
+
+    def __init__(self, config: DatacenterConfig | None = None):
+        self.config = config or DatacenterConfig()
+        self.topology = build_leaf_spine(
+            self.config.num_leaves, self.config.num_spines, self.config.hosts_per_leaf
+        )
+        self._hosts = [n for n, data in self.topology.nodes(data=True) if data["kind"] == "host"]
+
+    def generate(self) -> list[DatacenterFlow]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        starts = np.sort(rng.uniform(0, cfg.duration, size=cfg.num_flows))
+        flows: list[DatacenterFlow] = []
+        active_ends: list[float] = []
+        for flow_id, start in enumerate(starts):
+            src = str(rng.choice(self._hosts))
+            if rng.random() < cfg.intra_rack_fraction:
+                rack = src.split("_")[0]
+                rack_mates = [h for h in self._hosts if h.startswith(rack) and h != src]
+                dst = str(rng.choice(rack_mates))
+            else:
+                dst = str(rng.choice([h for h in self._hosts if h != src]))
+            if rng.random() < cfg.elephant_fraction:
+                size = float(rng.exponential(cfg.elephant_mean_mb)) * 1e6
+            else:
+                size = float(rng.exponential(cfg.mice_mean_kb)) * 1e3
+            path = nx.shortest_path(self.topology, src, dst)
+            path_length = len(path) - 1
+            capacities = [
+                self.topology.edges[path[i], path[i + 1]]["capacity_gbps"]
+                for i in range(path_length)
+            ]
+            bottleneck = min(capacities)
+            # Flows still active at this start time share the bottleneck fairly.
+            active_ends = [t for t in active_ends if t > start]
+            concurrent = len(active_ends) + 1
+            effective_gbps = bottleneck / concurrent
+            base_latency = 5e-6 * path_length
+            completion = base_latency + size * 8 / (effective_gbps * 1e9)
+            # Queueing noise grows with contention.
+            completion *= float(1.0 + rng.exponential(0.1) * (concurrent - 1))
+            active_ends.append(start + completion)
+            flows.append(
+                DatacenterFlow(
+                    flow_id=flow_id,
+                    src_host=src,
+                    dst_host=dst,
+                    size_bytes=size,
+                    start_time=float(start),
+                    concurrent_flows=concurrent,
+                    path_length=path_length,
+                    bottleneck_gbps=bottleneck,
+                    completion_time=float(completion),
+                )
+            )
+        return flows
+
+    def dataset(self) -> tuple[np.ndarray, np.ndarray]:
+        """Feature matrix and completion-time targets for regression tasks."""
+        flows = self.generate()
+        features = np.stack([f.feature_vector() for f in flows])
+        targets = np.array([f.completion_time for f in flows])
+        return features, targets
+
+
+@dataclasses.dataclass
+class CongestionConfig:
+    """Parameters of the bottleneck-queue congestion simulator."""
+
+    seed: int = 0
+    duration: float = 300.0
+    tick: float = 0.1
+    link_capacity_mbps: float = 100.0
+    mean_offered_load: float = 0.45         # fraction of capacity
+    burst_probability: float = 0.015
+    burst_multiplier: float = 2.5
+    burst_duration_ticks: int = 25
+    queue_limit_kb: float = 500.0
+    congestion_threshold: float = 0.6        # queue fraction that counts as congested
+    horizon_ticks: int = 20                  # how far ahead the label looks
+
+
+class CongestionSimulator:
+    """Simulate a bottleneck queue and produce windowed congestion-prediction data."""
+
+    def __init__(self, config: CongestionConfig | None = None):
+        self.config = config or CongestionConfig()
+
+    def simulate(self) -> dict[str, np.ndarray]:
+        """Run the fluid simulation; returns per-tick series."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        ticks = int(cfg.duration / cfg.tick)
+        capacity_per_tick = cfg.link_capacity_mbps * 1e6 / 8 * cfg.tick / 1e3  # KB per tick
+        queue = 0.0
+        burst_left = 0
+        arrivals = np.zeros(ticks)
+        queues = np.zeros(ticks)
+        drops = np.zeros(ticks)
+        utilization = np.zeros(ticks)
+        for t in range(ticks):
+            if burst_left == 0 and rng.random() < cfg.burst_probability:
+                burst_left = cfg.burst_duration_ticks
+            load = cfg.mean_offered_load * (cfg.burst_multiplier if burst_left > 0 else 1.0)
+            burst_left = max(burst_left - 1, 0)
+            offered = float(rng.gamma(4.0, load / 4.0)) * capacity_per_tick
+            queue += offered
+            served = min(queue, capacity_per_tick)
+            queue -= served
+            dropped = max(queue - cfg.queue_limit_kb, 0.0)
+            queue = min(queue, cfg.queue_limit_kb)
+            arrivals[t] = offered
+            queues[t] = queue
+            drops[t] = dropped
+            utilization[t] = served / capacity_per_tick
+        return {
+            "arrivals_kb": arrivals,
+            "queue_kb": queues,
+            "drops_kb": drops,
+            "utilization": utilization,
+        }
+
+    def windowed_dataset(self, window: int = 30) -> tuple[np.ndarray, np.ndarray]:
+        """Sliding windows of (arrivals, queue, utilization) and binary congestion labels.
+
+        The label of a window is 1 if the queue exceeds
+        ``congestion_threshold * queue_limit`` at any point within the next
+        ``horizon_ticks`` ticks after the window — i.e. "congestion ahead".
+        """
+        cfg = self.config
+        series = self.simulate()
+        threshold = cfg.congestion_threshold * cfg.queue_limit_kb
+        ticks = len(series["queue_kb"])
+        features = []
+        labels = []
+        for start in range(0, ticks - window - cfg.horizon_ticks):
+            stop = start + window
+            window_features = np.stack(
+                [
+                    series["arrivals_kb"][start:stop],
+                    series["queue_kb"][start:stop],
+                    series["utilization"][start:stop],
+                ],
+                axis=-1,
+            )
+            future = series["queue_kb"][stop : stop + cfg.horizon_ticks]
+            features.append(window_features)
+            labels.append(1 if (future >= threshold).any() else 0)
+        return np.stack(features), np.array(labels, dtype=np.int64)

@@ -1,0 +1,243 @@
+"""DNS workload generator.
+
+Emits query/response pairs whose queried domains follow the structured
+universe of :mod:`repro.traffic.domains`.  Every packet is labelled with the
+semantic category of the queried domain, which is the classification target
+of the NorBERT-style experiment (E1): pre-train on unlabeled DNS traffic,
+fine-tune to predict the category, evaluate on a distribution-shifted
+workload.
+
+Each category has a characteristic *behavioural* signature beyond the domain
+name itself — query-type mix, TTL regime, CNAME indirection, answer counts,
+hostname-label patterns — mirroring how mail, CDN, time or IoT services
+really behave.  Those signatures are what a pre-trained model can pick up
+from unlabeled traffic and what lets it generalize when the domain popularity
+distribution shifts or previously-unseen hostnames appear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..net.addresses import random_private_ipv4
+from ..net.dns import DNSAnswer, DNSMessage, DNSQuestion, RECORD_TYPES
+from ..net.packet import Packet, build_packet
+from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .domains import DomainSampler, domain_category
+
+__all__ = ["DNSWorkloadConfig", "DNSWorkloadGenerator", "CATEGORY_BEHAVIOUR", "CategoryBehaviour"]
+
+_PUBLIC_RESOLVERS = ["8.8.8.8", "1.1.1.1", "9.9.9.9", "208.67.222.222"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoryBehaviour:
+    """Behavioural signature of one domain category."""
+
+    aaaa_probability: float      # fraction of AAAA (vs A) queries
+    mx_probability: float        # fraction of MX queries (mail infrastructure)
+    txt_probability: float       # fraction of TXT queries (verification, IoT)
+    cname_probability: float     # chance the answer goes through a CNAME chain
+    mean_answers: float          # average number of address records returned
+    ttl_seconds: int             # typical record TTL
+    host_labels: tuple[str, ...] # hostname prefixes commonly queried
+
+
+#: Per-category behaviour.  CDN/video services use aggressive CNAME chains,
+#: many A records and tiny TTLs; mail uses MX lookups; time services return a
+#: single long-lived record; IoT clouds sprinkle TXT lookups, and so on.
+CATEGORY_BEHAVIOUR: dict[str, CategoryBehaviour] = {
+    "mail": CategoryBehaviour(0.10, 0.45, 0.10, 0.10, 1.5, 3600, ("smtp", "imap", "mail", "mx1")),
+    "video": CategoryBehaviour(0.25, 0.00, 0.00, 0.80, 4.0, 60, ("cdn-1", "cdn-2", "edge", "media")),
+    "news": CategoryBehaviour(0.15, 0.00, 0.02, 0.50, 2.5, 300, ("www", "static", "img")),
+    "time": CategoryBehaviour(0.05, 0.00, 0.00, 0.02, 1.0, 86400, ("0", "1", "2", "3")),
+    "repository": CategoryBehaviour(0.55, 0.00, 0.05, 0.30, 2.0, 1800, ("mirror", "dl", "objects")),
+    "social": CategoryBehaviour(0.30, 0.00, 0.02, 0.60, 3.0, 120, ("api", "graph", "static")),
+    "cloud": CategoryBehaviour(0.35, 0.00, 0.10, 0.40, 2.5, 600, ("api", "bucket", "us-east-1")),
+    "iot-cloud": CategoryBehaviour(0.05, 0.00, 0.30, 0.15, 1.2, 900, ("mqtt", "api", "device")),
+    "ads": CategoryBehaviour(0.20, 0.00, 0.00, 0.70, 3.5, 90, ("track", "pixel", "sync")),
+    "cdn": CategoryBehaviour(0.30, 0.00, 0.00, 0.85, 4.5, 45, ("edge", "global", "dualstack")),
+}
+
+_DEFAULT_BEHAVIOUR = CategoryBehaviour(0.2, 0.0, 0.02, 0.3, 2.0, 300, ("www",))
+
+
+@dataclasses.dataclass
+class DNSWorkloadConfig(TraceConfig):
+    """Configuration of the DNS workload.
+
+    The knobs beyond :class:`TraceConfig` are the distribution-shift levers
+    used by experiment E1: category weights, the Zipf exponent, resolver set,
+    TTL scaling, and how often queries target previously-unseen hostnames
+    (subdomain labels) of known services.
+    """
+
+    num_clients: int = 20
+    queries_per_client: int = 30
+    zipf_exponent: float = 1.1
+    category_weights: dict[str, float] | None = None
+    resolvers: tuple[str, ...] = tuple(_PUBLIC_RESOLVERS)
+    ttl_scale: float = 1.0
+    hostname_probability: float = 0.35
+    novel_hostname_probability: float = 0.0
+    nxdomain_probability: float = 0.02
+    base_ttl: int = 300            # retained for backwards compatibility (unused directly)
+    cname_probability: float = 0.25
+    multi_answer_probability: float = 0.4
+    aaaa_probability: float = 0.2
+
+
+class DNSWorkloadGenerator(TrafficGenerator):
+    """Generate labelled DNS query/response traffic."""
+
+    def __init__(self, config: DNSWorkloadConfig | None = None):
+        super().__init__(config or DNSWorkloadConfig())
+        self.config: DNSWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(
+            rng, zipf_exponent=cfg.zipf_exponent, category_weights=cfg.category_weights
+        )
+        clients = [random_private_ipv4(rng, cfg.client_subnet) for _ in range(cfg.num_clients)]
+        packets: list[Packet] = []
+        for client in clients:
+            session_id = next_session_id()
+            times = np.sort(rng.uniform(0, cfg.duration, size=cfg.queries_per_client))
+            for offset in times:
+                packets.extend(
+                    self._one_transaction(
+                        rng, sampler, client, cfg.start_time + float(offset), session_id
+                    )
+                )
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    # ------------------------------------------------------------------
+    # One query/response transaction
+    # ------------------------------------------------------------------
+    def _one_transaction(
+        self,
+        rng: np.random.Generator,
+        sampler: DomainSampler,
+        client: str,
+        when: float,
+        session_id: int,
+    ) -> list[Packet]:
+        cfg = self.config
+        base_domain = sampler.sample()
+        category = domain_category(base_domain)
+        behaviour = CATEGORY_BEHAVIOUR.get(category, _DEFAULT_BEHAVIOUR)
+        domain = self._query_name(rng, base_domain, behaviour)
+        resolver = str(rng.choice(list(cfg.resolvers)))
+        src_port = int(rng.integers(49152, 65535))
+        transaction_id = int(rng.integers(0, 65536))
+        connection_id = next_connection_id()
+        qtype = self._query_type(rng, behaviour)
+        question = DNSQuestion(name=domain, qtype=qtype)
+
+        metadata = {
+            "application": "dns",
+            "domain": base_domain,
+            "domain_category": category,
+            "connection_id": connection_id,
+            "session_id": session_id,
+            "anomaly": False,
+        }
+
+        query = DNSMessage(transaction_id=transaction_id, questions=[question])
+        query_packet = build_packet(
+            when, client, resolver, "UDP", src_port, 53, application=query,
+            metadata=dict(metadata, direction="query"),
+        )
+
+        nxdomain = rng.random() < cfg.nxdomain_probability
+        answers = [] if nxdomain else self._answers(rng, domain, base_domain, qtype, behaviour)
+        response = DNSMessage(
+            transaction_id=transaction_id,
+            is_response=True,
+            questions=[question],
+            answers=answers,
+            rcode=3 if nxdomain else 0,
+        )
+        latency = float(rng.gamma(2.0, 0.01))
+        response_packet = build_packet(
+            when + latency, resolver, client, "UDP", 53, src_port, application=response,
+            metadata=dict(metadata, direction="response", nxdomain=nxdomain),
+        )
+        return [query_packet, response_packet]
+
+    def _query_name(
+        self, rng: np.random.Generator, base_domain: str, behaviour: CategoryBehaviour
+    ) -> str:
+        cfg = self.config
+        if rng.random() < cfg.novel_hostname_probability:
+            # A hostname label never seen in the training workload: models
+            # that memorised full names cannot rely on it.
+            label = f"srv{int(rng.integers(100, 999))}"
+            return f"{label}.{base_domain}"
+        if rng.random() < cfg.hostname_probability and behaviour.host_labels:
+            label = str(rng.choice(list(behaviour.host_labels)))
+            return f"{label}.{base_domain}"
+        return base_domain
+
+    @staticmethod
+    def _query_type(rng: np.random.Generator, behaviour: CategoryBehaviour) -> int:
+        roll = rng.random()
+        if roll < behaviour.mx_probability:
+            return RECORD_TYPES["MX"]
+        roll -= behaviour.mx_probability
+        if roll < behaviour.txt_probability:
+            return RECORD_TYPES["TXT"]
+        roll -= behaviour.txt_probability
+        if roll < behaviour.aaaa_probability:
+            return RECORD_TYPES["AAAA"]
+        return RECORD_TYPES["A"]
+
+    def _answers(
+        self,
+        rng: np.random.Generator,
+        query_name: str,
+        base_domain: str,
+        qtype: int,
+        behaviour: CategoryBehaviour,
+    ) -> list[DNSAnswer]:
+        cfg = self.config
+        ttl = max(int(behaviour.ttl_seconds * cfg.ttl_scale * float(rng.uniform(0.7, 1.3))), 5)
+        answers: list[DNSAnswer] = []
+        if qtype == RECORD_TYPES["MX"]:
+            for priority in (10, 20)[: int(rng.integers(1, 3))]:
+                answers.append(DNSAnswer(
+                    name=query_name, rtype=RECORD_TYPES["MX"], ttl=ttl,
+                    rdata=f"{priority} mx{priority // 10}.{base_domain}",
+                ))
+            return answers
+        if qtype == RECORD_TYPES["TXT"]:
+            answers.append(DNSAnswer(
+                name=query_name, rtype=RECORD_TYPES["TXT"], ttl=ttl,
+                rdata=f"v=spf1 include:{base_domain} ~all",
+            ))
+            return answers
+
+        target = query_name
+        if rng.random() < behaviour.cname_probability:
+            target = f"edge-{int(rng.integers(1, 9))}.cdn.{base_domain}"
+            answers.append(
+                DNSAnswer(name=query_name, rtype=RECORD_TYPES["CNAME"], ttl=ttl, rdata=target)
+            )
+        count = max(1, int(rng.poisson(behaviour.mean_answers)))
+        for _ in range(count):
+            if qtype == RECORD_TYPES["AAAA"]:
+                groups = rng.integers(0, 0xFFFF, size=4)
+                rdata = "2001:db8:" + ":".join(f"{g:x}" for g in groups)
+                answers.append(
+                    DNSAnswer(name=target, rtype=RECORD_TYPES["AAAA"], ttl=ttl, rdata=rdata)
+                )
+            else:
+                octets = rng.integers(1, 255, size=2)
+                rdata = f"93.{100 + int(octets[0]) % 90}.{octets[0]}.{octets[1]}"
+                answers.append(DNSAnswer(name=target, rtype=RECORD_TYPES["A"], ttl=ttl, rdata=rdata))
+        return answers

@@ -1,0 +1,142 @@
+"""A structured universe of domain names with application semantics.
+
+The paper's Section 3.3 uses the DNS query field as its example of a
+categorical variable with rich semantic content: mail servers, repository
+servers, time servers, news sites, video streaming sites.  This module
+defines exactly that universe, with Zipf-distributed popularity inside each
+category, so that the DNS workload generator emits queries whose co-occurrence
+statistics carry recoverable semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DOMAIN_CATEGORIES",
+    "ALL_DOMAINS",
+    "domain_category",
+    "DomainSampler",
+    "generate_dga_domain",
+]
+
+#: Domain categories and their members.  Category names double as the
+#: application labels used by the DNS classification downstream task.
+DOMAIN_CATEGORIES: dict[str, list[str]] = {
+    "mail": [
+        "gmail.com", "outlook.com", "mail.yahoo.com", "proton.me", "zoho.com",
+        "fastmail.com", "smtp.corp.example.com", "imap.corp.example.com",
+    ],
+    "video": [
+        "netflix.com", "primevideo.com", "youtube.com", "hulu.com", "disneyplus.com",
+        "vimeo.com", "twitch.tv", "hbomax.com",
+    ],
+    "news": [
+        "npr.org", "nytimes.com", "bbc.co.uk", "reuters.com", "theguardian.com",
+        "apnews.com", "wsj.com", "aljazeera.com",
+    ],
+    "time": [
+        "time.nist.gov", "pool.ntp.org", "time.google.com", "time.windows.com",
+        "time.apple.com", "ntp.ubuntu.com",
+    ],
+    "repository": [
+        "github.com", "gitlab.com", "pypi.org", "registry.npmjs.org", "hub.docker.com",
+        "crates.io", "archive.ubuntu.com", "cdn.redhat.com",
+    ],
+    "social": [
+        "facebook.com", "instagram.com", "twitter.com", "linkedin.com", "reddit.com",
+        "tiktok.com", "pinterest.com",
+    ],
+    "cloud": [
+        "s3.amazonaws.com", "storage.googleapis.com", "blob.core.windows.net",
+        "api.dropbox.com", "drive.google.com", "box.com",
+    ],
+    "iot-cloud": [
+        "iot.us-east-1.amazonaws.com", "mqtt.tuya.com", "api.smartthings.com",
+        "nest.google.com", "cloud.hue.philips.com", "api.ring.com",
+    ],
+    "ads": [
+        "doubleclick.net", "googlesyndication.com", "adnxs.com", "criteo.com",
+        "taboola.com", "outbrain.com",
+    ],
+    "cdn": [
+        "cloudfront.net", "akamaiedge.net", "fastly.net", "cloudflare.com",
+        "edgecastcdn.net", "llnwd.net",
+    ],
+}
+
+ALL_DOMAINS: list[str] = [d for domains in DOMAIN_CATEGORIES.values() for d in domains]
+
+_DOMAIN_TO_CATEGORY: dict[str, str] = {
+    domain: category for category, domains in DOMAIN_CATEGORIES.items() for domain in domains
+}
+
+
+def domain_category(domain: str) -> str:
+    """Category label of ``domain`` (``"unknown"`` for unregistered names)."""
+    if domain in _DOMAIN_TO_CATEGORY:
+        return _DOMAIN_TO_CATEGORY[domain]
+    # Strip a leading host label and retry (e.g. "cdn-3.netflix.com").
+    _, _, parent = domain.partition(".")
+    return _DOMAIN_TO_CATEGORY.get(parent, "unknown")
+
+
+class DomainSampler:
+    """Sample domains with Zipf-like popularity, optionally per category.
+
+    Parameters
+    ----------
+    zipf_exponent:
+        Popularity skew; 0 means uniform, larger values concentrate traffic
+        on the most popular domains of each category.
+    category_weights:
+        Relative probability of each category.  This is the main
+        distribution-shift knob used by experiment E1: the validation
+        workload redraws these weights.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        zipf_exponent: float = 1.1,
+        category_weights: dict[str, float] | None = None,
+    ):
+        self.rng = rng
+        self.zipf_exponent = zipf_exponent
+        categories = list(DOMAIN_CATEGORIES)
+        if category_weights is None:
+            category_weights = {c: 1.0 for c in categories}
+        weights = np.array([category_weights.get(c, 0.0) for c in categories], dtype=float)
+        if weights.sum() <= 0:
+            raise ValueError("category weights must sum to a positive value")
+        self._categories = categories
+        self._category_probs = weights / weights.sum()
+        self._rank_probs: dict[str, np.ndarray] = {}
+        for category in categories:
+            n = len(DOMAIN_CATEGORIES[category])
+            ranks = np.arange(1, n + 1, dtype=float)
+            probs = ranks ** (-zipf_exponent) if zipf_exponent > 0 else np.ones(n)
+            self._rank_probs[category] = probs / probs.sum()
+
+    def sample_category(self) -> str:
+        return str(self.rng.choice(self._categories, p=self._category_probs))
+
+    def sample(self, category: str | None = None) -> str:
+        """Sample one domain, optionally restricted to ``category``."""
+        if category is None:
+            category = self.sample_category()
+        if category not in DOMAIN_CATEGORIES:
+            raise KeyError(f"unknown domain category {category!r}")
+        domains = DOMAIN_CATEGORIES[category]
+        index = int(self.rng.choice(len(domains), p=self._rank_probs[category]))
+        return domains[index]
+
+    def sample_many(self, count: int, category: str | None = None) -> list[str]:
+        return [self.sample(category) for _ in range(count)]
+
+
+def generate_dga_domain(rng: np.random.Generator, length: int = 16, tld: str = "info") -> str:
+    """A domain-generation-algorithm style random domain (used by malware traffic)."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    label = "".join(alphabet[int(i)] for i in rng.integers(0, len(alphabet), size=length))
+    return f"{label}.{tld}"

@@ -1,0 +1,230 @@
+"""HTTP and HTTPS (TLS) session generators.
+
+An HTTP session is the paper's canonical example of a protocol "language"
+(Section 4.1.1): a TCP handshake, a GET, a STATUS response whose size and
+status depend on the request, and a teardown.  The generator emits complete
+connections with per-packet ``connection_id`` so context builders can
+reconstruct them, and per-connection application labels derived from the
+server's role (web, video, ads, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..net.addresses import random_ipv4, random_private_ipv4
+from ..net.headers import TCP_FLAG_ACK, TCP_FLAG_FIN, TCP_FLAG_PSH, TCP_FLAG_SYN
+from ..net.http import COMMON_USER_AGENTS, HTTPRequest, HTTPResponse
+from ..net.packet import Packet, build_packet
+from ..net.ports import CIPHERSUITE_STRENGTH
+from ..net.tls import TLSClientHello, TLSServerHello
+from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .domains import DOMAIN_CATEGORIES, DomainSampler, domain_category
+
+__all__ = ["HTTPWorkloadConfig", "HTTPWorkloadGenerator", "TLSWorkloadConfig", "TLSWorkloadGenerator"]
+
+_PATHS = ["/", "/index.html", "/api/v1/items", "/static/app.js", "/images/logo.png",
+          "/watch", "/feed", "/login", "/search?q=networks", "/metrics"]
+
+
+@dataclasses.dataclass
+class HTTPWorkloadConfig(TraceConfig):
+    """Configuration for plain-HTTP sessions."""
+
+    num_sessions: int = 40
+    requests_per_session: int = 4
+    category_weights: dict[str, float] | None = None
+    error_rate: float = 0.06
+    mean_response_kb: float = 40.0
+
+
+class HTTPWorkloadGenerator(TrafficGenerator):
+    """Generate full HTTP/1.1 connections (handshake, request/response, FIN)."""
+
+    def __init__(self, config: HTTPWorkloadConfig | None = None):
+        super().__init__(config or HTTPWorkloadConfig())
+        self.config: HTTPWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(rng, category_weights=cfg.category_weights)
+        packets: list[Packet] = []
+        for _ in range(cfg.num_sessions):
+            client = random_private_ipv4(rng, cfg.client_subnet)
+            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
+            packets.extend(self._one_session(rng, sampler, client, when))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def _one_session(
+        self, rng: np.random.Generator, sampler: DomainSampler, client: str, when: float
+    ) -> list[Packet]:
+        cfg = self.config
+        domain = sampler.sample()
+        category = domain_category(domain)
+        server = random_ipv4(rng)
+        session_id = next_session_id()
+        connection_id = next_connection_id()
+        src_port = int(rng.integers(49152, 65535))
+        user_agent = str(rng.choice(COMMON_USER_AGENTS))
+        metadata = {
+            "application": "http",
+            "domain": domain,
+            "domain_category": category,
+            "connection_id": connection_id,
+            "session_id": session_id,
+            "anomaly": False,
+        }
+
+        packets: list[Packet] = []
+        rtt = float(rng.gamma(2.0, 0.01))
+        seq_client, seq_server = int(rng.integers(1, 2 ** 31)), int(rng.integers(1, 2 ** 31))
+
+        def tcp(time, src, dst, sport, dport, flags, seq=0, ack=0, application=None, extra=None):
+            md = dict(metadata)
+            if extra:
+                md.update(extra)
+            return build_packet(
+                time, src, dst, "TCP", sport, dport, application=application,
+                tcp_flags=flags, seq=seq, ack=ack, metadata=md,
+            )
+
+        # Three-way handshake.
+        packets.append(tcp(when, client, server, src_port, 80, TCP_FLAG_SYN, seq=seq_client))
+        packets.append(tcp(when + rtt, server, client, 80, src_port, TCP_FLAG_SYN | TCP_FLAG_ACK,
+                           seq=seq_server, ack=seq_client + 1))
+        packets.append(tcp(when + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                           seq=seq_client + 1, ack=seq_server + 1))
+
+        cursor = when + 2 * rtt
+        num_requests = max(1, int(rng.poisson(cfg.requests_per_session)))
+        for _ in range(num_requests):
+            cursor += float(rng.exponential(0.2))
+            path = str(rng.choice(_PATHS))
+            request = HTTPRequest(method="GET", path=path, host=domain, user_agent=user_agent)
+            packets.append(tcp(cursor, client, server, src_port, 80,
+                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_client, ack=seq_server,
+                               application=request, extra={"direction": "request"}))
+            error = rng.random() < cfg.error_rate
+            status = int(rng.choice([404, 500, 503])) if error else int(rng.choice([200, 200, 200, 301, 304]))
+            size = int(rng.exponential(cfg.mean_response_kb) * 1024) if status == 200 else int(rng.integers(0, 512))
+            content_type = "video/mp4" if category == "video" else "text/html"
+            response = HTTPResponse(status=status, content_length=size, content_type=content_type)
+            packets.append(tcp(cursor + rtt, server, client, 80, src_port,
+                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_server, ack=seq_client,
+                               application=response, extra={"direction": "response", "status": status}))
+            seq_client += len(request.encode())
+            seq_server += len(response.encode()) + size
+
+        # Teardown.
+        cursor += rtt
+        packets.append(tcp(cursor, client, server, src_port, 80, TCP_FLAG_FIN | TCP_FLAG_ACK,
+                           seq=seq_client, ack=seq_server))
+        packets.append(tcp(cursor + rtt, server, client, 80, src_port, TCP_FLAG_FIN | TCP_FLAG_ACK,
+                           seq=seq_server, ack=seq_client + 1))
+        packets.append(tcp(cursor + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                           seq=seq_client + 1, ack=seq_server + 1))
+        return packets
+
+
+#: Client profiles with distinct ciphersuite offer lists.  "legacy" and "iot"
+#: clients offer weak/medium suites; modern browsers offer strong ones.  The
+#: co-occurrence of adjacent strong suites (0xC02F / 0xC030) in the same offers
+#: is what makes their learned embeddings neighbours (experiment E2).
+_TLS_CLIENT_PROFILES: dict[str, list[int]] = {
+    "modern-browser": [0x1301, 0x1302, 0x1303, 0xC02B, 0xC02C, 0xC02F, 0xC030],
+    "cloud-sdk": [0xC02F, 0xC030, 0xC02B, 0xC02C, 0xC013, 0xC014],
+    "legacy-client": [0x002F, 0x0035, 0x000A, 0x0005, 0x0033, 0x0039],
+    "iot-device": [0xC02F, 0xC030, 0x002F, 0x0035],
+}
+
+
+@dataclasses.dataclass
+class TLSWorkloadConfig(TraceConfig):
+    """Configuration for HTTPS/TLS handshake traffic."""
+
+    num_sessions: int = 60
+    profile_weights: dict[str, float] | None = None
+    category_weights: dict[str, float] | None = None
+
+
+class TLSWorkloadGenerator(TrafficGenerator):
+    """Generate TLS handshakes (ClientHello / ServerHello) over TCP port 443."""
+
+    def __init__(self, config: TLSWorkloadConfig | None = None):
+        super().__init__(config or TLSWorkloadConfig())
+        self.config: TLSWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(rng, category_weights=cfg.category_weights)
+        profiles = list(_TLS_CLIENT_PROFILES)
+        if cfg.profile_weights is None:
+            weights = np.ones(len(profiles))
+        else:
+            weights = np.array([cfg.profile_weights.get(p, 0.0) for p in profiles], dtype=float)
+        if weights.sum() <= 0:
+            raise ValueError("profile weights must sum to a positive value")
+        weights = weights / weights.sum()
+        packets: list[Packet] = []
+        for _ in range(cfg.num_sessions):
+            client = random_private_ipv4(rng, cfg.client_subnet)
+            server = random_ipv4(rng)
+            profile = str(rng.choice(profiles, p=weights))
+            domain = sampler.sample()
+            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
+            packets.extend(self._handshake(rng, client, server, profile, domain, when))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def _handshake(
+        self,
+        rng: np.random.Generator,
+        client: str,
+        server: str,
+        profile: str,
+        domain: str,
+        when: float,
+    ) -> list[Packet]:
+        offered = list(_TLS_CLIENT_PROFILES[profile])
+        # Shuffle the tail so offers are not byte-identical across connections.
+        tail = offered[2:]
+        rng.shuffle(tail)
+        offered = offered[:2] + tail
+        strong = [c for c in offered if c in CIPHERSUITE_STRENGTH["strong"]]
+        selected = strong[0] if strong else offered[0]
+        connection_id = next_connection_id()
+        src_port = int(rng.integers(49152, 65535))
+        metadata = {
+            "application": "https",
+            "domain": domain,
+            "domain_category": domain_category(domain),
+            "tls_profile": profile,
+            "connection_id": connection_id,
+            "session_id": next_session_id(),
+            "selected_ciphersuite": selected,
+            "anomaly": False,
+        }
+        rtt = float(rng.gamma(2.0, 0.01))
+        client_hello = TLSClientHello(
+            ciphersuites=offered,
+            server_name=domain,
+            client_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
+        )
+        server_hello = TLSServerHello(
+            ciphersuite=selected,
+            server_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
+        )
+        hello = build_packet(
+            when, client, server, "TCP", src_port, 443, application=client_hello,
+            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="client-hello"),
+        )
+        reply = build_packet(
+            when + rtt, server, client, "TCP", 443, src_port, application=server_hello,
+            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="server-hello"),
+        )
+        return [hello, reply]

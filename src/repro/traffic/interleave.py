@@ -1,0 +1,82 @@
+"""Capture-point effects: interleaving, jitter and packet loss.
+
+Section 4.1.3 notes that "at a point of packet capture (e.g., border router),
+packets from different end points may be interleaved", and that even a single
+endpoint's traffic mixes packets of concurrent connections.  These helpers
+apply those effects to a merged trace so context-construction strategies can
+be evaluated under realistic conditions (experiment E6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.packet import Packet
+from .base import merge_traces
+
+__all__ = ["interleave_at_capture_point", "apply_jitter", "drop_packets", "reorder_within_window"]
+
+
+def interleave_at_capture_point(
+    *traces: list[Packet],
+    rng: np.random.Generator | None = None,
+    jitter_std: float = 0.0,
+    loss_rate: float = 0.0,
+) -> list[Packet]:
+    """Merge endpoint traces into one border-router capture.
+
+    Optionally perturbs timestamps with Gaussian jitter (modelling queueing
+    upstream of the tap) and drops a fraction of packets (modelling an
+    overloaded span port).
+    """
+    merged = merge_traces(*traces)
+    rng = rng or np.random.default_rng(0)
+    if jitter_std > 0:
+        merged = apply_jitter(merged, jitter_std, rng)
+    if loss_rate > 0:
+        merged = drop_packets(merged, loss_rate, rng)
+    return merged
+
+
+def apply_jitter(packets: list[Packet], std: float, rng: np.random.Generator) -> list[Packet]:
+    """Add zero-mean Gaussian noise to timestamps and re-sort."""
+    jittered = []
+    for packet in packets:
+        shifted = Packet(
+            timestamp=max(packet.timestamp + float(rng.normal(0, std)), 0.0),
+            ethernet=packet.ethernet,
+            ip=packet.ip,
+            transport=packet.transport,
+            application=packet.application,
+            payload=packet.payload,
+            metadata=dict(packet.metadata),
+        )
+        jittered.append(shifted)
+    jittered.sort(key=lambda p: p.timestamp)
+    return jittered
+
+
+def drop_packets(packets: list[Packet], loss_rate: float, rng: np.random.Generator) -> list[Packet]:
+    """Remove each packet independently with probability ``loss_rate``."""
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    keep = rng.random(len(packets)) >= loss_rate
+    return [p for p, k in zip(packets, keep) if k]
+
+
+def reorder_within_window(
+    packets: list[Packet], window: int, rng: np.random.Generator
+) -> list[Packet]:
+    """Shuffle packets locally within blocks of ``window`` consecutive packets.
+
+    Models minor reordering introduced by parallel forwarding paths while
+    preserving coarse temporal structure.
+    """
+    if window <= 1:
+        return list(packets)
+    reordered: list[Packet] = []
+    for start in range(0, len(packets), window):
+        block = packets[start : start + window]
+        order = rng.permutation(len(block))
+        reordered.extend(block[i] for i in order)
+    return reordered

@@ -1,0 +1,107 @@
+"""End-to-end scenarios composing the individual generators.
+
+The enterprise scenario is the workhorse of the benchmark suite: an office
+network mixing DNS, HTTP, HTTPS and IoT traffic, optionally contaminated with
+attack traffic, captured at a border router (interleaved, jittered).  It
+provides the unlabeled pre-training corpus and, via metadata, the labels of
+several downstream tasks at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..net.packet import Packet
+from .anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
+from .base import TraceConfig
+from .dns_workload import DNSWorkloadConfig, DNSWorkloadGenerator
+from .http_workload import (
+    HTTPWorkloadConfig,
+    HTTPWorkloadGenerator,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+)
+from .interleave import interleave_at_capture_point
+from .iot import IoTWorkloadConfig, IoTWorkloadGenerator
+
+__all__ = ["EnterpriseScenarioConfig", "EnterpriseScenario"]
+
+
+@dataclasses.dataclass
+class EnterpriseScenarioConfig:
+    """Composition of the enterprise capture."""
+
+    seed: int = 0
+    duration: float = 60.0
+    dns_clients: int = 12
+    dns_queries_per_client: int = 15
+    http_sessions: int = 25
+    tls_sessions: int = 30
+    iot_devices_per_type: int = 2
+    include_attacks: bool = False
+    attack_types: tuple[str, ...] = ATTACK_TYPES
+    capture_jitter_std: float = 0.001
+    capture_loss_rate: float = 0.0
+
+
+class EnterpriseScenario:
+    """Build a mixed, labelled enterprise border-router capture."""
+
+    def __init__(self, config: EnterpriseScenarioConfig | None = None):
+        self.config = config or EnterpriseScenarioConfig()
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        traces = []
+        traces.append(
+            DNSWorkloadGenerator(
+                DNSWorkloadConfig(
+                    seed=cfg.seed,
+                    duration=cfg.duration,
+                    num_clients=cfg.dns_clients,
+                    queries_per_client=cfg.dns_queries_per_client,
+                )
+            ).generate()
+        )
+        traces.append(
+            HTTPWorkloadGenerator(
+                HTTPWorkloadConfig(
+                    seed=cfg.seed + 1, duration=cfg.duration, num_sessions=cfg.http_sessions
+                )
+            ).generate()
+        )
+        traces.append(
+            TLSWorkloadGenerator(
+                TLSWorkloadConfig(
+                    seed=cfg.seed + 2, duration=cfg.duration, num_sessions=cfg.tls_sessions
+                )
+            ).generate()
+        )
+        traces.append(
+            IoTWorkloadGenerator(
+                IoTWorkloadConfig(
+                    seed=cfg.seed + 3,
+                    duration=cfg.duration,
+                    devices_per_type=cfg.iot_devices_per_type,
+                )
+            ).generate()
+        )
+        if cfg.include_attacks:
+            traces.append(
+                AttackGenerator(
+                    AttackConfig(
+                        seed=cfg.seed + 4,
+                        duration=cfg.duration,
+                        attack_types=cfg.attack_types,
+                    )
+                ).generate()
+            )
+        rng = np.random.default_rng(cfg.seed + 5)
+        return interleave_at_capture_point(
+            *traces,
+            rng=rng,
+            jitter_std=cfg.capture_jitter_std,
+            loss_rate=cfg.capture_loss_rate,
+        )

@@ -1,0 +1,62 @@
+"""Distribution-shift utilities.
+
+Experiment E1 reproduces the NorBERT finding that a fine-tuned foundation
+model keeps its F1 on an *independent* dataset while GRU baselines drop.  To
+model "independent dataset collected elsewhere / later", these helpers derive
+a shifted workload configuration from a base configuration: different category
+popularity, different Zipf skew, different resolvers, different client subnet
+and a different random seed — while keeping the label semantics identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .dns_workload import DNSWorkloadConfig
+from .domains import DOMAIN_CATEGORIES
+
+__all__ = ["shifted_dns_config", "reweight_categories"]
+
+
+def reweight_categories(
+    rng: np.random.Generator, concentration: float = 0.5
+) -> dict[str, float]:
+    """Draw new category weights from a Dirichlet distribution.
+
+    A small ``concentration`` produces a very skewed popularity profile,
+    i.e. a strong covariate shift relative to the uniform training workload.
+    """
+    categories = list(DOMAIN_CATEGORIES)
+    weights = rng.dirichlet(np.full(len(categories), concentration))
+    return {category: float(weight) for category, weight in zip(categories, weights)}
+
+
+def shifted_dns_config(
+    base: DNSWorkloadConfig,
+    seed_offset: int = 1000,
+    concentration: float = 0.5,
+    new_subnet: str = "172.16.0.0/16",
+    resolvers: tuple[str, ...] = ("9.9.9.9", "149.112.112.112"),
+    zipf_delta: float = 0.5,
+) -> DNSWorkloadConfig:
+    """Derive a distribution-shifted DNS workload from ``base``.
+
+    The shift touches the covariates only (who queries what, from where,
+    via which resolver, with what popularity skew); the mapping from domain
+    to category label is unchanged, so a model that learned the *semantics*
+    generalizes while one that memorized surface statistics degrades.
+    """
+    rng = np.random.default_rng(base.seed + seed_offset)
+    return dataclasses.replace(
+        base,
+        seed=base.seed + seed_offset,
+        client_subnet=new_subnet,
+        resolvers=resolvers,
+        zipf_exponent=max(base.zipf_exponent + zipf_delta, 0.0),
+        category_weights=reweight_categories(rng, concentration),
+        ttl_scale=base.ttl_scale * 1.5,
+        hostname_probability=min(base.hostname_probability + 0.15, 0.9),
+        novel_hostname_probability=0.25,
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures: small traces and tokenized contexts reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+from repro.traffic import (
+    DNSWorkloadConfig,
+    DNSWorkloadGenerator,
+    EnterpriseScenario,
+    EnterpriseScenarioConfig,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dns_trace():
+    """A small deterministic DNS trace (query/response pairs with labels)."""
+    config = DNSWorkloadConfig(seed=7, num_clients=6, queries_per_client=8, duration=20.0)
+    return DNSWorkloadGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_mixed_trace():
+    """A small enterprise capture mixing DNS, HTTP, HTTPS and IoT traffic."""
+    config = EnterpriseScenarioConfig(
+        seed=3, duration=15.0, dns_clients=4, dns_queries_per_client=6,
+        http_sessions=8, tls_sessions=10, iot_devices_per_type=1,
+    )
+    return EnterpriseScenario(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_contexts(small_mixed_trace):
+    """Flow contexts + vocabulary over the small mixed trace."""
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=48)
+    contexts = builder.build(small_mixed_trace, tokenizer)
+    vocabulary = Vocabulary.build([c.tokens for c in contexts])
+    return contexts, vocabulary

@@ -1,0 +1,180 @@
+"""Tests for Word2Vec, GloVe, the GRU classifier and classical baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GloVe,
+    GloVeConfig,
+    GRUClassifier,
+    GRUClassifierConfig,
+    KNearestNeighbors,
+    LogisticRegression,
+    MajorityClassBaseline,
+    Word2Vec,
+    Word2VecConfig,
+    standardize_features,
+)
+from repro.embeddings import cosine_similarity
+from repro.tokenize import Vocabulary
+
+
+def _paired_corpus(pairs: int = 150, seed: int = 0) -> list[list[str]]:
+    """Sentences in which tokens of the same group always co-occur."""
+    rng = np.random.default_rng(seed)
+    groups = [["port80", "port443", "web"], ["port25", "port110", "mail"], ["port53", "port123", "infra"]]
+    corpus = []
+    for _ in range(pairs):
+        group = groups[int(rng.integers(0, len(groups)))]
+        sentence = [str(t) for t in rng.permutation(group)] + ["traffic", "flow"]
+        corpus.append(sentence)
+    return corpus
+
+
+class TestWord2Vec:
+    def test_skipgram_learns_cooccurrence_structure(self):
+        corpus = _paired_corpus()
+        model = Word2Vec(Word2VecConfig(dim=16, epochs=3, window=3, seed=0)).fit(corpus)
+        same = cosine_similarity(model.vector("port80"), model.vector("port443"))
+        different = cosine_similarity(model.vector("port80"), model.vector("port25"))
+        assert same > different
+
+    def test_cbow_mode_runs(self):
+        corpus = _paired_corpus(60)
+        model = Word2Vec(Word2VecConfig(dim=8, epochs=2, mode="cbow", seed=1)).fit(corpus)
+        assert model.vector("web").shape == (8,)
+
+    def test_vocabulary_and_lookup_errors(self):
+        model = Word2Vec(Word2VecConfig(dim=8, epochs=1))
+        with pytest.raises(RuntimeError):
+            model.vector("anything")
+        model.fit([["a", "b"], ["a", "c"]])
+        assert "a" in model
+        with pytest.raises(KeyError):
+            model.vector("zzz")
+        assert model.embedding_matrix().shape[0] == len(model.vocabulary)
+        assert "[PAD]" not in model.embeddings()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Word2VecConfig(mode="glove")
+        with pytest.raises(ValueError):
+            Word2VecConfig(window=0)
+
+    def test_shared_vocabulary_supported(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        model = Word2Vec(Word2VecConfig(dim=4, epochs=1)).fit([["a", "b"], ["b", "c"]], vocab)
+        assert model.vocabulary is vocab
+
+
+class TestGloVe:
+    def test_learns_cooccurrence_structure(self):
+        corpus = _paired_corpus(120)
+        model = GloVe(GloVeConfig(dim=16, epochs=10, seed=0)).fit(corpus)
+        same = cosine_similarity(model.vector("port80"), model.vector("port443"))
+        different = cosine_similarity(model.vector("port80"), model.vector("port25"))
+        assert same > different
+
+    def test_empty_corpus(self):
+        model = GloVe(GloVeConfig(dim=4, epochs=1)).fit([[]])
+        assert model.embedding_matrix().shape[1] == 4
+
+    def test_lookup_errors(self):
+        model = GloVe()
+        with pytest.raises(RuntimeError):
+            model.vector("x")
+
+
+def _toy_sequence_dataset(n: int = 120, seq: int = 8, vocab: int = 20, seed: int = 0):
+    """Sequences whose label is determined by a marker token."""
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(5, vocab, size=(n, seq))
+    labels = rng.integers(0, 2, size=n)
+    ids[labels == 0, 2] = 5   # class-0 marker
+    ids[labels == 1, 2] = 6   # class-1 marker
+    mask = np.ones((n, seq), dtype=bool)
+    return ids, mask, labels
+
+
+class TestGRUClassifier:
+    def test_learns_separable_task(self):
+        ids, mask, labels = _toy_sequence_dataset()
+        classifier = GRUClassifier(
+            vocab_size=20, num_classes=2,
+            config=GRUClassifierConfig(embedding_dim=12, hidden_size=12, epochs=6,
+                                       batch_size=16, seed=0),
+        )
+        classifier.fit(ids, mask, labels)
+        metrics = classifier.evaluate(ids, mask, labels)
+        assert metrics["accuracy"] > 0.8
+
+    def test_pretrained_embeddings_and_freeze(self):
+        pretrained = np.random.default_rng(0).normal(size=(20, 12))
+        classifier = GRUClassifier(
+            vocab_size=20, num_classes=2, pretrained_embeddings=pretrained,
+            config=GRUClassifierConfig(embedding_dim=12, hidden_size=8, epochs=1,
+                                       freeze_embeddings=True),
+        )
+        np.testing.assert_allclose(classifier.embedding.weight.data, pretrained)
+        ids, mask, labels = _toy_sequence_dataset(40)
+        classifier.fit(ids, mask, labels)
+        np.testing.assert_allclose(classifier.embedding.weight.data, pretrained)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GRUClassifier(vocab_size=20, num_classes=2,
+                          pretrained_embeddings=np.zeros((5, 5)))
+
+    def test_eval_history_recorded(self):
+        ids, mask, labels = _toy_sequence_dataset(48)
+        classifier = GRUClassifier(vocab_size=20, num_classes=2,
+                                   config=GRUClassifierConfig(epochs=2, batch_size=16))
+        history = classifier.fit(ids, mask, labels, eval_data=(ids, mask, labels))
+        assert len(history.eval_metrics) == 2
+
+
+class TestClassical:
+    def _blobs(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        features = np.concatenate([
+            rng.normal(-2.0, 0.5, size=(n // 2, 3)),
+            rng.normal(2.0, 0.5, size=(n // 2, 3)),
+        ])
+        labels = np.concatenate([np.zeros(n // 2, np.int64), np.ones(n // 2, np.int64)])
+        return features, labels
+
+    def test_logistic_regression_separates_blobs(self):
+        features, labels = self._blobs()
+        model = LogisticRegression().fit(features, labels)
+        assert model.evaluate(features, labels)["accuracy"] > 0.95
+        probabilities = model.predict_proba(features[:5])
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(5), rtol=1e-9)
+
+    def test_logistic_regression_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((2, 3)))
+
+    def test_knn(self):
+        features, labels = self._blobs(100)
+        model = KNearestNeighbors(k=3).fit(features, labels)
+        assert model.evaluate(features, labels)["accuracy"] > 0.95
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+        with pytest.raises(RuntimeError):
+            KNearestNeighbors().predict(features)
+
+    def test_majority_baseline(self):
+        labels = np.array([0, 0, 0, 1])
+        model = MajorityClassBaseline().fit(np.zeros((4, 1)), labels)
+        assert model.predict(np.zeros((2, 1))).tolist() == [0, 0]
+        assert model.evaluate(np.zeros((4, 1)), labels)["accuracy"] == pytest.approx(0.75)
+
+    def test_standardize_features(self):
+        train = np.random.default_rng(0).normal(3.0, 2.0, size=(50, 4))
+        test = np.random.default_rng(1).normal(3.0, 2.0, size=(20, 4))
+        std_train, std_test = standardize_features(train, test)
+        np.testing.assert_allclose(std_train.mean(axis=0), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(std_train.std(axis=0), np.ones(4), atol=1e-9)
+        assert std_test.shape == (20, 4)

@@ -1,0 +1,180 @@
+"""Tests for fine-tuning, few-shot adaptation, representations and the pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder, encode_contexts
+from repro.core import (
+    FinetuneConfig,
+    LabelEncoder,
+    NetFMConfig,
+    NetFMPipeline,
+    NetFoundationModel,
+    PretrainingConfig,
+    PrototypeClassifier,
+    SequenceClassifier,
+    contextual_token_embeddings,
+    few_shot_episode,
+    input_token_embeddings,
+    sequence_embeddings,
+)
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+
+
+def tiny_config(vocab_size: int, max_len: int = 48) -> NetFMConfig:
+    return NetFMConfig(
+        vocab_size=vocab_size, d_model=16, num_layers=1, num_heads=2, d_ff=32,
+        max_len=max_len, dropout=0.0, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def labelled_dataset(small_mixed_trace_module):
+    trace = small_mixed_trace_module
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=48, label_key="application")
+    contexts = [c for c in builder.build(trace, tokenizer) if c.label is not None]
+    vocab = Vocabulary.build([c.tokens for c in contexts])
+    encoder = LabelEncoder([c.label for c in contexts])
+    ids, mask = encode_contexts(contexts, vocab, 48)
+    labels = encoder.encode([c.label for c in contexts])
+    return contexts, vocab, encoder, ids, mask, labels
+
+
+@pytest.fixture(scope="module")
+def small_mixed_trace_module():
+    from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+    config = EnterpriseScenarioConfig(
+        seed=3, duration=15.0, dns_clients=4, dns_queries_per_client=6,
+        http_sessions=8, tls_sessions=10, iot_devices_per_type=1,
+    )
+    return EnterpriseScenario(config).generate()
+
+
+class TestLabelEncoder:
+    def test_roundtrip_and_unknown(self):
+        encoder = LabelEncoder(["b", "a", "b"])
+        assert encoder.classes == ["a", "b"]
+        assert encoder.decode(encoder.encode(["a", "b"])) == ["a", "b"]
+        assert encoder.num_classes == 2
+        with pytest.raises(KeyError):
+            encoder.encode(["c"])
+
+
+class TestSequenceClassifier:
+    def test_finetuning_beats_majority_class(self, labelled_dataset):
+        _, vocab, encoder, ids, mask, labels = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        classifier = SequenceClassifier(
+            model, encoder.num_classes, FinetuneConfig(epochs=4, batch_size=16, seed=0)
+        )
+        classifier.fit(ids, mask, labels)
+        metrics = classifier.evaluate(ids, mask, labels)
+        majority = max(np.bincount(labels)) / len(labels)
+        assert metrics["accuracy"] > majority
+        assert 0.0 <= metrics["f1"] <= 1.0
+        probabilities = classifier.predict_proba(ids[:5], mask[:5])
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_freeze_encoder_only_trains_head(self, labelled_dataset):
+        _, vocab, encoder, ids, mask, labels = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        before = model.token_embedding.weight.data.copy()
+        classifier = SequenceClassifier(
+            model, encoder.num_classes,
+            FinetuneConfig(epochs=1, batch_size=16, freeze_encoder=True),
+        )
+        classifier.fit(ids[:32], mask[:32], labels[:32])
+        np.testing.assert_allclose(model.token_embedding.weight.data, before)
+
+    def test_eval_during_training_recorded(self, labelled_dataset):
+        _, vocab, encoder, ids, mask, labels = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        classifier = SequenceClassifier(model, encoder.num_classes,
+                                        FinetuneConfig(epochs=2, batch_size=16))
+        history = classifier.fit(ids[:32], mask[:32], labels[:32],
+                                 eval_data=(ids[:16], mask[:16], labels[:16]))
+        assert len(history.eval_metrics) == 2
+
+
+class TestFewShot:
+    def test_prototype_classifier(self, labelled_dataset):
+        _, vocab, encoder, ids, mask, labels = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        rng = np.random.default_rng(0)
+        support, query = few_shot_episode(labels, shots=3, rng=rng)
+        assert len(set(support.tolist()) & set(query.tolist())) == 0
+        classifier = PrototypeClassifier(model).fit(ids[support], mask[support], labels[support])
+        metrics = classifier.evaluate(ids[query], mask[query], labels[query])
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        euclid = PrototypeClassifier(model, metric="euclidean").fit(
+            ids[support], mask[support], labels[support]
+        )
+        assert euclid.predict(ids[query][:4], mask[query][:4]).shape == (4,)
+
+    def test_predict_before_fit_raises(self, labelled_dataset):
+        _, vocab, _, ids, mask, _ = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        with pytest.raises(RuntimeError):
+            PrototypeClassifier(model).predict(ids[:2], mask[:2])
+
+    def test_unknown_metric(self, labelled_dataset):
+        _, vocab, _, _, _, _ = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        with pytest.raises(ValueError):
+            PrototypeClassifier(model, metric="manhattan")
+
+
+class TestRepresentations:
+    def test_input_and_contextual_embeddings(self, labelled_dataset):
+        contexts, vocab, _, _, _, _ = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        static = input_token_embeddings(model, vocab)
+        assert len(static) == len(vocab)
+        contextual = contextual_token_embeddings(model, contexts[:20], vocab)
+        assert contextual
+        for vector in list(contextual.values())[:3]:
+            assert vector.shape == (16,)
+        # Special tokens are excluded from contextual embeddings.
+        assert "[PAD]" not in contextual
+
+    def test_sequence_embeddings_poolings(self, labelled_dataset):
+        contexts, vocab, _, _, _, _ = labelled_dataset
+        model = NetFoundationModel(tiny_config(len(vocab)))
+        cls = sequence_embeddings(model, contexts[:10], vocab, pooling="cls")
+        mean = sequence_embeddings(model, contexts[:10], vocab, pooling="mean")
+        assert cls.shape == (10, 16) and mean.shape == (10, 16)
+        assert not np.allclose(cls, mean)
+        with pytest.raises(ValueError):
+            sequence_embeddings(model, contexts[:2], vocab, pooling="max")
+
+
+class TestPipeline:
+    def test_end_to_end_pretrain_finetune(self, small_mixed_trace_module):
+        trace = small_mixed_trace_module
+        pipeline = NetFMPipeline(
+            context_builder=FlowContextBuilder(max_tokens=32, label_key="application"),
+            model_config=NetFMConfig(d_model=16, num_layers=1, num_heads=2, d_ff=32,
+                                     max_len=32, dropout=0.0),
+            pretrain_config=PretrainingConfig(epochs=1, batch_size=16),
+            finetune_config=FinetuneConfig(epochs=2, batch_size=16),
+        )
+        contexts, history = pipeline.pretrain(trace)
+        assert contexts and history.losses
+        result = pipeline.finetune(trace, eval_packets=trace)
+        assert "f1" in result.metrics
+        assert result.metrics["f1"] > 0.3
+        few_shot = pipeline.few_shot(trace, trace)
+        assert 0.0 <= few_shot["accuracy"] <= 1.0
+
+    def test_pipeline_ordering_enforced(self, small_mixed_trace_module):
+        pipeline = NetFMPipeline()
+        with pytest.raises(RuntimeError):
+            pipeline.build_model()
+        with pytest.raises(RuntimeError):
+            pipeline.finetune(small_mixed_trace_module)
+        with pytest.raises(RuntimeError):
+            pipeline.encode_labelled(small_mixed_trace_module)

@@ -1,0 +1,172 @@
+"""Tests for embedding probes (neighbours, analogies, clusters, PCA) and the corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    NetworkingCorpusGenerator,
+    PROTOCOL_DEVICE,
+    PROTOCOL_LAYER,
+)
+from repro.embeddings import (
+    NETWORKING_ANALOGIES,
+    Analogy,
+    analogy_accuracy,
+    cluster_purity,
+    cosine_similarity,
+    evaluate_grouping,
+    group_separation,
+    kmeans,
+    nearest_neighbors,
+    neighbor_rank,
+    pca,
+    project_embeddings,
+    silhouette_score,
+    similarity_matrix,
+    solve_analogy,
+)
+
+
+def _structured_embeddings() -> dict[str, np.ndarray]:
+    """Hand-built embeddings with perfect group and analogy structure."""
+    base = {
+        "king": np.array([1.0, 1.0, 0.0]),
+        "queen": np.array([1.0, 0.0, 1.0]),
+        "man": np.array([0.0, 1.0, 0.0]),
+        "woman": np.array([0.0, 0.0, 1.0]),
+        "apple": np.array([-1.0, -1.0, -1.0]),
+    }
+    return base
+
+
+class TestNeighbors:
+    def test_cosine_similarity_bounds_and_zero(self):
+        assert cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+        assert cosine_similarity([0, 0], [1, 0]) == 0.0
+
+    def test_nearest_neighbors_and_rank(self):
+        embeddings = _structured_embeddings()
+        neighbors = nearest_neighbors(embeddings, "king", k=2)
+        assert neighbors[0][0] in ("queen", "man")
+        assert neighbor_rank(embeddings, "king", "apple") == len(embeddings) - 1
+        with pytest.raises(KeyError):
+            nearest_neighbors(embeddings, "missing")
+        with pytest.raises(KeyError):
+            neighbor_rank(embeddings, "king", "missing")
+
+    def test_similarity_matrix_symmetric(self):
+        tokens, matrix = similarity_matrix(_structured_embeddings())
+        assert len(tokens) == matrix.shape[0] == matrix.shape[1]
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(len(tokens)), atol=1e-12)
+
+
+class TestAnalogies:
+    def test_solve_analogy_king_queen(self):
+        embeddings = _structured_embeddings()
+        answers = solve_analogy(embeddings, "man", "king", "woman", k=1)
+        assert answers[0][0] == "queen"
+
+    def test_analogy_accuracy_with_skips(self):
+        embeddings = _structured_embeddings()
+        analogies = [
+            Analogy("man", "king", "woman", "queen"),
+            Analogy("bgp", "router", "stp", "switch"),  # tokens missing -> skipped
+        ]
+        result = analogy_accuracy(embeddings, analogies)
+        assert result["evaluated"] == 1
+        assert result["accuracy"] == pytest.approx(1.0)
+        assert len(result["skipped"]) == 1
+
+    def test_missing_token_raises(self):
+        with pytest.raises(KeyError):
+            solve_analogy(_structured_embeddings(), "man", "king", "ghost")
+
+    def test_networking_analogy_catalogue_well_formed(self):
+        assert len(NETWORKING_ANALOGIES) >= 5
+        for analogy in NETWORKING_ANALOGIES:
+            assert analogy.a != analogy.expected
+
+
+class TestClusters:
+    def _grouped_matrix(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.1, size=(10, 4)) + np.array([5, 0, 0, 0])
+        b = rng.normal(0.0, 0.1, size=(10, 4)) + np.array([0, 5, 0, 0])
+        return np.concatenate([a, b]), np.array([0] * 10 + [1] * 10)
+
+    def test_silhouette_high_for_separated_clusters(self):
+        matrix, labels = self._grouped_matrix()
+        assert silhouette_score(matrix, labels) > 0.8
+        with pytest.raises(ValueError):
+            silhouette_score(matrix, np.zeros(20))
+
+    def test_kmeans_and_purity(self):
+        matrix, labels = self._grouped_matrix()
+        assignment = kmeans(matrix, 2, rng=np.random.default_rng(0))
+        assert cluster_purity(assignment, labels) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            kmeans(matrix, 0)
+
+    def test_group_separation_gap_positive(self):
+        matrix, labels = self._grouped_matrix()
+        separation = group_separation(matrix, labels)
+        assert separation["gap"] > 0.5
+
+    def test_evaluate_grouping_handles_missing_tokens(self):
+        embeddings = {"a1": np.array([1.0, 0.0]), "a2": np.array([0.9, 0.1]),
+                      "b1": np.array([0.0, 1.0]), "b2": np.array([0.1, 0.9])}
+        groups = {"a": ["a1", "a2", "a-missing"], "b": ["b1", "b2"]}
+        result = evaluate_grouping(embeddings, groups)
+        assert result["purity"] == pytest.approx(1.0)
+        assert result["coverage"] == pytest.approx(4 / 5)
+        degenerate = evaluate_grouping({"x": np.ones(2)}, {"only": ["x"]})
+        assert degenerate["purity"] == 0.0
+
+
+class TestPCA:
+    def test_pca_shapes_and_variance(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(50, 6)) @ np.diag([5, 3, 1, 0.1, 0.1, 0.1])
+        projected, ratio = pca(matrix, components=2)
+        assert projected.shape == (50, 2)
+        assert ratio[0] >= ratio[1] > 0
+        with pytest.raises(ValueError):
+            pca(matrix, components=0)
+
+    def test_project_embeddings(self):
+        embeddings = {f"t{i}": np.random.default_rng(i).normal(size=5) for i in range(8)}
+        projected = project_embeddings(embeddings, components=2)
+        assert set(projected) == set(embeddings)
+        assert all(v.shape == (2,) for v in projected.values())
+
+
+class TestCorpus:
+    def test_corpus_size_and_tokenization(self):
+        sentences = NetworkingCorpusGenerator(CorpusConfig(seed=0, num_sentences=200)).generate()
+        assert len(sentences) == 200
+        assert all(isinstance(s, list) and s for s in sentences)
+        assert all(token == token.lower() for s in sentences for token in s)
+
+    def test_corpus_mentions_relations(self):
+        sentences = NetworkingCorpusGenerator(CorpusConfig(seed=1, num_sentences=800)).generate()
+        flattened = [token for sentence in sentences for token in sentence]
+        for protocol, device in list(PROTOCOL_DEVICE.items())[:4]:
+            assert protocol in flattened
+            assert device in flattened
+        for protocol in list(PROTOCOL_LAYER)[:4]:
+            assert protocol in flattened
+
+    def test_corpus_deterministic(self):
+        a = NetworkingCorpusGenerator(CorpusConfig(seed=5, num_sentences=50)).generate()
+        b = NetworkingCorpusGenerator(CorpusConfig(seed=5, num_sentences=50)).generate()
+        assert a == b
+
+    def test_tokenize_strips_punctuation(self):
+        assert NetworkingCorpusGenerator.tokenize("BGP, runs; on (routers)!") == [
+            "bgp", "runs", "on", "routers",
+        ]

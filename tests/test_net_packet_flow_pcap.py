@@ -1,0 +1,138 @@
+"""Tests for packet building/parsing, flow assembly and the pcap container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    DNSMessage,
+    DNSQuestion,
+    FlowKey,
+    FlowTable,
+    HTTPRequest,
+    Packet,
+    TCP_FLAG_SYN,
+    build_packet,
+    flow_statistics,
+    parse_packet,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestPacket:
+    def test_build_and_parse_dns(self):
+        message = DNSMessage(transaction_id=7, questions=[DNSQuestion("netflix.com")])
+        packet = build_packet(1.0, "10.0.0.2", "8.8.8.8", "UDP", 50000, 53,
+                              application=message, metadata={"application": "dns"})
+        parsed = parse_packet(packet.to_bytes(), timestamp=1.0)
+        assert parsed.src_ip == "10.0.0.2"
+        assert parsed.dst_port == 53
+        assert isinstance(parsed.application, DNSMessage)
+        assert parsed.application.query_name == "netflix.com"
+
+    def test_build_and_parse_http(self):
+        request = HTTPRequest(method="GET", path="/x", host="example.com")
+        packet = build_packet(2.0, "10.0.0.2", "1.2.3.4", "TCP", 40000, 80,
+                              application=request, tcp_flags=TCP_FLAG_SYN)
+        parsed = parse_packet(packet.to_bytes())
+        assert isinstance(parsed.application, HTTPRequest)
+        assert parsed.application.host == "example.com"
+        assert parsed.length == parsed.ip.total_length
+
+    def test_icmp_packet(self):
+        packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "ICMP", seq=3)
+        parsed = parse_packet(packet.to_bytes())
+        assert parsed.protocol == 1
+        assert parsed.src_port == 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_packet(0.0, "1.1.1.1", "2.2.2.2", "NOTAPROTO")
+
+    def test_raw_payload_packet(self):
+        packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1111, 8883,
+                              application=b"\x30\x10payload")
+        parsed = parse_packet(packet.to_bytes())
+        assert parsed.payload.startswith(b"\x30\x10")
+        assert parsed.application is None
+
+    def test_metadata_carried(self):
+        packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "UDP", 1, 2,
+                              metadata={"device": "camera"})
+        assert packet.metadata["device"] == "camera"
+
+
+class TestFlows:
+    def test_flow_key_bidirectional(self):
+        a = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1000, 80)
+        b = build_packet(0.1, "10.0.0.2", "10.0.0.1", "TCP", 80, 1000)
+        assert FlowKey.from_packet(a) == FlowKey.from_packet(b)
+
+    def test_flow_table_groups_connections(self):
+        table = FlowTable()
+        for i in range(3):
+            table.add(build_packet(i * 0.1, "10.0.0.1", "10.0.0.2", "TCP", 1000, 80))
+            table.add(build_packet(i * 0.1 + 0.05, "10.0.0.2", "10.0.0.1", "TCP", 80, 1000))
+        table.add(build_packet(0.2, "10.0.0.3", "10.0.0.4", "UDP", 5000, 53))
+        flows = table.flows()
+        assert len(flows) == 2
+        biggest = max(flows, key=lambda f: f.packet_count)
+        assert biggest.packet_count == 6
+        assert biggest.duration > 0
+
+    def test_idle_timeout_splits_flows(self):
+        table = FlowTable(idle_timeout=1.0)
+        table.add(build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1000, 80))
+        table.add(build_packet(5.0, "10.0.0.1", "10.0.0.2", "TCP", 1000, 80))
+        assert len(table) == 2
+
+    def test_flow_label_majority(self):
+        table = FlowTable()
+        for i, label in enumerate(["http", "http", "dns"]):
+            table.add(build_packet(i * 0.1, "10.0.0.1", "10.0.0.2", "TCP", 1, 2,
+                                   metadata={"application": label}))
+        flow = table.flows()[0]
+        assert flow.label("application") == "http"
+        assert flow.label("missing", default="fallback") == "fallback"
+
+    def test_flow_statistics_keys_and_values(self):
+        table = FlowTable()
+        table.add(build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2))
+        table.add(build_packet(0.5, "10.0.0.2", "10.0.0.1", "TCP", 2, 1))
+        stats = flow_statistics(table.flows()[0])
+        assert stats["packet_count"] == 2.0
+        assert stats["duration"] == pytest.approx(0.5)
+        assert stats["client_packets"] == 1.0
+        empty_stats = flow_statistics(type(table.flows()[0])(key=table.flows()[0].key))
+        assert empty_stats["packet_count"] == 0.0
+
+
+class TestPcap:
+    def test_write_read_roundtrip(self, tmp_path):
+        packets = [
+            build_packet(1.25, "10.0.0.1", "8.8.8.8", "UDP", 40000, 53,
+                         application=DNSMessage(transaction_id=1,
+                                                questions=[DNSQuestion("example.com")])),
+            build_packet(2.5, "10.0.0.1", "1.2.3.4", "TCP", 40001, 80,
+                         application=HTTPRequest(host="example.com")),
+        ]
+        path = write_pcap(tmp_path / "trace.pcap", packets)
+        restored = read_pcap(path)
+        assert len(restored) == 2
+        assert restored[0].timestamp == pytest.approx(1.25, abs=1e-5)
+        assert restored[0].application.query_name == "example.com"
+        assert restored[1].dst_port == 80
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(ValueError):
+            read_pcap(path)

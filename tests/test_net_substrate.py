@@ -1,0 +1,278 @@
+"""Tests for addresses, checksums, headers and application messages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    CIPHERSUITES,
+    CIPHERSUITE_STRENGTH,
+    DNSAnswer,
+    DNSMessage,
+    DNSQuestion,
+    EthernetHeader,
+    HTTPRequest,
+    HTTPResponse,
+    ICMPHeader,
+    IPv4Header,
+    NTPPacket,
+    PORT_SEMANTIC_GROUPS,
+    PROTOCOL_SEMANTIC_GROUPS,
+    RECORD_TYPES,
+    TCPHeader,
+    TCP_FLAG_ACK,
+    TCP_FLAG_SYN,
+    TLSClientHello,
+    TLSServerHello,
+    UDPHeader,
+    bytes_to_ipv4,
+    bytes_to_mac,
+    ciphersuite_name,
+    in_subnet,
+    int_to_ipv4,
+    internet_checksum,
+    ipv4_to_bytes,
+    ipv4_to_int,
+    mac_to_bytes,
+    port_service,
+    protocol_name,
+    random_ipv4,
+    random_mac,
+    random_private_ipv4,
+    verify_checksum,
+)
+
+
+class TestAddresses:
+    def test_ipv4_conversions(self):
+        assert ipv4_to_int("10.0.0.1") == 0x0A000001
+        assert int_to_ipv4(0x0A000001) == "10.0.0.1"
+        assert bytes_to_ipv4(ipv4_to_bytes("192.168.1.254")) == "192.168.1.254"
+
+    def test_ipv4_invalid(self):
+        with pytest.raises(ValueError):
+            ipv4_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            ipv4_to_int("1.2.3.999")
+        with pytest.raises(ValueError):
+            int_to_ipv4(2 ** 40)
+        with pytest.raises(ValueError):
+            bytes_to_ipv4(b"\x01\x02")
+
+    def test_mac_conversions(self):
+        mac = "02:aa:bb:cc:dd:ee"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+        with pytest.raises(ValueError):
+            mac_to_bytes("02:aa:bb")
+
+    def test_random_generators(self):
+        rng = np.random.default_rng(0)
+        address = random_ipv4(rng)
+        assert ipv4_to_int(address) > 0
+        private = random_private_ipv4(rng, "10.0.0.0/8")
+        assert in_subnet(private, "10.0.0.0/8")
+        private2 = random_private_ipv4(rng, "192.168.1.0/24")
+        assert in_subnet(private2, "192.168.1.0/24")
+        mac = random_mac(rng, oui="00:17:88")
+        assert mac.startswith("00:17:88")
+
+    def test_in_subnet(self):
+        assert in_subnet("172.16.5.4", "172.16.0.0/16")
+        assert not in_subnet("172.17.5.4", "172.16.0.0/16")
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_ipv4_roundtrip(self, value):
+        assert ipv4_to_int(int_to_ipv4(value)) == value
+
+
+class TestChecksum:
+    def test_known_checksum_verifies(self):
+        header = IPv4Header(src_ip="1.2.3.4", dst_ip="5.6.7.8", protocol=6)
+        assert verify_checksum(header.pack())
+
+    def test_corruption_detected(self):
+        data = bytearray(IPv4Header(src_ip="1.2.3.4", dst_ip="5.6.7.8").pack())
+        data[8] ^= 0xFF
+        assert not verify_checksum(bytes(data))
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_checksum_in_range(self, data):
+        value = internet_checksum(data)
+        assert 0 <= value <= 0xFFFF
+
+
+class TestHeaders:
+    def test_ethernet_roundtrip(self):
+        header = EthernetHeader(dst_mac="02:00:00:00:00:02", src_mac="02:00:00:00:00:01")
+        parsed = EthernetHeader.unpack(header.pack())
+        assert parsed == header
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 5)
+
+    def test_ipv4_roundtrip_and_verify(self):
+        header = IPv4Header(src_ip="10.1.2.3", dst_ip="8.8.8.8", protocol=17, ttl=52)
+        packed = header.pack(payload_length=100)
+        parsed = IPv4Header.unpack(packed, verify=True)
+        assert parsed.src_ip == "10.1.2.3"
+        assert parsed.total_length == 120
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(b"\x00" * 10)
+
+    def test_ipv4_checksum_verification_failure(self):
+        packed = bytearray(IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2").pack())
+        packed[15] ^= 0x55
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(packed), verify=True)
+
+    def test_tcp_roundtrip_and_flags(self):
+        header = TCPHeader(src_port=1234, dst_port=443, seq=99, ack=11,
+                           flags=TCP_FLAG_SYN | TCP_FLAG_ACK, window=2048)
+        parsed = TCPHeader.unpack(header.pack())
+        assert parsed.src_port == 1234 and parsed.dst_port == 443
+        assert parsed.flag_names() == ["SYN", "ACK"]
+
+    def test_udp_roundtrip(self):
+        header = UDPHeader(src_port=5353, dst_port=53)
+        packed = header.pack(payload_length=30)
+        parsed = UDPHeader.unpack(packed)
+        assert parsed.length == 38
+
+    def test_icmp_roundtrip(self):
+        header = ICMPHeader(icmp_type=8, identifier=77, sequence=3)
+        parsed = ICMPHeader.unpack(header.pack(b"ping"))
+        assert parsed.identifier == 77 and parsed.sequence == 3
+
+    @given(st.integers(0, 65535), st.integers(0, 65535), st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_tcp_roundtrip(self, sport, dport, seq):
+        header = TCPHeader(src_port=sport, dst_port=dport, seq=seq)
+        parsed = TCPHeader.unpack(header.pack())
+        assert (parsed.src_port, parsed.dst_port, parsed.seq) == (sport, dport, seq)
+
+
+class TestDNS:
+    def test_query_roundtrip(self):
+        message = DNSMessage(
+            transaction_id=99,
+            questions=[DNSQuestion("www.example.com", RECORD_TYPES["AAAA"])],
+        )
+        parsed = DNSMessage.unpack(message.pack())
+        assert parsed.transaction_id == 99
+        assert not parsed.is_response
+        assert parsed.questions[0].name == "www.example.com"
+        assert parsed.questions[0].type_name == "AAAA"
+
+    def test_response_with_all_record_types(self):
+        answers = [
+            DNSAnswer("example.com", RECORD_TYPES["A"], rdata="93.184.216.34"),
+            DNSAnswer("example.com", RECORD_TYPES["AAAA"], rdata="2001:db8:1:2:3"),
+            DNSAnswer("example.com", RECORD_TYPES["CNAME"], rdata="edge.example.com"),
+            DNSAnswer("example.com", RECORD_TYPES["MX"], rdata="10 mail.example.com"),
+            DNSAnswer("example.com", RECORD_TYPES["TXT"], rdata="v=spf1 -all"),
+        ]
+        message = DNSMessage(
+            transaction_id=1, is_response=True,
+            questions=[DNSQuestion("example.com")], answers=answers,
+        )
+        parsed = DNSMessage.unpack(message.pack())
+        assert parsed.is_response
+        assert len(parsed.answers) == 5
+        assert parsed.answers[0].rdata == "93.184.216.34"
+        assert parsed.answers[2].rdata == "edge.example.com"
+        assert parsed.answers[3].rdata == "10 mail.example.com"
+        assert "spf1" in parsed.answers[4].rdata
+        assert parsed.query_name == "example.com"
+        assert len(parsed.answer_values()) == 5
+
+    def test_nxdomain_rcode(self):
+        message = DNSMessage(transaction_id=5, is_response=True, rcode=3,
+                             questions=[DNSQuestion("missing.example")])
+        assert DNSMessage.unpack(message.pack()).rcode == 3
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            DNSQuestion("a" * 70 + ".com").pack()
+        with pytest.raises(ValueError):
+            DNSMessage.unpack(b"\x00\x01")
+
+
+class TestHTTP:
+    def test_request_roundtrip(self):
+        request = HTTPRequest(method="POST", path="/api", host="example.org",
+                              user_agent="curl/7.85.0", headers={"Accept": "*/*"})
+        parsed = HTTPRequest.decode(request.encode())
+        assert parsed.method == "POST"
+        assert parsed.host == "example.org"
+        assert parsed.user_agent == "curl/7.85.0"
+        assert parsed.headers["Accept"] == "*/*"
+
+    def test_response_roundtrip(self):
+        response = HTTPResponse(status=404, content_length=120, content_type="application/json")
+        parsed = HTTPResponse.decode(response.encode())
+        assert parsed.status == 404
+        assert parsed.reason == "Not Found"
+        assert parsed.content_length == 120
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            HTTPRequest.decode(b"NONSENSE")
+        with pytest.raises(ValueError):
+            HTTPResponse.decode(b"X")
+
+
+class TestTLSAndNTP:
+    def test_client_hello_roundtrip(self):
+        hello = TLSClientHello(ciphersuites=[0xC02F, 0xC030, 0x1301], server_name="example.com")
+        parsed = TLSClientHello.unpack(hello.pack())
+        assert parsed.ciphersuites == [0xC02F, 0xC030, 0x1301]
+        assert parsed.server_name == "example.com"
+        assert "GCM" in parsed.offered_names()[0]
+
+    def test_server_hello_roundtrip(self):
+        hello = TLSServerHello(ciphersuite=0xC030)
+        assert TLSServerHello.unpack(hello.pack()).ciphersuite == 0xC030
+
+    def test_tls_wrong_type_rejected(self):
+        client = TLSClientHello(ciphersuites=[0xC02F], server_name="x.com").pack()
+        with pytest.raises(ValueError):
+            TLSServerHello.unpack(client)
+
+    def test_ntp_roundtrip(self):
+        packet = NTPPacket(mode=3, stratum=2, transmit_timestamp=1_700_000_000.5)
+        parsed = NTPPacket.unpack(packet.pack())
+        assert parsed.mode == 3
+        assert parsed.transmit_timestamp == pytest.approx(1_700_000_000.5, abs=1e-3)
+        with pytest.raises(ValueError):
+            NTPPacket.unpack(b"\x00" * 10)
+
+
+class TestRegistries:
+    def test_port_service(self):
+        assert port_service(80) == "http"
+        assert port_service(50000) == "ephemeral"
+        assert port_service(4444) == "unknown"
+
+    def test_protocol_name(self):
+        assert protocol_name(6) == "TCP"
+        assert protocol_name(250).startswith("proto-")
+
+    def test_ciphersuite_registry(self):
+        assert ciphersuite_name(0xC02F) == "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"
+        assert ciphersuite_name(0xBEEF).startswith("cs-0x")
+        assert 0xC030 in CIPHERSUITE_STRENGTH["strong"]
+        assert 0x0005 in CIPHERSUITE_STRENGTH["weak"]
+        # The NorBERT example pair differs only in key length / hash.
+        a, b = CIPHERSUITES[0xC02F], CIPHERSUITES[0xC030]
+        assert (a.key_exchange, a.authentication) == (b.key_exchange, b.authentication)
+        assert a.key_bits != b.key_bits
+
+    def test_semantic_groups_cover_registered_values(self):
+        for group in PROTOCOL_SEMANTIC_GROUPS.values():
+            assert group
+        for ports in PORT_SEMANTIC_GROUPS.values():
+            assert all(port_service(p) not in ("unknown",) for p in ports)

@@ -1,0 +1,197 @@
+"""Tests for Module, layers, attention, transformer and GRU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    GRU,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    Parameter,
+    PositionalEmbedding,
+    ReLU,
+    Sequential,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    scaled_dot_product_attention,
+)
+
+
+class TestModule:
+    def test_named_parameters_and_count(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_nested_modules_discovered(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert any("layers.items.0" in n for n in names)
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential(Linear(3, 3, rng=np.random.default_rng(1)))
+        state = model.state_dict()
+        other = Sequential(Linear(3, 3, rng=np.random.default_rng(2)))
+        other.load_state_dict(state)
+        np.testing.assert_allclose(
+            model.state_dict()["layers.items.0.weight"],
+            other.state_dict()["layers.items.0.weight"],
+        )
+
+    def test_load_state_dict_strict_errors(self):
+        model = Sequential(Linear(3, 3))
+        with pytest.raises(KeyError):
+            model.load_state_dict({"unknown": np.zeros(3)})
+        bad = {name: np.zeros((1, 1)) for name in model.state_dict()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes_and_no_bias(self):
+        layer = Linear(5, 7, bias=False)
+        out = layer(Tensor(np.ones((3, 5))))
+        assert out.shape == (3, 7)
+        assert layer.bias is None
+
+    def test_linear_batched_3d(self):
+        layer = Linear(4, 2)
+        out = layer(Tensor(np.ones((2, 6, 4))))
+        assert out.shape == (2, 6, 2)
+
+    def test_embedding_lookup_and_bounds(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 9]]))
+        assert out.shape == (2, 2, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_embedding_load_pretrained(self):
+        emb = Embedding(5, 3)
+        matrix = np.arange(15.0).reshape(5, 3)
+        emb.load_pretrained(matrix, freeze=True)
+        np.testing.assert_allclose(emb.weight.data, matrix)
+        assert not emb.weight.requires_grad
+        with pytest.raises(ValueError):
+            emb.load_pretrained(np.zeros((4, 3)))
+
+    def test_layernorm_normalizes(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(4, 8)))
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_dropout_train_vs_eval(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,)))
+        out_train = dropout(x).data
+        assert (out_train == 0).any()
+        dropout.eval()
+        np.testing.assert_allclose(dropout(x).data, np.ones(100))
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestAttention:
+    def test_scaled_dot_product_shapes(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.normal(size=(2, 3, 5, 8)))
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 3, 5, 8)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((2, 3, 5)), rtol=1e-8)
+
+    def test_attention_mask_blocks_positions(self):
+        rng = np.random.default_rng(1)
+        attention = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.array([[True, True, False, False]])
+        attention(x, attention_mask=mask)
+        weights = attention.last_attention
+        # Attention to masked (padding) key positions must be ~0.
+        assert weights[0, :, :, 2:].max() < 1e-6
+
+    def test_d_model_divisibility_check(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+
+class TestTransformer:
+    def test_encoder_output_shape_and_grad(self):
+        rng = np.random.default_rng(2)
+        encoder = TransformerEncoder(2, 16, 4, 32, dropout=0.0, rng=rng)
+        x = Tensor(rng.normal(size=(3, 7, 16)), requires_grad=True)
+        out = encoder(x, attention_mask=np.ones((3, 7), dtype=bool))
+        assert out.shape == (3, 7, 16)
+        out.sum().backward()
+        assert x.grad is not None
+        assert len(encoder.attention_maps()) == 2
+
+    def test_single_layer(self):
+        layer = TransformerEncoderLayer(8, 2, 16, dropout=0.0)
+        out = layer(Tensor(np.zeros((1, 5, 8))))
+        assert out.shape == (1, 5, 8)
+
+    def test_positional_embedding_limit(self):
+        positional = PositionalEmbedding(10, 8)
+        assert positional(5, 2).shape == (2, 5, 8)
+        with pytest.raises(ValueError):
+            positional(11, 1)
+
+
+class TestGRU:
+    def test_cell_step_shape(self):
+        cell = GRUCell(4, 6)
+        h = cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_gru_unidirectional(self):
+        gru = GRU(4, 6)
+        out, final = gru(Tensor(np.random.default_rng(0).normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+        assert final.shape == (2, 6)
+        assert gru.output_size == 6
+
+    def test_gru_bidirectional(self):
+        gru = GRU(4, 6, bidirectional=True)
+        out, final = gru(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 12)
+        assert final.shape == (2, 12)
+        assert gru.output_size == 12
+
+    def test_gru_gradient_reaches_input(self):
+        gru = GRU(3, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 3)), requires_grad=True)
+        out, _ = gru(x)
+        out.sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0

@@ -1,0 +1,143 @@
+"""Tests for the downstream task builders, regressors and the NetGLUE benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netglue import (
+    FlowStatsSolver,
+    FoundationModelSolver,
+    GRUSolver,
+    NetGLUE,
+    NetGLUETask,
+    SolverSettings,
+    format_leaderboard,
+    run_leaderboard,
+)
+from repro.tasks import (
+    MLPRegressor,
+    MLPRegressorConfig,
+    RidgeRegression,
+    build_application_classification,
+    build_congestion_prediction,
+    build_device_classification,
+    build_dns_category_classification,
+    build_malware_detection,
+    build_performance_prediction,
+    regression_metrics,
+)
+
+
+class TestTaskBuilders:
+    def test_application_classification(self):
+        task = build_application_classification(seed=0, duration=8.0)
+        assert task.label_key == "application"
+        train_labels = {p.metadata["application"] for p in task.train_packets}
+        assert {"dns", "http"} <= train_labels
+        assert task.train_packets and task.test_packets
+
+    def test_dns_category_shifted_eval(self):
+        task = build_dns_category_classification(seed=0, num_clients=3, queries_per_client=5)
+        train_subnets = {p.src_ip.split(".")[0] for p in task.train_packets}
+        test_subnets = {p.src_ip.split(".")[0] for p in task.test_packets}
+        assert train_subnets != test_subnets  # client population shifted
+
+    def test_device_classification_labels(self):
+        task = build_device_classification(seed=0, duration=20.0)
+        assert task.label_key == "device"
+        assert {p.metadata["device"] for p in task.train_packets}
+
+    def test_malware_detection_binary_labels(self):
+        task = build_malware_detection(seed=0, duration=8.0)
+        labels = {p.metadata["malicious"] for p in task.train_packets}
+        assert labels == {"benign", "attack"}
+
+    def test_congestion_prediction_arrays(self):
+        task = build_congestion_prediction(seed=0, duration=80.0, window=20)
+        assert task.kind == "classification"
+        assert task.train_features.shape[1:] == (20, 3)
+        assert set(np.unique(task.train_targets)) <= {0, 1}
+
+    def test_performance_prediction_arrays(self):
+        task = build_performance_prediction(seed=0, num_flows=100)
+        assert task.kind == "regression"
+        assert task.train_features.shape == (100, 5)
+        assert np.isfinite(task.train_targets).all()
+
+
+class TestRegressors:
+    def test_ridge_fits_linear_relation(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 3))
+        targets = features @ np.array([1.0, -2.0, 0.5]) + 3.0
+        model = RidgeRegression(alpha=0.01).fit(features, targets)
+        metrics = model.evaluate(features, targets)
+        assert metrics["r2"] > 0.99
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(features)
+
+    def test_mlp_regressor_improves_over_mean(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(200, 4))
+        targets = np.sin(features[:, 0]) + features[:, 1] ** 2
+        model = MLPRegressor(4, MLPRegressorConfig(hidden=16, epochs=30, seed=0)).fit(features, targets)
+        metrics = model.evaluate(features, targets)
+        baseline = regression_metrics(targets, np.full_like(targets, targets.mean()))
+        assert metrics["rmse"] < baseline["rmse"]
+
+    def test_regression_metrics_perfect(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        metrics = regression_metrics(targets, targets)
+        assert metrics["mae"] == 0.0 and metrics["r2"] == pytest.approx(1.0)
+
+    def test_performance_prediction_end_to_end(self):
+        task = build_performance_prediction(seed=2, num_flows=200)
+        model = RidgeRegression().fit(task.train_features, task.train_targets)
+        metrics = model.evaluate(task.test_features, task.test_targets)
+        # Flow size is the dominant factor, so even ridge should explain a lot.
+        assert metrics["r2"] > 0.3
+
+
+class TestNetGLUE:
+    def test_scale_validation_and_aggregate(self):
+        with pytest.raises(ValueError):
+            NetGLUE(scale="gigantic")
+        assert NetGLUE.aggregate({"a": 0.5, "b": 1.0}) == pytest.approx(0.75)
+        assert NetGLUE.aggregate({}) == 0.0
+
+    def test_tiny_benchmark_builds_all_tasks(self):
+        tasks = NetGLUE(seed=0, scale="tiny").tasks()
+        names = [task.name for task in tasks]
+        assert names == ["application", "dns-category", "device", "malware", "congestion"]
+        assert sum(task.is_packet_task for task in tasks) == 4
+
+    def test_flow_stats_solver_on_tiny_tasks(self):
+        tasks = NetGLUE(seed=1, scale="tiny").tasks()
+        solver = FlowStatsSolver(SolverSettings(max_train_contexts=100, max_eval_contexts=100))
+        packet_task = tasks[0]
+        metrics = solver.solve(packet_task)
+        assert 0.0 <= metrics["f1"] <= 1.0
+        congestion_task = tasks[-1]
+        metrics = solver.solve(congestion_task)
+        assert 0.0 <= metrics["f1"] <= 1.0
+
+    def test_leaderboard_runs_and_formats(self):
+        # Use only the cheapest task and solver to keep the test fast.
+        tasks = [t for t in NetGLUE(seed=2, scale="tiny").tasks() if t.name == "application"]
+        results = run_leaderboard(tasks, [FlowStatsSolver()])
+        assert "flow-stats" in results
+        assert "netglue" in results["flow-stats"]
+        table = format_leaderboard(results)
+        assert "flow-stats" in table and "NetGLUE" in table
+        assert format_leaderboard({}) == "(empty leaderboard)"
+
+    def test_foundation_and_gru_solvers_on_one_task(self):
+        settings = SolverSettings(
+            max_tokens=32, max_train_contexts=80, max_eval_contexts=80,
+            pretrain_epochs=1, finetune_epochs=1, gru_epochs=1, d_model=16,
+        )
+        task = [t for t in NetGLUE(seed=3, scale="tiny").tasks() if t.name == "application"][0]
+        for solver in (FoundationModelSolver(settings), GRUSolver(settings)):
+            metrics = solver.solve(task)
+            assert 0.0 <= metrics["f1"] <= 1.0

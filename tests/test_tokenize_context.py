@@ -1,0 +1,209 @@
+"""Tests for tokenizers, vocabulary and context builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import (
+    FirstMOfNContextBuilder,
+    FlowContextBuilder,
+    PacketContextBuilder,
+    SessionContextBuilder,
+    encode_contexts,
+)
+from repro.net import DNSMessage, DNSQuestion, build_packet
+from repro.tokenize import (
+    BPETokenizer,
+    ByteTokenizer,
+    CLS,
+    FieldAwareTokenizer,
+    HexCharTokenizer,
+    MASK,
+    PAD,
+    SEP,
+    UNK,
+    Vocabulary,
+    WordPieceTokenizer,
+)
+
+
+class TestVocabulary:
+    def test_special_tokens_reserved(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.id_to_token(vocab.mask_id) == MASK
+        assert len(vocab) == 5
+
+    def test_build_orders_by_frequency(self):
+        vocab = Vocabulary.build([["a", "b", "a"], ["a", "c"]])
+        assert vocab.token_to_id("a") < vocab.token_to_id("b")
+        assert "c" in vocab
+
+    def test_min_count_and_max_size(self):
+        sequences = [["common"] * 5 + ["rare"]]
+        vocab = Vocabulary.build(sequences, min_count=2)
+        assert "common" in vocab and "rare" not in vocab
+        capped = Vocabulary.build([[f"t{i}" for i in range(100)]], max_size=20)
+        assert len(capped) == 20
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.token_to_id("unknown-token") == vocab.unk_id
+        assert vocab.decode(vocab.encode(["known", "nope"])) == ["known", UNK]
+
+    def test_id_out_of_range(self):
+        vocab = Vocabulary()
+        with pytest.raises(IndexError):
+            vocab.id_to_token(999)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["alpha", "beta"])
+        path = vocab.save(tmp_path / "vocab.json")
+        restored = Vocabulary.load(path)
+        assert restored.token_to_id("beta") == vocab.token_to_id("beta")
+        assert len(restored) == len(vocab)
+
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_encode_decode_roundtrip(self, tokens):
+        vocab = Vocabulary.build([tokens])
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+
+def _dns_packet():
+    return build_packet(
+        0.5, "10.0.0.2", "8.8.8.8", "UDP", 51000, 53,
+        application=DNSMessage(transaction_id=1, questions=[DNSQuestion("www.netflix.com")]),
+        metadata={"application": "dns", "connection_id": 1, "session_id": 1},
+    )
+
+
+class TestTokenizers:
+    def test_byte_tokenizer(self):
+        tokens = ByteTokenizer(max_bytes=30).tokenize_packet(_dns_packet())
+        assert len(tokens) == 30
+        assert all(t.startswith("0x") and len(t) == 4 for t in tokens)
+        # First IP byte is version/IHL 0x45.
+        assert tokens[0] == "0x45"
+
+    def test_hex_char_tokenizer(self):
+        tokens = HexCharTokenizer(max_bytes=10).tokenize_packet(_dns_packet())
+        assert len(tokens) == 20
+        assert set("".join(tokens)) <= set("0123456789abcdef")
+
+    def test_field_tokenizer_emits_protocol_fields(self):
+        tokens = FieldAwareTokenizer().tokenize_packet(_dns_packet())
+        assert "ip.proto=UDP" in tokens
+        assert "udp.dport=53" in tokens
+        assert "dns.qr=query" in tokens
+        assert "dns.qname=netflix.com" in tokens
+        assert "dns.qname.label=www" in tokens
+
+    def test_field_tokenizer_http_and_tls(self, small_mixed_trace):
+        tokenizer = FieldAwareTokenizer()
+        all_tokens = set()
+        for packet in small_mixed_trace:
+            all_tokens.update(tokenizer.tokenize_packet(packet))
+        assert any(t.startswith("http.method=") for t in all_tokens)
+        assert any(t.startswith("tls.cs=") for t in all_tokens)
+        assert any(t.startswith("tcp.flags=") for t in all_tokens)
+
+    def test_field_tokenizer_addresses_flag(self):
+        with_addr = FieldAwareTokenizer(include_addresses=True).tokenize_packet(_dns_packet())
+        without = FieldAwareTokenizer(include_addresses=False).tokenize_packet(_dns_packet())
+        assert any(t.startswith("ip.src16=") for t in with_addr)
+        assert not any(t.startswith("ip.src16=") for t in without)
+
+    def test_bpe_learns_and_shrinks_sequences(self, small_dns_trace):
+        tokenizer = BPETokenizer(num_merges=40, max_bytes=60)
+        baseline_length = len(tokenizer.tokenize_packet(small_dns_trace[0]))
+        tokenizer.fit(small_dns_trace[:100])
+        assert tokenizer.is_fitted
+        merged_length = len(tokenizer.tokenize_packet(small_dns_trace[0]))
+        assert merged_length < baseline_length
+
+    def test_wordpiece_fit_and_continuation_marks(self, small_dns_trace):
+        tokenizer = WordPieceTokenizer(vocab_size=100, max_bytes=40)
+        tokenizer.fit(small_dns_trace[:100])
+        assert tokenizer.is_fitted
+        tokens = tokenizer.tokenize_packet(small_dns_trace[0])
+        assert not tokens[0].startswith("##")
+        assert all(t.startswith("##") for t in tokens[1:])
+
+    def test_build_vocabulary_helper(self, small_dns_trace):
+        vocab = FieldAwareTokenizer().build_vocabulary(small_dns_trace[:50])
+        assert len(vocab) > 10
+
+    def test_length_bucket_monotonic(self):
+        buckets = [FieldAwareTokenizer.length_bucket(n) for n in (10, 100, 900, 3000)]
+        assert buckets == ["len<=64", "len<=128", "len<=1024", "len>1500"]
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_property_tokenizers_deterministic(self, seed):
+        packet = _dns_packet()
+        for tokenizer in (ByteTokenizer(), FieldAwareTokenizer(), HexCharTokenizer()):
+            assert tokenizer.tokenize_packet(packet) == tokenizer.tokenize_packet(packet)
+
+
+class TestContextBuilders:
+    def test_packet_contexts_one_per_packet(self, small_dns_trace):
+        contexts = PacketContextBuilder(max_tokens=32).build(
+            small_dns_trace[:20], FieldAwareTokenizer()
+        )
+        assert len(contexts) == 20
+        for context in contexts:
+            assert context.tokens[0] == CLS
+            assert context.tokens[-1] == SEP
+            assert len(context.tokens) <= 32
+            assert len(context.tokens) == len(context.segments)
+
+    def test_flow_contexts_group_by_connection(self, small_dns_trace):
+        contexts = FlowContextBuilder(max_tokens=64).build(small_dns_trace, FieldAwareTokenizer())
+        connection_ids = {p.metadata["connection_id"] for p in small_dns_trace}
+        assert len(contexts) == len(connection_ids)
+        assert all(c.label == "dns" for c in contexts)
+
+    def test_session_contexts_span_connections(self, small_dns_trace):
+        sessions = SessionContextBuilder(max_tokens=96).build(small_dns_trace, FieldAwareTokenizer())
+        flows = FlowContextBuilder(max_tokens=96).build(small_dns_trace, FieldAwareTokenizer())
+        assert len(sessions) < len(flows)
+
+    def test_first_m_of_n_limits_tokens_per_packet(self, small_dns_trace):
+        builder = FirstMOfNContextBuilder(tokens_per_packet=4, packets_per_context=3, max_tokens=64)
+        contexts = builder.build(small_dns_trace, FieldAwareTokenizer())
+        assert contexts
+        for context in contexts:
+            assert len(context.packets) <= 3
+            # Each packet contributes at most tokens_per_packet tokens.
+            for segment in set(context.segments):
+                segment_tokens = [
+                    t for t, s in zip(context.tokens, context.segments)
+                    if s == segment and t not in (CLS, SEP)
+                ]
+                assert len(segment_tokens) <= 4
+
+    def test_label_from_custom_key(self, small_dns_trace):
+        contexts = FlowContextBuilder(label_key="domain_category").build(
+            small_dns_trace, FieldAwareTokenizer()
+        )
+        assert all(c.label is not None for c in contexts)
+
+    def test_max_tokens_validation(self):
+        with pytest.raises(ValueError):
+            PacketContextBuilder(max_tokens=2)
+
+    def test_encode_contexts_padding_and_mask(self, small_dns_trace):
+        contexts = PacketContextBuilder(max_tokens=24).build(
+            small_dns_trace[:10], FieldAwareTokenizer()
+        )
+        vocab = Vocabulary.build([c.tokens for c in contexts])
+        ids, mask = encode_contexts(contexts, vocab, max_len=24)
+        assert ids.shape == (10, 24) and mask.shape == (10, 24)
+        assert ids.dtype == np.int64 and mask.dtype == bool
+        # Padding positions hold the PAD id and are masked out.
+        assert np.all(ids[~mask] == vocab.pad_id)
+        assert np.all(mask[:, 0])

@@ -1,0 +1,272 @@
+"""Tests for the synthetic traffic generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.net import DNSMessage, TLSClientHello
+from repro.traffic import (
+    ATTACK_TYPES,
+    AttackConfig,
+    AttackGenerator,
+    CongestionConfig,
+    CongestionSimulator,
+    DatacenterConfig,
+    DatacenterFlowGenerator,
+    DEVICE_PROFILES,
+    DNSWorkloadConfig,
+    DNSWorkloadGenerator,
+    DomainSampler,
+    DOMAIN_CATEGORIES,
+    EnterpriseScenario,
+    EnterpriseScenarioConfig,
+    HTTPWorkloadConfig,
+    HTTPWorkloadGenerator,
+    IoTWorkloadConfig,
+    IoTWorkloadGenerator,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+    apply_jitter,
+    build_leaf_spine,
+    domain_category,
+    drop_packets,
+    generate_dga_domain,
+    interleave_at_capture_point,
+    merge_traces,
+    reorder_within_window,
+    reweight_categories,
+    shifted_dns_config,
+    split_by_label,
+)
+
+
+class TestDomains:
+    def test_category_lookup(self):
+        assert domain_category("netflix.com") == "video"
+        assert domain_category("cdn-3.netflix.com") == "video"
+        assert domain_category("unknown-host.example") == "unknown"
+
+    def test_sampler_respects_category(self):
+        sampler = DomainSampler(np.random.default_rng(0))
+        for domain in sampler.sample_many(20, category="mail"):
+            assert domain_category(domain) == "mail"
+        with pytest.raises(KeyError):
+            sampler.sample(category="nonexistent")
+
+    def test_sampler_weights(self):
+        sampler = DomainSampler(
+            np.random.default_rng(0), category_weights={"video": 1.0}
+        )
+        categories = {domain_category(sampler.sample()) for _ in range(30)}
+        assert categories == {"video"}
+        with pytest.raises(ValueError):
+            DomainSampler(np.random.default_rng(0), category_weights={"video": 0.0})
+
+    def test_dga_domain(self):
+        domain = generate_dga_domain(np.random.default_rng(0), length=12, tld="net")
+        label, tld = domain.split(".")
+        assert len(label) == 12 and tld == "net"
+
+
+class TestDNSWorkload:
+    def test_query_response_pairing_and_labels(self, small_dns_trace):
+        assert len(small_dns_trace) == 6 * 8 * 2
+        by_connection = split_by_label(small_dns_trace, "connection_id")
+        assert all(len(packets) == 2 for packets in by_connection.values())
+        categories = {p.metadata["domain_category"] for p in small_dns_trace}
+        assert categories <= set(DOMAIN_CATEGORIES) | {"unknown"}
+        assert all(isinstance(p.application, DNSMessage) for p in small_dns_trace)
+
+    def test_determinism(self):
+        config = DNSWorkloadConfig(seed=11, num_clients=3, queries_per_client=4)
+        a = DNSWorkloadGenerator(config).generate()
+        b = DNSWorkloadGenerator(config).generate()
+        assert [p.to_bytes() for p in a] == [p.to_bytes() for p in b]
+
+    def test_timestamps_sorted_and_within_window(self, small_dns_trace):
+        times = [p.timestamp for p in small_dns_trace]
+        assert times == sorted(times)
+        assert min(times) >= 0.0
+
+    def test_category_behaviour_differs(self):
+        config = DNSWorkloadConfig(seed=5, num_clients=10, queries_per_client=20,
+                                   category_weights={"mail": 1.0})
+        mail_trace = DNSWorkloadGenerator(config).generate()
+        qtypes = Counter(
+            p.application.questions[0].type_name
+            for p in mail_trace if not p.application.is_response
+        )
+        assert qtypes.get("MX", 0) > 0  # mail category issues MX lookups
+
+    def test_novel_hostnames_appear_under_shift(self):
+        base = DNSWorkloadConfig(seed=2, num_clients=5, queries_per_client=10)
+        shifted = shifted_dns_config(base)
+        assert shifted.novel_hostname_probability > 0
+        trace = DNSWorkloadGenerator(shifted).generate()
+        names = [p.application.query_name for p in trace if not p.application.is_response]
+        assert any(name.split(".")[0].startswith("srv") for name in names)
+
+    def test_reweight_categories_is_distribution(self):
+        weights = reweight_categories(np.random.default_rng(0))
+        assert set(weights) == set(DOMAIN_CATEGORIES)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestHTTPAndTLSWorkloads:
+    def test_http_sessions_have_handshake_and_labels(self):
+        trace = HTTPWorkloadGenerator(HTTPWorkloadConfig(seed=1, num_sessions=5, duration=10)).generate()
+        assert trace
+        flags = {tuple(p.transport.flag_names()) for p in trace}
+        assert ("SYN",) in flags                      # handshake present
+        assert any("FIN" in f for f in flags)         # teardown present
+        assert {p.metadata["application"] for p in trace} == {"http"}
+        statuses = [p.metadata.get("status") for p in trace if "status" in p.metadata]
+        assert statuses and all(100 <= s < 600 for s in statuses)
+
+    def test_tls_handshakes_select_strong_suite_for_modern_clients(self):
+        config = TLSWorkloadConfig(seed=3, num_sessions=10, duration=10,
+                                   profile_weights={"modern-browser": 1.0})
+        trace = TLSWorkloadGenerator(config).generate()
+        hellos = [p for p in trace if isinstance(p.application, TLSClientHello)]
+        assert hellos
+        selected = {p.metadata["selected_ciphersuite"] for p in trace}
+        assert selected <= {0x1301, 0x1302, 0x1303, 0xC02B, 0xC02C, 0xC02F, 0xC030}
+
+    def test_tls_sni_matches_domain_metadata(self):
+        trace = TLSWorkloadGenerator(TLSWorkloadConfig(seed=4, num_sessions=5, duration=5)).generate()
+        for packet in trace:
+            if isinstance(packet.application, TLSClientHello):
+                assert packet.application.server_name == packet.metadata["domain"]
+
+
+class TestIoTWorkload:
+    def test_devices_labelled_and_behaviour_differs(self):
+        trace = IoTWorkloadGenerator(IoTWorkloadConfig(seed=0, duration=60, devices_per_type=1)).generate()
+        devices = {p.metadata["device"] for p in trace}
+        assert devices == set(DEVICE_PROFILES)
+        # MQTT devices touch port 8883; camera-style devices use TLS beacons.
+        bulb_ports = {p.dst_port for p in trace if p.metadata["device"] == "smart-bulb"}
+        camera_ports = {p.dst_port for p in trace if p.metadata["device"] == "camera"}
+        assert 8883 in bulb_ports
+        assert 443 in camera_ports
+
+    def test_device_macs_use_vendor_oui(self):
+        trace = IoTWorkloadGenerator(IoTWorkloadConfig(seed=1, duration=30, devices_per_type=1)).generate()
+        camera_sources = {
+            p.ethernet.src_mac for p in trace
+            if p.metadata["device"] == "camera" and p.src_ip.startswith("192.168.")
+        }
+        assert any(mac.startswith(DEVICE_PROFILES["camera"].oui) for mac in camera_sources)
+
+
+class TestAttacks:
+    def test_all_attack_types_generated_and_labelled(self):
+        trace = AttackGenerator(AttackConfig(seed=0, duration=20)).generate()
+        types = {p.metadata["attack_type"] for p in trace}
+        assert types == set(ATTACK_TYPES)
+        assert all(p.metadata["anomaly"] for p in trace)
+
+    def test_port_scan_targets_many_ports(self):
+        trace = AttackGenerator(AttackConfig(seed=1, duration=10, attack_types=("port-scan",),
+                                             scan_ports=40)).generate()
+        ports = {p.dst_port for p in trace}
+        assert len(ports) == 40
+
+    def test_dns_tunnel_uses_long_labels(self):
+        trace = AttackGenerator(AttackConfig(seed=2, duration=10, attack_types=("dns-tunnel",),
+                                             tunnel_queries=5)).generate()
+        names = [p.application.query_name for p in trace]
+        assert all(len(name.split(".")[0]) >= 30 for name in names)
+
+    def test_unknown_attack_type_rejected(self):
+        with pytest.raises(ValueError):
+            AttackGenerator(AttackConfig(attack_types=("not-an-attack",))).generate()
+
+    def test_c2_beacon_is_periodic(self):
+        trace = AttackGenerator(AttackConfig(seed=3, duration=10, attack_types=("c2-beacon",),
+                                             beacon_count=10)).generate()
+        times = np.array([p.timestamp for p in trace])
+        intervals = np.diff(np.sort(times))
+        assert intervals.std() < 0.5  # beacons are near-periodic
+
+
+class TestCaptureEffects:
+    def test_merge_and_interleave_sorted(self):
+        a = DNSWorkloadGenerator(DNSWorkloadConfig(seed=0, num_clients=2, queries_per_client=3)).generate()
+        b = HTTPWorkloadGenerator(HTTPWorkloadConfig(seed=1, num_sessions=2, duration=10)).generate()
+        merged = merge_traces(a, b)
+        assert len(merged) == len(a) + len(b)
+        times = [p.timestamp for p in merged]
+        assert times == sorted(times)
+
+    def test_jitter_drop_reorder(self):
+        trace = DNSWorkloadGenerator(DNSWorkloadConfig(seed=0, num_clients=2, queries_per_client=5)).generate()
+        rng = np.random.default_rng(0)
+        jittered = apply_jitter(trace, 0.01, rng)
+        assert len(jittered) == len(trace)
+        assert [p.timestamp for p in jittered] == sorted(p.timestamp for p in jittered)
+        dropped = drop_packets(trace, 0.5, rng)
+        assert 0 < len(dropped) < len(trace)
+        with pytest.raises(ValueError):
+            drop_packets(trace, 1.5, rng)
+        reordered = reorder_within_window(trace, 4, rng)
+        assert Counter(id(p) for p in reordered) == Counter(id(p) for p in trace)
+
+    def test_interleave_at_capture_point(self):
+        a = DNSWorkloadGenerator(DNSWorkloadConfig(seed=0, num_clients=1, queries_per_client=5)).generate()
+        b = DNSWorkloadGenerator(DNSWorkloadConfig(seed=1, num_clients=1, queries_per_client=5)).generate()
+        capture = interleave_at_capture_point(a, b, rng=np.random.default_rng(0),
+                                               jitter_std=0.001, loss_rate=0.1)
+        assert 0 < len(capture) <= len(a) + len(b)
+
+
+class TestScenario:
+    def test_enterprise_mix_and_attacks(self, small_mixed_trace):
+        apps = {p.metadata["application"] for p in small_mixed_trace}
+        assert {"dns", "http", "https", "iot"} <= apps
+        with_attacks = EnterpriseScenario(
+            EnterpriseScenarioConfig(seed=9, duration=10, include_attacks=True)
+        ).generate()
+        assert any(p.metadata.get("anomaly") for p in with_attacks)
+
+
+class TestDatacenter:
+    def test_topology_structure(self):
+        graph = build_leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=4)
+        hosts = [n for n, d in graph.nodes(data=True) if d["kind"] == "host"]
+        leaves = [n for n, d in graph.nodes(data=True) if d["kind"] == "leaf"]
+        assert len(hosts) == 12 and len(leaves) == 3
+        assert graph.degree("spine0") == 3
+
+    def test_flow_generation_and_dataset(self):
+        generator = DatacenterFlowGenerator(DatacenterConfig(seed=0, num_flows=200))
+        flows = generator.generate()
+        assert len(flows) == 200
+        assert all(f.completion_time > 0 for f in flows)
+        sizes = np.array([f.size_bytes for f in flows])
+        assert sizes.max() > 50 * sizes.min()  # heavy-tailed: elephants and mice
+        features, targets = generator.dataset()
+        assert features.shape == (200, 5)
+        assert np.all(np.isfinite(features)) and np.all(targets > 0)
+
+    def test_larger_flows_take_longer_on_average(self):
+        flows = DatacenterFlowGenerator(DatacenterConfig(seed=1, num_flows=400)).generate()
+        sizes = np.array([f.size_bytes for f in flows])
+        times = np.array([f.completion_time for f in flows])
+        big = times[sizes > np.percentile(sizes, 90)].mean()
+        small = times[sizes < np.percentile(sizes, 50)].mean()
+        assert big > small
+
+    def test_congestion_simulator_series_and_windows(self):
+        simulator = CongestionSimulator(CongestionConfig(seed=0, duration=120))
+        series = simulator.simulate()
+        assert set(series) == {"arrivals_kb", "queue_kb", "drops_kb", "utilization"}
+        assert np.all(series["queue_kb"] >= 0)
+        assert np.all(series["utilization"] <= 1.0 + 1e-9)
+        features, labels = simulator.windowed_dataset(window=20)
+        assert features.shape[1:] == (20, 3)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert 0.05 < labels.mean() < 0.95  # both classes present
