@@ -1,0 +1,7 @@
+"""Experiment benchmarks as a package, so modules can share ``helpers``.
+
+The ``from .helpers import ...`` relative imports require pytest to import
+these modules as ``benchmarks.test_bench_*``; this ``__init__`` provides the
+package anchor (the repo-root ``conftest.py`` handles the ``repro`` import
+path).
+"""

@@ -56,6 +56,13 @@ class ExperimentScale:
     d_model: int = 32
     num_layers: int = 2
     seed: int = 0
+    #: The ExperimentScale-driven benchmarks (E1-E9, E11-E13) make
+    #: statistical claims whose assertions were calibrated on the legacy
+    #: batch pipeline; at these tiny model/data scales results are sensitive
+    #: to the exact RNG stream, so the harness pins ``packed=False``.  E10
+    #: deliberately runs the packed production solvers, and E14 measures
+    #: packed vs legacy explicitly; the library defaults to packed.
+    packed: bool = False
 
 
 @dataclasses.dataclass
@@ -139,6 +146,7 @@ def pretrain_model(
             batch_size=scale.batch_size,
             objectives=objectives,
             seed=scale.seed,
+            packed=scale.packed,
         ),
     )
     pretrainer.pretrain(split.train_contexts, packets=packets, tokenizer=tokenizer)
@@ -155,7 +163,12 @@ def finetune_and_evaluate(
     classifier = SequenceClassifier(
         model,
         split.label_encoder.num_classes,
-        FinetuneConfig(epochs=scale.finetune_epochs, batch_size=scale.batch_size, seed=scale.seed),
+        FinetuneConfig(
+            epochs=scale.finetune_epochs,
+            batch_size=scale.batch_size,
+            seed=scale.seed,
+            packed=scale.packed,
+        ),
     )
     ids, mask, labels = split.train
     if train_fraction < 1.0:

@@ -47,7 +47,8 @@ def run_experiment() -> dict[str, dict[str, float]]:
         finetuned = SequenceClassifier(
             pretrain_model(split, SCALE) if shots == SHOT_COUNTS[0] else model,
             split.label_encoder.num_classes,
-            FinetuneConfig(epochs=SCALE.finetune_epochs, batch_size=8, seed=SCALE.seed),
+            FinetuneConfig(epochs=SCALE.finetune_epochs, batch_size=8, seed=SCALE.seed,
+                           packed=SCALE.packed),
         )
         finetuned.fit(ids, mask, labels)
         rows.setdefault("fm fine-tuned", {})[f"{shots}-shot"] = finetuned.evaluate(*split.eval)["f1"]

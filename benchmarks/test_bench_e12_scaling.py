@@ -38,7 +38,8 @@ def _pretrain_on_fraction(split, fraction: float, d_model: int):
     model = NetFoundationModel(config)
     pretrainer = Pretrainer(
         model, split.vocabulary,
-        PretrainingConfig(epochs=SCALE.pretrain_epochs, batch_size=SCALE.batch_size, seed=SCALE.seed),
+        PretrainingConfig(epochs=SCALE.pretrain_epochs, batch_size=SCALE.batch_size, seed=SCALE.seed,
+                          packed=SCALE.packed),
     )
     pretrainer.pretrain(contexts)
     mlm_accuracy = pretrainer.masked_token_accuracy(split.eval_contexts, samples=48)

@@ -53,7 +53,7 @@ def _pretrain_on(corpus_packets, split):
     )
     model = NetFoundationModel(config)
     Pretrainer(model, split.vocabulary,
-               PretrainingConfig(epochs=SCALE.pretrain_epochs, batch_size=SCALE.batch_size,
+               PretrainingConfig(epochs=SCALE.pretrain_epochs, batch_size=SCALE.batch_size, packed=SCALE.packed,
                                  seed=SCALE.seed)).pretrain(contexts)
     return model
 

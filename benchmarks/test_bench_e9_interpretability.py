@@ -38,7 +38,8 @@ def run_experiment() -> dict[str, dict[str, float]]:
     model = pretrain_model(split, SCALE)
     classifier = SequenceClassifier(
         model, split.label_encoder.num_classes,
-        FinetuneConfig(epochs=SCALE.finetune_epochs, batch_size=SCALE.batch_size, seed=SCALE.seed),
+        FinetuneConfig(epochs=SCALE.finetune_epochs, batch_size=SCALE.batch_size, seed=SCALE.seed,
+                       packed=SCALE.packed),
     )
     classifier.fit(*split.train)
 

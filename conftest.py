@@ -1,0 +1,15 @@
+"""Repo-level pytest bootstrap.
+
+Makes ``import repro`` work from a clean checkout (no install, no PYTHONPATH)
+for both ``tests/`` and ``benchmarks/``: the src layout directory is put on
+``sys.path`` before collection starts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

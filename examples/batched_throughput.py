@@ -1,0 +1,73 @@
+"""Batched fast path: encode and pre-train at trace scale.
+
+Demonstrates the two throughput levers this library ships:
+
+1. ``PacketTokenizer.encode_batch`` — tokenize + encode a whole trace into
+   one padded id matrix with vectorized NumPy operations, versus looping
+   ``tokenize_packet`` + ``Vocabulary.encode`` per packet;
+2. packed pre-training — length-bucketed batches trimmed to their longest
+   real sequence (``PretrainingConfig(packed=True)``), versus the legacy
+   full-width batches.
+
+Run with:  python examples/batched_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.context import FlowContextBuilder
+from repro.core import NetFMConfig, NetFoundationModel, Pretrainer, PretrainingConfig
+from repro.tokenize import ByteTokenizer, FieldAwareTokenizer, Vocabulary
+from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+
+def main() -> None:
+    print("Generating a synthetic enterprise capture ...")
+    config = EnterpriseScenarioConfig(
+        seed=7, duration=60.0, dns_clients=10, dns_queries_per_client=10,
+        http_sessions=30, tls_sessions=30, iot_devices_per_type=2,
+    )
+    trace = EnterpriseScenario(config).generate()
+    print(f"  {len(trace)} packets")
+
+    print("\n[1/2] Encoding the trace (byte-level tokenizer) ...")
+    tokenizer = ByteTokenizer()
+    token_lists = tokenizer.tokenize_trace(trace)
+    vocabulary = Vocabulary.build(token_lists)
+    total_tokens = sum(len(t) for t in token_lists)
+
+    start = time.perf_counter()
+    for packet in trace:
+        vocabulary.encode(tokenizer.tokenize_packet(packet))
+    per_packet = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ids, mask = tokenizer.encode_batch(trace, vocabulary)
+    batched = time.perf_counter() - start
+    print(f"  per-packet loop : {total_tokens / per_packet:12,.0f} tokens/s")
+    print(f"  encode_batch    : {total_tokens / batched:12,.0f} tokens/s")
+    print(f"  speedup         : {per_packet / batched:12.1f}x  "
+          f"(id matrix {ids.shape}, {int(mask.sum())} real tokens)")
+
+    print("\n[2/2] Pre-training (masked token modeling, 1 epoch) ...")
+    field_tokenizer = FieldAwareTokenizer()
+    contexts = FlowContextBuilder(max_tokens=64).build(trace, field_tokenizer)
+    context_vocab = Vocabulary.build([c.tokens for c in contexts])
+    for label, packed in (("legacy full-width", False), ("packed bucketed ", True)):
+        model = NetFoundationModel(NetFMConfig(
+            vocab_size=len(context_vocab), d_model=32, num_layers=2,
+            num_heads=4, d_ff=64, max_len=64, seed=0,
+        ))
+        pretrainer = Pretrainer(
+            model, context_vocab,
+            PretrainingConfig(epochs=1, batch_size=16, seed=0, packed=packed),
+        )
+        history = pretrainer.pretrain(contexts)
+        print(f"  {label}: {history.tokens_per_second:10,.0f} tokens/s "
+              f"({len(history.losses)} steps, {history.wall_time:.2f}s, "
+              f"final loss {history.final_loss:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -258,10 +258,6 @@ def encode_contexts(
     Returns ``(token_ids, attention_mask)`` of shape ``(len(contexts), max_len)``;
     the mask is True for real tokens and False for padding.
     """
-    token_ids = np.full((len(contexts), max_len), vocabulary.pad_id, dtype=np.int64)
-    mask = np.zeros((len(contexts), max_len), dtype=bool)
-    for row, context in enumerate(contexts):
-        ids = vocabulary.encode(context.tokens)[:max_len]
-        token_ids[row, : len(ids)] = ids
-        mask[row, : len(ids)] = True
-    return token_ids, mask
+    return vocabulary.encode_ids_batch(
+        [c.tokens for c in contexts], max_len=max_len, dtype=np.int64
+    )

@@ -16,6 +16,7 @@ from .pretraining import (
     PretrainingConfig,
     make_query_answer_pairs,
     make_segment_pairs,
+    make_segment_pairs_ids,
     mask_tokens,
 )
 from .representation import (
@@ -33,6 +34,7 @@ __all__ = [
     "Pretrainer",
     "mask_tokens",
     "make_segment_pairs",
+    "make_segment_pairs_ids",
     "make_query_answer_pairs",
     "FinetuneConfig",
     "SequenceClassifier",

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..context.builders import Context
 from ..nn.autograd import Tensor, no_grad
+from ..nn.data import pack_batches
 from ..nn.layers import Dropout, Linear
 from ..nn.losses import cross_entropy
 from ..nn.metrics import accuracy, macro_f1, weighted_f1
@@ -60,6 +61,9 @@ class FinetuneConfig:
     dropout: float = 0.1
     freeze_encoder: bool = False
     seed: int = 0
+    #: Train on length-bucketed batches trimmed to their longest real
+    #: sequence (the packed-batch fast path shared with pre-training).
+    packed: bool = True
 
 
 class SequenceClassifier(Module):
@@ -110,8 +114,17 @@ class SequenceClassifier(Module):
         rng = np.random.default_rng(cfg.seed)
 
         def make_batches():
-            order = rng.permutation(len(labels))
             closures = []
+            if cfg.packed:
+                for batch in pack_batches(token_ids, attention_mask, cfg.batch_size, rng=rng):
+                    def loss_fn(batch=batch) -> Tensor:
+                        logits = self(batch.token_ids, attention_mask=batch.attention_mask)
+                        return cross_entropy(logits, labels[batch.indices])
+
+                    loss_fn.num_tokens = batch.num_tokens
+                    closures.append(loss_fn)
+                return closures
+            order = rng.permutation(len(labels))
             for start in range(0, len(order), cfg.batch_size):
                 idx = order[start : start + cfg.batch_size]
 
@@ -119,6 +132,7 @@ class SequenceClassifier(Module):
                     logits = self(token_ids[idx], attention_mask=attention_mask[idx])
                     return cross_entropy(logits, labels[idx])
 
+                loss_fn.num_tokens = int(np.asarray(attention_mask)[idx].sum())
                 closures.append(loss_fn)
             return closures
 
@@ -141,6 +155,8 @@ class SequenceClassifier(Module):
         self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
     ) -> np.ndarray:
         """Predicted class probabilities (softmax over logits)."""
+        # No packed trimming here: interpretability consumers read the
+        # recorded attention maps and expect them aligned with the input width.
         self.eval()
         outputs = []
         with no_grad():

@@ -28,6 +28,7 @@ from ..context.builders import Context
 from ..net.dns import DNSMessage
 from ..net.packet import Packet
 from ..nn.autograd import Tensor
+from ..nn.data import PackedBatch, pack_batches
 from ..nn.losses import cross_entropy, masked_cross_entropy
 from ..nn.module import Module
 from ..nn.optim import AdamW
@@ -42,6 +43,7 @@ __all__ = [
     "PretrainingConfig",
     "mask_tokens",
     "make_segment_pairs",
+    "make_segment_pairs_ids",
     "make_query_answer_pairs",
     "Pretrainer",
 ]
@@ -60,6 +62,11 @@ class PretrainingConfig:
     objectives: tuple[str, ...] = ("mlm",)
     pair_loss_weight: float = 0.5
     seed: int = 0
+    #: Use the packed-batch fast path: length-bucketed batches trimmed to
+    #: their longest real sequence, and NSP pairs built directly on the
+    #: encoded id matrices.  Disable to reproduce the legacy per-sequence
+    #: pipeline (the throughput benchmark compares the two).
+    packed: bool = True
 
     def __post_init__(self) -> None:
         known = {"mlm", "nsp", "qa"}
@@ -88,10 +95,11 @@ def mask_tokens(
     candidates = attention_mask & ~special
     selection = (rng.random(token_ids.shape) < mask_probability) & candidates
     # Guarantee at least one masked position per sequence that has candidates.
-    for row in range(token_ids.shape[0]):
-        if candidates[row].any() and not selection[row].any():
-            choices = np.nonzero(candidates[row])[0]
-            selection[row, rng.choice(choices)] = True
+    # Only the (rare) starved rows are visited, and the RNG is consumed
+    # exactly as the original per-row loop did, so seeded runs reproduce.
+    starved = np.flatnonzero(candidates.any(axis=1) & ~selection.any(axis=1))
+    for row in starved:
+        selection[row, rng.choice(np.flatnonzero(candidates[row]))] = True
 
     masked = token_ids.copy()
     roll = rng.random(token_ids.shape)
@@ -141,6 +149,73 @@ def make_segment_pairs(
             tokens = [CLS] + tokens
         pairs.append((tokens, label))
     return pairs
+
+
+def make_segment_pairs_ids(
+    token_ids: np.ndarray,
+    attention_mask: np.ndarray,
+    vocabulary: Vocabulary,
+    rng: np.random.Generator,
+    negative_fraction: float = 0.5,
+    max_len: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized NSP example construction over whole id matrices.
+
+    The id-matrix counterpart of :func:`make_segment_pairs`: split points,
+    negative sampling and partner choice are computed with batched NumPy RNG
+    operations; only the final row assembly copies NumPy slices.  Returns
+    ``(pair_ids, pair_mask, labels)`` where label 1 marks a true
+    continuation.
+    """
+    ids = np.asarray(token_ids)
+    mask = np.asarray(attention_mask, dtype=bool)
+    lengths = mask.sum(axis=1)
+    usable = np.flatnonzero(lengths >= 6)
+    width = max_len if max_len is not None else ids.shape[1]
+    if len(usable) < 2:
+        empty = np.zeros((0, width), dtype=ids.dtype)
+        return empty, np.zeros((0, width), dtype=bool), np.zeros(0, dtype=np.int64)
+    ids = ids[usable]
+    mask = mask[usable]
+    lengths = lengths[usable]
+    n = len(usable)
+
+    # Split each context at the separator closest to its middle (falling
+    # back to the literal middle when it has no separator).
+    positions = np.arange(ids.shape[1])
+    is_sep = (ids == vocabulary.sep_id) & mask
+    middle = lengths // 2
+    distance = np.abs(positions[None, :] - middle[:, None]).astype(float)
+    distance[~is_sep] = np.inf
+    split = np.where(is_sep.any(axis=1), distance.argmin(axis=1) + 1, middle)
+
+    negative = rng.random(n) < negative_fraction
+    partner = rng.integers(0, n, size=n)
+    collision = negative & (partner == np.arange(n))
+    partner[collision] = (np.flatnonzero(collision) + 1) % n
+    source = np.where(negative, partner, np.arange(n))
+    labels = (~negative).astype(np.int64)
+
+    cls_id = vocabulary.cls_id
+    needs_cls = ids[:, 0] != cls_id
+    out_ids = np.full((n, width), vocabulary.pad_id, dtype=ids.dtype)
+    out_lengths = np.zeros(n, dtype=np.int64)
+    for row in range(n):
+        src = int(source[row])
+        first = ids[row, : split[row]]
+        second = ids[src, split[src] : lengths[src]]
+        offset = 0
+        if needs_cls[row]:
+            out_ids[row, 0] = cls_id
+            offset = 1
+        take_first = min(len(first), width - offset)
+        out_ids[row, offset : offset + take_first] = first[:take_first]
+        offset += take_first
+        take_second = min(len(second), width - offset)
+        out_ids[row, offset : offset + take_second] = second[:take_second]
+        out_lengths[row] = offset + take_second
+    out_mask = np.arange(width)[None, :] < out_lengths[:, None]
+    return out_ids, out_mask, labels
 
 
 def make_query_answer_pairs(
@@ -198,19 +273,15 @@ class Pretrainer:
         self.mlm_head = MaskedTokenHead(model.config, rng=rng)
         self.pair_head = SegmentPairHead(model.config, rng=rng)
         self._rng = rng
+        self._pair_buffers: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Encoding helpers
     # ------------------------------------------------------------------
     def _encode(self, token_lists: Sequence[list[str]]) -> tuple[np.ndarray, np.ndarray]:
-        max_len = self.model.config.max_len
-        ids = np.full((len(token_lists), max_len), self.vocabulary.pad_id, dtype=np.int64)
-        mask = np.zeros((len(token_lists), max_len), dtype=bool)
-        for row, tokens in enumerate(token_lists):
-            encoded = self.vocabulary.encode(tokens)[:max_len]
-            ids[row, : len(encoded)] = encoded
-            mask[row, : len(encoded)] = True
-        return ids, mask
+        return self.vocabulary.encode_ids_batch(
+            token_lists, max_len=self.model.config.max_len, dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # Training
@@ -230,17 +301,39 @@ class Pretrainer:
         cfg = self.config
         ids, mask = self._encode([c.tokens for c in contexts])
 
+        pair_ids, pair_mask, pair_labels = None, None, None
+        if cfg.packed and "nsp" in cfg.objectives:
+            # Fast path: NSP pairs assembled directly on the id matrices.
+            pair_ids, pair_mask, pair_labels = make_segment_pairs_ids(
+                ids, mask, self.vocabulary, self._rng
+            )
         pair_examples: list[tuple[list[str], int]] = []
-        if "nsp" in cfg.objectives:
+        if not cfg.packed and "nsp" in cfg.objectives:
             pair_examples.extend(make_segment_pairs(contexts, self._rng))
         if "qa" in cfg.objectives:
             if packets is None or tokenizer is None:
                 raise ValueError("the 'qa' objective requires packets and a tokenizer")
             pair_examples.extend(make_query_answer_pairs(packets, tokenizer, self._rng))
-        pair_ids, pair_mask, pair_labels = None, None, None
         if pair_examples:
-            pair_ids, pair_mask = self._encode([tokens for tokens, _ in pair_examples])
-            pair_labels = np.array([label for _, label in pair_examples], dtype=np.int64)
+            example_ids, example_mask = self._encode([tokens for tokens, _ in pair_examples])
+            example_labels = np.array([label for _, label in pair_examples], dtype=np.int64)
+            if pair_ids is None:
+                pair_ids, pair_mask, pair_labels = example_ids, example_mask, example_labels
+            else:
+                pair_ids = np.concatenate([pair_ids, example_ids], axis=0)
+                pair_mask = np.concatenate([pair_mask, example_mask], axis=0)
+                pair_labels = np.concatenate([pair_labels, example_labels], axis=0)
+        if pair_ids is not None and not len(pair_ids):
+            pair_ids, pair_mask, pair_labels = None, None, None
+        # Reusable buffers for the per-step pair sampling: each sampled pair
+        # batch is consumed fully within its train step, so the next step can
+        # safely overwrite the same memory.
+        self._pair_buffers = None
+        if cfg.packed and pair_ids is not None:
+            self._pair_buffers = (
+                np.empty((cfg.batch_size, pair_ids.shape[1]), dtype=pair_ids.dtype),
+                np.empty((cfg.batch_size, pair_ids.shape[1]), dtype=bool),
+            )
 
         parameters = (
             self.model.parameters() + self.mlm_head.parameters() + self.pair_head.parameters()
@@ -267,12 +360,23 @@ class Pretrainer:
         trainer = Trainer(composite, optimizer, schedule=schedule)
 
         def make_batches():
-            order = self._rng.permutation(len(contexts))
             closures = []
-            for start in range(0, len(order), cfg.batch_size):
-                batch_idx = order[start : start + cfg.batch_size]
-                closures.append(self._make_loss(ids[batch_idx], mask[batch_idx],
-                                                pair_ids, pair_mask, pair_labels))
+            if cfg.packed:
+                # Length-bucketed batches trimmed to their longest member:
+                # attention and MLM logits never touch all-padding columns.
+                for batch in pack_batches(ids, mask, cfg.batch_size, rng=self._rng):
+                    closure = self._make_loss(batch.token_ids, batch.attention_mask,
+                                              pair_ids, pair_mask, pair_labels)
+                    closure.num_tokens = batch.num_tokens
+                    closures.append(closure)
+            else:
+                order = self._rng.permutation(len(contexts))
+                for start in range(0, len(order), cfg.batch_size):
+                    batch_idx = order[start : start + cfg.batch_size]
+                    closure = self._make_loss(ids[batch_idx], mask[batch_idx],
+                                              pair_ids, pair_mask, pair_labels)
+                    closure.num_tokens = int(mask[batch_idx].sum())
+                    closures.append(closure)
             return closures
 
         return trainer.fit(make_batches, epochs=cfg.epochs, verbose=verbose)
@@ -293,7 +397,14 @@ class Pretrainer:
                 sample = self._rng.choice(
                     len(pair_ids), size=min(cfg.batch_size, len(pair_ids)), replace=False
                 )
-                cls = self.model.encode_cls(pair_ids[sample], attention_mask=pair_mask[sample])
+                if cfg.packed:
+                    pair_batch = PackedBatch.from_rows(
+                        pair_ids, pair_mask, sample, out=self._pair_buffers
+                    )
+                    sample_ids, sample_mask = pair_batch.token_ids, pair_batch.attention_mask
+                else:
+                    sample_ids, sample_mask = pair_ids[sample], pair_mask[sample]
+                cls = self.model.encode_cls(sample_ids, attention_mask=sample_mask)
                 pair_logits = self.pair_head(cls)
                 loss = loss + cross_entropy(pair_logits, pair_labels[sample]) * cfg.pair_loss_weight
             return loss

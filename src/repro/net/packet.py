@@ -51,6 +51,13 @@ class Packet:
     application: Any = None
     payload: bytes = b""
     metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Memoized wire serialization; layers are treated as immutable once the
+    # packet is built (nothing in the library mutates them afterwards).
+    # init=False keeps it out of __init__ and dataclasses.replace(), so
+    # copies with modified fields never inherit stale cached bytes.
+    _wire: bytes | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Convenience accessors used heavily by flows, tokenizers and tasks
@@ -87,7 +94,13 @@ class Packet:
         return len(self.payload)
 
     def to_bytes(self) -> bytes:
-        """Serialize the full packet to wire format (Ethernet onward)."""
+        """Serialize the full packet to wire format (Ethernet onward).
+
+        The serialization is memoized — byte-level tokenization visits every
+        packet repeatedly and header packing would otherwise dominate it.
+        """
+        if self._wire is not None:
+            return self._wire
         payload = self.payload
         if self.application is not None and not payload:
             payload = _encode_application(self.application)
@@ -102,7 +115,8 @@ class Packet:
         if self.ip is not None:
             ip_bytes = self.ip.pack(payload_length=len(transport_bytes) + len(payload))
         eth_bytes = self.ethernet.pack() if self.ethernet else b""
-        return eth_bytes + ip_bytes + transport_bytes + payload
+        self._wire = eth_bytes + ip_bytes + transport_bytes + payload
+        return self._wire
 
 
 def _encode_application(application: Any) -> bytes:

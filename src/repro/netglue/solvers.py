@@ -51,6 +51,8 @@ class SolverSettings:
     d_model: int = 32
     num_layers: int = 2
     seed: int = 0
+    #: Use the packed-batch fast path for pre-training and fine-tuning.
+    packed: bool = True
 
 
 def _classification_metrics(labels: np.ndarray, predictions: np.ndarray) -> dict[str, float]:
@@ -134,6 +136,7 @@ class FoundationModelSolver:
                 epochs=settings.pretrain_epochs,
                 batch_size=settings.batch_size,
                 seed=settings.seed,
+                packed=settings.packed,
             ),
         )
         pretrainer.pretrain(train_contexts)
@@ -145,6 +148,7 @@ class FoundationModelSolver:
                 epochs=settings.finetune_epochs,
                 batch_size=settings.batch_size,
                 seed=settings.seed,
+                packed=settings.packed,
             ),
         )
         train = encoder.encode(train_contexts)

@@ -34,7 +34,7 @@ from .metrics import (
     precision_recall_f1,
     weighted_f1,
 )
-from .data import batch_indices, iterate_minibatches, train_test_split
+from .data import PackedBatch, batch_indices, iterate_minibatches, pack_batches, train_test_split
 from .serialization import load_checkpoint, load_state, save_checkpoint, save_state
 from .trainer import Trainer, TrainingHistory
 
@@ -85,8 +85,10 @@ __all__ = [
     "fpr_at_tpr",
     "average_precision",
     "classification_report",
+    "PackedBatch",
     "batch_indices",
     "iterate_minibatches",
+    "pack_batches",
     "train_test_split",
     "save_checkpoint",
     "load_checkpoint",

@@ -24,10 +24,20 @@ class TrainingHistory:
     eval_metrics: list[dict[str, float]] = dataclasses.field(default_factory=list)
     learning_rates: list[float] = dataclasses.field(default_factory=list)
     wall_time: float = 0.0
+    #: Real (non-padding) tokens consumed by the recorded train steps, when
+    #: the batch closures advertise a ``num_tokens`` attribute.
+    tokens_processed: int = 0
 
     @property
     def final_loss(self) -> float:
         return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Training throughput over the whole fit, in real tokens per second."""
+        if self.wall_time <= 0.0 or self.tokens_processed <= 0:
+            return 0.0
+        return self.tokens_processed / self.wall_time
 
     def best_metric(self, key: str, maximize: bool = True) -> float:
         values = [m[key] for m in self.eval_metrics if key in m]
@@ -106,6 +116,7 @@ class Trainer:
             epoch_losses = []
             for loss_fn in batches():
                 epoch_losses.append(self.train_step(loss_fn))
+                self.history.tokens_processed += int(getattr(loss_fn, "num_tokens", 0))
             if eval_fn is not None:
                 metrics = eval_fn()
                 self.history.eval_metrics.append(metrics)

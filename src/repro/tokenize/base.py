@@ -10,10 +10,42 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..net.packet import Packet
 from .vocab import Vocabulary
 
-__all__ = ["PacketTokenizer"]
+__all__ = ["PacketTokenizer", "LENGTH_BUCKET_BOUNDS"]
+
+#: Bounds of the log-spaced packet-length buckets; the single source for
+#: both the scalar :meth:`PacketTokenizer.length_bucket` and the vectorized
+#: bucketing in the field-aware tokenizer.
+LENGTH_BUCKET_BOUNDS = (64, 128, 256, 512, 1024, 1500)
+
+
+def _raw_slices(
+    packets: Sequence[Packet], max_bytes: int, skip_ethernet: bool, limit: int | None = None
+) -> list[bytes]:
+    """The truncated wire bytes of every packet (shared by the byte tokenizers)."""
+    cap = max_bytes if limit is None else min(max_bytes, limit)
+    slices = []
+    for packet in packets:
+        data = packet.to_bytes()
+        if skip_ethernet and len(data) > 14:
+            data = data[14:]
+        slices.append(data[:cap])
+    return slices
+
+
+def _scatter_ids(
+    flat_ids: np.ndarray, lengths: np.ndarray, pad_id: int, max_len: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter a flat per-token id array into a padded (N, width) matrix."""
+    width = max_len if max_len is not None else (int(lengths.max()) if len(lengths) else 0)
+    ids = np.full((len(lengths), width), pad_id, dtype=np.int32)
+    mask = np.arange(width)[None, :] < lengths[:, None]
+    ids[mask] = flat_ids
+    return ids, mask
 
 
 class PacketTokenizer:
@@ -29,6 +61,24 @@ class PacketTokenizer:
     def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
         """Tokenize every packet of a trace."""
         return [self.tokenize_packet(p) for p in packets]
+
+    def encode_batch(
+        self,
+        packets: Sequence[Packet],
+        vocabulary: Vocabulary,
+        max_len: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tokenize and encode a whole trace into padded id/mask matrices.
+
+        Row ``i`` of the returned ``(ids, mask)`` pair holds exactly
+        ``vocabulary.encode(self.tokenize_packet(packets[i]))`` (truncated to
+        ``max_len``), but the encoding and padding run as batch operations.
+        Subclasses override this with fully vectorized implementations; the
+        base version funnels the per-packet token lists through
+        :meth:`Vocabulary.encode_ids_batch` so the id mapping and padding are
+        done in one shot.
+        """
+        return vocabulary.encode_ids_batch(self.tokenize_trace(packets), max_len=max_len)
 
     def build_vocabulary(
         self,
@@ -52,10 +102,10 @@ class PacketTokenizer:
     @staticmethod
     def length_bucket(length: int) -> str:
         """Coarse packet-length bucket token (log-spaced)."""
-        for bound in (64, 128, 256, 512, 1024, 1500):
+        for bound in LENGTH_BUCKET_BOUNDS:
             if length <= bound:
                 return f"len<={bound}"
-        return "len>1500"
+        return f"len>{LENGTH_BUCKET_BOUNDS[-1]}"
 
     @staticmethod
     def chunked(items: Iterable[str], max_tokens: int) -> list[str]:

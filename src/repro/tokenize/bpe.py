@@ -12,10 +12,15 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+import numpy as np
+
 from ..net.packet import Packet
-from .base import PacketTokenizer
+from .base import PacketTokenizer, _raw_slices, _scatter_ids
+from .vocab import Vocabulary
 
 __all__ = ["BPETokenizer"]
+
+_NO_RANK = np.iinfo(np.int32).max
 
 
 class BPETokenizer(PacketTokenizer):
@@ -40,6 +45,13 @@ class BPETokenizer(PacketTokenizer):
         #: Ordered list of learned merges; each merge joins two symbols.
         self.merges: list[tuple[str, str]] = []
         self._merge_ranks: dict[tuple[str, str], int] = {}
+        # Vectorized merge tables (built lazily from ``merges``): symbol
+        # strings interned to ints, merge pairs packed into sorted int keys.
+        self._symbols: list[str] = []
+        self._pair_mult: int = 0
+        self._rank_of: np.ndarray = np.empty(0, dtype=np.int32)
+        self._merged_of: np.ndarray = np.empty(0, dtype=np.int32)
+        self._tables_merges: list[tuple[str, str]] | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -108,3 +120,142 @@ class BPETokenizer(PacketTokenizer):
     @property
     def is_fitted(self) -> bool:
         return bool(self.merges)
+
+    # ------------------------------------------------------------------
+    # Vectorized batch path: merge table applied via array operations
+    # ------------------------------------------------------------------
+    def _ensure_tables(self) -> None:
+        """Build int-interned merge tables from ``self.merges`` (idempotent).
+
+        The cached tables are keyed on the merge list *contents*, so a refit
+        (or manual ``merges`` assignment) invalidates them.
+        """
+        if self._tables_merges == self.merges:
+            return
+        symbols = [f"{b:02x}" for b in range(256)]
+        intern = {s: i for i, s in enumerate(symbols)}
+        mult = 256 + len(self.merges) + 1
+        # Later ranks overwrite earlier ones for a re-learned pair, matching
+        # the dict built in fit().
+        by_key: dict[int, tuple[int, int]] = {}
+        for rank, (first, second) in enumerate(self.merges):
+            a = intern.get(first)
+            b = intern.get(second)
+            if a is None or b is None:
+                continue
+            merged = first + second
+            merged_id = intern.setdefault(merged, len(symbols))
+            if merged_id == len(symbols):
+                symbols.append(merged)
+            by_key[a * mult + b] = (rank, merged_id)
+        # Dense (mult*mult) rank/merged tables make the per-iteration pair
+        # lookup a single gather.  A few hundred merges keep this well under
+        # a couple of MB; the table scales as (256 + num_merges)^2.
+        rank_of = np.full(mult * mult, _NO_RANK, dtype=np.int32)
+        merged_of = np.full(mult * mult, -1, dtype=np.int32)
+        for key, (rank, merged_id) in by_key.items():
+            rank_of[key] = rank
+            merged_of[key] = merged_id
+        self._symbols = symbols
+        self._pair_mult = mult
+        self._rank_of = rank_of
+        self._merged_of = merged_of
+        self._tables_merges = list(self.merges)
+
+    def _apply_merges_flat(self, flat: np.ndarray) -> np.ndarray:
+        """Exhaustively apply merges to a flat symbol-id array.
+
+        ``flat`` holds base byte values (0..255) and merged symbol ids, with
+        ``-1`` separators between packets.  Each iteration finds the
+        best-ranked pair present anywhere and merges every (leftmost
+        non-overlapping) occurrence — per packet this is exactly the
+        greedy-min-rank loop of :meth:`tokenize_packet`, because a packet is
+        only ever touched when the global best pair is also its own best.
+        """
+        if not len(self._rank_of):
+            return flat
+        mult = self._pair_mult
+        while flat.size >= 2:
+            left, right = flat[:-1], flat[1:]
+            # Key 0 is the (possibly ranked) pair ("00", "00"), so positions
+            # adjacent to a -1 separator are masked explicitly.
+            valid = (left >= 0) & (right >= 0)
+            keys = np.where(valid, left * mult + right, 0)
+            ranks = np.where(valid, self._rank_of[keys], _NO_RANK)
+            best_index = int(np.argmin(ranks))
+            if ranks[best_index] == _NO_RANK:
+                break
+            best_key = keys[best_index]
+            merged_id = int(self._merged_of[best_key])
+            matches = np.flatnonzero(valid & (keys == best_key))
+            if len(matches) > 1:
+                # Drop overlapping occurrences: within each run of
+                # consecutive match positions keep every other one,
+                # reproducing the left-to-right greedy scan.
+                starts = np.r_[0, np.flatnonzero(np.diff(matches) != 1) + 1]
+                run_lengths = np.diff(np.r_[starts, len(matches)])
+                offsets = np.arange(len(matches)) - np.repeat(starts, run_lengths)
+                matches = matches[offsets % 2 == 0]
+            flat[matches] = merged_id
+            flat = np.delete(flat, matches + 1)
+        return flat
+
+    def _merged_flat(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Wire bytes of all packets as one merged symbol array with -1 separators.
+
+        No pre-merge byte truncation: ``max_len`` truncation must happen on
+        the merged *tokens* to match ``tokenize_packet(p)[:max_len]``.
+        """
+        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet)
+        lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
+        total = int(lengths.sum()) + len(slices)
+        flat = np.full(total, -1, dtype=np.int64)
+        token_mask = np.ones(total, dtype=bool)
+        token_mask[np.cumsum(lengths + 1) - 1] = False
+        flat[token_mask] = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        return self._apply_merges_flat(flat)
+
+    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
+        """Batch tokenization via the vectorized merge tables."""
+        if not self._merge_ranks:
+            return [self._base_symbols(p) for p in packets]
+        self._ensure_tables()
+        flat = self._merged_flat(packets)
+        table = self._symbols
+        sequences: list[list[str]] = []
+        start = 0
+        for stop in np.flatnonzero(flat < 0):
+            sequences.append([table[i] for i in flat[start:stop]])
+            start = stop + 1
+        return sequences
+
+    def encode_batch(
+        self,
+        packets: Sequence[Packet],
+        vocabulary: Vocabulary,
+        max_len: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized encode: merges via array ops, symbol ids -> vocab ids."""
+        if not self._merge_ranks:
+            # No learned merges: behave like the byte path over hex symbols.
+            return vocabulary.encode_ids_batch(
+                [self._base_symbols(p) for p in packets], max_len=max_len
+            )
+        self._ensure_tables()
+        flat = self._merged_flat(packets)
+        is_separator = flat < 0
+        separator_positions = np.flatnonzero(is_separator)
+        seg_lengths = np.diff(np.r_[-1, separator_positions]) - 1
+        vocab_table = np.fromiter(
+            (vocabulary.token_to_id(s) for s in self._symbols),
+            dtype=np.int32,
+            count=len(self._symbols),
+        )
+        flat_ids = vocab_table[flat[~is_separator]]
+        if max_len is not None and seg_lengths.max(initial=0) > max_len:
+            starts = np.r_[0, separator_positions + 1][:-1]
+            segment_of = np.cumsum(is_separator)[~is_separator]
+            offsets = np.flatnonzero(~is_separator) - starts[segment_of]
+            flat_ids = flat_ids[offsets < max_len]
+            seg_lengths = np.minimum(seg_lengths, max_len)
+        return _scatter_ids(flat_ids, seg_lengths, vocabulary.pad_id, max_len)

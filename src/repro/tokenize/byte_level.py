@@ -9,8 +9,13 @@ quantifies against field-aware tokenization.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..net.packet import Packet
-from .base import PacketTokenizer
+from .base import PacketTokenizer, _raw_slices, _scatter_ids
+from .vocab import Vocabulary
 
 __all__ = ["ByteTokenizer", "HexCharTokenizer"]
 
@@ -45,6 +50,26 @@ class ByteTokenizer(PacketTokenizer):
         """Tokenize a raw byte string (used by unit tests and by BPE training)."""
         return [f"0x{b:02x}" for b in data[: self.max_bytes]]
 
+    def encode_batch(
+        self,
+        packets: Sequence[Packet],
+        vocabulary: Vocabulary,
+        max_len: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized encode: bytes -> ids through a 256-entry lookup table.
+
+        The token strings are never materialized — every packet's wire bytes
+        map straight to vocabulary ids via one table gather, then scatter into
+        the padded matrix.
+        """
+        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet, limit=max_len)
+        lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
+        flat = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        table = np.fromiter(
+            (vocabulary.token_to_id(f"0x{b:02x}") for b in range(256)), dtype=np.int32, count=256
+        )
+        return _scatter_ids(table[flat], lengths, vocabulary.pad_id, max_len)
+
 
 class HexCharTokenizer(PacketTokenizer):
     """Two tokens per byte: the high and low hex nibbles as characters.
@@ -69,3 +94,30 @@ class HexCharTokenizer(PacketTokenizer):
             tokens.append(f"{byte >> 4:x}")
             tokens.append(f"{byte & 0xF:x}")
         return tokens
+
+    def encode_batch(
+        self,
+        packets: Sequence[Packet],
+        vocabulary: Vocabulary,
+        max_len: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized encode: interleave high/low nibbles, one 16-entry gather."""
+        byte_limit = None if max_len is None else (max_len + 1) // 2
+        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet, limit=byte_limit)
+        byte_lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
+        flat = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        nibbles = np.empty(flat.size * 2, dtype=np.uint8)
+        nibbles[0::2] = flat >> 4
+        nibbles[1::2] = flat & 0xF
+        table = np.fromiter(
+            (vocabulary.token_to_id(f"{n:x}") for n in range(16)), dtype=np.int32, count=16
+        )
+        flat_ids = table[nibbles]
+        lengths = byte_lengths * 2
+        if max_len is not None and lengths.max(initial=0) > max_len:
+            # Odd max_len: drop the trailing low nibble of the last kept byte.
+            keep = np.arange(flat_ids.size)
+            offsets = keep - np.repeat(np.cumsum(lengths) - lengths, lengths)
+            flat_ids = flat_ids[offsets < max_len]
+            lengths = np.minimum(lengths, max_len)
+        return _scatter_ids(flat_ids, lengths, vocabulary.pad_id, max_len)

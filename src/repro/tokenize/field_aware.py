@@ -16,6 +16,11 @@ DNS names).
 
 from __future__ import annotations
 
+import functools
+from typing import Sequence
+
+import numpy as np
+
 from ..net.dns import DNSMessage
 from ..net.headers import ICMPHeader, TCPHeader, UDPHeader
 from ..net.http import HTTPRequest, HTTPResponse
@@ -23,9 +28,19 @@ from ..net.ntp import NTPPacket
 from ..net.packet import Packet
 from ..net.ports import port_service, protocol_name
 from ..net.tls import TLSClientHello, TLSServerHello
-from .base import PacketTokenizer
+from .base import LENGTH_BUCKET_BOUNDS, PacketTokenizer
 
 __all__ = ["FieldAwareTokenizer"]
+
+# Single sources for the bucketed fields: the scalar helpers and the
+# vectorized batch path both derive their tokens from these bounds.
+_LENGTH_BOUNDS = np.array(LENGTH_BUCKET_BOUNDS)
+_TTL_BOUNDS = np.array([32, 64, 128, 255])
+
+
+@functools.lru_cache(maxsize=256)
+def _proto_token(protocol: int) -> str:
+    return f"ip.proto={protocol_name(protocol)}"
 
 
 class FieldAwareTokenizer(PacketTokenizer):
@@ -65,6 +80,44 @@ class FieldAwareTokenizer(PacketTokenizer):
         tokens.extend(self._application_tokens(packet))
         return tokens
 
+    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
+        """Batch tokenization with the IP-layer buckets computed as array ops."""
+        ip_rows = self._ip_tokens_batch(packets)
+        return [
+            ip_tokens + self._transport_tokens(p) + self._application_tokens(p)
+            for ip_tokens, p in zip(ip_rows, packets)
+        ]
+
+    def _ip_tokens_batch(self, packets: Sequence[Packet]) -> list[list[str]]:
+        """Vectorized :meth:`_ip_tokens`: one searchsorted per bucketed field."""
+        n = len(packets)
+        rows: list[list[str]] = [[] for _ in range(n)]
+        with_ip = [i for i in range(n) if packets[i].ip is not None]
+        if not with_ip:
+            return rows
+        count = len(with_ip)
+        lengths = np.fromiter((packets[i].ip.total_length for i in with_ip), np.int64, count)
+        ttls = np.fromiter((packets[i].ip.ttl for i in with_ip), np.int64, count)
+        length_buckets = np.searchsorted(_LENGTH_BOUNDS, lengths)
+        ttl_buckets = np.searchsorted(_TTL_BOUNDS, ttls)
+        length_tokens = [
+            self.length_bucket(int(b)) for b in _LENGTH_BOUNDS
+        ] + [self.length_bucket(int(_LENGTH_BOUNDS[-1]) + 1)]
+        ttl_tokens = [
+            f"ip.ttl={self._ttl_bucket(int(b))}" for b in _TTL_BOUNDS
+        ] + [f"ip.ttl={self._ttl_bucket(int(_TTL_BOUNDS[-1]) + 1)}"]
+        for row, index in enumerate(with_ip):
+            packet = packets[index]
+            tokens = [
+                _proto_token(packet.ip.protocol),
+                length_tokens[length_buckets[row]],
+                ttl_tokens[ttl_buckets[row]],
+            ]
+            if self.include_addresses:
+                tokens.extend(self._address_tokens(packet))
+            rows[index] = tokens
+        return rows
+
     # ------------------------------------------------------------------
     # Layer-specific tokenization
     # ------------------------------------------------------------------
@@ -72,14 +125,20 @@ class FieldAwareTokenizer(PacketTokenizer):
         if packet.ip is None:
             return []
         tokens = [
-            f"ip.proto={protocol_name(packet.ip.protocol)}",
+            _proto_token(packet.ip.protocol),
             self.length_bucket(packet.ip.total_length),
             f"ip.ttl={self._ttl_bucket(packet.ip.ttl)}",
         ]
         if self.include_addresses:
-            tokens.append(f"ip.src16={'.'.join(packet.ip.src_ip.split('.')[:2])}")
-            tokens.append(f"ip.dst16={'.'.join(packet.ip.dst_ip.split('.')[:2])}")
+            tokens.extend(self._address_tokens(packet))
         return tokens
+
+    @staticmethod
+    def _address_tokens(packet: Packet) -> list[str]:
+        return [
+            f"ip.src16={'.'.join(packet.ip.src_ip.split('.')[:2])}",
+            f"ip.dst16={'.'.join(packet.ip.dst_ip.split('.')[:2])}",
+        ]
 
     def _transport_tokens(self, packet: Packet) -> list[str]:
         transport = packet.transport
@@ -154,6 +213,7 @@ class FieldAwareTokenizer(PacketTokenizer):
     # Value bucketing helpers
     # ------------------------------------------------------------------
     @staticmethod
+    @functools.lru_cache(maxsize=8192)
     def _port_token(port: int) -> str:
         service = port_service(port)
         if service in ("ephemeral", "unknown"):
@@ -162,10 +222,10 @@ class FieldAwareTokenizer(PacketTokenizer):
 
     @staticmethod
     def _ttl_bucket(ttl: int) -> str:
-        for bound in (32, 64, 128, 255):
+        for bound in _TTL_BOUNDS:
             if ttl <= bound:
                 return f"<={bound}"
-        return ">255"
+        return f">{_TTL_BOUNDS[-1]}"
 
     @staticmethod
     def _window_bucket(window: int) -> str:
@@ -175,6 +235,7 @@ class FieldAwareTokenizer(PacketTokenizer):
         return ">65535"
 
     @staticmethod
+    @functools.lru_cache(maxsize=8192)
     def _path_token(path: str) -> str:
         head = path.split("?")[0]
         parts = [p for p in head.split("/") if p]
@@ -186,6 +247,7 @@ class FieldAwareTokenizer(PacketTokenizer):
         return f"/{parts[0]}"
 
     @staticmethod
+    @functools.lru_cache(maxsize=8192)
     def _user_agent_family(user_agent: str) -> str:
         lowered = user_agent.lower()
         for family in ("chrome", "safari", "firefox", "curl", "python", "go-http", "okhttp", "iot"):
@@ -194,16 +256,17 @@ class FieldAwareTokenizer(PacketTokenizer):
         return "other"
 
     @staticmethod
-    def _domain_tokens(prefix: str, domain: str) -> list[str]:
+    @functools.lru_cache(maxsize=8192)
+    def _domain_tokens(prefix: str, domain: str) -> tuple[str, ...]:
         """Registrable-domain token plus per-label subtokens.
 
         ``www.cdn-3.netflix.com`` becomes
-        ``["dns.qname=netflix.com", "dns.qlabel=www", "dns.qlabel=cdn-3"]`` —
+        ``("dns.qname=netflix.com", "dns.qlabel=www", "dns.qlabel=cdn-3")`` —
         rare hostnames share the registrable-domain token with their parent,
         which is the sub-word idea (WordPiece/BPE) adapted to DNS names.
         """
         if not domain:
-            return []
+            return ()
         labels = domain.rstrip(".").split(".")
         if len(labels) >= 2:
             registrable = ".".join(labels[-2:])
@@ -213,4 +276,4 @@ class FieldAwareTokenizer(PacketTokenizer):
             extra = []
         tokens = [f"{prefix}={registrable}"]
         tokens.extend(f"{prefix}.label={label}" for label in extra[:3])
-        return tokens
+        return tuple(tokens)

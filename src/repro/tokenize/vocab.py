@@ -9,7 +9,9 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 __all__ = ["Vocabulary", "SPECIAL_TOKENS", "PAD", "UNK", "CLS", "SEP", "MASK"]
 
@@ -86,6 +88,51 @@ class Vocabulary:
 
     def decode(self, ids: Iterable[int]) -> list[str]:
         return [self.id_to_token(i) for i in ids]
+
+    def encode_ids_batch(
+        self,
+        token_sequences: Iterable[Sequence[str]],
+        max_len: int | None = None,
+        dtype=np.int32,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode many token sequences into one padded id matrix in one shot.
+
+        Returns ``(ids, mask)`` where ``ids`` has shape
+        ``(num_sequences, width)`` — ``width`` is ``max_len`` when given,
+        otherwise the longest sequence — padded with ``pad_id``, and ``mask``
+        is True at real-token positions.  The token -> id mapping runs in a
+        single pass over all tokens and the padding/scatter is pure NumPy,
+        which is what the batched tokenizer and training fast paths build on.
+        """
+        sequences = [
+            seq if max_len is None or len(seq) <= max_len else seq[:max_len]
+            for seq in token_sequences
+        ]
+        n = len(sequences)
+        lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64, count=n)
+        width = max_len if max_len is not None else (int(lengths.max()) if n else 0)
+        ids = np.full((n, width), self.pad_id, dtype=dtype)
+        mask = np.arange(width)[None, :] < lengths[:, None]
+        total = int(lengths.sum())
+        if total:
+            get = self._token_to_id.get
+            unk = self._token_to_id[UNK]
+            flat = np.fromiter(
+                (get(t, unk) for seq in sequences for t in seq), dtype=dtype, count=total
+            )
+            ids[mask] = flat
+        return ids, mask
+
+    def decode_batch(self, ids: np.ndarray, mask: np.ndarray | None = None) -> list[list[str]]:
+        """Invert :meth:`encode_ids_batch`: padded id matrix back to token lists."""
+        ids = np.asarray(ids)
+        if mask is None:
+            mask = ids != self.pad_id
+        table = self._id_to_token
+        return [
+            [table[int(i)] for i in row[np.asarray(valid, dtype=bool)]]
+            for row, valid in zip(ids, mask)
+        ]
 
     @property
     def pad_id(self) -> int:

@@ -1,0 +1,226 @@
+"""Batched fast paths must agree with the per-example reference paths.
+
+Three families of properties are checked:
+
+* every tokenizer's ``encode_batch`` row equals the per-packet
+  ``tokenize_packet`` + ``Vocabulary.encode`` pipeline;
+* padded id matrices decode back to the original token lists losslessly;
+* the vectorized ``mask_tokens`` reproduces the legacy per-sequence masking
+  distribution (selection rate and 80/10/10 replacement split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pretraining import make_segment_pairs_ids, mask_tokens
+from repro.nn.data import PackedBatch, pack_batches
+from repro.tokenize import (
+    BPETokenizer,
+    ByteTokenizer,
+    FieldAwareTokenizer,
+    HexCharTokenizer,
+    Vocabulary,
+    WordPieceTokenizer,
+)
+from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = EnterpriseScenarioConfig(
+        seed=11, duration=20.0, dns_clients=5, dns_queries_per_client=6,
+        http_sessions=10, tls_sessions=10, iot_devices_per_type=1,
+    )
+    return EnterpriseScenario(config).generate()
+
+
+def _tokenizers(trace):
+    return {
+        "byte": ByteTokenizer(max_bytes=60),
+        "hex-char": HexCharTokenizer(max_bytes=30),
+        "field": FieldAwareTokenizer(),
+        "bpe": BPETokenizer(num_merges=80, max_bytes=60).fit(trace[:200]),
+        "wordpiece": WordPieceTokenizer(vocab_size=200, max_bytes=60).fit(trace[:200]),
+    }
+
+
+class TestEncodeBatchEquivalence:
+    @pytest.mark.parametrize("max_len", [None, 32, 7])
+    def test_rows_match_per_packet_encoding(self, trace, max_len):
+        for name, tokenizer in _tokenizers(trace).items():
+            reference = [tokenizer.tokenize_packet(p) for p in trace]
+            vocabulary = Vocabulary.build(reference)
+            ids, mask = tokenizer.encode_batch(trace, vocabulary, max_len=max_len)
+            assert len(ids) == len(trace)
+            for row, tokens in enumerate(reference):
+                expected = vocabulary.encode(tokens if max_len is None else tokens[:max_len])
+                assert ids[row][mask[row]].tolist() == expected, (
+                    f"{name}: row {row} diverged from the per-packet path"
+                )
+
+    def test_tokenize_trace_matches_tokenize_packet(self, trace):
+        for name, tokenizer in _tokenizers(trace).items():
+            batched = tokenizer.tokenize_trace(trace)
+            reference = [tokenizer.tokenize_packet(p) for p in trace]
+            assert batched == reference, f"{name}: tokenize_trace diverged"
+
+    def test_bpe_refit_invalidates_batch_tables(self, trace):
+        tokenizer = BPETokenizer(num_merges=40, max_bytes=60).fit(trace[:100])
+        tokenizer.tokenize_trace(trace[:20])  # builds the merge tables
+        tokenizer.fit(trace[100:300])  # refit must invalidate them
+        batched = tokenizer.tokenize_trace(trace[:50])
+        reference = [tokenizer.tokenize_packet(p) for p in trace[:50]]
+        assert batched == reference
+
+    def test_padded_matrix_decodes_losslessly(self, trace):
+        tokenizer = FieldAwareTokenizer()
+        token_lists = tokenizer.tokenize_trace(trace)
+        vocabulary = Vocabulary.build(token_lists)
+        ids, mask = vocabulary.encode_ids_batch(token_lists)
+        assert vocabulary.decode_batch(ids, mask) == token_lists
+
+    def test_encode_ids_batch_truncates_and_pads(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        ids, mask = vocabulary.encode_ids_batch([["a"], ["a", "b", "c"], []], max_len=2)
+        assert ids.shape == (3, 2)
+        assert mask.tolist() == [[True, False], [True, True], [False, False]]
+        assert ids[0, 1] == vocabulary.pad_id
+        assert ids[1].tolist() == vocabulary.encode(["a", "b"])
+
+
+def _legacy_mask_tokens(token_ids, attention_mask, vocabulary, rng, mask_probability):
+    """The pre-vectorization reference implementation (per-sequence loop)."""
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    attention_mask = np.asarray(attention_mask, dtype=bool)
+    special = np.isin(token_ids, list(vocabulary.special_ids))
+    candidates = attention_mask & ~special
+    selection = np.zeros_like(candidates)
+    for row in range(token_ids.shape[0]):
+        for col in range(token_ids.shape[1]):
+            if candidates[row, col] and rng.random() < mask_probability:
+                selection[row, col] = True
+        if candidates[row].any() and not selection[row].any():
+            choices = np.nonzero(candidates[row])[0]
+            selection[row, rng.choice(choices)] = True
+    masked = token_ids.copy()
+    for row, col in zip(*np.nonzero(selection)):
+        roll = rng.random()
+        if roll < 0.8:
+            masked[row, col] = vocabulary.mask_id
+        elif roll < 0.9:
+            masked[row, col] = rng.integers(len(vocabulary.special_ids), len(vocabulary))
+    return masked, token_ids, selection
+
+
+class TestMaskingDistribution:
+    def test_vectorized_masking_matches_legacy_distribution(self):
+        vocabulary = Vocabulary([f"tok{i}" for i in range(60)])
+        rng_data = np.random.default_rng(5)
+        ids = rng_data.integers(5, len(vocabulary), size=(400, 32))
+        mask = np.ones_like(ids, dtype=bool)
+        mask[:, 24:] = False
+
+        new_masked, new_targets, new_sel = mask_tokens(
+            ids, mask, vocabulary, np.random.default_rng(0), 0.15
+        )
+        old_masked, old_targets, old_sel = _legacy_mask_tokens(
+            ids, mask, vocabulary, np.random.default_rng(0), 0.15
+        )
+        np.testing.assert_array_equal(new_targets, old_targets)
+
+        candidates = mask.sum()
+        # Selection rates agree within a few percent of the candidate pool.
+        assert abs(new_sel.sum() - old_sel.sum()) / candidates < 0.02
+
+        def split(masked, sel, originals):
+            chosen = sel.sum()
+            as_mask = (masked[sel] == vocabulary.mask_id).sum() / chosen
+            kept = (masked[sel] == originals[sel]).sum() / chosen
+            return as_mask, kept
+
+        new_80, new_kept = split(new_masked, new_sel, ids)
+        old_80, old_kept = split(old_masked, old_sel, ids)
+        assert abs(new_80 - old_80) < 0.05
+        assert abs(new_kept - old_kept) < 0.05
+        # And both track BERT's 80/10/10 recipe.
+        assert 0.7 < new_80 < 0.9
+        assert new_kept < 0.25
+
+    def test_every_candidate_row_gets_a_mask(self):
+        vocabulary = Vocabulary([f"tok{i}" for i in range(20)])
+        ids = np.full((16, 4), vocabulary.token_to_id("tok1"), dtype=np.int64)
+        mask = np.ones_like(ids, dtype=bool)
+        _, _, selection = mask_tokens(
+            ids, mask, vocabulary, np.random.default_rng(3), mask_probability=0.01
+        )
+        assert selection.any(axis=1).all()
+
+
+class TestSegmentPairsIds:
+    def test_structure_and_labels(self, trace):
+        from repro.context import FlowContextBuilder
+
+        tokenizer = FieldAwareTokenizer()
+        contexts = FlowContextBuilder(max_tokens=48).build(trace, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids, mask = vocabulary.encode_ids_batch([c.tokens for c in contexts], max_len=48)
+        pair_ids, pair_mask, labels = make_segment_pairs_ids(
+            ids, mask, vocabulary, np.random.default_rng(0)
+        )
+        assert len(pair_ids) == len(pair_mask) == len(labels) > 0
+        assert set(labels.tolist()) == {0, 1}
+        # Every pair starts with [CLS] and contains no padding inside the mask.
+        assert (pair_ids[:, 0] == vocabulary.cls_id).all()
+        assert (pair_ids[pair_mask] != vocabulary.pad_id).all()
+        assert (pair_ids[~pair_mask] == vocabulary.pad_id).all()
+        # Positive examples reproduce their source row prefix.
+        positive = np.flatnonzero(labels == 1)
+        lengths = mask.sum(axis=1)
+        usable = np.flatnonzero(lengths >= 6)
+        for row in positive[:5]:
+            source = usable[row]
+            width = int(pair_mask[row].sum())
+            np.testing.assert_array_equal(
+                pair_ids[row][:width], ids[source][:width]
+            )
+
+    def test_too_few_contexts_yields_empty(self):
+        vocabulary = Vocabulary(["x"])
+        ids = np.full((1, 8), vocabulary.token_to_id("x"))
+        mask = np.ones_like(ids, dtype=bool)
+        pair_ids, pair_mask, labels = make_segment_pairs_ids(
+            ids, mask, vocabulary, np.random.default_rng(0)
+        )
+        assert len(pair_ids) == len(labels) == 0
+
+
+class TestPackedBatches:
+    def test_pack_batches_cover_all_rows_trimmed(self):
+        rng = np.random.default_rng(7)
+        lengths = rng.integers(1, 20, size=37)
+        width = 32
+        ids = np.zeros((37, width), dtype=np.int64)
+        mask = np.arange(width)[None, :] < lengths[:, None]
+        ids[mask] = rng.integers(5, 50, size=int(lengths.sum()))
+        batches = pack_batches(ids, mask, batch_size=8, rng=np.random.default_rng(0))
+        seen = np.concatenate([b.indices for b in batches])
+        assert sorted(seen.tolist()) == list(range(37))
+        for batch in batches:
+            batch_lengths = mask[batch.indices].sum(axis=1)
+            assert batch.width == max(int(batch_lengths.max()), 1)
+            np.testing.assert_array_equal(
+                batch.token_ids, ids[batch.indices][:, : batch.width]
+            )
+            assert batch.num_tokens == int(batch_lengths.sum())
+
+    def test_from_rows_reusable_buffers(self):
+        ids = np.arange(40).reshape(4, 10)
+        mask = np.ones((4, 10), dtype=bool)
+        mask[:, 6:] = False
+        buffers = (np.empty((4, 10), dtype=ids.dtype), np.empty((4, 10), dtype=bool))
+        batch = PackedBatch.from_rows(ids, mask, np.array([1, 3]), out=buffers)
+        assert batch.width == 6
+        np.testing.assert_array_equal(batch.token_ids, ids[[1, 3], :6])
+        assert batch.token_ids.base is buffers[0]

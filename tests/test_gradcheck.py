@@ -1,0 +1,154 @@
+"""Finite-difference gradient checks for the ops on the batched train path.
+
+The packed-batch rewrite reshapes and broadcasts more aggressively than the
+per-example loops did; these checks pin the analytic gradients of the ops it
+leans on (matmul in its batched forms, the embedding row gather, and masked
+cross-entropy with a padding mask) against central differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.losses import cross_entropy, masked_cross_entropy
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``func`` w.r.t. ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func()
+        flat[index] = original - eps
+        lower = func()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(build_loss, *arrays, atol=1e-6, rtol=1e-4):
+    """Compare autograd gradients of ``build_loss(*tensors)`` to numerics."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+    for tensor, array in zip(tensors, arrays):
+        def value() -> float:
+            fresh = [Tensor(a) for a in arrays]
+            return float(build_loss(*fresh).data)
+
+        expected = numerical_gradient(value, array)
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=rtol)
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        check_gradients(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_batched_matmul_broadcasts(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        check_gradients(lambda x, y: ((x @ y) * (x @ y)).sum(), a, b)
+
+    def test_vector_forms(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4,))
+        b = rng.normal(size=(4, 3))
+        check_gradients(lambda x, y: (x @ y).sum(), a, b)
+        c = rng.normal(size=(3, 4))
+        d = rng.normal(size=(4,))
+        check_gradients(lambda x, y: (x @ y).sum(), c, d)
+
+
+class TestEmbeddingGatherGradients:
+    def test_take_rows_accumulates_repeats(self):
+        rng = np.random.default_rng(3)
+        table = rng.normal(size=(6, 3))
+        indices = np.array([[0, 2, 2], [5, 0, 1]])
+        weights = rng.normal(size=(2, 3, 3))
+
+        check_gradients(
+            lambda t: (Tensor.take_rows(t, indices) * Tensor(weights)).sum(), table
+        )
+
+    def test_embedding_layer_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        layer = Embedding(5, 4, rng=rng)
+        indices = np.array([[1, 1, 3], [0, 4, 2]])
+        weight = layer.weight.data.copy()
+
+        layer.zero_grad()
+        out = layer(indices)
+        (out * out).sum().backward()
+        analytic = layer.weight.grad.copy()
+
+        def value() -> float:
+            out = weight[indices]
+            return float((out * out).sum())
+
+        expected = numerical_gradient(value, weight)
+        np.testing.assert_allclose(analytic, expected, atol=1e-6, rtol=1e-4)
+
+
+class TestLossGradients:
+    def test_masked_cross_entropy_padding_mask(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=(3, 5, 7))
+        targets = rng.integers(0, 7, size=(3, 5))
+        mask = rng.random((3, 5)) < 0.5
+        mask[0] = False  # a fully padded row must contribute nothing
+        mask[1, 0] = True  # and at least one real position exists
+        check_gradients(
+            lambda x: masked_cross_entropy(x, targets, mask), logits, atol=1e-6
+        )
+
+    def test_masked_cross_entropy_ignores_masked_logits(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=(2, 4, 5))
+        targets = rng.integers(0, 5, size=(2, 4))
+        mask = np.zeros((2, 4), dtype=bool)
+        mask[0, 1] = True
+        tensor = Tensor(logits, requires_grad=True)
+        masked_cross_entropy(tensor, targets, mask).backward()
+        grad = tensor.grad
+        assert np.abs(grad[0, 1]).sum() > 0
+        untouched = np.ones((2, 4), dtype=bool)
+        untouched[0, 1] = False
+        assert np.abs(grad[untouched]).sum() == 0.0
+
+    def test_cross_entropy_with_label_smoothing(self):
+        rng = np.random.default_rng(7)
+        logits = rng.normal(size=(4, 6))
+        targets = rng.integers(0, 6, size=4)
+        check_gradients(
+            lambda x: cross_entropy(x, targets, label_smoothing=0.1), logits
+        )
+
+
+class TestLayerGradients:
+    def test_linear_and_layernorm_chain(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(2, 3, 4))
+        linear = Linear(4, 4, rng=rng)
+        norm = LayerNorm(4)
+
+        inputs = Tensor(x, requires_grad=True)
+        out = norm(linear(inputs))
+        (out * out).sum().backward()
+        analytic = inputs.grad.copy()
+
+        def value() -> float:
+            out = norm(linear(Tensor(x)))
+            return float((out * out).sum().data)
+
+        expected = numerical_gradient(value, x)
+        np.testing.assert_allclose(analytic, expected, atol=1e-5, rtol=1e-3)
