@@ -2,15 +2,20 @@
 
 The ROADMAP north star ("as fast as the hardware allows") needs a measured
 baseline: this benchmark reports tokens/sec for (a) trace encoding through
-the per-packet path versus the vectorized ``encode_batch`` fast path, and
-(b) MLM pre-training steps through the legacy full-width batches versus the
-packed (length-bucketed, trimmed) batches — and *gates* the fast paths: the
-batched byte encode must beat per-packet encode by at least 5x on a
-2k-packet trace, and no batched path may lose to its per-example twin.
+the per-packet path versus the vectorized ``encode_batch`` fast path —
+including the columnar :class:`~repro.net.columns.PacketColumns` form of the
+fast path — and (b) MLM pre-training steps through the legacy full-width
+batches versus the packed (length-bucketed, trimmed) batches.  The fast
+paths are *gated*: on a 2k-packet trace the batched byte encode must beat
+per-packet encode by at least 5x, the BPE encode by at least 9x (2x the
+PR 1 merge-table baseline of ~4.5x, via the incremental pair-count merge
+loop), the columnar field-aware encode by at least 3x, and no batched path
+may lose to its per-example twin.
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
@@ -19,6 +24,7 @@ import pytest
 
 from repro.context import FlowContextBuilder
 from repro.core import NetFMConfig, NetFoundationModel, Pretrainer, PretrainingConfig
+from repro.net import PacketColumns
 from repro.tokenize import BPETokenizer, ByteTokenizer, FieldAwareTokenizer, Vocabulary
 from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
 
@@ -29,6 +35,10 @@ SMOKE = os.environ.get("E14_SMOKE", "") == "1"
 TRACE_PACKETS = 256 if SMOKE else 2000
 ENCODE_REPEATS = 1 if SMOKE else 3
 BYTE_SPEEDUP_FLOOR = 1.0 if SMOKE else 5.0
+# BPE: >= 2x the PR 1 baseline speedup (~4.5x) on the same trace/merges.
+BPE_SPEEDUP_FLOOR = 0.5 if SMOKE else 9.0
+# Field-aware over a prebuilt columnar batch: >= 3x per-packet encode.
+FIELD_COLUMNAR_SPEEDUP_FLOOR = 0.5 if SMOKE else 3.0
 # On tiny smoke traces the batch setup cost does not amortize for the
 # mildly-vectorized field-aware path and millisecond-long training runs are
 # at the mercy of the scheduler; only the full-size run gates strict parity.
@@ -50,25 +60,41 @@ def build_trace(min_packets: int) -> list:
         scale *= 2
 
 
-def measure_encode(tokenizer, packets) -> dict[str, float]:
+def measure_encode(tokenizer, packets, columns: PacketColumns | None = None) -> dict[str, float]:
+    """Per-packet vs batched encode throughput.
+
+    With ``columns`` given, the batched side consumes the prebuilt columnar
+    batch — the steady state of the columnar pipeline, where traffic lives as
+    :class:`~repro.net.columns.PacketColumns` end-to-end and the one-time
+    conversion is amortized across every consumer.
+    """
     reference = [tokenizer.tokenize_packet(p) for p in packets]
     vocabulary = Vocabulary.build(reference)
     total_tokens = sum(len(t) for t in reference)
 
     # Both sides use the same best-of-N policy so a scheduler hiccup on
-    # either path cannot skew the gated (and ROADMAP-recorded) speedup.
-    per_packet_time = float("inf")
-    for _ in range(ENCODE_REPEATS):
-        start = time.perf_counter()
-        for packet in packets:
-            vocabulary.encode(tokenizer.tokenize_packet(packet))
-        per_packet_time = min(per_packet_time, time.perf_counter() - start)
+    # either path cannot skew the gated (and ROADMAP-recorded) speedup, and
+    # the collector is paused during timing (as timeit does) so an unlucky
+    # gc pass inside a millisecond-scale batch call cannot either.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        per_packet_time = float("inf")
+        for _ in range(ENCODE_REPEATS):
+            start = time.perf_counter()
+            for packet in packets:
+                vocabulary.encode(tokenizer.tokenize_packet(packet))
+            per_packet_time = min(per_packet_time, time.perf_counter() - start)
 
-    batch_time = float("inf")
-    for _ in range(ENCODE_REPEATS):
-        start = time.perf_counter()
-        ids, mask = tokenizer.encode_batch(packets, vocabulary)
-        batch_time = min(batch_time, time.perf_counter() - start)
+        source = columns if columns is not None else packets
+        batch_time = float("inf")
+        for _ in range(ENCODE_REPEATS):
+            start = time.perf_counter()
+            ids, mask = tokenizer.encode_batch(source, vocabulary)
+            batch_time = min(batch_time, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     # The fast path must stay correct while being fast.
     row = int(np.argmax(mask.sum(axis=1)))
@@ -107,6 +133,7 @@ def measure_train(packets) -> dict[str, dict[str, float]]:
 
 def run_experiment() -> dict[str, dict[str, float]]:
     packets = build_trace(TRACE_PACKETS)
+    columns = PacketColumns.from_packets(packets)
     rows: dict[str, dict[str, float]] = {}
     tokenizers = {
         "byte": ByteTokenizer(),
@@ -115,6 +142,10 @@ def run_experiment() -> dict[str, dict[str, float]]:
     }
     for name, tokenizer in tokenizers.items():
         rows[f"encode/{name}"] = measure_encode(tokenizer, packets)
+    for name in ("byte", "field-aware"):
+        rows[f"encode/{name} (columnar)"] = measure_encode(
+            tokenizers[name], packets, columns=columns
+        )
     for name, row in measure_train(packets).items():
         rows[f"train/{name}"] = row
     return rows
@@ -136,6 +167,12 @@ def test_bench_e14_throughput(benchmark):
 
     # Gate: vectorized byte encoding is >= 5x per-packet encoding (2k trace).
     assert rows["encode/byte"]["speedup"] >= BYTE_SPEEDUP_FLOOR
+    # Gate: incremental pair-count BPE is >= 2x the PR 1 merge-table baseline.
+    assert rows["encode/bpe (learned)"]["speedup"] >= BPE_SPEEDUP_FLOOR
+    # Gate: columnar field-aware encode is >= 3x the per-packet path.
+    assert (
+        rows["encode/field-aware (columnar)"]["speedup"] >= FIELD_COLUMNAR_SPEEDUP_FLOOR
+    )
     # Gate: no batched encode path loses to its per-packet twin.
     for name, row in rows.items():
         if name.startswith("encode/"):

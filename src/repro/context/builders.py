@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..net.columns import PacketColumns, as_packets
 from ..net.flow import FlowKey
 from ..net.packet import Packet
 from ..tokenize.base import PacketTokenizer
@@ -57,7 +58,14 @@ class Context:
 
 
 class ContextBuilder:
-    """Base class; subclasses implement :meth:`build`."""
+    """Base class; subclasses implement :meth:`_build`.
+
+    :meth:`build` accepts either a packet list or a columnar
+    :class:`~repro.net.columns.PacketColumns` batch; columnar input is
+    materialized once for the object-based builders, while
+    :class:`PacketContextBuilder` additionally offers a fully columnar
+    :meth:`PacketContextBuilder.encode_columns` fast path.
+    """
 
     #: Identifier used in benchmark tables (experiment E6).
     name = "base"
@@ -68,7 +76,15 @@ class ContextBuilder:
         self.max_tokens = max_tokens
         self.label_key = label_key
 
-    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+    def build(
+        self,
+        packets: "Sequence[Packet] | PacketColumns",
+        tokenizer: PacketTokenizer,
+    ) -> list[Context]:
+        """Build contexts from a trace (packet list or columnar batch)."""
+        return self._build(as_packets(packets), tokenizer)
+
+    def _build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -125,11 +141,39 @@ class PacketContextBuilder(ContextBuilder):
 
     name = "packet"
 
-    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+    def _build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
         return [
             self._assemble([[packet]], tokenizer, group_key=f"pkt-{i}")
             for i, packet in enumerate(packets)
         ]
+
+    def encode_columns(
+        self,
+        columns: PacketColumns,
+        tokenizer: PacketTokenizer,
+        vocabulary: Vocabulary,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode packet-level contexts straight from a columnar batch.
+
+        Produces exactly ``encode_contexts(self.build(columns, tokenizer),
+        vocabulary, self.max_tokens)`` — one ``[CLS] tokens... [SEP]`` row per
+        packet — but without materializing per-packet ``Packet`` or
+        :class:`Context` objects: the tokenizer's columnar ``encode_batch``
+        emits the inner tokens and the specials are placed with array
+        scatters.  This is the entry point that lets packed pre-training
+        consume :class:`~repro.net.columns.PacketColumns` end-to-end.
+        """
+        inner_ids, inner_mask = tokenizer.encode_batch(
+            columns, vocabulary, max_len=self.max_tokens - 2
+        )
+        n, inner_width = inner_ids.shape
+        lengths = inner_mask.sum(axis=1)
+        ids = np.full((n, self.max_tokens), vocabulary.pad_id, dtype=np.int64)
+        ids[:, 0] = vocabulary.cls_id
+        ids[:, 1 : 1 + inner_width][inner_mask] = inner_ids[inner_mask]
+        ids[np.arange(n), lengths + 1] = vocabulary.sep_id
+        mask = np.arange(self.max_tokens)[None, :] < (lengths + 2)[:, None]
+        return ids, mask
 
 
 class FlowContextBuilder(ContextBuilder):
@@ -155,7 +199,7 @@ class FlowContextBuilder(ContextBuilder):
             groups[key].append(packet)
         return groups
 
-    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+    def _build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
         contexts = []
         for key, group in self._group(packets).items():
             group = sorted(group, key=lambda p: p.timestamp)[: self.max_packets]
@@ -201,7 +245,7 @@ class FirstMOfNContextBuilder(ContextBuilder):
         self.tokens_per_packet = tokens_per_packet
         self.packets_per_context = packets_per_context
 
-    def build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
+    def _build(self, packets: Sequence[Packet], tokenizer: PacketTokenizer) -> list[Context]:
         by_endpoint: dict[str, list[Packet]] = defaultdict(list)
         for packet in packets:
             endpoint = self._endpoint(packet)

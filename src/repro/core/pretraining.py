@@ -325,6 +325,50 @@ class Pretrainer:
                 pair_labels = np.concatenate([pair_labels, example_labels], axis=0)
         if pair_ids is not None and not len(pair_ids):
             pair_ids, pair_mask, pair_labels = None, None, None
+        return self._fit_encoded(ids, mask, pair_ids, pair_mask, pair_labels, verbose=verbose)
+
+    def pretrain_encoded(
+        self,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Pre-train directly on encoded id/mask matrices — no Context objects.
+
+        This is the end of the columnar data path: a
+        :class:`~repro.net.columns.PacketColumns` batch encoded through
+        :meth:`~repro.context.builders.PacketContextBuilder.encode_columns`
+        (or any tokenizer's ``encode_batch``) feeds packed training without
+        per-packet Python objects ever being materialized.  The ``mlm``
+        objective works unchanged; ``nsp`` pairs are assembled on the id
+        matrices with :func:`make_segment_pairs_ids`; the ``qa`` objective
+        needs raw packets and is only available through :meth:`pretrain`.
+        """
+        cfg = self.config
+        if "qa" in cfg.objectives:
+            raise ValueError("the 'qa' objective requires pretrain() with raw packets")
+        ids = np.asarray(ids)
+        mask = np.asarray(mask, dtype=bool)
+        pair_ids, pair_mask, pair_labels = None, None, None
+        if "nsp" in cfg.objectives:
+            pair_ids, pair_mask, pair_labels = make_segment_pairs_ids(
+                ids, mask, self.vocabulary, self._rng
+            )
+            if not len(pair_ids):
+                pair_ids, pair_mask, pair_labels = None, None, None
+        return self._fit_encoded(ids, mask, pair_ids, pair_mask, pair_labels, verbose=verbose)
+
+    def _fit_encoded(
+        self,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        pair_ids: np.ndarray | None,
+        pair_mask: np.ndarray | None,
+        pair_labels: np.ndarray | None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Shared optimization loop over encoded (and optional pair) matrices."""
+        cfg = self.config
         # Reusable buffers for the per-step pair sampling: each sampled pair
         # batch is consumed fully within its train step, so the next step can
         # safely overwrite the same memory.
@@ -339,7 +383,7 @@ class Pretrainer:
             self.model.parameters() + self.mlm_head.parameters() + self.pair_head.parameters()
         )
         optimizer = AdamW(parameters, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
-        steps_per_epoch = max(len(contexts) // cfg.batch_size, 1)
+        steps_per_epoch = max(len(ids) // cfg.batch_size, 1)
         total_steps = max(cfg.epochs * steps_per_epoch, 1)
         schedule = WarmupLinearSchedule(
             optimizer, warmup_steps=max(int(cfg.warmup_fraction * total_steps), 1),
@@ -370,7 +414,7 @@ class Pretrainer:
                     closure.num_tokens = batch.num_tokens
                     closures.append(closure)
             else:
-                order = self._rng.permutation(len(contexts))
+                order = self._rng.permutation(len(ids))
                 for start in range(0, len(order), cfg.batch_size):
                     batch_idx = order[start : start + cfg.batch_size]
                     closure = self._make_loss(ids[batch_idx], mask[batch_idx],

@@ -1,4 +1,9 @@
-"""``repro.corpus`` — synthetic networking-text corpus (NetBERT substitute)."""
+"""``repro.corpus`` — pre-training corpora.
+
+Two kinds: the synthetic networking-text corpus (NetBERT substitute) for the
+word-embedding baselines, and the columnar packet corpus that feeds the
+foundation model's batched pre-training path.
+"""
 
 from .generator import (
     CorpusConfig,
@@ -6,10 +11,12 @@ from .generator import (
     PROTOCOL_DEVICE,
     PROTOCOL_LAYER,
 )
+from .packets import PacketTraceCorpus
 
 __all__ = [
     "CorpusConfig",
     "NetworkingCorpusGenerator",
+    "PacketTraceCorpus",
     "PROTOCOL_DEVICE",
     "PROTOCOL_LAYER",
 ]

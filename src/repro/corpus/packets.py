@@ -1,0 +1,73 @@
+"""Columnar packet corpora: traffic scenarios collected into one column batch.
+
+The text corpus in :mod:`repro.corpus.generator` feeds the word-embedding
+baselines; this module is its packet-side counterpart for the foundation
+model.  A :class:`PacketTraceCorpus` runs one or more traffic scenarios,
+converts each generated trace into :class:`~repro.net.columns.PacketColumns`
+once, and concatenates the columns — so everything downstream (tokenizer
+``encode_batch``, :meth:`~repro.context.builders.PacketContextBuilder.encode_columns`,
+:meth:`~repro.core.pretraining.Pretrainer.pretrain_encoded`) can stay columnar
+and never re-materializes per-packet Python objects.
+
+Examples
+--------
+>>> from repro.corpus import PacketTraceCorpus
+>>> from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+>>> corpus = PacketTraceCorpus.from_scenarios(
+...     [EnterpriseScenario(EnterpriseScenarioConfig(seed=s, duration=5.0))
+...      for s in (0, 1)]
+... )
+>>> len(corpus) == len(corpus.columns)
+True
+>>> corpus.labels()[0] is not None
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..net.columns import PacketColumns
+from ..net.packet import Packet
+
+__all__ = ["PacketTraceCorpus"]
+
+
+class PacketTraceCorpus:
+    """A pre-training corpus of traffic held in columnar form.
+
+    Parameters
+    ----------
+    columns:
+        The packet batch, one row per packet, in capture order.
+    """
+
+    def __init__(self, columns: PacketColumns):
+        self.columns = columns
+
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet]) -> "PacketTraceCorpus":
+        """Columnarize an already generated (or parsed) trace."""
+        return cls(PacketColumns.from_packets(packets))
+
+    @classmethod
+    def from_scenarios(cls, scenarios: Iterable) -> "PacketTraceCorpus":
+        """Generate every scenario and concatenate the columnarized traces.
+
+        ``scenarios`` is any iterable of objects with a ``generate() ->
+        list[Packet]`` method (all of :mod:`repro.traffic`'s scenario and
+        workload generators qualify).
+        """
+        parts = [PacketColumns.from_packets(s.generate()) for s in scenarios]
+        return cls(PacketColumns.concat(parts))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def packets(self) -> list[Packet]:
+        """Materialize per-packet objects (compatibility escape hatch)."""
+        return self.columns.to_packets()
+
+    def labels(self, key: str = "application") -> list:
+        """Per-row metadata labels (``None`` where absent)."""
+        return [row.get(key) for row in self.columns.metadata]

@@ -19,6 +19,22 @@ from .addresses import (
     random_private_ipv4,
 )
 from .checksum import internet_checksum, verify_checksum
+from .columns import (
+    APP_DNS,
+    APP_HTTP_REQUEST,
+    APP_HTTP_RESPONSE,
+    APP_NONE,
+    APP_NTP,
+    APP_OTHER,
+    APP_TLS_CLIENT,
+    APP_TLS_SERVER,
+    PacketColumns,
+    TRANSPORT_ICMP,
+    TRANSPORT_NONE,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+    as_packets,
+)
 from .dns import DNSAnswer, DNSMessage, DNSQuestion, RECORD_TYPES
 from .flow import Flow, FlowKey, FlowTable, flow_statistics
 from .headers import (
@@ -76,6 +92,20 @@ __all__ = [
     "TLSServerHello",
     "NTPPacket",
     "Packet",
+    "PacketColumns",
+    "as_packets",
+    "TRANSPORT_NONE",
+    "TRANSPORT_TCP",
+    "TRANSPORT_UDP",
+    "TRANSPORT_ICMP",
+    "APP_NONE",
+    "APP_DNS",
+    "APP_HTTP_REQUEST",
+    "APP_HTTP_RESPONSE",
+    "APP_TLS_CLIENT",
+    "APP_TLS_SERVER",
+    "APP_NTP",
+    "APP_OTHER",
     "build_packet",
     "parse_packet",
     "Flow",

@@ -1,0 +1,691 @@
+"""Columnar (struct-of-arrays) packet batches.
+
+:class:`PacketColumns` is the batch-shaped twin of :class:`~repro.net.packet.Packet`:
+instead of a Python list of layer objects per packet, a whole trace is held as
+contiguous per-field NumPy arrays — header fields as integer columns, payloads
+as one zero-padded byte matrix plus a length vector, and transport/application
+tags as small integer enums.  The per-packet API is preserved bit-for-bit:
+``from_packets`` / ``to_packets`` round-trip losslessly, and
+:meth:`PacketColumns.wire_matrix` produces exactly the bytes
+``Packet.to_bytes`` would, row by row — checksums included — but computed with
+whole-column array operations.
+
+The tokenizers' batched fast paths accept a :class:`PacketColumns` wherever
+they accept a packet list; the columnar form is what lets the field-aware
+tokenizer group rows by application protocol and tokenize each group with
+array ops instead of per-packet dispatch.
+
+Examples
+--------
+>>> from repro.net import build_packet, PacketColumns
+>>> packets = [
+...     build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1234, 80),
+...     build_packet(0.1, "10.0.0.2", "10.0.0.1", "UDP", 53, 5353),
+... ]
+>>> columns = PacketColumns.from_packets(packets)
+>>> len(columns)
+2
+>>> columns.to_packets() == packets
+True
+>>> bool((columns.wire_matrix()[0][0, :14].tobytes()
+...       == packets[0].to_bytes()[:14]))
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .addresses import int_to_ipv4, ipv4_to_int
+from .dns import DNSMessage
+from .headers import EthernetHeader, ICMPHeader, IPv4Header, TCPHeader, UDPHeader
+from .http import HTTPRequest, HTTPResponse
+from .ntp import NTPPacket
+from .packet import Packet, _encode_application
+from .tls import TLSClientHello, TLSServerHello
+
+__all__ = [
+    "PacketColumns",
+    "as_packets",
+    "TRANSPORT_NONE",
+    "TRANSPORT_TCP",
+    "TRANSPORT_UDP",
+    "TRANSPORT_ICMP",
+    "APP_NONE",
+    "APP_DNS",
+    "APP_HTTP_REQUEST",
+    "APP_HTTP_RESPONSE",
+    "APP_TLS_CLIENT",
+    "APP_TLS_SERVER",
+    "APP_NTP",
+    "APP_OTHER",
+]
+
+#: Transport-layer tags held in :attr:`PacketColumns.transport_kind`.
+TRANSPORT_NONE = 0
+TRANSPORT_TCP = 1
+TRANSPORT_UDP = 2
+TRANSPORT_ICMP = 3
+
+#: Application-layer tags held in :attr:`PacketColumns.app_kind`.  Raw-bytes
+#: payloads (and ``application=None``) are ``APP_NONE``; application objects
+#: of types the library does not know get ``APP_OTHER``, which the tokenizers
+#: treat as "fall back to the per-packet path for this row".
+APP_NONE = 0
+APP_DNS = 1
+APP_HTTP_REQUEST = 2
+APP_HTTP_RESPONSE = 3
+APP_TLS_CLIENT = 4
+APP_TLS_SERVER = 5
+APP_NTP = 6
+APP_OTHER = 7
+
+_APP_KIND_OF_TYPE = (
+    (DNSMessage, APP_DNS),
+    (HTTPRequest, APP_HTTP_REQUEST),
+    (HTTPResponse, APP_HTTP_RESPONSE),
+    (TLSClientHello, APP_TLS_CLIENT),
+    (TLSServerHello, APP_TLS_SERVER),
+    (NTPPacket, APP_NTP),
+)
+
+#: Wire length of each transport header, indexed by transport kind.
+_TRANSPORT_WIRE_LENGTH = np.array(
+    [0, TCPHeader.LENGTH, UDPHeader.LENGTH, ICMPHeader.LENGTH], dtype=np.int64
+)
+
+
+def _mac_int(mac: str, cache: dict[str, int], names: dict[int, str]) -> int:
+    value = cache.get(mac)
+    if value is None:
+        parts = mac.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"invalid MAC address: {mac!r}")
+        value = 0
+        for part in parts:
+            value = (value << 8) | int(part, 16)
+        cache[mac] = value
+        names.setdefault(value, mac)
+    return value
+
+
+def _ip_int(address: str, cache: dict[str, int], names: dict[int, str]) -> int:
+    value = cache.get(address)
+    if value is None:
+        value = ipv4_to_int(address)
+        cache[address] = value
+        names.setdefault(value, address)
+    return value
+
+
+def _fold_checksum(total: np.ndarray) -> np.ndarray:
+    """Vectorized RFC 1071 carry folding + one's complement."""
+    total = total.astype(np.int64)
+    while (total >> 16).any():
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclasses.dataclass
+class PacketColumns:
+    """A trace as contiguous per-field arrays (one row per packet).
+
+    All integer columns are ``int64`` (wire-width narrowing happens only at
+    serialization time), the payload is a zero-padded ``uint8`` matrix, and
+    the decoded application objects ride along in a list so that field-aware
+    application tokenization and lossless :meth:`to_packets` reconstruction
+    stay possible.  Rows are immutable by convention, like packets.
+    """
+
+    timestamps: np.ndarray
+    # Ethernet
+    has_ethernet: np.ndarray
+    eth_src: np.ndarray
+    eth_dst: np.ndarray
+    ethertype: np.ndarray
+    # IPv4
+    has_ip: np.ndarray
+    ip_src: np.ndarray
+    ip_dst: np.ndarray
+    ip_protocol: np.ndarray
+    ip_ttl: np.ndarray
+    ip_id: np.ndarray
+    ip_dscp: np.ndarray
+    ip_flags: np.ndarray
+    ip_frag: np.ndarray
+    ip_total_length: np.ndarray
+    # Transport
+    transport_kind: np.ndarray
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    tcp_seq: np.ndarray
+    tcp_ack: np.ndarray
+    tcp_flags: np.ndarray
+    tcp_window: np.ndarray
+    tcp_urgent: np.ndarray
+    udp_length: np.ndarray
+    icmp_type: np.ndarray
+    icmp_code: np.ndarray
+    icmp_id: np.ndarray
+    icmp_seq: np.ndarray
+    # Payload: effective application-layer bytes (what ``to_bytes`` appends),
+    # zero-padded to the longest row.  ``payload_from_application`` marks rows
+    # whose Packet.payload was empty and whose bytes were derived from the
+    # application object (``to_packets`` restores the empty payload);
+    # ``payload_encode_failed`` marks rows whose application object could not
+    # be serialized at all — ``wire_matrix`` raises for those, exactly as
+    # ``Packet.to_bytes`` would.
+    payload: np.ndarray
+    payload_lengths: np.ndarray
+    payload_from_application: np.ndarray
+    payload_encode_failed: np.ndarray
+    # Application / provenance
+    app_kind: np.ndarray
+    applications: list
+    metadata: list
+    # Original address spellings (int -> string), so round-trips preserve
+    # non-canonical inputs exactly.  When a trace contains *two* spellings of
+    # the same address, the extra rows are recorded in ``spelling_overrides``
+    # as ``(field, row) -> spelling`` (field in eth_src/eth_dst/ip_src/ip_dst).
+    ip_names: dict = dataclasses.field(default_factory=dict, repr=False)
+    mac_names: dict = dataclasses.field(default_factory=dict, repr=False)
+    spelling_overrides: dict = dataclasses.field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet]) -> "PacketColumns":
+        """Convert a packet list into columns (lossless; see :meth:`to_packets`).
+
+        Extraction runs one pass per *column*, not per packet: every field is
+        pulled through a C-level ``np.fromiter`` over its layer's rows and
+        scattered once, which keeps the conversion cheap enough that even a
+        one-shot convert-then-encode beats the per-packet tokenizer path.
+        """
+        n = len(packets)
+        packets = list(packets)
+        int_col = lambda: np.zeros(n, dtype=np.int64)  # noqa: E731
+        columns = cls(
+            timestamps=np.fromiter((p.timestamp for p in packets), np.float64, n),
+            has_ethernet=np.zeros(n, dtype=bool),
+            eth_src=int_col(),
+            eth_dst=int_col(),
+            ethertype=int_col(),
+            has_ip=np.zeros(n, dtype=bool),
+            ip_src=int_col(),
+            ip_dst=int_col(),
+            ip_protocol=int_col(),
+            ip_ttl=int_col(),
+            ip_id=int_col(),
+            ip_dscp=int_col(),
+            ip_flags=int_col(),
+            ip_frag=int_col(),
+            ip_total_length=int_col(),
+            transport_kind=int_col(),
+            src_port=int_col(),
+            dst_port=int_col(),
+            tcp_seq=int_col(),
+            tcp_ack=int_col(),
+            tcp_flags=int_col(),
+            tcp_window=int_col(),
+            tcp_urgent=int_col(),
+            udp_length=int_col(),
+            icmp_type=int_col(),
+            icmp_code=int_col(),
+            icmp_id=int_col(),
+            icmp_seq=int_col(),
+            payload=np.zeros((n, 0), dtype=np.uint8),
+            payload_lengths=int_col(),
+            payload_from_application=np.zeros(n, dtype=bool),
+            payload_encode_failed=np.zeros(n, dtype=bool),
+            app_kind=int_col(),
+            applications=[p.application for p in packets],
+            metadata=[dict(p.metadata) if p.metadata else {} for p in packets],
+        )
+
+        def record_overrides(field, rows, spellings, values, cache, names):
+            # Two spellings interning to one value (e.g. a MAC in both cases)
+            # cannot share the one canonical entry in ``names``; keep the
+            # extra rows' spellings so round-trips stay lossless.  Collisions
+            # are detectable from the cache/names sizes, so the per-row scan
+            # only runs when one actually happened.
+            if len(cache) == len(names):
+                return
+            overrides = columns.spelling_overrides
+            for row, spelling, value in zip(rows, spellings, values):
+                if names[value] != spelling:
+                    overrides[(field, row)] = spelling
+
+        ethernets = [p.ethernet for p in packets]
+        rows = [i for i in range(n) if ethernets[i] is not None]
+        if rows:
+            columns.has_ethernet[rows] = True
+            mac_cache: dict[str, int] = {}
+            names = columns.mac_names
+            group = [ethernets[i] for i in rows]
+            src_macs = [e.src_mac for e in group]
+            dst_macs = [e.dst_mac for e in group]
+            src_vals = [_mac_int(s, mac_cache, names) for s in src_macs]
+            dst_vals = [_mac_int(s, mac_cache, names) for s in dst_macs]
+            columns.eth_src[rows] = src_vals
+            columns.eth_dst[rows] = dst_vals
+            record_overrides("eth_src", rows, src_macs, src_vals, mac_cache, names)
+            record_overrides("eth_dst", rows, dst_macs, dst_vals, mac_cache, names)
+            columns.ethertype[rows] = [e.ethertype for e in group]
+
+        ips = [p.ip for p in packets]
+        rows = [i for i in range(n) if ips[i] is not None]
+        if rows:
+            columns.has_ip[rows] = True
+            ip_cache: dict[str, int] = {}
+            names = columns.ip_names
+            group = [ips[i] for i in rows]
+            src_ips = [h.src_ip for h in group]
+            dst_ips = [h.dst_ip for h in group]
+            src_vals = [_ip_int(s, ip_cache, names) for s in src_ips]
+            dst_vals = [_ip_int(s, ip_cache, names) for s in dst_ips]
+            columns.ip_src[rows] = src_vals
+            columns.ip_dst[rows] = dst_vals
+            record_overrides("ip_src", rows, src_ips, src_vals, ip_cache, names)
+            record_overrides("ip_dst", rows, dst_ips, dst_vals, ip_cache, names)
+            columns.ip_protocol[rows] = [h.protocol for h in group]
+            columns.ip_ttl[rows] = [h.ttl for h in group]
+            columns.ip_id[rows] = [h.identification for h in group]
+            columns.ip_dscp[rows] = [h.dscp for h in group]
+            columns.ip_flags[rows] = [h.flags for h in group]
+            columns.ip_frag[rows] = [h.fragment_offset for h in group]
+            columns.ip_total_length[rows] = [h.total_length for h in group]
+
+        transports = [p.transport for p in packets]
+        tcp_rows, udp_rows, icmp_rows = [], [], []
+        kind_rows = {TRANSPORT_TCP: tcp_rows, TRANSPORT_UDP: udp_rows, TRANSPORT_ICMP: icmp_rows}
+        transport_kind_cache: dict[type, int] = {}
+        for i in range(n):
+            transport = transports[i]
+            if transport is None:
+                continue
+            kind = transport_kind_cache.get(type(transport))
+            if kind is None:
+                if isinstance(transport, TCPHeader):
+                    kind = TRANSPORT_TCP
+                elif isinstance(transport, UDPHeader):
+                    kind = TRANSPORT_UDP
+                elif isinstance(transport, ICMPHeader):
+                    kind = TRANSPORT_ICMP
+                else:
+                    raise TypeError(
+                        f"cannot columnarize transport of type {type(transport).__name__}"
+                    )
+                transport_kind_cache[type(transport)] = kind
+            kind_rows[kind].append(i)
+        if tcp_rows:
+            columns.transport_kind[tcp_rows] = TRANSPORT_TCP
+            group = [transports[i] for i in tcp_rows]
+            columns.src_port[tcp_rows] = [t.src_port for t in group]
+            columns.dst_port[tcp_rows] = [t.dst_port for t in group]
+            columns.tcp_seq[tcp_rows] = [t.seq for t in group]
+            columns.tcp_ack[tcp_rows] = [t.ack for t in group]
+            columns.tcp_flags[tcp_rows] = [t.flags for t in group]
+            columns.tcp_window[tcp_rows] = [t.window for t in group]
+            columns.tcp_urgent[tcp_rows] = [t.urgent for t in group]
+        if udp_rows:
+            columns.transport_kind[udp_rows] = TRANSPORT_UDP
+            group = [transports[i] for i in udp_rows]
+            columns.src_port[udp_rows] = [t.src_port for t in group]
+            columns.dst_port[udp_rows] = [t.dst_port for t in group]
+            columns.udp_length[udp_rows] = [t.length for t in group]
+        if icmp_rows:
+            columns.transport_kind[icmp_rows] = TRANSPORT_ICMP
+            group = [transports[i] for i in icmp_rows]
+            columns.icmp_type[icmp_rows] = [t.icmp_type for t in group]
+            columns.icmp_code[icmp_rows] = [t.code for t in group]
+            columns.icmp_id[icmp_rows] = [t.identifier for t in group]
+            columns.icmp_seq[icmp_rows] = [t.sequence for t in group]
+
+        kind_cache: dict[type, int] = {}
+        app_kinds = columns.app_kind
+        applications = columns.applications
+        for i in range(n):
+            app = applications[i]
+            if app is None or type(app) is bytes:
+                continue
+            app_type = type(app)
+            kind = kind_cache.get(app_type)
+            if kind is None:
+                kind = APP_NONE if issubclass(app_type, bytes) else APP_OTHER
+                for known_type, known_kind in _APP_KIND_OF_TYPE:
+                    if issubclass(app_type, known_type):
+                        kind = known_kind
+                        break
+                kind_cache[app_type] = kind
+            app_kinds[i] = kind
+
+        payloads: list[bytes] = []
+        from_application = columns.payload_from_application
+        encode_failed = columns.payload_encode_failed
+        for i in range(n):
+            data = packets[i].payload
+            if not data and applications[i] is not None:
+                try:
+                    data = _encode_application(applications[i])
+                except TypeError:
+                    data = b""
+                    encode_failed[i] = True
+                from_application[i] = bool(data)
+            payloads.append(data)
+        columns.payload_lengths = np.fromiter(map(len, payloads), np.int64, n)
+        width = int(columns.payload_lengths.max()) if n else 0
+        matrix = np.zeros((n, width), dtype=np.uint8)
+        if width:
+            mask = np.arange(width)[None, :] < columns.payload_lengths[:, None]
+            matrix[mask] = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+        columns.payload = matrix
+        return columns
+
+    @classmethod
+    def concat(cls, parts: Sequence["PacketColumns"]) -> "PacketColumns":
+        """Concatenate several column batches into one (row order preserved)."""
+        parts = list(parts)
+        if not parts:
+            return cls.from_packets([])
+        if len(parts) == 1:
+            return parts[0]
+        name_collision = False
+        width = max(p.payload.shape[1] for p in parts)
+        total = sum(len(p) for p in parts)
+        payload = np.zeros((total, width), dtype=np.uint8)
+        row = 0
+        for part in parts:
+            payload[row : row + len(part), : part.payload.shape[1]] = part.payload
+            row += len(part)
+        kwargs = {}
+        for field in dataclasses.fields(cls):
+            name = field.name
+            if name == "payload":
+                kwargs[name] = payload
+            elif name in ("applications", "metadata"):
+                merged: list = []
+                for part in parts:
+                    merged.extend(getattr(part, name))
+                kwargs[name] = merged
+            elif name in ("ip_names", "mac_names"):
+                names: dict = {}
+                for part in parts:
+                    for value, spelling in getattr(part, name).items():
+                        if names.setdefault(value, spelling) != spelling:
+                            name_collision = True
+                kwargs[name] = names
+            elif name == "spelling_overrides":
+                continue  # merged below, with row offsets and name collisions
+            else:
+                kwargs[name] = np.concatenate([getattr(part, name) for part in parts])
+        merged_columns = cls(**kwargs)
+        if name_collision or any(part.spelling_overrides for part in parts):
+            # Re-interning across parts can create new collisions (part B's
+            # only spelling of an address losing to part A's in the merged
+            # name dicts), so overrides are recomputed per part against the
+            # merged dicts.  Only runs when a collision actually exists.
+            offset = 0
+            for part in parts:
+                for field_name, column, names in (
+                    ("eth_src", part.eth_src, merged_columns.mac_names),
+                    ("eth_dst", part.eth_dst, merged_columns.mac_names),
+                    ("ip_src", part.ip_src, merged_columns.ip_names),
+                    ("ip_dst", part.ip_dst, merged_columns.ip_names),
+                ):
+                    present = part.has_ethernet if field_name.startswith("eth") else part.has_ip
+                    for row in np.flatnonzero(present).tolist():
+                        spelling = part.spelling_overrides.get((field_name, row))
+                        if spelling is None:
+                            spelling = part._field_name(field_name, int(column[row]))
+                        if names.get(int(column[row])) != spelling:
+                            merged_columns.spelling_overrides[(field_name, offset + row)] = spelling
+                offset += len(part)
+        return merged_columns
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __iter__(self) -> Iterator[Packet]:
+        for i in range(len(self)):
+            yield self.packet(i)
+
+    def packet(self, index: int) -> Packet:
+        """Materialize row ``index`` back into a :class:`Packet`."""
+        overrides = self.spelling_overrides
+        ethernet = None
+        if self.has_ethernet[index]:
+            ethernet = EthernetHeader(
+                dst_mac=overrides.get(("eth_dst", index))
+                or self._mac_name(int(self.eth_dst[index])),
+                src_mac=overrides.get(("eth_src", index))
+                or self._mac_name(int(self.eth_src[index])),
+                ethertype=int(self.ethertype[index]),
+            )
+        ip = None
+        if self.has_ip[index]:
+            ip = IPv4Header(
+                src_ip=overrides.get(("ip_src", index))
+                or self._ip_name(int(self.ip_src[index])),
+                dst_ip=overrides.get(("ip_dst", index))
+                or self._ip_name(int(self.ip_dst[index])),
+                protocol=int(self.ip_protocol[index]),
+                ttl=int(self.ip_ttl[index]),
+                identification=int(self.ip_id[index]),
+                dscp=int(self.ip_dscp[index]),
+                flags=int(self.ip_flags[index]),
+                fragment_offset=int(self.ip_frag[index]),
+                total_length=int(self.ip_total_length[index]),
+            )
+        kind = int(self.transport_kind[index])
+        transport = None
+        if kind == TRANSPORT_TCP:
+            transport = TCPHeader(
+                src_port=int(self.src_port[index]),
+                dst_port=int(self.dst_port[index]),
+                seq=int(self.tcp_seq[index]),
+                ack=int(self.tcp_ack[index]),
+                flags=int(self.tcp_flags[index]),
+                window=int(self.tcp_window[index]),
+                urgent=int(self.tcp_urgent[index]),
+            )
+        elif kind == TRANSPORT_UDP:
+            transport = UDPHeader(
+                src_port=int(self.src_port[index]),
+                dst_port=int(self.dst_port[index]),
+                length=int(self.udp_length[index]),
+            )
+        elif kind == TRANSPORT_ICMP:
+            transport = ICMPHeader(
+                icmp_type=int(self.icmp_type[index]),
+                code=int(self.icmp_code[index]),
+                identifier=int(self.icmp_id[index]),
+                sequence=int(self.icmp_seq[index]),
+            )
+        payload = b""
+        if not self.payload_from_application[index]:
+            length = int(self.payload_lengths[index])
+            payload = self.payload[index, :length].tobytes()
+        return Packet(
+            timestamp=float(self.timestamps[index]),
+            ethernet=ethernet,
+            ip=ip,
+            transport=transport,
+            application=self.applications[index],
+            payload=payload,
+            metadata=dict(self.metadata[index]),
+        )
+
+    def to_packets(self) -> list[Packet]:
+        """Materialize every row; inverse of :meth:`from_packets`."""
+        return [self.packet(i) for i in range(len(self))]
+
+    def _ip_name(self, value: int) -> str:
+        name = self.ip_names.get(value)
+        return name if name is not None else int_to_ipv4(value)
+
+    def _mac_name(self, value: int) -> str:
+        name = self.mac_names.get(value)
+        if name is not None:
+            return name
+        return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -1, -8))
+
+    def _field_name(self, field: str, value: int) -> str:
+        return self._mac_name(value) if field.startswith("eth") else self._ip_name(value)
+
+    # ------------------------------------------------------------------
+    # Vectorized wire serialization
+    # ------------------------------------------------------------------
+    def wire_matrix(
+        self, max_bytes: int | None = None, skip_ethernet: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serialize every row to wire format with whole-column array ops.
+
+        Returns ``(matrix, lengths)`` where ``matrix[i, :lengths[i]]`` equals
+        ``self.packet(i).to_bytes()`` (then optionally stripped of the 14-byte
+        Ethernet header exactly when the row is longer than 14 bytes, and
+        truncated to ``max_bytes``) — the contract the byte-level tokenizers
+        rely on.  Checksums (IPv4 header, ICMP) are computed with vectorized
+        one's-complement sums.
+        """
+        n = len(self)
+        if self.payload_encode_failed.any():
+            # Packet.to_bytes raises for these rows; serializing them to
+            # header-only bytes would silently fork the byte tokenizers.
+            bad = np.flatnonzero(self.payload_encode_failed)[:5].tolist()
+            raise TypeError(
+                f"cannot serialize rows {bad}: their application layer could "
+                "not be encoded (unknown application type with empty payload)"
+            )
+        rows = np.arange(n)
+        tp_len = _TRANSPORT_WIRE_LENGTH[self.transport_kind]
+        pl_len = self.payload_lengths
+        off_ip = np.where(self.has_ethernet, EthernetHeader.LENGTH, 0)
+        off_tp = off_ip + np.where(self.has_ip, IPv4Header.LENGTH, 0)
+        off_pl = off_tp + tp_len
+        lengths = off_pl + pl_len
+        width = int(lengths.max()) if n else 0
+        matrix = np.zeros((n, width), dtype=np.uint8)
+
+        # Ethernet ------------------------------------------------------
+        e = np.flatnonzero(self.has_ethernet)
+        if len(e):
+            for octet in range(6):
+                shift = 8 * (5 - octet)
+                matrix[e, octet] = (self.eth_dst[e] >> shift) & 0xFF
+                matrix[e, 6 + octet] = (self.eth_src[e] >> shift) & 0xFF
+            matrix[e, 12] = (self.ethertype[e] >> 8) & 0xFF
+            matrix[e, 13] = self.ethertype[e] & 0xFF
+
+        # IPv4 (total_length recomputed exactly as IPv4Header.pack does) -
+        i = np.flatnonzero(self.has_ip)
+        if len(i):
+            base = off_ip[i]
+            wire_total = IPv4Header.LENGTH + tp_len[i] + pl_len[i]
+            flags_frag = (self.ip_flags[i] << 13) | self.ip_frag[i]
+            words = [
+                (0x45 << 8) | ((self.ip_dscp[i] << 2) & 0xFF),
+                wire_total,
+                self.ip_id[i],
+                flags_frag,
+                (self.ip_ttl[i] << 8) | self.ip_protocol[i],
+                np.zeros(len(i), dtype=np.int64),
+                self.ip_src[i] >> 16,
+                self.ip_src[i] & 0xFFFF,
+                self.ip_dst[i] >> 16,
+                self.ip_dst[i] & 0xFFFF,
+            ]
+            checksum = _fold_checksum(sum(words))
+            words[5] = checksum
+            for w, word in enumerate(words):
+                matrix[i, base + 2 * w] = (word >> 8) & 0xFF
+                matrix[i, base + 2 * w + 1] = word & 0xFF
+
+        # TCP -----------------------------------------------------------
+        t = np.flatnonzero(self.transport_kind == TRANSPORT_TCP)
+        if len(t):
+            base = off_tp[t]
+            fields16 = ((0, self.src_port[t]), (2, self.dst_port[t]), (14, self.tcp_window[t]),
+                        (18, self.tcp_urgent[t]))
+            for offset, value in fields16:
+                matrix[t, base + offset] = (value >> 8) & 0xFF
+                matrix[t, base + offset + 1] = value & 0xFF
+            for offset, value in ((4, self.tcp_seq[t]), (8, self.tcp_ack[t])):
+                for b in range(4):
+                    matrix[t, base + offset + b] = (value >> (8 * (3 - b))) & 0xFF
+            matrix[t, base + 12] = 5 << 4
+            matrix[t, base + 13] = self.tcp_flags[t] & 0xFF
+            # checksum bytes 16..17 stay zero, matching TCPHeader.pack
+
+        # UDP (wire length recomputed exactly as UDPHeader.pack does) ----
+        u = np.flatnonzero(self.transport_kind == TRANSPORT_UDP)
+        if len(u):
+            base = off_tp[u]
+            wire_length = UDPHeader.LENGTH + pl_len[u]
+            for offset, value in ((0, self.src_port[u]), (2, self.dst_port[u]), (4, wire_length)):
+                matrix[u, base + offset] = (value >> 8) & 0xFF
+                matrix[u, base + offset + 1] = value & 0xFF
+
+        # Payload (scattered before ICMP so its checksum can read zeros) -
+        if pl_len.any():
+            p = np.flatnonzero(pl_len)
+            counts = pl_len[p]
+            row_rep = np.repeat(p, counts)
+            within = np.arange(int(counts.sum())) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            pmask = np.arange(self.payload.shape[1])[None, :] < pl_len[:, None]
+            matrix[row_rep, off_pl[row_rep] + within] = self.payload[pmask]
+
+        # ICMP (checksum covers header + payload, zero-padded to even) ---
+        c = np.flatnonzero(self.transport_kind == TRANSPORT_ICMP)
+        if len(c):
+            base = off_tp[c]
+            header_sum = (
+                ((self.icmp_type[c] << 8) | self.icmp_code[c])
+                + self.icmp_id[c]
+                + self.icmp_seq[c]
+            )
+            payload_sum = (
+                (self.payload[c, 0::2].astype(np.int64) << 8).sum(axis=1)
+                + self.payload[c, 1::2].astype(np.int64).sum(axis=1)
+            )
+            checksum = _fold_checksum(header_sum + payload_sum)
+            matrix[c, base] = self.icmp_type[c] & 0xFF
+            matrix[c, base + 1] = self.icmp_code[c] & 0xFF
+            matrix[c, base + 2] = (checksum >> 8) & 0xFF
+            matrix[c, base + 3] = checksum & 0xFF
+            matrix[c, base + 4] = (self.icmp_id[c] >> 8) & 0xFF
+            matrix[c, base + 5] = self.icmp_id[c] & 0xFF
+            matrix[c, base + 6] = (self.icmp_seq[c] >> 8) & 0xFF
+            matrix[c, base + 7] = self.icmp_seq[c] & 0xFF
+
+        if skip_ethernet and width > EthernetHeader.LENGTH:
+            shift = np.where(lengths > EthernetHeader.LENGTH, EthernetHeader.LENGTH, 0)
+            if shift.all():
+                matrix = matrix[:, EthernetHeader.LENGTH:]
+            elif shift.any():
+                # Mixed trace: shift rows independently through a zero-padded
+                # gather so short (un-shifted) rows keep their full bytes.
+                padded = np.concatenate([matrix, np.zeros((n, 1), dtype=np.uint8)], axis=1)
+                take = np.minimum(np.arange(width)[None, :] + shift[:, None], width)
+                matrix = padded[rows[:, None], take]
+            lengths = lengths - shift
+        if max_bytes is not None and (width > max_bytes or lengths.max(initial=0) > max_bytes):
+            matrix = matrix[:, :max_bytes]
+            lengths = np.minimum(lengths, max_bytes)
+        return matrix, lengths
+
+
+def as_packets(source: "Sequence[Packet] | PacketColumns") -> Sequence[Packet]:
+    """Normalize a packet list or :class:`PacketColumns` to a packet sequence."""
+    if isinstance(source, PacketColumns):
+        return source.to_packets()
+    return source

@@ -4,6 +4,28 @@ A packet trace in this library is simply ``list[Packet]``.  Every packet
 carries both the decoded layer objects (for field-aware tokenization and for
 labelling) and the exact wire bytes (for byte-level tokenization), so the two
 tokenization strategies of Section 4.1.2 can be compared on identical data.
+For batch-scale work the columnar twin of a trace is
+:class:`repro.net.columns.PacketColumns`.
+
+Examples
+--------
+Build a packet from high-level parameters, serialize it, and parse it back:
+
+>>> from repro.net.packet import build_packet, parse_packet
+>>> packet = build_packet(
+...     timestamp=1.5, src_ip="10.0.0.1", dst_ip="93.184.216.34",
+...     protocol="TCP", src_port=49877, dst_port=443,
+... )
+>>> packet.src_port, packet.dst_port, packet.protocol
+(49877, 443, 6)
+>>> wire = packet.to_bytes()
+>>> len(wire)                        # Ethernet (14) + IPv4 (20) + TCP (20)
+54
+>>> parsed = parse_packet(wire, timestamp=1.5)
+>>> parsed.ip.dst_ip
+'93.184.216.34'
+>>> parsed.to_bytes() == wire
+True
 """
 
 from __future__ import annotations

@@ -4,6 +4,26 @@ A tokenizer turns a :class:`~repro.net.packet.Packet` into a list of string
 tokens (and, symmetrically, raw byte strings into tokens).  The choice of
 tokenizer is one of the open questions the paper poses (Section 4.1.2):
 character/byte level, or protocol-format ("field-aware") segmentation.
+
+Every batched entry point (:meth:`PacketTokenizer.tokenize_trace`,
+:meth:`PacketTokenizer.encode_batch`, :meth:`PacketTokenizer.build_vocabulary`,
+:meth:`PacketTokenizer.fit`) accepts either a packet list or a columnar
+:class:`~repro.net.columns.PacketColumns` batch; the columnar form is the fast
+path, the packet list the compatible one.
+
+Examples
+--------
+>>> from repro.net import build_packet
+>>> from repro.tokenize import ByteTokenizer, Vocabulary
+>>> packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1234, 80)
+>>> tokenizer = ByteTokenizer(max_bytes=4)
+>>> tokens = tokenizer.tokenize_packet(packet)
+>>> tokens
+['0x45', '0x00', '0x00', '0x28']
+>>> vocabulary = tokenizer.build_vocabulary([packet])
+>>> ids, mask = tokenizer.encode_batch([packet], vocabulary)
+>>> vocabulary.decode(ids[0][mask[0]]) == tokens
+True
 """
 
 from __future__ import annotations
@@ -12,6 +32,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..net.columns import PacketColumns, as_packets
 from ..net.packet import Packet
 from .vocab import Vocabulary
 
@@ -37,6 +58,29 @@ def _raw_slices(
     return slices
 
 
+def _raw_flat(
+    source: "Sequence[Packet] | PacketColumns",
+    max_bytes: int,
+    skip_ethernet: bool,
+    limit: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncated wire bytes of every packet as ``(flat uint8, lengths)``.
+
+    For a :class:`~repro.net.columns.PacketColumns` batch the bytes come from
+    the vectorized :meth:`~repro.net.columns.PacketColumns.wire_matrix` — no
+    per-packet serialization at all; for a packet list they come from the
+    (memoized) ``Packet.to_bytes`` path.
+    """
+    cap = max_bytes if limit is None else min(max_bytes, limit)
+    if isinstance(source, PacketColumns):
+        matrix, lengths = source.wire_matrix(max_bytes=cap, skip_ethernet=skip_ethernet)
+        mask = np.arange(matrix.shape[1])[None, :] < lengths[:, None]
+        return matrix[mask], lengths
+    slices = _raw_slices(source, max_bytes, skip_ethernet, limit=limit)
+    lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
+    return np.frombuffer(b"".join(slices), dtype=np.uint8), lengths
+
+
 def _scatter_ids(
     flat_ids: np.ndarray, lengths: np.ndarray, pad_id: int, max_len: int | None
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -58,13 +102,15 @@ class PacketTokenizer:
         """Tokenize one packet into a list of string tokens."""
         raise NotImplementedError
 
-    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
-        """Tokenize every packet of a trace."""
-        return [self.tokenize_packet(p) for p in packets]
+    def tokenize_trace(
+        self, packets: "Sequence[Packet] | PacketColumns"
+    ) -> list[list[str]]:
+        """Tokenize every packet of a trace (packet list or columnar batch)."""
+        return [self.tokenize_packet(p) for p in as_packets(packets)]
 
     def encode_batch(
         self,
-        packets: Sequence[Packet],
+        packets: "Sequence[Packet] | PacketColumns",
         vocabulary: Vocabulary,
         max_len: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -73,23 +119,24 @@ class PacketTokenizer:
         Row ``i`` of the returned ``(ids, mask)`` pair holds exactly
         ``vocabulary.encode(self.tokenize_packet(packets[i]))`` (truncated to
         ``max_len``), but the encoding and padding run as batch operations.
-        Subclasses override this with fully vectorized implementations; the
-        base version funnels the per-packet token lists through
-        :meth:`Vocabulary.encode_ids_batch` so the id mapping and padding are
-        done in one shot.
+        ``packets`` may be a list or a :class:`~repro.net.columns.PacketColumns`
+        batch.  Subclasses override this with fully vectorized
+        implementations; the base version funnels the per-packet token lists
+        through :meth:`Vocabulary.encode_ids_batch` so the id mapping and
+        padding are done in one shot.
         """
         return vocabulary.encode_ids_batch(self.tokenize_trace(packets), max_len=max_len)
 
     def build_vocabulary(
         self,
-        packets: Sequence[Packet],
+        packets: "Sequence[Packet] | PacketColumns",
         min_count: int = 1,
         max_size: int | None = None,
     ) -> Vocabulary:
         """Build a vocabulary over a corpus of packets."""
         return Vocabulary.build(self.tokenize_trace(packets), min_count=min_count, max_size=max_size)
 
-    def fit(self, packets: Sequence[Packet]) -> "PacketTokenizer":
+    def fit(self, packets: "Sequence[Packet] | PacketColumns") -> "PacketTokenizer":
         """Learn any data-dependent state (BPE merges, WordPiece vocab).
 
         The default implementation is stateless and returns ``self``.

@@ -5,6 +5,19 @@ pairs) and merges are learned from the frequency of adjacent byte pairs in a
 training trace.  Frequent multi-byte patterns — protocol magic numbers,
 well-known ports, common header prefixes — become single tokens, which is the
 data-driven analogue of the hand-written field-aware tokenizer.
+
+Examples
+--------
+>>> from repro.net import build_packet
+>>> from repro.tokenize import BPETokenizer
+>>> trace = [build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1000 + i, 443)
+...          for i in range(8)]
+>>> tokenizer = BPETokenizer(num_merges=4, max_bytes=24).fit(trace)
+>>> len(tokenizer.merges)
+4
+>>> tokens = tokenizer.tokenize_packet(trace[0])
+>>> tokenizer.tokenize_trace(trace)[0] == tokens   # batched == per-packet
+True
 """
 
 from __future__ import annotations
@@ -14,8 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ..net.columns import PacketColumns, as_packets
 from ..net.packet import Packet
-from .base import PacketTokenizer, _raw_slices, _scatter_ids
+from .base import PacketTokenizer, _raw_flat, _scatter_ids
 from .vocab import Vocabulary
 
 __all__ = ["BPETokenizer"]
@@ -56,9 +70,9 @@ class BPETokenizer(PacketTokenizer):
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, packets: Sequence[Packet]) -> "BPETokenizer":
+    def fit(self, packets: "Sequence[Packet] | PacketColumns") -> "BPETokenizer":
         """Learn merges from the byte sequences of ``packets``."""
-        sequences = [self._base_symbols(p) for p in packets]
+        sequences = [self._base_symbols(p) for p in as_packets(packets)]
         sequences = [s for s in sequences if len(s) >= 2]
         self.merges = []
         for _ in range(self.num_merges):
@@ -166,59 +180,125 @@ class BPETokenizer(PacketTokenizer):
         """Exhaustively apply merges to a flat symbol-id array.
 
         ``flat`` holds base byte values (0..255) and merged symbol ids, with
-        ``-1`` separators between packets.  Each iteration finds the
-        best-ranked pair present anywhere and merges every (leftmost
-        non-overlapping) occurrence — per packet this is exactly the
-        greedy-min-rank loop of :meth:`tokenize_packet`, because a packet is
-        only ever touched when the global best pair is also its own best.
+        ``-1`` separators between packets.  Each iteration merges every
+        (leftmost non-overlapping) occurrence of the best-ranked pair present
+        anywhere — per packet this is exactly the greedy-min-rank loop of
+        :meth:`tokenize_packet`, because a packet is only ever touched when
+        the global best pair is also its own best.
+
+        The best pair is found through an *incrementally maintained pair-count
+        structure*: a doubly linked list threads the surviving positions, each
+        position caches the rank of the pair it starts (``pos_rank``), and a
+        per-rank occurrence count is updated as merges create and destroy
+        pairs.  Selecting the next pair is then an O(num_merges) scan of the
+        count table instead of recomputing keys and taking a global argmin
+        over the whole array, and nothing is ever reallocated with
+        ``np.delete`` — the two costs that dominated the previous
+        implementation.
         """
-        if not len(self._rank_of):
+        n = flat.size
+        if not len(self._rank_of) or n < 2:
             return flat
         mult = self._pair_mult
-        while flat.size >= 2:
-            left, right = flat[:-1], flat[1:]
-            # Key 0 is the (possibly ranked) pair ("00", "00"), so positions
-            # adjacent to a -1 separator are masked explicitly.
-            valid = (left >= 0) & (right >= 0)
-            keys = np.where(valid, left * mult + right, 0)
-            ranks = np.where(valid, self._rank_of[keys], _NO_RANK)
-            best_index = int(np.argmin(ranks))
-            if ranks[best_index] == _NO_RANK:
-                break
-            best_key = keys[best_index]
-            merged_id = int(self._merged_of[best_key])
-            matches = np.flatnonzero(valid & (keys == best_key))
+        num_ranks = len(self._tables_merges or ())
+        rank_of, merged_of = self._rank_of, self._merged_of
+
+        nxt = np.arange(1, n + 1, dtype=np.int32)  # n is the end sentinel
+        prv = np.arange(-1, n - 1, dtype=np.int32)  # -1 is the start sentinel
+        alive = np.ones(n, dtype=bool)
+
+        left, right = flat[:-1], flat[1:]
+        valid = (left >= 0) & (right >= 0)
+        keys = np.where(valid, left * mult + right, 0)
+        pos_rank = np.full(n, _NO_RANK, dtype=np.int32)
+        pos_rank[:-1] = np.where(valid, rank_of[keys], _NO_RANK)
+        counts = np.bincount(
+            pos_rank[pos_rank != _NO_RANK], minlength=num_ranks
+        ).astype(np.int64)
+
+        def pair_rank(positions: np.ndarray) -> np.ndarray:
+            """Current rank of the pair starting at each given position."""
+            successor = nxt[positions]
+            ok = successor < n
+            first = flat[positions]
+            second = flat[np.minimum(successor, n - 1)]
+            ok &= (first >= 0) & (second >= 0)
+            pair_keys = np.where(ok, first * mult + second, 0)
+            return np.where(ok, rank_of[pair_keys], _NO_RANK)
+
+        present = np.flatnonzero(counts > 0)
+        while present.size:
+            r = int(present[0])
+            matches = np.flatnonzero(pos_rank == r)
+            if not len(matches):  # pragma: no cover - defensive resync
+                counts[r] = 0
+                present = np.flatnonzero(counts > 0)
+                continue
             if len(matches) > 1:
-                # Drop overlapping occurrences: within each run of
-                # consecutive match positions keep every other one,
-                # reproducing the left-to-right greedy scan.
-                starts = np.r_[0, np.flatnonzero(np.diff(matches) != 1) + 1]
+                # Drop overlapping occurrences: within each run of positions
+                # that are consecutive in the linked list, keep every other
+                # one, reproducing the left-to-right greedy scan.
+                adjacent = nxt[matches[:-1]] == matches[1:]
+                starts = np.r_[0, np.flatnonzero(~adjacent) + 1]
                 run_lengths = np.diff(np.r_[starts, len(matches)])
                 offsets = np.arange(len(matches)) - np.repeat(starts, run_lengths)
                 matches = matches[offsets % 2 == 0]
-            flat[matches] = merged_id
-            flat = np.delete(flat, matches + 1)
-        return flat
+            merged_id = int(merged_of[flat[matches[0]] * mult + flat[nxt[matches[0]]]])
 
-    def _merged_flat(self, packets: Sequence[Packet]) -> np.ndarray:
+            consumed = nxt[matches]  # right halves; they leave the list
+            successors = nxt[consumed]
+            # Pairs that disappear: the matched pairs themselves and the pairs
+            # the consumed positions started.
+            dead_ranks = np.concatenate([pos_rank[matches], pos_rank[consumed]])
+            alive[consumed] = False
+            # Left neighbours whose pair's right symbol is about to change.
+            # Neighbours that are themselves consumed this round are already
+            # accounted for through ``pos_rank[consumed]``.
+            neighbours = prv[matches]
+            neighbours = neighbours[neighbours >= 0]
+            neighbours = neighbours[alive[neighbours]]
+            dead_ranks = np.concatenate([dead_ranks, pos_rank[neighbours]])
+
+            # Rewire the list around the consumed positions and merge symbols.
+            nxt[matches] = successors
+            in_range = successors < n
+            prv[successors[in_range]] = matches[in_range]
+            flat[matches] = merged_id
+
+            new_match_ranks = pair_rank(matches)
+            new_neighbour_ranks = pair_rank(neighbours)
+            pos_rank[consumed] = _NO_RANK
+            pos_rank[matches] = new_match_ranks
+            pos_rank[neighbours] = new_neighbour_ranks
+
+            born_ranks = np.concatenate([new_match_ranks, new_neighbour_ranks])
+            dead_ranks = dead_ranks[dead_ranks != _NO_RANK]
+            born_ranks = born_ranks[born_ranks != _NO_RANK]
+            counts -= np.bincount(dead_ranks, minlength=num_ranks).astype(np.int64)
+            counts += np.bincount(born_ranks, minlength=num_ranks).astype(np.int64)
+            present = np.flatnonzero(counts > 0)
+        return flat[alive]
+
+    def _merged_flat(self, packets: "Sequence[Packet] | PacketColumns") -> np.ndarray:
         """Wire bytes of all packets as one merged symbol array with -1 separators.
 
         No pre-merge byte truncation: ``max_len`` truncation must happen on
         the merged *tokens* to match ``tokenize_packet(p)[:max_len]``.
         """
-        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet)
-        lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
-        total = int(lengths.sum()) + len(slices)
-        flat = np.full(total, -1, dtype=np.int64)
+        raw, lengths = _raw_flat(packets, self.max_bytes, self.skip_ethernet)
+        total = int(lengths.sum()) + len(lengths)
+        # int32 symbols: ids stay below (256 + num_merges), and the narrower
+        # arrays halve the memory traffic of the per-iteration scans.
+        flat = np.full(total, -1, dtype=np.int32)
         token_mask = np.ones(total, dtype=bool)
         token_mask[np.cumsum(lengths + 1) - 1] = False
-        flat[token_mask] = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        flat[token_mask] = raw
         return self._apply_merges_flat(flat)
 
-    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
+    def tokenize_trace(self, packets: "Sequence[Packet] | PacketColumns") -> list[list[str]]:
         """Batch tokenization via the vectorized merge tables."""
         if not self._merge_ranks:
-            return [self._base_symbols(p) for p in packets]
+            return [self._base_symbols(p) for p in as_packets(packets)]
         self._ensure_tables()
         flat = self._merged_flat(packets)
         table = self._symbols
@@ -231,7 +311,7 @@ class BPETokenizer(PacketTokenizer):
 
     def encode_batch(
         self,
-        packets: Sequence[Packet],
+        packets: "Sequence[Packet] | PacketColumns",
         vocabulary: Vocabulary,
         max_len: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -239,7 +319,7 @@ class BPETokenizer(PacketTokenizer):
         if not self._merge_ranks:
             # No learned merges: behave like the byte path over hex symbols.
             return vocabulary.encode_ids_batch(
-                [self._base_symbols(p) for p in packets], max_len=max_len
+                [self._base_symbols(p) for p in as_packets(packets)], max_len=max_len
             )
         self._ensure_tables()
         flat = self._merged_flat(packets)

@@ -13,8 +13,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ..net.columns import PacketColumns
 from ..net.packet import Packet
-from .base import PacketTokenizer, _raw_slices, _scatter_ids
+from .base import PacketTokenizer, _raw_flat, _scatter_ids
 from .vocab import Vocabulary
 
 __all__ = ["ByteTokenizer", "HexCharTokenizer"]
@@ -52,7 +53,7 @@ class ByteTokenizer(PacketTokenizer):
 
     def encode_batch(
         self,
-        packets: Sequence[Packet],
+        packets: "Sequence[Packet] | PacketColumns",
         vocabulary: Vocabulary,
         max_len: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -60,11 +61,10 @@ class ByteTokenizer(PacketTokenizer):
 
         The token strings are never materialized — every packet's wire bytes
         map straight to vocabulary ids via one table gather, then scatter into
-        the padded matrix.
+        the padded matrix.  With a :class:`~repro.net.columns.PacketColumns`
+        batch even the wire bytes come from vectorized column serialization.
         """
-        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet, limit=max_len)
-        lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
-        flat = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        flat, lengths = _raw_flat(packets, self.max_bytes, self.skip_ethernet, limit=max_len)
         table = np.fromiter(
             (vocabulary.token_to_id(f"0x{b:02x}") for b in range(256)), dtype=np.int32, count=256
         )
@@ -97,15 +97,15 @@ class HexCharTokenizer(PacketTokenizer):
 
     def encode_batch(
         self,
-        packets: Sequence[Packet],
+        packets: "Sequence[Packet] | PacketColumns",
         vocabulary: Vocabulary,
         max_len: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized encode: interleave high/low nibbles, one 16-entry gather."""
         byte_limit = None if max_len is None else (max_len + 1) // 2
-        slices = _raw_slices(packets, self.max_bytes, self.skip_ethernet, limit=byte_limit)
-        byte_lengths = np.fromiter((len(s) for s in slices), dtype=np.int64, count=len(slices))
-        flat = np.frombuffer(b"".join(slices), dtype=np.uint8)
+        flat, byte_lengths = _raw_flat(
+            packets, self.max_bytes, self.skip_ethernet, limit=byte_limit
+        )
         nibbles = np.empty(flat.size * 2, dtype=np.uint8)
         nibbles[0::2] = flat >> 4
         nibbles[1::2] = flat & 0xF

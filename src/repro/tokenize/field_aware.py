@@ -12,23 +12,54 @@ and bucketed tokens for numerical fields (lengths, TTLs).  Domain names are
 split into registrable-domain + per-label subtokens so that rare hostnames
 share structure with their parent domain (the sub-word idea transplanted to
 DNS names).
+
+Examples
+--------
+>>> from repro.net import build_packet
+>>> from repro.tokenize import FieldAwareTokenizer
+>>> packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP",
+...                       src_port=49877, dst_port=443)
+>>> FieldAwareTokenizer().tokenize_packet(packet)
+['ip.proto=TCP', 'len<=64', 'ip.ttl=<=64', 'tp=tcp', 'tcp.dport=443', \
+'tcp.sport=ephemeral', 'tcp.flags=NONE', 'tcp.win=<=65535']
+
+The columnar batch path produces identical rows; see
+:meth:`FieldAwareTokenizer.encode_batch`.
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
 from typing import Sequence
 
 import numpy as np
 
-from ..net.dns import DNSMessage
+from ..net.addresses import int_to_ipv4
+from ..net.columns import (
+    APP_DNS,
+    APP_HTTP_REQUEST,
+    APP_HTTP_RESPONSE,
+    APP_NONE,
+    APP_NTP,
+    APP_OTHER,
+    APP_TLS_CLIENT,
+    APP_TLS_SERVER,
+    PacketColumns,
+    TRANSPORT_ICMP,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+    as_packets,
+)
+from ..net.dns import DNSMessage, RECORD_TYPES
 from ..net.headers import ICMPHeader, TCPHeader, UDPHeader
 from ..net.http import HTTPRequest, HTTPResponse
 from ..net.ntp import NTPPacket
 from ..net.packet import Packet
-from ..net.ports import port_service, protocol_name
+from ..net.ports import WELL_KNOWN_PORTS, port_service, protocol_name
 from ..net.tls import TLSClientHello, TLSServerHello
-from .base import LENGTH_BUCKET_BOUNDS, PacketTokenizer
+from .base import LENGTH_BUCKET_BOUNDS, PacketTokenizer, _scatter_ids
+from .vocab import Vocabulary
 
 __all__ = ["FieldAwareTokenizer"]
 
@@ -36,11 +67,29 @@ __all__ = ["FieldAwareTokenizer"]
 # vectorized batch path both derive their tokens from these bounds.
 _LENGTH_BOUNDS = np.array(LENGTH_BUCKET_BOUNDS)
 _TTL_BOUNDS = np.array([32, 64, 128, 255])
+_WINDOW_BOUNDS = np.array([1024, 8192, 32768, 65535])
+
+#: Tokens emitted for each transport kind (none/TCP/UDP/ICMP), indexed by
+#: :data:`repro.net.columns.PacketColumns.transport_kind` values.
+_TRANSPORT_TOKEN_COUNT = np.array([0, 5, 3, 3], dtype=np.int64)
+
+# Sorted registries used by the columnar fast path to classify whole port and
+# DNS-record-type columns without per-value Python dispatch.
+_KNOWN_PORTS = np.array(sorted(WELL_KNOWN_PORTS), dtype=np.int64)
+_DOMAIN_RECORD_TYPES = frozenset(
+    RECORD_TYPES[name] for name in ("CNAME", "NS", "PTR", "MX")
+)
 
 
 @functools.lru_cache(maxsize=256)
 def _proto_token(protocol: int) -> str:
     return f"ip.proto={protocol_name(protocol)}"
+
+
+@functools.lru_cache(maxsize=256)
+def _tcp_flags_token(flags: int) -> str:
+    names = "+".join(TCPHeader(flags=flags).flag_names()) or "NONE"
+    return f"tcp.flags={names}"
 
 
 class FieldAwareTokenizer(PacketTokenizer):
@@ -80,13 +129,415 @@ class FieldAwareTokenizer(PacketTokenizer):
         tokens.extend(self._application_tokens(packet))
         return tokens
 
-    def tokenize_trace(self, packets: Sequence[Packet]) -> list[list[str]]:
+    def tokenize_trace(
+        self, packets: "Sequence[Packet] | PacketColumns"
+    ) -> list[list[str]]:
         """Batch tokenization with the IP-layer buckets computed as array ops."""
+        packets = as_packets(packets)
         ip_rows = self._ip_tokens_batch(packets)
         return [
             ip_tokens + self._transport_tokens(p) + self._application_tokens(p)
             for ip_tokens, p in zip(ip_rows, packets)
         ]
+
+    def encode_batch(
+        self,
+        packets: "Sequence[Packet] | PacketColumns",
+        vocabulary: Vocabulary,
+        max_len: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar encode: rows grouped by protocol, fields mapped by column.
+
+        Given a :class:`~repro.net.columns.PacketColumns` batch, every
+        protocol layer is tokenized with whole-column operations: bucketed
+        fields go through one ``searchsorted`` per column, categorical fields
+        through one unique-value table per column, and rows are grouped by
+        transport and application protocol so each group's token layout is
+        assembled with array scatters instead of per-packet dispatch.
+        Application payloads of unknown types (``APP_OTHER`` rows) fall back
+        to the per-packet tokenizer, keeping the output identical to
+        ``vocabulary.encode(self.tokenize_packet(p))`` for every row.
+
+        Packet-list input keeps the pre-columnar batch path (per-packet token
+        lists funnelled through ``encode_ids_batch``) — converting to columns
+        just to encode once would spend the conversion's one-time cost on a
+        single consumer; convert with ``PacketColumns.from_packets`` and pass
+        the columns when the trace is used more than once.
+        """
+        if not isinstance(packets, PacketColumns):
+            return super().encode_batch(packets, vocabulary, max_len=max_len)
+        columns = packets
+        n = len(columns)
+        if n == 0:
+            return vocabulary.encode_ids_batch([], max_len=max_len)
+
+        token_ids: dict[str, int] = {}
+        to_id = vocabulary.token_to_id
+
+        def tid(token: str) -> int:
+            value = token_ids.get(token)
+            if value is None:
+                value = to_id(token)
+                token_ids[token] = value
+            return value
+
+        def table_ids(values: np.ndarray, render) -> np.ndarray:
+            """Map an integer column to token ids via its unique values."""
+            uniq, inverse = np.unique(values, return_inverse=True)
+            table = np.fromiter((tid(render(int(v))) for v in uniq), np.int32, len(uniq))
+            return table[inverse]
+
+        # --- IP layer: one searchsorted per bucketed column ------------
+        ip_rows = np.flatnonzero(columns.has_ip)
+        tokens_per_ip_row = 3 + (2 if self.include_addresses else 0)
+        ip_lens = np.where(columns.has_ip, tokens_per_ip_row, 0)
+        ip_parts: list[np.ndarray] = []
+        if len(ip_rows):
+            ip_parts.append(table_ids(columns.ip_protocol[ip_rows], _proto_token))
+            length_table = self._length_bucket_table(tid)
+            ip_parts.append(
+                length_table[np.searchsorted(_LENGTH_BOUNDS, columns.ip_total_length[ip_rows])]
+            )
+            ttl_tokens = [f"ip.ttl={self._ttl_bucket(int(b))}" for b in _TTL_BOUNDS] + [
+                f"ip.ttl={self._ttl_bucket(int(_TTL_BOUNDS[-1]) + 1)}"
+            ]
+            ttl_table = np.fromiter((tid(t) for t in ttl_tokens), np.int32, len(ttl_tokens))
+            ip_parts.append(ttl_table[np.searchsorted(_TTL_BOUNDS, columns.ip_ttl[ip_rows])])
+            if self.include_addresses:
+                # Render from the recorded address *spelling*, as the
+                # per-packet path does ('.'.join(src_ip.split('.')[:2])), so
+                # non-canonical spellings tokenize identically.
+                ip_names = columns.ip_names
+                overrides = columns.spelling_overrides
+
+                def address_token(label: str, spelling: str) -> str:
+                    return f"ip.{label}={'.'.join(spelling.split('.')[:2])}"
+
+                for column, field, label in (
+                    (columns.ip_src, "ip_src", "src16"),
+                    (columns.ip_dst, "ip_dst", "dst16"),
+                ):
+                    part = table_ids(
+                        column[ip_rows],
+                        lambda v, label=label: address_token(
+                            label, ip_names.get(v) or int_to_ipv4(v)
+                        ),
+                    )
+                    if overrides:
+                        for (over_field, row), spelling in overrides.items():
+                            if over_field == field and columns.has_ip[row]:
+                                position = int(np.searchsorted(ip_rows, row))
+                                part[position] = tid(address_token(label, spelling))
+                    ip_parts.append(part)
+
+        # --- Transport layer: one group per transport kind --------------
+        kind = columns.transport_kind
+        tp_lens = _TRANSPORT_TOKEN_COUNT[kind]
+        tcp_rows = np.flatnonzero(kind == TRANSPORT_TCP)
+        udp_rows = np.flatnonzero(kind == TRANSPORT_UDP)
+        icmp_rows = np.flatnonzero(kind == TRANSPORT_ICMP)
+        def port_ids(values: np.ndarray, prefix: str) -> np.ndarray:
+            """Port columns mapped to ids with the big ranges short-circuited.
+
+            Ephemeral (>= 49152) and unregistered ports each map to a single
+            token, so only well-known ports go through per-value rendering —
+            without this, every distinct client port would cost a
+            ``_port_token`` call.
+            """
+            out = np.empty(len(values), dtype=np.int32)
+            known_idx = np.searchsorted(_KNOWN_PORTS, values)
+            known = (known_idx < len(_KNOWN_PORTS)) & (
+                _KNOWN_PORTS[np.minimum(known_idx, len(_KNOWN_PORTS) - 1)] == values
+            )
+            ephemeral = ~known & (values >= 49152)
+            unknown = ~known & ~ephemeral
+            if ephemeral.any():
+                out[ephemeral] = tid(f"{prefix}=ephemeral")
+            if unknown.any():
+                out[unknown] = tid(f"{prefix}=unknown")
+            if known.any():
+                out[known] = table_ids(values[known], lambda p: f"{prefix}={self._port_token(p)}")
+            return out
+
+        tcp_parts: list[np.ndarray] = []
+        if len(tcp_rows):
+            tcp_parts.append(np.full(len(tcp_rows), tid("tp=tcp"), dtype=np.int32))
+            tcp_parts.append(port_ids(columns.dst_port[tcp_rows], "tcp.dport"))
+            tcp_parts.append(port_ids(columns.src_port[tcp_rows], "tcp.sport"))
+            tcp_parts.append(table_ids(columns.tcp_flags[tcp_rows], _tcp_flags_token))
+            window_tokens = [f"tcp.win={self._window_bucket(int(b))}" for b in _WINDOW_BOUNDS] + [
+                f"tcp.win={self._window_bucket(int(_WINDOW_BOUNDS[-1]) + 1)}"
+            ]
+            window_table = np.fromiter((tid(t) for t in window_tokens), np.int32, len(window_tokens))
+            tcp_parts.append(
+                window_table[np.searchsorted(_WINDOW_BOUNDS, columns.tcp_window[tcp_rows])]
+            )
+        udp_parts: list[np.ndarray] = []
+        if len(udp_rows):
+            udp_parts.append(np.full(len(udp_rows), tid("tp=udp"), dtype=np.int32))
+            udp_parts.append(port_ids(columns.dst_port[udp_rows], "udp.dport"))
+            udp_parts.append(port_ids(columns.src_port[udp_rows], "udp.sport"))
+        icmp_parts: list[np.ndarray] = []
+        if len(icmp_rows):
+            icmp_parts.append(np.full(len(icmp_rows), tid("tp=icmp"), dtype=np.int32))
+            icmp_parts.append(table_ids(columns.icmp_type[icmp_rows], "icmp.type={}".format))
+            icmp_parts.append(table_ids(columns.icmp_code[icmp_rows], "icmp.code={}".format))
+
+        # --- Application layer: one group per application protocol ------
+        app_ids, app_lens = self._application_ids(columns, tid)
+
+        # --- Assembly: scatter every group into one flat id stream ------
+        row_lens = ip_lens + tp_lens + app_lens
+        starts = np.cumsum(row_lens) - row_lens
+        flat = np.empty(int(row_lens.sum()), dtype=np.int32)
+        for offset, part in enumerate(ip_parts):
+            flat[starts[ip_rows] + offset] = part
+        for rows, parts in ((tcp_rows, tcp_parts), (udp_rows, udp_parts), (icmp_rows, icmp_parts)):
+            base = starts[rows] + ip_lens[rows]
+            for offset, part in enumerate(parts):
+                flat[base + offset] = part
+        app_rows = np.flatnonzero(app_lens)
+        if len(app_rows):
+            counts = app_lens[app_rows]
+            app_flat = np.array(
+                list(itertools.chain.from_iterable(app_ids)), dtype=np.int32
+            )
+            app_base = starts[app_rows] + ip_lens[app_rows] + tp_lens[app_rows]
+            within = np.arange(len(app_flat)) - np.repeat(np.cumsum(counts) - counts, counts)
+            flat[np.repeat(app_base, counts) + within] = app_flat
+
+        if max_len is not None and row_lens.max(initial=0) > max_len:
+            within_row = np.arange(len(flat)) - np.repeat(starts, row_lens)
+            flat = flat[within_row < max_len]
+            row_lens = np.minimum(row_lens, max_len)
+        return _scatter_ids(flat, row_lens, vocabulary.pad_id, max_len)
+
+    def _length_bucket_table(self, tid) -> np.ndarray:
+        """Token ids of every length bucket (bounds + overflow), in searchsorted order."""
+        tokens = [self.length_bucket(int(b)) for b in _LENGTH_BOUNDS] + [
+            self.length_bucket(int(_LENGTH_BOUNDS[-1]) + 1)
+        ]
+        return np.fromiter((tid(t) for t in tokens), np.int32, len(tokens))
+
+    def _application_ids(self, columns: PacketColumns, tid) -> tuple[list, np.ndarray]:
+        """Per-row application token ids, tokenized group-by-group.
+
+        Each known application protocol is handled in its own pass with
+        per-value caches, so repeated field values (hosts, record types,
+        ciphersuites, user agents) cost one token construction and one
+        vocabulary lookup for the whole batch.  Rows tagged ``APP_OTHER``
+        (application objects the columnar schema does not know) fall back to
+        the per-packet path.
+        """
+        n = len(columns)
+        kinds = columns.app_kind
+        apps = columns.applications
+        app_ids: list = [()] * n
+        app_lens = [0] * n
+
+        domain_tokens = self._domain_tokens
+
+        def make_domain_ids(prefix: str):
+            cache: dict[str, tuple[int, ...]] = {}
+
+            def domain_ids(domain: str) -> tuple[int, ...]:
+                value = cache.get(domain)
+                if value is None:
+                    value = tuple(tid(t) for t in domain_tokens(prefix, domain))
+                    cache[domain] = value
+                return value
+
+            return domain_ids
+
+        rows = np.flatnonzero(kinds == APP_DNS)
+        if len(rows):
+            dns_id = tid("app=dns")
+            qr = (tid("dns.qr=query"), tid("dns.qr=response"))
+            qname_ids = make_domain_ids("dns.qname")
+            adata_ids = make_domain_ids("dns.adata")
+            rcode_cache: dict = {}
+            question_cache: dict = {}
+            atype_cache: dict = {}
+            count_cache: dict = {}
+            # Answer-free messages (plain queries) repeat the same handful of
+            # (flags, question) shapes, so their whole token run is cached.
+            message_cache: dict = {}
+            cap = self.max_dns_answers
+
+            def question_ids(question) -> tuple[int, ...]:
+                key = (question.qtype, question.name)
+                value = question_cache.get(key)
+                if value is None:
+                    value = question_cache[key] = (
+                        tid(f"dns.qtype={question.type_name}"),
+                        *qname_ids(question.name),
+                    )
+                return value
+
+            for i in rows.tolist():
+                message = apps[i]
+                questions = message.questions
+                answers = message.answers
+                if not answers and len(questions) == 1:
+                    question = questions[0]
+                    key = (message.is_response, message.rcode, question.qtype, question.name)
+                    ids = message_cache.get(key)
+                    if ids is None:
+                        ids = [dns_id, qr[message.is_response]]
+                        if message.rcode:
+                            ids.append(tid(f"dns.rcode={message.rcode}"))
+                        ids.extend(question_ids(question))
+                        message_cache[key] = ids
+                    app_ids[i] = ids
+                    app_lens[i] = len(ids)
+                    continue
+                ids = [dns_id, qr[message.is_response]]
+                rcode = message.rcode
+                if rcode:
+                    value = rcode_cache.get(rcode)
+                    if value is None:
+                        value = rcode_cache[rcode] = tid(f"dns.rcode={rcode}")
+                    ids.append(value)
+                for question in questions[:2]:
+                    ids.extend(question_ids(question))
+                if answers:
+                    count_key = min(len(answers), cap)
+                    count_id = count_cache.get(count_key)
+                    if count_id is None:
+                        count_id = count_cache[count_key] = tid(f"dns.answers={count_key}")
+                    for answer in answers[:cap]:
+                        rtype = answer.rtype
+                        value = atype_cache.get(rtype)
+                        if value is None:
+                            value = atype_cache[rtype] = tid(f"dns.atype={answer.type_name}")
+                        ids.append(value)
+                        if rtype in _DOMAIN_RECORD_TYPES:
+                            ids.extend(adata_ids(answer.rdata.split(" ")[-1]))
+                        else:
+                            ids.append(count_id)
+                app_ids[i] = ids
+                app_lens[i] = len(ids)
+
+        rows = np.flatnonzero(kinds == APP_HTTP_REQUEST)
+        if len(rows):
+            http_id = tid("app=http")
+            host_ids = make_domain_ids("http.host")
+            method_cache: dict = {}
+            path_cache: dict = {}
+            ua_cache: dict = {}
+            for i in rows.tolist():
+                request = apps[i]
+                method = request.method
+                method_id = method_cache.get(method)
+                if method_id is None:
+                    method_id = method_cache[method] = tid(f"http.method={method}")
+                path = request.path
+                path_id = path_cache.get(path)
+                if path_id is None:
+                    path_id = path_cache[path] = tid(f"http.path={self._path_token(path)}")
+                user_agent = request.user_agent
+                ua_id = ua_cache.get(user_agent)
+                if ua_id is None:
+                    ua_id = ua_cache[user_agent] = tid(
+                        f"http.ua={self._user_agent_family(user_agent)}"
+                    )
+                ids = [http_id, method_id, path_id, *host_ids(request.host), ua_id]
+                app_ids[i] = ids
+                app_lens[i] = len(ids)
+
+        rows = np.flatnonzero(kinds == APP_HTTP_RESPONSE)
+        if len(rows):
+            http_id = tid("app=http")
+            status_cache: dict = {}
+            ctype_cache: dict = {}
+            clen_cache: dict = {}
+            for i in rows.tolist():
+                response = apps[i]
+                status = response.status
+                status_id = status_cache.get(status)
+                if status_id is None:
+                    status_id = status_cache[status] = tid(f"http.status={status}")
+                ctype = response.content_type
+                ctype_id = ctype_cache.get(ctype)
+                if ctype_id is None:
+                    ctype_id = ctype_cache[ctype] = tid(f"http.ctype={ctype.split('/')[0]}")
+                clen = response.content_length
+                clen_id = clen_cache.get(clen)
+                if clen_id is None:
+                    clen_id = clen_cache[clen] = tid(f"http.clen={self.length_bucket(clen)}")
+                app_ids[i] = (http_id, status_id, ctype_id, clen_id)
+                app_lens[i] = 4
+
+        rows = np.flatnonzero(kinds == APP_TLS_CLIENT)
+        if len(rows):
+            header = (tid("app=tls"), tid("tls.msg=client-hello"))
+            sni_ids = make_domain_ids("tls.sni")
+            suites_cache: dict = {}
+            cap = self.max_ciphersuites
+            for i in rows.tolist():
+                hello = apps[i]
+                # Hellos offer one of a few fixed suite lists; the whole
+                # suite token run is cached per distinct offer.
+                suites_key = tuple(hello.ciphersuites[:cap])
+                suite_run = suites_cache.get(suites_key)
+                if suite_run is None:
+                    suite_run = suites_cache[suites_key] = tuple(
+                        tid(f"tls.cs={suite}") for suite in suites_key
+                    )
+                ids = [*header, *sni_ids(hello.server_name), *suite_run]
+                app_ids[i] = ids
+                app_lens[i] = len(ids)
+
+        rows = np.flatnonzero(kinds == APP_TLS_SERVER)
+        if len(rows):
+            header = (tid("app=tls"), tid("tls.msg=server-hello"))
+            suite_cache = {}
+            for i in rows.tolist():
+                suite = apps[i].ciphersuite
+                value = suite_cache.get(suite)
+                if value is None:
+                    value = suite_cache[suite] = tid(f"tls.cs={suite}")
+                app_ids[i] = (*header, value)
+                app_lens[i] = 3
+
+        rows = np.flatnonzero(kinds == APP_NTP)
+        if len(rows):
+            ntp_cache: dict = {}
+            for i in rows.tolist():
+                packet = apps[i]
+                key = (packet.mode, packet.stratum)
+                ids = ntp_cache.get(key)
+                if ids is None:
+                    ids = ntp_cache[key] = (
+                        tid("app=ntp"),
+                        tid(f"ntp.mode={packet.mode}"),
+                        tid(f"ntp.stratum={packet.stratum}"),
+                    )
+                app_ids[i] = ids
+                app_lens[i] = 3
+
+        # Raw payloads: application absent (or raw bytes) with a non-empty
+        # *original* payload, exactly the per-packet condition.
+        raw = (kinds == APP_NONE) & (columns.payload_lengths > 0)
+        raw &= ~columns.payload_from_application
+        rows = np.flatnonzero(raw)
+        if len(rows):
+            raw_id = tid("app=raw")
+            length_table = self._length_bucket_table(tid)
+            buckets = length_table[
+                np.searchsorted(_LENGTH_BOUNDS, columns.payload_lengths[rows])
+            ]
+            for i, bucket in zip(rows.tolist(), buckets.tolist()):
+                app_ids[i] = (raw_id, bucket)
+                app_lens[i] = 2
+
+        rows = np.flatnonzero(kinds == APP_OTHER)
+        if len(rows):
+            for i in rows.tolist():
+                ids = [tid(t) for t in self._application_tokens(columns.packet(i))]
+                app_ids[i] = ids
+                app_lens[i] = len(ids)
+        return app_ids, np.array(app_lens, dtype=np.int64)
 
     def _ip_tokens_batch(self, packets: Sequence[Packet]) -> list[list[str]]:
         """Vectorized :meth:`_ip_tokens`: one searchsorted per bucketed field."""
@@ -229,10 +680,10 @@ class FieldAwareTokenizer(PacketTokenizer):
 
     @staticmethod
     def _window_bucket(window: int) -> str:
-        for bound in (1024, 8192, 32768, 65535):
+        for bound in _WINDOW_BOUNDS:
             if window <= bound:
                 return f"<={bound}"
-        return ">65535"
+        return f">{_WINDOW_BOUNDS[-1]}"
 
     @staticmethod
     @functools.lru_cache(maxsize=8192)

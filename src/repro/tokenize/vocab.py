@@ -2,6 +2,18 @@
 
 All tokenizers in this package share the same special-token convention,
 mirroring BERT: ``[PAD]``, ``[UNK]``, ``[CLS]``, ``[SEP]``, ``[MASK]``.
+
+Examples
+--------
+>>> from repro.tokenize import Vocabulary
+>>> vocabulary = Vocabulary.build([["tp=tcp", "tcp.dport=443"], ["tp=tcp"]])
+>>> vocabulary.encode(["tp=tcp", "tcp.dport=443", "never-seen"])
+[5, 6, 1]
+>>> vocabulary.decode([5, 6, 1])
+['tp=tcp', 'tcp.dport=443', '[UNK]']
+>>> ids, mask = vocabulary.encode_ids_batch([["tp=tcp"], ["tp=tcp", "tcp.dport=443"]])
+>>> ids.tolist(), mask.tolist()
+([[5, 0], [5, 6]], [[True, False], [True, True]])
 """
 
 from __future__ import annotations

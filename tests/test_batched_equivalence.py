@@ -1,20 +1,29 @@
 """Batched fast paths must agree with the per-example reference paths.
 
-Three families of properties are checked:
+Four families of properties are checked:
 
 * every tokenizer's ``encode_batch`` row equals the per-packet
-  ``tokenize_packet`` + ``Vocabulary.encode`` pipeline;
+  ``tokenize_packet`` + ``Vocabulary.encode`` pipeline — for packet-list
+  input *and* for the columnar :class:`~repro.net.columns.PacketColumns`
+  fast path;
 * padded id matrices decode back to the original token lists losslessly;
 * the vectorized ``mask_tokens`` reproduces the legacy per-sequence masking
-  distribution (selection rate and 80/10/10 replacement split).
+  distribution (selection rate and 80/10/10 replacement split);
+* the columnar context/pretraining path (``encode_columns`` +
+  ``pretrain_encoded``) reproduces the object-based pipeline exactly.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.context import PacketContextBuilder, encode_contexts
+from repro.core import NetFMConfig, NetFoundationModel, Pretrainer, PretrainingConfig
 from repro.core.pretraining import make_segment_pairs_ids, mask_tokens
+from repro.net import APP_OTHER, PacketColumns, build_packet
 from repro.nn.data import PackedBatch, pack_batches
 from repro.tokenize import (
     BPETokenizer,
@@ -34,6 +43,11 @@ def trace():
         http_sessions=10, tls_sessions=10, iot_devices_per_type=1,
     )
     return EnterpriseScenario(config).generate()
+
+
+@pytest.fixture(scope="module")
+def columns(trace):
+    return PacketColumns.from_packets(trace)
 
 
 def _tokenizers(trace):
@@ -65,6 +79,72 @@ class TestEncodeBatchEquivalence:
             batched = tokenizer.tokenize_trace(trace)
             reference = [tokenizer.tokenize_packet(p) for p in trace]
             assert batched == reference, f"{name}: tokenize_trace diverged"
+
+    @pytest.mark.parametrize("max_len", [None, 32, 7])
+    def test_columnar_rows_match_per_packet_encoding(self, trace, columns, max_len):
+        """Every tokenizer over the columnar path equals the per-packet path."""
+        for name, tokenizer in _tokenizers(trace).items():
+            reference = [tokenizer.tokenize_packet(p) for p in trace]
+            vocabulary = Vocabulary.build(reference)
+            ids, mask = tokenizer.encode_batch(columns, vocabulary, max_len=max_len)
+            assert len(ids) == len(trace)
+            for row, tokens in enumerate(reference):
+                expected = vocabulary.encode(tokens if max_len is None else tokens[:max_len])
+                assert ids[row][mask[row]].tolist() == expected, (
+                    f"{name}: columnar row {row} diverged from the per-packet path"
+                )
+
+    def test_columnar_tokenize_trace_matches(self, trace, columns):
+        for name, tokenizer in _tokenizers(trace).items():
+            assert tokenizer.tokenize_trace(columns) == tokenizer.tokenize_trace(trace), (
+                f"{name}: tokenize_trace over columns diverged"
+            )
+
+    def test_field_aware_include_addresses_columnar(self, trace, columns):
+        tokenizer = FieldAwareTokenizer(include_addresses=True)
+        reference = [tokenizer.tokenize_packet(p) for p in trace]
+        vocabulary = Vocabulary.build(reference)
+        ids, mask = tokenizer.encode_batch(columns, vocabulary)
+        for row, tokens in enumerate(reference):
+            assert ids[row][mask[row]].tolist() == vocabulary.encode(tokens)
+
+    def test_include_addresses_noncanonical_spellings(self):
+        """Address tokens render from the original spelling on both paths."""
+        packets = [
+            build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2),
+            build_packet(0.1, "010.0.0.1", "10.0.0.2", "TCP", 3, 4),
+        ]
+        cols = PacketColumns.from_packets(packets)
+        tokenizer = FieldAwareTokenizer(include_addresses=True)
+        reference = [tokenizer.tokenize_packet(p) for p in packets]
+        assert "ip.src16=010.0" in reference[1]
+        vocabulary = Vocabulary.build(reference)
+        ids, mask = tokenizer.encode_batch(cols, vocabulary)
+        for row, tokens in enumerate(reference):
+            assert ids[row][mask[row]].tolist() == vocabulary.encode(tokens)
+
+    def test_unknown_application_falls_back_to_per_packet(self):
+        """APP_OTHER rows go through the per-packet tokenizer inside the batch."""
+
+        class Mystery:
+            pass
+
+        packets = [
+            build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 4000, 80),
+            dataclasses.replace(
+                build_packet(0.1, "10.0.0.1", "10.0.0.2", "TCP", 4000, 8081),
+                application=Mystery(),
+            ),
+            build_packet(0.2, "10.0.0.2", "10.0.0.1", "UDP", 53, 4001),
+        ]
+        cols = PacketColumns.from_packets(packets)
+        assert cols.app_kind[1] == APP_OTHER
+        tokenizer = FieldAwareTokenizer()
+        reference = [tokenizer.tokenize_packet(p) for p in packets]
+        vocabulary = Vocabulary.build(reference)
+        ids, mask = tokenizer.encode_batch(cols, vocabulary)
+        for row, tokens in enumerate(reference):
+            assert ids[row][mask[row]].tolist() == vocabulary.encode(tokens)
 
     def test_bpe_refit_invalidates_batch_tables(self, trace):
         tokenizer = BPETokenizer(num_merges=40, max_bytes=60).fit(trace[:100])
@@ -224,3 +304,64 @@ class TestPackedBatches:
         assert batch.width == 6
         np.testing.assert_array_equal(batch.token_ids, ids[[1, 3], :6])
         assert batch.token_ids.base is buffers[0]
+
+
+class TestColumnarTrainingPath:
+    """Columns -> encode_columns -> pretrain_encoded equals the object path."""
+
+    def test_encode_columns_matches_encode_contexts(self, trace, columns):
+        tokenizer = FieldAwareTokenizer()
+        builder = PacketContextBuilder(max_tokens=32)
+        contexts = builder.build(trace, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids_obj, mask_obj = encode_contexts(contexts, vocabulary, builder.max_tokens)
+        ids_col, mask_col = builder.encode_columns(columns, tokenizer, vocabulary)
+        np.testing.assert_array_equal(ids_obj, ids_col)
+        np.testing.assert_array_equal(mask_obj, mask_col)
+
+    def test_builders_accept_columns(self, trace, columns):
+        from repro.context import FlowContextBuilder
+
+        tokenizer = FieldAwareTokenizer()
+        for builder in (PacketContextBuilder(max_tokens=32), FlowContextBuilder(max_tokens=48)):
+            from_packets = builder.build(trace, tokenizer)
+            from_columns = builder.build(columns, tokenizer)
+            assert [c.tokens for c in from_columns] == [c.tokens for c in from_packets]
+            assert [c.label for c in from_columns] == [c.label for c in from_packets]
+
+    def test_pretrain_encoded_matches_pretrain(self, trace, columns):
+        tokenizer = FieldAwareTokenizer()
+        builder = PacketContextBuilder(max_tokens=32)
+        contexts = builder.build(trace, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids, mask = builder.encode_columns(columns, tokenizer, vocabulary)
+
+        def train(encoded: bool):
+            config = NetFMConfig(
+                vocab_size=len(vocabulary), d_model=16, num_layers=1, num_heads=2,
+                d_ff=32, max_len=32, dropout=0.0, seed=0,
+            )
+            model = NetFoundationModel(config)
+            pretrainer = Pretrainer(
+                model, vocabulary, PretrainingConfig(epochs=1, batch_size=8, seed=0)
+            )
+            if encoded:
+                return pretrainer.pretrain_encoded(ids, mask)
+            return pretrainer.pretrain(contexts)
+
+        np.testing.assert_allclose(train(True).losses, train(False).losses)
+
+    def test_pretrain_encoded_rejects_qa(self, columns):
+        vocabulary = Vocabulary(["x"])
+        config = NetFMConfig(
+            vocab_size=len(vocabulary), d_model=16, num_layers=1, num_heads=2,
+            d_ff=32, max_len=8, dropout=0.0, seed=0,
+        )
+        pretrainer = Pretrainer(
+            NetFoundationModel(config), vocabulary,
+            PretrainingConfig(objectives=("mlm", "qa"), seed=0),
+        )
+        ids = np.zeros((2, 8), dtype=np.int64)
+        mask = np.ones((2, 8), dtype=bool)
+        with pytest.raises(ValueError, match="qa"):
+            pretrainer.pretrain_encoded(ids, mask)

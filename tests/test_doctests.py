@@ -1,0 +1,32 @@
+"""Execute the usage examples embedded in module docstrings.
+
+The README and docs point at these examples; running them as doctests keeps
+them from rotting.  CI additionally runs this module through
+``python -m pytest tests/test_doctests.py`` in the docs job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+#: Modules whose docstring examples are part of the documented API surface.
+DOCTESTED_MODULES = [
+    "repro.net.packet",
+    "repro.net.columns",
+    "repro.tokenize.base",
+    "repro.tokenize.vocab",
+    "repro.tokenize.bpe",
+    "repro.tokenize.field_aware",
+    "repro.corpus.packets",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTESTED_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} has no doctests to run"
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest(s) failed"

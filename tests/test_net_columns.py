@@ -1,0 +1,222 @@
+"""PacketColumns: round-trip fidelity and vectorized wire serialization.
+
+The columnar batch type must be a lossless re-layout of a packet list —
+``from_packets``/``to_packets`` round-trip every layer object, payload and
+metadata dict exactly — and its ``wire_matrix`` must reproduce
+``Packet.to_bytes`` byte for byte (checksums included), because the byte-level
+tokenizers consume it directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    APP_DNS,
+    APP_NONE,
+    APP_OTHER,
+    DNSMessage,
+    DNSQuestion,
+    Packet,
+    PacketColumns,
+    build_packet,
+    parse_packet,
+)
+from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = EnterpriseScenarioConfig(
+        seed=3, duration=20.0, dns_clients=5, dns_queries_per_client=6,
+        http_sessions=10, tls_sessions=10, iot_devices_per_type=1,
+    )
+    return EnterpriseScenario(config).generate()
+
+
+class _OpaqueApp:
+    """An application object the columnar schema knows nothing about."""
+
+
+def _odd_payload_packets():
+    return [
+        # Truncated/odd-length raw payloads, no application layer.
+        build_packet(0.0, "10.0.0.1", "10.0.0.2", "UDP", 4000, 9999, application=b"\x01"),
+        build_packet(0.1, "10.0.0.1", "10.0.0.2", "UDP", 4000, 9999, application=b"abc"),
+        build_packet(0.2, "10.0.0.2", "10.0.0.1", "TCP", 80, 4001, application=b"x" * 7),
+        # Empty payload, no application at all.
+        build_packet(0.3, "10.0.0.3", "10.0.0.1", "TCP", 4002, 443),
+        # ICMP with an odd-length payload (checksum pads with a zero byte).
+        Packet(
+            timestamp=0.4,
+            ip=build_packet(0.4, "10.0.0.4", "10.0.0.1", "ICMP").ip,
+            transport=build_packet(0.4, "10.0.0.4", "10.0.0.1", "ICMP").transport,
+            payload=b"ping!",
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_trace_round_trips_exactly(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        assert columns.to_packets() == list(trace)
+
+    def test_odd_and_truncated_payloads(self):
+        packets = _odd_payload_packets()
+        columns = PacketColumns.from_packets(packets)
+        restored = columns.to_packets()
+        assert restored == packets
+        for original, back in zip(packets, restored):
+            assert back.payload == original.payload
+            assert back.to_bytes() == original.to_bytes()
+
+    def test_unknown_application_round_trips_as_other(self):
+        opaque = _OpaqueApp()
+        packet = build_packet(1.0, "10.0.0.1", "10.0.0.2", "TCP", 5000, 5001)
+        packet = dataclasses.replace(packet, application=opaque)
+        columns = PacketColumns.from_packets([packet])
+        assert columns.app_kind[0] == APP_OTHER
+        restored = columns.packet(0)
+        assert restored.application is opaque
+        assert restored == packet
+
+    def test_unencodable_application_raises_on_wire_not_round_trip(self):
+        """Rows whose app cannot be serialized round-trip fine but refuse
+        wire serialization, exactly as ``Packet.to_bytes`` would."""
+        packet = Packet(
+            timestamp=0.0,
+            ip=build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2).ip,
+            transport=build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2).transport,
+            application=_OpaqueApp(),
+            payload=b"",
+        )
+        columns = PacketColumns.from_packets([packet])
+        assert columns.payload_encode_failed[0]
+        assert columns.to_packets() == [packet]
+        with pytest.raises(TypeError):
+            packet.to_bytes()
+        with pytest.raises(TypeError):
+            columns.wire_matrix()
+
+    def test_mixed_address_spellings_round_trip(self):
+        """Two spellings of the same MAC/IP must both be restored exactly."""
+        lower = build_packet(
+            0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2, src_mac="aa:bb:cc:dd:ee:ff"
+        )
+        upper = build_packet(
+            0.1, "010.0.0.1", "10.0.0.2", "TCP", 3, 4, src_mac="AA:BB:CC:DD:EE:FF"
+        )
+        columns = PacketColumns.from_packets([lower, upper])
+        restored = columns.to_packets()
+        assert restored == [lower, upper]
+        assert restored[1].ethernet.src_mac == "AA:BB:CC:DD:EE:FF"
+        assert restored[1].ip.src_ip == "010.0.0.1"
+        # ...and survives concat, including collisions introduced by merging.
+        left = PacketColumns.from_packets([lower])
+        right = PacketColumns.from_packets([upper])
+        merged = PacketColumns.concat([left, right])
+        assert merged.to_packets() == [lower, upper]
+
+    def test_metadata_is_copied_not_shared(self, trace):
+        columns = PacketColumns.from_packets(trace[:5])
+        restored = columns.to_packets()
+        restored[0].metadata["mutated"] = True
+        assert "mutated" not in trace[0].metadata
+        assert "mutated" not in columns.metadata[0]
+
+    def test_app_kinds_and_payload_provenance(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        dns_rows = np.flatnonzero(columns.app_kind == APP_DNS)
+        assert len(dns_rows)
+        for i in dns_rows[:5]:
+            assert isinstance(columns.applications[i], DNSMessage)
+        # build_packet always materializes payload bytes, so nothing in a
+        # generated trace should be marked payload-from-application.
+        assert not columns.payload_from_application.any()
+
+    def test_payload_from_application_restores_empty_payload(self):
+        message = DNSMessage(questions=[DNSQuestion(name="example.com")])
+        packet = Packet(
+            timestamp=0.0,
+            ip=build_packet(0.0, "10.0.0.1", "10.0.0.2", "UDP", 4000, 53).ip,
+            transport=build_packet(0.0, "10.0.0.1", "10.0.0.2", "UDP", 4000, 53).transport,
+            application=message,
+            payload=b"",
+        )
+        columns = PacketColumns.from_packets([packet])
+        assert columns.payload_from_application[0]
+        assert columns.payload_lengths[0] == len(message.pack())
+        assert columns.packet(0).payload == b""
+        assert columns.app_kind[0] == APP_DNS
+
+    def test_parsed_packets_round_trip(self, trace):
+        reparsed = [parse_packet(p.to_bytes(), timestamp=p.timestamp) for p in trace[:50]]
+        columns = PacketColumns.from_packets(reparsed)
+        assert columns.to_packets() == reparsed
+
+    def test_empty_batch(self):
+        columns = PacketColumns.from_packets([])
+        assert len(columns) == 0
+        assert columns.to_packets() == []
+        matrix, lengths = columns.wire_matrix()
+        assert matrix.shape == (0, 0) and len(lengths) == 0
+
+
+class TestConcat:
+    def test_concat_preserves_rows(self, trace):
+        left = PacketColumns.from_packets(trace[:30])
+        right = PacketColumns.from_packets(trace[30:80])
+        merged = PacketColumns.concat([left, right])
+        assert len(merged) == 80
+        assert merged.to_packets() == list(trace[:80])
+
+    def test_concat_mixed_payload_widths(self):
+        small = PacketColumns.from_packets(_odd_payload_packets()[:2])
+        big = PacketColumns.from_packets(
+            [build_packet(9.0, "10.0.0.9", "10.0.0.1", "UDP", 1, 2, application=b"y" * 300)]
+        )
+        merged = PacketColumns.concat([small, big])
+        assert merged.payload.shape[1] == 300
+        assert merged.to_packets()[-1].payload == b"y" * 300
+
+
+class TestWireMatrix:
+    def test_wire_matrix_matches_to_bytes(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        matrix, lengths = columns.wire_matrix()
+        for i, packet in enumerate(trace):
+            assert matrix[i, : lengths[i]].tobytes() == packet.to_bytes()
+            assert not matrix[i, lengths[i] :].any()
+
+    @pytest.mark.parametrize("max_bytes,skip", [(None, True), (60, True), (60, False), (8, True)])
+    def test_wire_matrix_truncation_and_skip(self, trace, max_bytes, skip):
+        columns = PacketColumns.from_packets(trace)
+        matrix, lengths = columns.wire_matrix(max_bytes=max_bytes, skip_ethernet=skip)
+        for i, packet in enumerate(trace):
+            data = packet.to_bytes()
+            if skip and len(data) > 14:
+                data = data[14:]
+            if max_bytes is not None:
+                data = data[:max_bytes]
+            assert matrix[i, : lengths[i]].tobytes() == data
+
+    def test_wire_matrix_odd_payloads(self):
+        packets = _odd_payload_packets()
+        columns = PacketColumns.from_packets(packets)
+        matrix, lengths = columns.wire_matrix()
+        for i, packet in enumerate(packets):
+            assert matrix[i, : lengths[i]].tobytes() == packet.to_bytes()
+
+    def test_mixed_ethernet_presence_skip(self):
+        with_eth = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2)
+        without_eth = Packet(timestamp=0.1, ip=with_eth.ip, transport=with_eth.transport)
+        columns = PacketColumns.from_packets([with_eth, without_eth])
+        matrix, lengths = columns.wire_matrix(skip_ethernet=True)
+        for i, packet in enumerate([with_eth, without_eth]):
+            data = packet.to_bytes()
+            if len(data) > 14:
+                data = data[14:]
+            assert matrix[i, : lengths[i]].tobytes() == data

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans ``README.md`` and ``docs/*.md`` (or any paths given on the command
+line) for markdown links/images, and verifies that every non-external target
+exists relative to the file that references it (or to the repo root).
+External links (http/https/mailto) are not fetched — CI must not depend on
+the network.  Exits non-zero listing every broken link.
+
+Usage::
+
+    python tools/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists() and not (REPO_ROOT / target).resolve().exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    if not files:
+        print("no markdown files to check", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        errors.extend(check_file(path))
+        checked += 1
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{len(errors)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
