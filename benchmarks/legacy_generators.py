@@ -1,0 +1,558 @@
+"""Frozen pre-columnar traffic generators (benchmark baseline only).
+
+These are the per-object generator implementations exactly as they stood
+before the columnar pipeline rewrite (PR 3): every packet is assembled
+individually with scalar RNG draws and ``build_packet``.  The E14 throughput
+suite measures the columnar ``generate_columns()`` path against this
+reference — "object generation + conversion" — so the gated speedup tracks
+what the rewrite actually bought, independent of the (also faster) plan-based
+object path now in the library.
+
+Do not import this module outside the benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.net.addresses import random_ipv4, random_private_ipv4
+from repro.net.dns import DNSAnswer, DNSMessage, DNSQuestion, RECORD_TYPES
+from repro.net.headers import TCP_FLAG_ACK, TCP_FLAG_FIN, TCP_FLAG_PSH, TCP_FLAG_SYN
+from repro.net.http import COMMON_USER_AGENTS, HTTPRequest, HTTPResponse
+from repro.net.ntp import NTPPacket
+from repro.net.packet import Packet, build_packet
+from repro.net.ports import CIPHERSUITE_STRENGTH
+from repro.net.tls import TLSClientHello, TLSServerHello
+from repro.traffic.anomaly import AttackConfig, AttackGenerator
+from repro.traffic.base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from repro.traffic.domains import DomainSampler, domain_category
+from repro.traffic.dns_workload import CATEGORY_BEHAVIOUR, CategoryBehaviour, _DEFAULT_BEHAVIOUR, DNSWorkloadConfig
+from repro.traffic.http_workload import HTTPWorkloadConfig, TLSWorkloadConfig, _TLS_CLIENT_PROFILES, _PATHS
+from repro.traffic.iot import DEVICE_PROFILES, DeviceProfile, IoTWorkloadConfig
+from repro.traffic.interleave import interleave_at_capture_point
+from repro.traffic.scenario import EnterpriseScenarioConfig
+
+__all__ = [
+    "LegacyDNSWorkloadGenerator",
+    "LegacyHTTPWorkloadGenerator",
+    "LegacyTLSWorkloadGenerator",
+    "LegacyIoTWorkloadGenerator",
+    "LegacyEnterpriseScenario",
+]
+
+class LegacyDNSWorkloadGenerator(TrafficGenerator):
+    """Generate labelled DNS query/response traffic."""
+
+    def __init__(self, config: DNSWorkloadConfig | None = None):
+        super().__init__(config or DNSWorkloadConfig())
+        self.config: DNSWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(
+            rng, zipf_exponent=cfg.zipf_exponent, category_weights=cfg.category_weights
+        )
+        clients = [random_private_ipv4(rng, cfg.client_subnet) for _ in range(cfg.num_clients)]
+        packets: list[Packet] = []
+        for client in clients:
+            session_id = next_session_id()
+            times = np.sort(rng.uniform(0, cfg.duration, size=cfg.queries_per_client))
+            for offset in times:
+                packets.extend(
+                    self._one_transaction(
+                        rng, sampler, client, cfg.start_time + float(offset), session_id
+                    )
+                )
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    # ------------------------------------------------------------------
+    # One query/response transaction
+    # ------------------------------------------------------------------
+    def _one_transaction(
+        self,
+        rng: np.random.Generator,
+        sampler: DomainSampler,
+        client: str,
+        when: float,
+        session_id: int,
+    ) -> list[Packet]:
+        cfg = self.config
+        base_domain = sampler.sample()
+        category = domain_category(base_domain)
+        behaviour = CATEGORY_BEHAVIOUR.get(category, _DEFAULT_BEHAVIOUR)
+        domain = self._query_name(rng, base_domain, behaviour)
+        resolver = str(rng.choice(list(cfg.resolvers)))
+        src_port = int(rng.integers(49152, 65535))
+        transaction_id = int(rng.integers(0, 65536))
+        connection_id = next_connection_id()
+        qtype = self._query_type(rng, behaviour)
+        question = DNSQuestion(name=domain, qtype=qtype)
+
+        metadata = {
+            "application": "dns",
+            "domain": base_domain,
+            "domain_category": category,
+            "connection_id": connection_id,
+            "session_id": session_id,
+            "anomaly": False,
+        }
+
+        query = DNSMessage(transaction_id=transaction_id, questions=[question])
+        query_packet = build_packet(
+            when, client, resolver, "UDP", src_port, 53, application=query,
+            metadata=dict(metadata, direction="query"),
+        )
+
+        nxdomain = rng.random() < cfg.nxdomain_probability
+        answers = [] if nxdomain else self._answers(rng, domain, base_domain, qtype, behaviour)
+        response = DNSMessage(
+            transaction_id=transaction_id,
+            is_response=True,
+            questions=[question],
+            answers=answers,
+            rcode=3 if nxdomain else 0,
+        )
+        latency = float(rng.gamma(2.0, 0.01))
+        response_packet = build_packet(
+            when + latency, resolver, client, "UDP", 53, src_port, application=response,
+            metadata=dict(metadata, direction="response", nxdomain=nxdomain),
+        )
+        return [query_packet, response_packet]
+
+    def _query_name(
+        self, rng: np.random.Generator, base_domain: str, behaviour: CategoryBehaviour
+    ) -> str:
+        cfg = self.config
+        if rng.random() < cfg.novel_hostname_probability:
+            # A hostname label never seen in the training workload: models
+            # that memorised full names cannot rely on it.
+            label = f"srv{int(rng.integers(100, 999))}"
+            return f"{label}.{base_domain}"
+        if rng.random() < cfg.hostname_probability and behaviour.host_labels:
+            label = str(rng.choice(list(behaviour.host_labels)))
+            return f"{label}.{base_domain}"
+        return base_domain
+
+    @staticmethod
+    def _query_type(rng: np.random.Generator, behaviour: CategoryBehaviour) -> int:
+        roll = rng.random()
+        if roll < behaviour.mx_probability:
+            return RECORD_TYPES["MX"]
+        roll -= behaviour.mx_probability
+        if roll < behaviour.txt_probability:
+            return RECORD_TYPES["TXT"]
+        roll -= behaviour.txt_probability
+        if roll < behaviour.aaaa_probability:
+            return RECORD_TYPES["AAAA"]
+        return RECORD_TYPES["A"]
+
+    def _answers(
+        self,
+        rng: np.random.Generator,
+        query_name: str,
+        base_domain: str,
+        qtype: int,
+        behaviour: CategoryBehaviour,
+    ) -> list[DNSAnswer]:
+        cfg = self.config
+        ttl = max(int(behaviour.ttl_seconds * cfg.ttl_scale * float(rng.uniform(0.7, 1.3))), 5)
+        answers: list[DNSAnswer] = []
+        if qtype == RECORD_TYPES["MX"]:
+            for priority in (10, 20)[: int(rng.integers(1, 3))]:
+                answers.append(DNSAnswer(
+                    name=query_name, rtype=RECORD_TYPES["MX"], ttl=ttl,
+                    rdata=f"{priority} mx{priority // 10}.{base_domain}",
+                ))
+            return answers
+        if qtype == RECORD_TYPES["TXT"]:
+            answers.append(DNSAnswer(
+                name=query_name, rtype=RECORD_TYPES["TXT"], ttl=ttl,
+                rdata=f"v=spf1 include:{base_domain} ~all",
+            ))
+            return answers
+
+        target = query_name
+        if rng.random() < behaviour.cname_probability:
+            target = f"edge-{int(rng.integers(1, 9))}.cdn.{base_domain}"
+            answers.append(
+                DNSAnswer(name=query_name, rtype=RECORD_TYPES["CNAME"], ttl=ttl, rdata=target)
+            )
+        count = max(1, int(rng.poisson(behaviour.mean_answers)))
+        for _ in range(count):
+            if qtype == RECORD_TYPES["AAAA"]:
+                groups = rng.integers(0, 0xFFFF, size=4)
+                rdata = "2001:db8:" + ":".join(f"{g:x}" for g in groups)
+                answers.append(
+                    DNSAnswer(name=target, rtype=RECORD_TYPES["AAAA"], ttl=ttl, rdata=rdata)
+                )
+            else:
+                octets = rng.integers(1, 255, size=2)
+                rdata = f"93.{100 + int(octets[0]) % 90}.{octets[0]}.{octets[1]}"
+                answers.append(DNSAnswer(name=target, rtype=RECORD_TYPES["A"], ttl=ttl, rdata=rdata))
+        return answers
+
+
+class LegacyHTTPWorkloadGenerator(TrafficGenerator):
+    """Generate full HTTP/1.1 connections (handshake, request/response, FIN)."""
+
+    def __init__(self, config: HTTPWorkloadConfig | None = None):
+        super().__init__(config or HTTPWorkloadConfig())
+        self.config: HTTPWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(rng, category_weights=cfg.category_weights)
+        packets: list[Packet] = []
+        for _ in range(cfg.num_sessions):
+            client = random_private_ipv4(rng, cfg.client_subnet)
+            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
+            packets.extend(self._one_session(rng, sampler, client, when))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def _one_session(
+        self, rng: np.random.Generator, sampler: DomainSampler, client: str, when: float
+    ) -> list[Packet]:
+        cfg = self.config
+        domain = sampler.sample()
+        category = domain_category(domain)
+        server = random_ipv4(rng)
+        session_id = next_session_id()
+        connection_id = next_connection_id()
+        src_port = int(rng.integers(49152, 65535))
+        user_agent = str(rng.choice(COMMON_USER_AGENTS))
+        metadata = {
+            "application": "http",
+            "domain": domain,
+            "domain_category": category,
+            "connection_id": connection_id,
+            "session_id": session_id,
+            "anomaly": False,
+        }
+
+        packets: list[Packet] = []
+        rtt = float(rng.gamma(2.0, 0.01))
+        seq_client, seq_server = int(rng.integers(1, 2 ** 31)), int(rng.integers(1, 2 ** 31))
+
+        def tcp(time, src, dst, sport, dport, flags, seq=0, ack=0, application=None, extra=None):
+            md = dict(metadata)
+            if extra:
+                md.update(extra)
+            return build_packet(
+                time, src, dst, "TCP", sport, dport, application=application,
+                tcp_flags=flags, seq=seq, ack=ack, metadata=md,
+            )
+
+        # Three-way handshake.
+        packets.append(tcp(when, client, server, src_port, 80, TCP_FLAG_SYN, seq=seq_client))
+        packets.append(tcp(when + rtt, server, client, 80, src_port, TCP_FLAG_SYN | TCP_FLAG_ACK,
+                           seq=seq_server, ack=seq_client + 1))
+        packets.append(tcp(when + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                           seq=seq_client + 1, ack=seq_server + 1))
+
+        cursor = when + 2 * rtt
+        num_requests = max(1, int(rng.poisson(cfg.requests_per_session)))
+        for _ in range(num_requests):
+            cursor += float(rng.exponential(0.2))
+            path = str(rng.choice(_PATHS))
+            request = HTTPRequest(method="GET", path=path, host=domain, user_agent=user_agent)
+            packets.append(tcp(cursor, client, server, src_port, 80,
+                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_client, ack=seq_server,
+                               application=request, extra={"direction": "request"}))
+            error = rng.random() < cfg.error_rate
+            status = int(rng.choice([404, 500, 503])) if error else int(rng.choice([200, 200, 200, 301, 304]))
+            size = int(rng.exponential(cfg.mean_response_kb) * 1024) if status == 200 else int(rng.integers(0, 512))
+            content_type = "video/mp4" if category == "video" else "text/html"
+            response = HTTPResponse(status=status, content_length=size, content_type=content_type)
+            packets.append(tcp(cursor + rtt, server, client, 80, src_port,
+                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_server, ack=seq_client,
+                               application=response, extra={"direction": "response", "status": status}))
+            seq_client += len(request.encode())
+            seq_server += len(response.encode()) + size
+
+        # Teardown.
+        cursor += rtt
+        packets.append(tcp(cursor, client, server, src_port, 80, TCP_FLAG_FIN | TCP_FLAG_ACK,
+                           seq=seq_client, ack=seq_server))
+        packets.append(tcp(cursor + rtt, server, client, 80, src_port, TCP_FLAG_FIN | TCP_FLAG_ACK,
+                           seq=seq_server, ack=seq_client + 1))
+        packets.append(tcp(cursor + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                           seq=seq_client + 1, ack=seq_server + 1))
+        return packets
+
+
+class LegacyTLSWorkloadGenerator(TrafficGenerator):
+    """Generate TLS handshakes (ClientHello / ServerHello) over TCP port 443."""
+
+    def __init__(self, config: TLSWorkloadConfig | None = None):
+        super().__init__(config or TLSWorkloadConfig())
+        self.config: TLSWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        sampler = DomainSampler(rng, category_weights=cfg.category_weights)
+        profiles = list(_TLS_CLIENT_PROFILES)
+        if cfg.profile_weights is None:
+            weights = np.ones(len(profiles))
+        else:
+            weights = np.array([cfg.profile_weights.get(p, 0.0) for p in profiles], dtype=float)
+        if weights.sum() <= 0:
+            raise ValueError("profile weights must sum to a positive value")
+        weights = weights / weights.sum()
+        packets: list[Packet] = []
+        for _ in range(cfg.num_sessions):
+            client = random_private_ipv4(rng, cfg.client_subnet)
+            server = random_ipv4(rng)
+            profile = str(rng.choice(profiles, p=weights))
+            domain = sampler.sample()
+            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
+            packets.extend(self._handshake(rng, client, server, profile, domain, when))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def _handshake(
+        self,
+        rng: np.random.Generator,
+        client: str,
+        server: str,
+        profile: str,
+        domain: str,
+        when: float,
+    ) -> list[Packet]:
+        offered = list(_TLS_CLIENT_PROFILES[profile])
+        # Shuffle the tail so offers are not byte-identical across connections.
+        tail = offered[2:]
+        rng.shuffle(tail)
+        offered = offered[:2] + tail
+        strong = [c for c in offered if c in CIPHERSUITE_STRENGTH["strong"]]
+        selected = strong[0] if strong else offered[0]
+        connection_id = next_connection_id()
+        src_port = int(rng.integers(49152, 65535))
+        metadata = {
+            "application": "https",
+            "domain": domain,
+            "domain_category": domain_category(domain),
+            "tls_profile": profile,
+            "connection_id": connection_id,
+            "session_id": next_session_id(),
+            "selected_ciphersuite": selected,
+            "anomaly": False,
+        }
+        rtt = float(rng.gamma(2.0, 0.01))
+        client_hello = TLSClientHello(
+            ciphersuites=offered,
+            server_name=domain,
+            client_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
+        )
+        server_hello = TLSServerHello(
+            ciphersuite=selected,
+            server_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
+        )
+        hello = build_packet(
+            when, client, server, "TCP", src_port, 443, application=client_hello,
+            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="client-hello"),
+        )
+        reply = build_packet(
+            when + rtt, server, client, "TCP", 443, src_port, application=server_hello,
+            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="server-hello"),
+        )
+        return [hello, reply]
+
+
+class LegacyIoTWorkloadGenerator(TrafficGenerator):
+    """Generate traffic for a small lab of IoT devices, labelled per device type."""
+
+    def __init__(self, config: IoTWorkloadConfig | None = None):
+        super().__init__(config or IoTWorkloadConfig())
+        self.config: IoTWorkloadConfig
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        rng = cfg.rng()
+        packets: list[Packet] = []
+        host_index = 1
+        for device_type in cfg.device_types:
+            profile = DEVICE_PROFILES[device_type]
+            for _ in range(cfg.devices_per_type):
+                host_index += 1
+                device_ip = f"192.168.1.{host_index}"
+                device_mac = f"{profile.oui}:{rng.integers(0, 256):02x}:{rng.integers(0, 256):02x}:{rng.integers(0, 256):02x}"
+                packets.extend(self._device_trace(rng, profile, device_ip, device_mac))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def _device_trace(
+        self, rng: np.random.Generator, profile: DeviceProfile, device_ip: str, device_mac: str
+    ) -> list[Packet]:
+        cfg = self.config
+        packets: list[Packet] = []
+        session_id = next_session_id()
+        cursor = cfg.start_time + float(rng.uniform(0, profile.mean_interval))
+        base_metadata = {
+            "application": "iot",
+            "device": profile.name,
+            "session_id": session_id,
+            "anomaly": False,
+        }
+        while cursor < cfg.start_time + cfg.duration:
+            burst = self._activity_burst(rng, profile, device_ip, device_mac, cursor, base_metadata)
+            packets.extend(burst)
+            cursor += float(rng.exponential(profile.mean_interval))
+        return packets
+
+    def _activity_burst(
+        self,
+        rng: np.random.Generator,
+        profile: DeviceProfile,
+        device_ip: str,
+        device_mac: str,
+        when: float,
+        base_metadata: dict,
+    ) -> list[Packet]:
+        packets: list[Packet] = []
+        domain = str(rng.choice(list(profile.cloud_domains)))
+        cloud_ip = random_ipv4(rng)
+        connection_id = next_connection_id()
+        metadata = dict(base_metadata, domain=domain, connection_id=connection_id)
+        src_port = int(rng.integers(49152, 65535))
+
+        if profile.uses_ntp and rng.random() < 0.3:
+            ntp_md = dict(metadata, connection_id=next_connection_id())
+            packets.append(build_packet(
+                when, device_ip, "129.6.15.28", "UDP", src_port, 123,
+                application=NTPPacket(transmit_timestamp=when), metadata=ntp_md,
+                src_mac=device_mac,
+            ))
+            packets.append(build_packet(
+                when + 0.03, "129.6.15.28", device_ip, "UDP", 123, src_port,
+                application=NTPPacket(mode=4, stratum=2, transmit_timestamp=when + 0.03),
+                metadata=ntp_md, dst_mac=device_mac,
+            ))
+
+        # DNS lookup of the cloud endpoint.
+        txid = int(rng.integers(0, 65536))
+        question = DNSQuestion(name=domain)
+        dns_md = dict(metadata, connection_id=next_connection_id(), domain_category="iot-cloud")
+        packets.append(build_packet(
+            when + 0.05, device_ip, "192.168.1.1", "UDP", src_port, 53,
+            application=DNSMessage(transaction_id=txid, questions=[question]),
+            metadata=dict(dns_md, direction="query"), src_mac=device_mac,
+        ))
+        packets.append(build_packet(
+            when + 0.08, "192.168.1.1", device_ip, "UDP", 53, src_port,
+            application=DNSMessage(
+                transaction_id=txid, is_response=True, questions=[question],
+                answers=[DNSAnswer(name=domain, rdata=cloud_ip)],
+            ),
+            metadata=dict(dns_md, direction="response"), dst_mac=device_mac,
+        ))
+
+        cursor = when + 0.1
+        if profile.uses_mqtt:
+            # MQTT keep-alive / publish modelled as small TCP pushes on 8883.
+            payload = bytes(rng.integers(0, 256, size=max(profile.mean_payload // 4, 8), dtype=np.uint8).tolist())
+            packets.append(build_packet(
+                cursor, device_ip, cloud_ip, "TCP", src_port, 8883, application=payload,
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="publish"),
+                src_mac=device_mac,
+            ))
+            packets.append(build_packet(
+                cursor + 0.05, cloud_ip, device_ip, "TCP", 8883, src_port, application=b"\x40\x02\x00\x01",
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="ack"),
+                dst_mac=device_mac,
+            ))
+        if profile.https_beacon:
+            hello = TLSClientHello(ciphersuites=[0xC02F, 0xC030, 0x002F], server_name=domain)
+            packets.append(build_packet(
+                cursor + 0.1, device_ip, cloud_ip, "TCP", src_port, 443, application=hello,
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="client-hello"),
+                src_mac=device_mac,
+            ))
+            packets.append(build_packet(
+                cursor + 0.15, cloud_ip, device_ip, "TCP", 443, src_port,
+                application=TLSServerHello(ciphersuite=0xC02F),
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="server-hello"),
+                dst_mac=device_mac,
+            ))
+        if not profile.uses_mqtt and not profile.https_beacon:
+            # Plain HTTP status upload.
+            request = HTTPRequest(method="POST", path="/v1/status", host=domain, user_agent="iot-sensor-agent/1.2")
+            packets.append(build_packet(
+                cursor, device_ip, cloud_ip, "TCP", src_port, 80, application=request,
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="request"),
+                src_mac=device_mac,
+            ))
+            packets.append(build_packet(
+                cursor + 0.06, cloud_ip, device_ip, "TCP", 80, src_port,
+                application=HTTPResponse(status=204, content_length=0),
+                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="response"),
+                dst_mac=device_mac,
+            ))
+        return packets
+
+
+class LegacyEnterpriseScenario:
+    """Build a mixed, labelled enterprise border-router capture."""
+
+    def __init__(self, config: EnterpriseScenarioConfig | None = None):
+        self.config = config or EnterpriseScenarioConfig()
+
+    def generate(self) -> list[Packet]:
+        cfg = self.config
+        traces = []
+        traces.append(
+            LegacyDNSWorkloadGenerator(
+                DNSWorkloadConfig(
+                    seed=cfg.seed,
+                    duration=cfg.duration,
+                    num_clients=cfg.dns_clients,
+                    queries_per_client=cfg.dns_queries_per_client,
+                )
+            ).generate()
+        )
+        traces.append(
+            LegacyHTTPWorkloadGenerator(
+                HTTPWorkloadConfig(
+                    seed=cfg.seed + 1, duration=cfg.duration, num_sessions=cfg.http_sessions
+                )
+            ).generate()
+        )
+        traces.append(
+            LegacyTLSWorkloadGenerator(
+                TLSWorkloadConfig(
+                    seed=cfg.seed + 2, duration=cfg.duration, num_sessions=cfg.tls_sessions
+                )
+            ).generate()
+        )
+        traces.append(
+            LegacyIoTWorkloadGenerator(
+                IoTWorkloadConfig(
+                    seed=cfg.seed + 3,
+                    duration=cfg.duration,
+                    devices_per_type=cfg.iot_devices_per_type,
+                )
+            ).generate()
+        )
+        if cfg.include_attacks:
+            traces.append(
+                AttackGenerator(
+                    AttackConfig(
+                        seed=cfg.seed + 4,
+                        duration=cfg.duration,
+                        attack_types=cfg.attack_types,
+                    )
+                ).generate()
+            )
+        rng = np.random.default_rng(cfg.seed + 5)
+        return interleave_at_capture_point(
+            *traces,
+            rng=rng,
+            jitter_std=cfg.capture_jitter_std,
+            loss_rate=cfg.capture_loss_rate,
+        )

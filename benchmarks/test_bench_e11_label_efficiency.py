@@ -79,8 +79,14 @@ def test_bench_e11_label_efficiency(benchmark):
     )
     for name, row in rows.items():
         benchmark.extra_info[name] = row[f"{SHOT_COUNTS[0]}-shot"]
-    low_label = f"{SHOT_COUNTS[0]}-shot"
-    best_fm = max(rows["fm fine-tuned"][low_label], rows["fm prototype (no gradients)"][low_label])
     # In the scarce-label regime, approaches built on the pre-trained encoder
-    # should beat training a sequence model from scratch.
-    assert best_fm >= rows["gru from scratch"][low_label] - 0.02
+    # should beat training a sequence model from scratch.  The regime is the
+    # two lowest rungs averaged: a single 2-shot run draws only a handful of
+    # labelled examples, so any one rung is dominated by the draw.
+    scarce = [f"{shots}-shot" for shots in SHOT_COUNTS[:2]]
+    best_fm = max(
+        sum(rows[system][rung] for rung in scarce) / len(scarce)
+        for system in ("fm fine-tuned", "fm prototype (no gradients)")
+    )
+    scratch = sum(rows["gru from scratch"][rung] for rung in scarce) / len(scarce)
+    assert best_fm >= scratch - 0.02

@@ -181,9 +181,19 @@ class FlowContextBuilder(ContextBuilder):
 
     Uses ``metadata["connection_id"]`` when the generators provided it and
     falls back to the 5-tuple otherwise, so it also works on parsed pcaps.
+
+    Grouping is available in two forms: the per-object :meth:`_group` over
+    packet lists, and the columnar :meth:`group_columns` /
+    :meth:`encode_columns` pair, which derives connection-id columns from the
+    metadata, orders rows with one lexicographic argsort and assembles every
+    flow context with array scatters — no ``Packet`` or :class:`Context`
+    objects at all.
     """
 
     name = "flow"
+    #: Metadata key providing the group identity (overridden by sessions).
+    _id_key = "connection_id"
+    _id_prefix = "conn"
 
     def __init__(self, max_tokens: int = 128, label_key: str | None = "application", max_packets: int = 8):
         super().__init__(max_tokens=max_tokens, label_key=label_key)
@@ -206,11 +216,166 @@ class FlowContextBuilder(ContextBuilder):
             contexts.append(self._assemble([group], tokenizer, group_key=key))
         return contexts
 
+    # ------------------------------------------------------------------
+    # Columnar grouping
+    # ------------------------------------------------------------------
+    def _fallback_key(self, columns: PacketColumns, row: int) -> object:
+        """Group key of a row without the metadata id (parsed-pcap case)."""
+        src = columns._ip_name(int(columns.ip_src[row])) if columns.has_ip[row] else ""
+        dst = columns._ip_name(int(columns.ip_dst[row])) if columns.has_ip[row] else ""
+        src_port = int(columns.src_port[row])
+        dst_port = int(columns.dst_port[row])
+        (ip_a, port_a), (ip_b, port_b) = sorted([(src, src_port), (dst, dst_port)])
+        return str(FlowKey(
+            ip_a=ip_a, port_a=port_a, ip_b=ip_b, port_b=port_b,
+            protocol=int(columns.ip_protocol[row]),
+        ))
+
+    def _id_column(self, columns: PacketColumns) -> np.ndarray:
+        return columns.connection_ids
+
+    def _group_codes(self, columns: PacketColumns) -> np.ndarray:
+        """Per-row group codes, numbered in first-appearance order.
+
+        Matches the partition *and* ordering of the per-object ``_group``
+        dict.  When every row carries an integer id (the pre-extracted
+        ``connection_ids`` / ``session_ids`` column) the codes come from one
+        ``np.unique`` plus a first-occurrence re-ranking; rows missing the
+        id take a per-row dict pass with the same keys the object path
+        would build.
+        """
+        n = len(columns)
+        ids = self._id_column(columns)
+        if n and ids.min() < 0:
+            metadata = columns.metadata
+            key = self._id_key
+            table: dict[object, int] = {}
+            codes = np.empty(n, dtype=np.int64)
+            for row, md in enumerate(metadata):
+                if key in md:
+                    group = f"{self._id_prefix}-{md[key]}"
+                else:
+                    group = self._fallback_key(columns, row)
+                codes[row] = table.setdefault(group, len(table))
+            return codes
+        _, first_position, inverse = np.unique(ids, return_index=True, return_inverse=True)
+        rank = np.empty(len(first_position), dtype=np.int64)
+        rank[np.argsort(first_position, kind="stable")] = np.arange(len(first_position))
+        return rank[inverse]
+
+    def group_columns(self, columns: PacketColumns) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar ``_group``: flows as row-index slices of one argsort.
+
+        Returns ``(order, bounds)`` where rows ``order[bounds[g]:bounds[g+1]]``
+        form flow ``g`` in timestamp order; flows are numbered by first
+        appearance, exactly like the per-object grouping dict.
+        """
+        codes = self._group_codes(columns)
+        order = np.lexsort((columns.timestamps, codes))
+        if not len(order):
+            return order, np.zeros(1, dtype=np.int64)
+        sorted_codes = codes[order]
+        starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+        return order, np.r_[starts, len(order)]
+
+    def encode_columns(
+        self,
+        columns: PacketColumns,
+        tokenizer: PacketTokenizer,
+        vocabulary: Vocabulary,
+        return_labels: bool = False,
+    ):
+        """Encode flow contexts straight from a columnar batch.
+
+        Produces exactly ``encode_contexts(self.build(columns, tokenizer),
+        vocabulary, self.max_tokens)`` — ``[CLS] tokens... [SEP]`` per flow,
+        inner tokens cumulative-truncated to ``max_tokens - 2`` — without
+        materializing packets or contexts: grouping is one lexicographic
+        argsort, per-packet token rows come from the tokenizer's columnar
+        ``encode_batch``, and the flow rows are assembled with scatters.
+        With ``return_labels`` the per-flow majority labels (the ``Context.label``
+        values) are appended to the result.
+        """
+        cap = self.max_tokens - 2
+        order, bounds = self.group_columns(columns)
+        counts = np.diff(bounds)
+        num_groups = len(counts)
+        if not num_groups:
+            ids = np.full((0, self.max_tokens), vocabulary.pad_id, dtype=np.int64)
+            mask = np.zeros((0, self.max_tokens), dtype=bool)
+            return (ids, mask, []) if return_labels else (ids, mask)
+        # First max_packets rows of each flow, in flow-major order.
+        within = np.arange(len(order)) - np.repeat(bounds[:-1], counts)
+        keep = within < self.max_packets
+        rows = order[keep]
+        group_of = np.repeat(np.arange(num_groups), counts)[keep]
+        kept_counts = np.bincount(group_of, minlength=num_groups)
+
+        inner_ids, inner_mask = tokenizer.encode_batch(columns[rows], vocabulary, max_len=cap)
+        lengths = inner_mask.sum(axis=1)
+        # Cumulative truncation: each flow keeps the first max_tokens - 2
+        # inner tokens; a packet is part of the context iff it starts before
+        # that cap (mirroring _assemble's per-packet `remaining` loop).
+        flow_starts = np.cumsum(kept_counts) - kept_counts
+        prefix = np.cumsum(lengths) - lengths
+        prefix = prefix - np.repeat(prefix[flow_starts], kept_counts)
+        take = np.clip(cap - prefix, 0, lengths)
+        inner_totals = np.bincount(group_of, weights=take, minlength=num_groups).astype(np.int64)
+
+        ids = np.full((num_groups, self.max_tokens), vocabulary.pad_id, dtype=np.int64)
+        ids[:, 0] = vocabulary.cls_id
+        total = int(take.sum())
+        if total:
+            taken = np.arange(inner_ids.shape[1])[None, :] < take[:, None]
+            flat = inner_ids[taken]
+            dest_row = np.repeat(group_of, take)
+            offset = np.arange(total) - np.repeat(np.cumsum(take) - take, take)
+            dest_col = 1 + np.repeat(prefix, take) + offset
+            ids[dest_row, dest_col] = flat
+        ids[np.arange(num_groups), inner_totals + 1] = vocabulary.sep_id
+        mask = np.arange(self.max_tokens)[None, :] < (inner_totals + 2)[:, None]
+        if not return_labels:
+            return ids, mask
+        return ids, mask, self._labels_columns(columns, rows, group_of, prefix, num_groups)
+
+    def _labels_columns(
+        self,
+        columns: PacketColumns,
+        rows: np.ndarray,
+        group_of: np.ndarray,
+        prefix: np.ndarray,
+        num_groups: int,
+    ) -> list:
+        """Per-flow majority labels over the packets included in each context."""
+        if self.label_key is None:
+            return [None] * num_groups
+        key = self.label_key
+        metadata = columns.metadata
+        included = prefix < (self.max_tokens - 2)
+        values: list[list] = [[] for _ in range(num_groups)]
+        for row, group in zip(rows[included].tolist(), group_of[included].tolist()):
+            md = metadata[row]
+            if key in md:
+                values[group].append(md[key])
+        labels: list = []
+        for group_values in values:
+            if not group_values:
+                labels.append(None)
+                continue
+            unique, counts = np.unique(np.asarray(group_values, dtype=object), return_counts=True)
+            labels.append(str(unique[int(np.argmax(counts))]))
+        return labels
+
 
 class SessionContextBuilder(FlowContextBuilder):
     """One context per user-level session (may span several connections)."""
 
     name = "session"
+    _id_key = "session_id"
+    _id_prefix = "sess"
+
+    def _id_column(self, columns: PacketColumns) -> np.ndarray:
+        return columns.session_ids
 
     def _group(self, packets: Sequence[Packet]) -> dict[str, list[Packet]]:
         groups: dict[str, list[Packet]] = defaultdict(list)
@@ -221,6 +386,11 @@ class SessionContextBuilder(FlowContextBuilder):
                 key = packet.src_ip or "unknown"
             groups[key].append(packet)
         return groups
+
+    def _fallback_key(self, columns: PacketColumns, row: int) -> object:
+        if columns.has_ip[row]:
+            return columns._ip_name(int(columns.ip_src[row])) or "unknown"
+        return "unknown"
 
 
 class FirstMOfNContextBuilder(ContextBuilder):

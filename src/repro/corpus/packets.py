@@ -52,13 +52,20 @@ class PacketTraceCorpus:
 
     @classmethod
     def from_scenarios(cls, scenarios: Iterable) -> "PacketTraceCorpus":
-        """Generate every scenario and concatenate the columnarized traces.
+        """Generate every scenario and concatenate the columnar traces.
 
         ``scenarios`` is any iterable of objects with a ``generate() ->
         list[Packet]`` method (all of :mod:`repro.traffic`'s scenario and
-        workload generators qualify).
+        workload generators qualify).  Generators that synthesize columns
+        natively (``generate_columns``) never materialize packet objects at
+        all; others are generated and converted once.
         """
-        parts = [PacketColumns.from_packets(s.generate()) for s in scenarios]
+        parts = [
+            scenario.generate_columns()
+            if hasattr(scenario, "generate_columns")
+            else PacketColumns.from_packets(scenario.generate())
+            for scenario in scenarios
+        ]
         return cls(PacketColumns.concat(parts))
 
     def __len__(self) -> int:

@@ -35,6 +35,7 @@ True
 from __future__ import annotations
 
 import dataclasses
+import operator
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -121,6 +122,38 @@ def _ip_int(address: str, cache: dict[str, int], names: dict[int, str]) -> int:
     return value
 
 
+def _metadata_id_column(metadata: list, key: str) -> np.ndarray:
+    """Integer metadata ids (``connection_id`` / ``session_id``) as a column.
+
+    Rows whose metadata lacks the key — or carries a non-integer or negative
+    value — get ``-1``; the context builders fall back to per-row grouping
+    keys when any such row exists.
+    """
+    n = len(metadata)
+    try:
+        # Fast path: every row has an integer id.
+        return np.fromiter(map(operator.itemgetter(key), metadata), np.int64, n)
+    except (KeyError, TypeError, ValueError):
+        pass
+    column = np.full(n, -1, dtype=np.int64)
+    for row, md in enumerate(metadata):
+        value = md.get(key)
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool) and value >= 0:
+            column[row] = value
+    return column
+
+
+def _list_gather(rows: list):
+    """A C-speed row gather over Python lists (``operator.itemgetter`` based)."""
+    if not rows:
+        return lambda source: []
+    if len(rows) == 1:
+        index = rows[0]
+        return lambda source: [source[index]]
+    getter = operator.itemgetter(*rows)
+    return lambda source: list(getter(source))
+
+
 def _fold_checksum(total: np.ndarray) -> np.ndarray:
     """Vectorized RFC 1071 carry folding + one's complement."""
     total = total.astype(np.int64)
@@ -186,6 +219,12 @@ class PacketColumns:
     app_kind: np.ndarray
     applications: list
     metadata: list
+    # Grouping ids lifted out of the metadata dicts: the integer
+    # ``connection_id`` / ``session_id`` labels as columns (-1 where the
+    # metadata has no such id, or a non-integer one).  The flow/session
+    # context builders group whole traces with one argsort over these.
+    connection_ids: np.ndarray = None
+    session_ids: np.ndarray = None
     # Original address spellings (int -> string), so round-trips preserve
     # non-canonical inputs exactly.  When a trace contains *two* spellings of
     # the same address, the extra rows are recorded in ``spelling_overrides``
@@ -193,6 +232,12 @@ class PacketColumns:
     ip_names: dict = dataclasses.field(default_factory=dict, repr=False)
     mac_names: dict = dataclasses.field(default_factory=dict, repr=False)
     spelling_overrides: dict = dataclasses.field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.connection_ids is None:
+            self.connection_ids = _metadata_id_column(self.metadata, "connection_id")
+        if self.session_ids is None:
+            self.session_ids = _metadata_id_column(self.metadata, "session_id")
 
     # ------------------------------------------------------------------
     # Construction
@@ -452,6 +497,84 @@ class PacketColumns:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.timestamps)
+
+    def __getitem__(
+        self, index: "int | slice | np.ndarray | Sequence[int]"
+    ) -> "Packet | PacketColumns":
+        """Row selection: an int materializes one :class:`Packet`; a slice,
+        integer index array or boolean mask returns a new
+        :class:`PacketColumns` holding the selected rows (in the given
+        order, with repeats allowed for integer arrays).
+        """
+        if isinstance(index, (int, np.integer)):
+            n = len(self)
+            i = int(index)
+            if i < 0:
+                i += n
+            if not 0 <= i < n:
+                raise IndexError(f"row {index} out of range for {n} rows")
+            return self.packet(i)
+        if isinstance(index, slice):
+            rows = np.arange(len(self))[index]
+        else:
+            rows = np.asarray(index)
+            if rows.dtype == bool:
+                if len(rows) != len(self):
+                    raise IndexError(
+                        f"boolean mask of length {len(rows)} over {len(self)} rows"
+                    )
+                rows = np.flatnonzero(rows)
+            else:
+                rows = rows.astype(np.int64)
+                rows = np.where(rows < 0, rows + len(self), rows)
+                if len(rows) and (rows.min() < 0 or rows.max() >= len(self)):
+                    raise IndexError(f"row indices out of range for {len(self)} rows")
+        return self.select(rows)
+
+    def select(self, rows: np.ndarray) -> "PacketColumns":
+        """Gather ``rows`` (an int index array) into a new column batch."""
+        rows = np.asarray(rows, dtype=np.int64)
+        lengths = self.payload_lengths[rows]
+        width = int(lengths.max()) if len(rows) else 0
+        row_list = rows.tolist()
+        gather = _list_gather(row_list)
+        kwargs = {}
+        for field in dataclasses.fields(type(self)):
+            name = field.name
+            if name == "payload":
+                kwargs[name] = np.ascontiguousarray(self.payload[rows, :width])
+            elif name in ("applications", "metadata"):
+                kwargs[name] = gather(getattr(self, name))
+            elif name in ("ip_names", "mac_names"):
+                continue  # pruned to the selected rows' addresses below
+            elif name == "spelling_overrides":
+                continue
+            else:
+                kwargs[name] = getattr(self, name)[rows]
+        selected = type(self)(**kwargs)
+        # Keep only addresses the surviving rows reference, as from_packets
+        # over the materialized subset would.
+        for names, source, columns_pair, present_mask in (
+            (self.ip_names, selected.ip_names,
+             (selected.ip_src, selected.ip_dst), selected.has_ip),
+            (self.mac_names, selected.mac_names,
+             (selected.eth_src, selected.eth_dst), selected.has_ethernet),
+        ):
+            if names and present_mask.any():
+                values = np.unique(np.concatenate([c[present_mask] for c in columns_pair]))
+                source.update(
+                    (value, names[value])
+                    for value in map(int, values)
+                    if value in names
+                )
+        if self.spelling_overrides:
+            position_of: dict[int, list[int]] = {}
+            for position, row in enumerate(row_list):
+                position_of.setdefault(row, []).append(position)
+            for (field_name, row), spelling in self.spelling_overrides.items():
+                for position in position_of.get(row, ()):
+                    selected.spelling_overrides[(field_name, position)] = spelling
+        return selected
 
     def __iter__(self) -> Iterator[Packet]:
         for i in range(len(self)):

@@ -31,7 +31,7 @@ from ..net.packet import Packet
 from ..nn.metrics import accuracy, macro_f1, weighted_f1
 from ..tasks.builders import ArrayTaskData, TaskData
 from ..tokenize.field_aware import FieldAwareTokenizer
-from ..tokenize.vocab import Vocabulary
+from ..tokenize.vocab import SPECIAL_TOKENS, Vocabulary
 from .benchmark import NetGLUETask
 
 __all__ = ["SolverSettings", "FoundationModelSolver", "GRUSolver", "FlowStatsSolver"]
@@ -71,8 +71,28 @@ def _subsample(items: list, limit: int, rng: np.random.Generator) -> list:
     return [items[i] for i in sorted(indices)]
 
 
+class _GrowingVocabulary(Vocabulary):
+    """A vocabulary that registers unknown tokens instead of mapping to UNK.
+
+    Used to encode flow contexts columnar *before* the task vocabulary
+    exists: the encode pass discovers the realized token inventory, whose
+    counts then rebuild the exact frequency-ordered ``Vocabulary.build``
+    result (see :meth:`_PacketTaskEncoder.encode_train_columns`).
+    """
+
+    def token_to_id(self, token: str) -> int:
+        return self._add(token)
+
+
 class _PacketTaskEncoder:
-    """Shared tokenize -> context -> encode machinery for packet tasks."""
+    """Shared tokenize -> group -> encode machinery for packet tasks.
+
+    Packet tasks arrive as :class:`~repro.net.columns.PacketColumns`; the
+    columnar entry points below reproduce the object pipeline (build flow
+    contexts, drop unlabelled ones, subsample, build the vocabulary from the
+    sampled training contexts, encode) bit-for-bit without materializing
+    packets or :class:`~repro.context.builders.Context` objects.
+    """
 
     def __init__(self, settings: SolverSettings, label_key: str):
         self.settings = settings
@@ -91,6 +111,59 @@ class _PacketTaskEncoder:
         ids, mask = encode_contexts(contexts, self.vocabulary, self.settings.max_tokens)
         labels = self.label_encoder.encode([c.label for c in contexts])
         return ids, mask, labels
+
+    # ------------------------------------------------------------------
+    # Columnar path
+    # ------------------------------------------------------------------
+    def _sampled_contexts(
+        self,
+        columns,
+        vocabulary: Vocabulary,
+        limit: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, list]:
+        """Encode flow contexts, drop unlabelled ones, subsample to ``limit``."""
+        ids, mask, labels = self.builder.encode_columns(
+            columns, self.tokenizer, vocabulary, return_labels=True
+        )
+        keep = np.flatnonzero([label is not None for label in labels])
+        if len(keep) > limit:
+            keep = keep[np.sort(rng.choice(len(keep), size=limit, replace=False))]
+        return ids[keep], mask[keep], [labels[i] for i in keep.tolist()]
+
+    def encode_train_columns(
+        self, columns, limit: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, list]:
+        """Encode the training split and derive ``self.vocabulary`` from it.
+
+        The contexts are first encoded against a growing vocabulary (ids in
+        discovery order), then re-mapped onto the frequency-ordered
+        vocabulary that ``Vocabulary.build`` would produce over the sampled
+        contexts' token lists — so downstream ids match the object path
+        exactly.
+        """
+        growing = _GrowingVocabulary()
+        ids, mask, labels = self._sampled_contexts(columns, growing, limit, rng)
+        counts = np.bincount(ids[mask], minlength=len(growing))
+        tokens = growing.tokens()
+        specials = set(SPECIAL_TOKENS)
+        realized = [
+            (tokens[i], int(count))
+            for i, count in enumerate(counts)
+            if count > 0 and tokens[i] not in specials
+        ]
+        realized.sort(key=lambda kv: (-kv[1], kv[0]))
+        self.vocabulary = Vocabulary(token for token, _ in realized)
+        remap = np.fromiter(
+            (self.vocabulary.token_to_id(t) for t in tokens), np.int64, len(tokens)
+        )
+        return remap[ids], mask, labels
+
+    def encode_eval_columns(
+        self, columns, limit: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, list]:
+        """Encode the evaluation split against the (fixed) task vocabulary."""
+        return self._sampled_contexts(columns, self.vocabulary, limit, rng)
 
 
 class FoundationModelSolver:
@@ -111,12 +184,13 @@ class FoundationModelSolver:
         settings = self.settings
         rng = np.random.default_rng(settings.seed)
         encoder = _PacketTaskEncoder(settings, data.label_key)
-        train_contexts = encoder.contexts(data.train_packets, settings.max_train_contexts, rng)
-        test_contexts = encoder.contexts(data.test_packets, settings.max_eval_contexts, rng)
-        encoder.vocabulary = Vocabulary.build([c.tokens for c in train_contexts])
-        encoder.label_encoder = LabelEncoder(
-            [c.label for c in train_contexts] + [c.label for c in test_contexts]
+        train_ids, train_mask, train_labels = encoder.encode_train_columns(
+            data.train_columns, settings.max_train_contexts, rng
         )
+        test_ids, test_mask, test_labels = encoder.encode_eval_columns(
+            data.test_columns, settings.max_eval_contexts, rng
+        )
+        encoder.label_encoder = LabelEncoder(train_labels + test_labels)
 
         config = NetFMConfig(
             vocab_size=len(encoder.vocabulary),
@@ -139,7 +213,7 @@ class FoundationModelSolver:
                 packed=settings.packed,
             ),
         )
-        pretrainer.pretrain(train_contexts)
+        pretrainer.pretrain_encoded(train_ids, train_mask)
 
         classifier = SequenceClassifier(
             model,
@@ -151,10 +225,10 @@ class FoundationModelSolver:
                 packed=settings.packed,
             ),
         )
-        train = encoder.encode(train_contexts)
-        test = encoder.encode(test_contexts)
-        classifier.fit(*train)
-        return classifier.evaluate(*test)
+        classifier.fit(train_ids, train_mask, encoder.label_encoder.encode(train_labels))
+        return classifier.evaluate(
+            test_ids, test_mask, encoder.label_encoder.encode(test_labels)
+        )
 
     # ------------------------------------------------------------------
     def _solve_array(self, data: ArrayTaskData) -> dict[str, float]:
@@ -182,14 +256,13 @@ class GRUSolver:
         settings = self.settings
         rng = np.random.default_rng(settings.seed)
         encoder = _PacketTaskEncoder(settings, data.label_key)
-        train_contexts = encoder.contexts(data.train_packets, settings.max_train_contexts, rng)
-        test_contexts = encoder.contexts(data.test_packets, settings.max_eval_contexts, rng)
-        encoder.vocabulary = Vocabulary.build([c.tokens for c in train_contexts])
-        encoder.label_encoder = LabelEncoder(
-            [c.label for c in train_contexts] + [c.label for c in test_contexts]
+        train_ids, train_mask, train_labels = encoder.encode_train_columns(
+            data.train_columns, settings.max_train_contexts, rng
         )
-        train = encoder.encode(train_contexts)
-        test = encoder.encode(test_contexts)
+        test_ids, test_mask, test_labels = encoder.encode_eval_columns(
+            data.test_columns, settings.max_eval_contexts, rng
+        )
+        encoder.label_encoder = LabelEncoder(train_labels + test_labels)
         classifier = GRUClassifier(
             vocab_size=len(encoder.vocabulary),
             num_classes=encoder.label_encoder.num_classes,
@@ -201,8 +274,10 @@ class GRUSolver:
                 seed=settings.seed,
             ),
         )
-        classifier.fit(*train)
-        return classifier.evaluate(*test)
+        classifier.fit(train_ids, train_mask, encoder.label_encoder.encode(train_labels))
+        return classifier.evaluate(
+            test_ids, test_mask, encoder.label_encoder.encode(test_labels)
+        )
 
     def _solve_array(self, data: ArrayTaskData) -> dict[str, float]:
         # Logistic regression over summary statistics of each window: a strong,

@@ -13,9 +13,11 @@ malware detection, congestion prediction, performance prediction).
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
+from ..net.columns import PacketColumns
 from ..net.packet import Packet
 from ..traffic.anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
 from ..traffic.base import merge_traces
@@ -44,13 +46,29 @@ __all__ = [
 
 @dataclasses.dataclass
 class TaskData:
-    """A packet-level classification task."""
+    """A packet-level classification task.
+
+    The splits are held columnar (:class:`~repro.net.columns.PacketColumns`,
+    synthesized natively by the generators); the ``train_packets`` /
+    ``test_packets`` views materialize packet objects lazily for consumers
+    that still want lists.
+    """
 
     name: str
-    train_packets: list[Packet]
-    test_packets: list[Packet]
+    train_columns: PacketColumns
+    test_columns: PacketColumns
     label_key: str
     description: str
+
+    @functools.cached_property
+    def train_packets(self) -> list[Packet]:
+        """The training split as packet objects (materialized on first use)."""
+        return self.train_columns.to_packets()
+
+    @functools.cached_property
+    def test_packets(self) -> list[Packet]:
+        """The evaluation split as packet objects (materialized on first use)."""
+        return self.test_columns.to_packets()
 
 
 @dataclasses.dataclass
@@ -70,14 +88,14 @@ def build_application_classification(seed: int = 0, duration: float = 40.0) -> T
     """Classify flows by application (dns / http / https / iot)."""
     train = EnterpriseScenario(
         EnterpriseScenarioConfig(seed=seed, duration=duration, include_attacks=False)
-    ).generate()
+    ).generate_columns()
     test = EnterpriseScenario(
         EnterpriseScenarioConfig(seed=seed + 31, duration=duration, include_attacks=False)
-    ).generate()
+    ).generate_columns()
     return TaskData(
         name="application-classification",
-        train_packets=train,
-        test_packets=test,
+        train_columns=train,
+        test_columns=test,
         label_key="application",
         description="Flow-level application classification over a mixed enterprise capture",
     )
@@ -93,13 +111,13 @@ def build_dns_category_classification(
     base = DNSWorkloadConfig(
         seed=seed, num_clients=num_clients, queries_per_client=queries_per_client, duration=60.0
     )
-    train = DNSWorkloadGenerator(base).generate()
+    train = DNSWorkloadGenerator(base).generate_columns()
     eval_config = shifted_dns_config(base) if shifted_eval else dataclasses.replace(base, seed=seed + 77)
-    test = DNSWorkloadGenerator(eval_config).generate()
+    test = DNSWorkloadGenerator(eval_config).generate_columns()
     return TaskData(
         name="dns-category",
-        train_packets=train,
-        test_packets=test,
+        train_columns=train,
+        test_columns=test,
         label_key="domain_category",
         description="DNS service-category classification, evaluated under distribution shift",
     )
@@ -109,14 +127,14 @@ def build_device_classification(seed: int = 0, duration: float = 90.0) -> TaskDa
     """Classify IoT traffic by device type (camera, thermostat, bulb, ...)."""
     train = IoTWorkloadGenerator(
         IoTWorkloadConfig(seed=seed, duration=duration, devices_per_type=3)
-    ).generate()
+    ).generate_columns()
     test = IoTWorkloadGenerator(
         IoTWorkloadConfig(seed=seed + 13, duration=duration, devices_per_type=2)
-    ).generate()
+    ).generate_columns()
     return TaskData(
         name="device-classification",
-        train_packets=train,
-        test_packets=test,
+        train_columns=train,
+        test_columns=test,
         label_key="device",
         description="IoT device classification from behavioural traffic profiles",
     )
@@ -129,22 +147,22 @@ def build_malware_detection(
 ) -> TaskData:
     """Binary benign-vs-attack classification over a contaminated capture."""
 
-    def one_split(split_seed: int) -> list[Packet]:
+    def one_split(split_seed: int) -> PacketColumns:
         benign = EnterpriseScenario(
             EnterpriseScenarioConfig(seed=split_seed, duration=duration, include_attacks=False)
-        ).generate()
+        ).generate_columns()
         attacks = AttackGenerator(
             AttackConfig(seed=split_seed + 1, duration=duration, attack_types=attack_types)
-        ).generate()
+        ).generate_columns()
         merged = merge_traces(benign, attacks)
-        for packet in merged:
-            packet.metadata["malicious"] = "attack" if packet.metadata.get("anomaly") else "benign"
+        for metadata in merged.metadata:
+            metadata["malicious"] = "attack" if metadata.get("anomaly") else "benign"
         return merged
 
     return TaskData(
         name="malware-detection",
-        train_packets=one_split(seed),
-        test_packets=one_split(seed + 53),
+        train_columns=one_split(seed),
+        test_columns=one_split(seed + 53),
         label_key="malicious",
         description="Benign vs attack traffic detection (supervised, known attack families)",
     )

@@ -19,18 +19,26 @@ import dataclasses
 
 import numpy as np
 
-from ..net.addresses import random_ipv4, random_private_ipv4
+from ..net.columns import TRANSPORT_UDP
 from ..net.dns import DNSMessage, DNSQuestion, RECORD_TYPES
 from ..net.headers import TCP_FLAG_ACK, TCP_FLAG_PSH, TCP_FLAG_SYN
 from ..net.http import HTTPRequest, HTTPResponse
-from ..net.packet import Packet, build_packet
 from ..net.tls import TLSClientHello
 from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .columnar import (
+    TracePlan,
+    encode_application_fast,
+    random_ipv4_array,
+    random_private_ipv4_array,
+)
 from .domains import generate_dga_domain
 
 __all__ = ["AttackConfig", "AttackGenerator", "ATTACK_TYPES"]
 
 ATTACK_TYPES = ("port-scan", "syn-flood", "dns-tunnel", "c2-beacon", "brute-force")
+
+_PSH_ACK = TCP_FLAG_PSH | TCP_FLAG_ACK
+_TUNNEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz234567"
 
 
 @dataclasses.dataclass
@@ -53,10 +61,10 @@ class AttackGenerator(TrafficGenerator):
         super().__init__(config or AttackConfig())
         self.config: AttackConfig
 
-    def generate(self) -> list[Packet]:
+    def _plan(self) -> TracePlan:
         cfg = self.config
         rng = cfg.rng()
-        packets: list[Packet] = []
+        plan = TracePlan()
         builders = {
             "port-scan": self._port_scan,
             "syn-flood": self._syn_flood,
@@ -69,9 +77,8 @@ class AttackGenerator(TrafficGenerator):
                 raise ValueError(f"unknown attack type {attack!r}; known: {sorted(builders)}")
             for _ in range(cfg.events_per_attack):
                 start = cfg.start_time + float(rng.uniform(0, cfg.duration))
-                packets.extend(builders[attack](rng, start))
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
+                builders[attack](rng, plan, start)
+        return plan
 
     # ------------------------------------------------------------------
     # Attack families
@@ -84,102 +91,139 @@ class AttackGenerator(TrafficGenerator):
             "session_id": next_session_id(),
         }
 
-    def _port_scan(self, rng: np.random.Generator, start: float) -> list[Packet]:
+    def _port_scan(self, rng: np.random.Generator, plan: TracePlan, start: float) -> None:
         cfg = self.config
-        attacker = random_ipv4(rng)
-        victim = random_private_ipv4(rng, cfg.client_subnet)
+        attacker = random_ipv4_array(rng, 1)[0]
+        victim = random_private_ipv4_array(rng, cfg.client_subnet, 1)[0]
         base = self._metadata("port-scan")
-        packets = []
-        ports = rng.choice(np.arange(1, 1024), size=cfg.scan_ports, replace=False)
-        for i, port in enumerate(ports):
-            md = dict(base, connection_id=next_connection_id())
-            packets.append(build_packet(
-                start + i * 0.01, attacker, victim, "TCP",
-                int(rng.integers(49152, 65535)), int(port),
-                tcp_flags=TCP_FLAG_SYN, metadata=md,
-            ))
-        return packets
+        count = cfg.scan_ports
+        ports = rng.choice(np.arange(1, 1024), size=count, replace=False).tolist()
+        src_ports = rng.integers(49152, 65535, size=count).tolist()
+        plan.extend(
+            count,
+            timestamps=[start + i * 0.01 for i in range(count)],
+            src_ips=[attacker] * count,
+            dst_ips=[victim] * count,
+            src_ports=src_ports,
+            dst_ports=ports,
+            metadata=[dict(base, connection_id=next_connection_id()) for _ in range(count)],
+            tcp_flags=TCP_FLAG_SYN,
+        )
 
-    def _syn_flood(self, rng: np.random.Generator, start: float) -> list[Packet]:
+    def _syn_flood(self, rng: np.random.Generator, plan: TracePlan, start: float) -> None:
         cfg = self.config
-        victim = random_private_ipv4(rng, cfg.client_subnet)
+        victim = random_private_ipv4_array(rng, cfg.client_subnet, 1)[0]
         base = self._metadata("syn-flood")
-        packets = []
-        for i in range(cfg.flood_packets):
-            spoofed = random_ipv4(rng)
-            md = dict(base, connection_id=next_connection_id())
-            packets.append(build_packet(
-                start + i * 0.002, spoofed, victim, "TCP",
-                int(rng.integers(1024, 65535)), 80,
-                tcp_flags=TCP_FLAG_SYN, metadata=md,
-            ))
-        return packets
+        count = cfg.flood_packets
+        spoofed = random_ipv4_array(rng, count)
+        src_ports = rng.integers(1024, 65535, size=count).tolist()
+        plan.extend(
+            count,
+            timestamps=[start + i * 0.002 for i in range(count)],
+            src_ips=spoofed,
+            dst_ips=[victim] * count,
+            src_ports=src_ports,
+            dst_ports=[80] * count,
+            metadata=[dict(base, connection_id=next_connection_id()) for _ in range(count)],
+            tcp_flags=TCP_FLAG_SYN,
+        )
 
-    def _dns_tunnel(self, rng: np.random.Generator, start: float) -> list[Packet]:
+    def _dns_tunnel(self, rng: np.random.Generator, plan: TracePlan, start: float) -> None:
         cfg = self.config
-        client = random_private_ipv4(rng, cfg.client_subnet)
+        client = random_private_ipv4_array(rng, cfg.client_subnet, 1)[0]
         exfil_domain = generate_dga_domain(rng, length=10, tld="net")
         base = self._metadata("dns-tunnel")
-        packets = []
+        count = cfg.tunnel_queries
         src_port = int(rng.integers(49152, 65535))
-        for i in range(cfg.tunnel_queries):
+        chunk_codes = rng.integers(0, 32, size=(count, 40)).tolist()
+        txids = rng.integers(0, 65536, size=count).tolist()
+        md_l, app_l, pay_l = [], [], []
+        txt = RECORD_TYPES["TXT"]
+        for i in range(count):
             # Long, high-entropy subdomain encoding exfiltrated data.
-            chunk = "".join(
-                "abcdefghijklmnopqrstuvwxyz234567"[int(c)]
-                for c in rng.integers(0, 32, size=40)
-            )
+            chunk = "".join(_TUNNEL_ALPHABET[c] for c in chunk_codes[i])
             name = f"{chunk}.{exfil_domain}"
-            md = dict(base, connection_id=next_connection_id(), domain=name)
-            query = DNSMessage(
-                transaction_id=int(rng.integers(0, 65536)),
-                questions=[DNSQuestion(name=name, qtype=RECORD_TYPES["TXT"])],
-            )
-            packets.append(build_packet(
-                start + i * 0.2, client, "8.8.8.8", "UDP", src_port, 53,
-                application=query, metadata=dict(md, direction="query"),
+            md_l.append(dict(
+                base, connection_id=next_connection_id(), domain=name, direction="query"
             ))
-        return packets
+            query = DNSMessage(
+                transaction_id=txids[i], questions=[DNSQuestion(name=name, qtype=txt)]
+            )
+            app_l.append(query)
+            pay_l.append(encode_application_fast(query))
+        plan.extend(
+            count,
+            timestamps=[start + i * 0.2 for i in range(count)],
+            src_ips=[client] * count,
+            dst_ips=["8.8.8.8"] * count,
+            src_ports=[src_port] * count,
+            dst_ports=[53] * count,
+            metadata=md_l,
+            kinds=TRANSPORT_UDP,
+            applications=app_l,
+            payloads=pay_l,
+        )
 
-    def _c2_beacon(self, rng: np.random.Generator, start: float) -> list[Packet]:
+    def _c2_beacon(self, rng: np.random.Generator, plan: TracePlan, start: float) -> None:
         cfg = self.config
-        infected = random_private_ipv4(rng, cfg.client_subnet)
-        c2_server = random_ipv4(rng)
+        infected = random_private_ipv4_array(rng, cfg.client_subnet, 1)[0]
+        c2_server = random_ipv4_array(rng, 1)[0]
         c2_domain = generate_dga_domain(rng)
         base = self._metadata("c2-beacon")
-        packets = []
+        count = cfg.beacon_count
         period = float(rng.uniform(5.0, 15.0))
-        for i in range(cfg.beacon_count):
-            when = start + i * period + float(rng.normal(0, 0.05))
-            md = dict(base, connection_id=next_connection_id(), domain=c2_domain)
-            hello = TLSClientHello(ciphersuites=[0x002F, 0x0035, 0x000A], server_name=c2_domain)
-            packets.append(build_packet(
-                when, infected, c2_server, "TCP", int(rng.integers(49152, 65535)), 443,
-                application=hello, tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=md,
-            ))
-        return packets
+        jitters = rng.normal(0, 0.05, size=count).tolist()
+        src_ports = rng.integers(49152, 65535, size=count).tolist()
+        hello = TLSClientHello(ciphersuites=[0x002F, 0x0035, 0x000A], server_name=c2_domain)
+        payload = encode_application_fast(hello)
+        plan.extend(
+            count,
+            timestamps=[start + i * period + jitters[i] for i in range(count)],
+            src_ips=[infected] * count,
+            dst_ips=[c2_server] * count,
+            src_ports=src_ports,
+            dst_ports=[443] * count,
+            metadata=[
+                dict(base, connection_id=next_connection_id(), domain=c2_domain)
+                for _ in range(count)
+            ],
+            applications=[hello] * count,
+            payloads=[payload] * count,
+            tcp_flags=_PSH_ACK,
+        )
 
-    def _brute_force(self, rng: np.random.Generator, start: float) -> list[Packet]:
+    def _brute_force(self, rng: np.random.Generator, plan: TracePlan, start: float) -> None:
         cfg = self.config
-        attacker = random_ipv4(rng)
-        victim = random_private_ipv4(rng, cfg.client_subnet)
+        attacker = random_ipv4_array(rng, 1)[0]
+        victim = random_private_ipv4_array(rng, cfg.client_subnet, 1)[0]
         base = self._metadata("brute-force")
-        packets = []
-        for i in range(cfg.brute_force_attempts):
+        count = cfg.brute_force_attempts
+        request = HTTPRequest(
+            method="POST", path="/login", host="intranet.corp.example.com",
+            user_agent="python-requests/2.28.1",
+        )
+        response = HTTPResponse(status=401, content_length=64)
+        request_bytes = encode_application_fast(request)
+        response_bytes = encode_application_fast(response)
+        req_ports = rng.integers(49152, 65535, size=count).tolist()
+        resp_ports = rng.integers(49152, 65535, size=count).tolist()
+        when_l, src_l, dst_l, sport_l, dport_l, md_l, app_l, pay_l = \
+            [], [], [], [], [], [], [], []
+        for i in range(count):
             when = start + i * 0.3
             md = dict(base, connection_id=next_connection_id())
-            request = HTTPRequest(
-                method="POST", path="/login", host="intranet.corp.example.com",
-                user_agent="python-requests/2.28.1",
-            )
-            packets.append(build_packet(
-                when, attacker, victim, "TCP", int(rng.integers(49152, 65535)), 80,
-                application=request, tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK,
-                metadata=dict(md, direction="request"),
-            ))
-            packets.append(build_packet(
-                when + 0.02, victim, attacker, "TCP", 80, int(rng.integers(49152, 65535)),
-                application=HTTPResponse(status=401, content_length=64),
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK,
-                metadata=dict(md, direction="response"),
-            ))
-        return packets
+            when_l.extend((when, when + 0.02))
+            src_l.extend((attacker, victim))
+            dst_l.extend((victim, attacker))
+            sport_l.extend((req_ports[i], 80))
+            dport_l.extend((80, resp_ports[i]))
+            md_l.append(dict(md, direction="request"))
+            md_l.append(dict(md, direction="response"))
+            app_l.extend((request, response))
+            pay_l.extend((request_bytes, response_bytes))
+        plan.extend(
+            2 * count,
+            timestamps=when_l, src_ips=src_l, dst_ips=dst_l,
+            src_ports=sport_l, dst_ports=dport_l, metadata=md_l,
+            applications=app_l, payloads=pay_l, tcp_flags=_PSH_ACK,
+        )

@@ -25,6 +25,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..net.columns import PacketColumns
 from ..net.packet import Packet
 
 __all__ = ["TraceConfig", "TrafficGenerator", "merge_traces", "split_by_label"]
@@ -41,6 +42,20 @@ def next_connection_id() -> int:
 def next_session_id() -> int:
     """Globally unique session identifier (monotonically increasing)."""
     return next(_session_counter)
+
+
+def _reset_id_counters() -> None:
+    """Restart the global connection/session counters (tests only).
+
+    The counters make connection ids unique across generator *instances* (a
+    merged capture must not collide ids between its DNS and HTTP halves), so
+    two runs of the same generator never repeat ids.  Equivalence tests that
+    compare ``generate()`` against ``generate_columns()`` reset the counters
+    between the two calls so metadata ids line up.
+    """
+    global _connection_counter, _session_counter
+    _connection_counter = itertools.count(1)
+    _session_counter = itertools.count(1)
 
 
 @dataclasses.dataclass
@@ -70,13 +85,37 @@ class TraceConfig:
 
 
 class TrafficGenerator:
-    """Base class: subclasses implement :meth:`generate`."""
+    """Base class: subclasses implement :meth:`_plan` (or legacy :meth:`generate`).
+
+    Plan-based generators describe one run as a
+    :class:`~repro.traffic.columnar.TracePlan` of vectorized draws;
+    :meth:`generate` materializes it as ``Packet`` objects and
+    :meth:`generate_columns` as a native
+    :class:`~repro.net.columns.PacketColumns` batch — bit-identical results
+    (same seed), with the columnar side skipping per-packet objects entirely.
+    Subclasses that only implement :meth:`generate` still get
+    :meth:`generate_columns` through a one-shot conversion.
+    """
 
     def __init__(self, config: TraceConfig | None = None):
         self.config = config or TraceConfig()
 
+    def _plan(self):
+        """Build this run's :class:`~repro.traffic.columnar.TracePlan` (or None)."""
+        return None
+
     def generate(self) -> list[Packet]:
-        raise NotImplementedError
+        plan = self._plan()
+        if plan is None:
+            raise NotImplementedError
+        return plan.to_packets()
+
+    def generate_columns(self) -> PacketColumns:
+        """The trace as a native columnar batch (no ``Packet`` objects)."""
+        plan = self._plan()
+        if plan is None:
+            return PacketColumns.from_packets(self.generate())
+        return plan.to_columns()
 
     def generate_sorted(self) -> list[Packet]:
         """Generate and return packets sorted by timestamp."""
@@ -85,13 +124,22 @@ class TrafficGenerator:
         return packets
 
 
-def merge_traces(*traces: Iterable[Packet]) -> list[Packet]:
+def merge_traces(*traces) -> "list[Packet] | PacketColumns":
     """Merge traces from several generators into one time-ordered capture.
 
     This models the capture point (e.g. a border router) where packets from
     different endpoints and connections are interleaved — the complication
-    Section 4.1.3 highlights for context construction.
+    Section 4.1.3 highlights for context construction.  If any input is a
+    :class:`~repro.net.columns.PacketColumns` batch the merge runs (and
+    returns) columnar: one concatenation plus a stable timestamp argsort.
     """
+    if any(isinstance(trace, PacketColumns) for trace in traces):
+        parts = [
+            trace if isinstance(trace, PacketColumns) else PacketColumns.from_packets(trace)
+            for trace in traces
+        ]
+        merged = PacketColumns.concat(parts)
+        return merged.select(np.argsort(merged.timestamps, kind="stable"))
     merged: list[Packet] = []
     for trace in traces:
         merged.extend(trace)

@@ -1,0 +1,583 @@
+"""Shared columnar synthesis machinery for the traffic generators.
+
+Every generator in this package describes one run as a :class:`TracePlan`:
+the complete set of random draws (made with *vectorized* NumPy RNG calls)
+laid out as per-packet parallel arrays/lists, before any ``Packet`` object
+exists.  The plan then materializes in one of two ways:
+
+* :meth:`TracePlan.to_packets` — the legacy object path: one
+  :func:`~repro.net.packet.build_packet` call per row (headers, application
+  encoding, ``Packet`` construction), then a timestamp sort.  This is what
+  ``generate()`` returns and what any ``list[Packet]`` consumer pays for.
+* :meth:`TracePlan.to_columns` — the columnar path: the same rows scattered
+  straight into a :class:`~repro.net.columns.PacketColumns` batch with
+  whole-column array operations, skipping packet/header objects entirely.
+
+Because both materializers read the *same* plan, ``generate_columns()`` is
+bit-identical (same seed) to ``PacketColumns.from_packets(generate())`` —
+the equivalence the columnar pipeline tests assert for every generator.
+
+The module also hosts fast application-payload encoders
+(:func:`encode_application_fast`): byte-exact twins of
+``Packet``'s ``_encode_application`` that cache the expensive invariant
+fragments (encoded DNS names, HTTP header blocks, TLS suite runs) so the
+columnar path does not re-serialize identical structures row by row.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..net.addresses import int_to_ipv4, ipv4_to_int
+from ..net.columns import (
+    _list_gather,
+    APP_DNS,
+    APP_HTTP_REQUEST,
+    APP_HTTP_RESPONSE,
+    APP_NONE,
+    APP_NTP,
+    APP_TLS_CLIENT,
+    APP_TLS_SERVER,
+    PacketColumns,
+    TRANSPORT_ICMP,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+    _TRANSPORT_WIRE_LENGTH,
+)
+from ..net.dns import (
+    DNS_FLAG_QR_RESPONSE,
+    DNS_FLAG_RA,
+    DNS_FLAG_RD,
+    DNSMessage,
+    RECORD_TYPES,
+    encode_name,
+)
+from ..net.http import HTTPRequest, HTTPResponse
+from ..net.ntp import NTPPacket
+from ..net.packet import build_packet
+from ..net.ports import IP_PROTOCOL_NUMBERS
+from ..net.tls import TLS_HANDSHAKE, TLS_VERSION_1_2, TLSClientHello, TLSServerHello
+
+__all__ = [
+    "TracePlan",
+    "encode_application_fast",
+    "answer_rdata_bytes",
+    "cached_name",
+    "cached_question",
+    "random_ipv4_array",
+    "random_private_ipv4_array",
+    "app_kind_of",
+    "DEFAULT_SRC_MAC",
+    "DEFAULT_DST_MAC",
+]
+
+#: build_packet's default MAC endpoints, shared by every generator.
+DEFAULT_SRC_MAC = "02:00:00:00:00:01"
+DEFAULT_DST_MAC = "02:00:00:00:00:02"
+
+_KIND_OF_PROTOCOL = {
+    "TCP": TRANSPORT_TCP,
+    "UDP": TRANSPORT_UDP,
+    "ICMP": TRANSPORT_ICMP,
+}
+_PROTOCOL_NAME_OF_KIND = {kind: name for name, kind in _KIND_OF_PROTOCOL.items()}
+_IP_PROTOCOL_OF_KIND = np.zeros(4, dtype=np.int64)
+for _name, _kind in _KIND_OF_PROTOCOL.items():
+    _IP_PROTOCOL_OF_KIND[_kind] = IP_PROTOCOL_NUMBERS[_name]
+
+
+def _mac_to_int(mac: str) -> int:
+    value = 0
+    for part in mac.split(":"):
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Vectorized address draws
+# ----------------------------------------------------------------------
+def random_ipv4_array(rng: np.random.Generator, count: int) -> list[str]:
+    """``count`` public-looking addresses with one batched draw per field.
+
+    The rejection loop of :func:`~repro.net.addresses.random_ipv4` runs on
+    whole columns: the handful of rows that land on a reserved first octet
+    are redrawn together until none remain.
+    """
+    firsts = rng.integers(1, 224, size=count)
+    reserved = np.isin(firsts, (10, 127, 172, 192))
+    while reserved.any():
+        firsts[reserved] = rng.integers(1, 224, size=int(reserved.sum()))
+        reserved = np.isin(firsts, (10, 127, 172, 192))
+    rest = rng.integers(0, 256, size=(count, 3))
+    return [
+        f"{f}.{r[0]}.{r[1]}.{r[2]}"
+        for f, r in zip(firsts.tolist(), rest.tolist())
+    ]
+
+
+def random_private_ipv4_array(
+    rng: np.random.Generator, subnet: str, count: int
+) -> list[str]:
+    """``count`` addresses inside CIDR ``subnet`` from one batched draw."""
+    base, prefix = subnet.split("/")
+    prefix_len = int(prefix)
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"invalid prefix length {prefix_len}")
+    host_bits = 32 - prefix_len
+    network = (ipv4_to_int(base) >> host_bits) << host_bits
+    hosts = rng.integers(1, max(2 ** host_bits - 1, 2), size=count)
+    return [int_to_ipv4(network | int(host)) for host in hosts.tolist()]
+
+
+def app_kind_of(application) -> int:
+    """The :mod:`repro.net.columns` application tag of a generator payload."""
+    if application is None or isinstance(application, bytes):
+        return APP_NONE
+    if isinstance(application, DNSMessage):
+        return APP_DNS
+    if isinstance(application, HTTPRequest):
+        return APP_HTTP_REQUEST
+    if isinstance(application, HTTPResponse):
+        return APP_HTTP_RESPONSE
+    if isinstance(application, TLSClientHello):
+        return APP_TLS_CLIENT
+    if isinstance(application, TLSServerHello):
+        return APP_TLS_SERVER
+    if isinstance(application, NTPPacket):
+        return APP_NTP
+    raise TypeError(f"unknown application type {type(application).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Fast application-payload encoders (byte-exact, fragment-cached)
+# ----------------------------------------------------------------------
+_name_cache: dict[str, bytes] = {}
+_question_cache: dict[tuple[str, int], bytes] = {}
+_http_request_cache: dict[tuple[str, str, str, str], bytes] = {}
+_http_response_head_cache: dict[tuple[str, int, str], bytes] = {}
+_tls_suites_cache: dict[tuple[int, ...], bytes] = {}
+_tls_sni_cache: dict[str, bytes] = {}
+
+
+def cached_name(name: str) -> bytes:
+    """Length-prefixed DNS name encoding, cached per distinct name."""
+    encoded = _name_cache.get(name)
+    if encoded is None:
+        encoded = _name_cache[name] = encode_name(name)
+    return encoded
+
+
+def cached_question(name: str, qtype: int) -> bytes:
+    """Wire bytes of one DNS question, cached per distinct (name, type)."""
+    key = (name, qtype)
+    encoded = _question_cache.get(key)
+    if encoded is None:
+        encoded = _question_cache[key] = cached_name(name) + struct.pack("!HH", qtype, 1)
+    return encoded
+
+
+_RDATA_A = RECORD_TYPES["A"]
+_RDATA_AAAA = RECORD_TYPES["AAAA"]
+_RDATA_NAME_TYPES = frozenset(RECORD_TYPES[t] for t in ("CNAME", "NS", "PTR"))
+_RDATA_MX = RECORD_TYPES["MX"]
+
+
+def answer_rdata_bytes(answer) -> bytes:
+    """Byte-exact ``DNSAnswer._pack_rdata`` with cached name encodings."""
+    rtype = answer.rtype
+    rdata = answer.rdata
+    if rtype == _RDATA_A:
+        parts = rdata.split(".")
+        if len(parts) == 4:
+            return bytes(map(int, parts))
+        return answer._pack_rdata()
+    if rtype == _RDATA_AAAA:
+        parts = rdata.split(":")
+        full = [int(p, 16) if p else 0 for p in parts] + [0] * (8 - len(parts))
+        return struct.pack("!8H", *full[:8])
+    if rtype in _RDATA_NAME_TYPES:
+        return cached_name(rdata)
+    if rtype == _RDATA_MX:
+        priority, _, host = rdata.partition(" ")
+        return struct.pack("!H", int(priority)) + cached_name(host)
+    raw = rdata.encode("utf-8")
+    return bytes([min(len(raw), 255)]) + raw[:255]
+
+
+def _dns_payload(message: DNSMessage) -> bytes:
+    flags = 0
+    if message.is_response:
+        flags |= DNS_FLAG_QR_RESPONSE | DNS_FLAG_RA
+    if message.recursion_desired:
+        flags |= DNS_FLAG_RD
+    flags |= message.rcode & 0x0F
+    parts = [
+        struct.pack(
+            "!HHHHHH",
+            message.transaction_id,
+            flags,
+            len(message.questions),
+            len(message.answers),
+            0,
+            0,
+        )
+    ]
+    for question in message.questions:
+        parts.append(cached_question(question.name, question.qtype))
+    for answer in message.answers:
+        rdata = answer_rdata_bytes(answer)
+        parts.append(cached_name(answer.name))
+        parts.append(struct.pack("!HHIH", answer.rtype, answer.rclass, answer.ttl, len(rdata)))
+        parts.append(rdata)
+    return b"".join(parts)
+
+
+def _http_request_payload(request: HTTPRequest) -> bytes:
+    if request.headers:
+        return request.encode()
+    key = (request.method, request.path, request.host, request.user_agent)
+    encoded = _http_request_cache.get(key)
+    if encoded is None:
+        encoded = _http_request_cache[key] = request.encode()
+    return encoded
+
+
+def _http_response_payload(response: HTTPResponse) -> bytes:
+    if response.headers:
+        return response.encode()
+    key = (response.version, response.status, response.content_type)
+    head = _http_response_head_cache.get(key)
+    if head is None:
+        head = _http_response_head_cache[key] = (
+            f"{response.version} {response.status} {response.reason}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            "Content-Length: "
+        ).encode("utf-8")
+    return head + f"{response.content_length}\r\n\r\n".encode("utf-8")
+
+
+def _tls_record(handshake_type: int, body: bytes) -> bytes:
+    handshake = struct.pack("!B", handshake_type) + len(body).to_bytes(3, "big") + body
+    return struct.pack("!BHH", TLS_HANDSHAKE, TLS_VERSION_1_2, len(handshake)) + handshake
+
+
+def _tls_client_payload(hello: TLSClientHello) -> bytes:
+    suites_key = tuple(hello.ciphersuites)
+    suites = _tls_suites_cache.get(suites_key)
+    if suites is None:
+        suites = _tls_suites_cache[suites_key] = struct.pack("!H", len(suites_key) * 2) + b"".join(
+            struct.pack("!H", cs) for cs in suites_key
+        )
+    extension = _tls_sni_cache.get(hello.server_name)
+    if extension is None:
+        sni = hello.server_name.encode("ascii")
+        ext_body = struct.pack("!HBH", len(sni) + 3, 0, len(sni)) + sni
+        ext = struct.pack("!HH", 0, len(ext_body)) + ext_body
+        extension = _tls_sni_cache[hello.server_name] = struct.pack("!H", len(ext)) + ext
+    body = (
+        struct.pack("!H", TLS_VERSION_1_2)
+        + hello.client_random[:32].ljust(32, b"\x00")
+        + b"\x00"
+        + suites
+        + b"\x01\x00"
+        + extension
+    )
+    return _tls_record(1, body)
+
+
+def _tls_server_payload(hello: TLSServerHello) -> bytes:
+    body = (
+        struct.pack("!H", TLS_VERSION_1_2)
+        + hello.server_random[:32].ljust(32, b"\x00")
+        + b"\x00"
+        + struct.pack("!H", hello.ciphersuite)
+        + b"\x00"
+        + struct.pack("!H", 0)
+    )
+    return _tls_record(2, body)
+
+
+def encode_application_fast(application) -> bytes:
+    """Byte-exact ``_encode_application`` with cached invariant fragments."""
+    if isinstance(application, DNSMessage):
+        return _dns_payload(application)
+    if isinstance(application, HTTPRequest):
+        return _http_request_payload(application)
+    if isinstance(application, HTTPResponse):
+        return _http_response_payload(application)
+    if isinstance(application, TLSClientHello):
+        return _tls_client_payload(application)
+    if isinstance(application, TLSServerHello):
+        return _tls_server_payload(application)
+    if isinstance(application, NTPPacket):
+        return application.pack()
+    if isinstance(application, bytes):
+        return application
+    raise TypeError(f"cannot encode application layer of type {type(application).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+class TracePlan:
+    """One generator run as parallel per-packet columns (pre-sort order).
+
+    Rows are appended with :meth:`add` in the exact order the legacy object
+    path would append packets; both materializers sort by timestamp with a
+    stable sort, so ties resolve identically on either path.
+    """
+
+    __slots__ = (
+        "timestamps", "src_ips", "dst_ips", "kinds", "src_ports", "dst_ports",
+        "tcp_flags", "tcp_seqs", "tcp_acks", "ttls", "src_macs", "dst_macs",
+        "applications", "payloads", "app_kinds", "metadata",
+        "_ip_cache", "ip_names", "_mac_cache", "mac_names",
+    )
+
+    def __init__(self):
+        self.timestamps: list[float] = []
+        self.src_ips: list[int] = []
+        self.dst_ips: list[int] = []
+        self.kinds: list[int] = []
+        self.src_ports: list[int] = []
+        self.dst_ports: list[int] = []
+        self.tcp_flags: list[int] = []
+        self.tcp_seqs: list[int] = []
+        self.tcp_acks: list[int] = []
+        self.ttls: list[int] = []
+        self.src_macs: list[int] = []
+        self.dst_macs: list[int] = []
+        self.applications: list = []
+        self.payloads: list[bytes] = []
+        self.app_kinds: list[int] = []
+        self.metadata: list[dict] = []
+        self._ip_cache: dict[str, int] = {}
+        self.ip_names: dict[int, str] = {}
+        self._mac_cache: dict[str, int] = {}
+        self.mac_names: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def _ip(self, address: str) -> int:
+        value = self._ip_cache.get(address)
+        if value is None:
+            value = self._ip_cache[address] = ipv4_to_int(address)
+            self.ip_names.setdefault(value, address)
+        return value
+
+    def _mac(self, mac: str) -> int:
+        value = self._mac_cache.get(mac)
+        if value is None:
+            value = self._mac_cache[mac] = _mac_to_int(mac)
+            self.mac_names.setdefault(value, mac)
+        return value
+
+    def add(
+        self,
+        timestamp: float,
+        src_ip: str,
+        dst_ip: str,
+        kind: int,
+        src_port: int,
+        dst_port: int,
+        metadata: dict,
+        application=None,
+        payload: bytes = b"",
+        tcp_flags: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        ttl: int = 64,
+        src_mac: str = DEFAULT_SRC_MAC,
+        dst_mac: str = DEFAULT_DST_MAC,
+    ) -> None:
+        """Append one packet row.
+
+        ``payload`` must equal ``_encode_application(application)`` (use
+        :func:`encode_application_fast`); the object path re-encodes from
+        ``application`` through ``build_packet`` and the equivalence tests
+        hold the two byte streams against each other.
+        """
+        self.timestamps.append(timestamp)
+        self.src_ips.append(self._ip(src_ip))
+        self.dst_ips.append(self._ip(dst_ip))
+        self.kinds.append(kind)
+        self.src_ports.append(src_port)
+        self.dst_ports.append(dst_port)
+        self.tcp_flags.append(tcp_flags)
+        self.tcp_seqs.append(seq)
+        self.tcp_acks.append(ack)
+        self.ttls.append(ttl)
+        self.src_macs.append(self._mac(src_mac))
+        self.dst_macs.append(self._mac(dst_mac))
+        self.applications.append(application)
+        self.payloads.append(payload)
+        self.app_kinds.append(APP_NONE if application is None else app_kind_of(application))
+        self.metadata.append(metadata)
+
+    def extend(
+        self,
+        count: int,
+        *,
+        timestamps: list,
+        src_ips: list,
+        dst_ips: list,
+        src_ports: list,
+        dst_ports: list,
+        metadata: list,
+        kinds=TRANSPORT_TCP,
+        applications: list | None = None,
+        payloads: list | None = None,
+        app_kinds=None,
+        tcp_flags=0,
+        seqs=0,
+        acks=0,
+        ttls=64,
+        src_macs: list | None = None,
+        dst_macs: list | None = None,
+    ) -> None:
+        """Append ``count`` rows from parallel lists in one shot.
+
+        List arguments are consumed in order (they must have ``count``
+        entries); scalar arguments broadcast.  ``src_ips``/``dst_ips`` are
+        address strings (interned here); ``src_macs``/``dst_macs`` default to
+        ``build_packet``'s MAC endpoints.  Row order is preserved exactly, so
+        interleaved streams (e.g. query/response pairs) must arrive already
+        interleaved, as the object path would append them.
+        """
+        ip = self._ip
+        self.timestamps.extend(timestamps)
+        self.src_ips.extend(map(ip, src_ips))
+        self.dst_ips.extend(map(ip, dst_ips))
+        self.kinds.extend(kinds if isinstance(kinds, list) else [kinds] * count)
+        self.src_ports.extend(src_ports)
+        self.dst_ports.extend(dst_ports)
+        self.tcp_flags.extend(tcp_flags if isinstance(tcp_flags, list) else [tcp_flags] * count)
+        self.tcp_seqs.extend(seqs if isinstance(seqs, list) else [seqs] * count)
+        self.tcp_acks.extend(acks if isinstance(acks, list) else [acks] * count)
+        self.ttls.extend(ttls if isinstance(ttls, list) else [ttls] * count)
+        for column, macs, default in (
+            (self.src_macs, src_macs, DEFAULT_SRC_MAC),
+            (self.dst_macs, dst_macs, DEFAULT_DST_MAC),
+        ):
+            if macs is None:
+                column.extend([self._mac(default)] * count)
+            else:
+                column.extend(map(self._mac, macs))
+        if applications is None:
+            self.applications.extend([None] * count)
+            self.payloads.extend([b""] * count)
+            self.app_kinds.extend([APP_NONE] * count)
+        else:
+            self.applications.extend(applications)
+            self.payloads.extend(payloads)
+            if app_kinds is None:
+                self.app_kinds.extend(map(app_kind_of, applications))
+            elif isinstance(app_kinds, list):
+                self.app_kinds.extend(app_kinds)
+            else:
+                self.app_kinds.extend([app_kinds] * count)
+        self.metadata.extend(metadata)
+
+    # ------------------------------------------------------------------
+    # Materializers
+    # ------------------------------------------------------------------
+    def to_packets(self) -> list:
+        """The legacy object path: ``build_packet`` per row, then sort."""
+        ip_name = self.ip_names
+        mac_name = self.mac_names
+        packets = [
+            build_packet(
+                self.timestamps[i],
+                ip_name[self.src_ips[i]],
+                ip_name[self.dst_ips[i]],
+                _PROTOCOL_NAME_OF_KIND[self.kinds[i]],
+                self.src_ports[i],
+                self.dst_ports[i],
+                application=self.applications[i],
+                tcp_flags=self.tcp_flags[i],
+                seq=self.tcp_seqs[i],
+                ack=self.tcp_acks[i],
+                ttl=self.ttls[i],
+                metadata=self.metadata[i],
+                src_mac=mac_name[self.src_macs[i]],
+                dst_mac=mac_name[self.dst_macs[i]],
+            )
+            for i in range(len(self))
+        ]
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def to_columns(self) -> PacketColumns:
+        """The columnar path: whole-column scatters, no per-packet objects."""
+        n = len(self)
+        timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        order = np.argsort(timestamps, kind="stable")
+        gather = _list_gather(order.tolist())
+
+        def col(values) -> np.ndarray:
+            return np.asarray(values, dtype=np.int64)[order]
+
+        kind = col(self.kinds)
+        is_tcp = kind == TRANSPORT_TCP
+        is_udp = kind == TRANSPORT_UDP
+        is_icmp = kind == TRANSPORT_ICMP
+        ports_src = col(self.src_ports)
+        ports_dst = col(self.dst_ports)
+        seqs = col(self.tcp_seqs)
+        payloads = gather(self.payloads)
+        payload_lengths = np.fromiter(map(len, payloads), np.int64, n)
+        width = int(payload_lengths.max()) if n else 0
+        payload = np.zeros((n, width), dtype=np.uint8)
+        if width:
+            mask = np.arange(width)[None, :] < payload_lengths[:, None]
+            payload[mask] = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+        transport_length = _TRANSPORT_WIRE_LENGTH[kind]
+        zeros = np.zeros(n, dtype=np.int64)
+        has_port = is_tcp | is_udp
+
+        columns = PacketColumns(
+            timestamps=timestamps[order],
+            has_ethernet=np.ones(n, dtype=bool),
+            eth_src=col(self.src_macs),
+            eth_dst=col(self.dst_macs),
+            ethertype=np.full(n, 0x0800, dtype=np.int64),
+            has_ip=np.ones(n, dtype=bool),
+            ip_src=col(self.src_ips),
+            ip_dst=col(self.dst_ips),
+            ip_protocol=_IP_PROTOCOL_OF_KIND[kind],
+            ip_ttl=col(self.ttls),
+            ip_id=zeros,
+            ip_dscp=zeros.copy(),
+            ip_flags=np.full(n, 2, dtype=np.int64),  # IPv4Header default: DF
+            ip_frag=zeros.copy(),
+            ip_total_length=20 + transport_length + payload_lengths,
+            transport_kind=kind,
+            src_port=np.where(has_port, ports_src, 0),
+            dst_port=np.where(has_port, ports_dst, 0),
+            tcp_seq=np.where(is_tcp, seqs, 0),
+            tcp_ack=np.where(is_tcp, col(self.tcp_acks), 0),
+            tcp_flags=np.where(is_tcp, col(self.tcp_flags), 0),
+            tcp_window=np.where(is_tcp, 65535, 0),  # TCPHeader default
+            tcp_urgent=zeros.copy(),
+            udp_length=np.where(is_udp, 8 + payload_lengths, 0),
+            icmp_type=np.where(is_icmp, 8, 0),  # ICMPHeader default: echo
+            icmp_code=zeros.copy(),
+            icmp_id=np.where(is_icmp, ports_src, 0),
+            icmp_seq=np.where(is_icmp, seqs, 0),
+            payload=payload,
+            payload_lengths=payload_lengths,
+            payload_from_application=np.zeros(n, dtype=bool),
+            payload_encode_failed=np.zeros(n, dtype=bool),
+            app_kind=col(self.app_kinds),
+            applications=gather(self.applications),
+            metadata=gather(self.metadata),
+        )
+        # Only addresses that actually appear in rows, as from_packets interns.
+        present = np.unique(np.concatenate([columns.ip_src, columns.ip_dst])) if n else []
+        columns.ip_names.update((int(v), self.ip_names[int(v)]) for v in present)
+        present = np.unique(np.concatenate([columns.eth_src, columns.eth_dst])) if n else []
+        columns.mac_names.update((int(v), self.mac_names[int(v)]) for v in present)
+        return columns

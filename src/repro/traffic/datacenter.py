@@ -94,7 +94,16 @@ class DatacenterConfig:
 
 
 class DatacenterFlowGenerator:
-    """Generate datacenter flows and their completion times."""
+    """Generate datacenter flows and their completion times.
+
+    The workload is drawn columnar (:meth:`flow_columns`): every random
+    field comes from one batched RNG call and the topology quantities (path
+    length, bottleneck capacity) are computed with whole-column arithmetic
+    from the leaf-spine structure — only the fair-share contention recursion
+    runs sequentially, because each completion depends on the previous ones.
+    :meth:`generate` materializes :class:`DatacenterFlow` objects from the
+    same columns; :meth:`dataset` never materializes them at all.
+    """
 
     def __init__(self, config: DatacenterConfig | None = None):
         self.config = config or DatacenterConfig()
@@ -102,62 +111,121 @@ class DatacenterFlowGenerator:
             self.config.num_leaves, self.config.num_spines, self.config.hosts_per_leaf
         )
         self._hosts = [n for n, data in self.topology.nodes(data=True) if data["kind"] == "host"]
+        self._host_leaf = np.array(
+            [int(host.split("_")[0][1:]) for host in self._hosts], dtype=np.int64
+        )
+        self._host_capacity = np.array(
+            [
+                min(
+                    self.topology.edges[edge]["capacity_gbps"]
+                    for edge in self.topology.edges(host)
+                )
+                for host in self._hosts
+            ]
+        )
+        self._spine_capacity = min(
+            data["capacity_gbps"]
+            for a, b, data in self.topology.edges(data=True)
+            if not (a.startswith("h") or b.startswith("h"))
+        )
 
-    def generate(self) -> list[DatacenterFlow]:
+    def flow_columns(self) -> dict[str, np.ndarray]:
+        """The whole workload as parallel per-flow arrays."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        starts = np.sort(rng.uniform(0, cfg.duration, size=cfg.num_flows))
-        flows: list[DatacenterFlow] = []
+        n = cfg.num_flows
+        hosts = self._hosts
+        num_hosts = len(hosts)
+        starts = np.sort(rng.uniform(0, cfg.duration, size=n))
+        src_idx = rng.integers(0, num_hosts, size=n)
+        intra = rng.random(n) < cfg.intra_rack_fraction
+        dst_pick = rng.random(n)
+        elephant = rng.random(n) < cfg.elephant_fraction
+        mice_sizes = rng.exponential(cfg.mice_mean_kb, size=n) * 1e3
+        elephant_sizes = rng.exponential(cfg.elephant_mean_mb, size=n) * 1e6
+        noise = rng.exponential(0.1, size=n)
+
+        # Destination choice: an intra-rack mate, or any other host.
+        src_leaf = self._host_leaf[src_idx]
+        mates_per_rack = cfg.hosts_per_leaf - 1
+        rack_offset = (dst_pick * mates_per_rack).astype(np.int64)
+        rack_base = src_leaf * cfg.hosts_per_leaf
+        within = src_idx - rack_base
+        rack_dst = rack_base + rack_offset + (rack_offset >= within)
+        any_offset = (dst_pick * (num_hosts - 1)).astype(np.int64)
+        any_dst = any_offset + (any_offset >= src_idx)
+        dst_idx = np.where(intra, rack_dst, any_dst)
+
+        # Topology quantities, by column: two hops inside a rack, four hops
+        # across the spine; the edge capacities bottleneck at the host links.
+        same_rack = self._host_leaf[dst_idx] == src_leaf
+        path_length = np.where(same_rack, 2, 4)
+        bottleneck = np.minimum(
+            np.minimum(self._host_capacity[src_idx], self._host_capacity[dst_idx]),
+            np.where(same_rack, np.inf, self._spine_capacity),
+        )
+        sizes = np.where(elephant, elephant_sizes, mice_sizes)
+
+        # Fair-share contention: inherently sequential (each completion
+        # feeds the set of flows active at later start times).
+        concurrent = np.empty(n, dtype=np.int64)
+        completion = np.empty(n)
+        base_latency = 5e-6 * path_length
+        transfer = sizes * 8 / (bottleneck * 1e9)
         active_ends: list[float] = []
-        for flow_id, start in enumerate(starts):
-            src = str(rng.choice(self._hosts))
-            if rng.random() < cfg.intra_rack_fraction:
-                rack = src.split("_")[0]
-                rack_mates = [h for h in self._hosts if h.startswith(rack) and h != src]
-                dst = str(rng.choice(rack_mates))
-            else:
-                dst = str(rng.choice([h for h in self._hosts if h != src]))
-            if rng.random() < cfg.elephant_fraction:
-                size = float(rng.exponential(cfg.elephant_mean_mb)) * 1e6
-            else:
-                size = float(rng.exponential(cfg.mice_mean_kb)) * 1e3
-            path = nx.shortest_path(self.topology, src, dst)
-            path_length = len(path) - 1
-            capacities = [
-                self.topology.edges[path[i], path[i + 1]]["capacity_gbps"]
-                for i in range(path_length)
-            ]
-            bottleneck = min(capacities)
-            # Flows still active at this start time share the bottleneck fairly.
+        for i in range(n):
+            start = starts[i]
             active_ends = [t for t in active_ends if t > start]
-            concurrent = len(active_ends) + 1
-            effective_gbps = bottleneck / concurrent
-            base_latency = 5e-6 * path_length
-            completion = base_latency + size * 8 / (effective_gbps * 1e9)
-            # Queueing noise grows with contention.
-            completion *= float(1.0 + rng.exponential(0.1) * (concurrent - 1))
-            active_ends.append(start + completion)
-            flows.append(
-                DatacenterFlow(
-                    flow_id=flow_id,
-                    src_host=src,
-                    dst_host=dst,
-                    size_bytes=size,
-                    start_time=float(start),
-                    concurrent_flows=concurrent,
-                    path_length=path_length,
-                    bottleneck_gbps=bottleneck,
-                    completion_time=float(completion),
-                )
+            flows_now = len(active_ends) + 1
+            finish = (base_latency[i] + transfer[i] * flows_now) * (
+                1.0 + noise[i] * (flows_now - 1)
             )
-        return flows
+            concurrent[i] = flows_now
+            completion[i] = finish
+            active_ends.append(start + finish)
+        return {
+            "start_time": starts,
+            "src_idx": src_idx,
+            "dst_idx": dst_idx,
+            "size_bytes": sizes,
+            "concurrent_flows": concurrent,
+            "path_length": path_length,
+            "bottleneck_gbps": bottleneck,
+            "completion_time": completion,
+        }
+
+    def generate(self) -> list[DatacenterFlow]:
+        columns = self.flow_columns()
+        hosts = self._hosts
+        return [
+            DatacenterFlow(
+                flow_id=flow_id,
+                src_host=hosts[columns["src_idx"][flow_id]],
+                dst_host=hosts[columns["dst_idx"][flow_id]],
+                size_bytes=float(columns["size_bytes"][flow_id]),
+                start_time=float(columns["start_time"][flow_id]),
+                concurrent_flows=int(columns["concurrent_flows"][flow_id]),
+                path_length=int(columns["path_length"][flow_id]),
+                bottleneck_gbps=float(columns["bottleneck_gbps"][flow_id]),
+                completion_time=float(columns["completion_time"][flow_id]),
+            )
+            for flow_id in range(len(columns["start_time"]))
+        ]
 
     def dataset(self) -> tuple[np.ndarray, np.ndarray]:
-        """Feature matrix and completion-time targets for regression tasks."""
-        flows = self.generate()
-        features = np.stack([f.feature_vector() for f in flows])
-        targets = np.array([f.completion_time for f in flows])
-        return features, targets
+        """Feature matrix and completion-time targets, computed columnar."""
+        columns = self.flow_columns()
+        features = np.stack(
+            [
+                np.log10(columns["size_bytes"] + 1.0),
+                columns["concurrent_flows"].astype(float),
+                columns["path_length"].astype(float),
+                columns["bottleneck_gbps"],
+                columns["start_time"] % 1.0,
+            ],
+            axis=1,
+        )
+        return features, columns["completion_time"]
 
 
 @dataclasses.dataclass
@@ -184,37 +252,43 @@ class CongestionSimulator:
         self.config = config or CongestionConfig()
 
     def simulate(self) -> dict[str, np.ndarray]:
-        """Run the fluid simulation; returns per-tick series."""
+        """Run the fluid simulation; returns per-tick series.
+
+        The burst process (a counter driven only by the burst rolls) runs as
+        a cheap scalar recurrence; the offered load then comes from one
+        batched gamma draw, and only the queue recurrence itself stays
+        sequential.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         ticks = int(cfg.duration / cfg.tick)
         capacity_per_tick = cfg.link_capacity_mbps * 1e6 / 8 * cfg.tick / 1e3  # KB per tick
-        queue = 0.0
+        rolls = rng.random(ticks)
+        bursting = np.zeros(ticks, dtype=bool)
         burst_left = 0
-        arrivals = np.zeros(ticks)
+        for t in range(ticks):
+            if burst_left == 0 and rolls[t] < cfg.burst_probability:
+                burst_left = cfg.burst_duration_ticks
+            bursting[t] = burst_left > 0
+            burst_left = max(burst_left - 1, 0)
+        load = cfg.mean_offered_load * np.where(bursting, cfg.burst_multiplier, 1.0)
+        arrivals = rng.gamma(4.0, load / 4.0) * capacity_per_tick
         queues = np.zeros(ticks)
         drops = np.zeros(ticks)
-        utilization = np.zeros(ticks)
+        served = np.zeros(ticks)
+        queue = 0.0
         for t in range(ticks):
-            if burst_left == 0 and rng.random() < cfg.burst_probability:
-                burst_left = cfg.burst_duration_ticks
-            load = cfg.mean_offered_load * (cfg.burst_multiplier if burst_left > 0 else 1.0)
-            burst_left = max(burst_left - 1, 0)
-            offered = float(rng.gamma(4.0, load / 4.0)) * capacity_per_tick
-            queue += offered
-            served = min(queue, capacity_per_tick)
-            queue -= served
-            dropped = max(queue - cfg.queue_limit_kb, 0.0)
+            queue += arrivals[t]
+            served[t] = min(queue, capacity_per_tick)
+            queue -= served[t]
+            drops[t] = max(queue - cfg.queue_limit_kb, 0.0)
             queue = min(queue, cfg.queue_limit_kb)
-            arrivals[t] = offered
             queues[t] = queue
-            drops[t] = dropped
-            utilization[t] = served / capacity_per_tick
         return {
             "arrivals_kb": arrivals,
             "queue_kb": queues,
             "drops_kb": drops,
-            "utilization": utilization,
+            "utilization": served / capacity_per_tick,
         }
 
     def windowed_dataset(self, window: int = 30) -> tuple[np.ndarray, np.ndarray]:
@@ -228,19 +302,13 @@ class CongestionSimulator:
         series = self.simulate()
         threshold = cfg.congestion_threshold * cfg.queue_limit_kb
         ticks = len(series["queue_kb"])
-        features = []
-        labels = []
-        for start in range(0, ticks - window - cfg.horizon_ticks):
-            stop = start + window
-            window_features = np.stack(
-                [
-                    series["arrivals_kb"][start:stop],
-                    series["queue_kb"][start:stop],
-                    series["utilization"][start:stop],
-                ],
-                axis=-1,
-            )
-            future = series["queue_kb"][stop : stop + cfg.horizon_ticks]
-            features.append(window_features)
-            labels.append(1 if (future >= threshold).any() else 0)
-        return np.stack(features), np.array(labels, dtype=np.int64)
+        num_windows = ticks - window - cfg.horizon_ticks
+        stacked = np.stack(
+            [series["arrivals_kb"], series["queue_kb"], series["utilization"]], axis=-1
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(stacked, window, axis=0)
+        features = np.ascontiguousarray(windows[:num_windows].transpose(0, 2, 1))
+        congested = series["queue_kb"] >= threshold
+        future = np.lib.stride_tricks.sliding_window_view(congested, cfg.horizon_ticks)
+        labels = future[window : window + num_windows].any(axis=1).astype(np.int64)
+        return features, labels

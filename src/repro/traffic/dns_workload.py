@@ -18,13 +18,19 @@ distribution shifts or previously-unseen hostnames appear.
 from __future__ import annotations
 
 import dataclasses
+import struct
 
 import numpy as np
 
-from ..net.addresses import random_private_ipv4
+from ..net.columns import APP_DNS, TRANSPORT_UDP
 from ..net.dns import DNSAnswer, DNSMessage, DNSQuestion, RECORD_TYPES
-from ..net.packet import Packet, build_packet
 from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .columnar import (
+    TracePlan,
+    cached_name,
+    cached_question,
+    random_private_ipv4_array,
+)
 from .domains import DomainSampler, domain_category
 
 __all__ = ["DNSWorkloadConfig", "DNSWorkloadGenerator", "CATEGORY_BEHAVIOUR", "CategoryBehaviour"]
@@ -89,155 +95,248 @@ class DNSWorkloadConfig(TraceConfig):
     aaaa_probability: float = 0.2
 
 
+_MX = RECORD_TYPES["MX"]
+_TXT = RECORD_TYPES["TXT"]
+_AAAA = RECORD_TYPES["AAAA"]
+_A = RECORD_TYPES["A"]
+_CNAME = RECORD_TYPES["CNAME"]
+
+
 class DNSWorkloadGenerator(TrafficGenerator):
-    """Generate labelled DNS query/response traffic."""
+    """Generate labelled DNS query/response traffic.
+
+    The whole workload is drawn up front with vectorized RNG calls (one
+    batched draw per random field across all transactions) and assembled
+    into a :class:`~repro.traffic.columnar.TracePlan`, so
+    ``generate_columns()`` synthesizes the columnar batch without building
+    a single ``Packet``.
+    """
 
     def __init__(self, config: DNSWorkloadConfig | None = None):
         super().__init__(config or DNSWorkloadConfig())
         self.config: DNSWorkloadConfig
 
-    def generate(self) -> list[Packet]:
+    def _plan(self) -> TracePlan:
         cfg = self.config
         rng = cfg.rng()
         sampler = DomainSampler(
             rng, zipf_exponent=cfg.zipf_exponent, category_weights=cfg.category_weights
         )
-        clients = [random_private_ipv4(rng, cfg.client_subnet) for _ in range(cfg.num_clients)]
-        packets: list[Packet] = []
-        for client in clients:
+        clients = random_private_ipv4_array(rng, cfg.client_subnet, cfg.num_clients)
+        offsets = rng.uniform(0, cfg.duration, size=(cfg.num_clients, cfg.queries_per_client))
+        offsets.sort(axis=1)
+
+        # One batched draw per random field across all transactions.
+        count = cfg.num_clients * cfg.queries_per_client
+        domains = sampler.sample_many(count)
+        resolvers = list(cfg.resolvers)
+        resolver_idx = rng.integers(0, len(resolvers), size=count).tolist()
+        src_ports = rng.integers(49152, 65535, size=count).tolist()
+        txids = rng.integers(0, 65536, size=count).tolist()
+        qtype_rolls = rng.random(count).tolist()
+        novel_rolls = rng.random(count).tolist()
+        novel_nums = rng.integers(100, 999, size=count).tolist()
+        host_rolls = rng.random(count).tolist()
+        host_picks = rng.random(count).tolist()
+        nx_rolls = rng.random(count).tolist()
+        ttl_noises = rng.uniform(0.7, 1.3, size=count).tolist()
+        cname_rolls = rng.random(count).tolist()
+        cname_nums = rng.integers(1, 9, size=count).tolist()
+        mx_nums = rng.integers(1, 3, size=count).tolist()
+        latencies = rng.gamma(2.0, 0.01, size=count).tolist()
+
+        categories = [domain_category(domain) for domain in domains]
+        behaviours = [
+            CATEGORY_BEHAVIOUR.get(category, _DEFAULT_BEHAVIOUR) for category in categories
+        ]
+        mean_answers = np.fromiter((b.mean_answers for b in behaviours), np.float64, count)
+        poisson_counts = rng.poisson(mean_answers)
+        # Address-record rdata values, drawn in one batch per record type.
+        address_counts = np.maximum(1, poisson_counts).tolist()
+        a_octets = rng.integers(1, 255, size=(sum(address_counts), 2)).tolist()
+        aaaa_groups = rng.integers(0, 0xFFFF, size=(sum(address_counts), 4)).tolist()
+
+        # Whole-column decisions: query type, TTL, NXDOMAIN flag.
+        mx_p = np.fromiter((b.mx_probability for b in behaviours), np.float64, count)
+        txt_p = np.fromiter((b.txt_probability for b in behaviours), np.float64, count)
+        aaaa_p = np.fromiter((b.aaaa_probability for b in behaviours), np.float64, count)
+        rolls = np.asarray(qtype_rolls)
+        qtypes = np.select(
+            [rolls < mx_p, rolls < mx_p + txt_p, rolls < mx_p + txt_p + aaaa_p],
+            [_MX, _TXT, _AAAA],
+            _A,
+        ).tolist()
+        ttl_base = np.fromiter((b.ttl_seconds for b in behaviours), np.float64, count)
+        ttls = np.maximum(
+            (ttl_base * cfg.ttl_scale * np.asarray(ttl_noises)).astype(np.int64), 5
+        ).tolist()
+        nxdomains = (np.asarray(nx_rolls) < cfg.nxdomain_probability).tolist()
+        novel = (np.asarray(novel_rolls) < cfg.novel_hostname_probability).tolist()
+        hostname = (np.asarray(host_rolls) < cfg.hostname_probability).tolist()
+
+        # Row assembly: append per-field values in object-path order (query,
+        # response per transaction) and hand the parallel lists to the plan
+        # in one extend call.  Payload bytes are assembled from cached
+        # fragments plus rdata bytes derived straight from the drawn values.
+        plan = TracePlan()
+        tx_clients = [client for client in clients for _ in range(cfg.queries_per_client)]
+        tx_sessions: list[int] = []
+        for _ in clients:
             session_id = next_session_id()
-            times = np.sort(rng.uniform(0, cfg.duration, size=cfg.queries_per_client))
-            for offset in times:
-                packets.extend(
-                    self._one_transaction(
-                        rng, sampler, client, cfg.start_time + float(offset), session_id
-                    )
-                )
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
-
-    # ------------------------------------------------------------------
-    # One query/response transaction
-    # ------------------------------------------------------------------
-    def _one_transaction(
-        self,
-        rng: np.random.Generator,
-        sampler: DomainSampler,
-        client: str,
-        when: float,
-        session_id: int,
-    ) -> list[Packet]:
-        cfg = self.config
-        base_domain = sampler.sample()
-        category = domain_category(base_domain)
-        behaviour = CATEGORY_BEHAVIOUR.get(category, _DEFAULT_BEHAVIOUR)
-        domain = self._query_name(rng, base_domain, behaviour)
-        resolver = str(rng.choice(list(cfg.resolvers)))
-        src_port = int(rng.integers(49152, 65535))
-        transaction_id = int(rng.integers(0, 65536))
-        connection_id = next_connection_id()
-        qtype = self._query_type(rng, behaviour)
-        question = DNSQuestion(name=domain, qtype=qtype)
-
-        metadata = {
-            "application": "dns",
-            "domain": base_domain,
-            "domain_category": category,
-            "connection_id": connection_id,
-            "session_id": session_id,
-            "anomaly": False,
-        }
-
-        query = DNSMessage(transaction_id=transaction_id, questions=[question])
-        query_packet = build_packet(
-            when, client, resolver, "UDP", src_port, 53, application=query,
-            metadata=dict(metadata, direction="query"),
-        )
-
-        nxdomain = rng.random() < cfg.nxdomain_probability
-        answers = [] if nxdomain else self._answers(rng, domain, base_domain, qtype, behaviour)
-        response = DNSMessage(
-            transaction_id=transaction_id,
-            is_response=True,
-            questions=[question],
-            answers=answers,
-            rcode=3 if nxdomain else 0,
-        )
-        latency = float(rng.gamma(2.0, 0.01))
-        response_packet = build_packet(
-            when + latency, resolver, client, "UDP", 53, src_port, application=response,
-            metadata=dict(metadata, direction="response", nxdomain=nxdomain),
-        )
-        return [query_packet, response_packet]
-
-    def _query_name(
-        self, rng: np.random.Generator, base_domain: str, behaviour: CategoryBehaviour
-    ) -> str:
-        cfg = self.config
-        if rng.random() < cfg.novel_hostname_probability:
-            # A hostname label never seen in the training workload: models
-            # that memorised full names cannot rely on it.
-            label = f"srv{int(rng.integers(100, 999))}"
-            return f"{label}.{base_domain}"
-        if rng.random() < cfg.hostname_probability and behaviour.host_labels:
-            label = str(rng.choice(list(behaviour.host_labels)))
-            return f"{label}.{base_domain}"
-        return base_domain
-
-    @staticmethod
-    def _query_type(rng: np.random.Generator, behaviour: CategoryBehaviour) -> int:
-        roll = rng.random()
-        if roll < behaviour.mx_probability:
-            return RECORD_TYPES["MX"]
-        roll -= behaviour.mx_probability
-        if roll < behaviour.txt_probability:
-            return RECORD_TYPES["TXT"]
-        roll -= behaviour.txt_probability
-        if roll < behaviour.aaaa_probability:
-            return RECORD_TYPES["AAAA"]
-        return RECORD_TYPES["A"]
-
-    def _answers(
-        self,
-        rng: np.random.Generator,
-        query_name: str,
-        base_domain: str,
-        qtype: int,
-        behaviour: CategoryBehaviour,
-    ) -> list[DNSAnswer]:
-        cfg = self.config
-        ttl = max(int(behaviour.ttl_seconds * cfg.ttl_scale * float(rng.uniform(0.7, 1.3))), 5)
-        answers: list[DNSAnswer] = []
-        if qtype == RECORD_TYPES["MX"]:
-            for priority in (10, 20)[: int(rng.integers(1, 3))]:
-                answers.append(DNSAnswer(
-                    name=query_name, rtype=RECORD_TYPES["MX"], ttl=ttl,
-                    rdata=f"{priority} mx{priority // 10}.{base_domain}",
-                ))
-            return answers
-        if qtype == RECORD_TYPES["TXT"]:
-            answers.append(DNSAnswer(
-                name=query_name, rtype=RECORD_TYPES["TXT"], ttl=ttl,
-                rdata=f"v=spf1 include:{base_domain} ~all",
-            ))
-            return answers
-
-        target = query_name
-        if rng.random() < behaviour.cname_probability:
-            target = f"edge-{int(rng.integers(1, 9))}.cdn.{base_domain}"
-            answers.append(
-                DNSAnswer(name=query_name, rtype=RECORD_TYPES["CNAME"], ttl=ttl, rdata=target)
-            )
-        count = max(1, int(rng.poisson(behaviour.mean_answers)))
-        for _ in range(count):
-            if qtype == RECORD_TYPES["AAAA"]:
-                groups = rng.integers(0, 0xFFFF, size=4)
-                rdata = "2001:db8:" + ":".join(f"{g:x}" for g in groups)
-                answers.append(
-                    DNSAnswer(name=target, rtype=RECORD_TYPES["AAAA"], ttl=ttl, rdata=rdata)
-                )
+            tx_sessions.extend([session_id] * cfg.queries_per_client)
+        whens = (cfg.start_time + offsets).ravel().tolist()
+        tx_resolvers = [resolvers[i] for i in resolver_idx]
+        when_l: list[float] = []
+        src_l: list[str] = []
+        dst_l: list[str] = []
+        sport_l: list[int] = []
+        dport_l: list[int] = []
+        md_l: list[dict] = []
+        app_l: list = []
+        pay_l: list[bytes] = []
+        pack = struct.pack
+        a_cursor = 0
+        aaaa_cursor = 0
+        question_cache: dict[tuple[str, int], DNSQuestion] = {}
+        for (
+            when, client, session_id, base_domain, category, behaviour, qtype,
+            txid, resolver, src_port, latency, is_novel, novel_num, has_label,
+            host_pick, nxdomain, ttl, cname_roll, cname_num, mx_num, count_here,
+        ) in zip(
+            whens, tx_clients, tx_sessions, domains, categories, behaviours, qtypes,
+            txids, tx_resolvers, src_ports, latencies, novel, novel_nums, hostname,
+            host_picks, nxdomains, ttls, cname_rolls, cname_nums, mx_nums,
+            address_counts,
+        ):
+            # Query name (novel / known hostname label / bare domain).
+            if is_novel:
+                domain = f"srv{novel_num}.{base_domain}"
+            elif has_label and behaviour.host_labels:
+                labels = behaviour.host_labels
+                domain = f"{labels[int(host_pick * len(labels))]}.{base_domain}"
             else:
-                octets = rng.integers(1, 255, size=2)
-                rdata = f"93.{100 + int(octets[0]) % 90}.{octets[0]}.{octets[1]}"
-                answers.append(DNSAnswer(name=target, rtype=RECORD_TYPES["A"], ttl=ttl, rdata=rdata))
-        return answers
+                domain = base_domain
+
+            question_key = (domain, qtype)
+            question = question_cache.get(question_key)
+            if question is None:
+                question = question_cache[question_key] = DNSQuestion(
+                    name=domain, qtype=qtype
+                )
+            question_bytes = cached_question(domain, qtype)
+            connection_id = next_connection_id()
+
+            when_l.append(when)
+            src_l.append(client)
+            dst_l.append(resolver)
+            sport_l.append(src_port)
+            dport_l.append(53)
+            md_l.append({
+                "application": "dns",
+                "domain": base_domain,
+                "domain_category": category,
+                "connection_id": connection_id,
+                "session_id": session_id,
+                "anomaly": False,
+                "direction": "query",
+            })
+            app_l.append(DNSMessage(transaction_id=txid, questions=[question]))
+            pay_l.append(pack("!HHHHHH", txid, 0x0100, 1, 0, 0, 0) + question_bytes)
+
+            answers: list[DNSAnswer] = []
+            parts: list[bytes] = []
+            if not nxdomain:
+                if qtype == _MX:
+                    for priority in (10, 20)[:mx_num]:
+                        host = f"mx{priority // 10}.{base_domain}"
+                        answers.append(DNSAnswer(
+                            name=domain, rtype=_MX, ttl=ttl,
+                            rdata=f"{priority} {host}",
+                        ))
+                        rdata = pack("!H", priority) + cached_name(host)
+                        parts.append(cached_name(domain))
+                        parts.append(pack("!HHIH", _MX, 1, ttl, len(rdata)))
+                        parts.append(rdata)
+                elif qtype == _TXT:
+                    rdata_str = f"v=spf1 include:{base_domain} ~all"
+                    answers.append(DNSAnswer(
+                        name=domain, rtype=_TXT, ttl=ttl, rdata=rdata_str,
+                    ))
+                    raw = rdata_str.encode("utf-8")
+                    rdata = bytes([len(raw)]) + raw
+                    parts.append(cached_name(domain))
+                    parts.append(pack("!HHIH", _TXT, 1, ttl, len(rdata)))
+                    parts.append(rdata)
+                else:
+                    target = domain
+                    if cname_roll < behaviour.cname_probability:
+                        target = f"edge-{cname_num}.cdn.{base_domain}"
+                        answers.append(DNSAnswer(
+                            name=domain, rtype=_CNAME, ttl=ttl, rdata=target,
+                        ))
+                        rdata = cached_name(target)
+                        parts.append(cached_name(domain))
+                        parts.append(pack("!HHIH", _CNAME, 1, ttl, len(rdata)))
+                        parts.append(rdata)
+                    target_bytes = cached_name(target)
+                    if qtype == _AAAA:
+                        meta16 = pack("!HHIH", _AAAA, 1, ttl, 16)
+                        for groups in aaaa_groups[aaaa_cursor : aaaa_cursor + count_here]:
+                            rdata_str = "2001:db8:" + ":".join(f"{g:x}" for g in groups)
+                            answers.append(DNSAnswer(
+                                name=target, rtype=_AAAA, ttl=ttl, rdata=rdata_str,
+                            ))
+                            parts.append(target_bytes)
+                            parts.append(meta16)
+                            parts.append(pack("!8H", 0x2001, 0x0DB8, *groups, 0, 0))
+                        aaaa_cursor += count_here
+                    else:
+                        meta4 = pack("!HHIH", _A, 1, ttl, 4)
+                        for octets in a_octets[a_cursor : a_cursor + count_here]:
+                            second = 100 + octets[0] % 90
+                            answers.append(DNSAnswer(
+                                name=target, rtype=_A, ttl=ttl,
+                                rdata=f"93.{second}.{octets[0]}.{octets[1]}",
+                            ))
+                            parts.append(target_bytes)
+                            parts.append(meta4)
+                            parts.append(bytes((93, second, octets[0], octets[1])))
+                        a_cursor += count_here
+
+            when_l.append(when + latency)
+            src_l.append(resolver)
+            dst_l.append(client)
+            sport_l.append(53)
+            dport_l.append(src_port)
+            md_l.append({
+                "application": "dns",
+                "domain": base_domain,
+                "domain_category": category,
+                "connection_id": connection_id,
+                "session_id": session_id,
+                "anomaly": False,
+                "direction": "response",
+                "nxdomain": nxdomain,
+            })
+            app_l.append(DNSMessage(
+                transaction_id=txid,
+                is_response=True,
+                questions=[question],
+                answers=answers,
+                rcode=3 if nxdomain else 0,
+            ))
+            flags = 0x8000 | 0x0080 | 0x0100 | (3 if nxdomain else 0)
+            pay_l.append(
+                pack("!HHHHHH", txid, flags, 1, len(answers), 0, 0)
+                + question_bytes
+                + b"".join(parts)
+            )
+
+        plan.extend(
+            2 * count,
+            timestamps=when_l, src_ips=src_l, dst_ips=dst_l,
+            src_ports=sport_l, dst_ports=dport_l, metadata=md_l,
+            kinds=TRANSPORT_UDP, applications=app_l, payloads=pay_l,
+            app_kinds=APP_DNS,
+        )
+        return plan

@@ -132,7 +132,31 @@ class DomainSampler:
         return domains[index]
 
     def sample_many(self, count: int, category: str | None = None) -> list[str]:
-        return [self.sample(category) for _ in range(count)]
+        """Sample ``count`` domains with batched draws (one per category).
+
+        Category assignment and per-category rank selection each run as a
+        single vectorized ``choice`` call, so large workload plans do not pay
+        per-sample RNG dispatch.
+        """
+        if count <= 0:
+            return []
+        if category is None:
+            category_idx = self.rng.choice(
+                len(self._categories), size=count, p=self._category_probs
+            )
+        else:
+            if category not in DOMAIN_CATEGORIES:
+                raise KeyError(f"unknown domain category {category!r}")
+            category_idx = np.full(count, self._categories.index(category))
+        out: list[str] = [""] * count
+        for index in np.unique(category_idx):
+            name = self._categories[int(index)]
+            domains = DOMAIN_CATEGORIES[name]
+            rows = np.flatnonzero(category_idx == index)
+            picks = self.rng.choice(len(domains), size=len(rows), p=self._rank_probs[name])
+            for row, pick in zip(rows.tolist(), picks.tolist()):
+                out[row] = domains[pick]
+        return out
 
 
 def generate_dga_domain(rng: np.random.Generator, length: int = 16, tld: str = "info") -> str:

@@ -6,6 +6,12 @@ status depend on the request, and a teardown.  The generator emits complete
 connections with per-packet ``connection_id`` so context builders can
 reconstruct them, and per-connection application labels derived from the
 server's role (web, video, ads, ...).
+
+Both generators are plan-based: every random field is drawn with one batched
+RNG call across all sessions, and the resulting
+:class:`~repro.traffic.columnar.TracePlan` materializes either as packet
+objects (``generate()``) or as a native columnar batch
+(``generate_columns()``), bit-identically.
 """
 
 from __future__ import annotations
@@ -14,19 +20,30 @@ import dataclasses
 
 import numpy as np
 
-from ..net.addresses import random_ipv4, random_private_ipv4
+from ..net.columns import APP_HTTP_REQUEST, APP_HTTP_RESPONSE, TRANSPORT_TCP
 from ..net.headers import TCP_FLAG_ACK, TCP_FLAG_FIN, TCP_FLAG_PSH, TCP_FLAG_SYN
 from ..net.http import COMMON_USER_AGENTS, HTTPRequest, HTTPResponse
-from ..net.packet import Packet, build_packet
 from ..net.ports import CIPHERSUITE_STRENGTH
 from ..net.tls import TLSClientHello, TLSServerHello
 from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
-from .domains import DOMAIN_CATEGORIES, DomainSampler, domain_category
+from .columnar import (
+    TracePlan,
+    encode_application_fast,
+    random_ipv4_array,
+    random_private_ipv4_array,
+)
+from .domains import DomainSampler, domain_category
 
 __all__ = ["HTTPWorkloadConfig", "HTTPWorkloadGenerator", "TLSWorkloadConfig", "TLSWorkloadGenerator"]
 
 _PATHS = ["/", "/index.html", "/api/v1/items", "/static/app.js", "/images/logo.png",
           "/watch", "/feed", "/login", "/search?q=networks", "/metrics"]
+
+_ERROR_STATUSES = (404, 500, 503)
+_OK_STATUSES = (200, 200, 200, 301, 304)
+_PSH_ACK = TCP_FLAG_PSH | TCP_FLAG_ACK
+_FIN_ACK = TCP_FLAG_FIN | TCP_FLAG_ACK
+_SYN_ACK = TCP_FLAG_SYN | TCP_FLAG_ACK
 
 
 @dataclasses.dataclass
@@ -47,87 +64,139 @@ class HTTPWorkloadGenerator(TrafficGenerator):
         super().__init__(config or HTTPWorkloadConfig())
         self.config: HTTPWorkloadConfig
 
-    def generate(self) -> list[Packet]:
+    def _plan(self) -> TracePlan:
         cfg = self.config
         rng = cfg.rng()
         sampler = DomainSampler(rng, category_weights=cfg.category_weights)
-        packets: list[Packet] = []
-        for _ in range(cfg.num_sessions):
-            client = random_private_ipv4(rng, cfg.client_subnet)
-            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
-            packets.extend(self._one_session(rng, sampler, client, when))
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
+        sessions = cfg.num_sessions
 
-    def _one_session(
-        self, rng: np.random.Generator, sampler: DomainSampler, client: str, when: float
-    ) -> list[Packet]:
-        cfg = self.config
-        domain = sampler.sample()
-        category = domain_category(domain)
-        server = random_ipv4(rng)
-        session_id = next_session_id()
-        connection_id = next_connection_id()
-        src_port = int(rng.integers(49152, 65535))
-        user_agent = str(rng.choice(COMMON_USER_AGENTS))
-        metadata = {
-            "application": "http",
-            "domain": domain,
-            "domain_category": category,
-            "connection_id": connection_id,
-            "session_id": session_id,
-            "anomaly": False,
-        }
+        clients = random_private_ipv4_array(rng, cfg.client_subnet, sessions)
+        whens = (cfg.start_time + rng.uniform(0, cfg.duration, size=sessions)).tolist()
+        domains = sampler.sample_many(sessions)
+        servers = random_ipv4_array(rng, sessions)
+        src_ports = rng.integers(49152, 65535, size=sessions).tolist()
+        ua_idx = rng.integers(0, len(COMMON_USER_AGENTS), size=sessions).tolist()
+        rtts = rng.gamma(2.0, 0.01, size=sessions).tolist()
+        seq_clients = rng.integers(1, 2 ** 31, size=sessions).tolist()
+        seq_servers = rng.integers(1, 2 ** 31, size=sessions).tolist()
+        num_requests = np.maximum(
+            1, rng.poisson(cfg.requests_per_session, size=sessions)
+        ).tolist()
+        total_requests = int(sum(num_requests))
+        gaps = rng.exponential(0.2, size=total_requests).tolist()
+        path_idx = rng.integers(0, len(_PATHS), size=total_requests).tolist()
+        error_rolls = rng.random(total_requests).tolist()
+        error_pick = rng.integers(0, len(_ERROR_STATUSES), size=total_requests).tolist()
+        ok_pick = rng.integers(0, len(_OK_STATUSES), size=total_requests).tolist()
+        size_kb = rng.exponential(cfg.mean_response_kb, size=total_requests).tolist()
+        size_alt = rng.integers(0, 512, size=total_requests).tolist()
 
-        packets: list[Packet] = []
-        rtt = float(rng.gamma(2.0, 0.01))
-        seq_client, seq_server = int(rng.integers(1, 2 ** 31)), int(rng.integers(1, 2 ** 31))
+        when_l: list[float] = []
+        src_l: list[str] = []
+        dst_l: list[str] = []
+        sport_l: list[int] = []
+        dport_l: list[int] = []
+        flags_l: list[int] = []
+        seq_l: list[int] = []
+        ack_l: list[int] = []
+        md_l: list[dict] = []
+        app_l: list = []
+        pay_l: list[bytes] = []
 
-        def tcp(time, src, dst, sport, dport, flags, seq=0, ack=0, application=None, extra=None):
-            md = dict(metadata)
-            if extra:
-                md.update(extra)
-            return build_packet(
-                time, src, dst, "TCP", sport, dport, application=application,
-                tcp_flags=flags, seq=seq, ack=ack, metadata=md,
-            )
+        def row(time, src, dst, sport, dport, flags, seq, ack, md, app=None, payload=b""):
+            when_l.append(time)
+            src_l.append(src)
+            dst_l.append(dst)
+            sport_l.append(sport)
+            dport_l.append(dport)
+            flags_l.append(flags)
+            seq_l.append(seq)
+            ack_l.append(ack)
+            md_l.append(md)
+            app_l.append(app)
+            pay_l.append(payload)
 
-        # Three-way handshake.
-        packets.append(tcp(when, client, server, src_port, 80, TCP_FLAG_SYN, seq=seq_client))
-        packets.append(tcp(when + rtt, server, client, 80, src_port, TCP_FLAG_SYN | TCP_FLAG_ACK,
-                           seq=seq_server, ack=seq_client + 1))
-        packets.append(tcp(when + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
-                           seq=seq_client + 1, ack=seq_server + 1))
+        request_index = 0
+        for s in range(sessions):
+            client = clients[s]
+            server = servers[s]
+            domain = domains[s]
+            category = domain_category(domain)
+            src_port = src_ports[s]
+            user_agent = COMMON_USER_AGENTS[ua_idx[s]]
+            rtt = rtts[s]
+            when = whens[s]
+            seq_client, seq_server = seq_clients[s], seq_servers[s]
+            metadata = {
+                "application": "http",
+                "domain": domain,
+                "domain_category": category,
+                "connection_id": next_connection_id(),
+                "session_id": next_session_id(),
+                "anomaly": False,
+            }
 
-        cursor = when + 2 * rtt
-        num_requests = max(1, int(rng.poisson(cfg.requests_per_session)))
-        for _ in range(num_requests):
-            cursor += float(rng.exponential(0.2))
-            path = str(rng.choice(_PATHS))
-            request = HTTPRequest(method="GET", path=path, host=domain, user_agent=user_agent)
-            packets.append(tcp(cursor, client, server, src_port, 80,
-                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_client, ack=seq_server,
-                               application=request, extra={"direction": "request"}))
-            error = rng.random() < cfg.error_rate
-            status = int(rng.choice([404, 500, 503])) if error else int(rng.choice([200, 200, 200, 301, 304]))
-            size = int(rng.exponential(cfg.mean_response_kb) * 1024) if status == 200 else int(rng.integers(0, 512))
+            # Three-way handshake.
+            row(when, client, server, src_port, 80, TCP_FLAG_SYN, seq_client, 0, dict(metadata))
+            row(when + rtt, server, client, 80, src_port, _SYN_ACK,
+                seq_server, seq_client + 1, dict(metadata))
+            row(when + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                seq_client + 1, seq_server + 1, dict(metadata))
+
+            cursor = when + 2 * rtt
             content_type = "video/mp4" if category == "video" else "text/html"
-            response = HTTPResponse(status=status, content_length=size, content_type=content_type)
-            packets.append(tcp(cursor + rtt, server, client, 80, src_port,
-                               TCP_FLAG_PSH | TCP_FLAG_ACK, seq=seq_server, ack=seq_client,
-                               application=response, extra={"direction": "response", "status": status}))
-            seq_client += len(request.encode())
-            seq_server += len(response.encode()) + size
+            for _ in range(num_requests[s]):
+                cursor += gaps[request_index]
+                request = HTTPRequest(
+                    method="GET", path=_PATHS[path_idx[request_index]],
+                    host=domain, user_agent=user_agent,
+                )
+                request_bytes = encode_application_fast(request)
+                row(cursor, client, server, src_port, 80, _PSH_ACK, seq_client, seq_server,
+                    dict(metadata, direction="request"), request, request_bytes)
+                if error_rolls[request_index] < cfg.error_rate:
+                    status = _ERROR_STATUSES[error_pick[request_index]]
+                else:
+                    status = _OK_STATUSES[ok_pick[request_index]]
+                size = (
+                    int(size_kb[request_index] * 1024)
+                    if status == 200
+                    else size_alt[request_index]
+                )
+                response = HTTPResponse(
+                    status=status, content_length=size, content_type=content_type
+                )
+                response_bytes = encode_application_fast(response)
+                row(cursor + rtt, server, client, 80, src_port, _PSH_ACK, seq_server, seq_client,
+                    dict(metadata, direction="response", status=status), response, response_bytes)
+                seq_client += len(request_bytes)
+                seq_server += len(response_bytes) + size
+                request_index += 1
 
-        # Teardown.
-        cursor += rtt
-        packets.append(tcp(cursor, client, server, src_port, 80, TCP_FLAG_FIN | TCP_FLAG_ACK,
-                           seq=seq_client, ack=seq_server))
-        packets.append(tcp(cursor + rtt, server, client, 80, src_port, TCP_FLAG_FIN | TCP_FLAG_ACK,
-                           seq=seq_server, ack=seq_client + 1))
-        packets.append(tcp(cursor + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
-                           seq=seq_client + 1, ack=seq_server + 1))
-        return packets
+            # Teardown.
+            cursor += rtt
+            row(cursor, client, server, src_port, 80, _FIN_ACK, seq_client, seq_server,
+                dict(metadata))
+            row(cursor + rtt, server, client, 80, src_port, _FIN_ACK,
+                seq_server, seq_client + 1, dict(metadata))
+            row(cursor + 2 * rtt, client, server, src_port, 80, TCP_FLAG_ACK,
+                seq_client + 1, seq_server + 1, dict(metadata))
+
+        plan = TracePlan()
+        plan.extend(
+            len(when_l),
+            timestamps=when_l, src_ips=src_l, dst_ips=dst_l,
+            src_ports=sport_l, dst_ports=dport_l, metadata=md_l,
+            kinds=TRANSPORT_TCP, applications=app_l, payloads=pay_l,
+            app_kinds=[
+                APP_HTTP_REQUEST if isinstance(app, HTTPRequest)
+                else APP_HTTP_RESPONSE if isinstance(app, HTTPResponse)
+                else 0
+                for app in app_l
+            ],
+            tcp_flags=flags_l, seqs=seq_l, acks=ack_l,
+        )
+        return plan
 
 
 #: Client profiles with distinct ciphersuite offer lists.  "legacy" and "iot"
@@ -158,7 +227,7 @@ class TLSWorkloadGenerator(TrafficGenerator):
         super().__init__(config or TLSWorkloadConfig())
         self.config: TLSWorkloadConfig
 
-    def generate(self) -> list[Packet]:
+    def _plan(self) -> TracePlan:
         cfg = self.config
         rng = cfg.rng()
         sampler = DomainSampler(rng, category_weights=cfg.category_weights)
@@ -170,61 +239,84 @@ class TLSWorkloadGenerator(TrafficGenerator):
         if weights.sum() <= 0:
             raise ValueError("profile weights must sum to a positive value")
         weights = weights / weights.sum()
-        packets: list[Packet] = []
-        for _ in range(cfg.num_sessions):
-            client = random_private_ipv4(rng, cfg.client_subnet)
-            server = random_ipv4(rng)
-            profile = str(rng.choice(profiles, p=weights))
-            domain = sampler.sample()
-            when = cfg.start_time + float(rng.uniform(0, cfg.duration))
-            packets.extend(self._handshake(rng, client, server, profile, domain, when))
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
 
-    def _handshake(
-        self,
-        rng: np.random.Generator,
-        client: str,
-        server: str,
-        profile: str,
-        domain: str,
-        when: float,
-    ) -> list[Packet]:
-        offered = list(_TLS_CLIENT_PROFILES[profile])
-        # Shuffle the tail so offers are not byte-identical across connections.
-        tail = offered[2:]
-        rng.shuffle(tail)
-        offered = offered[:2] + tail
-        strong = [c for c in offered if c in CIPHERSUITE_STRENGTH["strong"]]
-        selected = strong[0] if strong else offered[0]
-        connection_id = next_connection_id()
-        src_port = int(rng.integers(49152, 65535))
-        metadata = {
-            "application": "https",
-            "domain": domain,
-            "domain_category": domain_category(domain),
-            "tls_profile": profile,
-            "connection_id": connection_id,
-            "session_id": next_session_id(),
-            "selected_ciphersuite": selected,
-            "anomaly": False,
-        }
-        rtt = float(rng.gamma(2.0, 0.01))
-        client_hello = TLSClientHello(
-            ciphersuites=offered,
-            server_name=domain,
-            client_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
+        sessions = cfg.num_sessions
+        clients = random_private_ipv4_array(rng, cfg.client_subnet, sessions)
+        servers = random_ipv4_array(rng, sessions)
+        profile_idx = rng.choice(len(profiles), size=sessions, p=weights).tolist()
+        domains = sampler.sample_many(sessions)
+        whens = (cfg.start_time + rng.uniform(0, cfg.duration, size=sessions)).tolist()
+        src_ports = rng.integers(49152, 65535, size=sessions).tolist()
+        rtts = rng.gamma(2.0, 0.01, size=sessions).tolist()
+        client_randoms = rng.integers(0, 256, size=(sessions, 32), dtype=np.uint8)
+        server_randoms = rng.integers(0, 256, size=(sessions, 32), dtype=np.uint8)
+        strong = CIPHERSUITE_STRENGTH["strong"]
+
+        # Shuffle the offer-list tails so offers are not byte-identical across
+        # connections — one batched permutation per profile.
+        offers: list[list[int] | None] = [None] * sessions
+        profile_rows: dict[int, list[int]] = {}
+        for s, p in enumerate(profile_idx):
+            profile_rows.setdefault(p, []).append(s)
+        for p, rows in sorted(profile_rows.items()):
+            head = _TLS_CLIENT_PROFILES[profiles[p]][:2]
+            tail = _TLS_CLIENT_PROFILES[profiles[p]][2:]
+            tails = rng.permuted(np.tile(tail, (len(rows), 1)), axis=1).tolist()
+            for s, shuffled in zip(rows, tails):
+                offers[s] = head + shuffled
+
+        when_l: list[float] = []
+        src_l: list[str] = []
+        dst_l: list[str] = []
+        sport_l: list[int] = []
+        dport_l: list[int] = []
+        md_l: list[dict] = []
+        app_l: list = []
+        pay_l: list[bytes] = []
+        for s in range(sessions):
+            profile = profiles[profile_idx[s]]
+            offered = offers[s]
+            preferred = [c for c in offered if c in strong]
+            selected = preferred[0] if preferred else offered[0]
+            domain = domains[s]
+            metadata = {
+                "application": "https",
+                "domain": domain,
+                "domain_category": domain_category(domain),
+                "tls_profile": profile,
+                "connection_id": next_connection_id(),
+                "session_id": next_session_id(),
+                "selected_ciphersuite": selected,
+                "anomaly": False,
+            }
+            client_hello = TLSClientHello(
+                ciphersuites=offered,
+                server_name=domain,
+                client_random=client_randoms[s].tobytes(),
+            )
+            server_hello = TLSServerHello(
+                ciphersuite=selected,
+                server_random=server_randoms[s].tobytes(),
+            )
+            when = whens[s]
+            src_port = src_ports[s]
+            when_l.extend((when, when + rtts[s]))
+            src_l.extend((clients[s], servers[s]))
+            dst_l.extend((servers[s], clients[s]))
+            sport_l.extend((src_port, 443))
+            dport_l.extend((443, src_port))
+            md_l.append(dict(metadata, direction="client-hello"))
+            md_l.append(dict(metadata, direction="server-hello"))
+            app_l.extend((client_hello, server_hello))
+            pay_l.append(encode_application_fast(client_hello))
+            pay_l.append(encode_application_fast(server_hello))
+
+        plan = TracePlan()
+        plan.extend(
+            len(when_l),
+            timestamps=when_l, src_ips=src_l, dst_ips=dst_l,
+            src_ports=sport_l, dst_ports=dport_l, metadata=md_l,
+            kinds=TRANSPORT_TCP, applications=app_l, payloads=pay_l,
+            tcp_flags=_PSH_ACK,
         )
-        server_hello = TLSServerHello(
-            ciphersuite=selected,
-            server_random=bytes(rng.integers(0, 256, size=32, dtype=np.uint8).tolist()),
-        )
-        hello = build_packet(
-            when, client, server, "TCP", src_port, 443, application=client_hello,
-            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="client-hello"),
-        )
-        reply = build_packet(
-            when + rtt, server, client, "TCP", 443, src_port, application=server_hello,
-            tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="server-hello"),
-        )
-        return [hello, reply]
+        return plan

@@ -5,32 +5,79 @@ packets from different end points may be interleaved", and that even a single
 endpoint's traffic mixes packets of concurrent connections.  These helpers
 apply those effects to a merged trace so context-construction strategies can
 be evaluated under realistic conditions (experiment E6).
+
+Every helper is polymorphic over the trace representation: packet lists take
+the per-object path, :class:`~repro.net.columns.PacketColumns` batches take a
+whole-column path (batched normal draws, boolean-mask row selection).  The
+two paths consume the RNG identically, so a columnar capture is bit-identical
+to columnarizing the object capture built with the same seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..net.columns import PacketColumns
 from ..net.packet import Packet
 from .base import merge_traces
 
 __all__ = ["interleave_at_capture_point", "apply_jitter", "drop_packets", "reorder_within_window"]
 
 
+def _capture_columns(
+    traces,
+    rng: np.random.Generator,
+    jitter_std: float,
+    loss_rate: float,
+) -> PacketColumns:
+    """Merge + jitter + loss with a single row gather at the end.
+
+    Row-for-row identical to composing :func:`apply_jitter` and
+    :func:`drop_packets` on the merged batch (the RNG is consumed in the
+    same order: per-row normal draws over the merged-sorted rows, then one
+    uniform per surviving candidate), but only materializes one copy.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    parts = [
+        trace if isinstance(trace, PacketColumns) else PacketColumns.from_packets(trace)
+        for trace in traces
+    ]
+    merged = PacketColumns.concat(parts)
+    order = np.argsort(merged.timestamps, kind="stable")
+    timestamps = merged.timestamps[order]
+    if jitter_std > 0:
+        jittered = np.maximum(timestamps + rng.normal(0, jitter_std, size=len(order)), 0.0)
+        resort = np.argsort(jittered, kind="stable")
+        order = order[resort]
+        timestamps = jittered[resort]
+    if loss_rate > 0:
+        keep = rng.random(len(order)) >= loss_rate
+        order = order[keep]
+        timestamps = timestamps[keep]
+    capture = merged.select(order)
+    capture.timestamps = timestamps
+    return capture
+
+
 def interleave_at_capture_point(
-    *traces: list[Packet],
+    *traces: "list[Packet] | PacketColumns",
     rng: np.random.Generator | None = None,
     jitter_std: float = 0.0,
     loss_rate: float = 0.0,
-) -> list[Packet]:
+) -> "list[Packet] | PacketColumns":
     """Merge endpoint traces into one border-router capture.
 
     Optionally perturbs timestamps with Gaussian jitter (modelling queueing
     upstream of the tap) and drops a fraction of packets (modelling an
-    overloaded span port).
+    overloaded span port).  If any input trace is a
+    :class:`~repro.net.columns.PacketColumns` batch the capture is built (and
+    returned) columnar.
     """
-    merged = merge_traces(*traces)
     rng = rng or np.random.default_rng(0)
+    if any(isinstance(trace, PacketColumns) for trace in traces):
+        return _capture_columns(traces, rng, jitter_std, loss_rate)
+    merged = merge_traces(*traces)
     if jitter_std > 0:
         merged = apply_jitter(merged, jitter_std, rng)
     if loss_rate > 0:
@@ -38,8 +85,16 @@ def interleave_at_capture_point(
     return merged
 
 
-def apply_jitter(packets: list[Packet], std: float, rng: np.random.Generator) -> list[Packet]:
+def apply_jitter(
+    packets: "list[Packet] | PacketColumns", std: float, rng: np.random.Generator
+) -> "list[Packet] | PacketColumns":
     """Add zero-mean Gaussian noise to timestamps and re-sort."""
+    if isinstance(packets, PacketColumns):
+        jittered = np.maximum(packets.timestamps + rng.normal(0, std, size=len(packets)), 0.0)
+        order = np.argsort(jittered, kind="stable")
+        shifted = packets.select(order)
+        shifted.timestamps = jittered[order]
+        return shifted
     jittered = []
     for packet in packets:
         shifted = Packet(
@@ -56,22 +111,34 @@ def apply_jitter(packets: list[Packet], std: float, rng: np.random.Generator) ->
     return jittered
 
 
-def drop_packets(packets: list[Packet], loss_rate: float, rng: np.random.Generator) -> list[Packet]:
+def drop_packets(
+    packets: "list[Packet] | PacketColumns", loss_rate: float, rng: np.random.Generator
+) -> "list[Packet] | PacketColumns":
     """Remove each packet independently with probability ``loss_rate``."""
     if not 0.0 <= loss_rate < 1.0:
         raise ValueError("loss_rate must be in [0, 1)")
     keep = rng.random(len(packets)) >= loss_rate
+    if isinstance(packets, PacketColumns):
+        return packets[keep]
     return [p for p, k in zip(packets, keep) if k]
 
 
 def reorder_within_window(
-    packets: list[Packet], window: int, rng: np.random.Generator
-) -> list[Packet]:
+    packets: "list[Packet] | PacketColumns", window: int, rng: np.random.Generator
+) -> "list[Packet] | PacketColumns":
     """Shuffle packets locally within blocks of ``window`` consecutive packets.
 
     Models minor reordering introduced by parallel forwarding paths while
     preserving coarse temporal structure.
     """
+    if isinstance(packets, PacketColumns):
+        if window <= 1:
+            return packets[np.arange(len(packets))]
+        order = np.concatenate([
+            start + rng.permutation(min(window, len(packets) - start))
+            for start in range(0, len(packets), window)
+        ]) if len(packets) else np.zeros(0, dtype=np.int64)
+        return packets[order]
     if window <= 1:
         return list(packets)
     reordered: list[Packet] = []

@@ -12,17 +12,35 @@ NetGLUE.
 from __future__ import annotations
 
 import dataclasses
+import struct
 
 import numpy as np
 
-from ..net.addresses import random_ipv4
+from ..net.columns import (
+    APP_DNS,
+    APP_HTTP_REQUEST,
+    APP_HTTP_RESPONSE,
+    APP_NTP,
+    APP_TLS_CLIENT,
+    APP_TLS_SERVER,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+)
 from ..net.dns import DNSAnswer, DNSMessage, DNSQuestion
 from ..net.headers import TCP_FLAG_ACK, TCP_FLAG_PSH
 from ..net.http import HTTPRequest, HTTPResponse
 from ..net.ntp import NTPPacket
-from ..net.packet import Packet, build_packet
 from ..net.tls import TLSClientHello, TLSServerHello
 from .base import TraceConfig, TrafficGenerator, next_connection_id, next_session_id
+from .columnar import (
+    DEFAULT_DST_MAC,
+    DEFAULT_SRC_MAC,
+    TracePlan,
+    cached_name,
+    cached_question,
+    encode_application_fast,
+    random_ipv4_array,
+)
 
 __all__ = ["DeviceProfile", "DEVICE_PROFILES", "IoTWorkloadConfig", "IoTWorkloadGenerator"]
 
@@ -62,133 +80,209 @@ class IoTWorkloadConfig(TraceConfig):
     device_types: tuple[str, ...] = tuple(DEVICE_PROFILES)
 
 
+_PSH_ACK = TCP_FLAG_PSH | TCP_FLAG_ACK
+
+
 class IoTWorkloadGenerator(TrafficGenerator):
-    """Generate traffic for a small lab of IoT devices, labelled per device type."""
+    """Generate traffic for a small lab of IoT devices, labelled per device type.
+
+    Burst times and per-burst fields are drawn with batched RNG calls per
+    device; the rows land in a :class:`~repro.traffic.columnar.TracePlan`
+    shared by the object and columnar materializers.
+    """
 
     def __init__(self, config: IoTWorkloadConfig | None = None):
         super().__init__(config or IoTWorkloadConfig())
         self.config: IoTWorkloadConfig
 
-    def generate(self) -> list[Packet]:
+    def _plan(self) -> TracePlan:
         cfg = self.config
         rng = cfg.rng()
-        packets: list[Packet] = []
+        plan = TracePlan()
         host_index = 1
         for device_type in cfg.device_types:
             profile = DEVICE_PROFILES[device_type]
             for _ in range(cfg.devices_per_type):
                 host_index += 1
                 device_ip = f"192.168.1.{host_index}"
-                device_mac = f"{profile.oui}:{rng.integers(0, 256):02x}:{rng.integers(0, 256):02x}:{rng.integers(0, 256):02x}"
-                packets.extend(self._device_trace(rng, profile, device_ip, device_mac))
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
+                octets = rng.integers(0, 256, size=3)
+                device_mac = f"{profile.oui}:{octets[0]:02x}:{octets[1]:02x}:{octets[2]:02x}"
+                self._device_rows(rng, plan, profile, device_ip, device_mac)
+        return plan
 
-    def _device_trace(
-        self, rng: np.random.Generator, profile: DeviceProfile, device_ip: str, device_mac: str
-    ) -> list[Packet]:
+    def _device_rows(
+        self,
+        rng: np.random.Generator,
+        plan: TracePlan,
+        profile: DeviceProfile,
+        device_ip: str,
+        device_mac: str,
+    ) -> None:
         cfg = self.config
-        packets: list[Packet] = []
         session_id = next_session_id()
-        cursor = cfg.start_time + float(rng.uniform(0, profile.mean_interval))
         base_metadata = {
             "application": "iot",
             "device": profile.name,
             "session_id": session_id,
             "anomaly": False,
         }
-        while cursor < cfg.start_time + cfg.duration:
-            burst = self._activity_burst(rng, profile, device_ip, device_mac, cursor, base_metadata)
-            packets.extend(burst)
-            cursor += float(rng.exponential(profile.mean_interval))
-        return packets
 
-    def _activity_burst(
-        self,
-        rng: np.random.Generator,
-        profile: DeviceProfile,
-        device_ip: str,
-        device_mac: str,
-        when: float,
-        base_metadata: dict,
-    ) -> list[Packet]:
-        packets: list[Packet] = []
-        domain = str(rng.choice(list(profile.cloud_domains)))
-        cloud_ip = random_ipv4(rng)
-        connection_id = next_connection_id()
-        metadata = dict(base_metadata, domain=domain, connection_id=connection_id)
-        src_port = int(rng.integers(49152, 65535))
+        # Burst times: one batched exponential draw, extended until the
+        # cumulative schedule crosses the capture window.
+        first = float(rng.uniform(0, profile.mean_interval))
+        expected = max(int(cfg.duration / profile.mean_interval * 1.5) + 8, 8)
+        gaps = rng.exponential(profile.mean_interval, size=expected)
+        while first + gaps.sum() < cfg.duration:
+            gaps = np.concatenate([gaps, rng.exponential(profile.mean_interval, size=expected)])
+        times = cfg.start_time + first + np.concatenate([[0.0], np.cumsum(gaps)])
+        times = times[times < cfg.start_time + cfg.duration]
+        bursts = len(times)
+        if not bursts:
+            return
 
-        if profile.uses_ntp and rng.random() < 0.3:
-            ntp_md = dict(metadata, connection_id=next_connection_id())
-            packets.append(build_packet(
-                when, device_ip, "129.6.15.28", "UDP", src_port, 123,
-                application=NTPPacket(transmit_timestamp=when), metadata=ntp_md,
-                src_mac=device_mac,
-            ))
-            packets.append(build_packet(
-                when + 0.03, "129.6.15.28", device_ip, "UDP", 123, src_port,
-                application=NTPPacket(mode=4, stratum=2, transmit_timestamp=when + 0.03),
-                metadata=ntp_md, dst_mac=device_mac,
-            ))
+        domain_idx = rng.integers(0, len(profile.cloud_domains), size=bursts).tolist()
+        cloud_ips = random_ipv4_array(rng, bursts)
+        src_ports = rng.integers(49152, 65535, size=bursts).tolist()
+        ntp_rolls = rng.random(bursts).tolist()
+        txids = rng.integers(0, 65536, size=bursts).tolist()
+        mqtt_payloads = None
+        if profile.uses_mqtt:
+            mqtt_payloads = rng.integers(
+                0, 256, size=(bursts, max(profile.mean_payload // 4, 8)), dtype=np.uint8
+            )
 
-        # DNS lookup of the cloud endpoint.
-        txid = int(rng.integers(0, 65536))
-        question = DNSQuestion(name=domain)
-        dns_md = dict(metadata, connection_id=next_connection_id(), domain_category="iot-cloud")
-        packets.append(build_packet(
-            when + 0.05, device_ip, "192.168.1.1", "UDP", src_port, 53,
-            application=DNSMessage(transaction_id=txid, questions=[question]),
-            metadata=dict(dns_md, direction="query"), src_mac=device_mac,
-        ))
-        packets.append(build_packet(
-            when + 0.08, "192.168.1.1", device_ip, "UDP", 53, src_port,
-            application=DNSMessage(
+        times = times.tolist()
+        hellos: dict[str, tuple[TLSClientHello, bytes]] = {}
+        http_rows: dict[str, tuple] = {}
+        dns_fragments: dict[str, tuple[bytes, bytes]] = {}
+        questions: dict[str, DNSQuestion] = {}
+        pack = struct.pack
+        server_hello = TLSServerHello(ciphersuite=0xC02F)
+        ntp_server = "129.6.15.28"
+        gateway = "192.168.1.1"
+        rows: list[tuple] = []
+        append = rows.append
+
+        def row(time, src, dst, kind, sport, dport, md, app, payload, flags,
+                smac=DEFAULT_SRC_MAC, dmac=DEFAULT_DST_MAC, app_kind=0):
+            append((time, src, dst, kind, sport, dport, flags, md, app, payload,
+                    smac, dmac, app_kind))
+
+        for burst in range(bursts):
+            when = times[burst]
+            domain = profile.cloud_domains[domain_idx[burst]]
+            cloud_ip = cloud_ips[burst]
+            metadata = dict(base_metadata, domain=domain, connection_id=next_connection_id())
+            src_port = src_ports[burst]
+
+            if profile.uses_ntp and ntp_rolls[burst] < 0.3:
+                ntp_md = dict(metadata, connection_id=next_connection_id())
+                request = NTPPacket(transmit_timestamp=when)
+                reply = NTPPacket(mode=4, stratum=2, transmit_timestamp=when + 0.03)
+                row(when, device_ip, ntp_server, TRANSPORT_UDP, src_port, 123,
+                    dict(ntp_md), request, _ntp_payload(0x23, 0, when), 0,
+                    smac=device_mac, app_kind=APP_NTP)
+                row(when + 0.03, ntp_server, device_ip, TRANSPORT_UDP, 123, src_port,
+                    dict(ntp_md), reply, _ntp_payload(0x24, 2, when + 0.03), 0,
+                    dmac=device_mac, app_kind=APP_NTP)
+
+            # DNS lookup of the cloud endpoint.
+            txid = txids[burst]
+            question = questions.get(domain)
+            if question is None:
+                question = questions[domain] = DNSQuestion(name=domain)
+            fragments = dns_fragments.get(domain)
+            if fragments is None:
+                question_bytes = cached_question(domain, 1)
+                fragments = dns_fragments[domain] = (
+                    question_bytes,
+                    question_bytes + cached_name(domain) + _A_RECORD_300,
+                )
+            query = DNSMessage(transaction_id=txid, questions=[question])
+            response = DNSMessage(
                 transaction_id=txid, is_response=True, questions=[question],
                 answers=[DNSAnswer(name=domain, rdata=cloud_ip)],
-            ),
-            metadata=dict(dns_md, direction="response"), dst_mac=device_mac,
-        ))
+            )
+            dns_md = dict(metadata, connection_id=next_connection_id(), domain_category="iot-cloud")
+            row(when + 0.05, device_ip, gateway, TRANSPORT_UDP, src_port, 53,
+                dict(dns_md, direction="query"), query,
+                pack("!HHHHHH", txid, 0x0100, 1, 0, 0, 0) + fragments[0], 0,
+                smac=device_mac, app_kind=APP_DNS)
+            row(when + 0.08, gateway, device_ip, TRANSPORT_UDP, 53, src_port,
+                dict(dns_md, direction="response"), response,
+                pack("!HHHHHH", txid, 0x8180, 1, 1, 0, 0) + fragments[1]
+                + bytes(map(int, cloud_ip.split("."))), 0,
+                dmac=device_mac, app_kind=APP_DNS)
 
-        cursor = when + 0.1
-        if profile.uses_mqtt:
-            # MQTT keep-alive / publish modelled as small TCP pushes on 8883.
-            payload = bytes(rng.integers(0, 256, size=max(profile.mean_payload // 4, 8), dtype=np.uint8).tolist())
-            packets.append(build_packet(
-                cursor, device_ip, cloud_ip, "TCP", src_port, 8883, application=payload,
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="publish"),
-                src_mac=device_mac,
-            ))
-            packets.append(build_packet(
-                cursor + 0.05, cloud_ip, device_ip, "TCP", 8883, src_port, application=b"\x40\x02\x00\x01",
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="ack"),
-                dst_mac=device_mac,
-            ))
-        if profile.https_beacon:
-            hello = TLSClientHello(ciphersuites=[0xC02F, 0xC030, 0x002F], server_name=domain)
-            packets.append(build_packet(
-                cursor + 0.1, device_ip, cloud_ip, "TCP", src_port, 443, application=hello,
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="client-hello"),
-                src_mac=device_mac,
-            ))
-            packets.append(build_packet(
-                cursor + 0.15, cloud_ip, device_ip, "TCP", 443, src_port,
-                application=TLSServerHello(ciphersuite=0xC02F),
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="server-hello"),
-                dst_mac=device_mac,
-            ))
-        if not profile.uses_mqtt and not profile.https_beacon:
-            # Plain HTTP status upload.
-            request = HTTPRequest(method="POST", path="/v1/status", host=domain, user_agent="iot-sensor-agent/1.2")
-            packets.append(build_packet(
-                cursor, device_ip, cloud_ip, "TCP", src_port, 80, application=request,
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="request"),
-                src_mac=device_mac,
-            ))
-            packets.append(build_packet(
-                cursor + 0.06, cloud_ip, device_ip, "TCP", 80, src_port,
-                application=HTTPResponse(status=204, content_length=0),
-                tcp_flags=TCP_FLAG_PSH | TCP_FLAG_ACK, metadata=dict(metadata, direction="response"),
-                dst_mac=device_mac,
-            ))
-        return packets
+            cursor = when + 0.1
+            if profile.uses_mqtt:
+                # MQTT keep-alive / publish modelled as small TCP pushes on 8883.
+                payload = mqtt_payloads[burst].tobytes()
+                row(cursor, device_ip, cloud_ip, TRANSPORT_TCP, src_port, 8883,
+                    dict(metadata, direction="publish"), payload, payload, _PSH_ACK,
+                    smac=device_mac)
+                row(cursor + 0.05, cloud_ip, device_ip, TRANSPORT_TCP, 8883, src_port,
+                    dict(metadata, direction="ack"), b"\x40\x02\x00\x01",
+                    b"\x40\x02\x00\x01", _PSH_ACK, dmac=device_mac)
+            if profile.https_beacon:
+                cached = hellos.get(domain)
+                if cached is None:
+                    hello = TLSClientHello(
+                        ciphersuites=[0xC02F, 0xC030, 0x002F], server_name=domain
+                    )
+                    cached = hellos[domain] = (hello, encode_application_fast(hello))
+                row(cursor + 0.1, device_ip, cloud_ip, TRANSPORT_TCP, src_port, 443,
+                    dict(metadata, direction="client-hello"), cached[0], cached[1],
+                    _PSH_ACK, smac=device_mac, app_kind=APP_TLS_CLIENT)
+                row(cursor + 0.15, cloud_ip, device_ip, TRANSPORT_TCP, 443, src_port,
+                    dict(metadata, direction="server-hello"), server_hello,
+                    _SERVER_HELLO_C02F, _PSH_ACK, dmac=device_mac,
+                    app_kind=APP_TLS_SERVER)
+            if not profile.uses_mqtt and not profile.https_beacon:
+                # Plain HTTP status upload.
+                cached = http_rows.get(domain)
+                if cached is None:
+                    request = HTTPRequest(
+                        method="POST", path="/v1/status", host=domain,
+                        user_agent="iot-sensor-agent/1.2",
+                    )
+                    response_204 = HTTPResponse(status=204, content_length=0)
+                    cached = http_rows[domain] = (
+                        request, encode_application_fast(request),
+                        response_204, encode_application_fast(response_204),
+                    )
+                row(cursor, device_ip, cloud_ip, TRANSPORT_TCP, src_port, 80,
+                    dict(metadata, direction="request"), cached[0], cached[1],
+                    _PSH_ACK, smac=device_mac, app_kind=APP_HTTP_REQUEST)
+                row(cursor + 0.06, cloud_ip, device_ip, TRANSPORT_TCP, 80, src_port,
+                    dict(metadata, direction="response"), cached[2], cached[3],
+                    _PSH_ACK, dmac=device_mac, app_kind=APP_HTTP_RESPONSE)
+
+        (when_l, src_l, dst_l, kind_l, sport_l, dport_l, flags_l,
+         md_l, app_l, pay_l, smac_l, dmac_l, kinds_l) = map(list, zip(*rows))
+        plan.extend(
+            len(rows),
+            timestamps=when_l, src_ips=src_l, dst_ips=dst_l,
+            src_ports=sport_l, dst_ports=dport_l, metadata=md_l,
+            kinds=kind_l, applications=app_l, payloads=pay_l,
+            app_kinds=kinds_l, tcp_flags=flags_l,
+            src_macs=smac_l, dst_macs=dmac_l,
+        )
+
+
+_SERVER_HELLO_C02F = TLSServerHello(ciphersuite=0xC02F).pack()
+#: Constant answer-record header of the IoT DNS responses (A, IN, TTL 300, 4B).
+_A_RECORD_300 = struct.pack("!HHIH", 1, 1, 300, 4)
+_NTP_EPOCH_OFFSET = NTPPacket._NTP_EPOCH_OFFSET
+
+
+def _ntp_payload(first_byte: int, stratum: int, transmit: float) -> bytes:
+    """Byte-exact ``NTPPacket.pack`` for the fixed IoT leap/version/poll fields."""
+    ntp_time = transmit + _NTP_EPOCH_OFFSET
+    seconds = int(ntp_time)
+    fraction = int((ntp_time - seconds) * (2 ** 32)) & 0xFFFFFFFF
+    return struct.pack(
+        "!BBbb11I", first_byte, stratum, 6, -20,
+        0, 0, 0, 0, 0, 0, 0, 0, 0,
+        seconds & 0xFFFFFFFF, fraction,
+    )

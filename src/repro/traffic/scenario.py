@@ -13,9 +13,9 @@ import dataclasses
 
 import numpy as np
 
+from ..net.columns import PacketColumns
 from ..net.packet import Packet
 from .anomaly import ATTACK_TYPES, AttackConfig, AttackGenerator
-from .base import TraceConfig
 from .dns_workload import DNSWorkloadConfig, DNSWorkloadGenerator
 from .http_workload import (
     HTTPWorkloadConfig,
@@ -47,15 +47,20 @@ class EnterpriseScenarioConfig:
 
 
 class EnterpriseScenario:
-    """Build a mixed, labelled enterprise border-router capture."""
+    """Build a mixed, labelled enterprise border-router capture.
+
+    :meth:`generate` returns the capture as packet objects;
+    :meth:`generate_columns` builds the identical capture end-to-end columnar
+    — every sub-generator synthesizes :class:`~repro.net.columns.PacketColumns`
+    natively and the capture-point effects run as whole-column operations.
+    """
 
     def __init__(self, config: EnterpriseScenarioConfig | None = None):
         self.config = config or EnterpriseScenarioConfig()
 
-    def generate(self) -> list[Packet]:
+    def _generators(self) -> list:
         cfg = self.config
-        traces = []
-        traces.append(
+        generators = [
             DNSWorkloadGenerator(
                 DNSWorkloadConfig(
                     seed=cfg.seed,
@@ -63,45 +68,49 @@ class EnterpriseScenario:
                     num_clients=cfg.dns_clients,
                     queries_per_client=cfg.dns_queries_per_client,
                 )
-            ).generate()
-        )
-        traces.append(
+            ),
             HTTPWorkloadGenerator(
                 HTTPWorkloadConfig(
                     seed=cfg.seed + 1, duration=cfg.duration, num_sessions=cfg.http_sessions
                 )
-            ).generate()
-        )
-        traces.append(
+            ),
             TLSWorkloadGenerator(
                 TLSWorkloadConfig(
                     seed=cfg.seed + 2, duration=cfg.duration, num_sessions=cfg.tls_sessions
                 )
-            ).generate()
-        )
-        traces.append(
+            ),
             IoTWorkloadGenerator(
                 IoTWorkloadConfig(
                     seed=cfg.seed + 3,
                     duration=cfg.duration,
                     devices_per_type=cfg.iot_devices_per_type,
                 )
-            ).generate()
-        )
+            ),
+        ]
         if cfg.include_attacks:
-            traces.append(
+            generators.append(
                 AttackGenerator(
                     AttackConfig(
                         seed=cfg.seed + 4,
                         duration=cfg.duration,
                         attack_types=cfg.attack_types,
                     )
-                ).generate()
+                )
             )
-        rng = np.random.default_rng(cfg.seed + 5)
+        return generators
+
+    def _capture(self, traces: list) -> "list[Packet] | PacketColumns":
+        cfg = self.config
         return interleave_at_capture_point(
             *traces,
-            rng=rng,
+            rng=np.random.default_rng(cfg.seed + 5),
             jitter_std=cfg.capture_jitter_std,
             loss_rate=cfg.capture_loss_rate,
         )
+
+    def generate(self) -> list[Packet]:
+        return self._capture([g.generate() for g in self._generators()])
+
+    def generate_columns(self) -> PacketColumns:
+        """The capture as one columnar batch, synthesized without packets."""
+        return self._capture([g.generate_columns() for g in self._generators()])

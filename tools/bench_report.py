@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run the E14 throughput suite and write a machine-readable report.
+
+Produces ``BENCH_e14.json`` with the per-gate speedups and throughputs the
+benchmark measures (columnar generation, flow grouping, incremental BPE fit,
+batched/columnar encode paths, packed training), plus environment metadata —
+so the performance trajectory across PRs can be tracked by tooling instead
+of by reading benchmark stdout.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py              # full sizes
+    PYTHONPATH=src python tools/bench_report.py --smoke      # CI sizes
+    PYTHONPATH=src python tools/bench_report.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default=str(REPO_ROOT / "BENCH_e14.json"),
+        help="where to write the JSON report (default: BENCH_e14.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the tiny CI sizes (same effect as E14_SMOKE=1)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        os.environ["E14_SMOKE"] = "1"
+    sys.path.insert(0, str(REPO_ROOT))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy
+    from benchmarks import test_bench_e14_throughput as e14
+
+    started = time.time()
+    rows = e14.run_experiment()
+    elapsed = time.time() - started
+
+    gates = {
+        "byte_encode": ("encode/byte", e14.BYTE_SPEEDUP_FLOOR),
+        "bpe_encode": ("encode/bpe (learned)", e14.BPE_SPEEDUP_FLOOR),
+        "field_aware_columnar_encode": (
+            "encode/field-aware (columnar)", e14.FIELD_COLUMNAR_SPEEDUP_FLOOR
+        ),
+        "columnar_generation": ("generate/columnar", e14.GENERATION_SPEEDUP_FLOOR),
+        "columnar_flow_grouping": ("group/flow (columnar)", e14.GROUPING_SPEEDUP_FLOOR),
+        "incremental_bpe_fit": ("fit/bpe (incremental)", e14.BPE_FIT_SPEEDUP_FLOOR),
+    }
+    report = {
+        "suite": "e14-throughput",
+        "smoke": bool(e14.SMOKE),
+        "trace_packets": e14.TRACE_PACKETS,
+        "elapsed_seconds": round(elapsed, 2),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+        },
+        "gates": {
+            name: {
+                "row": row_name,
+                "speedup": round(rows[row_name]["speedup"], 3),
+                "floor": floor,
+                "passed": rows[row_name]["speedup"] >= floor,
+            }
+            for name, (row_name, floor) in gates.items()
+        },
+        "rows": {
+            name: {
+                metric: (None if value != value else round(value, 3))  # NaN -> null
+                for metric, value in row.items()
+            }
+            for name, row in rows.items()
+        },
+        "train_tokens_per_second": {
+            "legacy_full_width": round(rows["train/legacy full-width"]["tokens_per_s"], 1),
+            "packed_bucketed": round(rows["train/packed bucketed"]["tokens_per_s"], 1),
+        },
+    }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    failed = [name for name, gate in report["gates"].items() if not gate["passed"]]
+    status = "FAILED: " + ", ".join(failed) if failed else "all gates passed"
+    print(f"wrote {output} ({status})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
