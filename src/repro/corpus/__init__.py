@@ -11,12 +11,15 @@ from .generator import (
     PROTOCOL_DEVICE,
     PROTOCOL_LAYER,
 )
-from .packets import PacketTraceCorpus
+from .packets import SHARD_FORMAT, SHARD_VERSION, PacketTraceCorpus, ShardedCorpus
 
 __all__ = [
     "CorpusConfig",
     "NetworkingCorpusGenerator",
     "PacketTraceCorpus",
+    "ShardedCorpus",
+    "SHARD_FORMAT",
+    "SHARD_VERSION",
     "PROTOCOL_DEVICE",
     "PROTOCOL_LAYER",
 ]

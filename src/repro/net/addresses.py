@@ -36,7 +36,10 @@ def int_to_ipv4(value: int) -> str:
     """Convert a 32-bit integer to dotted-quad notation."""
     if not 0 <= value <= 0xFFFFFFFF:
         raise ValueError(f"IPv4 integer out of range: {value}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return (
+        f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+        f".{(value >> 8) & 0xFF}.{value & 0xFF}"
+    )
 
 
 def ipv4_to_bytes(address: str) -> bytes:
@@ -48,7 +51,9 @@ def bytes_to_ipv4(data: bytes) -> str:
     """Convert 4 bytes to dotted-quad notation."""
     if len(data) != 4:
         raise ValueError(f"expected 4 bytes, got {len(data)}")
-    return int_to_ipv4(int.from_bytes(data, "big"))
+    # Hot on the capture-decode path (every A record); iterate the bytes
+    # directly instead of round-tripping through the packed integer.
+    return f"{data[0]}.{data[1]}.{data[2]}.{data[3]}"
 
 
 def random_ipv4(rng: np.random.Generator) -> str:

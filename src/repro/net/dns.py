@@ -15,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 import struct
 
+from .addresses import bytes_to_ipv4, ipv4_to_bytes
+
 __all__ = [
     "DNSQuestion",
     "DNSAnswer",
@@ -23,6 +25,7 @@ __all__ = [
     "RECORD_TYPE_NAMES",
     "encode_name",
     "decode_name",
+    "unpack_message_cached",
 ]
 
 RECORD_TYPES: dict[str, int] = {
@@ -41,6 +44,14 @@ RECORD_TYPE_NAMES: dict[int, str] = {value: name for name, value in RECORD_TYPES
 DNS_FLAG_QR_RESPONSE = 0x8000
 DNS_FLAG_RD = 0x0100
 DNS_FLAG_RA = 0x0080
+
+# Precompiled wire structs: decode runs once per captured DNS packet, and the
+# per-call format parse of ``struct.unpack`` is measurable there.  The
+# ``unpack_from`` variants raise the same ``struct.error`` a short slice
+# would, so error behavior is unchanged.
+_QUESTION_TAIL = struct.Struct("!HH")
+_ANSWER_TAIL = struct.Struct("!HHIH")
+_HEADER = struct.Struct("!HHHHHH")
 
 
 def encode_name(name: str) -> bytes:
@@ -63,8 +74,10 @@ def encode_name(name: str) -> bytes:
 def decode_name(data: bytes, offset: int) -> tuple[str, int]:
     """Decode a domain name starting at ``offset``; returns (name, next_offset)."""
     labels: list[str] = []
+    append = labels.append
+    size = len(data)
     while True:
-        if offset >= len(data):
+        if offset >= size:
             raise ValueError("truncated domain name")
         length = data[offset]
         offset += 1
@@ -72,7 +85,7 @@ def decode_name(data: bytes, offset: int) -> tuple[str, int]:
             break
         if length > 63:
             raise ValueError("name compression pointers are not supported")
-        labels.append(data[offset : offset + length].decode("ascii"))
+        append(data[offset : offset + length].decode("ascii"))
         offset += length
     return ".".join(labels), offset
 
@@ -91,7 +104,7 @@ class DNSQuestion:
     @classmethod
     def unpack(cls, data: bytes, offset: int) -> tuple["DNSQuestion", int]:
         name, offset = decode_name(data, offset)
-        qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+        qtype, qclass = _QUESTION_TAIL.unpack_from(data, offset)
         return cls(name=name, qtype=qtype, qclass=qclass), offset + 4
 
     @property
@@ -120,8 +133,6 @@ class DNSAnswer:
     def _pack_rdata(self) -> bytes:
         type_name = RECORD_TYPE_NAMES.get(self.rtype, "")
         if type_name == "A":
-            from .addresses import ipv4_to_bytes
-
             return ipv4_to_bytes(self.rdata)
         if type_name == "AAAA":
             parts = self.rdata.split(":")
@@ -139,7 +150,7 @@ class DNSAnswer:
     @classmethod
     def unpack(cls, data: bytes, offset: int) -> tuple["DNSAnswer", int]:
         name, offset = decode_name(data, offset)
-        rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[offset : offset + 10])
+        rtype, rclass, ttl, rdlength = _ANSWER_TAIL.unpack_from(data, offset)
         offset += 10
         rdata_raw = data[offset : offset + rdlength]
         offset += rdlength
@@ -150,8 +161,6 @@ class DNSAnswer:
     def _unpack_rdata(rtype: int, raw: bytes) -> str:
         type_name = RECORD_TYPE_NAMES.get(rtype, "")
         if type_name == "A":
-            from .addresses import bytes_to_ipv4
-
             return bytes_to_ipv4(raw)
         if type_name == "AAAA":
             groups = struct.unpack("!8H", raw)
@@ -209,7 +218,7 @@ class DNSMessage:
     def unpack(cls, data: bytes) -> "DNSMessage":
         if len(data) < cls.HEADER_LENGTH:
             raise ValueError("truncated DNS header")
-        transaction_id, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
+        transaction_id, flags, qdcount, ancount, _ns, _ar = _HEADER.unpack_from(data)
         message = cls(
             transaction_id=transaction_id,
             is_response=bool(flags & DNS_FLAG_QR_RESPONSE),
@@ -233,3 +242,158 @@ class DNSMessage:
     def answer_values(self) -> list[str]:
         """The rdata of every answer record — a *set*-valued field (Section 4.1.4)."""
         return [answer.rdata for answer in self.answers]
+
+
+# ----------------------------------------------------------------------
+# Memoized decode (the capture-ingestion fast path)
+# ----------------------------------------------------------------------
+#
+# A capture contains the same domain names — and, for repeated queries, the
+# same whole message minus the transaction id — over and over.  The helpers
+# below decode a message exactly as :meth:`DNSMessage.unpack` would (same
+# objects, same exceptions for malformed input) while memoizing at three
+# levels, each keyed by the *wire bytes* of the decoded region so a hit is
+# provably equivalent to a fresh decode:
+#
+# * whole message by ``data[2:]`` — everything except the transaction id,
+#   which is the only field read from the first two bytes;
+# * question entries by their name-plus-type/class span;
+# * domain names by their label span (shared by answer records, whose TTLs
+#   and addresses vary too much for whole-message hits).
+#
+# Decoded questions/answers can be shared between messages on a hit; like
+# packet layers, they are immutable by convention once built.
+
+
+def _name_span_end(data: bytes, offset: int) -> int:
+    """End offset (past the terminator) of the name at ``offset``, or ``-1``
+    when the walk runs off the data or hits a compression pointer — the
+    caller falls back to :func:`decode_name` to raise the exact error."""
+    size = len(data)
+    pos = offset
+    while True:
+        if pos >= size:
+            return -1
+        length = data[pos]
+        if length == 0:
+            return pos + 1
+        if length > 63:
+            return -1
+        pos += 1 + length
+
+
+def _decode_name_cached(data: bytes, offset: int, names: dict) -> tuple[str, int]:
+    end = _name_span_end(data, offset)
+    if end < 0:
+        return decode_name(data, offset)  # raises the canonical error
+    key = data[offset:end]
+    name = names.get(key)
+    if name is None:
+        name, decoded_end = decode_name(data, offset)
+        assert decoded_end == end
+        names[key] = name
+    return name, end
+
+
+def _decode_question_cached(data: bytes, offset: int, questions: dict, names: dict):
+    end = _name_span_end(data, offset)
+    if end < 0 or end + 4 > len(data):
+        return DNSQuestion.unpack(data, offset)  # error path, uncached
+    key = data[offset : end + 4]
+    question = questions.get(key)
+    if question is None:
+        question, tail = DNSQuestion.unpack(data, offset)
+        assert tail == end + 4
+        questions[key] = question
+    return question, end + 4
+
+
+def _unpack_rdata_cached(rtype: int, raw: bytes, names: dict) -> str:
+    """:meth:`DNSAnswer._unpack_rdata` with the name cache applied to the
+    record types whose rdata is itself a domain name (CNAME/NS/PTR, MX)."""
+    type_name = RECORD_TYPE_NAMES.get(rtype, "")
+    if type_name == "A":
+        return bytes_to_ipv4(raw)
+    if type_name in ("CNAME", "NS", "PTR"):
+        return _decode_name_cached(raw, 0, names)[0]
+    if type_name == "MX":
+        priority = struct.unpack("!H", raw[:2])[0]
+        host, _ = _decode_name_cached(raw, 2, names)
+        return f"{priority} {host}"
+    return DNSAnswer._unpack_rdata(rtype, raw)
+
+
+def _decode_answer_cached(data: bytes, offset: int, names: dict):
+    name, offset = _decode_name_cached(data, offset, names)
+    rtype, rclass, ttl, rdlength = _ANSWER_TAIL.unpack_from(data, offset)
+    offset += 10
+    rdata = _unpack_rdata_cached(rtype, data[offset : offset + rdlength], names)
+    return (
+        DNSAnswer(name=name, rtype=rtype, rclass=rclass, ttl=ttl, rdata=rdata),
+        offset + rdlength,
+    )
+
+
+def unpack_message_cached(data: bytes, cache: dict) -> DNSMessage:
+    """Decode ``data`` exactly like :meth:`DNSMessage.unpack`, memoized.
+
+    ``cache`` is a caller-owned dict (one per capture read); it is filled
+    with ``"messages"`` / ``"questions"`` / ``"names"`` sub-dicts on first
+    use.  Malformed messages raise the same exception a fresh decode would
+    (memoized per message suffix for the caught-and-discarded kinds).
+    """
+    if len(data) < DNSMessage.HEADER_LENGTH:
+        raise ValueError("truncated DNS header")
+    messages = cache.get("messages")
+    if messages is None:
+        messages = cache["messages"] = {}
+        cache["questions"] = {}
+        cache["names"] = {}
+    suffix = data[2:]
+    hit = messages.get(suffix)
+    if hit is not None:
+        if type(hit) is not tuple:
+            # Clear the stored traceback before re-raising: each raise adds
+            # fresh frames, and letting them accumulate on the shared cached
+            # instance would grow without bound in a long-lived cache.
+            raise hit.with_traceback(None)
+        is_response, questions, answers, recursion_desired, rcode = hit
+        return DNSMessage(
+            transaction_id=(data[0] << 8) | data[1],
+            is_response=is_response,
+            questions=questions,
+            answers=answers,
+            recursion_desired=recursion_desired,
+            rcode=rcode,
+        )
+    try:
+        transaction_id, flags, qdcount, ancount, _ns, _ar = _HEADER.unpack_from(data)
+        message = DNSMessage(
+            transaction_id=transaction_id,
+            is_response=bool(flags & DNS_FLAG_QR_RESPONSE),
+            recursion_desired=bool(flags & DNS_FLAG_RD),
+            rcode=flags & 0x0F,
+        )
+        offset = DNSMessage.HEADER_LENGTH
+        question_cache, name_cache = cache["questions"], cache["names"]
+        for _ in range(qdcount):
+            question, offset = _decode_question_cached(
+                data, offset, question_cache, name_cache
+            )
+            message.questions.append(question)
+        for _ in range(ancount):
+            answer, offset = _decode_answer_cached(data, offset, name_cache)
+            message.answers.append(answer)
+    except (ValueError, IndexError) as error:
+        # The kinds the opportunistic decoder turns into None; struct.error
+        # propagates uncached, exactly like DNSMessage.unpack.
+        messages[suffix] = error
+        raise
+    messages[suffix] = (
+        message.is_response,
+        message.questions,
+        message.answers,
+        message.recursion_desired,
+        message.rcode,
+    )
+    return message

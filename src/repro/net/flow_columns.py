@@ -1,0 +1,276 @@
+"""Columnar flow statistics: the :class:`~repro.net.flow.FlowTable` +
+:func:`~repro.net.flow.flow_statistics` pipeline over whole column batches.
+
+The classical baseline (``FlowStatsSolver``) computes one hand-engineered
+feature vector per bidirectional flow.  The object path pays a
+:class:`~repro.net.flow.FlowKey` construction and dict insert per packet and
+a Python loop per flow; :class:`FlowStatsColumns` reproduces the same feature
+table — bit-for-bit, including feature order, flow order and float rounding —
+from a :class:`~repro.net.columns.PacketColumns` batch with one lexicographic
+argsort plus segment reductions.
+
+Exactness notes: sums of integer-valued floats (packet counts, byte totals)
+are order-independent, so ``np.add.reduceat`` / ``np.bincount`` reproduce the
+per-flow ``.sum()`` results bit-for-bit.  Variance-style features
+(``std_length``, ``mean_interarrival``, ``std_interarrival``) are *not*
+order-independent — NumPy's pairwise summation differs from sequential
+segment reductions — so those three are computed per flow on contiguous
+slices of the sorted arrays, the identical calls the object path makes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .columns import PacketColumns
+from .flow import FlowTable, flow_statistics
+
+__all__ = ["FLOW_FEATURE_NAMES", "FlowStatsColumns", "flow_feature_matrix"]
+
+#: Feature order of :func:`repro.net.flow.flow_statistics` (non-empty flows).
+FLOW_FEATURE_NAMES = (
+    "packet_count",
+    "total_bytes",
+    "duration",
+    "mean_length",
+    "std_length",
+    "min_length",
+    "max_length",
+    "mean_interarrival",
+    "std_interarrival",
+    "client_packets",
+    "server_packets",
+)
+
+
+def _endpoint_ranks(columns: PacketColumns) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ranks of the source/destination endpoint *strings*.
+
+    ``FlowKey`` normalizes a flow by sorting its ``(ip, port)`` endpoint
+    pairs, comparing the addresses as Python strings.  Ranks are assigned by
+    sorting the distinct address spellings, so comparing ranks is identical
+    to comparing the strings; rows without an IP layer use the empty string,
+    exactly like ``Packet.src_ip``.  Spelling overrides (two spellings of
+    one address) are patched per affected row.
+    """
+    n = len(columns)
+    sentinel = np.int64(-1)
+    src = np.where(columns.has_ip, columns.ip_src, sentinel)
+    dst = np.where(columns.has_ip, columns.ip_dst, sentinel)
+    values = np.unique(np.concatenate([src, dst]))
+    spellings = ["" if v < 0 else columns._ip_name(int(v)) for v in values]
+    overrides = {
+        (field, row): spelling
+        for (field, row), spelling in columns.spelling_overrides.items()
+        if field in ("ip_src", "ip_dst")
+    }
+    universe = sorted(set(spellings) | set(overrides.values()))
+    rank_of = {spelling: rank for rank, spelling in enumerate(universe)}
+    value_rank = np.fromiter(
+        (rank_of[s] for s in spellings), np.int64, len(spellings)
+    )
+    src_rank = value_rank[np.searchsorted(values, src)]
+    dst_rank = value_rank[np.searchsorted(values, dst)]
+    for (field, row), spelling in overrides.items():
+        target = src_rank if field == "ip_src" else dst_rank
+        if columns.has_ip[row]:
+            target[row] = rank_of[spelling]
+    return src_rank, dst_rank
+
+
+@dataclasses.dataclass
+class FlowStatsColumns:
+    """The flow feature table of one column batch.
+
+    ``features[i]`` is the :data:`FLOW_FEATURE_NAMES` vector of the ``i``-th
+    flow in :meth:`FlowTable.flows` order (start-time sorted, ties by first
+    appearance).  ``order``/``bounds`` expose the underlying grouping: flow
+    ``i``'s packets are rows ``order[bounds[i] : bounds[i + 1]]`` of the
+    source batch, in timestamp order.
+    """
+
+    features: np.ndarray
+    order: np.ndarray
+    bounds: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @classmethod
+    def from_columns(cls, columns: PacketColumns) -> "FlowStatsColumns":
+        """Compute the feature table (``FlowTable()`` semantics, no timeout)."""
+        n = len(columns)
+        if n == 0:
+            return cls(
+                features=np.zeros((0, len(FLOW_FEATURE_NAMES))),
+                order=np.zeros(0, dtype=np.int64),
+                bounds=np.zeros(1, dtype=np.int64),
+            )
+        src_rank, dst_rank = _endpoint_ranks(columns)
+        src_port = columns.src_port
+        dst_port = columns.dst_port
+        protocol = np.where(columns.has_ip, columns.ip_protocol, 0)
+
+        # FlowKey normalization: the endpoint pair that sorts lower becomes
+        # (ip_a, port_a).  Ranks substitute for string comparison; equal
+        # ranks mean equal strings, where the port breaks the tie.
+        swap = (src_rank > dst_rank) | ((src_rank == dst_rank) & (src_port > dst_port))
+        rank_a = np.where(swap, dst_rank, src_rank)
+        port_a = np.where(swap, dst_port, src_port)
+        rank_b = np.where(swap, src_rank, dst_rank)
+        port_b = np.where(swap, src_port, dst_port)
+
+        keys = np.stack([rank_a, port_a, rank_b, port_b, protocol], axis=1)
+        _, first_index, codes = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
+        )
+        codes = codes.reshape(n)  # older numpy returns shape (n, 1) for axis=0
+
+        # Rows grouped by flow, timestamp-sorted within each flow (lexsort is
+        # stable, matching Flow.sort()'s stable per-flow sort).
+        order = np.lexsort((columns.timestamps, codes))
+        sorted_codes = codes[order]
+        starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+        bounds = np.r_[starts, n]
+        counts = np.diff(bounds)
+        num_flows = len(counts)
+
+        # FlowTable.flows() order: dict insertion order (first appearance of
+        # each key) stably re-sorted by flow start time.  Groups come out of
+        # the lexsort in unique-key order, i.e. group g has code g.
+        appearance = np.argsort(first_index, kind="stable")
+        start_times = columns.timestamps[order[starts]]
+        flow_order = appearance[np.argsort(start_times[appearance], kind="stable")]
+
+        lengths = np.where(
+            columns.has_ip, columns.ip_total_length, columns.payload_lengths
+        ).astype(float)
+        lengths_sorted = lengths[order]
+        times_sorted = columns.timestamps[order]
+
+        total = np.add.reduceat(lengths_sorted, bounds[:-1])
+        minimum = np.minimum.reduceat(lengths_sorted, bounds[:-1])
+        maximum = np.maximum.reduceat(lengths_sorted, bounds[:-1])
+        first_time = times_sorted[starts]
+        last_time = times_sorted[bounds[1:] - 1]
+
+        # client_server(): the first packet's source endpoint is the client;
+        # a packet is client-sent iff its src string matches, i.e. iff its
+        # src rank matches the first packet's (equal ranks ⇔ equal strings).
+        first_src_rank = src_rank[order[starts]]
+        client_mask = src_rank[order] == np.repeat(first_src_rank, counts)
+        client = np.add.reduceat(client_mask.astype(float), bounds[:-1])
+
+        # Variance-style features.  Sums of more than two floats are not
+        # order-independent (NumPy's reductions reorder), so only one- and
+        # two-packet flows — the bulk of a capture — are computed with
+        # closed-form vector expressions (identical operations to
+        # ``np.std``/``np.mean`` on the slice); longer flows loop with the
+        # exact calls the object path makes.
+        std_length = np.zeros(num_flows)
+        mean_inter = np.zeros(num_flows)
+        std_inter = np.zeros(num_flows)
+        pairs = np.flatnonzero(counts == 2)
+        if len(pairs):
+            a_rows = bounds[pairs]
+            first_len = lengths_sorted[a_rows]
+            second_len = lengths_sorted[a_rows + 1]
+            mean_len = (first_len + second_len) / 2.0
+            std_length[pairs] = np.sqrt(
+                ((first_len - mean_len) ** 2 + (second_len - mean_len) ** 2) / 2.0
+            )
+            mean_inter[pairs] = times_sorted[a_rows + 1] - times_sorted[a_rows]
+            # one interarrival sample: its std is exactly 0 (dev = x - x)
+        long_flows = np.flatnonzero(counts > 2)
+        if len(long_flows):
+            bounds_list = bounds.tolist()
+            for g in long_flows.tolist():
+                a, b = bounds_list[g], bounds_list[g + 1]
+                std_length[g] = lengths_sorted[a:b].std()
+                inter = np.diff(times_sorted[a:b])
+                mean_inter[g] = inter.mean()
+                std_inter[g] = inter.std()
+
+        features = np.column_stack([
+            counts.astype(float),
+            total,
+            last_time - first_time,
+            total / counts,
+            std_length,
+            minimum,
+            maximum,
+            mean_inter,
+            std_inter,
+            client,
+            counts - client,
+        ])
+        return cls(features=features[flow_order],
+                   order=order, bounds=bounds)._reorder(flow_order)
+
+    def _reorder(self, flow_order: np.ndarray) -> "FlowStatsColumns":
+        """Rearrange ``order``/``bounds`` into the final flow order."""
+        counts = np.diff(self.bounds)[flow_order]
+        segments = [
+            self.order[self.bounds[g] : self.bounds[g + 1]]
+            for g in flow_order.tolist()
+        ]
+        order = np.concatenate(segments) if segments else self.order
+        bounds = np.r_[0, np.cumsum(counts)]
+        return FlowStatsColumns(features=self.features, order=order, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def labels(self, columns: PacketColumns, key: str, default=None) -> list:
+        """Per-flow majority metadata labels (:meth:`Flow.label` semantics)."""
+        metadata = columns.metadata
+        labels = []
+        order = self.order.tolist()
+        bounds = self.bounds.tolist()
+        for g in range(len(self)):
+            values = [
+                metadata[row][key]
+                for row in order[bounds[g] : bounds[g + 1]]
+                if key in metadata[row]
+            ]
+            if not values:
+                labels.append(default)
+                continue
+            unique, counts = np.unique(np.asarray(values, dtype=object), return_counts=True)
+            labels.append(unique[int(np.argmax(counts))])
+        return labels
+
+
+def flow_feature_matrix(
+    source: "PacketColumns | list",
+    label_key: str | None = None,
+    default=None,
+) -> "np.ndarray | tuple[np.ndarray, list]":
+    """The stacked per-flow feature matrix of a trace.
+
+    Equivalent to building a :class:`~repro.net.flow.FlowTable` and stacking
+    ``flow_statistics(flow)`` rows (the classical baseline's input), computed
+    columns-first when ``source`` is a :class:`PacketColumns`.  With
+    ``label_key`` the per-flow majority labels are returned as well.
+    """
+    if isinstance(source, PacketColumns):
+        stats = FlowStatsColumns.from_columns(source)
+        if label_key is None:
+            return stats.features
+        return stats.features, stats.labels(source, label_key, default=default)
+    table = FlowTable()
+    table.extend(source)
+    flows = table.flows()
+    features = (
+        np.stack([
+            np.array(list(flow_statistics(flow).values()), dtype=float)
+            for flow in flows
+        ])
+        if flows
+        else np.zeros((0, len(FLOW_FEATURE_NAMES)))
+    )
+    if label_key is None:
+        return features
+    return features, [flow.label(label_key, default=default) for flow in flows]

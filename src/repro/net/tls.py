@@ -14,7 +14,13 @@ import struct
 
 from .ports import CIPHERSUITES
 
-__all__ = ["TLSClientHello", "TLSServerHello", "TLS_HANDSHAKE", "TLS_VERSION_1_2"]
+__all__ = [
+    "TLSClientHello",
+    "TLSServerHello",
+    "TLS_HANDSHAKE",
+    "TLS_VERSION_1_2",
+    "unpack_hello_cached",
+]
 
 TLS_HANDSHAKE = 22
 TLS_VERSION_1_2 = 0x0303
@@ -123,3 +129,53 @@ class TLSServerHello:
         offset += 1 + session_len
         ciphersuite = struct.unpack("!H", body[offset : offset + 2])[0]
         return cls(ciphersuite=ciphersuite, server_random=server_random)
+
+
+# ----------------------------------------------------------------------
+# Memoized decode (the capture-ingestion fast path)
+# ----------------------------------------------------------------------
+
+#: The hello random lives at record bytes 11..43 (5-byte record header +
+#: 4-byte handshake header + 2-byte version), and ``unpack`` reads those
+#: bytes *only* as the verbatim random value — every other decoded field is a
+#: function of the remaining bytes.  That makes a whole-message memoization
+#: keyed by the record minus this span exact, the same construction as the
+#: DNS suffix cache.
+_RANDOM_START = 11
+_RANDOM_END = 43
+
+
+def unpack_hello_cached(data: bytes, hello_type: int, cache: dict):
+    """Decode a ClientHello (``hello_type`` 1) or ServerHello (2) exactly
+    like the corresponding ``unpack``, memoized modulo the hello random.
+
+    Only records whose handshake body fully covers the 32-byte random are
+    cached (shorter or truncated records take the plain decode), so a cache
+    key always determines the full parse.
+    """
+    cacheable = (
+        len(data) >= _RANDOM_END
+        and int.from_bytes(data[3:5], "big") >= 4 + 2 + 32   # record length
+        and int.from_bytes(data[6:9], "big") >= 2 + 32        # handshake body
+    )
+    if not cacheable:
+        if hello_type == _CLIENT_HELLO:
+            return TLSClientHello.unpack(data)
+        return TLSServerHello.unpack(data)
+    key = data[:_RANDOM_START] + data[_RANDOM_END:]
+    template = cache.get(key)
+    if template is None:
+        if hello_type == _CLIENT_HELLO:
+            template = TLSClientHello.unpack(data)
+        else:
+            template = TLSServerHello.unpack(data)
+        cache[key] = template
+        return template
+    random = data[_RANDOM_START:_RANDOM_END]
+    if isinstance(template, TLSClientHello):
+        return TLSClientHello(
+            ciphersuites=template.ciphersuites,
+            server_name=template.server_name,
+            client_random=random,
+        )
+    return TLSServerHello(ciphersuite=template.ciphersuite, server_random=random)

@@ -26,7 +26,8 @@ from ..core.config import NetFMConfig
 from ..core.finetuning import FinetuneConfig, LabelEncoder, SequenceClassifier
 from ..core.model import NetFoundationModel
 from ..core.pretraining import Pretrainer, PretrainingConfig
-from ..net.flow import FlowTable, flow_statistics
+from ..net.columns import PacketColumns
+from ..net.flow_columns import FlowStatsColumns
 from ..net.packet import Packet
 from ..nn.metrics import accuracy, macro_f1, weighted_f1
 from ..tasks.builders import ArrayTaskData, TaskData
@@ -299,23 +300,33 @@ class FlowStatsSolver:
         return self._solve_array(task.data)
 
     def _solve_packets(self, data: TaskData) -> dict[str, float]:
-        train_x, train_y, encoder = self._flow_features(data.train_packets, data.label_key, None)
-        test_x, test_y, _ = self._flow_features(data.test_packets, data.label_key, encoder)
+        train_x, train_y, encoder = self._flow_features(data.train_columns, data.label_key, None)
+        test_x, test_y, _ = self._flow_features(data.test_columns, data.label_key, encoder)
         train_x, test_x = standardize_features(train_x, test_x)
         model = LogisticRegression().fit(train_x, train_y)
         predictions = model.predict(test_x)
         return _classification_metrics(test_y, predictions)
 
     def _flow_features(
-        self, packets: list[Packet], label_key: str, encoder: LabelEncoder | None
+        self,
+        trace: "PacketColumns | list[Packet]",
+        label_key: str,
+        encoder: LabelEncoder | None,
     ) -> tuple[np.ndarray, np.ndarray, LabelEncoder]:
-        table = FlowTable()
-        table.extend(packets)
-        flows = [f for f in table.flows() if f.label(label_key) is not None]
-        features = np.stack([
-            np.array(list(flow_statistics(flow).values()), dtype=float) for flow in flows
-        ])
-        labels = [str(flow.label(label_key)) for flow in flows]
+        """Per-flow feature matrix + encoded labels, columns-first.
+
+        Accepts a :class:`PacketColumns` batch (the fast path the task
+        builders provide) or a packet list (converted once); the flow table,
+        per-flow statistics and majority labels are computed columnar with
+        features and flow order bit-identical to the object pipeline.
+        """
+        if not isinstance(trace, PacketColumns):
+            trace = PacketColumns.from_packets(trace)
+        stats = FlowStatsColumns.from_columns(trace)
+        flow_labels = stats.labels(trace, label_key)
+        keep = [i for i, label in enumerate(flow_labels) if label is not None]
+        features = stats.features[keep]
+        labels = [str(flow_labels[i]) for i in keep]
         if encoder is None:
             encoder = LabelEncoder(labels)
         known = [i for i, label in enumerate(labels) if label in encoder.classes]

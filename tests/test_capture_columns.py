@@ -1,0 +1,289 @@
+"""Columnar capture & flow-statistics layer: bit-identity with the object path.
+
+``read_pcap_columns(path)`` must equal ``PacketColumns.from_packets(
+read_pcap(path))`` field for field — including the decoded application
+objects, the name dicts and the error behavior for malformed records — and
+``write_pcap_columns`` must produce byte-for-byte the file ``write_pcap``
+writes.  ``FlowStatsColumns`` must reproduce the ``FlowTable`` +
+``flow_statistics`` feature table bit-for-bit (feature order, flow order,
+float rounding) along with the per-flow majority labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    DNSMessage,
+    DNSQuestion,
+    FlowTable,
+    PacketColumns,
+    build_packet,
+    flow_feature_matrix,
+    flow_statistics,
+    read_pcap,
+    read_pcap_columns,
+    write_pcap,
+    write_pcap_columns,
+)
+from repro.net.flow_columns import FLOW_FEATURE_NAMES, FlowStatsColumns
+from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+
+def assert_columns_equal(reference: PacketColumns, columns: PacketColumns) -> None:
+    for field in dataclasses.fields(PacketColumns):
+        actual = getattr(columns, field.name)
+        expected = getattr(reference, field.name)
+        if isinstance(expected, np.ndarray):
+            assert actual.shape == expected.shape, field.name
+            assert np.array_equal(actual, expected), field.name
+        else:
+            assert actual == expected, field.name
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = EnterpriseScenarioConfig(
+        seed=11, duration=25.0, dns_clients=6, dns_queries_per_client=5,
+        http_sessions=8, tls_sessions=8, iot_devices_per_type=2,
+        include_attacks=True,
+    )
+    return EnterpriseScenario(config).generate()
+
+
+@pytest.fixture(scope="module")
+def capture_path(trace, tmp_path_factory):
+    return write_pcap(tmp_path_factory.mktemp("pcap") / "capture.pcap", trace)
+
+
+class TestReadPcapColumns:
+    def test_bit_identical_to_object_reader(self, capture_path):
+        reference = PacketColumns.from_packets(read_pcap(capture_path))
+        assert_columns_equal(reference, read_pcap_columns(capture_path))
+
+    def test_reused_decode_cache_is_exact(self, capture_path):
+        reference = PacketColumns.from_packets(read_pcap(capture_path))
+        cache: dict = {}
+        for _ in range(2):  # second read runs fully warm
+            assert_columns_equal(
+                reference, read_pcap_columns(capture_path, decode_cache=cache)
+            )
+
+    def test_empty_capture(self, tmp_path):
+        path = write_pcap(tmp_path / "empty.pcap", [])
+        assert_columns_equal(PacketColumns.from_packets([]), read_pcap_columns(path))
+
+    def test_big_endian_capture(self, tmp_path):
+        import struct
+
+        packets = [
+            build_packet(2.25, "10.0.0.1", "8.8.8.8", "UDP", 40000, 53,
+                         application=DNSMessage(transaction_id=3,
+                                                questions=[DNSQuestion("a.example")])),
+            build_packet(2.5, "10.0.0.1", "10.0.0.9", "ICMP", seq=1),
+        ]
+        blob = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        for packet in packets:
+            data = packet.to_bytes()
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            blob += struct.pack(">IIII", seconds, micros, len(data), len(data)) + data
+        path = tmp_path / "be.pcap"
+        path.write_bytes(blob)
+        assert_columns_equal(
+            PacketColumns.from_packets(read_pcap(path)), read_pcap_columns(path)
+        )
+
+    def test_snaplen_truncated_records(self, trace, tmp_path):
+        # snaplen cuts payloads (captured < orig_len) but leaves the fixed
+        # headers intact: both readers agree on the degraded parse.
+        path = write_pcap(tmp_path / "cut.pcap", trace[:200], snaplen=60)
+        assert_columns_equal(
+            PacketColumns.from_packets(read_pcap(path)), read_pcap_columns(path)
+        )
+
+    def test_truncation_errors_match_object_reader(self, trace, tmp_path):
+        full = write_pcap(tmp_path / "full.pcap", trace[:4]).read_bytes()
+        mid = tmp_path / "mid.pcap"
+        mid.write_bytes(full[:-5])
+        with pytest.raises(ValueError, match="truncated mid-record"):
+            read_pcap(mid)
+        with pytest.raises(ValueError, match="truncated mid-record"):
+            read_pcap_columns(mid)
+
+    def test_unparseable_row_raises_like_parse_packet(self, tmp_path):
+        # A record too short for Ethernet+IPv4 goes through the per-packet
+        # fallback and raises exactly what the object reader raises.
+        import struct
+
+        blob = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        blob += struct.pack("<IIII", 0, 0, 10, 10) + b"\x00" * 10
+        path = tmp_path / "short_record.pcap"
+        path.write_bytes(blob)
+        with pytest.raises(ValueError) as object_error:
+            read_pcap(path)
+        with pytest.raises(ValueError) as columnar_error:
+            read_pcap_columns(path)
+        assert str(object_error.value) == str(columnar_error.value)
+
+    def test_tls_branch_ntp_fallback_not_cached_across_port_pairs(self, tmp_path):
+        # Identical non-handshake payloads on the TLS ports decode
+        # differently depending on whether a port is 123 (the NTP
+        # fallback), so the memoization must not reuse one row's result
+        # for the other — in either order.
+        from repro.net import NTPPacket
+
+        ntp_bytes = NTPPacket().pack()
+        for ports in [((5000, 443), (123, 443)), ((123, 443), (5000, 443))]:
+            packets = [
+                build_packet(float(i), "10.0.0.1", "10.0.0.2", "UDP", src, dst,
+                             application=ntp_bytes)
+                for i, (src, dst) in enumerate(ports)
+            ]
+            path = write_pcap(tmp_path / "tlsntp.pcap", packets)
+            assert_columns_equal(
+                PacketColumns.from_packets(read_pcap(path)), read_pcap_columns(path)
+            )
+
+    def test_non_ipv4_row_raises_like_parse_packet(self, tmp_path):
+        import struct
+
+        data = b"\xff" * 60  # version nibble 0xf != 4
+        blob = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        blob += struct.pack("<IIII", 0, 0, len(data), len(data)) + data
+        path = tmp_path / "notip.pcap"
+        path.write_bytes(blob)
+        with pytest.raises(ValueError) as object_error:
+            read_pcap(path)
+        with pytest.raises(ValueError) as columnar_error:
+            read_pcap_columns(path)
+        assert str(object_error.value) == str(columnar_error.value)
+
+
+class TestWritePcapColumns:
+    def test_byte_identical_to_object_writer(self, trace, tmp_path):
+        columns = PacketColumns.from_packets(trace)
+        object_path = write_pcap(tmp_path / "obj.pcap", columns.to_packets())
+        columnar_path = write_pcap_columns(tmp_path / "col.pcap", columns)
+        assert object_path.read_bytes() == columnar_path.read_bytes()
+
+    def test_snaplen_byte_identical(self, trace, tmp_path):
+        columns = PacketColumns.from_packets(trace[:100])
+        object_path = write_pcap(tmp_path / "obj.pcap", columns.to_packets(), snaplen=70)
+        columnar_path = write_pcap_columns(tmp_path / "col.pcap", columns, snaplen=70)
+        assert object_path.read_bytes() == columnar_path.read_bytes()
+
+    def test_round_trip_through_columns(self, trace, tmp_path):
+        # generate → write_pcap_columns → read_pcap_columns: the no-object
+        # capture path reproduces what the object pipeline would parse.
+        columns = PacketColumns.from_packets(trace[:150])
+        path = write_pcap_columns(tmp_path / "rt.pcap", columns)
+        assert_columns_equal(
+            PacketColumns.from_packets(read_pcap(path)), read_pcap_columns(path)
+        )
+
+
+class TestFlowStatsColumns:
+    def _object_table(self, packets, label_key=None):
+        table = FlowTable()
+        table.extend(packets)
+        flows = table.flows()
+        features = np.stack([
+            np.array(list(flow_statistics(flow).values()), dtype=float)
+            for flow in flows
+        ])
+        if label_key is None:
+            return features
+        return features, [flow.label(label_key) for flow in flows]
+
+    def test_feature_names_match_flow_statistics(self):
+        packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1, 2)
+        table = FlowTable()
+        table.add(packet)
+        assert tuple(flow_statistics(table.flows()[0])) == FLOW_FEATURE_NAMES
+
+    def test_features_bit_identical(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        expected, expected_labels = self._object_table(trace, "application")
+        actual, labels = flow_feature_matrix(columns, label_key="application")
+        assert actual.shape == expected.shape
+        assert np.array_equal(actual, expected)
+        assert labels == expected_labels
+
+    def test_features_from_parsed_pcap(self, capture_path):
+        # Parsed captures have no metadata, exercise the 5-tuple-only path.
+        columns = read_pcap_columns(capture_path)
+        expected = self._object_table(read_pcap(capture_path))
+        assert np.array_equal(flow_feature_matrix(columns), expected)
+
+    def test_packet_list_input(self, trace):
+        expected = self._object_table(trace[:300])
+        assert np.array_equal(flow_feature_matrix(trace[:300]), expected)
+
+    def test_grouping_slices_cover_all_rows(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        stats = FlowStatsColumns.from_columns(columns)
+        assert stats.bounds[0] == 0 and stats.bounds[-1] == len(columns)
+        assert sorted(stats.order.tolist()) == list(range(len(columns)))
+        # rows within each flow are in timestamp order
+        for g in range(len(stats)):
+            rows = stats.order[stats.bounds[g]:stats.bounds[g + 1]]
+            times = columns.timestamps[rows]
+            assert (np.diff(times) >= 0).all()
+
+    def test_empty_batch(self):
+        columns = PacketColumns.from_packets([])
+        stats = FlowStatsColumns.from_columns(columns)
+        assert stats.features.shape == (0, len(FLOW_FEATURE_NAMES))
+
+    def test_no_ip_rows_group_like_objects(self):
+        # Packets without an IP layer (src_ip == "") still group and
+        # featurize exactly like the object path.
+        from repro.net import EthernetHeader, Packet
+
+        bare = [
+            Packet(timestamp=float(i), ethernet=EthernetHeader(), payload=b"xy")
+            for i in range(3)
+        ]
+        mixed = bare + [build_packet(0.5, "10.0.0.1", "10.0.0.2", "TCP", 5, 6)]
+        expected = self._object_table(mixed)
+        actual = flow_feature_matrix(PacketColumns.from_packets(mixed))
+        assert np.array_equal(actual, expected)
+
+
+class TestFlowStatsSolverColumnar:
+    def test_solver_matches_object_feature_pipeline(self):
+        from repro.core.finetuning import LabelEncoder
+        from repro.netglue.solvers import FlowStatsSolver
+
+        config = EnterpriseScenarioConfig(seed=5, duration=15.0, include_attacks=False)
+        columns = EnterpriseScenario(config).generate_columns()
+        packets = columns.to_packets()
+
+        table = FlowTable()
+        table.extend(packets)
+        flows = [f for f in table.flows() if f.label("application") is not None]
+        expected = np.stack([
+            np.array(list(flow_statistics(flow).values()), dtype=float)
+            for flow in flows
+        ])
+        labels = [str(flow.label("application")) for flow in flows]
+
+        solver = FlowStatsSolver()
+        features, encoded, encoder = solver._flow_features(columns, "application", None)
+        assert np.array_equal(features, expected)
+        assert encoder.decode(encoded) == labels
+
+    def test_solver_accepts_packet_lists(self):
+        from repro.netglue.solvers import FlowStatsSolver
+
+        config = EnterpriseScenarioConfig(seed=6, duration=10.0, include_attacks=False)
+        columns = EnterpriseScenario(config).generate_columns()
+        solver = FlowStatsSolver()
+        from_columns = solver._flow_features(columns, "application", None)
+        from_packets = solver._flow_features(columns.to_packets(), "application", None)
+        assert np.array_equal(from_columns[0], from_packets[0])
+        assert np.array_equal(from_columns[1], from_packets[1])

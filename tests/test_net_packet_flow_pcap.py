@@ -136,3 +136,50 @@ class TestPcap:
         path.write_bytes(b"\x01\x02")
         with pytest.raises(ValueError):
             read_pcap(path)
+
+    def test_big_endian_magic(self, tmp_path):
+        # A 0xD4C3B2A1 capture (written on a big-endian host) parses with
+        # byte-swapped global and record headers; packet bytes are network
+        # order either way.
+        import struct
+
+        packet = build_packet(3.5, "10.0.0.1", "10.0.0.2", "TCP", 1234, 80)
+        data = packet.to_bytes()
+        blob = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        blob += struct.pack(">IIII", 3, 500_000, len(data), len(data)) + data
+        path = tmp_path / "be.pcap"
+        path.write_bytes(blob)
+        restored = read_pcap(path)
+        assert len(restored) == 1
+        assert restored[0].timestamp == pytest.approx(3.5)
+        assert restored[0].dst_port == 80
+
+    def test_snaplen_truncates_captured_bytes(self, tmp_path):
+        # captured < orig_len: headers parse, the payload is cut short, and
+        # the opportunistic application decode degrades to None.
+        packet = build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 40000, 8000,
+                              application=b"x" * 300)
+        path = write_pcap(tmp_path / "cut.pcap", [packet], snaplen=80)
+        assert path.stat().st_size == 24 + 16 + 80
+        restored = read_pcap(path)
+        assert len(restored) == 1
+        assert restored[0].src_port == 40000
+        assert restored[0].payload == b"x" * (80 - 54)
+        assert restored[0].application is None
+
+    def test_truncated_tail_is_explicit(self, tmp_path):
+        # A file ending inside a record's data, or inside a record header,
+        # raises instead of silently dropping the partial record; ending
+        # exactly on a record boundary is the only clean EOF.
+        packet = build_packet(1.0, "10.0.0.1", "10.0.0.2", "UDP", 1111, 2222)
+        path = write_pcap(tmp_path / "tail.pcap", [packet, packet])
+        blob = path.read_bytes()
+        (tmp_path / "mid.pcap").write_bytes(blob[:-3])
+        with pytest.raises(ValueError, match="truncated mid-record"):
+            read_pcap(tmp_path / "mid.pcap")
+        record_size = (len(blob) - 24) // 2
+        (tmp_path / "header.pcap").write_bytes(blob[: 24 + record_size + 7])
+        with pytest.raises(ValueError, match="truncated record header"):
+            read_pcap(tmp_path / "header.pcap")
+        clean = read_pcap(path)
+        assert len(clean) == 2

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate a sharded packet-corpus directory against its manifest.
+
+Checks, without unpickling any application objects unless ``--deep``:
+
+* the manifest parses, has the expected format tag and a supported version;
+* every shard file listed exists, no stray ``shard-*.npz`` files remain;
+* per-shard row counts, start offsets and the total row count line up;
+* each shard archive contains every manifest-declared column, the array
+  columns all have the shard's row count, and the payload matrix matches
+  the recorded width;
+* with ``--deep``: shards load fully (object columns included), payload
+  lengths fit the payload matrix, and the label vocabulary recorded in the
+  manifest equals the vocabulary recomputed from the metadata.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_shards.py CORPUS_DIR [--deep]
+    PYTHONPATH=src python tools/check_shards.py --selftest
+
+``--selftest`` builds a small corpus in a temporary directory, saves it,
+and validates it deeply — the mode the docs CI job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def check_corpus(directory: Path, deep: bool = False) -> list[str]:
+    """Return a list of problems (empty when the corpus validates)."""
+    import numpy as np
+
+    from repro.corpus.packets import MANIFEST_NAME, SHARD_FORMAT, SHARD_VERSION
+
+    problems: list[str] = []
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return [f"missing {MANIFEST_NAME}"]
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"unparseable manifest: {error}"]
+
+    if manifest.get("format") != SHARD_FORMAT:
+        problems.append(f"format is {manifest.get('format')!r}, expected {SHARD_FORMAT!r}")
+    if manifest.get("version") != SHARD_VERSION:
+        problems.append(f"unsupported version {manifest.get('version')!r}")
+    if problems:
+        return problems
+
+    shards = manifest.get("shards", [])
+    if len(shards) != manifest.get("num_shards"):
+        problems.append(
+            f"manifest lists {len(shards)} shards but num_shards is "
+            f"{manifest.get('num_shards')}"
+        )
+    listed = {entry["file"] for entry in shards}
+    on_disk = {path.name for path in directory.glob("shard-*.npz")}
+    for missing in sorted(listed - on_disk):
+        problems.append(f"missing shard file {missing}")
+    for stray in sorted(on_disk - listed):
+        problems.append(f"stray shard file {stray} not in manifest")
+
+    array_fields = manifest.get("array_fields", [])
+    object_fields = manifest.get("object_fields", [])
+    expected_start = 0
+    total = 0
+    for index, entry in enumerate(shards):
+        missing_keys = {"file", "rows", "start", "payload_width"} - set(entry)
+        if missing_keys:
+            problems.append(
+                f"shard entry {index} is missing keys {sorted(missing_keys)}"
+            )
+            continue
+        name = entry["file"]
+        if entry.get("start") != expected_start:
+            problems.append(
+                f"{name}: start {entry.get('start')} != expected {expected_start}"
+            )
+        expected_start = (entry.get("start") or 0) + entry["rows"]
+        total += entry["rows"]
+        path = directory / name
+        if not path.is_file():
+            continue
+        with np.load(path, allow_pickle=deep) as archive:
+            keys = set(archive.files)
+            for field in array_fields + object_fields:
+                if field not in keys:
+                    problems.append(f"{name}: missing column {field!r}")
+            for field in array_fields:
+                if field not in keys:
+                    continue
+                column = archive[field]
+                if field == "payload":
+                    if column.shape != (entry["rows"], entry["payload_width"]):
+                        problems.append(
+                            f"{name}: payload shape {column.shape} != "
+                            f"({entry['rows']}, {entry['payload_width']})"
+                        )
+                elif len(column) != entry["rows"]:
+                    problems.append(
+                        f"{name}: column {field!r} has {len(column)} rows, "
+                        f"manifest says {entry['rows']}"
+                    )
+    if total != manifest.get("num_rows"):
+        problems.append(
+            f"shard rows sum to {total}, manifest num_rows is {manifest.get('num_rows')}"
+        )
+
+    if deep and not problems:
+        from repro.corpus import PacketTraceCorpus
+
+        corpus = PacketTraceCorpus.open_shards(directory)
+        for index, shard in enumerate(corpus):
+            if shard.payload_lengths.max(initial=0) > shard.payload.shape[1]:
+                problems.append(f"shard {index}: payload lengths exceed the matrix")
+        for key, recorded in manifest.get("label_vocab", {}).items():
+            recomputed = sorted({
+                str(value) for value in corpus.labels(key) if value is not None
+            })
+            if recomputed != recorded:
+                problems.append(
+                    f"label vocab for {key!r} is stale: manifest {recorded}, "
+                    f"recomputed {recomputed}"
+                )
+    return problems
+
+
+def selftest() -> int:
+    """Build, save and deeply validate a small corpus end to end."""
+    from repro.corpus import PacketTraceCorpus
+    from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+    corpus = PacketTraceCorpus.from_scenarios(
+        [EnterpriseScenario(EnterpriseScenarioConfig(seed=0, duration=5.0))]
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "corpus"
+        corpus.save_shards(directory, shard_rows=64)
+        problems = check_corpus(directory, deep=True)
+        restored = PacketTraceCorpus.open_shards(directory)
+        if len(restored) != len(corpus):
+            problems.append(
+                f"round-trip row count {len(restored)} != {len(corpus)}"
+            )
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(f"selftest OK ({len(corpus)} rows, shard_rows=64)")
+    return 1 if problems else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", nargs="?", help="corpus directory to validate")
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also load object columns and recompute the label vocabulary",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="build a small corpus in a temp dir and validate it deeply",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.directory:
+        parser.error("a corpus directory (or --selftest) is required")
+    problems = check_corpus(Path(args.directory), deep=args.deep)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(f"{args.directory}: manifest and shards validate")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
