@@ -19,6 +19,8 @@ Data-driven Networking with Foundation Models: Challenges and Opportunities"
   superfields (Section 4.4).
 * :mod:`repro.netglue` — the GLUE-style benchmark suite (Section 4.2).
 * :mod:`repro.corpus` — networking-text corpus for the NetBERT analogy probe.
+* :mod:`repro.serve` — streaming inference: online flow assembly,
+  micro-batched model serving, prediction caching.
 """
 
 from . import (
@@ -32,6 +34,7 @@ from . import (
     netglue,
     nn,
     ood,
+    serve,
     tasks,
     tokenize,
     traffic,
@@ -54,6 +57,7 @@ __all__ = [
     "netglue",
     "tasks",
     "corpus",
+    "serve",
     "NetFMConfig",
     "NetFMPipeline",
     "NetFoundationModel",

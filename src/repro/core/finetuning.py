@@ -151,23 +151,47 @@ class SequenceClassifier(Module):
         """Predicted class ids."""
         return self.predict_proba(token_ids, attention_mask, batch_size).argmax(axis=-1)
 
-    def predict_proba(
+    def predict_logits(
         self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
     ) -> np.ndarray:
-        """Predicted class probabilities (softmax over logits)."""
-        # No packed trimming here: interpretability consumers read the
-        # recorded attention maps and expect them aligned with the input width.
+        """Raw eval-mode logits (no dropout, no grad) for encoded inputs.
+
+        The batched forward the serving engine micro-batches over.  Rows are
+        computed independently (attention is masked per row, normalization
+        and projections are row-wise): a row's logits are a function of its
+        own tokens and the forward width only, not of what else is in the
+        batch — which is what makes length-bucketed micro-batching
+        deterministic (the same rows at the same width always produce the
+        same logits) and lets it match per-flow predictions.  Padding-width
+        changes can reorder BLAS accumulations at the last ulp, so class
+        predictions are stable across widths while raw logits are exactly
+        reproducible only at a fixed width.
+
+        No packed trimming here: interpretability consumers read the
+        recorded attention maps and expect them aligned with the input
+        width (the serving engine trims before calling in).
+        """
+        token_ids = np.asarray(token_ids)
+        if len(token_ids) == 0:
+            return np.zeros((0, self.num_classes))
         self.eval()
         outputs = []
         with no_grad():
             for start in range(0, len(token_ids), batch_size):
-                logits = self(
-                    token_ids[start : start + batch_size],
-                    attention_mask=attention_mask[start : start + batch_size],
-                )
-                outputs.append(logits.softmax(axis=-1).data)
+                mask = attention_mask
+                if mask is not None:
+                    mask = mask[start : start + batch_size]
+                logits = self(token_ids[start : start + batch_size], attention_mask=mask)
+                outputs.append(logits.data)
         self.train()
         return np.concatenate(outputs, axis=0)
+
+    def predict_proba(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Predicted class probabilities (softmax over logits)."""
+        logits = self.predict_logits(token_ids, attention_mask, batch_size)
+        return Tensor(logits).softmax(axis=-1).data
 
     def evaluate(
         self, token_ids: np.ndarray, attention_mask: np.ndarray, labels: np.ndarray

@@ -27,7 +27,12 @@ import numpy as np
 from .columns import PacketColumns
 from .flow import FlowTable, flow_statistics
 
-__all__ = ["FLOW_FEATURE_NAMES", "FlowStatsColumns", "flow_feature_matrix"]
+__all__ = [
+    "FLOW_FEATURE_NAMES",
+    "FlowStatsColumns",
+    "flow_feature_matrix",
+    "is_idle_split",
+]
 
 #: Feature order of :func:`repro.net.flow.flow_statistics` (non-empty flows).
 FLOW_FEATURE_NAMES = (
@@ -43,6 +48,61 @@ FLOW_FEATURE_NAMES = (
     "client_packets",
     "server_packets",
 )
+
+
+def is_idle_split(gap, idle_timeout: float):
+    """The NetFlow-style flow-expiry rule: does ``gap`` start a new flow?
+
+    A gap *strictly* longer than ``idle_timeout`` seconds between consecutive
+    packets of the same flow key splits the flow — exactly
+    :meth:`FlowTable.add`'s comparison.  Accepts a scalar gap (returns a
+    bool) or an array of gaps (returns a boolean array); a non-positive
+    ``idle_timeout`` disables splitting.  This single predicate is shared by
+    the columnar feature table below and by
+    :class:`repro.serve.StreamingFlowAssembler`, so offline splitting and
+    online eviction can never drift apart.
+    """
+    if idle_timeout <= 0:
+        if isinstance(gap, np.ndarray):
+            return np.zeros(gap.shape, dtype=bool)
+        return False
+    return gap > idle_timeout
+
+
+def _generation_codes(
+    codes: np.ndarray, timestamps: np.ndarray, idle_timeout: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split flow codes into idle-timeout generations (row-order semantics).
+
+    :class:`FlowTable` processes packets in *arrival* (row) order and starts
+    a new generation of a key whenever the gap to that key's previous packet
+    exceeds the timeout.  A stable argsort by code reproduces each key's
+    arrival order; per-segment cumulative sums of the split predicate number
+    the generations.  Returns ``(new_codes, first_index)`` where
+    ``new_codes`` enumerates ``(key, generation)`` groups and ``first_index``
+    is each group's first arrival row (the dict-insertion order
+    ``FlowTable.flows()`` starts from).
+    """
+    n = len(codes)
+    arrival = np.argsort(codes, kind="stable")
+    sorted_codes = codes[arrival]
+    sorted_times = timestamps[arrival]
+    same_key = np.r_[False, sorted_codes[1:] == sorted_codes[:-1]]
+    gaps = np.r_[0.0, sorted_times[1:] - sorted_times[:-1]]
+    splits = same_key & is_idle_split(gaps, idle_timeout)
+    inc = splits.astype(np.int64)
+    cumulative = np.cumsum(inc)
+    start_idx = np.flatnonzero(~same_key)
+    seg_counts = np.diff(np.r_[start_idx, n])
+    base = (cumulative - inc)[start_idx]
+    generation_sorted = cumulative - np.repeat(base, seg_counts)
+    generation = np.empty(n, dtype=np.int64)
+    generation[arrival] = generation_sorted
+    combined = codes * (int(generation.max()) + 1) + generation
+    _, first_index, new_codes = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return new_codes.reshape(n), first_index
 
 
 def _endpoint_ranks(columns: PacketColumns) -> tuple[np.ndarray, np.ndarray]:
@@ -99,8 +159,17 @@ class FlowStatsColumns:
         return len(self.features)
 
     @classmethod
-    def from_columns(cls, columns: PacketColumns) -> "FlowStatsColumns":
-        """Compute the feature table (``FlowTable()`` semantics, no timeout)."""
+    def from_columns(
+        cls, columns: PacketColumns, idle_timeout: float = 0.0
+    ) -> "FlowStatsColumns":
+        """Compute the feature table (:class:`FlowTable` semantics).
+
+        With ``idle_timeout > 0`` a gap longer than that many seconds between
+        consecutive packets (in row order) of the same 5-tuple starts a new
+        flow, bit-identical to ``FlowTable(idle_timeout=...)``'s generation
+        splitting — the same expiry rule (:func:`is_idle_split`) the
+        streaming assembler uses to evict flows online.
+        """
         n = len(columns)
         if n == 0:
             return cls(
@@ -127,6 +196,10 @@ class FlowStatsColumns:
             keys, axis=0, return_index=True, return_inverse=True
         )
         codes = codes.reshape(n)  # older numpy returns shape (n, 1) for axis=0
+        if idle_timeout > 0:
+            codes, first_index = _generation_codes(
+                codes, columns.timestamps, idle_timeout
+            )
 
         # Rows grouped by flow, timestamp-sorted within each flow (lexsort is
         # stable, matching Flow.sort()'s stable per-flow sort).
@@ -247,20 +320,22 @@ def flow_feature_matrix(
     source: "PacketColumns | list",
     label_key: str | None = None,
     default=None,
+    idle_timeout: float = 0.0,
 ) -> "np.ndarray | tuple[np.ndarray, list]":
     """The stacked per-flow feature matrix of a trace.
 
-    Equivalent to building a :class:`~repro.net.flow.FlowTable` and stacking
-    ``flow_statistics(flow)`` rows (the classical baseline's input), computed
-    columns-first when ``source`` is a :class:`PacketColumns`.  With
-    ``label_key`` the per-flow majority labels are returned as well.
+    Equivalent to building a :class:`~repro.net.flow.FlowTable` (with the
+    given ``idle_timeout``) and stacking ``flow_statistics(flow)`` rows (the
+    classical baseline's input), computed columns-first when ``source`` is a
+    :class:`PacketColumns`.  With ``label_key`` the per-flow majority labels
+    are returned as well.
     """
     if isinstance(source, PacketColumns):
-        stats = FlowStatsColumns.from_columns(source)
+        stats = FlowStatsColumns.from_columns(source, idle_timeout=idle_timeout)
         if label_key is None:
             return stats.features
         return stats.features, stats.labels(source, label_key, default=default)
-    table = FlowTable()
+    table = FlowTable(idle_timeout=idle_timeout)
     table.extend(source)
     flows = table.flows()
     features = (

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import threading
 from pathlib import Path
 from typing import Iterable
 
@@ -59,6 +60,7 @@ __all__ = [
     "read_pcap",
     "write_pcap_columns",
     "read_pcap_columns",
+    "LazyDecodeColumns",
     "PCAP_MAGIC",
     "LINKTYPE_ETHERNET",
 ]
@@ -190,9 +192,7 @@ def write_pcap_columns(
 def _decode_rows(
     branch: str,
     rows: np.ndarray,
-    payload_at: np.ndarray,
-    record_end: np.ndarray,
-    raw: bytes,
+    payloads: list,
     src_port: np.ndarray,
     dst_port: np.ndarray,
     applications: list,
@@ -206,28 +206,26 @@ def _decode_rows(
     and the blanket ``except`` that turns malformed payloads into ``None`` —
     but dispatches on pre-classified rows and memoizes decodes by payload
     bytes, so repeated payloads (retransmissions, repeated queries) are
-    decoded once.
+    decoded once.  ``payloads`` holds the rows' payload bytes (parallel to
+    ``rows``); the eager reader slices them from the file buffer, the lazy
+    path from the payload matrix — identical bytes either way.
     """
-    at = payload_at[rows].tolist()
-    ends = record_end[rows].tolist()
     if branch == "dns":
         # DNS gets its own sub-message memoization (whole message modulo the
         # transaction id, question entries, name spans) — far higher hit
         # rates than whole payloads, whose transaction ids almost never
         # repeat.
         dns_cache = cache.setdefault("dns", {})
-        for i, (a, b) in zip(rows.tolist(), zip(at, ends)):
+        for i, payload in zip(rows.tolist(), payloads):
             try:
-                app = unpack_message_cached(raw[a:b], dns_cache)
+                app = unpack_message_cached(payload, dns_cache)
             except (ValueError, IndexError, UnicodeDecodeError):
                 continue
             applications[i] = app
             app_kind[i] = APP_DNS
         return
     tls_branch = branch == "tls"
-    for i, payload in zip(
-        rows.tolist(), (raw[a:b] for a, b in zip(at, ends))
-    ):
+    for i, payload in zip(rows.tolist(), payloads):
         if tls_branch:
             # The TLS branch falls back to NTP when a port is 123, so the
             # decode is a function of (payload, that eligibility) — the
@@ -271,9 +269,139 @@ _APP_KIND_BY_TYPE = {
     NTPPacket: APP_NTP,
 }
 
+#: Lazy-decode branch codes (order = the decode precedence of
+#: ``_decode_application``: DNS, then HTTP, then TLS/NTP-fallback, then NTP).
+_BRANCH_NONE = 0
+_BRANCH_NAMES = ("dns", "http", "tls", "ntp")
+
+#: Serializes deferred decodes (threaded consumers — e.g. parallel shard
+#: writes over a lazily parsed corpus — may race on the same batch).
+_DECODE_LOCK = threading.Lock()
+#: Thread-local "return raw stores" mode used while select/concat gather
+#: fields of a pending batch; thread-local so one thread's gather cannot
+#: unmask another thread's decode trigger.
+_RAW_MODE = threading.local()
+
+
+class LazyDecodeColumns(PacketColumns):
+    """A parsed capture whose application decode runs on first access.
+
+    Byte-level-only consumers (the serving fast path included) read header
+    columns, payload bytes and ``wire_matrix`` — none of which need the
+    decoded DNS/HTTP/TLS/NTP objects — so :func:`read_pcap_columns` with
+    ``lazy_decode=True`` returns this subclass and defers the decode until
+    ``applications`` or ``app_kind`` (the columns whose *values* depend on
+    it) is first read.  The deferred decode consumes the rows' payload bytes
+    from the payload matrix — the same bytes the eager reader slices from
+    the file — through the same memoizing `_decode_rows`, so the
+    materialized result is bit-identical to an eager parse.
+
+    Row selection (``__getitem__`` / :meth:`select`) and
+    :meth:`concat` propagate the pending state, so chunked streaming over a
+    lazy capture stays decode-free until something actually needs the
+    application layer.  Everything else (``to_packets``, ``save_shards``,
+    equality) simply triggers the decode and behaves like a plain
+    :class:`PacketColumns`.
+    """
+
+    # Class-level default so instances constructed by the inherited
+    # dataclass __init__ (select/concat) start with no pending decode.
+    _lazy = None  # (branch-code column, decode cache) when decode is pending
+
+    # -- the two columns whose values depend on the deferred decode -------
+    @property
+    def applications(self):
+        d = self.__dict__
+        if d.get("_lazy") is not None and not getattr(_RAW_MODE, "active", False):
+            self._decode_applications()
+        return d["applications"]
+
+    @applications.setter
+    def applications(self, value):
+        self.__dict__["applications"] = value
+
+    @property
+    def app_kind(self):
+        d = self.__dict__
+        if d.get("_lazy") is not None and not getattr(_RAW_MODE, "active", False):
+            self._decode_applications()
+        return d["app_kind"]
+
+    @app_kind.setter
+    def app_kind(self, value):
+        self.__dict__["app_kind"] = value
+
+    @property
+    def decode_pending(self) -> bool:
+        """Whether the application decode has not run yet."""
+        return self.__dict__.get("_lazy") is not None
+
+    def _decode_applications(self) -> None:
+        with _DECODE_LOCK:
+            # Re-check under the lock: a concurrent reader may have decoded
+            # (or be the one that will) — the pending state is popped only
+            # after the decode completes, so readers never see torn columns.
+            state = self.__dict__.get("_lazy")
+            if state is None:
+                return
+            branch, cache = state
+            d = self.__dict__
+            applications, app_kind = d["applications"], d["app_kind"]
+            payload, lengths = self.payload, self.payload_lengths
+            for code, name in enumerate(_BRANCH_NAMES, start=1):
+                rows = np.flatnonzero(branch == code)
+                if len(rows):
+                    payloads = [
+                        payload[i, : lengths[i]].tobytes() for i in rows.tolist()
+                    ]
+                    _decode_rows(
+                        name, rows, payloads, self.src_port, self.dst_port,
+                        applications, app_kind, cache,
+                    )
+            del d["_lazy"]
+
+    def _attach_lazy(self, branch: np.ndarray, cache: dict) -> "LazyDecodeColumns":
+        if branch.any():
+            self.__dict__["_lazy"] = (branch, cache)
+        return self
+
+    # -- pending-state propagation ---------------------------------------
+    def select(self, rows: np.ndarray) -> "PacketColumns":
+        state = self.__dict__.get("_lazy")
+        if state is None:
+            return super().select(rows)
+        _RAW_MODE.active = True
+        try:
+            selected = super().select(rows)
+        finally:
+            _RAW_MODE.active = False
+        branch, cache = state
+        return selected._attach_lazy(
+            branch[np.asarray(rows, dtype=np.int64)], cache
+        )
+
+    @classmethod
+    def concat(cls, parts) -> "PacketColumns":
+        parts = list(parts)
+        states = [part.__dict__.get("_lazy") for part in parts]
+        if len(parts) <= 1 or not any(state is not None for state in states):
+            return super().concat(parts)
+        _RAW_MODE.active = True
+        try:
+            merged = super().concat(parts)
+        finally:
+            _RAW_MODE.active = False
+        branch = np.concatenate([
+            state[0] if state is not None
+            else np.zeros(len(part), dtype=np.int64)
+            for part, state in zip(parts, states)
+        ])
+        cache = next(state[1] for state in states if state is not None)
+        return merged._attach_lazy(branch, cache)
+
 
 def read_pcap_columns(
-    path: str | Path, decode_cache: dict | None = None
+    path: str | Path, decode_cache: dict | None = None, lazy_decode: bool = False
 ) -> PacketColumns:
     """Parse an Ethernet pcap straight into :class:`PacketColumns`.
 
@@ -300,6 +428,13 @@ def read_pcap_columns(
     steady state this reader exists for) skips re-decoding the repeated
     names, queries and hello templates.  Pass a plain dict owned by the
     caller; omit it for a per-call cache.
+
+    With ``lazy_decode=True`` the application decode is deferred: the reader
+    classifies the candidate rows (the same port-based branch masks) but
+    returns a :class:`LazyDecodeColumns` whose ``applications`` / ``app_kind``
+    columns materialize on first access — so byte-level-only consumers get a
+    completely decode-free parse, and the materialized values are
+    bit-identical to an eager read.
     """
     path = Path(path)
     raw = path.read_bytes()
@@ -513,6 +648,7 @@ def read_pcap_columns(
     src_port = columns["src_port"]
     dst_port = columns["dst_port"]
     kind = columns["transport_kind"]
+    branch = np.zeros(n, dtype=np.int64)
     cand = vec & (pl_len > 0) & ((kind == TRANSPORT_TCP) | (kind == TRANSPORT_UDP))
     if cand.any():
         def on_ports(*ports: int) -> np.ndarray:
@@ -525,13 +661,19 @@ def read_pcap_columns(
         http_m = cand & ~dns_m & on_ports(80, 8080)
         tls_m = cand & ~dns_m & ~http_m & on_ports(443, 8443)
         ntp_m = cand & ~dns_m & ~http_m & ~tls_m & on_ports(123)
-        cache = decode_cache if decode_cache is not None else {}
-        args = (payload_at, record_end, raw, src_port, dst_port,
-                columns["applications"], columns["app_kind"], cache)
-        _decode_rows("dns", np.flatnonzero(dns_m), *args)
-        _decode_rows("http", np.flatnonzero(http_m), *args)
-        _decode_rows("tls", np.flatnonzero(tls_m), *args)
-        _decode_rows("ntp", np.flatnonzero(ntp_m), *args)
+        for code, mask in enumerate((dns_m, http_m, tls_m, ntp_m), start=1):
+            branch[mask] = code
+    cache = decode_cache if decode_cache is not None else {}
+    if branch.any() and not lazy_decode:
+        args = (src_port, dst_port, columns["applications"], columns["app_kind"], cache)
+        for code, name in enumerate(_BRANCH_NAMES, start=1):
+            rows = np.flatnonzero(branch == code)
+            if len(rows):
+                payloads = [
+                    raw[a:b]
+                    for a, b in zip(payload_at[rows].tolist(), record_end[rows].tolist())
+                ]
+                _decode_rows(name, rows, payloads, *args)
 
     if sub is not None:
         skip = {"payload", "applications", "metadata",
@@ -549,4 +691,6 @@ def read_pcap_columns(
         for (field_name, row), spelling in sub.spelling_overrides.items():
             columns["spelling_overrides"][(field_name, int(fb_rows[row]))] = spelling
 
+    if lazy_decode:
+        return LazyDecodeColumns(**columns)._attach_lazy(branch, cache)
     return PacketColumns(**columns)

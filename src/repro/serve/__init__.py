@@ -1,0 +1,53 @@
+"""``repro.serve`` — streaming inference over live packet streams.
+
+The offline pipeline (generate/parse -> group -> encode -> train) assumes
+the whole trace is in memory; this subsystem turns the same columnar
+substrate into an *online* engine, the system shape the paper's
+"foundation model that downstream tasks query on live traffic" implies:
+
+* :mod:`repro.serve.stream` — packet sources yielding bounded
+  :class:`~repro.net.columns.PacketColumns` chunks (pcap replay with
+  optional timestamp pacing and lazy application decode, in-memory replay,
+  live-simulator wrapping of any traffic generator);
+* :mod:`repro.serve.assembler` — :class:`StreamingFlowAssembler`,
+  incremental flow/session grouping across chunk boundaries with
+  NetFlow-style idle/active timeouts, emitting closed flows whose encoded
+  contexts are bit-identical to the offline
+  :meth:`~repro.context.builders.FlowContextBuilder.encode_columns`;
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`, length-bucketed
+  micro-batching over a classifier's eval-mode forward, with a
+  :class:`PredictionCache` keyed by the encoded context and bounded-queue
+  backpressure;
+* :mod:`repro.serve.report` — :class:`ServingReport`, the
+  throughput/latency/cache scorecard published in ``BENCH_e14.json``.
+
+``serve_stream(source, assembler, engine)`` wires the three stages into a
+single generator of :class:`FlowPrediction` objects; see
+``docs/SERVING.md`` and ``examples/streaming_inference.py``.
+"""
+
+from .assembler import FlowRecord, StreamingFlowAssembler
+from .engine import FlowPrediction, InferenceEngine, PredictionCache, serve_stream
+from .report import ServingReport
+from .stream import (
+    ColumnsSource,
+    PacketSource,
+    PcapReplaySource,
+    ScenarioSource,
+    chunk_columns,
+)
+
+__all__ = [
+    "chunk_columns",
+    "PacketSource",
+    "ColumnsSource",
+    "PcapReplaySource",
+    "ScenarioSource",
+    "FlowRecord",
+    "StreamingFlowAssembler",
+    "PredictionCache",
+    "FlowPrediction",
+    "InferenceEngine",
+    "ServingReport",
+    "serve_stream",
+]

@@ -1,0 +1,287 @@
+"""Incremental flow assembly across chunk boundaries.
+
+The offline pipeline groups a *complete* trace into flow contexts with one
+lexicographic argsort
+(:meth:`repro.context.builders.FlowContextBuilder.encode_columns`).  A
+serving system never holds the complete trace; packets of one flow arrive
+interleaved with every other flow's, split across chunks.  The
+:class:`StreamingFlowAssembler` closes that gap: it buffers per-flow state
+as chunks arrive, closes flows on NetFlow-style idle/active timeouts (or at
+:meth:`flush`), and emits each closed flow as a :class:`FlowRecord` whose
+encoded context row is **bit-identical** to what the offline
+``encode_columns`` produces for the same flow on the equivalent full trace —
+for any chunk size.
+
+Two properties make that equivalence hold:
+
+* grouping uses exactly the offline keys — the builder's metadata id
+  (``connection_id`` / ``session_id``) when present, its 5-tuple/endpoint
+  fallback otherwise — applied row by row, so a chunk boundary can never
+  change which flow a packet joins;
+* the per-flow buffer keeps only the first ``max_packets`` rows (the only
+  rows the offline context and its majority label can depend on), and the
+  closed flow re-enters the builder's own ``encode_columns`` as a
+  single-flow batch, so tokenization, truncation and ``[CLS]``/``[SEP]``
+  assembly are literally the same code path.
+
+Timeout semantics are shared with the offline feature table: the idle-split
+predicate is :func:`repro.net.flow_columns.is_idle_split`, the rule
+``FlowTable(idle_timeout=...)`` applies, so streamed flow splitting matches
+``FlowStatsColumns.from_columns(..., idle_timeout=...)`` packet for packet
+on time-ordered traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..context.builders import FlowContextBuilder
+from ..net.columns import PacketColumns
+from ..net.flow_columns import is_idle_split
+
+__all__ = ["FlowRecord", "StreamingFlowAssembler"]
+
+
+@dataclasses.dataclass
+class FlowRecord:
+    """One closed flow, encoded and ready for inference.
+
+    ``token_ids`` / ``attention_mask`` are the exact ``encode_columns`` row
+    (``[CLS] tokens... [SEP]`` padded to the builder's ``max_tokens``) the
+    offline pipeline would produce for this flow; ``label`` is the per-flow
+    majority label (``None`` when unlabelled, e.g. parsed captures).
+    """
+
+    key: object
+    generation: int
+    token_ids: np.ndarray
+    attention_mask: np.ndarray
+    label: str | None
+    packet_count: int
+    start_time: float
+    end_time: float
+    closed_by: str  # "idle" | "active" | "evict" | "flush"
+
+    @property
+    def cache_key(self) -> bytes:
+        """The prediction-cache key: the real (unpadded) token ids as bytes.
+
+        Keyed on the *encoded context*, the value the model's output is a
+        function of — the serving twin of PR 4's wire-byte decode-cache
+        discipline.  Two flows whose packets differ only in bytes the
+        tokenizer abstracts away (DNS transaction ids, TLS randoms — exactly
+        the decode cache's exempt bytes) map to the same key, and a hit
+        returns logits identical to a fresh forward pass.
+        """
+        ids = self.token_ids[self.attention_mask]
+        return ids.astype(np.int64, copy=False).tobytes()
+
+    def __len__(self) -> int:
+        return int(self.attention_mask.sum())
+
+
+@dataclasses.dataclass
+class _FlowState:
+    """Open-flow buffer: the first ``max_packets`` rows plus counters."""
+
+    generation: int
+    seq: int
+    parts: list
+    kept: int
+    count: int
+    start: float
+    last: float
+
+
+class StreamingFlowAssembler:
+    """Group packets into flows incrementally, one bounded chunk at a time.
+
+    Parameters
+    ----------
+    tokenizer, vocabulary:
+        The (fitted) tokenizer and fixed vocabulary the offline pipeline
+        trained with; closed flows are encoded against them.
+    builder:
+        A :class:`~repro.context.builders.FlowContextBuilder` (or
+        :class:`~repro.context.builders.SessionContextBuilder`) instance
+        defining the grouping keys, ``max_tokens``/``max_packets`` and label
+        key.  Defaults to ``FlowContextBuilder()``.
+    idle_timeout:
+        NetFlow expiry: a per-flow gap strictly longer than this many
+        seconds starts a new flow *generation* (and any flow idle longer
+        than this against the stream clock is evicted and emitted).  0
+        disables idle splitting — flows close only at :meth:`flush`.
+    active_timeout:
+        Long-lived flow cap: a packet arriving more than this many seconds
+        after its flow's first packet closes the flow and starts a new
+        generation.  0 disables.  Both rules depend only on each flow's own
+        packet sequence, so the emitted records are chunk-size invariant.
+
+    Chunks must arrive in capture-time order (all sources in
+    :mod:`repro.serve.stream` yield time-sorted traces); within that
+    contract the records are bit-identical to the offline
+    ``encode_columns`` rows of the equivalent full trace.
+    """
+
+    def __init__(
+        self,
+        tokenizer,
+        vocabulary,
+        builder: FlowContextBuilder | None = None,
+        idle_timeout: float = 0.0,
+        active_timeout: float = 0.0,
+    ):
+        self.tokenizer = tokenizer
+        self.vocabulary = vocabulary
+        self.builder = builder if builder is not None else FlowContextBuilder()
+        self.idle_timeout = float(idle_timeout)
+        self.active_timeout = float(active_timeout)
+        self._flows: dict[object, _FlowState] = {}
+        self._next_generation: dict[object, int] = {}
+        self._clock = float("-inf")  # stream time: max timestamp seen
+        self._seq = 0  # arrival counter for deterministic flush order
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of currently open flows."""
+        return len(self._flows)
+
+    @property
+    def stream_time(self) -> float:
+        """The stream clock: the largest packet timestamp seen so far."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Grouping keys
+    # ------------------------------------------------------------------
+    def _row_keys(self, chunk: PacketColumns) -> list:
+        """Per-row group keys, identical to the builder's offline grouping.
+
+        Always the uniform per-row rule (metadata id string, else the
+        builder's fallback key) — never the all-integer fast path — so a
+        flow keeps one key even when *other* rows of some chunk lack ids.
+        """
+        builder = self.builder
+        id_key = builder._id_key
+        prefix = builder._id_prefix
+        keys = []
+        for row, md in enumerate(chunk.metadata):
+            if id_key in md:
+                keys.append(f"{prefix}-{md[id_key]}")
+            else:
+                keys.append(builder._fallback_key(chunk, row))
+        return keys
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def push(self, chunk: PacketColumns) -> list[FlowRecord]:
+        """Absorb one chunk; return the flows it closed (possibly none).
+
+        Closure happens three ways: an idle gap inside a flow's own packet
+        sequence (``idle_timeout``), a flow outliving ``active_timeout``,
+        and idle *eviction* — flows whose last packet has fallen more than
+        ``idle_timeout`` behind the stream clock are closed even though no
+        further packet of theirs arrived (bounding open-flow state and
+        worst-case latency).
+        """
+        closed: list[FlowRecord] = []
+        if len(chunk) == 0:
+            return closed
+        timestamps = chunk.timestamps
+        per_key: dict[object, list[int]] = {}
+        for row, key in enumerate(self._row_keys(chunk)):
+            per_key.setdefault(key, []).append(row)
+        for key, rows in per_key.items():
+            state = self._flows.get(key)
+            segment: list[int] = []
+            for row in rows:
+                t = float(timestamps[row])
+                if state is not None:
+                    idle = is_idle_split(t - state.last, self.idle_timeout)
+                    active = (
+                        self.active_timeout > 0
+                        and t - state.start > self.active_timeout
+                    )
+                    if idle or active:
+                        if segment:
+                            self._append(state, chunk, segment)
+                            segment = []
+                        closed.append(
+                            self._close(key, state, "idle" if idle else "active")
+                        )
+                        state = self._open(key, t, generation=state.generation + 1)
+                    else:
+                        state.last = t
+                if state is None:
+                    state = self._open(key, t)
+                segment.append(row)
+            if segment:
+                self._append(state, chunk, segment)
+        self._clock = max(self._clock, float(timestamps.max()))
+        if self.idle_timeout > 0:
+            for key in [
+                key
+                for key, state in self._flows.items()
+                if is_idle_split(self._clock - state.last, self.idle_timeout)
+            ]:
+                closed.append(self._close(key, self._flows[key], "evict"))
+        return closed
+
+    def flush(self) -> list[FlowRecord]:
+        """Close and emit every remaining open flow, in first-arrival order."""
+        return [
+            self._close(key, state, "flush")
+            for key, state in sorted(
+                self._flows.items(), key=lambda item: item[1].seq
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Flow state
+    # ------------------------------------------------------------------
+    def _open(self, key: object, t: float, generation: "int | None" = None) -> _FlowState:
+        if generation is None:
+            generation = self._next_generation.get(key, 0)
+        state = _FlowState(
+            generation=generation, seq=self._seq, parts=[],
+            kept=0, count=0, start=t, last=t,
+        )
+        self._seq += 1
+        self._flows[key] = state
+        return state
+
+    def _append(self, state: _FlowState, chunk: PacketColumns, rows: list[int]) -> None:
+        state.count += len(rows)
+        quota = self.builder.max_packets - state.kept
+        if quota > 0:
+            keep = rows[:quota]
+            state.parts.append(chunk[np.asarray(keep, dtype=np.int64)])
+            state.kept += len(keep)
+
+    def _close(self, key: object, state: _FlowState, reason: str) -> FlowRecord:
+        del self._flows[key]
+        self._next_generation[key] = state.generation + 1
+        columns = (
+            state.parts[0]
+            if len(state.parts) == 1
+            else type(state.parts[0]).concat(state.parts)
+        )
+        ids, mask, labels = self.builder.encode_columns(
+            columns, self.tokenizer, self.vocabulary, return_labels=True
+        )
+        return FlowRecord(
+            key=key,
+            generation=state.generation,
+            token_ids=ids[0],
+            attention_mask=mask[0],
+            label=labels[0],
+            packet_count=state.count,
+            start_time=state.start,
+            end_time=state.last,
+            closed_by=reason,
+        )

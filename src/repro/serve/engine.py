@@ -1,0 +1,258 @@
+"""Micro-batched model serving with a prediction cache and backpressure.
+
+One flow at a time, a transformer forward wastes almost all of its time on
+per-call overhead; the :class:`InferenceEngine` therefore *micro-batches*:
+closed flows accumulate in length buckets and are run through one
+eval-mode forward per bucket, trimmed to the bucket's longest real row (the
+packed-batch discipline of PR 1).  Rows are computed independently, so the
+engine is deterministic in the record sequence — streaming the same trace
+through any chunking produces bit-identical logits — and its class
+predictions match the offline batched solver path (whose fixed-width
+forward can differ from a trimmed one only in the last ulp of the logits).
+
+Repeated traffic is cheaper still: a :class:`PredictionCache` keyed by the
+encoded context (:attr:`~repro.serve.assembler.FlowRecord.cache_key` — the
+serving twin of the PR 4 wire-byte decode-cache discipline) returns the
+stored logits for flows the model has already seen, without any forward at
+all.  A bounded pending queue provides backpressure: when more flows are
+waiting than ``max_pending``, the engine drains buckets synchronously
+instead of queueing without limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+import numpy as np
+
+from .assembler import FlowRecord
+from .report import ServingReport
+
+__all__ = ["PredictionCache", "FlowPrediction", "InferenceEngine", "serve_stream"]
+
+
+class PredictionCache:
+    """Bounded LRU cache from encoded contexts to logits.
+
+    Keys are :attr:`FlowRecord.cache_key` byte strings — the exact model
+    input — so a hit returns logits identical to the forward pass it
+    replaces, and flows differing only in tokenizer-invisible bytes (DNS
+    transaction ids, TLS randoms: PR 4's cache-exempt bytes) share one
+    entry.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> "np.ndarray | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.copy()
+
+    def put(self, key: bytes, logits: np.ndarray) -> None:
+        # Stored and returned values are copies: entries must stay equal to
+        # the forward pass they replace even if a consumer mutates a served
+        # prediction's logits in place (which would otherwise write through
+        # the shared batch array).
+        self._entries[key] = np.array(logits, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclasses.dataclass
+class FlowPrediction:
+    """One served flow: its record, logits and serving provenance."""
+
+    record: FlowRecord
+    logits: np.ndarray
+    cached: bool
+    latency: float  # seconds from submit to completion
+
+    @property
+    def class_id(self) -> int:
+        """The predicted class (argmax over logits)."""
+        return int(np.argmax(self.logits))
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Softmax over the logits."""
+        shifted = self.logits - self.logits.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+
+class InferenceEngine:
+    """Length-bucketed micro-batching over a classifier's eval-mode forward.
+
+    Parameters
+    ----------
+    classifier:
+        Any model with a ``predict_logits(token_ids, attention_mask,
+        batch_size) -> np.ndarray`` method —
+        :class:`~repro.core.finetuning.SequenceClassifier` (the foundation
+        model's fine-tuned head, as served for the NetGLUE packet tasks) is
+        the canonical one.
+    batch_size:
+        Target micro-batch size; a bucket reaching it is run immediately.
+    max_pending:
+        Backpressure bound: after every submission the engine drains the
+        fullest buckets until at most this many flows are pending.
+    cache:
+        A :class:`PredictionCache`, or ``None`` to disable caching (the
+        benchmark's gated configuration, so the measured speedup is pure
+        micro-batching).
+    bucket_rounding:
+        Flows are bucketed by context length rounded up to this multiple;
+        each bucket's forward is trimmed to its longest real row (exact
+        under masking), so short flows never pay full-width compute.  The
+        default of 1 buckets by *exact* length: every row in such a batch
+        has zero padding, which lets the forward skip attention masking
+        entirely — bit-identical (no position is masked) and measurably
+        faster, since the mask materializes ``(batch, heads, seq, seq)``
+        temporaries.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        batch_size: int = 32,
+        max_pending: int = 256,
+        cache: "PredictionCache | None" = None,
+        bucket_rounding: int = 1,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if max_pending < batch_size:
+            raise ValueError("max_pending must be at least batch_size")
+        if bucket_rounding <= 0:
+            raise ValueError("bucket_rounding must be positive")
+        self.classifier = classifier
+        self.batch_size = batch_size
+        self.max_pending = max_pending
+        self.cache = cache
+        self.bucket_rounding = bucket_rounding
+        self._buckets: dict[int, list[tuple[FlowRecord, float]]] = {}
+        self._pending = 0
+        self.report = ServingReport()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Flows submitted but not yet run through the model."""
+        return self._pending
+
+    def summary(self) -> dict:
+        """The serving scorecard (see :meth:`ServingReport.summary`)."""
+        return self.report.summary(cache=self.cache)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, record: FlowRecord) -> list[FlowPrediction]:
+        """Enqueue one closed flow; return any predictions completed now.
+
+        A cache hit completes immediately.  A miss joins its length bucket;
+        buckets reaching ``batch_size`` run at once, and the backpressure
+        bound then drains the fullest buckets until at most ``max_pending``
+        flows wait.  Completions of *other* flows can therefore be returned
+        by a submission — consume the returned list every call.
+        """
+        submitted = self.report.mark_submit()
+        completed: list[FlowPrediction] = []
+        if self.cache is not None:
+            logits = self.cache.get(record.cache_key)
+            if logits is not None:
+                prediction = FlowPrediction(
+                    record=record,
+                    logits=logits,
+                    cached=True,
+                    latency=self.report.mark_submit() - submitted,
+                )
+                self.report.observe(prediction)
+                return [prediction]
+        width = len(record)
+        bucket = -(-width // self.bucket_rounding) * self.bucket_rounding
+        queue = self._buckets.setdefault(bucket, [])
+        queue.append((record, submitted))
+        self._pending += 1
+        if len(queue) >= self.batch_size:
+            completed.extend(self._run_bucket(bucket))
+        while self._pending > self.max_pending:
+            fullest = max(self._buckets, key=lambda b: len(self._buckets[b]))
+            completed.extend(self._run_bucket(fullest))
+        return completed
+
+    def flush(self) -> list[FlowPrediction]:
+        """Run every pending bucket (shortest first); return the predictions."""
+        completed: list[FlowPrediction] = []
+        for bucket in sorted(self._buckets):
+            completed.extend(self._run_bucket(bucket))
+        return completed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_bucket(self, bucket: int) -> list[FlowPrediction]:
+        queue = self._buckets.pop(bucket, [])
+        if not queue:
+            return []
+        self._pending -= len(queue)
+        records = [record for record, _ in queue]
+        width = max(len(record) for record in records)
+        ids = np.stack([record.token_ids[:width] for record in records])
+        mask = np.stack([record.attention_mask[:width] for record in records])
+        # Exact-length buckets carry no padding, so attention needs no mask
+        # at all — skipping it is bit-identical and skips the (batch, heads,
+        # seq, seq) mask temporaries, the forward's largest arrays.
+        logits = self.classifier.predict_logits(
+            ids, None if mask.all() else mask, batch_size=len(records)
+        )
+        self.report.observe_batch(len(records))
+        done = self.report.mark_submit()
+        predictions = []
+        for (record, submitted), row in zip(queue, logits):
+            prediction = FlowPrediction(
+                record=record, logits=row, cached=False, latency=done - submitted
+            )
+            if self.cache is not None:
+                self.cache.put(record.cache_key, row)
+            self.report.observe(prediction)
+            predictions.append(prediction)
+        return predictions
+
+
+def serve_stream(source, assembler, engine):
+    """Drive ``source -> assembler -> engine``; yield predictions in order.
+
+    The one-line serving pipeline: chunks stream from the source, the
+    assembler closes flows (by timeout mid-stream, and the remainder at end
+    of stream), and the engine micro-batches the closed flows through the
+    model.  Every prediction is yielded exactly once.
+    """
+    for chunk in source:
+        for record in assembler.push(chunk):
+            yield from engine.submit(record)
+    for record in assembler.flush():
+        yield from engine.submit(record)
+    yield from engine.flush()

@@ -1,0 +1,91 @@
+"""Serving accounting: throughput, latency percentiles, batch shapes.
+
+The :class:`ServingReport` is the measurement surface the ROADMAP's "serves
+heavy traffic" goal is tracked by: every completed prediction is observed
+with its submit-to-completion latency, and :meth:`summary` folds the stream
+into the numbers ``tools/bench_report.py`` publishes in ``BENCH_e14.json``
+(flows/s, packets/s, p50/p99 latency, cache hit rate, batch shapes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["ServingReport"]
+
+
+class ServingReport:
+    """Accumulates per-prediction latencies and stream counters."""
+
+    def __init__(self):
+        self.latencies: list[float] = []
+        self.flows = 0
+        self.packets = 0
+        self.cached = 0
+        self.batch_sizes: list[int] = []
+        self._first_submit: float | None = None
+        self._last_completion: float | None = None
+
+    # ------------------------------------------------------------------
+    # Observation (driven by the engine)
+    # ------------------------------------------------------------------
+    def mark_submit(self) -> float:
+        """Stamp a submission; returns the timestamp used for its latency."""
+        now = time.perf_counter()
+        if self._first_submit is None:
+            self._first_submit = now
+        return now
+
+    def observe(self, prediction) -> None:
+        """Record one completed :class:`~repro.serve.engine.FlowPrediction`."""
+        self.latencies.append(prediction.latency)
+        self.flows += 1
+        self.packets += prediction.record.packet_count
+        if prediction.cached:
+            self.cached += 1
+        self._last_completion = time.perf_counter()
+
+    def observe_batch(self, size: int) -> None:
+        """Record one model forward of ``size`` stacked flows."""
+        self.batch_sizes.append(size)
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    @property
+    def wall_time(self) -> float:
+        """Seconds from the first submission to the last completion."""
+        if self._first_submit is None or self._last_completion is None:
+            return 0.0
+        return self._last_completion - self._first_submit
+
+    def summary(self, cache=None) -> dict:
+        """The serving scorecard (the ``BENCH_e14.json`` ``serving`` shape).
+
+        ``cache`` is the engine's :class:`~repro.serve.engine.PredictionCache`
+        (or ``None``); its hit counters become ``cache_hit_rate``.
+        """
+        wall = self.wall_time
+        latencies = np.asarray(self.latencies, dtype=float)
+
+        def percentile(q: float) -> float:
+            if not len(latencies):
+                return 0.0
+            return float(np.percentile(latencies, q) * 1000.0)
+
+        return {
+            "flows": self.flows,
+            "packets": self.packets,
+            "wall_s": wall,
+            "flows_per_s": self.flows / wall if wall > 0 else 0.0,
+            "packets_per_s": self.packets / wall if wall > 0 else 0.0,
+            "p50_ms": percentile(50),
+            "p99_ms": percentile(99),
+            "batches": len(self.batch_sizes),
+            "mean_batch": (
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+            ),
+            "cache_hit_rate": cache.hit_rate if cache is not None else None,
+        }

@@ -1,0 +1,162 @@
+"""Packet sources: bounded columnar chunks for the streaming pipeline.
+
+A *source* is anything iterable that yields
+:class:`~repro.net.columns.PacketColumns` chunks in capture-time order.  The
+serving layer never sees a whole trace at once: every downstream stage
+(:class:`~repro.serve.assembler.StreamingFlowAssembler`,
+:class:`~repro.serve.engine.InferenceEngine`) consumes one bounded chunk at a
+time, so memory stays proportional to the chunk size plus the open-flow
+state, not to the capture length.
+
+Three sources cover the deployment shapes the paper cares about:
+
+* :class:`ColumnsSource` — replay an in-memory batch (the testing and
+  benchmarking workhorse);
+* :class:`PcapReplaySource` — replay a capture file through the columnar
+  reader, by default with :class:`lazy application decode
+  <repro.net.pcap.LazyDecodeColumns>` so byte-level serving never pays for
+  DNS/HTTP/TLS parsing;
+* :class:`ScenarioSource` — wrap any traffic generator with a
+  ``generate_columns()`` / ``generate()`` method as a live-traffic simulator.
+
+All three share optional timestamp pacing: ``pace=1.0`` replays at capture
+speed (sleeping between chunks), ``pace=10.0`` at 10x, ``pace=None`` (the
+default) as fast as the consumer can drain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from ..net.columns import PacketColumns
+from ..net.pcap import read_pcap_columns
+
+__all__ = [
+    "chunk_columns",
+    "PacketSource",
+    "ColumnsSource",
+    "PcapReplaySource",
+    "ScenarioSource",
+]
+
+
+def chunk_columns(
+    columns: PacketColumns, chunk_rows: int
+) -> Iterator[PacketColumns]:
+    """Slice a column batch into consecutive chunks of ``chunk_rows`` rows.
+
+    Row order is preserved and every row appears in exactly one chunk, so
+    feeding the chunks through the streaming assembler reproduces the
+    offline pipeline for any chunk size (the equivalence the serving tests
+    gate for sizes 1, k and n).
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    for start in range(0, len(columns), chunk_rows):
+        yield columns[start : start + chunk_rows]
+
+
+class PacketSource:
+    """Base source: materialize columns once, then chunk (and pace) them.
+
+    Subclasses implement :meth:`_columns`; iteration yields bounded
+    :class:`~repro.net.columns.PacketColumns` chunks in row order.
+    """
+
+    def __init__(self, chunk_rows: int = 256, pace: float | None = None):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        if pace is not None and pace <= 0:
+            raise ValueError("pace must be positive (or None for unpaced replay)")
+        self.chunk_rows = chunk_rows
+        self.pace = pace
+
+    def _columns(self) -> PacketColumns:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[PacketColumns]:
+        columns = self._columns()
+        if self.pace is None or len(columns) == 0:
+            yield from chunk_columns(columns, self.chunk_rows)
+            return
+        base = float(columns.timestamps[0])
+        started = time.monotonic()
+        for chunk in chunk_columns(columns, self.chunk_rows):
+            # Deliver each chunk no earlier than its last packet's capture
+            # offset (scaled by the replay speed), like a live tap would.
+            due = (float(chunk.timestamps[-1]) - base) / self.pace
+            delay = due - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            yield chunk
+
+
+class ColumnsSource(PacketSource):
+    """Replay an in-memory :class:`~repro.net.columns.PacketColumns` batch."""
+
+    def __init__(
+        self,
+        columns: PacketColumns,
+        chunk_rows: int = 256,
+        pace: float | None = None,
+    ):
+        super().__init__(chunk_rows=chunk_rows, pace=pace)
+        self.columns = columns
+
+    def _columns(self) -> PacketColumns:
+        return self.columns
+
+
+class PcapReplaySource(PacketSource):
+    """Replay a pcap capture through :func:`~repro.net.pcap.read_pcap_columns`.
+
+    ``lazy_decode`` defaults to True: chunks propagate the pending
+    application decode, so a byte-level serving pipeline parses the capture
+    without ever decoding DNS/HTTP/TLS payloads, while a field-aware
+    pipeline materializes them on first ``app_kind`` access.  A shared
+    ``decode_cache`` carries the decode memoization across successive
+    captures of the same traffic mix.
+    """
+
+    def __init__(
+        self,
+        path,
+        chunk_rows: int = 256,
+        pace: float | None = None,
+        decode_cache: dict | None = None,
+        lazy_decode: bool = True,
+    ):
+        super().__init__(chunk_rows=chunk_rows, pace=pace)
+        self.path = path
+        self.decode_cache = decode_cache
+        self.lazy_decode = lazy_decode
+
+    def _columns(self) -> PacketColumns:
+        return read_pcap_columns(
+            self.path, decode_cache=self.decode_cache, lazy_decode=self.lazy_decode
+        )
+
+
+class ScenarioSource(PacketSource):
+    """Simulate live traffic by replaying a generator's columnar trace.
+
+    Accepts any of :mod:`repro.traffic`'s scenario/workload generators —
+    objects with ``generate_columns()`` (preferred) or ``generate()``.  Each
+    iteration regenerates the scenario, so a seeded generator replays the
+    identical trace and an unseeded one streams fresh traffic per pass.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        chunk_rows: int = 256,
+        pace: float | None = None,
+    ):
+        super().__init__(chunk_rows=chunk_rows, pace=pace)
+        self.scenario = scenario
+
+    def _columns(self) -> PacketColumns:
+        if hasattr(self.scenario, "generate_columns"):
+            return self.scenario.generate_columns()
+        return PacketColumns.from_packets(self.scenario.generate())

@@ -287,3 +287,153 @@ class TestFlowStatsSolverColumnar:
         from_packets = solver._flow_features(columns.to_packets(), "application", None)
         assert np.array_equal(from_columns[0], from_packets[0])
         assert np.array_equal(from_columns[1], from_packets[1])
+
+
+class TestLazyDecode:
+    """``read_pcap_columns(lazy_decode=True)``: decode-free cold parse,
+    bit-identical materialization on first ``app_kind``/``applications``
+    access, pending-state propagation through select/concat."""
+
+    def test_materialized_lazy_equals_eager(self, capture_path):
+        eager = read_pcap_columns(capture_path)
+        lazy = read_pcap_columns(capture_path, lazy_decode=True)
+        assert lazy.decode_pending
+        assert_columns_equal(eager, lazy)  # field access triggers the decode
+        assert not lazy.decode_pending
+
+    def test_cold_parse_is_decode_free(self, capture_path):
+        lazy = read_pcap_columns(capture_path, lazy_decode=True)
+        # Byte-level consumption: wire serialization, header columns and
+        # row selection never touch the application layer.
+        matrix, lengths = lazy.wire_matrix()
+        assert matrix.shape[0] == len(lazy) and lengths.sum() > 0
+        subset = lazy[5:40]
+        assert lazy.decode_pending and subset.decode_pending
+
+    def test_app_kind_access_triggers_decode(self, capture_path):
+        eager = read_pcap_columns(capture_path)
+        lazy = read_pcap_columns(capture_path, lazy_decode=True)
+        assert np.array_equal(lazy.app_kind, eager.app_kind)
+        assert not lazy.decode_pending
+        assert lazy.applications == eager.applications
+
+    def test_select_and_concat_propagate_pending(self, capture_path):
+        eager = read_pcap_columns(capture_path)
+        lazy = read_pcap_columns(capture_path, lazy_decode=True)
+        parts = [lazy[0:25], lazy[25:60], lazy[60 : len(lazy)]]
+        assert all(part.decode_pending for part in parts)
+        merged = type(parts[0]).concat(parts)
+        assert merged.decode_pending and lazy.decode_pending
+        assert np.array_equal(merged.app_kind, eager.app_kind)
+        assert merged.applications == eager.applications
+
+    def test_lazy_decode_uses_shared_cache(self, capture_path):
+        cache: dict = {}
+        eager = read_pcap_columns(capture_path, decode_cache=cache)
+        lazy = read_pcap_columns(
+            capture_path, decode_cache=cache, lazy_decode=True
+        )
+        assert_columns_equal(eager, lazy)
+
+    def test_to_packets_matches_object_reader(self, capture_path):
+        lazy = read_pcap_columns(capture_path, lazy_decode=True)
+        assert lazy.to_packets() == read_pcap(capture_path)
+
+    def test_concurrent_decode_is_safe(self, capture_path):
+        # Threaded consumers (parallel shard writes over a lazily parsed
+        # corpus) may race on the same pending batch: every thread must see
+        # the fully decoded columns, never a crash or torn state.
+        import threading
+
+        eager = read_pcap_columns(capture_path)
+        for _ in range(50):
+            lazy = read_pcap_columns(capture_path, lazy_decode=True)
+            barrier = threading.Barrier(6)
+            errors: list[Exception] = []
+
+            def worker():
+                try:
+                    barrier.wait()
+                    assert np.array_equal(lazy.app_kind, eager.app_kind)
+                    assert lazy.applications == eager.applications
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+
+    def test_parallel_shard_writes_over_lazy_corpus(self, capture_path, tmp_path):
+        from repro.corpus import PacketTraceCorpus
+
+        eager = read_pcap_columns(capture_path)
+        corpus = PacketTraceCorpus(
+            read_pcap_columns(capture_path, lazy_decode=True)
+        )
+        corpus.save_shards(tmp_path / "lazy", shard_rows=40, workers=4)
+        restored = PacketTraceCorpus.open_shards(tmp_path / "lazy")
+        assert_columns_equal(eager, restored.columns())
+
+
+class TestFlowStatsIdleTimeout:
+    """``FlowStatsColumns`` with ``idle_timeout`` splits flows bit-identically
+    to ``FlowTable(idle_timeout=...)`` (the shared expiry rule)."""
+
+    def _object_reference(self, packets, idle_timeout, label_key=None):
+        table = FlowTable(idle_timeout=idle_timeout)
+        table.extend(packets)
+        flows = table.flows()
+        features = np.stack([
+            np.array(list(flow_statistics(flow).values()), dtype=float)
+            for flow in flows
+        ])
+        if label_key is None:
+            return features
+        return features, [flow.label(label_key) for flow in flows]
+
+    @pytest.mark.parametrize("idle_timeout", [0.05, 0.2, 1.0, 30.0])
+    def test_features_bit_identical(self, trace, idle_timeout):
+        columns = PacketColumns.from_packets(trace)
+        expected = self._object_reference(trace, idle_timeout)
+        actual = flow_feature_matrix(columns, idle_timeout=idle_timeout)
+        assert actual.shape == expected.shape
+        assert np.array_equal(actual, expected)
+
+    def test_labels_follow_the_split_flows(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        expected, labels = self._object_reference(
+            trace, 0.2, label_key="application"
+        )
+        actual, actual_labels = flow_feature_matrix(
+            columns, label_key="application", idle_timeout=0.2
+        )
+        assert np.array_equal(actual, expected)
+        assert actual_labels == labels
+
+    def test_zero_timeout_unchanged(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        assert np.array_equal(
+            flow_feature_matrix(columns, idle_timeout=0.0),
+            flow_feature_matrix(columns),
+        )
+
+    def test_grouping_slices_respect_generations(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        stats = FlowStatsColumns.from_columns(columns, idle_timeout=0.2)
+        # Every row appears exactly once, and each flow's slice is
+        # timestamp-ordered with intra-flow gaps within the timeout.
+        assert sorted(stats.order.tolist()) == list(range(len(columns)))
+        for g in range(len(stats)):
+            rows = stats.order[stats.bounds[g] : stats.bounds[g + 1]]
+            times = columns.timestamps[rows]
+            assert np.all(np.diff(times) >= 0)
+
+    def test_packet_list_input_with_timeout(self, trace):
+        columns = PacketColumns.from_packets(trace)
+        assert np.array_equal(
+            flow_feature_matrix(columns, idle_timeout=0.5),
+            flow_feature_matrix(trace, idle_timeout=0.5),
+        )

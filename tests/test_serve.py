@@ -1,0 +1,463 @@
+"""The streaming inference subsystem (`repro.serve`).
+
+The serving layer's contract is equivalence with the offline pipeline: for
+every closed flow, the :class:`~repro.serve.assembler.StreamingFlowAssembler`
+must reproduce the offline
+:meth:`~repro.context.builders.FlowContextBuilder.encode_columns` context
+row bit-identically — for any chunk size — and the micro-batched
+:class:`~repro.serve.engine.InferenceEngine` must reproduce the offline
+solver path's predictions.  Timeout splitting must match
+``FlowTable(idle_timeout=...)`` (the rule is shared through
+:func:`repro.net.flow_columns.is_idle_split`), and the prediction cache must
+return logits identical to the forward pass a hit replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder, SessionContextBuilder
+from repro.core import NetFMConfig, NetFoundationModel, SequenceClassifier
+from repro.net import FlowTable, PacketColumns, build_packet, write_pcap
+from repro.serve import (
+    ColumnsSource,
+    InferenceEngine,
+    PcapReplaySource,
+    PredictionCache,
+    ScenarioSource,
+    StreamingFlowAssembler,
+    chunk_columns,
+    serve_stream,
+)
+from repro.tokenize import ByteTokenizer, FieldAwareTokenizer, Vocabulary
+from repro.traffic import EnterpriseScenario, EnterpriseScenarioConfig
+
+MAX_TOKENS = 64
+
+
+@pytest.fixture(scope="module")
+def capture():
+    columns = EnterpriseScenario(
+        EnterpriseScenarioConfig(
+            seed=6, duration=12.0, dns_clients=4, dns_queries_per_client=5,
+            http_sessions=6, tls_sessions=6, iot_devices_per_type=1,
+        )
+    ).generate_columns()
+    return columns, columns.to_packets()
+
+
+@pytest.fixture(scope="module")
+def encoded(capture):
+    """Offline reference: tokenizer, vocabulary and the encoded flow rows."""
+    columns, packets = capture
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=MAX_TOKENS)
+    contexts = builder.build(packets, tokenizer)
+    vocabulary = Vocabulary.build([c.tokens for c in contexts])
+    ids, mask, labels = builder.encode_columns(
+        columns, tokenizer, vocabulary, return_labels=True
+    )
+    return tokenizer, vocabulary, ids, mask, labels
+
+
+@pytest.fixture(scope="module")
+def classifier(encoded):
+    _, vocabulary, *_ = encoded
+    config = NetFMConfig(
+        vocab_size=len(vocabulary), d_model=32, num_layers=2, num_heads=4,
+        d_ff=64, max_len=MAX_TOKENS, dropout=0.0, seed=0,
+    )
+    return SequenceClassifier(NetFoundationModel(config), num_classes=4)
+
+
+def stream_records(columns, tokenizer, vocabulary, chunk_rows, **assembler_kwargs):
+    assembler = StreamingFlowAssembler(
+        tokenizer, vocabulary,
+        builder=assembler_kwargs.pop(
+            "builder", FlowContextBuilder(max_tokens=MAX_TOKENS)
+        ),
+        **assembler_kwargs,
+    )
+    records = []
+    for chunk in chunk_columns(columns, chunk_rows):
+        records.extend(assembler.push(chunk))
+    records.extend(assembler.flush())
+    return records
+
+
+class TestStreamingEquivalence:
+    """Streamed closed-flow contexts == offline encode_columns, bit for bit."""
+
+    @pytest.mark.parametrize("chunk_rows", [1, 13, None])
+    def test_flow_contexts_match_offline(self, capture, encoded, chunk_rows):
+        columns, _ = capture
+        tokenizer, vocabulary, ids, mask, labels = encoded
+        records = stream_records(
+            columns, tokenizer, vocabulary, chunk_rows or len(columns)
+        )
+        # With no timeouts every flow closes at flush, in first-arrival
+        # order — exactly the offline first-appearance group order.
+        assert len(records) == len(ids)
+        for row, record in enumerate(records):
+            assert np.array_equal(record.token_ids, ids[row])
+            assert np.array_equal(record.attention_mask, mask[row])
+            assert record.label == labels[row]
+            assert record.generation == 0
+
+    @pytest.mark.parametrize("chunk_rows", [1, 13, None])
+    def test_session_contexts_match_offline(self, capture, chunk_rows):
+        columns, packets = capture
+        tokenizer = FieldAwareTokenizer()
+        builder = SessionContextBuilder(max_tokens=MAX_TOKENS)
+        contexts = builder.build(packets, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids, mask, labels = builder.encode_columns(
+            columns, tokenizer, vocabulary, return_labels=True
+        )
+        records = stream_records(
+            columns, tokenizer, vocabulary, chunk_rows or len(columns),
+            builder=SessionContextBuilder(max_tokens=MAX_TOKENS),
+        )
+        assert len(records) == len(ids)
+        for row, record in enumerate(records):
+            assert np.array_equal(record.token_ids, ids[row])
+            assert np.array_equal(record.attention_mask, mask[row])
+            assert record.label == labels[row]
+
+    def test_byte_tokenizer_contexts_match_offline(self, capture):
+        columns, packets = capture
+        tokenizer = ByteTokenizer()
+        builder = FlowContextBuilder(max_tokens=48)
+        contexts = builder.build(packets, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids, mask = builder.encode_columns(columns, tokenizer, vocabulary)
+        assembler = StreamingFlowAssembler(
+            tokenizer, vocabulary, builder=FlowContextBuilder(max_tokens=48)
+        )
+        records = []
+        for chunk in chunk_columns(columns, 17):
+            records.extend(assembler.push(chunk))
+        records.extend(assembler.flush())
+        assert len(records) == len(ids)
+        for row, record in enumerate(records):
+            assert np.array_equal(record.token_ids, ids[row])
+
+    def test_fallback_keys_without_metadata_ids(self, encoded):
+        # Parsed-pcap shape: no connection ids -> 5-tuple fallback keys.
+        packets = [
+            build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80),
+            build_packet(0.1, "10.0.0.2", "10.0.0.1", "TCP", 80, 1111),
+            build_packet(0.2, "10.0.0.3", "10.0.0.2", "UDP", 2222, 53),
+            build_packet(0.3, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80),
+        ]
+        columns = PacketColumns.from_packets(packets)
+        tokenizer = FieldAwareTokenizer()
+        builder = FlowContextBuilder(max_tokens=32, label_key=None)
+        contexts = builder.build(packets, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        ids, _ = builder.encode_columns(columns, tokenizer, vocabulary)
+        records = stream_records(
+            columns, tokenizer, vocabulary, 1,
+            builder=FlowContextBuilder(max_tokens=32, label_key=None),
+        )
+        assert len(records) == len(ids) == 2
+        for row, record in enumerate(records):
+            assert np.array_equal(record.token_ids, ids[row])
+
+    def test_record_metadata(self, capture, encoded):
+        columns, _ = capture
+        tokenizer, vocabulary, ids, *_ = encoded
+        records = stream_records(columns, tokenizer, vocabulary, 32)
+        assert sum(r.packet_count for r in records) == len(columns)
+        for record in records:
+            assert record.closed_by == "flush"
+            assert record.end_time >= record.start_time
+            assert len(record) == int(record.attention_mask.sum())
+
+
+class TestTimeouts:
+    """Idle/active splitting: FlowTable semantics, chunk-size invariant."""
+
+    @pytest.mark.parametrize("idle_timeout", [0.05, 0.2, 1.0])
+    def test_idle_partition_matches_flowtable(self, capture, encoded, idle_timeout):
+        columns, packets = capture
+        tokenizer, vocabulary, *_ = encoded
+        table = FlowTable(idle_timeout=idle_timeout)
+        table.extend(packets)
+        flows = table.flows()
+        records = stream_records(
+            columns, tokenizer, vocabulary, 13, idle_timeout=idle_timeout
+        )
+        assert len(records) == len(flows)
+        assert sorted(r.packet_count for r in records) == sorted(
+            f.packet_count for f in flows
+        )
+
+    @pytest.mark.parametrize("idle_timeout,active_timeout", [(0.2, 0.0), (0.0, 0.5), (0.2, 1.0)])
+    def test_chunk_size_invariance(self, capture, encoded, idle_timeout, active_timeout):
+        columns, _ = capture
+        tokenizer, vocabulary, *_ = encoded
+        reference = None
+        for chunk_rows in (1, 13, len(columns)):
+            records = stream_records(
+                columns, tokenizer, vocabulary, chunk_rows,
+                idle_timeout=idle_timeout, active_timeout=active_timeout,
+            )
+            snapshot = {
+                (r.key, r.generation): (
+                    r.packet_count, r.label, r.token_ids.tobytes(),
+                    r.attention_mask.tobytes(),
+                )
+                for r in records
+            }
+            assert len(snapshot) == len(records)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference
+
+    def test_idle_eviction_emits_mid_stream(self, capture, encoded):
+        columns, _ = capture
+        tokenizer, vocabulary, *_ = encoded
+        assembler = StreamingFlowAssembler(
+            tokenizer, vocabulary,
+            builder=FlowContextBuilder(max_tokens=MAX_TOKENS), idle_timeout=0.2,
+        )
+        pushed = []
+        for chunk in chunk_columns(columns, 16):
+            pushed.extend(assembler.push(chunk))
+        flushed = assembler.flush()
+        # Idle flows close while the stream runs, not all at flush.
+        assert len(pushed) > 0
+        assert {r.closed_by for r in pushed} <= {"idle", "active", "evict"}
+        assert all(r.closed_by == "flush" for r in flushed)
+        # Eviction bounds the open-flow state.
+        assert len(assembler) == 0
+
+    def test_generations_of_a_reappearing_flow(self, encoded):
+        tokenizer, vocabulary, *_ = encoded
+        packets = [
+            build_packet(t, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80,
+                         metadata={"connection_id": 0})
+            for t in (0.0, 0.1, 5.0, 5.1, 10.0)
+        ]
+        columns = PacketColumns.from_packets(packets)
+        records = stream_records(
+            columns, tokenizer, vocabulary, 1, idle_timeout=1.0,
+        )
+        assert [r.generation for r in records] == [0, 1, 2]
+        assert [r.packet_count for r in records] == [2, 2, 1]
+        assert [r.key for r in records] == ["conn-0"] * 3
+
+
+class TestInferenceEngine:
+    def _streamed(self, columns, encoded, classifier, chunk_rows, **engine_kwargs):
+        tokenizer, vocabulary, *_ = encoded
+        assembler = StreamingFlowAssembler(
+            tokenizer, vocabulary, builder=FlowContextBuilder(max_tokens=MAX_TOKENS)
+        )
+        engine = InferenceEngine(classifier, **engine_kwargs)
+        predictions = list(
+            serve_stream(ColumnsSource(columns, chunk_rows=chunk_rows), assembler, engine)
+        )
+        return predictions, engine
+
+    def test_streamed_predictions_match_offline_solver_path(
+        self, capture, encoded, classifier
+    ):
+        columns, _ = capture
+        _, _, ids, mask, _ = encoded
+        offline_classes = classifier.predict(ids, mask)
+        offline_logits = classifier.predict_logits(ids, mask)
+        predictions, _ = self._streamed(
+            columns, encoded, classifier, chunk_rows=32, batch_size=8
+        )
+        assert len(predictions) == len(ids)
+        for prediction in predictions:
+            row = int(np.flatnonzero(
+                (ids == prediction.record.token_ids).all(axis=1)
+            )[0])
+            assert prediction.class_id == offline_classes[row]
+            np.testing.assert_allclose(
+                prediction.logits, offline_logits[row], rtol=0, atol=1e-10
+            )
+
+    @pytest.mark.parametrize("chunk_rows", [1, 13, None])
+    def test_streamed_logits_chunk_size_invariant(
+        self, capture, encoded, classifier, chunk_rows
+    ):
+        columns, _ = capture
+        reference, _ = self._streamed(
+            columns, encoded, classifier, chunk_rows=7, batch_size=8
+        )
+        predictions, _ = self._streamed(
+            columns, encoded, classifier,
+            chunk_rows=chunk_rows or len(columns), batch_size=8,
+        )
+        assert len(predictions) == len(reference)
+        for a, b in zip(reference, predictions):
+            assert a.record.key == b.record.key
+            assert np.array_equal(a.logits, b.logits)
+
+    def test_cache_hit_returns_identical_logits(self, capture, encoded, classifier):
+        columns, _ = capture
+        predictions, engine = self._streamed(
+            columns, encoded, classifier, chunk_rows=32,
+            batch_size=8, cache=PredictionCache(),
+        )
+        fresh = {
+            p.record.cache_key: p.logits for p in predictions if not p.cached
+        }
+        hits = [p for p in predictions if p.cached]
+        assert hits, "expected repeated contexts in the DNS-heavy capture"
+        for prediction in hits:
+            assert np.array_equal(
+                prediction.logits, fresh[prediction.record.cache_key]
+            )
+        assert engine.cache.hits == len(hits)
+        assert engine.cache.hit_rate == pytest.approx(
+            len(hits) / len(predictions)
+        )
+
+    def test_cache_key_ignores_cache_exempt_bytes(self, encoded):
+        # Two DNS transactions identical modulo the transaction id — the
+        # byte PR 4's decode cache is keyed modulo — produce identical
+        # field-aware contexts, hence one cache entry.
+        from repro.net import DNSMessage, DNSQuestion
+
+        tokenizer, vocabulary, *_ = encoded
+
+        def query(t, txid, conn):
+            message = DNSMessage(
+                transaction_id=txid,
+                questions=[DNSQuestion("printer.local")],
+            )
+            return build_packet(
+                t, "10.0.0.9", "10.0.0.53", "UDP", 5353, 53,
+                application=message, metadata={"connection_id": conn},
+            )
+
+        columns = PacketColumns.from_packets(
+            [query(0.0, 0x1111, 0), query(1.0, 0x2222, 1)]
+        )
+        records = stream_records(columns, tokenizer, vocabulary, 1)
+        assert len(records) == 2
+        assert records[0].cache_key == records[1].cache_key
+
+    def test_backpressure_bounds_pending(self, capture, encoded, classifier):
+        columns, _ = capture
+        tokenizer, vocabulary, *_ = encoded
+        assembler = StreamingFlowAssembler(
+            tokenizer, vocabulary, builder=FlowContextBuilder(max_tokens=MAX_TOKENS)
+        )
+        engine = InferenceEngine(classifier, batch_size=4, max_pending=6)
+        completed = 0
+        for chunk in chunk_columns(columns, 64):
+            for record in assembler.push(chunk):
+                completed += len(engine.submit(record))
+                assert engine.pending <= engine.max_pending
+        for record in assembler.flush():
+            completed += len(engine.submit(record))
+            assert engine.pending <= engine.max_pending
+        completed += len(engine.flush())
+        assert engine.pending == 0
+        assert completed == len(
+            FlowContextBuilder(max_tokens=MAX_TOKENS).group_columns(columns)[1]
+        ) - 1
+
+    def test_report_summary(self, capture, encoded, classifier):
+        columns, _ = capture
+        predictions, engine = self._streamed(
+            columns, encoded, classifier, chunk_rows=32,
+            batch_size=8, cache=PredictionCache(),
+        )
+        summary = engine.summary()
+        assert summary["flows"] == len(predictions)
+        assert summary["packets"] == len(columns)
+        assert summary["flows_per_s"] > 0
+        assert summary["packets_per_s"] > 0
+        assert summary["p99_ms"] >= summary["p50_ms"] >= 0
+        assert summary["batches"] == len(engine.report.batch_sizes)
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+
+    def test_prediction_cache_lru_bound(self):
+        cache = PredictionCache(max_entries=2)
+        for key in (b"a", b"b", b"c"):
+            cache.put(key, np.zeros(2))
+        assert len(cache) == 2
+        assert cache.get(b"a") is None  # evicted, counted as a miss
+        assert cache.get(b"c") is not None
+
+
+class TestSources:
+    def test_chunk_columns_covers_all_rows(self, capture):
+        columns, _ = capture
+        chunks = list(chunk_columns(columns, 17))
+        assert sum(len(c) for c in chunks) == len(columns)
+        assert all(len(c) <= 17 for c in chunks)
+        restored = np.concatenate([c.timestamps for c in chunks])
+        assert np.array_equal(restored, columns.timestamps)
+
+    def test_chunk_columns_rejects_nonpositive(self, capture):
+        columns, _ = capture
+        with pytest.raises(ValueError):
+            list(chunk_columns(columns, 0))
+
+    def test_pcap_replay_source_is_lazy_and_equivalent(self, capture, tmp_path):
+        columns, packets = capture
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, packets)
+        chunks = list(PcapReplaySource(path, chunk_rows=64))
+        assert sum(len(c) for c in chunks) == len(columns)
+        # Lazy decode: chunks keep the pending state until apps are touched.
+        assert all(getattr(c, "decode_pending", False) for c in chunks)
+        eager = list(PcapReplaySource(path, chunk_rows=64, lazy_decode=False))
+        for lazy, plain in zip(chunks, eager):
+            assert np.array_equal(lazy.app_kind, plain.app_kind)
+            assert lazy.applications == plain.applications
+
+    def test_byte_level_serving_is_decode_free(self, capture, tmp_path):
+        # The serving fast path: a byte-level pipeline over a lazily parsed
+        # capture never touches the application layer at all.
+        columns, packets = capture
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, packets)
+        tokenizer = ByteTokenizer()
+        builder = FlowContextBuilder(max_tokens=48, label_key=None)
+        contexts = builder.build(packets, tokenizer)
+        vocabulary = Vocabulary.build([c.tokens for c in contexts])
+        assembler = StreamingFlowAssembler(
+            tokenizer, vocabulary,
+            builder=FlowContextBuilder(max_tokens=48, label_key=None),
+        )
+        chunks = list(PcapReplaySource(path, chunk_rows=64))
+        records = []
+        for chunk in chunks:
+            records.extend(assembler.push(chunk))
+        records.extend(assembler.flush())
+        assert records
+        assert all(chunk.decode_pending for chunk in chunks)
+
+    def test_scenario_source_matches_generator(self):
+        scenario = EnterpriseScenario(
+            EnterpriseScenarioConfig(
+                seed=3, duration=5.0, dns_clients=2, dns_queries_per_client=3,
+                http_sessions=2, tls_sessions=2, iot_devices_per_type=1,
+            )
+        )
+        chunks = list(ScenarioSource(scenario, chunk_rows=32))
+        reference = scenario.generate_columns()
+        assert sum(len(c) for c in chunks) == len(reference)
+        assert np.array_equal(
+            np.concatenate([c.timestamps for c in chunks]), reference.timestamps
+        )
+
+    def test_paced_replay_sleeps(self, capture, monkeypatch):
+        columns, _ = capture
+        naps = []
+        import repro.serve.stream as stream_module
+
+        monkeypatch.setattr(stream_module.time, "sleep", naps.append)
+        list(ColumnsSource(columns, chunk_rows=64, pace=1000.0))
+        assert naps and all(delay >= 0 for delay in naps)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -141,3 +142,39 @@ class TestStreamedPretraining:
         sharded = PacketTraceCorpus.open_shards(tmp_path / "s")
         streamed = pretrain(*sharded.encode_columns(builder, tokenizer, vocabulary))
         assert full == streamed
+
+
+class TestParallelShardWrites:
+    def test_parallel_write_matches_serial(self, corpus, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        corpus.save_shards(serial_dir, shard_rows=50)
+        corpus.save_shards(parallel_dir, shard_rows=50, workers=4)
+        serial = json.loads((serial_dir / "manifest.json").read_text())
+        parallel = json.loads((parallel_dir / "manifest.json").read_text())
+        assert parallel == serial  # shard order, sizes and vocab identical
+        restored = PacketTraceCorpus.open_shards(parallel_dir)
+        assert_columns_equal(corpus.columns, restored.columns())
+        assert restored.labels() == corpus.labels()
+
+    def test_parallel_single_shard(self, corpus, tmp_path):
+        corpus.save_shards(tmp_path / "one", shard_rows=len(corpus), workers=8)
+        restored = PacketTraceCorpus.open_shards(tmp_path / "one")
+        assert_columns_equal(corpus.columns, restored.columns())
+
+    def test_manifest_written_last(self, corpus, tmp_path, monkeypatch):
+        # Every shard file a manifest names must already be on disk when the
+        # manifest appears — savez order is observed via a write hook.
+        events: list[str] = []
+        original = np.savez
+
+        def tracking_savez(path, **payload):
+            events.append(Path(path).name)
+            return original(path, **payload)
+
+        monkeypatch.setattr(np, "savez", tracking_savez)
+        corpus.save_shards(tmp_path / "ordered", shard_rows=60, workers=4)
+        manifest = json.loads(
+            (tmp_path / "ordered" / "manifest.json").read_text()
+        )
+        assert sorted(events) == sorted(s["file"] for s in manifest["shards"])

@@ -3,9 +3,10 @@
 
 Produces ``BENCH_e14.json`` with the per-gate speedups and throughputs the
 benchmark measures (columnar generation, flow grouping, incremental BPE fit,
-batched/columnar encode paths, packed training), plus environment metadata —
-so the performance trajectory across PRs can be tracked by tooling instead
-of by reading benchmark stdout.
+batched/columnar encode paths, packed training, micro-batched serving with
+its latency/cache scorecard), plus environment metadata — so the
+performance trajectory across PRs can be tracked by tooling instead of by
+reading benchmark stdout.
 
 Usage::
 
@@ -61,7 +62,11 @@ def main(argv: list[str] | None = None) -> int:
         "incremental_bpe_fit": ("fit/bpe (incremental)", e14.BPE_FIT_SPEEDUP_FLOOR),
         "columnar_pcap_parse": ("parse/pcap (columnar)", e14.PCAP_PARSE_SPEEDUP_FLOOR),
         "columnar_flow_stats": ("stats/flow (columnar)", e14.FLOW_STATS_SPEEDUP_FLOOR),
+        "serving_micro_batch": (
+            "serve/micro-batch (engine)", e14.SERVING_SPEEDUP_FLOOR
+        ),
     }
+    serving = rows["serve/micro-batch (engine)"]
     report = {
         "suite": "e14-throughput",
         "smoke": bool(e14.SMOKE),
@@ -91,6 +96,17 @@ def main(argv: list[str] | None = None) -> int:
         "train_tokens_per_second": {
             "legacy_full_width": round(rows["train/legacy full-width"]["tokens_per_s"], 1),
             "packed_bucketed": round(rows["train/packed bucketed"]["tokens_per_s"], 1),
+        },
+        "serving": {
+            "flows": int(serving["flows"]),
+            "speedup": round(serving["speedup"], 3),
+            "unbatched_flows_per_s": round(serving["per_packet_tok_s"], 1),
+            "throughput_flows_per_s": round(serving["batched_tok_s"], 1),
+            "throughput_packets_per_s": round(serving["packets_per_s"], 1),
+            "p50_latency_ms": round(serving["p50_ms"], 3),
+            "p99_latency_ms": round(serving["p99_ms"], 3),
+            "cache_hit_rate": round(serving["cache_hit_rate"], 3),
+            "mean_batch": round(serving["mean_batch"], 2),
         },
     }
 
