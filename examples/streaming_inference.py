@@ -10,7 +10,10 @@ An end-to-end `repro.serve` deployment:
    pipeline would produce for the same trace;
 4. serve the closed flows through the micro-batching ``InferenceEngine``
    with an LRU prediction cache keyed by the encoded context;
-5. print the serving scorecard: throughput, p50/p99 latency, cache hits.
+5. print the serving scorecard: throughput, p50/p99 latency, cache hits;
+6. replay the same stream through the parallel serving fabric
+   (``serve_stream(..., workers=2)``: sharded assembly, bounded queues,
+   per-worker engines) and verify it served the identical multiset.
 
 Run with:  python examples/streaming_inference.py
 """
@@ -31,6 +34,7 @@ from repro.serve import (
     InferenceEngine,
     PredictionCache,
     ScenarioSource,
+    ServingFabric,
     StreamingFlowAssembler,
     serve_stream,
 )
@@ -69,7 +73,7 @@ def main() -> None:
     classifier.fit(ids[keep], mask[keep], encoder.encode([labels[i] for i in keep]))
     print(f"        {len(keep)} labelled flows, {encoder.num_classes} classes")
 
-    print("[2/3] Online: stream a fresh capture through the serving stack ...")
+    print("[2/4] Online: stream a fresh capture through the serving stack ...")
     source = ScenarioSource(scenario(seed=2), chunk_rows=256)
     assembler = StreamingFlowAssembler(
         tokenizer, vocabulary,
@@ -83,7 +87,7 @@ def main() -> None:
     for prediction in serve_stream(source, assembler, engine):
         served[encoder.classes[prediction.class_id]] += 1
 
-    print("[3/3] Serving scorecard")
+    print("[3/4] Serving scorecard")
     summary = engine.summary()
     print(f"        flows served      {summary['flows']}"
           f"  (packets {summary['packets']})")
@@ -97,6 +101,32 @@ def main() -> None:
     print("        predicted classes:")
     for label, count in served.most_common():
         print(f"          {label:24} {count}")
+
+    print("[4/4] Parallel fabric: same stream, 2 workers, identical multiset ...")
+    fabric = ServingFabric(
+        ScenarioSource(scenario(seed=2), chunk_rows=256),
+        StreamingFlowAssembler(
+            tokenizer, vocabulary,
+            builder=FlowContextBuilder(max_tokens=MAX_TOKENS),
+            idle_timeout=60.0,
+        ),
+        InferenceEngine(
+            classifier, batch_size=32, cache=PredictionCache(max_entries=4096)
+        ),
+        workers=2,
+    )
+    fabric_served = Counter(
+        encoder.classes[prediction.class_id] for prediction in fabric
+    )
+    assert fabric_served == served, "fabric must serve the identical multiset"
+    fabric_summary = fabric.summary()
+    for name, stats in sorted(fabric_summary["workers"].items()):
+        print(f"        {name}: {stats['flows']} flows"
+              f"  {stats['batches']} batches"
+              f"  utilization {stats['utilization']:.0%}")
+    depths = fabric_summary["queues"]
+    print(f"        chunk queue max depth {depths['chunks']['max_depth']}"
+          f"  (bound 8) — backpressure held")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ correctly so that the layers above can be written naturally.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
@@ -28,7 +29,11 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (like torch): concurrent no_grad() windows in
+# different threads — e.g. the serving fabric's inference workers — must not
+# race on one flag, where interleaved save/restores can strand the process
+# with gradients disabled.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -36,20 +41,20 @@ def no_grad():
     """Context manager that disables graph construction.
 
     Used for evaluation and for in-place parameter updates inside
-    optimizers, exactly like ``torch.no_grad()``.
+    optimizers, exactly like ``torch.no_grad()``.  The flag is thread-local,
+    so a window opened in one thread never affects another.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations in this thread record gradients."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -104,7 +109,7 @@ class Tensor:
         if not np.issubdtype(array.dtype, np.floating):
             array = array.astype(np.float64)
         self.data: np.ndarray = array
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -166,7 +171,7 @@ class Tensor:
     # ------------------------------------------------------------------
     @classmethod
     def _result(cls, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires)
         if requires:
             out._parents = parents

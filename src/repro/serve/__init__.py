@@ -22,29 +22,41 @@ substrate into an *online* engine, the system shape the paper's
   throughput/latency/cache scorecard published in ``BENCH_e14.json``.
 
 ``serve_stream(source, assembler, engine)`` wires the three stages into a
-single generator of :class:`FlowPrediction` objects; see
+single generator of :class:`FlowPrediction` objects;
+``serve_stream(..., workers=k)`` runs them as the concurrent
+:mod:`repro.serve.fabric` pipeline — hash-sharded flow assembly
+(:class:`ShardedAssembler`), bounded inter-stage queues, and a pool of
+``k`` inference workers with per-worker cache shards, serving a multiset
+of records and logits bit-identical to the single-threaded path.  See
 ``docs/SERVING.md`` and ``examples/streaming_inference.py``.
 """
 
-from .assembler import FlowRecord, StreamingFlowAssembler
+from .assembler import FlowRecord, ShardedAssembler, StreamingFlowAssembler
 from .engine import FlowPrediction, InferenceEngine, PredictionCache, serve_stream
+from .fabric import ServingFabric
 from .report import ServingReport
 from .stream import (
     ColumnsSource,
     PacketSource,
     PcapReplaySource,
     ScenarioSource,
+    burst_chunks,
     chunk_columns,
+    interleave_columns,
 )
 
 __all__ = [
     "chunk_columns",
+    "burst_chunks",
+    "interleave_columns",
     "PacketSource",
     "ColumnsSource",
     "PcapReplaySource",
     "ScenarioSource",
     "FlowRecord",
     "StreamingFlowAssembler",
+    "ShardedAssembler",
+    "ServingFabric",
     "PredictionCache",
     "FlowPrediction",
     "InferenceEngine",

@@ -34,6 +34,7 @@ on time-ordered traces.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 
 import numpy as np
 
@@ -41,7 +42,7 @@ from ..context.builders import FlowContextBuilder
 from ..net.columns import PacketColumns
 from ..net.flow_columns import is_idle_split
 
-__all__ = ["FlowRecord", "StreamingFlowAssembler"]
+__all__ = ["FlowRecord", "StreamingFlowAssembler", "ShardedAssembler"]
 
 
 @dataclasses.dataclass
@@ -222,15 +223,29 @@ class StreamingFlowAssembler:
                 segment.append(row)
             if segment:
                 self._append(state, chunk, segment)
-        self._clock = max(self._clock, float(timestamps.max()))
-        if self.idle_timeout > 0:
+        closed.extend(self.advance_clock(float(timestamps.max())))
+        return closed
+
+    def advance_clock(self, t: float) -> list[FlowRecord]:
+        """Advance the stream clock to ``t`` and evict flows idle against it.
+
+        :meth:`push` calls this with its chunk's largest timestamp; a
+        :class:`ShardedAssembler` additionally broadcasts the *whole* chunk's
+        clock to every shard — including shards that received no rows — so
+        the set of evicted flows (and each record's ``closed_by`` reason) is
+        identical to the single-assembler run on the unsharded stream.
+        """
+        self._clock = max(self._clock, float(t))
+        if self.idle_timeout <= 0:
+            return []
+        return [
+            self._close(key, self._flows[key], "evict")
             for key in [
                 key
                 for key, state in self._flows.items()
                 if is_idle_split(self._clock - state.last, self.idle_timeout)
-            ]:
-                closed.append(self._close(key, self._flows[key], "evict"))
-        return closed
+            ]
+        ]
 
     def flush(self) -> list[FlowRecord]:
         """Close and emit every remaining open flow, in first-arrival order."""
@@ -285,3 +300,200 @@ class StreamingFlowAssembler:
             end_time=state.last,
             closed_by=reason,
         )
+
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _mix64(ids: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 column (vectorized, seed-free).
+
+    The shard hash must be a pure function of the value — stable across
+    processes and Python hash randomization — and well-mixed, so consecutive
+    connection ids (the generators hand them out sequentially) spread evenly
+    instead of striping shards.
+    """
+    x = (ids + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+    return x ^ (x >> np.uint64(31))
+
+
+def _string_shard(key: object, num_shards: int) -> int:
+    """Deterministic shard of a string flow key (CRC32, hash-seed free)."""
+    return zlib.crc32(str(key).encode("utf-8")) % num_shards
+
+
+_INT64_MAX = 2**63 - 1
+
+
+def _canonical_id(value) -> int:
+    """A metadata id as a vectorizable int64, or ``-1`` for the string path.
+
+    Pure function of the value (never of the surrounding chunk), so a flow's
+    shard is stable across any chunking.  Only plain non-negative integers in
+    int64 range qualify; bools, negatives, huge ints and everything else
+    falls back to hashing the rendered key string.
+    """
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        value = int(value)
+        if 0 <= value <= _INT64_MAX:
+            return value
+    return -1
+
+
+class ShardedAssembler:
+    """Partition a packet stream across per-shard flow assemblers by key hash.
+
+    The sharding invariant: the shard of a row is a pure function of the
+    row's *flow key* — the exact key :class:`StreamingFlowAssembler` groups
+    by — so every packet of a flow lands on the same shard and each shard's
+    assembler sees a complete, order-preserved sub-stream.  Together with a
+    per-chunk stream-clock broadcast (:meth:`StreamingFlowAssembler.advance_clock`,
+    so idle eviction fires on the same global clock everywhere), the multiset
+    of emitted :class:`FlowRecord` objects — keys, generations, encoded
+    contexts, labels, packet counts, timestamps and ``closed_by`` reasons —
+    is identical to a single assembler consuming the unsharded stream.
+
+    Bucketing is vectorized: rows whose metadata carries the builder's
+    integer id (``connection_id`` / ``session_id``) are sharded by a
+    SplitMix64 hash of the id column in one array pass; only rows without a
+    usable integer id fall back to a per-row CRC32 of the same string key
+    the assembler itself would group by.  Those two hash domains can never
+    disagree about one key: an integer id ``n`` always produces the key
+    ``f"{prefix}-{n}"`` and always hashes through the integer path, while
+    fallback keys (5-tuple / endpoint strings, or non-canonical id values)
+    always hash through the string path.
+
+    ``push``/``flush`` are synchronous — sharding partitions the *state*,
+    the :class:`~repro.serve.fabric.ServingFabric` provides the threads.
+    Records closed by one call are merged in stream-clock order
+    (``end_time``, then ``start_time``, key and generation as tie-breaks),
+    deterministically for any shard count.
+    """
+
+    def __init__(self, assemblers: list[StreamingFlowAssembler]):
+        if not assemblers:
+            raise ValueError("at least one shard assembler is required")
+        template = assemblers[0]
+        for other in assemblers[1:]:
+            if other.builder.__class__ is not template.builder.__class__:
+                raise ValueError("shard assemblers must share a builder type")
+        self.assemblers = assemblers
+        self.builder = template.builder
+
+    @classmethod
+    def from_template(
+        cls, assembler: StreamingFlowAssembler, shards: int
+    ) -> "ShardedAssembler":
+        """Build ``shards`` assemblers configured like ``assembler``.
+
+        The shards share the template's tokenizer, vocabulary and builder
+        (all read-mostly at serve time); each gets its own flow-state
+        dictionaries.  The template itself is not used, so its open-flow
+        state stays untouched.
+        """
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        return cls([
+            StreamingFlowAssembler(
+                assembler.tokenizer,
+                assembler.vocabulary,
+                builder=assembler.builder,
+                idle_timeout=assembler.idle_timeout,
+                active_timeout=assembler.active_timeout,
+            )
+            for _ in range(shards)
+        ])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.assemblers)
+
+    def __len__(self) -> int:
+        """Total currently-open flows across every shard."""
+        return sum(len(assembler) for assembler in self.assemblers)
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    def shard_rows(self, chunk: PacketColumns) -> np.ndarray:
+        """Per-row shard indices (the vectorized hash-bucketing pass)."""
+        num_shards = self.num_shards
+        builder = self.builder
+        id_key = builder._id_key
+        prefix = builder._id_prefix
+        n = len(chunk)
+        metadata = chunk.metadata
+        ids = np.fromiter(
+            (_canonical_id(md.get(id_key)) for md in metadata), np.int64, n
+        )
+        shards = np.empty(n, dtype=np.int64)
+        have_id = ids >= 0
+        if have_id.any():
+            shards[have_id] = (
+                _mix64(ids[have_id].astype(np.uint64)) % np.uint64(num_shards)
+            ).astype(np.int64)
+        for row in np.flatnonzero(~have_id):
+            md = metadata[row]
+            if id_key not in md:
+                shards[row] = _string_shard(
+                    builder._fallback_key(chunk, row), num_shards
+                )
+                continue
+            # Non-canonical id value.  Its rendered key may still collide
+            # with a canonical id's rendering (value "5" and value 5 both
+            # group as "conn-5"), so digit-canonical renderings re-enter the
+            # integer hash domain; everything else is string-hashed.  One key
+            # string therefore always hashes through exactly one domain.
+            rendered = str(md[id_key])
+            if (
+                rendered.isascii()
+                and rendered.isdigit()
+                and (rendered == "0" or not rendered.startswith("0"))
+                and int(rendered) <= _INT64_MAX
+            ):
+                shards[row] = int(
+                    _mix64(np.asarray([int(rendered)], dtype=np.uint64))[0]
+                ) % num_shards
+            else:
+                shards[row] = _string_shard(f"{prefix}-{rendered}", num_shards)
+        return shards
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def push(self, chunk: PacketColumns) -> list[FlowRecord]:
+        """Route one chunk's rows to their shards; return the closed flows."""
+        closed: list[FlowRecord] = []
+        if len(chunk) == 0:
+            return closed
+        shards = self.shard_rows(chunk)
+        for shard, assembler in enumerate(self.assemblers):
+            rows = np.flatnonzero(shards == shard)
+            if len(rows):
+                closed.extend(assembler.push(chunk[rows]))
+        # Broadcast the chunk clock so shards that saw no rows still evict
+        # exactly what the single-assembler run would have evicted here.
+        clock = float(chunk.timestamps.max())
+        for assembler in self.assemblers:
+            closed.extend(assembler.advance_clock(clock))
+        return self._merged(closed)
+
+    def flush(self) -> list[FlowRecord]:
+        """Close and emit every remaining open flow on every shard."""
+        closed: list[FlowRecord] = []
+        for assembler in self.assemblers:
+            closed.extend(assembler.flush())
+        return self._merged(closed)
+
+    @staticmethod
+    def _merged(closed: list[FlowRecord]) -> list[FlowRecord]:
+        """Stream-clock merge: deterministic order for any shard count."""
+        closed.sort(
+            key=lambda r: (r.end_time, r.start_time, str(r.key), r.generation)
+        )
+        return closed

@@ -138,6 +138,7 @@ class InferenceEngine:
         max_pending: int = 256,
         cache: "PredictionCache | None" = None,
         bucket_rounding: int = 1,
+        lock=None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -150,9 +151,36 @@ class InferenceEngine:
         self.max_pending = max_pending
         self.cache = cache
         self.bucket_rounding = bucket_rounding
+        # Optional forward lock: the fabric's replicate_model=False mode
+        # shares one classifier across worker engines, and the autograd
+        # stack's eval/train mode is shared state — the lock serializes the
+        # forwards so a worker can never flip a sibling mid-batch.
+        self.lock = lock
         self._buckets: dict[int, list[tuple[FlowRecord, float]]] = {}
         self._pending = 0
         self.report = ServingReport()
+
+    def clone(self, classifier=None, lock=None) -> "InferenceEngine":
+        """A fresh engine with this one's configuration and empty state.
+
+        The fabric builds its per-worker engines this way: same batch size,
+        backpressure bound and bucket rounding, but an independent bucket
+        map, report, and — when the template carried a cache — a fresh
+        :class:`PredictionCache` shard of the same capacity (per-worker
+        caches are never shared, so no cache locking is needed and hits
+        stay bit-identical to the forward they replace).
+        """
+        return InferenceEngine(
+            classifier if classifier is not None else self.classifier,
+            batch_size=self.batch_size,
+            max_pending=self.max_pending,
+            cache=(
+                None if self.cache is None
+                else PredictionCache(max_entries=self.cache.max_entries)
+            ),
+            bucket_rounding=self.bucket_rounding,
+            lock=lock,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -222,12 +250,30 @@ class InferenceEngine:
         width = max(len(record) for record in records)
         ids = np.stack([record.token_ids[:width] for record in records])
         mask = np.stack([record.attention_mask[:width] for record in records])
+        # A 1-row forward takes a different BLAS path than the same row
+        # inside a >=2-row batch (gemv-shaped kernels, last-ulp drift).  Run
+        # singletons as a duplicated pair and keep row 0: every row's logits
+        # are then a function of its own tokens and true length only, never
+        # of how the stream happened to fill the bucket — the invariance the
+        # fabric's bit-identical multiset contract rests on.
+        lone = len(records) == 1
+        if lone:
+            ids = np.concatenate([ids, ids])
+            mask = np.concatenate([mask, mask])
         # Exact-length buckets carry no padding, so attention needs no mask
         # at all — skipping it is bit-identical and skips the (batch, heads,
         # seq, seq) mask temporaries, the forward's largest arrays.
-        logits = self.classifier.predict_logits(
-            ids, None if mask.all() else mask, batch_size=len(records)
-        )
+        if self.lock is not None:
+            with self.lock:
+                logits = self.classifier.predict_logits(
+                    ids, None if mask.all() else mask, batch_size=len(ids)
+                )
+        else:
+            logits = self.classifier.predict_logits(
+                ids, None if mask.all() else mask, batch_size=len(ids)
+            )
+        if lone:
+            logits = logits[:1]
         self.report.observe_batch(len(records))
         done = self.report.mark_submit()
         predictions = []
@@ -242,14 +288,31 @@ class InferenceEngine:
         return predictions
 
 
-def serve_stream(source, assembler, engine):
-    """Drive ``source -> assembler -> engine``; yield predictions in order.
+def serve_stream(source, assembler, engine, workers: "int | None" = None, **fabric_options):
+    """Drive ``source -> assembler -> engine``; yield every prediction once.
 
-    The one-line serving pipeline: chunks stream from the source, the
-    assembler closes flows (by timeout mid-stream, and the remainder at end
-    of stream), and the engine micro-batches the closed flows through the
-    model.  Every prediction is yielded exactly once.
+    With ``workers=None`` (the default) the stages run synchronously in the
+    calling thread: chunks stream from the source, the assembler closes
+    flows (by timeout mid-stream, and the remainder at end of stream), and
+    the engine micro-batches the closed flows through the model, in order.
+
+    With ``workers=k`` the same stages run as the concurrent
+    :class:`~repro.serve.fabric.ServingFabric`: a source thread, a
+    hash-sharded assembly stage and ``k`` inference workers with per-worker
+    cache shards, connected by bounded queues.  The served multiset of
+    records and logits is bit-identical to the synchronous path for any
+    chunk size and worker count; only arrival order is
+    scheduling-dependent.  Extra ``fabric_options`` (``shards``,
+    ``chunk_queue``, ``record_queue``, ``output_queue``,
+    ``replicate_model``) are passed through.
     """
+    if workers is not None:
+        from .fabric import ServingFabric
+
+        yield from ServingFabric(
+            source, assembler, engine, workers=workers, **fabric_options
+        )
+        return
     for chunk in source:
         for record in assembler.push(chunk):
             yield from engine.submit(record)

@@ -1,0 +1,326 @@
+"""The parallel serving fabric: staged pipeline + sharded state + worker pool.
+
+``serve_stream(source, assembler, engine)`` runs the three serving stages in
+one thread; on a loaded tap the model forward then gates everything else.
+The :class:`ServingFabric` runs the same stages *concurrently*:
+
+* a **source thread** drains the packet source into a bounded chunk queue
+  (a paced replay keeps pacing; an unpaced one reads ahead only as far as
+  the bound allows);
+* an **assembly thread** routes each chunk's rows through a
+  :class:`~repro.serve.assembler.ShardedAssembler` — per-flow state is
+  hash-partitioned by flow key, so this stage scales by shard count — and
+  routes every closed flow to an inference worker by a hash of its
+  :attr:`~repro.serve.assembler.FlowRecord.cache_key`;
+* ``workers`` **inference threads** each run their own
+  :class:`~repro.serve.engine.InferenceEngine` replica (own micro-batch
+  buckets, own :class:`~repro.serve.engine.PredictionCache` shard, and by
+  default an own deep copy of the classifier) and push completed
+  predictions onto a bounded output queue the caller iterates.
+
+Every queue is bounded, so backpressure propagates stage to stage: a slow
+model stalls the assembly thread, which stalls the source thread — memory
+stays proportional to the queue bounds plus open-flow state, never to the
+stream length.
+
+**Correctness contract.**  The multiset of served flows is *bit-identical*
+to the single-threaded ``serve_stream`` path, for any chunk size, shard
+count and worker count:
+
+* records — the sharding invariant (one flow key, one shard) plus the
+  per-chunk stream-clock broadcast make every shard's assembler emit
+  exactly the records the unsharded assembler would (same contexts, labels,
+  generations, timestamps and close reasons);
+* logits — cache-key routing sends every repetition of a context to the
+  same worker, so the hash-sharded caches reproduce a single cache's
+  hit/miss pattern, and exact-length micro-batches
+  (``bucket_rounding=1``) make each row's logits a function of its own
+  tokens and true length only, not of which batch (or worker) it ran in;
+* isolation — each worker owns a classifier replica because the autograd
+  stack keeps grad/eval mode as process-global state; replicas make the
+  eval-mode forward shared-nothing.  (Pass ``replicate_model=False`` to
+  share one classifier behind a lock when model memory dominates.)
+
+Only the *arrival order* of predictions is scheduling-dependent; consumers
+needing a deterministic order can sort by ``(record.key,
+record.generation)``.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+import zlib
+
+from ..nn.autograd import no_grad
+from .assembler import ShardedAssembler, StreamingFlowAssembler
+from .report import ServingReport
+
+__all__ = ["ServingFabric"]
+
+_DONE = object()  # end-of-stream sentinel, stage to stage
+
+
+class _WorkerDone:
+    """End-of-work marker one inference worker posts to the output queue."""
+
+    def __init__(self, worker: int):
+        self.worker = worker
+
+
+class ServingFabric:
+    """Concurrent ``source -> sharded assembly -> engine pool`` pipeline.
+
+    Parameters
+    ----------
+    source:
+        Any iterable of :class:`~repro.net.columns.PacketColumns` chunks
+        (the :mod:`repro.serve.stream` sources).
+    assembler:
+        A :class:`StreamingFlowAssembler` template (sharded
+        ``shards``-ways via :meth:`ShardedAssembler.from_template`) or a
+        prebuilt :class:`ShardedAssembler`.
+    engine:
+        The :class:`~repro.serve.engine.InferenceEngine` template; each
+        worker runs a :meth:`~repro.serve.engine.InferenceEngine.clone`
+        with its own cache shard.
+    workers:
+        Inference worker threads.  1 still pipelines (source, assembly and
+        inference overlap) with zero replication cost.
+    shards:
+        Assembler shards; defaults to ``workers``.
+    chunk_queue, record_queue, output_queue:
+        Bounds of the three inter-stage queues (chunks from the source,
+        closed flows per worker, completed predictions).
+    replicate_model:
+        Give each worker a deep copy of the classifier (default).  With
+        ``False`` the workers share the template classifier behind one
+        lock — forwards serialize, but model memory is paid once.
+    """
+
+    def __init__(
+        self,
+        source,
+        assembler,
+        engine,
+        workers: int = 2,
+        shards: int | None = None,
+        chunk_queue: int = 8,
+        record_queue: int = 128,
+        output_queue: int = 1024,
+        replicate_model: bool = True,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        for name, bound in (
+            ("chunk_queue", chunk_queue),
+            ("record_queue", record_queue),
+            ("output_queue", output_queue),
+        ):
+            if bound <= 0:
+                raise ValueError(f"{name} must be positive")
+        self.source = source
+        if isinstance(assembler, ShardedAssembler):
+            self.assembler = assembler
+        elif isinstance(assembler, StreamingFlowAssembler):
+            self.assembler = ShardedAssembler.from_template(
+                assembler, shards if shards is not None else workers
+            )
+        else:
+            raise TypeError(
+                "assembler must be a StreamingFlowAssembler or ShardedAssembler"
+            )
+        self.workers = workers
+        self.chunk_bound = chunk_queue
+        self.record_bound = record_queue
+        self.output_bound = output_queue
+        lock = None if replicate_model else threading.Lock()
+        self.engines = []
+        for worker in range(workers):
+            classifier = engine.classifier
+            if replicate_model and workers > 1:
+                classifier = copy.deepcopy(classifier)
+            self.engines.append(engine.clone(classifier=classifier, lock=lock))
+        self.report = ServingReport()
+        self._chunk_q: queue.Queue = queue.Queue(maxsize=chunk_queue)
+        self._record_qs = [
+            queue.Queue(maxsize=record_queue) for _ in range(workers)
+        ]
+        self._output_q: queue.Queue = queue.Queue(maxsize=output_queue)
+        self._stop = threading.Event()
+        self._errors: list[BaseException] = []
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Bounded-queue helpers (stop-aware, so failures can't deadlock a put)
+    # ------------------------------------------------------------------
+    def _put(self, q: queue.Queue, item) -> bool:
+        while not self._stop.is_set():
+            try:
+                q.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _get(self, q: queue.Queue):
+        while not self._stop.is_set():
+            try:
+                return q.get(timeout=0.05)
+            except queue.Empty:
+                continue
+        return _DONE
+
+    def _fail(self, error: BaseException) -> None:
+        self._errors.append(error)
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def _source_loop(self) -> None:
+        try:
+            for chunk in self.source:
+                if not self._put(self._chunk_q, chunk):
+                    return
+                self.report.observe_queue_depth("chunks", self._chunk_q.qsize())
+            self._put(self._chunk_q, _DONE)
+        except BaseException as error:  # noqa: BLE001 - propagated to caller
+            self._fail(error)
+
+    def _route(self, records) -> bool:
+        for record in records:
+            worker = zlib.crc32(record.cache_key) % self.workers
+            if not self._put(self._record_qs[worker], record):
+                return False
+            self.report.observe_queue_depth(
+                f"records[{worker}]", self._record_qs[worker].qsize()
+            )
+        return True
+
+    def _assembly_loop(self) -> None:
+        try:
+            while True:
+                chunk = self._get(self._chunk_q)
+                if chunk is _DONE:
+                    break
+                if not self._route(self.assembler.push(chunk)):
+                    return
+            if self._stop.is_set():
+                return
+            if not self._route(self.assembler.flush()):
+                return
+            for record_q in self._record_qs:
+                self._put(record_q, _DONE)
+        except BaseException as error:  # noqa: BLE001 - propagated to caller
+            self._fail(error)
+
+    def _worker_loop(self, worker: int) -> None:
+        engine = self.engines[worker]
+        busy = 0.0
+        started = time.perf_counter()
+        try:
+            # One long-lived no_grad window per worker (grad mode is
+            # thread-local, so this covers exactly this worker's forwards).
+            with no_grad():
+                while True:
+                    record = self._get(self._record_qs[worker])
+                    if record is _DONE:
+                        break
+                    mark = time.perf_counter()
+                    completed = engine.submit(record)
+                    busy += time.perf_counter() - mark
+                    for prediction in completed:
+                        if not self._put(self._output_q, prediction):
+                            return
+                if not self._stop.is_set():
+                    mark = time.perf_counter()
+                    completed = engine.flush()
+                    busy += time.perf_counter() - mark
+                    for prediction in completed:
+                        if not self._put(self._output_q, prediction):
+                            return
+        except BaseException as error:  # noqa: BLE001 - propagated to caller
+            self._fail(error)
+        finally:
+            wall = time.perf_counter() - started
+            self.report.observe_worker(
+                f"worker[{worker}]",
+                {
+                    "flows": engine.report.flows,
+                    "batches": len(engine.report.batch_sizes),
+                    "busy_s": busy,
+                    "wall_s": wall,
+                    "utilization": busy / wall if wall > 0 else 0.0,
+                    "cache_hit_rate": (
+                        engine.cache.hit_rate if engine.cache is not None else None
+                    ),
+                },
+            )
+            # The consumer counts these markers; if it already went away
+            # (early close with a full output queue), give up once stopped.
+            while True:
+                try:
+                    self._output_q.put(_WorkerDone(worker), timeout=0.05)
+                    break
+                except queue.Full:
+                    if self._stop.is_set():
+                        break
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        if self._started:
+            raise RuntimeError("a ServingFabric can only be iterated once")
+        self._started = True
+        self._threads = [
+            threading.Thread(target=self._source_loop, name="fabric-source", daemon=True),
+            threading.Thread(target=self._assembly_loop, name="fabric-assembly", daemon=True),
+            *(
+                threading.Thread(
+                    target=self._worker_loop, args=(w,),
+                    name=f"fabric-worker-{w}", daemon=True,
+                )
+                for w in range(self.workers)
+            ),
+        ]
+        for thread in self._threads:
+            thread.start()
+        done = 0
+        try:
+            while done < self.workers:
+                item = self._output_q.get()
+                if isinstance(item, _WorkerDone):
+                    done += 1
+                    continue
+                yield item
+        finally:
+            self._stop.set()
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            for engine in self.engines:
+                self.report.merge(engine.report)
+            if self._errors:
+                raise self._errors[0]
+
+    def summary(self) -> dict:
+        """The merged serving scorecard, plus queue and worker sections.
+
+        Valid after iteration completes; per-worker cache hit counters are
+        folded into one ``cache_hit_rate`` across the sharded caches.
+        """
+        hits = sum(
+            engine.cache.hits for engine in self.engines if engine.cache is not None
+        )
+        misses = sum(
+            engine.cache.misses for engine in self.engines if engine.cache is not None
+        )
+        summary = self.report.summary()
+        if any(engine.cache is not None for engine in self.engines):
+            total = hits + misses
+            summary["cache_hit_rate"] = hits / total if total else 0.0
+        return summary

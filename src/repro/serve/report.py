@@ -25,6 +25,8 @@ class ServingReport:
         self.packets = 0
         self.cached = 0
         self.batch_sizes: list[int] = []
+        self.queue_depths: dict[str, list[int]] = {}
+        self.workers: dict[str, dict] = {}
         self._first_submit: float | None = None
         self._last_completion: float | None = None
 
@@ -51,6 +53,39 @@ class ServingReport:
         """Record one model forward of ``size`` stacked flows."""
         self.batch_sizes.append(size)
 
+    def observe_queue_depth(self, stage: str, depth: int) -> None:
+        """Sample one inter-stage queue's depth (driven by the fabric).
+
+        Sampled at every enqueue, so the recorded maxima demonstrate the
+        bounded-queue backpressure contract: no stage's queue ever exceeds
+        its configured bound, however slow the consumer.
+        """
+        self.queue_depths.setdefault(stage, []).append(int(depth))
+
+    def observe_worker(self, worker: str, stats: dict) -> None:
+        """Record one fabric worker's utilization summary."""
+        self.workers[worker] = dict(stats)
+
+    def merge(self, other: "ServingReport") -> None:
+        """Fold another report (one fabric worker's) into this one."""
+        self.latencies.extend(other.latencies)
+        self.flows += other.flows
+        self.packets += other.packets
+        self.cached += other.cached
+        self.batch_sizes.extend(other.batch_sizes)
+        for stage, depths in other.queue_depths.items():
+            self.queue_depths.setdefault(stage, []).extend(depths)
+        self.workers.update(other.workers)
+        if other._first_submit is not None and (
+            self._first_submit is None or other._first_submit < self._first_submit
+        ):
+            self._first_submit = other._first_submit
+        if other._last_completion is not None and (
+            self._last_completion is None
+            or other._last_completion > self._last_completion
+        ):
+            self._last_completion = other._last_completion
+
     # ------------------------------------------------------------------
     # Summary
     # ------------------------------------------------------------------
@@ -75,7 +110,7 @@ class ServingReport:
                 return 0.0
             return float(np.percentile(latencies, q) * 1000.0)
 
-        return {
+        summary = {
             "flows": self.flows,
             "packets": self.packets,
             "wall_s": wall,
@@ -89,3 +124,15 @@ class ServingReport:
             ),
             "cache_hit_rate": cache.hit_rate if cache is not None else None,
         }
+        if self.queue_depths:
+            summary["queues"] = {
+                stage: {
+                    "samples": len(depths),
+                    "mean_depth": float(np.mean(depths)),
+                    "max_depth": int(max(depths)),
+                }
+                for stage, depths in self.queue_depths.items()
+            }
+        if self.workers:
+            summary["workers"] = {name: dict(stats) for name, stats in self.workers.items()}
+        return summary

@@ -29,11 +29,15 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
+import numpy as np
+
 from ..net.columns import PacketColumns
 from ..net.pcap import read_pcap_columns
 
 __all__ = [
     "chunk_columns",
+    "burst_chunks",
+    "interleave_columns",
     "PacketSource",
     "ColumnsSource",
     "PcapReplaySource",
@@ -55,6 +59,66 @@ def chunk_columns(
         raise ValueError("chunk_rows must be positive")
     for start in range(0, len(columns), chunk_rows):
         yield columns[start : start + chunk_rows]
+
+
+def burst_chunks(
+    columns: PacketColumns, max_rows: int, seed: int = 0
+) -> Iterator[PacketColumns]:
+    """Slice a column batch into seeded *variable*-size chunks.
+
+    A live tap does not deliver fixed-size reads: interrupt coalescing and
+    ring-buffer drains produce bursts from a single packet up to the read
+    budget.  This iterator replays that shape — chunk sizes are drawn
+    uniformly from ``[1, max_rows]`` by a seeded generator, so a given seed
+    reproduces the exact burst pattern.  Row order is preserved and every
+    row appears in exactly one chunk, so any downstream equivalence that
+    holds per chunk size also holds for every burst pattern.
+    """
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    rng = np.random.default_rng(seed)
+    start = 0
+    while start < len(columns):
+        stop = start + int(rng.integers(1, max_rows + 1))
+        yield columns[start : min(stop, len(columns))]
+        start = stop
+
+
+def interleave_columns(
+    columns: PacketColumns, group_ids=None, seed: int = 0
+) -> PacketColumns:
+    """Seeded out-of-order arrival: shuffle flows, keep each flow in order.
+
+    Multi-queue NICs and load-balanced taps deliver flows interleaved in an
+    order that has little to do with global capture time, while packets
+    *within* one flow still arrive in flow order (they rode one queue).
+    This returns the batch with rows permuted to that shape: the relative
+    order of rows sharing a group id is preserved, the interleaving across
+    groups is a seeded random draw.
+
+    ``group_ids`` defaults to ``columns.connection_ids`` — pass session ids
+    (or any per-row grouping array) to preserve a different unit's order.
+    """
+    ids = np.asarray(
+        columns.connection_ids if group_ids is None else group_ids
+    )
+    n = len(ids)
+    if n != len(columns):
+        raise ValueError("group_ids must have one entry per row")
+    if n == 0:
+        return columns
+    rng = np.random.default_rng(seed)
+    keys = rng.random(n)
+    # Both index lists enumerate the groups in the same (id-sorted) order:
+    # `by_row` walks each group's rows in arrival order, `by_key` walks its
+    # random keys ascending.  Pairing them hands earlier rows smaller keys,
+    # so sorting by assigned key interleaves groups at random while keeping
+    # every group's internal order intact.
+    by_row = np.lexsort((np.arange(n), ids))
+    by_key = np.lexsort((keys, ids))
+    assigned = np.empty(n)
+    assigned[by_row] = keys[by_key]
+    return columns[np.argsort(assigned, kind="stable")]
 
 
 class PacketSource:

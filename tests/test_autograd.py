@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -257,6 +259,37 @@ class TestGraphMechanics:
         with no_grad():
             out = a * 3.0
         assert not out.requires_grad
+
+    def test_no_grad_is_thread_local(self):
+        # Grad mode must be per-thread: concurrent no_grad() windows (the
+        # serving fabric's workers) interleaving save/restores of a single
+        # process-global flag can strand the process with grad disabled.
+        from repro.nn.autograd import is_grad_enabled
+
+        inside = threading.Barrier(3, timeout=10.0)
+        resume = threading.Barrier(3, timeout=10.0)
+        seen: list[bool] = []
+
+        def worker() -> None:
+            with no_grad():
+                inside.wait()   # both workers hold their windows open ...
+                seen.append(is_grad_enabled())
+                resume.wait()   # ... while the main thread checks its own.
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        inside.wait()
+        main_during = is_grad_enabled()
+        resume.wait()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert seen == [False, False]
+        assert main_during, "a worker's no_grad window leaked across threads"
+        assert is_grad_enabled(), "grad mode left disabled after the windows"
+        a = Tensor([1.0], requires_grad=True)
+        assert (a * 2.0).requires_grad
 
     def test_as_tensor_idempotent(self):
         t = Tensor([1.0])

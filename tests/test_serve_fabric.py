@@ -1,0 +1,470 @@
+"""The parallel serving fabric (`repro.serve.fabric`) — differential validation.
+
+The fabric's contract is *bit-identity as a multiset*: for any chunk size,
+shard count and worker count, ``serve_stream(..., workers=k)`` must serve
+exactly the flows the single-threaded path serves — same encoded contexts,
+labels, generations, timestamps and close reasons, and logits identical to
+the last bit — only the arrival order may differ.  The harness checks that
+differentially, per scenario: every fabric run is compared against the
+synchronous path on the same stream *and* against the offline reference
+(:meth:`~repro.context.builders.FlowContextBuilder.encode_columns` plus the
+batched solver forward), over a sweep of chunk sizes {1, k, n} × workers
+{1, 2, 4} × traffic scenarios (DNS, HTTP, TLS, attack, enterprise mix),
+plus a seeded out-of-order/burst arrival case.
+
+The backpressure half gates the pipeline mechanics: bounded queues never
+exceed their bounds under a slow model, shutdown drains cleanly, and a
+failing stage propagates its exception to the caller instead of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder
+from repro.core import NetFMConfig, NetFoundationModel, SequenceClassifier
+from repro.net import PacketColumns, build_packet
+from repro.serve import (
+    ColumnsSource,
+    InferenceEngine,
+    PredictionCache,
+    ServingFabric,
+    ShardedAssembler,
+    StreamingFlowAssembler,
+    burst_chunks,
+    chunk_columns,
+    interleave_columns,
+    serve_stream,
+)
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+from repro.traffic import (
+    AttackConfig,
+    AttackGenerator,
+    DNSWorkloadConfig,
+    DNSWorkloadGenerator,
+    EnterpriseScenario,
+    EnterpriseScenarioConfig,
+    HTTPWorkloadConfig,
+    HTTPWorkloadGenerator,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+)
+
+MAX_TOKENS = 64
+
+SCENARIOS = {
+    "dns": lambda: DNSWorkloadGenerator(
+        DNSWorkloadConfig(seed=1, duration=8.0, num_clients=5, queries_per_client=6)
+    ),
+    "http": lambda: HTTPWorkloadGenerator(
+        HTTPWorkloadConfig(seed=2, duration=8.0, num_sessions=8, requests_per_session=2)
+    ),
+    "tls": lambda: TLSWorkloadGenerator(
+        TLSWorkloadConfig(seed=3, duration=8.0, num_sessions=10)
+    ),
+    "attack": lambda: AttackGenerator(
+        AttackConfig(
+            seed=4, duration=8.0, scan_ports=20, flood_packets=25,
+            tunnel_queries=12, beacon_count=10, brute_force_attempts=15,
+        )
+    ),
+    "enterprise": lambda: EnterpriseScenario(
+        EnterpriseScenarioConfig(
+            seed=6, duration=12.0, dns_clients=4, dns_queries_per_client=5,
+            http_sessions=6, tls_sessions=6, iot_devices_per_type=1,
+        )
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS))
+def scenario(request):
+    """One scenario's capture plus its full offline reference."""
+    columns = SCENARIOS[request.param]().generate_columns()
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=MAX_TOKENS)
+    contexts = builder.build(columns.to_packets(), tokenizer)
+    vocabulary = Vocabulary.build([c.tokens for c in contexts])
+    ids, mask, labels = builder.encode_columns(
+        columns, tokenizer, vocabulary, return_labels=True
+    )
+    config = NetFMConfig(
+        vocab_size=len(vocabulary), d_model=32, num_layers=2, num_heads=4,
+        d_ff=64, max_len=MAX_TOKENS, dropout=0.0, seed=0,
+    )
+    classifier = SequenceClassifier(NetFoundationModel(config), num_classes=4)
+    offline_logits = classifier.predict_logits(ids, mask)
+    return {
+        "name": request.param,
+        "columns": columns,
+        "tokenizer": tokenizer,
+        "vocabulary": vocabulary,
+        "ids": ids,
+        "mask": mask,
+        "labels": labels,
+        "classifier": classifier,
+        "offline_logits": offline_logits,
+    }
+
+
+def make_assembler(scn, **kwargs):
+    return StreamingFlowAssembler(
+        scn["tokenizer"], scn["vocabulary"],
+        builder=FlowContextBuilder(max_tokens=MAX_TOKENS), **kwargs,
+    )
+
+
+def make_engine(scn, classifier=None, **kwargs):
+    kwargs.setdefault("batch_size", 8)
+    kwargs.setdefault("cache", PredictionCache())
+    return InferenceEngine(classifier or scn["classifier"], **kwargs)
+
+
+def run_serve(scn, source, workers=None, idle_timeout=0.0, engine=None, **options):
+    assembler = make_assembler(scn, idle_timeout=idle_timeout)
+    engine = engine or make_engine(scn)
+    return list(serve_stream(source, assembler, engine, workers=workers, **options))
+
+
+def prediction_key(p):
+    """Everything the bit-identity contract covers, hashable."""
+    return (
+        str(p.record.key), p.record.generation,
+        p.record.token_ids.tobytes(), p.record.attention_mask.tobytes(),
+        p.record.label, p.record.packet_count,
+        p.record.start_time, p.record.end_time, p.record.closed_by,
+        p.logits.tobytes(),
+    )
+
+
+def record_key(r):
+    return (
+        str(r.key), r.generation, r.token_ids.tobytes(),
+        r.attention_mask.tobytes(), r.label, r.packet_count,
+        r.start_time, r.end_time, r.closed_by,
+    )
+
+
+# Sync references are deterministic per (scenario, chunk, idle) — computed
+# once and shared across the worker-count sweep.
+_SYNC_CACHE: dict = {}
+
+
+def sync_reference(scn, chunk_rows, idle_timeout=0.0):
+    cache_key = (scn["name"], chunk_rows, idle_timeout)
+    if cache_key not in _SYNC_CACHE:
+        predictions = run_serve(
+            scn, ColumnsSource(scn["columns"], chunk_rows=chunk_rows),
+            idle_timeout=idle_timeout,
+        )
+        _SYNC_CACHE[cache_key] = sorted(prediction_key(p) for p in predictions)
+    return _SYNC_CACHE[cache_key]
+
+
+class TestDifferentialScenarioSweep:
+    """Fabric == sync path == offline reference, per scenario."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_rows", [1, 13, None])
+    def test_fabric_matches_sync_bitwise(self, scenario, chunk_rows, workers):
+        columns = scenario["columns"]
+        chunk_rows = chunk_rows or len(columns)
+        reference = sync_reference(scenario, chunk_rows)
+        predictions = run_serve(
+            scenario, ColumnsSource(columns, chunk_rows=chunk_rows), workers=workers
+        )
+        assert sorted(prediction_key(p) for p in predictions) == reference
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fabric_matches_sync_under_timeouts(self, scenario, workers):
+        # Timeout eviction happens mid-stream, across the clock broadcast.
+        reference = sync_reference(scenario, 13, idle_timeout=0.2)
+        predictions = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13),
+            workers=workers, idle_timeout=0.2,
+        )
+        assert sorted(prediction_key(p) for p in predictions) == reference
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fabric_matches_offline_reference(self, scenario, workers):
+        # Without timeouts every flow closes at flush, so the served multiset
+        # must be exactly the offline encode_columns rows — and each row's
+        # logits must match the offline batched solver forward.
+        ids, mask, labels = scenario["ids"], scenario["mask"], scenario["labels"]
+        offline = sorted(
+            (ids[row].tobytes(), mask[row].tobytes(), labels[row])
+            for row in range(len(ids))
+        )
+        by_content = {}
+        for row in range(len(ids)):
+            by_content.setdefault(
+                (ids[row].tobytes(), mask[row].tobytes(), labels[row]),
+                scenario["offline_logits"][row],
+            )
+        predictions = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13),
+            workers=workers,
+        )
+        served = sorted(
+            (p.record.token_ids.tobytes(), p.record.attention_mask.tobytes(),
+             p.record.label)
+            for p in predictions
+        )
+        assert served == offline
+        for p in predictions:
+            content = (
+                p.record.token_ids.tobytes(),
+                p.record.attention_mask.tobytes(), p.record.label,
+            )
+            np.testing.assert_allclose(
+                p.logits, by_content[content], rtol=0, atol=1e-10
+            )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_out_of_order_burst_arrival(self, scenario, workers):
+        # Seeded multi-queue-tap shape: flows interleaved out of global
+        # capture order (per-flow order kept), delivered in variable-size
+        # bursts.  The fabric must still match both the sync path on the
+        # same arrival and the offline reference for the arrived stream.
+        shuffled = interleave_columns(scenario["columns"], seed=7)
+        bursts = list(burst_chunks(shuffled, 17, seed=3))
+        reference = run_serve(scenario, bursts)
+        predictions = run_serve(scenario, bursts, workers=workers)
+        assert (
+            sorted(prediction_key(p) for p in predictions)
+            == sorted(prediction_key(p) for p in reference)
+        )
+        ids, mask, labels = FlowContextBuilder(max_tokens=MAX_TOKENS).encode_columns(
+            shuffled, scenario["tokenizer"], scenario["vocabulary"],
+            return_labels=True,
+        )
+        assert (
+            sorted((p.record.token_ids.tobytes(), p.record.label)
+                   for p in predictions)
+            == sorted((ids[row].tobytes(), labels[row]) for row in range(len(ids)))
+        )
+
+    @pytest.mark.parametrize("options", [
+        {"replicate_model": False},
+        {"shards": 3},
+        {"cacheless": True},
+    ])
+    def test_fabric_modes_match_sync(self, scenario, options):
+        # Shared-classifier-behind-a-lock, shards != workers, and no-cache
+        # configurations all keep the multiset contract.
+        options = dict(options)
+        cacheless = options.pop("cacheless", False)
+        engine = make_engine(scenario, cache=None) if cacheless else None
+        sync = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13),
+            engine=make_engine(scenario, cache=None) if cacheless else None,
+        )
+        predictions = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13),
+            workers=2, engine=engine, **options,
+        )
+        assert (
+            sorted(prediction_key(p) for p in predictions)
+            == sorted(prediction_key(p) for p in sync)
+        )
+
+
+class TestShardedAssembler:
+    """The hash-bucketing stage on its own (no threads)."""
+
+    def test_shard_assignment_is_chunk_invariant(self, scenario):
+        # The shard of a row is a pure function of its flow key, so the
+        # assignment cannot depend on how the stream was chunked.
+        template = make_assembler(scenario)
+        sharded = ShardedAssembler.from_template(template, 4)
+        columns = scenario["columns"]
+        whole = sharded.shard_rows(columns)
+        for chunk_rows in (1, 13, 50):
+            parts = [
+                sharded.shard_rows(chunk)
+                for chunk in chunk_columns(columns, chunk_rows)
+            ]
+            assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_int_and_digit_string_ids_share_a_shard(self, scenario):
+        # connection_id 5 and connection_id "5" group under the same key
+        # ("conn-5"), so they must land on the same shard — one key can
+        # never hash through two domains.
+        sharded = ShardedAssembler.from_template(make_assembler(scenario), 4)
+        packets = [
+            build_packet(0.0, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80,
+                         metadata={"connection_id": 5}),
+            build_packet(0.1, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80,
+                         metadata={"connection_id": "5"}),
+            build_packet(0.2, "10.0.0.3", "10.0.0.4", "UDP", 2222, 53,
+                         metadata={"connection_id": "05"}),
+            build_packet(0.3, "10.0.0.5", "10.0.0.6", "UDP", 2223, 53),
+        ]
+        shards = sharded.shard_rows(PacketColumns.from_packets(packets))
+        assert shards[0] == shards[1]
+        assert all(0 <= s < 4 for s in shards)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_eviction_parity_with_single_assembler(self, scenario, shards):
+        # Same records, same generations, same closed_by reasons: the
+        # stream-clock broadcast keeps every shard's idle eviction on the
+        # global clock, not its own sub-stream's.
+        columns = scenario["columns"]
+        single = make_assembler(scenario, idle_timeout=0.2)
+        sharded = ShardedAssembler.from_template(
+            make_assembler(scenario, idle_timeout=0.2), shards
+        )
+        reference, records = [], []
+        for chunk in chunk_columns(columns, 13):
+            reference.extend(single.push(chunk))
+            records.extend(sharded.push(chunk))
+        reference.extend(single.flush())
+        records.extend(sharded.flush())
+        assert sorted(map(record_key, records)) == sorted(map(record_key, reference))
+        assert len(sharded) == 0
+
+    def test_open_flow_accounting(self, scenario):
+        columns = scenario["columns"]
+        single = make_assembler(scenario)
+        sharded = ShardedAssembler.from_template(make_assembler(scenario), 4)
+        for chunk in chunk_columns(columns, 50):
+            single.push(chunk)
+            sharded.push(chunk)
+            assert len(sharded) == len(single)
+        sharded.flush()
+        assert len(sharded) == 0
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            ShardedAssembler([])
+        with pytest.raises(ValueError):
+            ShardedAssembler.from_template(make_assembler(scenario), 0)
+
+
+class _SlowClassifier:
+    """Delegates to a real classifier after a per-forward delay."""
+
+    def __init__(self, classifier, delay=0.002):
+        self.classifier = classifier
+        self.delay = delay
+
+    def predict_logits(self, ids, mask, batch_size=32):
+        time.sleep(self.delay)
+        return self.classifier.predict_logits(ids, mask, batch_size=batch_size)
+
+
+class _FailingClassifier:
+    def predict_logits(self, ids, mask, batch_size=32):
+        raise RuntimeError("model fell over")
+
+
+class TestBackpressureAndShutdown:
+    """Bounded queues, clean drain, exception propagation."""
+
+    def test_queue_depths_stay_within_bounds_under_slow_engine(self, scenario):
+        bounds = {"chunk_queue": 2, "record_queue": 4, "output_queue": 8}
+        fabric = ServingFabric(
+            ColumnsSource(scenario["columns"], chunk_rows=13),
+            make_assembler(scenario),
+            make_engine(
+                scenario, classifier=_SlowClassifier(scenario["classifier"])
+            ),
+            workers=2, **bounds,
+        )
+        predictions = list(fabric)
+        reference = sync_reference(scenario, 13)
+        assert sorted(prediction_key(p) for p in predictions) == reference
+        queues = fabric.summary().get("queues", {})
+        assert queues, "fabric should sample queue depths"
+        assert queues["chunks"]["max_depth"] <= bounds["chunk_queue"]
+        for worker in range(2):
+            stage = f"records[{worker}]"
+            if stage in queues:
+                assert queues[stage]["max_depth"] <= bounds["record_queue"]
+
+    def test_clean_drain_and_worker_accounting(self, scenario):
+        fabric = ServingFabric(
+            ColumnsSource(scenario["columns"], chunk_rows=13),
+            make_assembler(scenario), make_engine(scenario), workers=2,
+        )
+        predictions = list(fabric)
+        for thread in fabric._threads:
+            assert not thread.is_alive()
+        for engine in fabric.engines:
+            assert engine.pending == 0
+        summary = fabric.summary()
+        assert summary["flows"] == len(predictions)
+        workers = summary["workers"]
+        assert set(workers) == {"worker[0]", "worker[1]"}
+        assert sum(stats["flows"] for stats in workers.values()) == len(predictions)
+        for stats in workers.values():
+            assert 0.0 <= stats["utilization"] <= 1.0
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+
+    def test_early_consumer_close_does_not_hang(self, scenario):
+        fabric = ServingFabric(
+            ColumnsSource(scenario["columns"], chunk_rows=1),
+            make_assembler(scenario), make_engine(scenario),
+            workers=2, output_queue=2,
+        )
+        iterator = iter(fabric)
+        next(iterator)
+        iterator.close()
+        deadline = time.monotonic() + 10.0
+        for thread in fabric._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            assert not thread.is_alive()
+
+    def test_worker_exception_propagates(self, scenario):
+        fabric = ServingFabric(
+            ColumnsSource(scenario["columns"], chunk_rows=13),
+            make_assembler(scenario),
+            make_engine(scenario, classifier=_FailingClassifier()),
+            workers=2,
+        )
+        with pytest.raises(RuntimeError, match="model fell over"):
+            list(fabric)
+        for thread in fabric._threads:
+            assert not thread.is_alive()
+
+    def test_source_exception_propagates(self, scenario):
+        def broken_source():
+            yield from chunk_columns(scenario["columns"][:30], 13)
+            raise OSError("tap went away")
+
+        fabric = ServingFabric(
+            broken_source(), make_assembler(scenario), make_engine(scenario),
+            workers=2,
+        )
+        with pytest.raises(OSError, match="tap went away"):
+            list(fabric)
+
+    def test_fabric_validation(self, scenario):
+        source = ColumnsSource(scenario["columns"])
+        with pytest.raises(ValueError):
+            ServingFabric(source, make_assembler(scenario), make_engine(scenario),
+                          workers=0)
+        with pytest.raises(ValueError):
+            ServingFabric(source, make_assembler(scenario), make_engine(scenario),
+                          workers=2, chunk_queue=0)
+        with pytest.raises(TypeError):
+            ServingFabric(source, object(), make_engine(scenario), workers=2)
+        fabric = ServingFabric(
+            source, make_assembler(scenario), make_engine(scenario), workers=1
+        )
+        list(fabric)
+        with pytest.raises(RuntimeError):
+            list(fabric)
+
+    def test_thread_count_is_bounded(self, scenario):
+        # source + assembly + k workers, no stragglers left behind.
+        before = threading.active_count()
+        predictions = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13), workers=4
+        )
+        assert predictions
+        assert threading.active_count() == before

@@ -1,0 +1,6 @@
+"""Repo tooling (benchmark reporting, doc checks) — importable as a package.
+
+``tools.bench_report`` doubles as a library: the E14 benchmark module and
+the policy unit tests import :func:`tools.bench_report.gate_floor` from
+here, so the floor policy has exactly one implementation.
+"""

@@ -8,11 +8,22 @@ its latency/cache scorecard), plus environment metadata — so the
 performance trajectory across PRs can be tracked by tooling instead of by
 reading benchmark stdout.
 
+The full-size gate floors follow a *margin policy*: each gate's floor is
+its trailing measurement (``benchmarks/e14_trailing.json``, recorded on the
+reference host) times a configured margin, so ordinary run-to-run drift —
+allocator state, scheduler jitter, a few percent either way — can never
+flip a gate red, while a real regression past the margin still does.  Gates
+without a trailing record fall back to their hand-set floor.  The report
+records the trailing value, margin and derived floor per gate; after a
+deliberate perf change, refresh the trailing file with ``--update-trailing``
+(only written when every gate passed).
+
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py              # full sizes
     PYTHONPATH=src python tools/bench_report.py --smoke      # CI sizes
     PYTHONPATH=src python tools/bench_report.py -o out.json
+    PYTHONPATH=src python tools/bench_report.py --update-trailing
 """
 
 from __future__ import annotations
@@ -26,6 +37,38 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAILING_PATH = REPO_ROOT / "benchmarks" / "e14_trailing.json"
+
+# Default slack between the trailing measurement and the floor derived from
+# it: a gate goes red only when it loses more than a quarter of its recorded
+# speedup — far past timing noise, squarely in real-regression territory.
+DEFAULT_MARGIN = 0.75
+
+
+def load_trailing(path: "Path | str | None" = None) -> dict:
+    """The trailing-measurement database, ``{}`` when absent or unreadable."""
+    path = Path(path) if path is not None else TRAILING_PATH
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+
+
+def gate_floor(
+    gate: str, fallback: float, trailing: "dict | None" = None
+) -> float:
+    """The margin-policy floor for ``gate``.
+
+    ``trailing-measurement x margin`` when the gate has a trailing record,
+    the hand-set ``fallback`` otherwise.  ``trailing`` injects a database
+    (tests); by default the repo's ``benchmarks/e14_trailing.json`` is read.
+    """
+    database = load_trailing() if trailing is None else trailing
+    entry = database.get("gates", {}).get(gate)
+    if not entry or "trailing" not in entry:
+        return fallback
+    margin = float(entry.get("margin", DEFAULT_MARGIN))
+    return round(float(entry["trailing"]) * margin, 3)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,6 +80,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="use the tiny CI sizes (same effect as E14_SMOKE=1)",
+    )
+    parser.add_argument(
+        "--update-trailing", action="store_true",
+        help="rewrite benchmarks/e14_trailing.json from this run's "
+             "measurements (full-size runs only, and only if all gates pass)",
     )
     args = parser.parse_args(argv)
 
@@ -65,8 +113,13 @@ def main(argv: list[str] | None = None) -> int:
         "serving_micro_batch": (
             "serve/micro-batch (engine)", e14.SERVING_SPEEDUP_FLOOR
         ),
+        "serving_parallel": (
+            "serve/parallel (fabric)", e14.SERVING_PARALLEL_FLOOR
+        ),
     }
+    trailing_db = load_trailing()
     serving = rows["serve/micro-batch (engine)"]
+    parallel = rows["serve/parallel (fabric)"]
     report = {
         "suite": "e14-throughput",
         "smoke": bool(e14.SMOKE),
@@ -83,6 +136,18 @@ def main(argv: list[str] | None = None) -> int:
                 "speedup": round(rows[row_name]["speedup"], 3),
                 "floor": floor,
                 "passed": rows[row_name]["speedup"] >= floor,
+                # Margin-policy provenance: which trailing measurement (and
+                # margin) this floor was derived from, when one is recorded.
+                **(
+                    {
+                        "trailing": trailing_db["gates"][name]["trailing"],
+                        "margin": trailing_db["gates"][name].get(
+                            "margin", DEFAULT_MARGIN
+                        ),
+                    }
+                    if not e14.SMOKE and name in trailing_db.get("gates", {})
+                    else {}
+                ),
             }
             for name, (row_name, floor) in gates.items()
         },
@@ -108,6 +173,13 @@ def main(argv: list[str] | None = None) -> int:
             "cache_hit_rate": round(serving["cache_hit_rate"], 3),
             "mean_batch": round(serving["mean_batch"], 2),
         },
+        "serving_parallel": {
+            "workers": int(parallel["workers"]),
+            "cores": e14.CPU_CORES,
+            "speedup": round(parallel["speedup"], 3),
+            "single_flows_per_s": round(parallel["per_packet_tok_s"], 1),
+            "fabric_flows_per_s": round(parallel["batched_tok_s"], 1),
+        },
     }
 
     output = Path(args.output)
@@ -115,6 +187,28 @@ def main(argv: list[str] | None = None) -> int:
     failed = [name for name, gate in report["gates"].items() if not gate["passed"]]
     status = "FAILED: " + ", ".join(failed) if failed else "all gates passed"
     print(f"wrote {output} ({status})")
+
+    if args.update_trailing and not failed and not e14.SMOKE:
+        updated = {
+            "comment": (
+                "Trailing full-size gate measurements on the reference host; "
+                "gate floors are trailing * margin (tools/bench_report.py). "
+                "Refresh deliberately via --update-trailing after perf changes."
+            ),
+            "gates": {
+                name: {
+                    "trailing": report["gates"][name]["speedup"],
+                    "margin": trailing_db.get("gates", {})
+                    .get(name, {})
+                    .get("margin", DEFAULT_MARGIN),
+                }
+                for name in gates
+            },
+        }
+        TRAILING_PATH.write_text(
+            json.dumps(updated, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"updated {TRAILING_PATH}")
     return 1 if failed else 0
 
 
