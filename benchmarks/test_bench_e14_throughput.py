@@ -26,7 +26,10 @@ by at least 3x, incremental BPE training the Counter loop by at least 5x;
 columnar pcap parsing must beat the object reader + conversion by at least
 5x and columnar flow statistics the object pipeline by at least 3x; the
 micro-batched serving engine must beat unbatched per-flow inference by at
-least 3x; and no batched path may lose to its per-example twin.
+least 3x; the fused train step and the tape-free eval forward must beat
+their composed reference paths (trailing-margin floors; ~2x and ~1.5-1.8x
+as recorded on the reference host); and no batched path may lose to its
+per-example twin.
 
 Like the encode gates — which consume a prebuilt columnar batch, "the
 steady state of the columnar pipeline" — the pcap-parse gate measures the
@@ -66,7 +69,9 @@ TRACE_PACKETS = 256 if SMOKE else 2000
 ENCODE_REPEATS = 1 if SMOKE else 3
 # Full-size floors follow the margin policy (tools/bench_report.py): floor =
 # trailing measurement x margin, read from benchmarks/e14_trailing.json, so
-# a few percent of run-to-run drift can never flip a gate red.  The second
+# run-to-run drift — including the tens-of-percent allocator-state swings
+# the allocation-heavy reference paths show across days — can never flip a
+# gate red.  The second
 # argument is the hand-set promise each gate started with — the fallback
 # when no trailing measurement is recorded, and the documentation of what
 # the gate originally guaranteed.  Smoke floors stay hand-set: tiny traces
@@ -120,6 +125,24 @@ elif CPU_CORES >= SERVING_PARALLEL_WORKERS:
     SERVING_PARALLEL_FLOOR = max(gate_floor("serving_parallel", 2.5), 2.5)
 else:
     SERVING_PARALLEL_FLOOR = gate_floor("serving_parallel", 0.5)
+# Fused model kernels (PR 7): the fused tape (fused attention/layernorm/
+# cross-entropy nodes, preallocated grad buffers, in-place optimizer) vs the
+# composed reference path on the same model and data, and the tape-free
+# eval forward (EvalForward) vs the module-graph predict loop.  Both are
+# overhead gates: at serving-scale models the composed paths spend much of
+# their time in Python dispatch and per-op allocation, which is exactly
+# what the fused rewrite removes.  What remains — the BLAS matmuls, exp,
+# tanh and the order-pinned reductions — is common to both sides, so the
+# measured ratio is bounded by the overhead fraction of the moment: ~2x on
+# the train step (tape + out-of-place optimizer + backward temporaries) and
+# ~1.4-1.8x on the eval forward (no_grad composed already skips the tape),
+# with the composed side's wall time swinging tens of percent with
+# allocator state.  The hand-set fallbacks are set below the worst honest
+# state observed; the trailing record tracks the measured ratio.  Smoke
+# floors are loose — at smoke sizes a single step is microseconds and
+# scheduler jitter dominates.
+TRAIN_STEP_SPEEDUP_FLOOR = 0.5 if SMOKE else gate_floor("train_step", 1.5)
+FORWARD_LATENCY_SPEEDUP_FLOOR = 0.5 if SMOKE else gate_floor("forward_latency", 1.3)
 # On tiny smoke traces the batch setup cost does not amortize for the
 # mildly-vectorized field-aware path and millisecond-long training runs are
 # at the mercy of the scheduler; only the full-size run gates strict parity.
@@ -634,6 +657,152 @@ def measure_serving_parallel() -> dict[str, float]:
     }
 
 
+def _model_times() -> dict[str, float]:
+    """Time the fused model kernels against the composed reference paths.
+
+    Both gates run serving-scale models at their full context width
+    (``max_len`` tokens) — 32 for the train gate (a fine-tune-shaped
+    batch, where the tape/allocation overhead the fused rewrite removes is
+    the dominant composed cost), 64 for the eval gate (the serving
+    pipeline's ``max_tokens``).  What the two sides share — the BLAS
+    matmuls, ``exp``/``tanh`` and the order-pinned reductions — bounds the
+    ratio, and the composed side's remainder (a fresh multi-hundred-KB to
+    multi-MB temporary per op) swings tens of percent with the host's
+    allocator state, so the floors carry a wide trailing margin.
+
+    ``train``: full optimization steps (forward, backward, clip, update) on
+    identical models and data — the fused side runs the default
+    configuration (fused tape nodes, preallocated grad buffers, in-place
+    Adam), the reference side the composed ops with the out-of-place
+    optimizer.  Both are loss-for-loss identical
+    (`tests/test_nn_fused_equivalence.py`); the gate measures what that
+    equivalence costs.  The fused side's per-step scratch allocations after
+    warmup are returned so the gate can assert the no-allocation steady
+    state, not just throughput.
+
+    ``forward``: the tape-free eval forward (the serving fast path behind
+    ``predict_logits``) in its serving configuration — exact-length bucket,
+    so no attention mask (the engine's ``bucket_rounding=1`` contract), and
+    ``record_attention=False`` (serving never reads attention maps; the
+    reference module loop always records them, as the old serving path
+    did) — vs the composed module-graph loop on a classifier with the same
+    weights.  Logits are bit-identical (asserted below), so the ratio is
+    tape/dispatch/allocation overhead plus the recording copies.
+    """
+    from repro.core import FinetuneConfig, SequenceClassifier
+    from repro.nn import Adam, Trainer, cross_entropy
+
+    rng = np.random.default_rng(0)
+    batch, seq = (4, 12) if SMOKE else (24, 32)
+    steps = 3 if SMOKE else 10
+    vocab = 96
+    eval_seq = 12 if SMOKE else 64
+    ids = rng.integers(0, vocab, (batch, seq))
+    mask = np.ones((batch, seq), dtype=bool)
+    labels = rng.integers(0, 4, batch)
+
+    def build(fused: bool, max_len: int = seq) -> SequenceClassifier:
+        config = NetFMConfig(
+            vocab_size=vocab, d_model=32, num_layers=2, num_heads=4,
+            d_ff=64, max_len=max_len, dropout=0.0, seed=0, fused=fused,
+        )
+        return SequenceClassifier(
+            NetFoundationModel(config), num_classes=4,
+            config=FinetuneConfig(dropout=0.0),
+        )
+
+    def time_train(fused: bool) -> tuple[float, int]:
+        classifier = build(fused)
+        optimizer = Adam(classifier.parameters(), lr=1e-3, in_place=fused)
+        trainer = Trainer(classifier, optimizer, preallocate_grads=fused)
+
+        def loss_fn():
+            return cross_entropy(classifier(ids, mask), labels, fused=fused)
+
+        def run_steps():
+            for _ in range(steps):
+                trainer.train_step(loss_fn)
+
+        run_steps()  # warmup: fill scratch pools and grad buffers
+        best = _best_of(run_steps)
+        scratch = max(trainer.history.step_scratch_allocations[steps:], default=0)
+        return best / steps, scratch
+
+    train_fused, scratch_steady = time_train(True)
+    train_reference, _ = time_train(False)
+
+    eval_rows = 8 if SMOKE else 2 * SERVING_BATCH_SIZE
+    eval_batch = eval_rows if SMOKE else SERVING_BATCH_SIZE
+    eval_ids = rng.integers(0, vocab, (eval_rows, eval_seq))
+    classifier = build(True, max_len=eval_seq)
+    classifier.record_attention = False  # the serving configuration
+    # Same seed -> same weights, composed modules.
+    composed = build(False, max_len=eval_seq)
+    fast = lambda: classifier.predict_logits(  # noqa: E731 - timed thunk
+        eval_ids, None, batch_size=eval_batch
+    )
+    reference = lambda: composed.predict_logits(  # noqa: E731
+        eval_ids, None, batch_size=eval_batch
+    )
+    assert np.array_equal(fast(), reference())  # fast must stay correct
+    repeats = 2 if SMOKE else 10
+
+    def loop(fn):
+        def run():
+            for _ in range(repeats):
+                fn()
+        return run
+
+    forward_fast = _best_of(loop(fast)) / repeats
+    forward_reference = _best_of(loop(reference)) / repeats
+    return {
+        "batch": batch,
+        "seq": seq,
+        "train_fused": train_fused,
+        "train_reference": train_reference,
+        "scratch_steady": scratch_steady,
+        "eval_rows": eval_rows,
+        "forward_fast": forward_fast,
+        "forward_reference": forward_reference,
+    }
+
+
+def measure_model() -> dict[str, dict[str, float]]:
+    """Fused train step and eval forward vs reference (in-process).
+
+    Unlike the pipeline gates, this one deliberately does NOT run in a
+    fresh child process.  Training and serving are long-lived processes —
+    thousands of optimization steps, hours of micro-batches — so the
+    steady-state heap of a process that has been doing real work is the
+    honest allocator regime, and it is exactly where the composed paths
+    pay full price for a fresh temporary per op (glibc keeps routing
+    large blocks through mmap/munmap once the arena is fragmented, so
+    every composed step re-faults its temporaries).  A cold process, by
+    contrast, recycles the composed side's temporaries almost for free
+    for the first few hundred steps — a state no real training run stays
+    in.  Both sides are warmed up and measured back to back in this
+    process under the shared best-of protocol, which also keeps the heap
+    history they see identical.
+    """
+    times = _model_times()
+    tokens = times["batch"] * times["seq"]
+    return {
+        "train/step (fused)": {
+            "per_packet_tok_s": tokens / times["train_reference"],  # tok/s
+            "batched_tok_s": tokens / times["train_fused"],
+            "speedup": times["train_reference"] / times["train_fused"],
+            "step_ms": times["train_fused"] * 1e3,
+            "steady_scratch_allocs": float(times["scratch_steady"]),
+        },
+        "serve/forward (fused)": {
+            "per_packet_tok_s": times["eval_rows"] / times["forward_reference"],
+            "batched_tok_s": times["eval_rows"] / times["forward_fast"],  # rows/s
+            "speedup": times["forward_reference"] / times["forward_fast"],
+            "latency_ms": times["forward_fast"] * 1e3,
+        },
+    }
+
+
 def measure_bpe_fit(packets) -> dict[str, float]:
     """Incremental pair-count BPE training vs the reference Counter loop."""
     subset = packets[:BPE_FIT_PACKETS]
@@ -704,6 +873,7 @@ def run_experiment() -> dict[str, dict[str, float]]:
         )
     for name, row in measure_train(packets).items():
         rows[f"train/{name}"] = row
+    rows.update(measure_model())
     rows["serve/micro-batch (engine)"] = measure_serving()
     rows["serve/parallel (fabric)"] = measure_serving_parallel()
     return rows
@@ -743,6 +913,13 @@ def test_bench_e14_throughput(benchmark):
     assert rows["parse/pcap (columnar)"]["speedup"] >= PCAP_PARSE_SPEEDUP_FLOOR
     # Gate: columnar flow statistics >= 3x FlowTable + flow_statistics.
     assert rows["stats/flow (columnar)"]["speedup"] >= FLOW_STATS_SPEEDUP_FLOOR
+    # Gate: the fused train step beats the composed reference step (floor:
+    # trailing margin, ~2x when recorded), and the steady state allocates
+    # no scratch buffers (the pools are warm).
+    assert rows["train/step (fused)"]["speedup"] >= TRAIN_STEP_SPEEDUP_FLOOR
+    assert rows["train/step (fused)"]["steady_scratch_allocs"] == 0.0
+    # Gate: the tape-free eval forward beats the module-graph predict loop.
+    assert rows["serve/forward (fused)"]["speedup"] >= FORWARD_LATENCY_SPEEDUP_FLOOR
     # Gate: micro-batched serving >= 3x unbatched per-flow inference.
     assert rows["serve/micro-batch (engine)"]["speedup"] >= SERVING_SPEEDUP_FLOOR
     # Gate: the parallel fabric vs the synchronous pipeline — >= 2.5x with

@@ -25,6 +25,10 @@ class NetFMConfig:
     dropout: float = 0.1
     num_segments: int = 16
     seed: int = 0
+    #: Run attention/layernorm/losses as fused tape nodes and dispatch
+    #: ``predict_logits`` to the no-tape eval fast path.  ``False`` selects
+    #: the composed reference ops (kept for the differential harness).
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.d_model % self.num_heads != 0:

@@ -82,6 +82,14 @@ class SequenceClassifier(Module):
         self.dropout = Dropout(self.config.dropout, rng=rng)
         self.head = Linear(model.config.d_model, num_classes, rng=rng)
         self.num_classes = num_classes
+        self._fastpath = None
+        #: Record each layer's attention weights during ``predict_logits``
+        #: (``model.attention_maps()`` — the interpretability contract).
+        #: Recording copies a ``(batch, heads, seq, seq)`` array per layer;
+        #: serving deployments that never read maps set this to False and
+        #: the eval fast path skips the copies (maps are cleared, so a
+        #: stale read fails loudly instead of returning old weights).
+        self.record_attention = True
 
     def forward(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
         cls = self.model.encode_cls(token_ids, attention_mask=attention_mask)
@@ -112,6 +120,7 @@ class SequenceClassifier(Module):
         )
         trainer = Trainer(self, optimizer, schedule=schedule)
         rng = np.random.default_rng(cfg.seed)
+        fused = getattr(self.model.config, "fused", True)
 
         def make_batches():
             closures = []
@@ -119,7 +128,7 @@ class SequenceClassifier(Module):
                 for batch in pack_batches(token_ids, attention_mask, cfg.batch_size, rng=rng):
                     def loss_fn(batch=batch) -> Tensor:
                         logits = self(batch.token_ids, attention_mask=batch.attention_mask)
-                        return cross_entropy(logits, labels[batch.indices])
+                        return cross_entropy(logits, labels[batch.indices], fused=fused)
 
                     loss_fn.num_tokens = batch.num_tokens
                     closures.append(loss_fn)
@@ -130,7 +139,7 @@ class SequenceClassifier(Module):
 
                 def loss_fn(idx=idx) -> Tensor:
                     logits = self(token_ids[idx], attention_mask=attention_mask[idx])
-                    return cross_entropy(logits, labels[idx])
+                    return cross_entropy(logits, labels[idx], fused=fused)
 
                 loss_fn.num_tokens = int(np.asarray(attention_mask)[idx].sum())
                 closures.append(loss_fn)
@@ -167,10 +176,31 @@ class SequenceClassifier(Module):
         predictions are stable across widths while raw logits are exactly
         reproducible only at a fixed width.
 
+        With a fused model (the default) this dispatches to the tape-free
+        :class:`~repro.core.fastpath.EvalForward`, which is bit-identical
+        to the module-graph loop below and additionally guarantees batch
+        invariance: a singleton chunk runs as a duplicated pair, so 1-row
+        logits match the same row served inside any batch.  The composed
+        reference loop stays available as :meth:`predict_logits_reference`
+        (and is used when ``config.fused`` is off).
+
         No packed trimming here: interpretability consumers read the
         recorded attention maps and expect them aligned with the input
         width (the serving engine trims before calling in).
         """
+        if getattr(self.model.config, "fused", True):
+            if self._fastpath is None:
+                from .fastpath import EvalForward
+
+                self._fastpath = EvalForward(self)
+            return self._fastpath(token_ids, attention_mask, batch_size=batch_size)
+        return self.predict_logits_reference(token_ids, attention_mask, batch_size)
+
+    def predict_logits_reference(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """The module-graph eval loop (the differential baseline for
+        :class:`~repro.core.fastpath.EvalForward`)."""
         token_ids = np.asarray(token_ids)
         if len(token_ids) == 0:
             return np.zeros((0, self.num_classes))

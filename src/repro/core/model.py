@@ -36,7 +36,8 @@ class NetFoundationModel(Module):
         self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
         self.position_embedding = Embedding(config.max_len, config.d_model, rng=rng)
         self.segment_embedding = Embedding(config.num_segments, config.d_model, rng=rng)
-        self.embedding_norm = LayerNorm(config.d_model)
+        fused = getattr(config, "fused", True)
+        self.embedding_norm = LayerNorm(config.d_model, fused=fused)
         self.embedding_dropout = Dropout(config.dropout, rng=rng)
         self.encoder = TransformerEncoder(
             num_layers=config.num_layers,
@@ -45,6 +46,7 @@ class NetFoundationModel(Module):
             d_ff=config.d_ff,
             dropout=config.dropout,
             rng=rng,
+            fused=fused,
         )
 
     # ------------------------------------------------------------------
@@ -104,7 +106,7 @@ class NetFoundationModel(Module):
     ) -> Tensor:
         """Mean-pooled embedding over non-padding positions."""
         hidden = self.forward(token_ids, attention_mask, segment_ids)
-        mask = np.asarray(attention_mask, dtype=float)[..., None]
+        mask = np.asarray(attention_mask, dtype=hidden.data.dtype)[..., None]
         summed = (hidden * Tensor(mask)).sum(axis=1)
         counts = np.maximum(mask.sum(axis=1), 1.0)
         return summed * Tensor(1.0 / counts)
@@ -128,7 +130,7 @@ class MaskedTokenHead(Module):
         super().__init__()
         rng = rng or np.random.default_rng(config.seed + 1)
         self.transform = Linear(config.d_model, config.d_model, rng=rng)
-        self.norm = LayerNorm(config.d_model)
+        self.norm = LayerNorm(config.d_model, fused=getattr(config, "fused", True))
         self.decoder = Linear(config.d_model, config.vocab_size, rng=rng)
 
     def forward(self, hidden: Tensor) -> Tensor:

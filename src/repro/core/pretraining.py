@@ -427,6 +427,7 @@ class Pretrainer:
 
     def _make_loss(self, batch_ids, batch_mask, pair_ids, pair_mask, pair_labels):
         cfg = self.config
+        fused = getattr(self.model.config, "fused", True)
 
         def loss_fn() -> Tensor:
             loss = Tensor(np.zeros(()), requires_grad=False)
@@ -436,7 +437,7 @@ class Pretrainer:
                 )
                 hidden = self.model(masked, attention_mask=batch_mask)
                 logits = self.mlm_head(hidden)
-                loss = loss + masked_cross_entropy(logits, targets, loss_mask)
+                loss = loss + masked_cross_entropy(logits, targets, loss_mask, fused=fused)
             if pair_ids is not None and len(pair_ids):
                 sample = self._rng.choice(
                     len(pair_ids), size=min(cfg.batch_size, len(pair_ids)), replace=False
@@ -450,7 +451,8 @@ class Pretrainer:
                     sample_ids, sample_mask = pair_ids[sample], pair_mask[sample]
                 cls = self.model.encode_cls(sample_ids, attention_mask=sample_mask)
                 pair_logits = self.pair_head(cls)
-                loss = loss + cross_entropy(pair_logits, pair_labels[sample]) * cfg.pair_loss_weight
+                pair_loss = cross_entropy(pair_logits, pair_labels[sample], fused=fused)
+                loss = loss + pair_loss * cfg.pair_loss_weight
             return loss
 
         return loss_fn

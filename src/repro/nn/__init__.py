@@ -7,7 +7,15 @@ losses, optimizers, LR schedules, metrics, a generic trainer and
 checkpointing.
 """
 
-from .autograd import Tensor, as_tensor, no_grad
+from .autograd import Tensor, as_tensor, no_grad, tensor_allocations
+from .kernels import (
+    ScratchPool,
+    fused_attention,
+    fused_cross_entropy,
+    fused_layer_norm,
+    fused_masked_cross_entropy,
+    scratch_allocations,
+)
 from .module import Module, ModuleList, Parameter, Sequential
 from .layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Sigmoid, Tanh
 from .attention import MultiHeadAttention, scaled_dot_product_attention
@@ -42,6 +50,13 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "no_grad",
+    "tensor_allocations",
+    "ScratchPool",
+    "scratch_allocations",
+    "fused_attention",
+    "fused_layer_norm",
+    "fused_cross_entropy",
+    "fused_masked_cross_entropy",
     "Module",
     "ModuleList",
     "Parameter",

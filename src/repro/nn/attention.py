@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .autograd import Tensor, as_tensor
+from .kernels import ScratchPool, fused_attention
 from .layers import Dropout, Linear
 from .module import Module
 
@@ -37,7 +38,9 @@ def scaled_dot_product_attention(
     (output, attention_weights)
     """
     d_head = query.shape[-1]
-    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_head))
+    # Python-float scale: same double value as the np.float64 scalar, but
+    # weak-typed so float32 inputs are not silently upcast.
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / float(np.sqrt(d_head)))
     if mask is not None:
         scores = scores.masked_fill(mask, -1e9)
     weights = scores.softmax(axis=-1)
@@ -52,6 +55,10 @@ class MultiHeadAttention(Module):
     last_attention:
         NumPy array of shape ``(batch, heads, seq, seq)`` holding the
         attention weights of the most recent forward pass (detached).
+    fused:
+        When True (default), the forward runs as one fused tape node
+        (:func:`repro.nn.kernels.fused_attention`) — bit-identical outputs,
+        analytic backward — instead of the composed reference ops.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class MultiHeadAttention(Module):
         num_heads: int,
         dropout: float = 0.0,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ):
         super().__init__()
         if d_model % num_heads != 0:
@@ -73,6 +81,8 @@ class MultiHeadAttention(Module):
         self.v_proj = Linear(d_model, d_model, rng=rng)
         self.out_proj = Linear(d_model, d_model, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
+        self.fused = bool(fused)
+        self._pool = ScratchPool()
         self.last_attention: np.ndarray | None = None
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
@@ -90,16 +100,31 @@ class MultiHeadAttention(Module):
         """
         x = as_tensor(x)
         batch, seq, _ = x.shape
-        query = self._split_heads(self.q_proj(x), batch, seq)
-        key = self._split_heads(self.k_proj(x), batch, seq)
-        value = self._split_heads(self.v_proj(x), batch, seq)
-
         mask = None
         if attention_mask is not None:
             valid = np.asarray(attention_mask, dtype=bool)
             # Convert "valid token" mask into "blocked key position" mask.
             mask = ~valid[:, None, None, :]
 
+        if self.fused:
+            context, weight_data = fused_attention(
+                x,
+                self.q_proj.weight,
+                self.q_proj.bias,
+                self.k_proj.weight,
+                self.k_proj.bias,
+                self.v_proj.weight,
+                self.v_proj.bias,
+                self.num_heads,
+                mask,
+                self._pool,
+            )
+            self.last_attention = weight_data.copy()
+            return self.dropout(self.out_proj(context))
+
+        query = self._split_heads(self.q_proj(x), batch, seq)
+        key = self._split_heads(self.k_proj(x), batch, seq)
+        value = self._split_heads(self.v_proj(x), batch, seq)
         context, weights = scaled_dot_product_attention(query, key, value, mask=mask)
         self.last_attention = weights.data.copy()
         context = self._merge_heads(context, batch, seq)

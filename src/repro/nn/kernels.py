@@ -1,0 +1,429 @@
+"""Fused, allocation-disciplined kernels for the `repro.nn` hot loops.
+
+The composed reference paths (``MultiHeadAttention`` as six Tensor ops plus
+softmax, ``LayerNorm`` as nine, ``cross_entropy`` as seven) are correct but
+dominated by Python/autograd overhead: every intermediate allocates a fresh
+array and a tape node.  The kernels here compute the same mathematics as one
+tape node each, with three properties the differential harness
+(`tests/test_nn_fused_equivalence.py`) enforces:
+
+* **Bit-identical forwards.**  Each fused forward replays the exact NumPy
+  op sequence of the composed path (same functions, same evaluation order,
+  in-place only where IEEE semantics make it equivalent), so outputs —
+  including eval logits — are bit-identical to the reference, not merely
+  close.
+* **Analytic single-pass backwards.**  The backward is the closed-form VJP
+  of the whole block.  It is mathematically exact (numeric gradcheck in
+  `tests/test_gradcheck.py`) but may differ from the composed backward in
+  the last ulp because additions associate differently; training curves
+  remain loss-for-loss identical at ``assert_allclose`` default tolerance.
+* **Scratch reuse.**  Temporaries that the backward never needs come from a
+  :class:`ScratchPool` keyed by ``(slot, shape, dtype)``: after warmup the
+  pool stops allocating (``scratch_allocations()`` is sampled by the
+  trainer per step and gated in E14).  Arrays that outlive the call —
+  graph outputs and saved residuals — are always freshly allocated, so
+  models that run forward more than once per step (e.g. MLM + NSP) can
+  never clobber a pending backward.
+
+Dtype discipline: every kernel computes in the dtype of its input (scalars
+enter as Python floats, which NumPy treats as weak — no silent float64
+upcast), so the same code path serves float64 and float32 models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, is_grad_enabled
+
+__all__ = [
+    "ScratchPool",
+    "scratch_allocations",
+    "fused_layer_norm",
+    "fused_attention",
+    "fused_cross_entropy",
+    "fused_masked_cross_entropy",
+]
+
+
+# Count of scratch buffers allocated (pool misses) since process start.
+# Steady-state training/serving should stop incrementing this after the
+# first step per distinct batch shape.
+_POOL_ALLOCS = 0
+
+
+def scratch_allocations() -> int:
+    """Total number of scratch-pool buffer allocations so far."""
+    return _POOL_ALLOCS
+
+
+class ScratchPool:
+    """Reusable scratch buffers keyed by ``(slot, shape, dtype)``.
+
+    Each call site names its buffer with a ``slot`` string; distinct shapes
+    (length buckets) coexist under the same slot so alternating batch
+    widths do not thrash.  Buffers handed out here must never escape the
+    kernel call that requested them.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def take(self, slot: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        global _POOL_ALLOCS
+        key = (slot, shape, np.dtype(dtype).char)
+        buf = self._buffers.get(key)
+        if buf is None:
+            _POOL_ALLOCS += 1
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def __deepcopy__(self, memo):
+        # Scratch contents are never reused across calls; clones (serving
+        # fabric workers deep-copy their engines) start with an empty pool.
+        return ScratchPool()
+
+
+# ----------------------------------------------------------------------
+# Fused LayerNorm
+# ----------------------------------------------------------------------
+
+def _vjp_layer_norm(grad, parents, saved):
+    # Backward temporaries come from the module's scratch pool (slots are
+    # disjoint from the forward's, and ``_add_grad`` copies every returned
+    # gradient before the next tape node runs, so pooled outputs are safe).
+    # The op order matches the textbook expression exactly; in-place chaining
+    # only, so values are bitwise unchanged.
+    x, gamma, beta = parents
+    xhat, rstd, pool = saved
+    grad = np.asarray(grad)
+    d = xhat.shape[-1]
+    stat_shape = xhat.shape[:-1] + (1,)
+    work = pool.take("lnb_work", xhat.shape, xhat.dtype)
+    gx = None
+    if x.requires_grad:
+        gxhat = pool.take("lnb_gxhat", xhat.shape, xhat.dtype)
+        np.multiply(grad, gamma.data, out=gxhat)
+        m1 = pool.take("lnb_m1", stat_shape, xhat.dtype)
+        np.mean(gxhat, axis=-1, keepdims=True, out=m1)
+        np.multiply(gxhat, xhat, out=work)
+        m2 = pool.take("lnb_m2", stat_shape, xhat.dtype)
+        np.mean(work, axis=-1, keepdims=True, out=m2)
+        np.subtract(gxhat, m1, out=gxhat)
+        np.multiply(xhat, m2, out=work)
+        np.subtract(gxhat, work, out=gxhat)
+        np.multiply(rstd, gxhat, out=gxhat)
+        gx = gxhat
+    ggamma = None
+    if gamma.requires_grad:
+        np.multiply(grad, xhat, out=work)
+        ggamma = work.reshape(-1, d).sum(axis=0)
+    gbeta = None
+    if beta.requires_grad:
+        gbeta = grad.reshape(-1, d).sum(axis=0)
+    return gx, ggamma, gbeta
+
+
+def fused_layer_norm(
+    x: Tensor, gamma: Tensor, beta: Tensor, eps: float, pool: ScratchPool
+) -> Tensor:
+    """LayerNorm over the last axis as a single tape node.
+
+    Forward replays the composed op order exactly — mean as
+    ``sum * (1/d)``, variance of the centered values, normalization by
+    *division* with ``(var + eps) ** 0.5`` — so outputs are bit-identical
+    to the reference ``LayerNorm``.  The inverse std is saved for the
+    analytic backward.
+    """
+    data = x.data
+    d = data.shape[-1]
+    inv_d = 1.0 / max(d, 1)
+    stat_shape = data.shape[:-1] + (1,)
+    taping = is_grad_enabled() and (
+        x.requires_grad or gamma.requires_grad or beta.requires_grad
+    )
+
+    mean = pool.take("ln_mean", stat_shape, data.dtype)
+    np.sum(data, axis=-1, keepdims=True, out=mean)
+    mean *= inv_d
+    centered = pool.take("ln_centered", data.shape, data.dtype)
+    np.subtract(data, mean, out=centered)
+    sq = pool.take("ln_sq", data.shape, data.dtype)
+    np.multiply(centered, centered, out=sq)
+    var = pool.take("ln_var", stat_shape, data.dtype)
+    np.sum(sq, axis=-1, keepdims=True, out=var)
+    var *= inv_d
+    var += eps
+    # ndarray ** 0.5, not np.power-with-out: the operator is what the
+    # composed path runs, and NumPy's scalar-exponent fast paths may
+    # round differently from the general power loop.
+    denom = var ** 0.5
+
+    xhat = (
+        np.divide(centered, denom, out=pool.take("ln_xhat", data.shape, data.dtype))
+        if not taping
+        else centered / denom
+    )
+    out = xhat * gamma.data
+    out += beta.data
+
+    if not taping:
+        return Tensor._make(out, False)
+    rstd = 1.0 / denom
+    return Tensor._result(out, (x, gamma, beta), _vjp_layer_norm, (xhat, rstd, pool))
+
+
+# ----------------------------------------------------------------------
+# Fused multi-head attention (QKV projection + SDPA + softmax)
+# ----------------------------------------------------------------------
+
+def _vjp_attention(grad, parents, saved):
+    # The backward is the hottest kernel in a train step and its
+    # temporaries are (batch, heads, seq, seq)-sized, so they come from the
+    # module's scratch pool ("attb_*" slots, disjoint from the forward's).
+    # Pooled outputs are safe: ``_add_grad`` copies every returned gradient
+    # before the next tape node can reuse the slot.  The op order matches
+    # the original out-of-place expressions exactly, so values are bitwise
+    # unchanged.
+    x, wq, bq, wk, bk, wv, bv = parents
+    q4, k4, v4, weights, scale, pool = saved
+    b, h, s, dh = q4.shape
+    d = h * dh
+    dt = q4.dtype
+    grad = np.asarray(grad)
+
+    g4 = grad.reshape(b, s, h, dh).transpose(0, 2, 1, 3)
+    gweights = pool.take("attb_gweights", (b, h, s, s), dt)
+    np.matmul(g4, np.swapaxes(v4, -1, -2), out=gweights)
+    gv4 = pool.take("attb_gv4", (b, h, s, dh), dt)
+    np.matmul(np.swapaxes(weights, -1, -2), g4, out=gv4)
+    # Softmax backward; rows fully masked out have weights == 0, so their
+    # score gradient vanishes without consulting the mask.
+    gscores = pool.take("attb_gscores", (b, h, s, s), dt)
+    np.multiply(gweights, weights, out=gscores)
+    gsum = pool.take("attb_gsum", (b, h, s, 1), dt)
+    np.sum(gscores, axis=-1, keepdims=True, out=gsum)
+    np.subtract(gweights, gsum, out=gweights)
+    np.multiply(weights, gweights, out=gscores)
+    gscores *= scale
+    gq4 = pool.take("attb_gq4", (b, h, s, dh), dt)
+    np.matmul(gscores, k4, out=gq4)
+    gk4 = pool.take("attb_gk4", (b, h, s, dh), dt)
+    np.matmul(np.swapaxes(gscores, -1, -2), q4, out=gk4)
+
+    def merge(slot: str, batched: np.ndarray) -> np.ndarray:
+        out = pool.take(slot, (b, s, d), dt)
+        np.copyto(out.reshape(b, s, h, dh), batched.transpose(0, 2, 1, 3))
+        return out
+
+    gq = merge("attb_gq", gq4)
+    gk = merge("attb_gk", gk4)
+    gv = merge("attb_gv", gv4)
+
+    gx = None
+    if x.requires_grad:
+        gx = pool.take("attb_gx", (b, s, d), dt)
+        np.matmul(gq, wq.data.T, out=gx)
+        addend = pool.take("attb_gx_addend", (b, s, d), dt)
+        np.matmul(gk, wk.data.T, out=addend)
+        gx += addend
+        np.matmul(gv, wv.data.T, out=addend)
+        gx += addend
+    x2 = x.data.reshape(b * s, d)
+    gwq = x2.T @ gq.reshape(b * s, d) if wq.requires_grad else None
+    gwk = x2.T @ gk.reshape(b * s, d) if wk.requires_grad else None
+    gwv = x2.T @ gv.reshape(b * s, d) if wv.requires_grad else None
+    gbq = gq.sum(axis=(0, 1)) if bq.requires_grad else None
+    gbk = gk.sum(axis=(0, 1)) if bk.requires_grad else None
+    gbv = gv.sum(axis=(0, 1)) if bv.requires_grad else None
+    return gx, gwq, gbq, gwk, gbk, gwv, gbv
+
+
+def fused_attention(
+    x: Tensor,
+    wq: Tensor,
+    bq: Tensor,
+    wk: Tensor,
+    bk: Tensor,
+    wv: Tensor,
+    bv: Tensor,
+    num_heads: int,
+    mask: np.ndarray | None,
+    pool: ScratchPool,
+) -> tuple[Tensor, np.ndarray]:
+    """QKV projection + scaled dot-product attention as one tape node.
+
+    Returns the merged ``(batch, seq, d_model)`` context (before the output
+    projection, which stays a composed ``Linear``) and the attention
+    weights array for recording.  The forward mirrors the composed path op
+    for op; when taping, the Q/K/V activations and softmax weights are
+    freshly allocated (they are saved for the backward), otherwise every
+    intermediate lives in the scratch pool.
+    """
+    data = x.data
+    b, s, d = data.shape
+    h = num_heads
+    dh = d // h
+    scale = 1.0 / float(np.sqrt(dh))
+    taping = is_grad_enabled() and any(
+        t.requires_grad for t in (x, wq, bq, wk, bk, wv, bv)
+    )
+
+    def _project(slot: str, w: Tensor, bias: Tensor) -> np.ndarray:
+        out = np.empty((b, s, d), data.dtype) if taping else pool.take(slot, (b, s, d), data.dtype)
+        np.matmul(data, w.data, out=out)
+        out += bias.data
+        return out
+
+    q4 = _project("att_q", wq, bq).reshape(b, s, h, dh).transpose(0, 2, 1, 3)
+    k4 = _project("att_k", wk, bk).reshape(b, s, h, dh).transpose(0, 2, 1, 3)
+    v4 = _project("att_v", wv, bv).reshape(b, s, h, dh).transpose(0, 2, 1, 3)
+
+    scores_shape = (b, h, s, s)
+    scores = (
+        np.empty(scores_shape, data.dtype)
+        if taping
+        else pool.take("att_scores", scores_shape, data.dtype)
+    )
+    np.matmul(q4, np.swapaxes(k4, -1, -2), out=scores)
+    scores *= scale
+    if mask is not None:
+        np.copyto(scores, -1e9, where=mask)
+
+    stat_shape = (b, h, s, 1)
+    mx = pool.take("att_max", stat_shape, data.dtype)
+    np.max(scores, axis=-1, keepdims=True, out=mx)
+    np.subtract(scores, mx, out=scores)
+    np.exp(scores, out=scores)
+    denom = pool.take("att_denom", stat_shape, data.dtype)
+    np.sum(scores, axis=-1, keepdims=True, out=denom)
+    np.divide(scores, denom, out=scores)
+    weights = scores
+
+    ctx = pool.take("att_ctx", (b, h, s, dh), data.dtype)
+    np.matmul(weights, v4, out=ctx)
+    merged = np.empty((b, s, d), data.dtype)
+    np.copyto(merged.reshape(b, s, h, dh), ctx.transpose(0, 2, 1, 3))
+
+    if not taping:
+        return Tensor._make(merged, False), weights
+    out = Tensor._result(
+        merged,
+        (x, wq, bq, wk, bk, wv, bv),
+        _vjp_attention,
+        (q4, k4, v4, weights, scale, pool),
+    )
+    return out, weights
+
+
+# ----------------------------------------------------------------------
+# Fused cross-entropy (log-softmax + NLL in one node)
+# ----------------------------------------------------------------------
+
+def _softmax_from_saved(exp_shifted: np.ndarray, sum_exp: np.ndarray) -> np.ndarray:
+    return exp_shifted / sum_exp
+
+
+def _vjp_cross_entropy(grad, parents, saved):
+    (logits,) = parents
+    exp_shifted, sum_exp, targets, label_smoothing = saved
+    n, c = exp_shifted.shape
+    scale = float(np.asarray(grad)) * (1.0 / max(n, 1))
+    glogits = _softmax_from_saved(exp_shifted, sum_exp)
+    glogits *= scale
+    if label_smoothing > 0.0:
+        glogits -= scale * (label_smoothing / c)
+        glogits[np.arange(n), targets] -= scale * (1.0 - label_smoothing)
+    else:
+        glogits[np.arange(n), targets] -= scale
+    return (glogits,)
+
+
+def _cross_entropy_forward(
+    logits_data: np.ndarray, targets: np.ndarray, label_smoothing: float
+):
+    """Shared forward: returns (loss value, exp_shifted, sum_exp)."""
+    n, c = logits_data.shape
+    mx = logits_data.max(axis=-1, keepdims=True)
+    shifted = logits_data - mx
+    exp_shifted = np.exp(shifted)
+    sum_exp = exp_shifted.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(sum_exp)
+    if label_smoothing > 0.0:
+        one_hot = np.zeros((n, c), dtype=logits_data.dtype)
+        one_hot[np.arange(n), targets] = 1.0
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / c
+        per_example = (log_probs * one_hot).sum(axis=-1)
+    else:
+        per_example = log_probs[np.arange(n), targets]
+    loss = -(per_example.sum() * (1.0 / max(n, 1)))
+    return loss, exp_shifted, sum_exp
+
+
+def fused_cross_entropy(
+    logits, targets: np.ndarray, label_smoothing: float = 0.0
+) -> Tensor:
+    """Drop-in fused variant of :func:`repro.nn.losses.cross_entropy`.
+
+    The loss value is bit-identical to the composed path (the mostly-zero
+    one-hot reduction collapses to an exact gather); the backward writes
+    ``(softmax - target)/n`` directly instead of walking seven nodes.
+    """
+    from .autograd import as_tensor
+
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected logits of shape (N, C), got {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("logits and targets disagree on batch size")
+    loss, exp_shifted, sum_exp = _cross_entropy_forward(
+        logits.data, targets, label_smoothing
+    )
+    return Tensor._result(
+        np.asarray(loss),
+        (logits,),
+        _vjp_cross_entropy,
+        (exp_shifted, sum_exp, targets, label_smoothing),
+    )
+
+
+def _vjp_masked_cross_entropy(grad, parents, saved):
+    (logits,) = parents
+    exp_shifted, sum_exp, targets, indices, shape = saved
+    n = exp_shifted.shape[0]
+    scale = float(np.asarray(grad)) * (1.0 / max(n, 1))
+    gsel = _softmax_from_saved(exp_shifted, sum_exp)
+    gsel *= scale
+    gsel[np.arange(n), targets] -= scale
+    full = np.zeros(shape, dtype=exp_shifted.dtype)
+    # Masked positions are unique, so a direct scatter replaces the
+    # composed path's np.add.at over the full (batch*seq, vocab) buffer.
+    full.reshape(-1, shape[-1])[indices] = gsel
+    return (full,)
+
+
+def fused_masked_cross_entropy(logits, targets: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Drop-in fused variant of :func:`repro.nn.losses.masked_cross_entropy`."""
+    from .autograd import as_tensor
+
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.sum() == 0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    batch, seq, vocab = logits.shape
+    flat_mask = mask.reshape(-1)
+    indices = np.nonzero(flat_mask)[0]
+    selected = logits.data.reshape(batch * seq, vocab)[indices]
+    selected_targets = targets.reshape(-1)[indices]
+    loss, exp_shifted, sum_exp = _cross_entropy_forward(selected, selected_targets, 0.0)
+    return Tensor._result(
+        np.asarray(loss),
+        (logits,),
+        _vjp_masked_cross_entropy,
+        (exp_shifted, sum_exp, selected_targets, indices, logits.shape),
+    )

@@ -10,6 +10,7 @@ import numpy as np
 
 from . import init
 from .autograd import Tensor, as_tensor
+from .kernels import ScratchPool, fused_layer_norm
 from .module import Module, Parameter
 
 __all__ = [
@@ -101,16 +102,25 @@ class Embedding(Module):
 
 
 class LayerNorm(Module):
-    """Layer normalization over the last axis."""
+    """Layer normalization over the last axis.
 
-    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+    With ``fused=True`` (default) the forward runs as one tape node with a
+    saved inverse-std (:func:`repro.nn.kernels.fused_layer_norm`);
+    outputs are bit-identical to the composed reference path below.
+    """
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5, fused: bool = True):
         super().__init__()
         self.eps = eps
+        self.fused = bool(fused)
+        self._pool = ScratchPool()
         self.gamma = Parameter(init.ones((normalized_shape,)), name="gamma")
         self.beta = Parameter(init.zeros((normalized_shape,)), name="beta")
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
+        if self.fused:
+            return fused_layer_norm(x, self.gamma, self.beta, self.eps, self._pool)
         mean = x.mean(axis=-1, keepdims=True)
         variance = x.var(axis=-1, keepdims=True)
         normalized = (x - mean) / ((variance + self.eps) ** 0.5)

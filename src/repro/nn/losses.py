@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .autograd import Tensor, as_tensor
+from .kernels import fused_cross_entropy, fused_masked_cross_entropy
 
 __all__ = [
     "cross_entropy",
@@ -15,14 +16,21 @@ __all__ = [
 ]
 
 
-def cross_entropy(logits, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+def cross_entropy(
+    logits, targets: np.ndarray, label_smoothing: float = 0.0, fused: bool = True
+) -> Tensor:
     """Mean cross-entropy between ``logits`` ``(N, C)`` and integer ``targets`` ``(N,)``.
 
     Parameters
     ----------
     label_smoothing:
         If non-zero, targets are smoothed toward the uniform distribution.
+    fused:
+        Compute as one tape node (bit-identical loss value, analytic
+        backward).  ``False`` runs the composed reference ops below.
     """
+    if fused:
+        return fused_cross_entropy(logits, targets, label_smoothing)
     logits = as_tensor(logits)
     targets = np.asarray(targets, dtype=np.int64)
     if logits.ndim != 2:
@@ -38,13 +46,18 @@ def cross_entropy(logits, targets: np.ndarray, label_smoothing: float = 0.0) -> 
     return -(log_probs * Tensor(one_hot)).sum(axis=-1).mean()
 
 
-def masked_cross_entropy(logits, targets: np.ndarray, mask: np.ndarray) -> Tensor:
+def masked_cross_entropy(
+    logits, targets: np.ndarray, mask: np.ndarray, fused: bool = True
+) -> Tensor:
     """Cross-entropy averaged over positions where ``mask`` is True.
 
     Used by masked token modeling: ``logits`` is ``(batch, seq, vocab)``,
     ``targets`` is ``(batch, seq)`` and ``mask`` marks the masked positions
-    whose original tokens must be predicted.
+    whose original tokens must be predicted.  ``fused=False`` selects the
+    composed reference path (gather + :func:`cross_entropy`).
     """
+    if fused:
+        return fused_masked_cross_entropy(logits, targets, mask)
     logits = as_tensor(logits)
     targets = np.asarray(targets, dtype=np.int64)
     mask = np.asarray(mask, dtype=bool)
@@ -56,7 +69,7 @@ def masked_cross_entropy(logits, targets: np.ndarray, mask: np.ndarray) -> Tenso
     flat_mask = mask.reshape(-1)
     indices = np.nonzero(flat_mask)[0]
     selected = flat_logits[indices]
-    return cross_entropy(selected, flat_targets[indices])
+    return cross_entropy(selected, flat_targets[indices], fused=False)
 
 
 def binary_cross_entropy_with_logits(logits, targets: np.ndarray) -> Tensor:

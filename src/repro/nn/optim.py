@@ -1,4 +1,19 @@
-"""Optimizers: SGD (with momentum), Adam, AdamW, plus gradient clipping."""
+"""Optimizers: SGD (with momentum), Adam, AdamW, plus gradient clipping.
+
+All optimizers default to in-place updates (``in_place=True``): parameter
+arrays, moment buffers, and a couple of preallocated per-parameter scratch
+buffers are mutated with ``out=`` ufuncs, so a steady-state training step
+performs no optimizer allocations.  The update arithmetic replays the exact
+evaluation order of the composed reference expressions (kept under
+``in_place=False`` for the differential harness), so both paths produce
+bit-identical parameters.
+
+Parameters that did not take part in the current loss are skipped: with
+``zero_grad(set_to_none=False)`` a parameter's gradient stays a zero-filled
+buffer between steps, and :attr:`repro.nn.Tensor.has_grad` distinguishes
+that from a real contribution (matching the ``grad is None`` semantics of
+the reference path).
+"""
 
 from __future__ import annotations
 
@@ -9,35 +24,46 @@ from .autograd import Tensor
 __all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
 
 
+def _active_grad(param: Tensor) -> np.ndarray | None:
+    """The parameter's gradient, or None if it did not receive one."""
+    grad = param.grad
+    if grad is None:
+        return None
+    if isinstance(param, Tensor) and not param.has_grad:
+        return None
+    return grad
+
+
 def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
     Returns the norm before clipping.
     """
-    grads = [p.grad for p in parameters if p.grad is not None]
+    grads = [g for g in (_active_grad(p) for p in parameters) if g is not None]
     if not grads:
         return 0.0
     total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
-        for p in parameters:
-            if p.grad is not None:
-                p.grad = p.grad * scale
+        for g in grads:
+            np.multiply(g, scale, out=g)
     return total
 
 
 class Optimizer:
     """Base optimizer holding a parameter list and a mutable learning rate."""
 
-    def __init__(self, parameters: list[Tensor], lr: float):
+    def __init__(self, parameters: list[Tensor], lr: float, in_place: bool = True):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.parameters = list(parameters)
         self.lr = lr
+        self.in_place = bool(in_place)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients; ``set_to_none=False`` keeps zero-filled buffers."""
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -52,17 +78,22 @@ class SGD(Optimizer):
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        in_place: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, in_place=in_place)
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._tmp = [np.empty_like(p.data) for p in self.parameters] if in_place else []
 
     def step(self) -> None:
+        if self.in_place:
+            self._step_in_place()
+            return
         for param, velocity in zip(self.parameters, self._velocity):
-            if param.grad is None:
+            grad = _active_grad(param)
+            if grad is None:
                 continue
-            grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
@@ -72,6 +103,22 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data = param.data - self.lr * update
+
+    def _step_in_place(self) -> None:
+        for param, velocity, tmp in zip(self.parameters, self._velocity, self._tmp):
+            grad = _active_grad(param)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=tmp)
+                np.add(grad, tmp, out=tmp)
+                grad = tmp
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            np.multiply(grad, self.lr, out=tmp)
+            np.subtract(param.data, tmp, out=param.data)
 
 
 class Adam(Optimizer):
@@ -84,23 +131,32 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        in_place: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, in_place=in_place)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        if in_place:
+            self._tmp = [np.empty_like(p.data) for p in self.parameters]
+            self._tmp2 = [np.empty_like(p.data) for p in self.parameters]
+        else:
+            self._tmp = self._tmp2 = []
 
     def step(self) -> None:
         self._step += 1
+        if self.in_place:
+            self._step_in_place()
+            return
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
         for param, m, v in zip(self.parameters, self._m, self._v):
-            if param.grad is None:
+            grad = _active_grad(param)
+            if grad is None:
                 continue
-            grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             m *= self.beta1
@@ -111,15 +167,51 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _step_in_place(self) -> None:
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, m, v, tmp, tmp2 in zip(
+            self.parameters, self._m, self._v, self._tmp, self._tmp2
+        ):
+            grad = _active_grad(param)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=tmp)
+                np.add(grad, tmp, out=tmp)
+                grad = tmp
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=tmp2)
+            m += tmp2
+            v *= self.beta2
+            np.multiply(grad, 1.0 - self.beta2, out=tmp2)
+            np.multiply(tmp2, grad, out=tmp2)
+            v += tmp2
+            # param -= (lr * m_hat) / (sqrt(v_hat) + eps), same evaluation
+            # order as the reference expression above.
+            np.divide(m, bias1, out=tmp2)
+            tmp2 *= self.lr
+            np.divide(v, bias2, out=tmp)
+            np.sqrt(tmp, out=tmp)
+            tmp += self.eps
+            np.divide(tmp2, tmp, out=tmp2)
+            np.subtract(param.data, tmp2, out=param.data)
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
 
     def step(self) -> None:
         if self.weight_decay:
-            for param in self.parameters:
-                if param.grad is not None:
-                    param.data = param.data - self.lr * self.weight_decay * param.data
+            if self.in_place:
+                for param, tmp in zip(self.parameters, self._tmp):
+                    if _active_grad(param) is not None:
+                        np.multiply(param.data, self.lr * self.weight_decay, out=tmp)
+                        np.subtract(param.data, tmp, out=param.data)
+            else:
+                for param in self.parameters:
+                    if _active_grad(param) is not None:
+                        param.data = param.data - self.lr * self.weight_decay * param.data
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super().step()

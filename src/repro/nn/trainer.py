@@ -8,7 +8,8 @@ from typing import Callable
 
 import numpy as np
 
-from .autograd import Tensor
+from .autograd import Tensor, tensor_allocations
+from .kernels import scratch_allocations
 from .module import Module
 from .optim import Optimizer, clip_grad_norm
 from .schedules import LRSchedule
@@ -27,6 +28,14 @@ class TrainingHistory:
     #: Real (non-padding) tokens consumed by the recorded train steps, when
     #: the batch closures advertise a ``num_tokens`` attribute.
     tokens_processed: int = 0
+    #: Per-step wall time in seconds, parallel to ``losses``.
+    step_wall_times: list[float] = dataclasses.field(default_factory=list)
+    #: Scratch-pool buffer allocations per step (fused-kernel pool misses).
+    #: Should reach 0 once every batch shape has warmed up; the E14
+    #: ``train_step`` gate asserts this no-allocation steady state.
+    step_scratch_allocations: list[int] = dataclasses.field(default_factory=list)
+    #: Tensor objects constructed per step (graph size; stable per shape).
+    step_tensor_allocations: list[int] = dataclasses.field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -60,17 +69,25 @@ class Trainer:
         optimizer: Optimizer,
         schedule: LRSchedule | None = None,
         max_grad_norm: float | None = 1.0,
+        preallocate_grads: bool = True,
     ):
         self.model = model
         self.optimizer = optimizer
         self.schedule = schedule
         self.max_grad_norm = max_grad_norm
+        #: Keep zero-filled gradient buffers alive between steps
+        #: (``zero_grad(set_to_none=False)``) so steady-state training does
+        #: not reallocate parameter gradients.
+        self.preallocate_grads = bool(preallocate_grads)
         self.history = TrainingHistory()
 
     def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
         """One optimization step; returns the scalar loss value."""
+        step_start = time.perf_counter()
+        scratch_before = scratch_allocations()
+        tensors_before = tensor_allocations()
         self.model.train()
-        self.optimizer.zero_grad()
+        self.optimizer.zero_grad(set_to_none=not self.preallocate_grads)
         loss = loss_fn()
         if not isinstance(loss, Tensor):
             raise TypeError("loss_fn must return a Tensor")
@@ -85,6 +102,9 @@ class Trainer:
         value = loss.item()
         self.history.losses.append(value)
         self.history.learning_rates.append(lr)
+        self.history.step_wall_times.append(time.perf_counter() - step_start)
+        self.history.step_scratch_allocations.append(scratch_allocations() - scratch_before)
+        self.history.step_tensor_allocations.append(tensor_allocations() - tensors_before)
         return value
 
     def fit(

@@ -44,12 +44,15 @@ class TransformerEncoderLayer(Module):
         d_ff: int,
         dropout: float = 0.1,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
-        self.attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
-        self.norm1 = LayerNorm(d_model)
-        self.norm2 = LayerNorm(d_model)
+        self.attention = MultiHeadAttention(
+            d_model, num_heads, dropout=dropout, rng=rng, fused=fused
+        )
+        self.norm1 = LayerNorm(d_model, fused=fused)
+        self.norm2 = LayerNorm(d_model, fused=fused)
         self.ff_in = Linear(d_model, d_ff, rng=rng)
         self.ff_out = Linear(d_ff, d_model, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
@@ -73,16 +76,19 @@ class TransformerEncoder(Module):
         d_ff: int,
         dropout: float = 0.1,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.layers = ModuleList(
             [
-                TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+                TransformerEncoderLayer(
+                    d_model, num_heads, d_ff, dropout=dropout, rng=rng, fused=fused
+                )
                 for _ in range(num_layers)
             ]
         )
-        self.final_norm = LayerNorm(d_model)
+        self.final_norm = LayerNorm(d_model, fused=fused)
 
     def forward(self, x, attention_mask: np.ndarray | None = None) -> Tensor:
         for layer in self.layers:

@@ -250,16 +250,10 @@ class InferenceEngine:
         width = max(len(record) for record in records)
         ids = np.stack([record.token_ids[:width] for record in records])
         mask = np.stack([record.attention_mask[:width] for record in records])
-        # A 1-row forward takes a different BLAS path than the same row
-        # inside a >=2-row batch (gemv-shaped kernels, last-ulp drift).  Run
-        # singletons as a duplicated pair and keep row 0: every row's logits
-        # are then a function of its own tokens and true length only, never
-        # of how the stream happened to fill the bucket — the invariance the
-        # fabric's bit-identical multiset contract rests on.
-        lone = len(records) == 1
-        if lone:
-            ids = np.concatenate([ids, ids])
-            mask = np.concatenate([mask, mask])
+        # Batch invariance (a lone row's logits matching the same row inside
+        # any batch) is guaranteed by the classifier's eval fast path, which
+        # runs singleton chunks as a duplicated pair at the kernel layer —
+        # the engine no longer needs to duplicate rows itself.
         # Exact-length buckets carry no padding, so attention needs no mask
         # at all — skipping it is bit-identical and skips the (batch, heads,
         # seq, seq) mask temporaries, the forward's largest arrays.
@@ -272,8 +266,6 @@ class InferenceEngine:
             logits = self.classifier.predict_logits(
                 ids, None if mask.all() else mask, batch_size=len(ids)
             )
-        if lone:
-            logits = logits[:1]
         self.report.observe_batch(len(records))
         done = self.report.mark_submit()
         predictions = []

@@ -8,11 +8,15 @@ cross-entropy with a padding mask) against central differences.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.nn.autograd import Tensor
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.kernels import ScratchPool, fused_attention, fused_layer_norm
 from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.optim import SGD, Adam
 from repro.nn.losses import cross_entropy, masked_cross_entropy
 
 
@@ -132,6 +136,133 @@ class TestLossGradients:
         check_gradients(
             lambda x: cross_entropy(x, targets, label_smoothing=0.1), logits
         )
+
+
+class TestFusedKernelGradients:
+    """Numeric gradcheck of the analytic single-pass VJPs in repro.nn.kernels."""
+
+    def test_fused_layer_norm_all_inputs(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(2, 3, 5))
+        gamma = rng.normal(size=(5,)) + 1.0
+        beta = rng.normal(size=(5,))
+        check_gradients(
+            lambda xt, gt, bt: (
+                fused_layer_norm(xt, gt, bt, 1e-5, ScratchPool()) ** 2
+            ).sum(),
+            x, gamma, beta, atol=1e-5, rtol=1e-3,
+        )
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_fused_attention_all_inputs(self, masked):
+        rng = np.random.default_rng(11)
+        b, s, d, h = 2, 4, 6, 2
+        x = rng.normal(size=(b, s, d))
+        weights = [rng.normal(size=(d, d)) * 0.3 for _ in range(3)]
+        biases = [rng.normal(size=(d,)) * 0.1 for _ in range(3)]
+        mask = None
+        if masked:
+            valid = np.ones((b, s), dtype=bool)
+            valid[0, 2:] = False
+            mask = ~valid[:, None, None, :]
+
+        def loss(xt, wq, bq, wk, bk, wv, bv):
+            out, _ = fused_attention(xt, wq, bq, wk, bk, wv, bv, h, mask, ScratchPool())
+            return (out ** 2).sum()
+
+        check_gradients(
+            loss, x, weights[0], biases[0], weights[1], biases[1],
+            weights[2], biases[2], atol=1e-5, rtol=1e-3,
+        )
+
+    def test_fused_layer_norm_under_preallocated_grad_buffers(self):
+        """The in-place grad accumulation path matches numerics too."""
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(3, 4))
+        inp = Tensor(x, requires_grad=True)
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+
+        def run():
+            return (fused_layer_norm(inp, gamma, beta, 1e-5, ScratchPool()) ** 2).sum()
+
+        run().backward()
+        first = inp.grad.copy()
+        # Zero-fill (keep buffers), backward again: same values, same buffer.
+        for t in (inp, gamma, beta):
+            t.zero_grad(set_to_none=False)
+        buffer = inp.grad
+        run().backward()
+        assert inp.grad is buffer
+        np.testing.assert_allclose(inp.grad, first, atol=1e-12)
+
+
+class TestInPlaceOptimizerGradStep:
+    def test_in_place_sgd_applies_checked_gradient(self):
+        """End to end: gradcheck'd gradient -> in-place update == manual update."""
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(4, 3))
+        param = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        opt = SGD([param], lr=0.5, in_place=True)
+        before = param.data.copy()
+        opt.zero_grad(set_to_none=False)
+        ((Tensor(x) @ param) ** 2).sum().backward()
+
+        def value() -> float:
+            return float(((x @ param.data) ** 2).sum())
+
+        expected_grad = numerical_gradient(value, param.data)
+        np.testing.assert_allclose(param.grad, expected_grad, atol=1e-5, rtol=1e-4)
+        opt.step()
+        np.testing.assert_allclose(param.data, before - 0.5 * param.grad, atol=1e-12)
+
+    def test_stale_buffer_step_is_a_no_op(self):
+        """A zero-filled (stale) buffer must not advance Adam's state."""
+        param = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([param], lr=0.1, in_place=True)
+        opt.zero_grad(set_to_none=False)
+        param._add_grad(np.ones(3))
+        opt.step()
+        after_real_step = param.data.copy()
+        m_after = opt._m[0].copy()
+        opt.zero_grad(set_to_none=False)  # stale again, no backward this time
+        opt.step()
+        assert np.array_equal(param.data, after_real_step)
+        assert np.array_equal(opt._m[0], m_after)
+
+
+class TestGradModeThreadInteraction:
+    def test_worker_no_grad_does_not_leak_into_taping_thread(self):
+        """Fused kernels consult the per-thread grad mode (the PR 6 contract)."""
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(2, 3, 4))
+        layer = LayerNorm(4, fused=True)
+        inp = Tensor(x, requires_grad=True)
+        started = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def worker():
+            with no_grad():
+                started.set()
+                release.wait(timeout=5)
+                results["out"] = layer(Tensor(x, requires_grad=True))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        started.wait(timeout=5)
+        out = layer(inp)  # main thread tapes while the worker is in no_grad
+        release.set()
+        thread.join()
+        assert out.requires_grad
+        assert not results["out"].requires_grad
+        (out ** 2).sum().backward()
+
+        def value() -> float:
+            return float((layer(Tensor(x)).data ** 2).sum())
+
+        expected = numerical_gradient(value, x)
+        np.testing.assert_allclose(inp.grad, expected, atol=1e-5, rtol=1e-3)
 
 
 class TestLayerGradients:

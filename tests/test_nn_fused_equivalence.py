@@ -1,0 +1,433 @@
+"""Differential harness: fused kernels vs the composed reference paths.
+
+Every fused fast path in ``repro.nn`` keeps its composed reference
+implementation alive behind a flag (``fused=False`` on the layers and
+losses, ``in_place=False`` on the optimizers, ``predict_logits_reference``
+on the classifier).  This file drives both sides over the same inputs and
+pins the equivalence contract:
+
+* forwards and loss *values* are **bit-identical** (the fused forward
+  replays the composed NumPy op sequence exactly);
+* backwards are analytic single-pass VJPs — equal to the composed
+  gradients to ``assert_allclose`` tolerance (last-ulp association
+  differences only), so training curves stay loss-for-loss identical;
+* in-place optimizer updates are bit-identical to the reference update
+  expressions, state buffers included;
+* the tape-free eval forward is bit-identical to the module-graph loop
+  and makes a lone row's logits equal to the same row served in any batch
+  (the batch-invariance contract the serving engine relies on);
+* float32 models stay float32 end to end on the fused path;
+* steady-state training allocates no scratch buffers.
+
+Shapes deliberately cover 1-element, odd and power-of-two rows, singleton
+batches, and padded vs padding-free masks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import NetFMConfig
+from repro.core.finetuning import FinetuneConfig, SequenceClassifier
+from repro.core.model import NetFoundationModel
+from repro.core.pretraining import Pretrainer, PretrainingConfig
+from repro.nn import (
+    Adam,
+    AdamW,
+    SGD,
+    LayerNorm,
+    MultiHeadAttention,
+    Tensor,
+    Trainer,
+    cross_entropy,
+    masked_cross_entropy,
+    no_grad,
+)
+from repro.tokenize import Vocabulary
+
+SHAPES = [(1, 1, 4), (1, 7, 8), (2, 1, 8), (3, 5, 8), (4, 16, 16)]
+
+
+def random_mask(rng: np.random.Generator, batch: int, seq: int) -> np.ndarray:
+    """A padding mask with at least one valid position per row."""
+    mask = np.ones((batch, seq), dtype=bool)
+    for row in range(batch):
+        mask[row, rng.integers(1, seq + 1) :] = False
+    return mask
+
+
+def build_model_pair(fused_dropout: float = 0.0, **overrides):
+    """Two identically-initialized foundation models, fused and reference."""
+    kwargs = dict(
+        vocab_size=37, d_model=16, num_heads=2, num_layers=2, d_ff=32,
+        max_len=24, dropout=fused_dropout, seed=11,
+    )
+    kwargs.update(overrides)
+    fused = NetFoundationModel(NetFMConfig(fused=True, **kwargs))
+    reference = NetFoundationModel(NetFMConfig(fused=False, **kwargs))
+    return fused, reference
+
+
+class TestForwardBitIdentity:
+    @pytest.mark.parametrize("batch,seq,d", SHAPES)
+    def test_layer_norm_forward(self, batch, seq, d):
+        rng = np.random.default_rng(batch * 100 + seq)
+        x = rng.normal(size=(batch, seq, d))
+        fused = LayerNorm(d, fused=True)
+        reference = LayerNorm(d, fused=False)
+        out_fused = fused(Tensor(x, requires_grad=True))
+        out_ref = reference(Tensor(x, requires_grad=True))
+        assert np.array_equal(out_fused.data, out_ref.data)
+        with no_grad():
+            assert np.array_equal(fused(Tensor(x)).data, out_ref.data)
+
+    @pytest.mark.parametrize("batch,seq,d", SHAPES)
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_attention_forward(self, batch, seq, d, masked):
+        rng = np.random.default_rng(batch * 10 + seq + masked)
+        x = rng.normal(size=(batch, seq, d))
+        mask = random_mask(rng, batch, seq) if masked else None
+        fused = MultiHeadAttention(d, 2, rng=np.random.default_rng(0), fused=True)
+        reference = MultiHeadAttention(d, 2, rng=np.random.default_rng(0), fused=False)
+        fused.eval(), reference.eval()
+        out_fused = fused(Tensor(x, requires_grad=True), attention_mask=mask)
+        out_ref = reference(Tensor(x, requires_grad=True), attention_mask=mask)
+        assert np.array_equal(out_fused.data, out_ref.data)
+        assert np.array_equal(fused.last_attention, reference.last_attention)
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_model_logits(self, masked):
+        fused, reference = build_model_pair()
+        clf_fused = SequenceClassifier(fused, 4, FinetuneConfig(dropout=0.0))
+        clf_ref = SequenceClassifier(reference, 4, FinetuneConfig(dropout=0.0))
+        rng = np.random.default_rng(5)
+        for batch, seq in [(1, 6), (3, 9), (4, 16), (2, 1)]:
+            ids = rng.integers(0, 37, (batch, seq))
+            mask = random_mask(rng, batch, seq) if masked else None
+            lf = clf_fused.predict_logits(ids, mask)
+            lr = clf_ref.predict_logits(ids, mask)
+            if batch == 1:
+                # The fast path trades exact 1-row reproduction of the
+                # composed loop for batch invariance (see TestEvalFastPath).
+                np.testing.assert_allclose(lf, lr)
+            else:
+                assert np.array_equal(lf, lr)
+
+
+class TestLossEquivalence:
+    def test_cross_entropy_value_and_grad(self):
+        rng = np.random.default_rng(2)
+        for n, c in [(1, 2), (5, 7), (8, 16)]:
+            logits = rng.normal(size=(n, c))
+            targets = rng.integers(0, c, size=n)
+            tf, tr = Tensor(logits, requires_grad=True), Tensor(logits, requires_grad=True)
+            lf = cross_entropy(tf, targets, fused=True)
+            lr = cross_entropy(tr, targets, fused=False)
+            assert np.array_equal(lf.data, lr.data)
+            lf.backward(), lr.backward()
+            np.testing.assert_allclose(tf.grad, tr.grad, atol=1e-12)
+
+    def test_cross_entropy_label_smoothing(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(6, 5))
+        targets = rng.integers(0, 5, size=6)
+        tf, tr = Tensor(logits, requires_grad=True), Tensor(logits, requires_grad=True)
+        lf = cross_entropy(tf, targets, label_smoothing=0.1, fused=True)
+        lr = cross_entropy(tr, targets, label_smoothing=0.1, fused=False)
+        np.testing.assert_allclose(lf.data, lr.data, rtol=1e-12)
+        lf.backward(), lr.backward()
+        np.testing.assert_allclose(tf.grad, tr.grad, atol=1e-12)
+
+    def test_masked_cross_entropy_value_and_grad(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(3, 6, 9))
+        targets = rng.integers(0, 9, size=(3, 6))
+        mask = rng.random((3, 6)) < 0.4
+        mask[1, 2] = True
+        tf, tr = Tensor(logits, requires_grad=True), Tensor(logits, requires_grad=True)
+        lf = masked_cross_entropy(tf, targets, mask, fused=True)
+        lr = masked_cross_entropy(tr, targets, mask, fused=False)
+        assert np.array_equal(lf.data, lr.data)
+        lf.backward(), lr.backward()
+        np.testing.assert_allclose(tf.grad, tr.grad, atol=1e-12)
+
+    def test_masked_cross_entropy_empty_mask(self):
+        logits = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        mask = np.zeros((2, 3), dtype=bool)
+        for fused in (True, False):
+            loss = masked_cross_entropy(logits, np.zeros((2, 3), dtype=np.int64), mask, fused=fused)
+            assert float(loss.data) == 0.0
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("batch,seq,d", SHAPES)
+    def test_layer_norm_backward(self, batch, seq, d):
+        rng = np.random.default_rng(batch + seq)
+        x = rng.normal(size=(batch, seq, d))
+        grads = {}
+        for fused in (True, False):
+            layer = LayerNorm(d, fused=fused)
+            inp = Tensor(x, requires_grad=True)
+            (layer(inp) * layer(inp)).sum().backward()
+            grads[fused] = (inp.grad, layer.gamma.grad, layer.beta.grad)
+        for gf, gr in zip(grads[True], grads[False]):
+            np.testing.assert_allclose(gf, gr, atol=1e-10)
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_attention_backward(self, masked):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(3, 7, 8))
+        mask = random_mask(rng, 3, 7) if masked else None
+        grads = {}
+        for fused in (True, False):
+            layer = MultiHeadAttention(8, 2, rng=np.random.default_rng(1), fused=fused)
+            layer.eval()
+            inp = Tensor(x, requires_grad=True)
+            (layer(inp, attention_mask=mask) ** 2).sum().backward()
+            grads[fused] = [inp.grad] + [p.grad for p in layer.parameters()]
+        for gf, gr in zip(grads[True], grads[False]):
+            np.testing.assert_allclose(gf, gr, atol=1e-10)
+
+
+class TestTrainingEquivalence:
+    def _fit(self, fused: bool) -> tuple[list, SequenceClassifier]:
+        kwargs = dict(
+            vocab_size=23, d_model=12, num_heads=2, num_layers=1, d_ff=24,
+            max_len=12, dropout=0.0, seed=2,
+        )
+        model = NetFoundationModel(NetFMConfig(fused=fused, **kwargs))
+        clf = SequenceClassifier(
+            model, 3, FinetuneConfig(epochs=2, batch_size=4, dropout=0.0, seed=0)
+        )
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 23, (12, 10))
+        mask = np.ones((12, 10), dtype=bool)
+        labels = rng.integers(0, 3, 12)
+        history = clf.fit(ids, mask, labels)
+        return history.losses, clf
+
+    def test_finetune_curves_loss_for_loss(self):
+        losses_fused, clf_fused = self._fit(True)
+        losses_ref, clf_ref = self._fit(False)
+        np.testing.assert_allclose(losses_fused, losses_ref)
+        for pf, pr in zip(clf_fused.parameters(), clf_ref.parameters()):
+            np.testing.assert_allclose(pf.data, pr.data, atol=1e-10)
+
+    def test_pretrain_curves_loss_for_loss(self):
+        vocabulary = Vocabulary(["a", "b", "c", "d"])
+        losses = {}
+        for fused in (True, False):
+            config = NetFMConfig(
+                vocab_size=len(vocabulary), d_model=12, num_heads=2, num_layers=1,
+                d_ff=24, max_len=10, dropout=0.0, seed=4, fused=fused,
+            )
+            rng = np.random.default_rng(6)
+            ids = rng.integers(0, len(vocabulary), (10, 8))
+            mask = np.ones((10, 8), dtype=bool)
+            pretrainer = Pretrainer(
+                NetFoundationModel(config), vocabulary,
+                PretrainingConfig(epochs=2, batch_size=5, seed=0),
+            )
+            losses[fused] = pretrainer.pretrain_encoded(ids, mask).losses
+        np.testing.assert_allclose(losses[True], losses[False])
+
+
+class TestOptimizerStateEquivalence:
+    CONFIGS = [
+        (SGD, dict(lr=0.1)),
+        (SGD, dict(lr=0.1, momentum=0.9, weight_decay=0.01)),
+        (Adam, dict(lr=1e-2)),
+        (Adam, dict(lr=1e-2, weight_decay=0.01)),
+        (AdamW, dict(lr=1e-2, weight_decay=0.05)),
+    ]
+
+    @pytest.mark.parametrize("cls,kwargs", CONFIGS)
+    def test_in_place_updates_bit_identical(self, cls, kwargs):
+        rng = np.random.default_rng(7)
+        shapes = [(4, 3), (3,), (2, 2)]
+        datas = [rng.normal(size=s) for s in shapes]
+        grads = [[rng.normal(size=s) for s in shapes] for _ in range(5)]
+
+        def run(in_place):
+            params = [Tensor(d.copy(), requires_grad=True) for d in datas]
+            opt = cls(params, in_place=in_place, **kwargs)
+            for step_grads in grads:
+                opt.zero_grad(set_to_none=not in_place)
+                for p, g in zip(params, step_grads):
+                    p._add_grad(g.copy())
+                opt.step()
+            return params, opt
+
+        params_ip, opt_ip = run(True)
+        params_ref, opt_ref = run(False)
+        for pi, pr in zip(params_ip, params_ref):
+            assert np.array_equal(pi.data, pr.data)
+        if isinstance(opt_ip, Adam):
+            for mi, mr in zip(opt_ip._m, opt_ref._m):
+                assert np.array_equal(mi, mr)
+            for vi, vr in zip(opt_ip._v, opt_ref._v):
+                assert np.array_equal(vi, vr)
+
+    def test_untouched_parameter_skipped_with_preallocated_buffers(self):
+        p_active = Tensor(np.ones(3), requires_grad=True)
+        p_idle = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([p_active, p_idle], lr=0.1, in_place=True)
+        before = p_idle.data.copy()
+        for _ in range(2):
+            opt.zero_grad(set_to_none=False)
+            p_active._add_grad(np.ones(3))
+            opt.step()
+        assert np.array_equal(p_idle.data, before)
+        assert not np.array_equal(p_active.data, np.ones(3))
+
+    def test_grad_buffers_reused_between_steps(self):
+        p = Tensor(np.ones((2, 2)), requires_grad=True)
+        opt = SGD([p], lr=0.1, in_place=True)
+        opt.zero_grad(set_to_none=False)
+        p._add_grad(np.ones((2, 2)))
+        opt.step()
+        buffer = p.grad
+        opt.zero_grad(set_to_none=False)
+        p._add_grad(np.ones((2, 2)))
+        assert p.grad is buffer
+
+
+class TestEvalFastPath:
+    def _classifier(self, seed=0):
+        model, _ = build_model_pair(seed=seed)
+        return SequenceClassifier(model, 4, FinetuneConfig(dropout=0.0))
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_bit_identical_to_module_loop(self, masked):
+        clf = self._classifier()
+        rng = np.random.default_rng(1)
+        for batch, seq in [(2, 5), (3, 1), (5, 13), (4, 16)]:
+            ids = rng.integers(0, 37, (batch, seq))
+            mask = random_mask(rng, batch, seq) if masked else None
+            assert np.array_equal(
+                clf.predict_logits(ids, mask),
+                clf.predict_logits_reference(ids, mask),
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=6),
+        seq=st.integers(min_value=1, max_value=12),
+        chunk=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_singleton_matches_in_batch(self, batch, seq, chunk, seed):
+        """A row's served logits never depend on batch packing or chunking."""
+        clf = self._classifier()
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 37, (batch, seq))
+        mask = random_mask(rng, batch, seq)
+        full = clf.predict_logits(ids, mask)
+        chunked = clf.predict_logits(ids, mask, batch_size=chunk)
+        assert np.array_equal(full, chunked)
+        for row in range(batch):
+            lone = clf.predict_logits(ids[row : row + 1], mask[row : row + 1])
+            assert np.array_equal(lone[0], full[row])
+
+    def test_attention_maps_match_module_loop(self):
+        clf = self._classifier()
+        rng = np.random.default_rng(8)
+        ids = rng.integers(0, 37, (3, 7))
+        mask = random_mask(rng, 3, 7)
+        clf.predict_logits(ids, mask)
+        fast_maps = [m.copy() for m in clf.model.attention_maps()]
+        clf.predict_logits_reference(ids, mask)
+        ref_maps = clf.model.attention_maps()
+        assert len(fast_maps) == len(ref_maps) == clf.model.config.num_layers
+        for fm, rm in zip(fast_maps, ref_maps):
+            assert np.array_equal(fm, rm)
+
+    def test_weight_updates_are_picked_up(self):
+        clf = self._classifier()
+        ids = np.arange(8).reshape(2, 4)
+        before = clf.predict_logits(ids, None)
+        clf.head.weight.data += 0.5
+        after = clf.predict_logits(ids, None)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, clf.predict_logits_reference(ids, None))
+
+
+class TestFloat32Discipline:
+    def _cast(self, module, dtype):
+        for p in module.parameters():
+            p.data = p.data.astype(dtype)
+        return module
+
+    def test_fused_forward_stays_float32(self):
+        model, _ = build_model_pair()
+        clf = SequenceClassifier(model, 4, FinetuneConfig(dropout=0.0))
+        self._cast(clf, np.float32)
+        ids = np.arange(12).reshape(3, 4)
+        logits = clf.predict_logits(ids, np.ones((3, 4), dtype=bool))
+        assert logits.dtype == np.float32
+
+    def test_fused_float32_tracks_float64(self):
+        ids = np.arange(12).reshape(3, 4)
+        mask = np.ones((3, 4), dtype=bool)
+        model64, _ = build_model_pair()
+        clf64 = SequenceClassifier(model64, 4, FinetuneConfig(dropout=0.0))
+        logits64 = clf64.predict_logits(ids, mask)
+        model32, _ = build_model_pair()
+        clf32 = self._cast(
+            SequenceClassifier(model32, 4, FinetuneConfig(dropout=0.0)), np.float32
+        )
+        logits32 = clf32.predict_logits(ids, mask)
+        np.testing.assert_allclose(logits32, logits64, rtol=1e-3, atol=1e-4)
+
+    def test_fused_loss_stays_float32(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(4, 5)).astype(np.float32), requires_grad=True)
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64), fused=True)
+        assert loss.data.dtype == np.float32
+        loss.backward()
+        assert logits.grad.dtype == np.float32
+
+
+class TestAllocationDiscipline:
+    def test_steady_state_training_allocates_no_scratch(self):
+        model, _ = build_model_pair()
+        clf = SequenceClassifier(model, 3, FinetuneConfig(dropout=0.0))
+        optimizer = Adam(clf.parameters(), lr=1e-3)
+        trainer = Trainer(clf, optimizer)
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 37, (4, 8))
+        mask = np.ones((4, 8), dtype=bool)
+        labels = rng.integers(0, 3, 4)
+        for _ in range(4):
+            trainer.train_step(lambda: cross_entropy(clf(ids, mask), labels))
+        history = trainer.history
+        assert len(history.step_wall_times) == len(history.losses) == 4
+        assert all(t > 0 for t in history.step_wall_times)
+        # After the first step every pooled shape exists; later same-shape
+        # steps must not miss the pool.
+        assert history.step_scratch_allocations[1:] == [0, 0, 0]
+        # The taped graph has a fixed size per batch shape.
+        assert len(set(history.step_tensor_allocations[1:])) == 1
+
+    def test_grad_mode_is_thread_local_for_fused_kernels(self):
+        layer = LayerNorm(4, fused=True)
+        x = rng_x = np.random.default_rng(0).normal(size=(2, 3, 4))
+        results = {}
+
+        def eval_worker():
+            with no_grad():
+                results["eval"] = layer(Tensor(rng_x, requires_grad=True))
+
+        inp = Tensor(x, requires_grad=True)
+        out = layer(inp)  # taped in the main thread
+        worker = threading.Thread(target=eval_worker)
+        worker.start()
+        worker.join()
+        assert not results["eval"].requires_grad
+        out.sum().backward()
+        assert inp.grad is not None and layer.gamma.grad is not None
