@@ -515,6 +515,7 @@ def _serving_times() -> dict[str, float]:
         "p99_ms": summary["p99_ms"],
         "cache_hit_rate": summary["cache_hit_rate"],
         "mean_batch": summary["mean_batch"],
+        "resilience": summary["resilience"],
     }
 
 
@@ -556,6 +557,7 @@ def measure_serving() -> dict[str, float]:
         "p99_ms": times["p99_ms"],
         "cache_hit_rate": times["cache_hit_rate"],
         "mean_batch": times["mean_batch"],
+        "resilience": times["resilience"],
     }
 
 

@@ -61,9 +61,27 @@ __all__ = [
     "write_pcap_columns",
     "read_pcap_columns",
     "LazyDecodeColumns",
+    "PcapReadError",
     "PCAP_MAGIC",
     "LINKTYPE_ETHERNET",
 ]
+
+
+@dataclasses.dataclass(frozen=True)
+class PcapReadError:
+    """One record :func:`read_pcap_columns` skipped in tolerant mode.
+
+    ``kind`` is ``"truncated-record"`` (payload bytes cut short),
+    ``"truncated-header"`` (a 1–15 byte partial record header at EOF) or
+    ``"bad-record"`` (a record the per-packet fallback parser rejected);
+    ``index`` is the record's position in the file (-1 for a trailing
+    partial header), ``offset`` its record-header byte offset.
+    """
+
+    kind: str
+    index: int
+    offset: int
+    message: str
 
 PCAP_MAGIC = 0xA1B2C3D4
 LINKTYPE_ETHERNET = 1
@@ -401,7 +419,10 @@ class LazyDecodeColumns(PacketColumns):
 
 
 def read_pcap_columns(
-    path: str | Path, decode_cache: dict | None = None, lazy_decode: bool = False
+    path: str | Path,
+    decode_cache: dict | None = None,
+    lazy_decode: bool = False,
+    errors: str = "strict",
 ) -> PacketColumns:
     """Parse an Ethernet pcap straight into :class:`PacketColumns`.
 
@@ -435,7 +456,23 @@ def read_pcap_columns(
     columns materialize on first access — so byte-level-only consumers get a
     completely decode-free parse, and the materialized values are
     bit-identical to an eager read.
+
+    ``errors`` selects the malformed-capture behavior.  ``"strict"`` (the
+    default) raises exactly as before.  ``"quarantine"`` returns a
+    ``(columns, error_records)`` tuple instead: a truncated tail (a record
+    whose payload bytes are cut short, or a 1–15 byte partial record header
+    at EOF) stops the walk after the last complete record, and rows the
+    per-packet fallback parser rejects are dropped — each skipped record
+    becomes a :class:`PcapReadError` with its kind, record index and byte
+    offset.  The returned columns are bit-identical to a strict read of the
+    clean prefix with the bad records excised.
     """
+    if errors not in ("strict", "quarantine"):
+        raise ValueError(
+            f"errors must be 'strict' or 'quarantine', got {errors!r}"
+        )
+    tolerant = errors == "quarantine"
+    error_records: list[PcapReadError] = []
     path = Path(path)
     raw = path.read_bytes()
     if len(raw) < _GLOBAL_HEADER.size:
@@ -461,11 +498,31 @@ def read_pcap_columns(
         captured = from_bytes(raw[pos + 8 : pos + 12], byteorder)
         pos += 16
         if pos + captured > end:
+            if tolerant:
+                # The file ends inside this record's payload; everything
+                # before it is a clean prefix, so stop the walk here.
+                error_records.append(PcapReadError(
+                    kind="truncated-record",
+                    index=len(starts),
+                    offset=pos - 16,
+                    message=f"{path} truncated mid-record",
+                ))
+                pos -= 16
+                break
             raise ValueError(f"{path} truncated mid-record")
         append(pos)
         pos += captured
     if pos != end:
-        raise ValueError(f"{path} truncated record header")
+        if tolerant:
+            if not error_records:
+                error_records.append(PcapReadError(
+                    kind="truncated-header",
+                    index=-1,
+                    offset=pos,
+                    message=f"{path} truncated record header",
+                ))
+        else:
+            raise ValueError(f"{path} truncated record header")
 
     n = len(starts)
     buf = np.frombuffer(raw, dtype=np.uint8)
@@ -521,13 +578,34 @@ def read_pcap_columns(
     vec = have_ip & (version == 4) & (cap >= need)
 
     fb_rows = np.flatnonzero(~vec)
-    fb_packets = [
-        parse_packet(
-            raw[starts[i] : starts[i] + int(cap[i])],
-            timestamp=float(timestamps[i]),
-        )
-        for i in fb_rows.tolist()
-    ]
+    bad_rows: list[int] = []
+    if tolerant:
+        fb_packets = []
+        fb_kept: list[int] = []
+        for i in fb_rows.tolist():
+            data = raw[starts[i] : starts[i] + int(cap[i])]
+            try:
+                packet = parse_packet(data, timestamp=float(timestamps[i]))
+            except Exception as error:
+                error_records.append(PcapReadError(
+                    kind="bad-record",
+                    index=i,
+                    offset=starts[i] - 16,
+                    message=str(error),
+                ))
+                bad_rows.append(i)
+                continue
+            fb_packets.append(packet)
+            fb_kept.append(i)
+        fb_rows = np.asarray(fb_kept, dtype=np.int64)
+    else:
+        fb_packets = [
+            parse_packet(
+                raw[starts[i] : starts[i] + int(cap[i])],
+                timestamp=float(timestamps[i]),
+            )
+            for i in fb_rows.tolist()
+        ]
 
     v = np.flatnonzero(vec)
     sv = start[v]
@@ -692,5 +770,15 @@ def read_pcap_columns(
             columns["spelling_overrides"][(field_name, int(fb_rows[row]))] = spelling
 
     if lazy_decode:
-        return LazyDecodeColumns(**columns)._attach_lazy(branch, cache)
-    return PacketColumns(**columns)
+        result = LazyDecodeColumns(**columns)._attach_lazy(branch, cache)
+    else:
+        result = PacketColumns(**columns)
+    if bad_rows:
+        # Excise the rejected rows; select() keeps any lazy decode state.
+        keep = np.setdiff1d(
+            np.arange(n, dtype=np.int64), np.asarray(bad_rows, dtype=np.int64)
+        )
+        result = result[keep]
+    if tolerant:
+        return result, error_records
+    return result

@@ -19,7 +19,15 @@ substrate into an *online* engine, the system shape the paper's
   :class:`PredictionCache` keyed by the encoded context and bounded-queue
   backpressure;
 * :mod:`repro.serve.report` — :class:`ServingReport`, the
-  throughput/latency/cache scorecard published in ``BENCH_e14.json``.
+  throughput/latency/cache scorecard published in ``BENCH_e14.json``;
+* :mod:`repro.serve.faults` — :class:`FaultPlan`, the deterministic seeded
+  fault injector (corrupt chunks, stage raises, stalls, NaN logits) the
+  chaos harness drives;
+* :mod:`repro.serve.resilience` — per-stage error policies
+  (``fail_fast``/``quarantine``/``degrade``), the :class:`DeadLetterQueue`
+  with full drop provenance, the :class:`WorkerSupervisor` (bounded
+  restarts, backoff, in-flight replay), the stage :class:`Watchdog`, and
+  assembler checkpoint/restore helpers.
 
 ``serve_stream(source, assembler, engine)`` wires the three stages into a
 single generator of :class:`FlowPrediction` objects;
@@ -34,7 +42,33 @@ of records and logits bit-identical to the single-threaded path.  See
 from .assembler import FlowRecord, ShardedAssembler, StreamingFlowAssembler
 from .engine import FlowPrediction, InferenceEngine, PredictionCache, serve_stream
 from .fabric import ServingFabric
+from .faults import (
+    FAULT_SITES,
+    AssemblyFaultError,
+    EngineCrashError,
+    FaultPlan,
+    FaultSpec,
+    ServingFaultError,
+    SourceFaultError,
+    wrap_classifier,
+    wrap_source,
+)
 from .report import ServingReport
+from .resilience import (
+    POLICIES,
+    AssemblyGuard,
+    ChunkIntegrityError,
+    DeadLetter,
+    DeadLetterQueue,
+    LogitGuard,
+    PoisonedLogitsError,
+    StageStallError,
+    Watchdog,
+    WorkerSupervisor,
+    load_checkpoint,
+    resilient_serve,
+    save_checkpoint,
+)
 from .stream import (
     ColumnsSource,
     PacketSource,
@@ -62,4 +96,28 @@ __all__ = [
     "InferenceEngine",
     "ServingReport",
     "serve_stream",
+    # Fault injection
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "ServingFaultError",
+    "SourceFaultError",
+    "AssemblyFaultError",
+    "EngineCrashError",
+    "wrap_source",
+    "wrap_classifier",
+    # Resilience
+    "POLICIES",
+    "AssemblyGuard",
+    "LogitGuard",
+    "ChunkIntegrityError",
+    "PoisonedLogitsError",
+    "StageStallError",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "WorkerSupervisor",
+    "Watchdog",
+    "resilient_serve",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

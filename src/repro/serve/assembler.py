@@ -159,6 +159,11 @@ class StreamingFlowAssembler:
     # ------------------------------------------------------------------
     # Grouping keys
     # ------------------------------------------------------------------
+    def row_keys(self, chunk: PacketColumns) -> list:
+        """Public per-row group keys (resilience policies need them to
+        attribute a failed chunk's rows to flows)."""
+        return self._row_keys(chunk)
+
     def _row_keys(self, chunk: PacketColumns) -> list:
         """Per-row group keys, identical to the builder's offline grouping.
 
@@ -255,6 +260,113 @@ class StreamingFlowAssembler:
                 self._flows.items(), key=lambda item: item[1].seq
             )
         ]
+
+    # ------------------------------------------------------------------
+    # Resilience hooks
+    # ------------------------------------------------------------------
+    def pending_generation(self, key: object) -> int:
+        """The generation the *next* record of ``key`` would carry.
+
+        The open flow's generation when one is buffered, else the next
+        generation counter.  Quarantine policies record this before
+        :meth:`discard_flow` so they can match exactly the sync-path records
+        the poisoned flow key would have produced from here on.
+        """
+        state = self._flows.get(key)
+        if state is not None:
+            return state.generation
+        return self._next_generation.get(key, 0)
+
+    def discard_flow(self, key: object) -> int:
+        """Drop ``key``'s open buffer without emitting a record.
+
+        Returns the number of buffered packets discarded (0 when the flow
+        was not open).  The generation counter is bumped exactly as a close
+        would bump it, so a later reappearance of the key starts a fresh
+        generation — the same numbering the sync path uses.
+        """
+        state = self._flows.pop(key, None)
+        if state is None:
+            return 0
+        self._next_generation[key] = state.generation + 1
+        return state.count
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    CHECKPOINT_FORMAT = "repro.serve.assembler/v1"
+
+    def checkpoint(self) -> dict:
+        """A picklable snapshot of all open-flow state and the stream clock.
+
+        Captures everything :meth:`restore` needs to resume bit-identically:
+        the clock, the arrival counter, per-key next-generation numbers, and
+        each open flow's buffered rows (concatenated into one
+        :class:`PacketColumns`) plus its counters.  The tokenizer, vocabulary
+        and builder are configuration, not stream state — the restoring side
+        supplies its own (equal) instances.
+        """
+        flows = []
+        for key, state in sorted(self._flows.items(), key=lambda i: i[1].seq):
+            columns = None
+            if state.parts:
+                columns = (
+                    state.parts[0]
+                    if len(state.parts) == 1
+                    else type(state.parts[0]).concat(state.parts)
+                )
+            flows.append({
+                "key": key,
+                "generation": state.generation,
+                "seq": state.seq,
+                "kept": state.kept,
+                "count": state.count,
+                "start": state.start,
+                "last": state.last,
+                "columns": columns,
+            })
+        return {
+            "format": self.CHECKPOINT_FORMAT,
+            "version": 1,
+            "idle_timeout": self.idle_timeout,
+            "active_timeout": self.active_timeout,
+            "clock": self._clock,
+            "seq": self._seq,
+            "next_generation": dict(self._next_generation),
+            "flows": flows,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` snapshot, replacing current stream state.
+
+        Raises ``ValueError`` on a foreign format or mismatched timeout
+        configuration (a checkpoint only resumes correctly into an assembler
+        with the same closure rules).
+        """
+        if state.get("format") != self.CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"not an assembler checkpoint: {state.get('format')!r}"
+            )
+        for knob in ("idle_timeout", "active_timeout"):
+            if float(state[knob]) != float(getattr(self, knob)):
+                raise ValueError(
+                    f"checkpoint {knob}={state[knob]} does not match "
+                    f"assembler {knob}={getattr(self, knob)}"
+                )
+        self._clock = float(state["clock"])
+        self._seq = int(state["seq"])
+        self._next_generation = dict(state["next_generation"])
+        self._flows = {}
+        for flow in state["flows"]:
+            self._flows[flow["key"]] = _FlowState(
+                generation=int(flow["generation"]),
+                seq=int(flow["seq"]),
+                parts=[flow["columns"]] if flow["columns"] is not None else [],
+                kept=int(flow["kept"]),
+                count=int(flow["count"]),
+                start=float(flow["start"]),
+                last=float(flow["last"]),
+            )
 
     # ------------------------------------------------------------------
     # Flow state
@@ -483,12 +595,68 @@ class ShardedAssembler:
             closed.extend(assembler.advance_clock(clock))
         return self._merged(closed)
 
+    def advance_clock(self, t: float) -> list[FlowRecord]:
+        """Broadcast the stream clock to every shard; merge the evictions.
+
+        Lets a resilience policy advance time past a failed chunk (whose
+        rows were lost) so the surviving flows' idle evictions stay in step
+        with the single-assembler sync path.
+        """
+        closed: list[FlowRecord] = []
+        for assembler in self.assemblers:
+            closed.extend(assembler.advance_clock(t))
+        return self._merged(closed)
+
     def flush(self) -> list[FlowRecord]:
         """Close and emit every remaining open flow on every shard."""
         closed: list[FlowRecord] = []
         for assembler in self.assemblers:
             closed.extend(assembler.flush())
         return self._merged(closed)
+
+    # ------------------------------------------------------------------
+    # Resilience hooks
+    # ------------------------------------------------------------------
+    def row_keys(self, chunk: PacketColumns) -> list:
+        """Per-row flow keys, identical to any shard's own grouping."""
+        return self.assemblers[0].row_keys(chunk)
+
+    def pending_generation(self, key: object) -> int:
+        """The generation ``key``'s next record would carry (its shard's)."""
+        # Only the owning shard has state for the key; the rest report 0.
+        return max(a.pending_generation(key) for a in self.assemblers)
+
+    def discard_flow(self, key: object) -> int:
+        """Drop ``key``'s open buffer on whichever shard holds it."""
+        return sum(a.discard_flow(key) for a in self.assemblers)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    CHECKPOINT_FORMAT = "repro.serve.sharded-assembler/v1"
+
+    def checkpoint(self) -> dict:
+        """Nested snapshot: one per-shard assembler checkpoint each."""
+        return {
+            "format": self.CHECKPOINT_FORMAT,
+            "version": 1,
+            "shards": [a.checkpoint() for a in self.assemblers],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` snapshot into matching shards."""
+        if state.get("format") != self.CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"not a sharded-assembler checkpoint: {state.get('format')!r}"
+            )
+        shards = state["shards"]
+        if len(shards) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {len(shards)} shards, assembler has "
+                f"{self.num_shards}"
+            )
+        for assembler, shard_state in zip(self.assemblers, shards):
+            assembler.restore(shard_state)
 
     @staticmethod
     def _merged(closed: list[FlowRecord]) -> list[FlowRecord]:

@@ -86,6 +86,8 @@ class FlowPrediction:
     logits: np.ndarray
     cached: bool
     latency: float  # seconds from submit to completion
+    #: True when the logits are a degrade-policy fallback, not model output.
+    degraded: bool = False
 
     @property
     def class_id(self) -> int:
@@ -156,6 +158,11 @@ class InferenceEngine:
         # stack's eval/train mode is shared state — the lock serializes the
         # forwards so a worker can never flip a sibling mid-batch.
         self.lock = lock
+        # Optional output guard (resilience): called as guard(record, row)
+        # for every non-finite logits row before the batch is emitted;
+        # returns "drop"/"degrade" or raises, per policy.
+        self.output_guard = None
+        self._completed_backlog: list[FlowPrediction] = []
         self._buckets: dict[int, list[tuple[FlowRecord, float]]] = {}
         self._pending = 0
         self.report = ServingReport()
@@ -224,19 +231,59 @@ class InferenceEngine:
         queue = self._buckets.setdefault(bucket, [])
         queue.append((record, submitted))
         self._pending += 1
-        if len(queue) >= self.batch_size:
-            completed.extend(self._run_bucket(bucket))
-        while self._pending > self.max_pending:
-            fullest = max(self._buckets, key=lambda b: len(self._buckets[b]))
-            completed.extend(self._run_bucket(fullest))
+        try:
+            if len(queue) >= self.batch_size:
+                completed.extend(self._run_bucket(bucket))
+            while self._pending > self.max_pending:
+                fullest = max(self._buckets, key=lambda b: len(self._buckets[b]))
+                completed.extend(self._run_bucket(fullest))
+        except BaseException:
+            # Earlier buckets in this call already emitted (observed, cached)
+            # but their predictions were never returned; park them so the
+            # supervisor's recovery can still deliver each exactly once.
+            self._completed_backlog.extend(completed)
+            raise
         return completed
 
     def flush(self) -> list[FlowPrediction]:
         """Run every pending bucket (shortest first); return the predictions."""
         completed: list[FlowPrediction] = []
-        for bucket in sorted(self._buckets):
-            completed.extend(self._run_bucket(bucket))
+        try:
+            for bucket in sorted(self._buckets):
+                completed.extend(self._run_bucket(bucket))
+        except BaseException:
+            self._completed_backlog.extend(completed)
+            raise
         return completed
+
+    def drain_completed(self) -> list[FlowPrediction]:
+        """Predictions completed inside a call that then raised.
+
+        A multi-bucket ``submit``/``flush`` may crash after some buckets
+        already ran; those buckets' predictions were observed and cached but
+        never returned to the caller.  They are parked here — the worker
+        supervisor collects them during recovery so every record is still
+        served exactly once.
+        """
+        backlog = self._completed_backlog
+        self._completed_backlog = []
+        return backlog
+
+    def drain_pending(self) -> list[FlowRecord]:
+        """Remove and return every pending record without running the model.
+
+        The worker supervisor's replay path: after a forward crash the
+        bucket state is intact (see :meth:`_run_bucket`), so draining yields
+        exactly the in-flight records, which a fresh engine can re-submit —
+        no record lost, none served twice.  Deterministic order (bucket
+        width, then submission order within the bucket).
+        """
+        pending: list[FlowRecord] = []
+        for bucket in sorted(self._buckets):
+            pending.extend(record for record, _ in self._buckets[bucket])
+        self._buckets.clear()
+        self._pending = 0
+        return pending
 
     # ------------------------------------------------------------------
     # Internals
@@ -245,7 +292,6 @@ class InferenceEngine:
         queue = self._buckets.pop(bucket, [])
         if not queue:
             return []
-        self._pending -= len(queue)
         records = [record for record, _ in queue]
         width = max(len(record) for record in records)
         ids = np.stack([record.token_ids[:width] for record in records])
@@ -257,30 +303,69 @@ class InferenceEngine:
         # Exact-length buckets carry no padding, so attention needs no mask
         # at all — skipping it is bit-identical and skips the (batch, heads,
         # seq, seq) mask temporaries, the forward's largest arrays.
-        if self.lock is not None:
-            with self.lock:
+        try:
+            if self.lock is not None:
+                with self.lock:
+                    logits = self.classifier.predict_logits(
+                        ids, None if mask.all() else mask, batch_size=len(ids)
+                    )
+            else:
                 logits = self.classifier.predict_logits(
                     ids, None if mask.all() else mask, batch_size=len(ids)
                 )
-        else:
-            logits = self.classifier.predict_logits(
-                ids, None if mask.all() else mask, batch_size=len(ids)
-            )
+            # Poisoned-output scan happens before any row is cached or
+            # emitted, so a fail_fast guard raise leaves the whole batch
+            # replayable exactly like a forward crash.
+            actions: dict[int, str] = {}
+            if self.output_guard is not None:
+                finite = np.isfinite(logits).all(axis=1)
+                for j in np.flatnonzero(~finite):
+                    actions[int(j)] = self.output_guard(
+                        records[int(j)], logits[int(j)]
+                    )
+        except BaseException:
+            # Crash before any emission: restore the bucket untouched so a
+            # supervisor can drain_pending() and replay these records on a
+            # rebuilt engine — nothing was cached, observed, or returned.
+            self._buckets[bucket] = queue
+            raise
+        self._pending -= len(queue)
         self.report.observe_batch(len(records))
         done = self.report.mark_submit()
         predictions = []
-        for (record, submitted), row in zip(queue, logits):
+        for j, ((record, submitted), row) in enumerate(zip(queue, logits)):
+            action = actions.get(j)
+            if action == "drop":
+                continue
+            degraded = action == "degrade"
+            if degraded:
+                row = np.zeros_like(row)
             prediction = FlowPrediction(
-                record=record, logits=row, cached=False, latency=done - submitted
+                record=record, logits=row, cached=False,
+                latency=done - submitted, degraded=degraded,
             )
-            if self.cache is not None:
+            # Never cache fallback logits: a later identical flow must get a
+            # real forward, not a poisoned hit.
+            if self.cache is not None and not degraded:
                 self.cache.put(record.cache_key, row)
             self.report.observe(prediction)
             predictions.append(prediction)
         return predictions
 
 
-def serve_stream(source, assembler, engine, workers: "int | None" = None, **fabric_options):
+def serve_stream(
+    source,
+    assembler,
+    engine,
+    workers: "int | None" = None,
+    *,
+    policy: str = "fail_fast",
+    fault_plan=None,
+    dead_letters=None,
+    max_restarts: int = 0,
+    restart_backoff: float = 0.05,
+    **fabric_options,
+):
     """Drive ``source -> assembler -> engine``; yield every prediction once.
 
     With ``workers=None`` (the default) the stages run synchronously in the
@@ -296,18 +381,44 @@ def serve_stream(source, assembler, engine, workers: "int | None" = None, **fabr
     chunk size and worker count; only arrival order is
     scheduling-dependent.  Extra ``fabric_options`` (``shards``,
     ``chunk_queue``, ``record_queue``, ``output_queue``,
-    ``replicate_model``) are passed through.
+    ``replicate_model``, ``stall_timeout``) are passed through.
+
+    Resilience (see :mod:`repro.serve.resilience`): ``policy`` selects the
+    per-stage error policy (``"fail_fast"`` — today's behavior and the
+    default — ``"quarantine"`` or ``"degrade"``), ``fault_plan`` arms a
+    seeded :class:`~repro.serve.faults.FaultPlan`, ``dead_letters`` supplies
+    a :class:`~repro.serve.resilience.DeadLetterQueue` to collect drop
+    provenance, and ``max_restarts``/``restart_backoff`` configure the
+    worker supervisor.  With every knob at its default the synchronous path
+    is the exact legacy loop (zero overhead, unchanged semantics).
     """
     if workers is not None:
         from .fabric import ServingFabric
 
         yield from ServingFabric(
-            source, assembler, engine, workers=workers, **fabric_options
+            source, assembler, engine, workers=workers,
+            policy=policy, fault_plan=fault_plan, dead_letters=dead_letters,
+            max_restarts=max_restarts, restart_backoff=restart_backoff,
+            **fabric_options,
         )
         return
-    for chunk in source:
-        for record in assembler.push(chunk):
+    if (
+        policy == "fail_fast"
+        and fault_plan is None
+        and dead_letters is None
+        and max_restarts == 0
+    ):
+        for chunk in source:
+            for record in assembler.push(chunk):
+                yield from engine.submit(record)
+        for record in assembler.flush():
             yield from engine.submit(record)
-    for record in assembler.flush():
-        yield from engine.submit(record)
-    yield from engine.flush()
+        yield from engine.flush()
+        return
+    from .resilience import resilient_serve
+
+    yield from resilient_serve(
+        source, assembler, engine,
+        policy=policy, fault_plan=fault_plan, dead_letters=dead_letters,
+        max_restarts=max_restarts, restart_backoff=restart_backoff,
+    )

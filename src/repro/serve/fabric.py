@@ -44,6 +44,20 @@ count and worker count:
 Only the *arrival order* of predictions is scheduling-dependent; consumers
 needing a deterministic order can sort by ``(record.key,
 record.generation)``.
+
+**Failure model** (see :mod:`repro.serve.resilience`): by default every
+stage is ``fail_fast`` — an exception stops the pipeline and re-raises in
+the consumer, exactly the pre-resilience behavior.  With
+``policy="quarantine"``/``"degrade"`` the stages route failures through the
+:class:`~repro.serve.resilience.AssemblyGuard` (chunk faults poison their
+flow keys into the dead-letter queue; the stream clock still advances) and
+each worker runs behind a :class:`~repro.serve.resilience.WorkerSupervisor`
+(bounded restarts, exponential backoff, in-flight replay).  An optional
+``stall_timeout`` arms a :class:`~repro.serve.resilience.Watchdog` whose
+stall verdict surfaces as a ``StageStallError`` in the consumer instead of
+a hang.  Lifecycle: the fabric is a context manager, and ``close()`` stops
+and joins the stage threads deterministically if the caller abandons the
+iterator mid-stream.
 """
 
 from __future__ import annotations
@@ -56,7 +70,16 @@ import zlib
 
 from ..nn.autograd import no_grad
 from .assembler import ShardedAssembler, StreamingFlowAssembler
+from .faults import wrap_classifier, wrap_source
 from .report import ServingReport
+from .resilience import (
+    POLICIES,
+    AssemblyGuard,
+    DeadLetterQueue,
+    LogitGuard,
+    Watchdog,
+    WorkerSupervisor,
+)
 
 __all__ = ["ServingFabric"]
 
@@ -68,6 +91,15 @@ class _WorkerDone:
 
     def __init__(self, worker: int):
         self.worker = worker
+
+
+class _FailedChunk:
+    """Source-failure marker: the read error travels to the assembly stage,
+    which owns the quarantine accounting (it holds the assembler state)."""
+
+    def __init__(self, error: BaseException, index: int):
+        self.error = error
+        self.index = index
 
 
 class ServingFabric:
@@ -98,6 +130,23 @@ class ServingFabric:
         Give each worker a deep copy of the classifier (default).  With
         ``False`` the workers share the template classifier behind one
         lock — forwards serialize, but model memory is paid once.
+    policy:
+        Per-stage error policy (one of
+        :data:`~repro.serve.resilience.POLICIES`); ``fail_fast`` is the
+        default and the exact legacy behavior.
+    fault_plan:
+        A :class:`~repro.serve.faults.FaultPlan` to arm (chaos testing).
+    dead_letters:
+        A :class:`~repro.serve.resilience.DeadLetterQueue` to collect drop
+        provenance; a fresh one is created when resilience is active and
+        none is passed (readable afterwards as ``fabric.dead_letters``).
+    max_restarts, restart_backoff:
+        Worker supervision: each crashed worker engine is rebuilt up to
+        ``max_restarts`` times with exponential backoff starting at
+        ``restart_backoff`` seconds, replaying its in-flight records.
+    stall_timeout:
+        Arm a watchdog: a stage silent for longer than this many seconds
+        fails the pipeline with a ``StageStallError`` instead of hanging.
     """
 
     def __init__(
@@ -111,9 +160,19 @@ class ServingFabric:
         record_queue: int = 128,
         output_queue: int = 1024,
         replicate_model: bool = True,
+        policy: str = "fail_fast",
+        fault_plan=None,
+        dead_letters=None,
+        max_restarts: int = 0,
+        restart_backoff: float = 0.05,
+        stall_timeout: float | None = None,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r} (choose from {POLICIES})"
+            )
         for name, bound in (
             ("chunk_queue", chunk_queue),
             ("record_queue", record_queue),
@@ -121,7 +180,9 @@ class ServingFabric:
         ):
             if bound <= 0:
                 raise ValueError(f"{name} must be positive")
-        self.source = source
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.source = wrap_source(source, fault_plan)
         if isinstance(assembler, ShardedAssembler):
             self.assembler = assembler
         elif isinstance(assembler, StreamingFlowAssembler):
@@ -136,14 +197,57 @@ class ServingFabric:
         self.chunk_bound = chunk_queue
         self.record_bound = record_queue
         self.output_bound = output_queue
+        self.report = ServingReport()
+        self._resilient = (
+            policy != "fail_fast"
+            or fault_plan is not None
+            or dead_letters is not None
+            or max_restarts > 0
+        )
         lock = None if replicate_model else threading.Lock()
+        template_classifier = wrap_classifier(engine.classifier, fault_plan)
         self.engines = []
         for worker in range(workers):
-            classifier = engine.classifier
+            classifier = template_classifier
             if replicate_model and workers > 1:
+                # FaultInjectedClassifier.__deepcopy__ copies the model but
+                # shares the plan: each scheduled fault fires once pool-wide.
                 classifier = copy.deepcopy(classifier)
             self.engines.append(engine.clone(classifier=classifier, lock=lock))
-        self.report = ServingReport()
+        if self._resilient:
+            self.dead_letters = (
+                dead_letters if dead_letters is not None else DeadLetterQueue()
+            )
+            for index, worker_engine in enumerate(self.engines):
+                worker_engine.output_guard = LogitGuard(
+                    policy, self.dead_letters, self.report,
+                    worker=f"worker[{index}]",
+                )
+            self._supervisors = [
+                WorkerSupervisor(
+                    worker_engine,
+                    self._make_rebuild(index),
+                    policy,
+                    self.dead_letters,
+                    self.report,
+                    max_restarts=max_restarts,
+                    backoff=restart_backoff,
+                    worker=f"worker[{index}]",
+                )
+                for index, worker_engine in enumerate(self.engines)
+            ]
+            self._guard = AssemblyGuard(
+                self.assembler, policy, self.dead_letters, self.report,
+                fault_plan=fault_plan,
+            )
+        else:
+            self.dead_letters = dead_letters
+            self._supervisors = None
+            self._guard = None
+        self._watchdog = (
+            Watchdog(stall_timeout, self._fail)
+            if stall_timeout is not None else None
+        )
         self._chunk_q: queue.Queue = queue.Queue(maxsize=chunk_queue)
         self._record_qs = [
             queue.Queue(maxsize=record_queue) for _ in range(workers)
@@ -153,12 +257,30 @@ class ServingFabric:
         self._errors: list[BaseException] = []
         self._threads: list[threading.Thread] = []
         self._started = False
+        self._closed = False
+
+    def _make_rebuild(self, worker: int):
+        """The supervisor's restart hook for ``worker``'s engine slot."""
+
+        def rebuild(old):
+            fresh = old.clone(classifier=old.classifier, lock=old.lock)
+            fresh.output_guard = old.output_guard
+            self.engines[worker] = fresh
+            return fresh
+
+        return rebuild
 
     # ------------------------------------------------------------------
     # Bounded-queue helpers (stop-aware, so failures can't deadlock a put)
     # ------------------------------------------------------------------
-    def _put(self, q: queue.Queue, item) -> bool:
+    def _beat(self, stage: "str | None") -> None:
+        if self._watchdog is not None and stage is not None:
+            self._watchdog.beat(stage)
+
+    def _put(self, q: queue.Queue, item, stage: "str | None" = None) -> bool:
         while not self._stop.is_set():
+            # Waiting on a full queue is backpressure, not a stall.
+            self._beat(stage)
             try:
                 q.put(item, timeout=0.05)
                 return True
@@ -166,8 +288,9 @@ class ServingFabric:
                 continue
         return False
 
-    def _get(self, q: queue.Queue):
+    def _get(self, q: queue.Queue, stage: "str | None" = None):
         while not self._stop.is_set():
+            self._beat(stage)
             try:
                 return q.get(timeout=0.05)
             except queue.Empty:
@@ -182,19 +305,38 @@ class ServingFabric:
     # Stages
     # ------------------------------------------------------------------
     def _source_loop(self) -> None:
+        stream = iter(self.source)
+        index = -1
         try:
-            for chunk in self.source:
-                if not self._put(self._chunk_q, chunk):
+            while True:
+                index += 1
+                self._beat("source")
+                try:
+                    chunk = next(stream)
+                except StopIteration:
+                    break
+                except Exception as error:
+                    if self.policy == "fail_fast":
+                        raise
+                    if not self._put(
+                        self._chunk_q, _FailedChunk(error, index), "source"
+                    ):
+                        return
+                    continue
+                if not self._put(self._chunk_q, chunk, "source"):
                     return
                 self.report.observe_queue_depth("chunks", self._chunk_q.qsize())
-            self._put(self._chunk_q, _DONE)
+            self._put(self._chunk_q, _DONE, "source")
         except BaseException as error:  # noqa: BLE001 - propagated to caller
             self._fail(error)
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.remove("source")
 
     def _route(self, records) -> bool:
         for record in records:
             worker = zlib.crc32(record.cache_key) % self.workers
-            if not self._put(self._record_qs[worker], record):
+            if not self._put(self._record_qs[worker], record, "assembly"):
                 return False
             self.report.observe_queue_depth(
                 f"records[{worker}]", self._record_qs[worker].qsize()
@@ -202,23 +344,43 @@ class ServingFabric:
         return True
 
     def _assembly_loop(self) -> None:
+        guard = self._guard
         try:
             while True:
-                chunk = self._get(self._chunk_q)
+                self._beat("assembly")
+                chunk = self._get(self._chunk_q, "assembly")
                 if chunk is _DONE:
                     break
-                if not self._route(self.assembler.push(chunk)):
+                if isinstance(chunk, _FailedChunk):
+                    # quarantine() counted the error already in the source
+                    # loop; here it poisons the lost chunk's flows and
+                    # advances the clock (no-op under fail_fast, which never
+                    # posts _FailedChunk markers).
+                    records = guard.source_failure(chunk.error, chunk.index)
+                elif guard is not None:
+                    records = guard.push(chunk)
+                else:
+                    records = self.assembler.push(chunk)
+                if not self._route(records):
                     return
             if self._stop.is_set():
                 return
-            if not self._route(self.assembler.flush()):
+            flushed = guard.flush() if guard is not None else self.assembler.flush()
+            if not self._route(flushed):
                 return
             for record_q in self._record_qs:
-                self._put(record_q, _DONE)
+                self._put(record_q, _DONE, "assembly")
         except BaseException as error:  # noqa: BLE001 - propagated to caller
             self._fail(error)
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.remove("assembly")
 
     def _worker_loop(self, worker: int) -> None:
+        stage = f"worker[{worker}]"
+        supervisor = (
+            self._supervisors[worker] if self._supervisors is not None else None
+        )
         engine = self.engines[worker]
         busy = 0.0
         started = time.perf_counter()
@@ -227,25 +389,35 @@ class ServingFabric:
             # thread-local, so this covers exactly this worker's forwards).
             with no_grad():
                 while True:
-                    record = self._get(self._record_qs[worker])
+                    self._beat(stage)
+                    record = self._get(self._record_qs[worker], stage)
                     if record is _DONE:
                         break
                     mark = time.perf_counter()
-                    completed = engine.submit(record)
+                    if supervisor is not None:
+                        completed = supervisor.submit(record)
+                    else:
+                        completed = engine.submit(record)
                     busy += time.perf_counter() - mark
                     for prediction in completed:
-                        if not self._put(self._output_q, prediction):
+                        if not self._put(self._output_q, prediction, stage):
                             return
                 if not self._stop.is_set():
                     mark = time.perf_counter()
-                    completed = engine.flush()
+                    if supervisor is not None:
+                        completed = supervisor.flush()
+                    else:
+                        completed = engine.flush()
                     busy += time.perf_counter() - mark
                     for prediction in completed:
-                        if not self._put(self._output_q, prediction):
+                        if not self._put(self._output_q, prediction, stage):
                             return
         except BaseException as error:  # noqa: BLE001 - propagated to caller
             self._fail(error)
         finally:
+            if self._watchdog is not None:
+                self._watchdog.remove(stage)
+            engine = self.engines[worker]  # the live one, after any restarts
             wall = time.perf_counter() - started
             self.report.observe_worker(
                 f"worker[{worker}]",
@@ -255,6 +427,7 @@ class ServingFabric:
                     "busy_s": busy,
                     "wall_s": wall,
                     "utilization": busy / wall if wall > 0 else 0.0,
+                    "restarts": supervisor.restarts if supervisor is not None else 0,
                     "cache_hit_rate": (
                         engine.cache.hit_rate if engine.cache is not None else None
                     ),
@@ -288,24 +461,76 @@ class ServingFabric:
                 for w in range(self.workers)
             ),
         ]
+        if self._watchdog is not None:
+            for stage in ("source", "assembly", *(
+                f"worker[{w}]" for w in range(self.workers)
+            )):
+                self._watchdog.beat(stage)
+            self._watchdog.start()
         for thread in self._threads:
             thread.start()
         done = 0
         try:
             while done < self.workers:
-                item = self._output_q.get()
+                try:
+                    item = self._output_q.get(timeout=0.1)
+                except queue.Empty:
+                    # Only error/stall paths get here with stop set: a
+                    # stalled thread may never post its done marker, so
+                    # don't wait for one that cannot come.
+                    if self._stop.is_set() and self._output_q.empty():
+                        break
+                    continue
                 if isinstance(item, _WorkerDone):
                     done += 1
                     continue
                 yield item
         finally:
-            self._stop.set()
-            for thread in self._threads:
-                thread.join(timeout=5.0)
-            for engine in self.engines:
-                self.report.merge(engine.report)
+            self.close()
             if self._errors:
                 raise self._errors[0]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the stage threads and fold the reports; idempotent.
+
+        Runs automatically when iteration finishes — but also callable by a
+        consumer that abandons the iterator mid-stream, so stage threads
+        never outlive the caller's interest (the iterator-abandonment leak).
+        """
+        self._stop.set()
+        if self._watchdog is not None:
+            self._watchdog.stop()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self._closed:
+            return
+        self._closed = True
+        for engine in self.engines:
+            self.report.merge(engine.report)
+        if self._supervisors is not None:
+            for supervisor in self._supervisors:
+                for retired in supervisor.retired_reports:
+                    self.report.merge(retired)
+
+    def __enter__(self) -> "ServingFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):
+        # Last-resort leak guard: releasing the fabric without closing it
+        # must not leave stage threads spinning.  No joins here — __del__
+        # can run during interpreter shutdown; the stop event is enough
+        # (every stage loop is stop-aware).
+        try:
+            self._stop.set()
+        except Exception:
+            pass
 
     def summary(self) -> dict:
         """The merged serving scorecard, plus queue and worker sections.

@@ -9,11 +9,15 @@ into the numbers ``tools/bench_report.py`` publishes in ``BENCH_e14.json``
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
 
 __all__ = ["ServingReport"]
+
+#: Resilience counters every report carries (see :meth:`ServingReport.count`).
+_COUNTERS = ("errors", "retries", "quarantined", "degraded", "restarts")
 
 
 class ServingReport:
@@ -27,6 +31,8 @@ class ServingReport:
         self.batch_sizes: list[int] = []
         self.queue_depths: dict[str, list[int]] = {}
         self.workers: dict[str, dict] = {}
+        self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
+        self._counter_lock = threading.Lock()
         self._first_submit: float | None = None
         self._last_completion: float | None = None
 
@@ -66,6 +72,18 @@ class ServingReport:
         """Record one fabric worker's utilization summary."""
         self.workers[worker] = dict(stats)
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump one resilience counter (``errors``, ``retries``,
+        ``quarantined``, ``degraded``, ``restarts``).  Thread-safe: the
+        supervisor and fabric stages count on a shared report.
+        """
+        if name not in self.counters:
+            raise ValueError(
+                f"unknown counter {name!r} (choose from {_COUNTERS})"
+            )
+        with self._counter_lock:
+            self.counters[name] += n
+
     def merge(self, other: "ServingReport") -> None:
         """Fold another report (one fabric worker's) into this one."""
         self.latencies.extend(other.latencies)
@@ -76,6 +94,9 @@ class ServingReport:
         for stage, depths in other.queue_depths.items():
             self.queue_depths.setdefault(stage, []).extend(depths)
         self.workers.update(other.workers)
+        for name, value in other.counters.items():
+            if value:
+                self.count(name, value)
         if other._first_submit is not None and (
             self._first_submit is None or other._first_submit < self._first_submit
         ):
@@ -123,6 +144,7 @@ class ServingReport:
                 float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
             ),
             "cache_hit_rate": cache.hit_rate if cache is not None else None,
+            "resilience": dict(self.counters),
         }
         if self.queue_depths:
             summary["queues"] = {

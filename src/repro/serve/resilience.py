@@ -1,0 +1,611 @@
+"""Per-stage error policies, dead-letter accounting, worker supervision.
+
+The serving stack's failure model, layered over the unchanged fast path:
+
+* **Policies** — every stage error is handled by one of :data:`POLICIES`:
+  ``fail_fast`` (today's behavior and the default: stop the pipeline and
+  re-raise), ``quarantine`` (drop the affected flows into the dead-letter
+  queue and keep serving everything else), ``degrade`` (like quarantine for
+  data that no longer exists — a lost chunk can't be served — but serve
+  fallback predictions, flagged ``degraded=True``, where only the *model*
+  failed).
+
+* **Conservation** — the load-bearing invariant under ``quarantine``: every
+  input packet is either served or accounted for in the dead-letter queue,
+  and the served multiset equals the fault-free sync-path multiset minus
+  exactly the dead-lettered flows.  The :class:`AssemblyGuard` enforces the
+  flow-key poisoning discipline that makes this exact: a chunk that fails
+  (source read, integrity validation, assembly) poisons every flow key it
+  carried — their open buffers are discarded, their future packets dropped
+  at the door with per-key packet accounting — while the stream clock still
+  advances over the lost chunk so the surviving flows' idle evictions stay
+  in step with the sync path.
+
+* **Supervision** — the :class:`WorkerSupervisor` wraps an
+  :class:`~repro.serve.engine.InferenceEngine`; a crashed forward leaves the
+  engine's bucket state intact (see ``InferenceEngine._run_bucket``), so the
+  supervisor drains the in-flight records, rebuilds the engine with bounded
+  retries + exponential backoff, and replays them — the recovered run is
+  bit-identical to a fault-free run because the engine is record-sequence
+  deterministic and batch-invariant.  Exhausted retries condemn the worker:
+  ``fail_fast`` re-raises, ``quarantine`` dead-letters everything it would
+  have served, ``degrade`` serves zero-logit fallbacks.
+
+* **Watchdog** — per-stage heartbeats; a stage silent longer than the stall
+  timeout raises :class:`StageStallError` through the stop path instead of
+  hanging the consumer forever.
+
+* **Checkpoint/restore** — :func:`save_checkpoint`/:func:`load_checkpoint`
+  persist an assembler's open-flow state (see
+  :meth:`StreamingFlowAssembler.checkpoint`) so an interrupted pipeline
+  resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import threading
+import time
+
+import numpy as np
+
+from .assembler import FlowRecord
+from .engine import FlowPrediction
+from .faults import wrap_classifier, wrap_source
+
+__all__ = [
+    "POLICIES",
+    "ChunkIntegrityError",
+    "PoisonedLogitsError",
+    "StageStallError",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "LogitGuard",
+    "AssemblyGuard",
+    "WorkerSupervisor",
+    "Watchdog",
+    "resilient_serve",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: The per-stage error policies, in increasing order of tolerance.
+POLICIES = ("fail_fast", "quarantine", "degrade")
+
+
+class ChunkIntegrityError(RuntimeError):
+    """A chunk failed pre-assembly validation (corrupt lengths/timestamps)."""
+
+
+class PoisonedLogitsError(RuntimeError):
+    """A model forward produced non-finite logits under ``fail_fast``."""
+
+
+class StageStallError(RuntimeError):
+    """A pipeline stage stopped heartbeating past the stall timeout."""
+
+
+@dataclasses.dataclass
+class DeadLetter:
+    """One dropped or degraded flow, with full provenance.
+
+    ``stage`` is where the failure happened (``source``, ``assembly``,
+    ``inference``, ``output``); ``action`` is what the policy did
+    (``dropped`` or ``degraded``).  For chunk-level failures the entry is
+    per *flow key* and ``packet_count`` keeps accumulating as later packets
+    of the poisoned key are dropped at the door — so the queue's packet
+    total plus the served packet total always equals the input packet total
+    (the conservation invariant).
+    """
+
+    stage: str
+    error: str
+    action: str
+    flow_key: object
+    generation: int
+    packet_count: int
+    chunk_index: "int | None" = None
+    worker: "str | None" = None
+
+
+class DeadLetterQueue:
+    """Thread-safe append-only log of :class:`DeadLetter` entries."""
+
+    def __init__(self):
+        self._entries: list[DeadLetter] = []
+        self._lock = threading.Lock()
+
+    def append(self, entry: DeadLetter) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(list(self._entries))
+
+    @property
+    def entries(self) -> list[DeadLetter]:
+        return list(self._entries)
+
+    @property
+    def packets(self) -> int:
+        """Total packets accounted for across every entry."""
+        return sum(entry.packet_count for entry in self._entries)
+
+    def summary(self) -> dict:
+        """Counts by (stage, action) plus the packet total."""
+        by_stage: dict[str, int] = {}
+        by_action: dict[str, int] = {}
+        for entry in self._entries:
+            by_stage[entry.stage] = by_stage.get(entry.stage, 0) + 1
+            by_action[entry.action] = by_action.get(entry.action, 0) + 1
+        return {
+            "entries": len(self._entries),
+            "packets": self.packets,
+            "by_stage": by_stage,
+            "by_action": by_action,
+        }
+
+
+class LogitGuard:
+    """Policy for non-finite model outputs, installed as the engine's
+    ``output_guard``.  Returns the engine's per-row action, or raises under
+    ``fail_fast`` — before the batch emits anything, so the raise is
+    replay-safe."""
+
+    def __init__(self, policy: str, dead_letters: DeadLetterQueue, report,
+                 worker: "str | None" = None):
+        self.policy = policy
+        self.dead_letters = dead_letters
+        self.report = report
+        self.worker = worker
+
+    def __call__(self, record: FlowRecord, row: np.ndarray) -> str:
+        if self.policy == "fail_fast":
+            raise PoisonedLogitsError(
+                f"non-finite logits for flow {record.key!r} "
+                f"(generation {record.generation})"
+            )
+        self.report.count("errors")
+        action = "dropped" if self.policy == "quarantine" else "degraded"
+        self.dead_letters.append(DeadLetter(
+            stage="output",
+            error="non-finite logits",
+            action=action,
+            flow_key=record.key,
+            generation=record.generation,
+            packet_count=record.packet_count,
+            worker=self.worker,
+        ))
+        if self.policy == "quarantine":
+            self.report.count("quarantined")
+            return "drop"
+        self.report.count("degraded")
+        return "degrade"
+
+
+class AssemblyGuard:
+    """Policy wrapper around an assembler: validation, fault injection,
+    flow-key poisoning, and lost-chunk time accounting.
+
+    The poisoning discipline is what makes quarantine *exact*: once a chunk
+    fails, every flow key it carried is condemned forever — its open buffer
+    discarded (counted), its later packets dropped at the door (counted into
+    the same dead-letter entry) — because a flow that lost packets in the
+    middle can never again produce the record the sync path would.  The
+    stream clock is still advanced over the lost chunk so surviving flows
+    evict on exactly the sync path's schedule.
+    """
+
+    def __init__(self, assembler, policy: str, dead_letters: DeadLetterQueue,
+                 report, fault_plan=None):
+        self.assembler = assembler
+        self.policy = policy
+        self.dead_letters = dead_letters
+        self.report = report
+        self.fault_plan = fault_plan
+        #: key -> its DeadLetter entry (packet counts keep accumulating).
+        self.poisoned: dict[object, DeadLetter] = {}
+        self._chunk_index = -1
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def push(self, chunk) -> list[FlowRecord]:
+        self._chunk_index += 1
+        index = self._chunk_index
+        if len(chunk) == 0:
+            return []
+        clock = float(np.nanmax(chunk.timestamps))
+        chunk = self._strip_poisoned(chunk)
+        spec = (
+            self.fault_plan.take("assembly")
+            if self.fault_plan is not None else None
+        )
+        try:
+            if spec is not None:
+                from .faults import AssemblyFaultError
+
+                raise AssemblyFaultError(
+                    f"injected assembly failure at chunk {index}"
+                )
+            self._validate(chunk, index)
+            closed = (
+                list(self.assembler.push(chunk)) if len(chunk) else []
+            )
+            closed.extend(self.assembler.advance_clock(clock))
+            return closed
+        except Exception as error:
+            if self.policy == "fail_fast":
+                raise
+            return self.quarantine(chunk, "assembly", index, error, clock)
+
+    def source_failure(self, error, chunk_index: int) -> list[FlowRecord]:
+        """Account a failed source read (``quarantine``/``degrade`` only).
+
+        When the error carries the chunk that was lost
+        (:class:`~repro.serve.faults.SourceFaultError` does), its flows are
+        poisoned and its packets accounted; an opaque failure just counts an
+        error — there is nothing to conserve for data that never arrived.
+        """
+        chunk = getattr(error, "chunk", None)
+        clock = None
+        if chunk is not None and len(chunk):
+            clock = float(np.nanmax(chunk.timestamps))
+        return self.quarantine(chunk, "source", chunk_index, error, clock)
+
+    def flush(self) -> list[FlowRecord]:
+        return self.assembler.flush()
+
+    # ------------------------------------------------------------------
+    # Policy internals
+    # ------------------------------------------------------------------
+    def quarantine(self, chunk, stage: str, chunk_index: int, error,
+                   clock: "float | None" = None) -> list[FlowRecord]:
+        """Poison every flow key in a failed chunk; advance time past it."""
+        self.report.count("errors")
+        if chunk is not None and len(chunk):
+            keys = self.assembler.row_keys(chunk)
+            counts: dict[object, int] = {}
+            for key in keys:
+                counts[key] = counts.get(key, 0) + 1
+            for key, in_chunk in counts.items():
+                entry = self.poisoned.get(key)
+                if entry is not None:
+                    entry.packet_count += in_chunk
+                    continue
+                generation = self.assembler.pending_generation(key)
+                buffered = self.assembler.discard_flow(key)
+                entry = DeadLetter(
+                    stage=stage,
+                    error=repr(error),
+                    action="dropped",
+                    flow_key=key,
+                    generation=generation,
+                    packet_count=buffered + in_chunk,
+                    chunk_index=chunk_index,
+                )
+                self.poisoned[key] = entry
+                self.dead_letters.append(entry)
+                self.report.count("quarantined")
+        if clock is not None and not np.isnan(clock):
+            return list(self.assembler.advance_clock(clock))
+        return []
+
+    def _strip_poisoned(self, chunk):
+        """Drop rows of condemned keys, accumulating their packet counts."""
+        if not self.poisoned:
+            return chunk
+        keys = self.assembler.row_keys(chunk)
+        drop = [row for row, key in enumerate(keys) if key in self.poisoned]
+        if not drop:
+            return chunk
+        for row in drop:
+            self.poisoned[keys[row]].packet_count += 1
+        keep = np.array(
+            [row for row in range(len(chunk)) if keys[row] not in self.poisoned],
+            dtype=np.int64,
+        )
+        return chunk[keep]
+
+    def _validate(self, chunk, index: int) -> None:
+        """Integrity checks a corrupt capture fails deterministically."""
+        if len(chunk) == 0:
+            return
+        lengths = chunk.payload_lengths
+        if lengths.min() < 0 or lengths.max() > chunk.payload.shape[-1]:
+            raise ChunkIntegrityError(
+                f"chunk {index}: payload lengths outside the payload matrix "
+                f"(max {int(lengths.max())} vs width {chunk.payload.shape[-1]})"
+            )
+        if not np.isfinite(chunk.timestamps).all():
+            raise ChunkIntegrityError(
+                f"chunk {index}: non-finite timestamps"
+            )
+
+
+class WorkerSupervisor:
+    """Restart a crashed engine with bounded retries; replay its in-flight
+    records.
+
+    ``rebuild(old_engine) -> new_engine`` supplies the restart (the sync
+    path clones in place; the fabric re-derives a worker engine with its
+    shard's cache configuration).  Recovery is bit-identical to a fault-free
+    run: the engine's exception-safe bucket run means a crash loses nothing
+    and emits nothing, so drain + replay serves every record exactly once,
+    and record-sequence determinism + batch invariance make the replayed
+    logits byte-equal.
+
+    ``PoisonedLogitsError`` (the ``fail_fast`` output guard) passes through
+    untouched — it is a policy verdict, not a worker crash.
+    """
+
+    def __init__(self, engine, rebuild, policy: str,
+                 dead_letters: DeadLetterQueue, report, *,
+                 max_restarts: int = 2, backoff: float = 0.05,
+                 backoff_factor: float = 2.0, worker: "str | None" = None,
+                 sleep=time.sleep):
+        self.engine = engine
+        self._rebuild = rebuild
+        self.policy = policy
+        self.dead_letters = dead_letters
+        self.report = report
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.worker = worker
+        self.sleep = sleep
+        self.restarts = 0
+        self.condemned = False
+        self._condemned_error: "str | None" = None
+        #: Reports of engines retired by restarts (folded by the caller).
+        self.retired_reports = []
+
+    def submit(self, record: FlowRecord) -> list[FlowPrediction]:
+        if self.condemned:
+            return self._fallback([record])
+        try:
+            return self.engine.submit(record)
+        except PoisonedLogitsError:
+            raise
+        except Exception as error:
+            return self._recover(error, flushing=False)
+
+    def flush(self) -> list[FlowPrediction]:
+        if self.condemned:
+            return []
+        try:
+            return self.engine.flush()
+        except PoisonedLogitsError:
+            raise
+        except Exception as error:
+            return self._recover(error, flushing=True)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, error, flushing: bool) -> list[FlowPrediction]:
+        completed: list[FlowPrediction] = []
+        pending: list[FlowRecord] = []
+        while True:
+            self.report.count("errors")
+            # A multi-bucket call may have completed earlier buckets before
+            # crashing; those predictions were never returned — collect them
+            # or they would be served zero times.
+            completed.extend(self.engine.drain_completed())
+            # The crashed engine kept its bucket intact (exception-safe run),
+            # so draining recovers exactly the unserved in-flight records —
+            # prepended, because they were submitted before any replay rest.
+            pending = self.engine.drain_pending() + pending
+            if self.restarts >= self.max_restarts:
+                if self.policy == "fail_fast":
+                    raise error
+                self.condemned = True
+                self._condemned_error = repr(error)
+                return completed + self._fallback(pending, error)
+            self.sleep(self.backoff * (self.backoff_factor ** self.restarts))
+            self.restarts += 1
+            self.report.count("restarts")
+            old = self.engine
+            self.engine = self._rebuild(old)
+            self.retired_reports.append(old.report)
+            try:
+                while pending:
+                    # Pop before submitting: if the replay crashes, the
+                    # record lives in the new engine's buckets (restored by
+                    # the exception-safe run), never in both places.
+                    record = pending.pop(0)
+                    self.report.count("retries")
+                    completed.extend(self.engine.submit(record))
+                if flushing:
+                    completed.extend(self.engine.flush())
+                return completed
+            except PoisonedLogitsError:
+                raise
+            except Exception as again:
+                error = again
+
+    def _fallback(self, records: list[FlowRecord],
+                  error=None) -> list[FlowPrediction]:
+        """Account records a condemned worker can no longer serve."""
+        reason = repr(error) if error is not None else (
+            self._condemned_error
+            or f"worker condemned after {self.restarts} restarts"
+        )
+        action = "dropped" if self.policy == "quarantine" else "degraded"
+        out: list[FlowPrediction] = []
+        for record in records:
+            self.dead_letters.append(DeadLetter(
+                stage="inference",
+                error=reason,
+                action=action,
+                flow_key=record.key,
+                generation=record.generation,
+                packet_count=record.packet_count,
+                worker=self.worker,
+            ))
+            if self.policy == "quarantine":
+                self.report.count("quarantined")
+                continue
+            self.report.count("degraded")
+            classes = getattr(self.engine.classifier, "num_classes", None) or 2
+            prediction = FlowPrediction(
+                record=record,
+                logits=np.zeros(int(classes), dtype=np.float64),
+                cached=False,
+                latency=0.0,
+                degraded=True,
+            )
+            self.report.observe(prediction)
+            out.append(prediction)
+        return out
+
+
+class Watchdog:
+    """Detect stalled stages via heartbeats on a monitor thread.
+
+    Stages call :meth:`beat` inside their loops (including while waiting on
+    queues, so backpressure is never mistaken for a stall).  A stage silent
+    longer than ``stall_timeout`` fires ``on_stall(StageStallError)`` once
+    and the monitor exits.
+    """
+
+    def __init__(self, stall_timeout: float, on_stall, poll: "float | None" = None):
+        if stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        self.stall_timeout = float(stall_timeout)
+        self.on_stall = on_stall
+        self.poll = poll if poll is not None else min(stall_timeout / 4, 0.05)
+        self.stalled_stage: "str | None" = None
+        self._beats: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def beat(self, stage: str) -> None:
+        with self._lock:
+            self._beats[stage] = time.monotonic()
+
+    def remove(self, stage: str) -> None:
+        """A stage finished cleanly; stop watching it."""
+        with self._lock:
+            self._beats.pop(stage, None)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._monitor, name="serve-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _monitor(self) -> None:
+        while not self._stop.wait(self.poll):
+            now = time.monotonic()
+            with self._lock:
+                for stage, last in self._beats.items():
+                    if now - last > self.stall_timeout:
+                        self.stalled_stage = stage
+                        break
+            if self.stalled_stage is not None:
+                self.on_stall(StageStallError(
+                    f"stage {self.stalled_stage!r} has not heartbeat for "
+                    f"{self.stall_timeout}s"
+                ))
+                return
+
+
+def resilient_serve(source, assembler, engine, *, policy: str = "fail_fast",
+                    fault_plan=None, dead_letters=None, max_restarts: int = 0,
+                    restart_backoff: float = 0.05):
+    """The synchronous serving loop with the resilience layer armed.
+
+    ``serve_stream`` routes here whenever any resilience knob is non-default
+    (policy, fault plan, dead-letter queue, supervisor); with every knob at
+    its default the legacy loop runs instead, unchanged.  Yields
+    :class:`FlowPrediction` objects exactly like the legacy loop; dropped
+    flows land in ``dead_letters`` (a fresh queue when ``None`` — pass one
+    in to inspect it afterwards).
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r} (choose from {POLICIES})")
+    dlq = dead_letters if dead_letters is not None else DeadLetterQueue()
+    report = engine.report
+    engine.classifier = wrap_classifier(engine.classifier, fault_plan)
+    engine.output_guard = LogitGuard(policy, dlq, report)
+
+    def rebuild(old):
+        fresh = old.clone()
+        fresh.output_guard = old.output_guard
+        return fresh
+
+    supervisor = WorkerSupervisor(
+        engine, rebuild, policy, dlq, report,
+        max_restarts=max_restarts, backoff=restart_backoff,
+    )
+    guard = AssemblyGuard(
+        assembler, policy, dlq, report, fault_plan=fault_plan
+    )
+    stream = iter(wrap_source(source, fault_plan))
+    chunk_index = -1
+    while True:
+        chunk_index += 1
+        try:
+            chunk = next(stream)
+        except StopIteration:
+            break
+        except Exception as error:
+            if policy == "fail_fast":
+                raise
+            for record in guard.source_failure(error, chunk_index):
+                yield from supervisor.submit(record)
+            continue
+        for record in guard.push(chunk):
+            yield from supervisor.submit(record)
+    for record in guard.flush():
+        yield from supervisor.submit(record)
+    yield from supervisor.flush()
+    # Fold restart-retired engine reports (and the final engine's) back into
+    # the original engine's report, which is the accumulator the caller sees.
+    final = supervisor.engine
+    if final is not engine:
+        for retired in supervisor.retired_reports:
+            if retired is not engine.report:
+                engine.report.merge(retired)
+        engine.report.merge(final.report)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore
+# ----------------------------------------------------------------------
+def save_checkpoint(assembler, path) -> dict:
+    """Snapshot ``assembler``'s open-flow state to ``path`` (pickle).
+
+    Works for both :class:`StreamingFlowAssembler` and
+    :class:`ShardedAssembler` (each defines ``checkpoint()``).  Returns the
+    state dict that was written.
+    """
+    state = assembler.checkpoint()
+    with open(path, "wb") as handle:
+        pickle.dump(state, handle)
+    return state
+
+
+def load_checkpoint(assembler, path):
+    """Restore ``assembler`` from a :func:`save_checkpoint` file.
+
+    The assembler must be configured identically (timeouts, shard count) to
+    the one that saved the snapshot; resuming the remaining stream then
+    produces records bit-identical to the uninterrupted run.  Returns the
+    assembler.
+    """
+    with open(path, "rb") as handle:
+        state = pickle.load(handle)
+    assembler.restore(state)
+    return assembler

@@ -181,6 +181,12 @@ class PcapReplaySource(PacketSource):
     pipeline materializes them on first ``app_kind`` access.  A shared
     ``decode_cache`` carries the decode memoization across successive
     captures of the same traffic mix.
+
+    ``errors="quarantine"`` reads damaged captures tolerantly
+    (:func:`read_pcap_columns`'s tolerant mode): the clean prefix streams
+    normally and every skipped record is appended to :attr:`errors` (a list
+    of :class:`~repro.net.pcap.PcapReadError`, reset at each replay pass).
+    The default ``"strict"`` raises exactly as before.
     """
 
     def __init__(
@@ -190,13 +196,24 @@ class PcapReplaySource(PacketSource):
         pace: float | None = None,
         decode_cache: dict | None = None,
         lazy_decode: bool = True,
+        errors: str = "strict",
     ):
         super().__init__(chunk_rows=chunk_rows, pace=pace)
         self.path = path
         self.decode_cache = decode_cache
         self.lazy_decode = lazy_decode
+        self.errors_mode = errors
+        #: Skipped-record provenance from the most recent replay pass.
+        self.errors: list = []
 
     def _columns(self) -> PacketColumns:
+        if self.errors_mode == "quarantine":
+            columns, errors = read_pcap_columns(
+                self.path, decode_cache=self.decode_cache,
+                lazy_decode=self.lazy_decode, errors="quarantine",
+            )
+            self.errors = errors
+            return columns
         return read_pcap_columns(
             self.path, decode_cache=self.decode_cache, lazy_decode=self.lazy_decode
         )

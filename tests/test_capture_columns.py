@@ -437,3 +437,110 @@ class TestFlowStatsIdleTimeout:
             flow_feature_matrix(columns, idle_timeout=0.5),
             flow_feature_matrix(trace, idle_timeout=0.5),
         )
+
+
+class TestTolerantRead:
+    """``read_pcap_columns(errors="quarantine")`` — damaged captures.
+
+    The tolerant mode's contract: the returned columns are bit-identical to
+    a strict read of the clean prefix with the bad records excised, and every
+    skipped record is reported as a :class:`PcapReadError` with its kind,
+    record index and byte offset.  The strict default must raise exactly as
+    before.
+    """
+
+    def test_errors_param_is_validated(self, capture_path):
+        with pytest.raises(ValueError, match="errors must be"):
+            read_pcap_columns(capture_path, errors="ignore")
+
+    def test_clean_capture_round_trips_with_no_errors(self, capture_path):
+        reference = read_pcap_columns(capture_path)
+        columns, errors = read_pcap_columns(capture_path, errors="quarantine")
+        assert errors == []
+        assert_columns_equal(reference, columns)
+
+    def test_truncated_record_yields_clean_prefix(self, capture_path, tmp_path):
+        from repro.net import PcapReadError
+
+        raw = capture_path.read_bytes()
+        damaged = tmp_path / "cut.pcap"
+        damaged.write_bytes(raw[:-5])  # the last record loses payload bytes
+        with pytest.raises(ValueError, match="truncated mid-record"):
+            read_pcap_columns(damaged)
+        columns, errors = read_pcap_columns(damaged, errors="quarantine")
+        full = read_pcap_columns(capture_path)
+        assert_columns_equal(full[np.arange(len(full) - 1)], columns)
+        assert len(errors) == 1
+        assert isinstance(errors[0], PcapReadError)
+        assert errors[0].kind == "truncated-record"
+        assert errors[0].index == len(full) - 1
+
+    def test_truncated_header_yields_all_records(self, capture_path, tmp_path):
+        raw = capture_path.read_bytes()
+        damaged = tmp_path / "tail.pcap"
+        damaged.write_bytes(raw + b"\x07" * 8)  # a partial next record header
+        with pytest.raises(ValueError, match="truncated record header"):
+            read_pcap_columns(damaged)
+        columns, errors = read_pcap_columns(damaged, errors="quarantine")
+        assert_columns_equal(read_pcap_columns(capture_path), columns)
+        assert [e.kind for e in errors] == ["truncated-header"]
+        assert errors[0].offset == len(raw)
+
+    @staticmethod
+    def _splice_bad_record(raw: bytes, after_records: int) -> tuple[bytes, int]:
+        """Insert an unparseable record after ``after_records`` records."""
+        import struct
+
+        header = struct.Struct("<IHHiIII")
+        record = struct.Struct("<IIII")
+        pos = header.size
+        for _ in range(after_records):
+            captured = record.unpack_from(raw, pos)[2]
+            pos += record.size + captured
+        bad = record.pack(0, 0, 4, 4) + b"\xde\xad\xbe\xef"  # < Ethernet size
+        return raw[:pos] + bad + raw[pos:], pos
+
+    def test_bad_record_is_excised(self, capture_path, tmp_path):
+        raw = capture_path.read_bytes()
+        spliced, offset = self._splice_bad_record(raw, after_records=3)
+        damaged = tmp_path / "bad.pcap"
+        damaged.write_bytes(spliced)
+        with pytest.raises(ValueError):  # the fallback parser's error
+            read_pcap_columns(damaged)
+        columns, errors = read_pcap_columns(damaged, errors="quarantine")
+        assert_columns_equal(read_pcap_columns(capture_path), columns)
+        assert [e.kind for e in errors] == ["bad-record"]
+        assert errors[0].index == 3
+        assert errors[0].offset == offset
+
+    def test_lazy_tolerant_read_matches_eager(self, capture_path, tmp_path):
+        raw = capture_path.read_bytes()
+        spliced, _ = self._splice_bad_record(raw, after_records=2)
+        damaged = tmp_path / "bad_lazy.pcap"
+        damaged.write_bytes(spliced)
+        eager, _ = read_pcap_columns(damaged, errors="quarantine")
+        lazy, errors = read_pcap_columns(
+            damaged, errors="quarantine", lazy_decode=True
+        )
+        assert [e.kind for e in errors] == ["bad-record"]
+        assert_columns_equal(eager, lazy)
+
+    def test_replay_source_quarantine_mode(self, capture_path, tmp_path):
+        from repro.serve import PcapReplaySource, chunk_columns
+
+        raw = capture_path.read_bytes()
+        damaged = tmp_path / "cut_replay.pcap"
+        damaged.write_bytes(raw[:-5])
+        source = PcapReplaySource(damaged, chunk_rows=7, errors="quarantine")
+        chunks = list(source)
+        assert [e.kind for e in source.errors] == ["truncated-record"]
+        reference = read_pcap_columns(capture_path)
+        clean = reference[np.arange(len(reference) - 1)]
+        expected = list(chunk_columns(clean, 7))
+        assert len(chunks) == len(expected)
+        for got, want in zip(chunks, expected):
+            assert np.array_equal(got.timestamps, want.timestamps)
+            assert np.array_equal(got.payload_lengths, want.payload_lengths)
+        strict = PcapReplaySource(damaged, chunk_rows=7)
+        with pytest.raises(ValueError, match="truncated mid-record"):
+            list(strict)

@@ -1,0 +1,721 @@
+"""Fault-tolerant serving (`repro.serve.faults` / `repro.serve.resilience`).
+
+The chaos harness: seeded fault plans are driven through the serving
+pipeline across traffic scenarios × fault sites × policies, and every run
+is checked against the load-bearing *conservation invariant* — under
+``quarantine``, the served multiset equals the fault-free sync multiset
+minus exactly the dead-lettered flows, and every input packet is either
+served or accounted for in the dead-letter queue.  ``fail_fast`` (the
+default) must re-raise each fault exactly as the pre-resilience pipeline
+would, ``degrade`` serves flagged fallbacks where only the model failed.
+
+The recovery half gates bit-identity: a crashed worker restarted by the
+supervisor must serve the exact fault-free multiset (drain + replay loses
+nothing, double-serves nothing), and an assembler restored from a
+checkpoint must emit the exact records of the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder
+from repro.core import NetFMConfig, NetFoundationModel, SequenceClassifier
+from repro.serve import (
+    AssemblyFaultError,
+    ChunkIntegrityError,
+    ColumnsSource,
+    DeadLetterQueue,
+    EngineCrashError,
+    FaultPlan,
+    FaultSpec,
+    InferenceEngine,
+    PoisonedLogitsError,
+    PredictionCache,
+    ServingFabric,
+    ShardedAssembler,
+    SourceFaultError,
+    StageStallError,
+    StreamingFlowAssembler,
+    chunk_columns,
+    load_checkpoint,
+    save_checkpoint,
+    serve_stream,
+)
+from repro.serve.resilience import POLICIES
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+from repro.traffic import (
+    AttackConfig,
+    AttackGenerator,
+    DNSWorkloadConfig,
+    DNSWorkloadGenerator,
+    EnterpriseScenarioConfig,
+    EnterpriseScenario,
+    HTTPWorkloadConfig,
+    HTTPWorkloadGenerator,
+    TLSWorkloadConfig,
+    TLSWorkloadGenerator,
+)
+
+MAX_TOKENS = 64
+CHUNK_ROWS = 13
+
+SCENARIOS = {
+    "dns": lambda: DNSWorkloadGenerator(
+        DNSWorkloadConfig(seed=1, duration=8.0, num_clients=5, queries_per_client=6)
+    ),
+    "http": lambda: HTTPWorkloadGenerator(
+        HTTPWorkloadConfig(seed=2, duration=8.0, num_sessions=8, requests_per_session=2)
+    ),
+    "tls": lambda: TLSWorkloadGenerator(
+        TLSWorkloadConfig(seed=3, duration=8.0, num_sessions=10)
+    ),
+    "attack": lambda: AttackGenerator(
+        AttackConfig(
+            seed=4, duration=8.0, scan_ports=20, flood_packets=25,
+            tunnel_queries=12, beacon_count=10, brute_force_attempts=15,
+        )
+    ),
+    "enterprise": lambda: EnterpriseScenario(
+        EnterpriseScenarioConfig(
+            seed=6, duration=12.0, dns_clients=4, dns_queries_per_client=5,
+            http_sessions=6, tls_sessions=6, iot_devices_per_type=1,
+        )
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS))
+def scenario(request):
+    """One scenario's capture plus a tiny trained-shape classifier."""
+    columns = SCENARIOS[request.param]().generate_columns()
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=MAX_TOKENS)
+    contexts = builder.build(columns.to_packets(), tokenizer)
+    vocabulary = Vocabulary.build([c.tokens for c in contexts])
+    config = NetFMConfig(
+        vocab_size=len(vocabulary), d_model=32, num_layers=2, num_heads=4,
+        d_ff=64, max_len=MAX_TOKENS, dropout=0.0, seed=0,
+    )
+    classifier = SequenceClassifier(NetFoundationModel(config), num_classes=4)
+    return {
+        "name": request.param,
+        "columns": columns,
+        "tokenizer": tokenizer,
+        "vocabulary": vocabulary,
+        "classifier": classifier,
+    }
+
+
+def make_assembler(scn, **kwargs):
+    return StreamingFlowAssembler(
+        scn["tokenizer"], scn["vocabulary"],
+        builder=FlowContextBuilder(max_tokens=MAX_TOKENS), **kwargs,
+    )
+
+
+def make_engine(scn, classifier=None, **kwargs):
+    kwargs.setdefault("batch_size", 8)
+    kwargs.setdefault("cache", PredictionCache())
+    return InferenceEngine(classifier or scn["classifier"], **kwargs)
+
+
+def run_resilient(scn, chunk_rows=CHUNK_ROWS, idle_timeout=0.0, workers=None,
+                  engine=None, **options):
+    """Serve the scenario's stream; return (predictions, engine)."""
+    assembler = make_assembler(scn, idle_timeout=idle_timeout)
+    engine = engine or make_engine(scn)
+    source = ColumnsSource(scn["columns"], chunk_rows=chunk_rows)
+    predictions = list(
+        serve_stream(source, assembler, engine, workers=workers, **options)
+    )
+    return predictions, engine
+
+
+def prediction_key(p):
+    """Everything the bit-identity contract covers, hashable."""
+    return (
+        str(p.record.key), p.record.generation,
+        p.record.token_ids.tobytes(), p.record.attention_mask.tobytes(),
+        p.record.label, p.record.packet_count,
+        p.record.start_time, p.record.end_time, p.record.closed_by,
+        p.logits.tobytes(),
+    )
+
+
+def record_key(r):
+    return (
+        str(r.key), r.generation, r.token_ids.tobytes(),
+        r.attention_mask.tobytes(), r.label, r.packet_count,
+        r.start_time, r.end_time, r.closed_by,
+    )
+
+
+# Fault-free sync references, memoized per (scenario, chunk, idle).
+_SYNC_PREDS: dict = {}
+
+
+def sync_predictions(scn, chunk_rows=CHUNK_ROWS, idle_timeout=0.0):
+    key = (scn["name"], chunk_rows, idle_timeout)
+    if key not in _SYNC_PREDS:
+        predictions, _ = run_resilient(
+            scn, chunk_rows=chunk_rows, idle_timeout=idle_timeout
+        )
+        _SYNC_PREDS[key] = predictions
+    return _SYNC_PREDS[key]
+
+
+def check_conservation(scn, predictions, dead_letters, chunk_rows=CHUNK_ROWS,
+                       idle_timeout=0.0):
+    """The load-bearing invariant: served == sync minus the dead-lettered.
+
+    Chunk-level entries (stage ``source``/``assembly``) poison a flow key
+    from their generation onward; record-level entries (stage
+    ``inference``/``output``) remove exactly one sync record each.  After
+    removing both, the served (non-degraded) multiset must equal what is
+    left of the fault-free sync multiset bit for bit, and the packet totals
+    must balance.
+    """
+    sync = sync_predictions(scn, chunk_rows, idle_timeout)
+    poisoned: dict[str, int] = {}
+    record_level: list[tuple[str, int]] = []
+    for entry in dead_letters:
+        if entry.stage in ("source", "assembly"):
+            key = str(entry.flow_key)
+            poisoned[key] = min(poisoned.get(key, entry.generation), entry.generation)
+        else:
+            record_level.append((str(entry.flow_key), entry.generation))
+    remaining = []
+    unmatched = list(record_level)
+    for p in sync:
+        key = str(p.record.key)
+        if key in poisoned and p.record.generation >= poisoned[key]:
+            continue  # a poisoned flow's packets live in its chunk-level entry
+        ident = (key, p.record.generation)
+        if ident in unmatched:
+            unmatched.remove(ident)
+            continue
+        remaining.append(prediction_key(p))
+    # Every record-level dead letter names a record the sync path served.
+    assert unmatched == []
+    served = sorted(prediction_key(p) for p in predictions if not p.degraded)
+    assert served == sorted(remaining)
+    # Packet conservation: served + dead-lettered == every input packet.
+    served_packets = sum(
+        p.record.packet_count for p in predictions if not p.degraded
+    )
+    assert served_packets + dead_letters.packets == len(scn["columns"])
+    # Degraded fallbacks are exactly the ``degraded`` dead letters.
+    degraded = [p for p in predictions if p.degraded]
+    assert len(degraded) == sum(
+        1 for e in dead_letters if e.action == "degraded"
+    )
+    for p in degraded:
+        assert not np.isfinite(p.logits).all() or not p.logits.any()
+
+
+# ----------------------------------------------------------------------
+# The chaos matrix: scenarios × fault sites × policies
+# ----------------------------------------------------------------------
+FAULT_CASES = {
+    # name -> (plan factory, exception fail_fast must surface)
+    "source-raise": (
+        lambda: FaultPlan((FaultSpec("source", 1, "raise"),)), SourceFaultError,
+    ),
+    "source-corrupt": (
+        lambda: FaultPlan((FaultSpec("source", 1, "corrupt"),)),
+        ChunkIntegrityError,
+    ),
+    "assembly-raise": (
+        lambda: FaultPlan((FaultSpec("assembly", 1, "raise"),)),
+        AssemblyFaultError,
+    ),
+    "forward-crash": (
+        lambda: FaultPlan((FaultSpec("forward", 0, "raise"),)), EngineCrashError,
+    ),
+    "logits-nan": (
+        lambda: FaultPlan((FaultSpec("logits", 0, "nan"),)), PoisonedLogitsError,
+    ),
+}
+
+
+class TestChaosMatrix:
+    """Every (scenario, fault site, policy) cell honors its contract."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("case", sorted(FAULT_CASES))
+    def test_policy_contract(self, scenario, case, policy):
+        make_plan, failfast_error = FAULT_CASES[case]
+        plan = make_plan()
+        dlq = DeadLetterQueue()
+        if policy == "fail_fast":
+            with pytest.raises(failfast_error):
+                run_resilient(scenario, fault_plan=plan, dead_letters=dlq)
+            assert plan.fired  # the scheduled fault is what raised
+            return
+        predictions, engine = run_resilient(
+            scenario, policy=policy, fault_plan=plan, dead_letters=dlq
+        )
+        assert plan.fired
+        assert len(dlq) > 0
+        check_conservation(scenario, predictions, dlq)
+        counters = engine.report.summary()["resilience"]
+        assert counters["errors"] >= 1
+        if policy == "quarantine":
+            assert counters["quarantined"] == len(dlq)
+            assert not any(p.degraded for p in predictions)
+        if policy == "degrade" and case in ("forward-crash", "logits-nan"):
+            # Only the model failed: fallbacks are served, flagged.
+            assert any(p.degraded for p in predictions)
+            assert counters["degraded"] >= 1
+
+    def test_dead_letters_carry_full_provenance(self, scenario):
+        plan = FaultPlan((FaultSpec("source", 1, "raise"),))
+        dlq = DeadLetterQueue()
+        run_resilient(
+            scenario, policy="quarantine", fault_plan=plan, dead_letters=dlq
+        )
+        assert len(dlq) > 0
+        for entry in dlq:
+            assert entry.stage == "source"
+            assert entry.action == "dropped"
+            assert entry.chunk_index == 1
+            assert entry.flow_key is not None
+            assert entry.generation >= 0
+            assert entry.packet_count >= 1
+            assert "SourceFaultError" in entry.error
+        summary = dlq.summary()
+        assert summary["entries"] == len(dlq)
+        assert summary["packets"] == dlq.packets
+        assert summary["by_stage"] == {"source": len(dlq)}
+        assert summary["by_action"] == {"dropped": len(dlq)}
+
+    def test_quarantine_keeps_eviction_schedule(self, scenario):
+        # Timeout evictions depend on the stream clock; losing a chunk must
+        # not stall time for the surviving flows (closed_by is part of the
+        # bit-identity key the conservation check compares).
+        plan = FaultPlan((FaultSpec("source", 1, "raise"),))
+        dlq = DeadLetterQueue()
+        predictions, _ = run_resilient(
+            scenario, idle_timeout=0.2, policy="quarantine",
+            fault_plan=plan, dead_letters=dlq,
+        )
+        assert plan.fired
+        check_conservation(scenario, predictions, dlq, idle_timeout=0.2)
+
+    @pytest.mark.parametrize("workers", [2])
+    @pytest.mark.parametrize(
+        "case", ["source-raise", "source-corrupt", "assembly-raise", "logits-nan"]
+    )
+    def test_fabric_quarantine_conserves(self, scenario, case, workers):
+        # The same invariant through the threaded fabric: guard state lives
+        # on the assembly stage, logit guards on every worker engine.
+        make_plan, _ = FAULT_CASES[case]
+        plan = make_plan()
+        dlq = DeadLetterQueue()
+        predictions, _ = run_resilient(
+            scenario, workers=workers, policy="quarantine",
+            fault_plan=plan, dead_letters=dlq,
+        )
+        assert plan.fired
+        check_conservation(scenario, predictions, dlq)
+
+
+class TestRandomChaosSweep:
+    """Seeded random plans (the CI chaos job sweeps CHAOS_SEED)."""
+
+    SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+    @pytest.mark.parametrize("policy", ["quarantine", "degrade"])
+    @pytest.mark.parametrize("draw", [0, 1])
+    def test_random_plan_conserves(self, scenario, policy, draw):
+        plan = FaultPlan.random(self.SEED * 100 + draw, faults=3, max_index=8)
+        dlq = DeadLetterQueue()
+        predictions, _ = run_resilient(
+            scenario, policy=policy, fault_plan=plan, dead_letters=dlq,
+            max_restarts=3, restart_backoff=0.005,
+        )
+        check_conservation(scenario, predictions, dlq)
+
+
+# ----------------------------------------------------------------------
+# Worker supervision: restart + replay is bit-identical
+# ----------------------------------------------------------------------
+class TestWorkerSupervision:
+    @pytest.mark.parametrize("policy", ["fail_fast", "quarantine"])
+    def test_restart_recovery_is_bit_identical(self, scenario, policy):
+        # A crash with restart budget left must lose nothing: drain + replay
+        # serves the exact fault-free multiset, logits to the last bit.
+        # Ordinal 0 so the fault fires for every scenario (some fit in one
+        # length bucket and run a single forward).
+        plan = FaultPlan((FaultSpec("forward", 0, "raise"),))
+        dlq = DeadLetterQueue()
+        predictions, engine = run_resilient(
+            scenario, policy=policy, fault_plan=plan, dead_letters=dlq,
+            max_restarts=2, restart_backoff=0.005,
+        )
+        reference = sorted(
+            prediction_key(p) for p in sync_predictions(scenario)
+        )
+        assert sorted(prediction_key(p) for p in predictions) == reference
+        assert plan.fired
+        assert len(dlq) == 0
+        counters = engine.report.summary()["resilience"]
+        assert counters["restarts"] >= 1
+        assert counters["retries"] >= 1
+
+    def test_fabric_restart_recovery_is_bit_identical(self, scenario):
+        plan = FaultPlan((FaultSpec("forward", 0, "raise"),))
+        dlq = DeadLetterQueue()
+        fabric = ServingFabric(
+            ColumnsSource(scenario["columns"], chunk_rows=CHUNK_ROWS),
+            make_assembler(scenario),
+            make_engine(scenario),
+            workers=2, policy="quarantine", fault_plan=plan,
+            dead_letters=dlq, max_restarts=2, restart_backoff=0.005,
+        )
+        predictions = list(fabric)
+        reference = sorted(
+            prediction_key(p) for p in sync_predictions(scenario)
+        )
+        assert sorted(prediction_key(p) for p in predictions) == reference
+        assert plan.fired
+        assert len(dlq) == 0
+        counters = fabric.summary()["resilience"]
+        assert counters["restarts"] >= 1
+
+    def test_exhausted_restarts_condemn_the_worker(self, scenario):
+        # Two crashes against a budget of one: the worker is condemned and
+        # everything it would have served is dead-lettered — conservation
+        # still holds exactly.
+        plan = FaultPlan((FaultSpec("forward", 0, "raise", count=2),))
+        dlq = DeadLetterQueue()
+        predictions, engine = run_resilient(
+            scenario, policy="quarantine", fault_plan=plan, dead_letters=dlq,
+            max_restarts=1, restart_backoff=0.005,
+        )
+        assert len(dlq) > 0
+        assert all(e.stage == "inference" for e in dlq)
+        check_conservation(scenario, predictions, dlq)
+        assert engine.report.summary()["resilience"]["restarts"] == 1
+
+    def test_backoff_is_exponential(self, scenario):
+        from repro.serve import WorkerSupervisor
+
+        sleeps = []
+        engine = make_engine(scenario)
+        supervisor = WorkerSupervisor(
+            engine, lambda old: old.clone(), "quarantine",
+            DeadLetterQueue(), engine.report,
+            max_restarts=3, backoff=0.05, backoff_factor=2.0,
+            sleep=sleeps.append,
+        )
+        class _AlwaysCrash:
+            num_classes = 4
+
+            def predict_logits(self, ids, mask=None, **kwargs):
+                raise RuntimeError("crash")
+
+        records = stream_records(scenario)[:2]
+        supervisor.engine.classifier = _AlwaysCrash()
+        for r in records:
+            supervisor.submit(r)
+        supervisor.flush()
+        assert supervisor.condemned
+        assert sleeps == [0.05, 0.1, 0.2]
+
+
+# ----------------------------------------------------------------------
+# Watchdog: a stalled stage fails the pipeline instead of hanging it
+# ----------------------------------------------------------------------
+class _StallingSource:
+    """Yields one chunk, then goes silent until released."""
+
+    def __init__(self, columns, release: threading.Event):
+        self.columns = columns
+        self.release = release
+
+    def __iter__(self):
+        yield self.columns[np.arange(min(20, len(self.columns)))]
+        self.release.wait(10.0)
+
+
+class TestWatchdog:
+    def test_stalled_source_raises_not_hangs(self, scenario):
+        release = threading.Event()
+        fabric = ServingFabric(
+            _StallingSource(scenario["columns"], release),
+            make_assembler(scenario, idle_timeout=0.2),
+            make_engine(scenario, batch_size=1),
+            workers=2, stall_timeout=0.3,
+        )
+        # Unblock the stalled thread shortly after the watchdog verdict so
+        # close() can join it without eating the full join timeout.
+        timer = threading.Timer(1.0, release.set)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(StageStallError):
+                list(fabric)
+        finally:
+            release.set()
+            timer.cancel()
+        assert time.monotonic() - started < 4.0
+
+    def test_backpressure_is_not_a_stall(self, scenario):
+        # A healthy pipeline far slower than the stall timeout must not trip
+        # the watchdog: stages heartbeat while waiting on bounded queues.
+        predictions, _ = run_resilient(
+            scenario, workers=2, stall_timeout=0.5,
+        )
+        reference = sorted(
+            prediction_key(p) for p in sync_predictions(scenario)
+        )
+        assert sorted(prediction_key(p) for p in predictions) == reference
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore: interrupted assembly resumes bit-identically
+# ----------------------------------------------------------------------
+class TestCheckpointRestore:
+    def _new_assembler(self, scn, sharded):
+        assembler = make_assembler(scn, idle_timeout=0.2)
+        if sharded:
+            return ShardedAssembler.from_template(assembler, 3)
+        return assembler
+
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_resume_is_bit_identical(self, scenario, tmp_path, sharded):
+        chunks = list(chunk_columns(scenario["columns"], CHUNK_ROWS))
+        half = max(1, len(chunks) // 2)
+
+        full = self._new_assembler(scenario, sharded)
+        uninterrupted = []
+        for chunk in chunks:
+            uninterrupted.extend(full.push(chunk))
+        uninterrupted.extend(full.flush())
+
+        head = self._new_assembler(scenario, sharded)
+        resumed = []
+        for chunk in chunks[:half]:
+            resumed.extend(head.push(chunk))
+        state = save_checkpoint(head, tmp_path / "assembler.ckpt")
+        assert state["format"] == type(head).CHECKPOINT_FORMAT
+        tail = load_checkpoint(
+            self._new_assembler(scenario, sharded), tmp_path / "assembler.ckpt"
+        )
+        for chunk in chunks[half:]:
+            resumed.extend(tail.push(chunk))
+        resumed.extend(tail.flush())
+
+        assert [record_key(r) for r in resumed] == [
+            record_key(r) for r in uninterrupted
+        ]
+
+    def test_resumed_serving_matches_end_to_end(self, scenario, tmp_path):
+        # Checkpoint mid-stream, serve the tail on a restored assembler and a
+        # fresh engine: records and logits equal the uninterrupted run.
+        chunks = list(chunk_columns(scenario["columns"], CHUNK_ROWS))
+        half = max(1, len(chunks) // 2)
+        reference = sync_predictions(scenario, idle_timeout=0.2)
+
+        head = make_assembler(scenario, idle_timeout=0.2)
+        engine = make_engine(scenario)
+        served = []
+        for chunk in chunks[:half]:
+            for record in head.push(chunk):
+                served.extend(engine.submit(record))
+        served.extend(engine.flush())
+        save_checkpoint(head, tmp_path / "mid.ckpt")
+
+        tail = load_checkpoint(
+            make_assembler(scenario, idle_timeout=0.2), tmp_path / "mid.ckpt"
+        )
+        resumed_engine = make_engine(scenario)
+        for chunk in chunks[half:]:
+            for record in tail.push(chunk):
+                served.extend(resumed_engine.submit(record))
+        for record in tail.flush():
+            served.extend(resumed_engine.submit(record))
+        served.extend(resumed_engine.flush())
+
+        assert sorted(prediction_key(p) for p in served) == sorted(
+            prediction_key(p) for p in reference
+        )
+
+    def test_restore_rejects_foreign_format(self, scenario, tmp_path):
+        assembler = make_assembler(scenario)
+        state = assembler.checkpoint()
+        state["format"] = "something/else"
+        with pytest.raises(ValueError, match="not an assembler checkpoint"):
+            assembler.restore(state)
+
+    def test_restore_rejects_mismatched_timeouts(self, scenario):
+        state = make_assembler(scenario, idle_timeout=0.5).checkpoint()
+        with pytest.raises(ValueError, match="idle_timeout"):
+            make_assembler(scenario, idle_timeout=0.2).restore(state)
+
+    def test_restore_rejects_wrong_shard_count(self, scenario):
+        state = ShardedAssembler.from_template(
+            make_assembler(scenario), 3
+        ).checkpoint()
+        wrong = ShardedAssembler.from_template(make_assembler(scenario), 2)
+        with pytest.raises(ValueError, match="shards"):
+            wrong.restore(state)
+
+    def test_sharded_rejects_unsharded_checkpoint(self, scenario):
+        state = make_assembler(scenario).checkpoint()
+        sharded = ShardedAssembler.from_template(make_assembler(scenario), 2)
+        with pytest.raises(ValueError, match="checkpoint"):
+            sharded.restore(state)
+
+
+# ----------------------------------------------------------------------
+# Fabric lifecycle: abandoning the iterator leaks no threads
+# ----------------------------------------------------------------------
+def _midstream_fabric(scn):
+    """A fabric whose predictions start flowing long before end of stream."""
+    return ServingFabric(
+        ColumnsSource(scn["columns"], chunk_rows=1),
+        make_assembler(scn, idle_timeout=0.2),
+        make_engine(scn, batch_size=1),
+        workers=2, chunk_queue=2, record_queue=4, output_queue=4,
+    )
+
+
+class TestFabricLifecycle:
+    def test_close_stops_threads_midstream(self, scenario):
+        fabric = _midstream_fabric(scenario)
+        it = iter(fabric)
+        next(it)  # the pipeline is live mid-stream
+        fabric.close()
+        assert all(not t.is_alive() for t in fabric._threads)
+        fabric.close()  # idempotent
+
+    def test_generator_close_joins_threads(self, scenario):
+        fabric = _midstream_fabric(scenario)
+        it = iter(fabric)
+        next(it)
+        it.close()  # GeneratorExit runs the finally -> close()
+        assert all(not t.is_alive() for t in fabric._threads)
+
+    def test_context_manager_closes(self, scenario):
+        with _midstream_fabric(scenario) as fabric:
+            next(iter(fabric))
+        assert all(not t.is_alive() for t in fabric._threads)
+
+    def test_abandoned_iterator_is_collected(self, scenario):
+        fabric = _midstream_fabric(scenario)
+        it = iter(fabric)
+        next(it)
+        threads = list(fabric._threads)
+        del it
+        del fabric
+        gc.collect()  # generator finalization runs close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert all(not t.is_alive() for t in threads)
+
+
+# ----------------------------------------------------------------------
+# Engine state after a mid-batch crash (no poisoned cache, no loss)
+# ----------------------------------------------------------------------
+def stream_records(scn, chunk_rows=CHUNK_ROWS, idle_timeout=0.0):
+    assembler = make_assembler(scn, idle_timeout=idle_timeout)
+    records = []
+    for chunk in chunk_columns(scn["columns"], chunk_rows):
+        records.extend(assembler.push(chunk))
+    records.extend(assembler.flush())
+    return records
+
+
+class _FlakyOnce:
+    """Crashes the first forward, then delegates to the real classifier."""
+
+    def __init__(self, classifier):
+        self._inner = classifier
+        self.crashes_left = 1
+
+    def predict_logits(self, token_ids, attention_mask=None, **kwargs):
+        if self.crashes_left:
+            self.crashes_left -= 1
+            raise RuntimeError("flaky forward")
+        return self._inner.predict_logits(token_ids, attention_mask, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestEngineCrashHygiene:
+    def test_crash_poisons_no_cache_entries(self, scenario):
+        records = stream_records(scenario)[:8]
+        cache = PredictionCache()
+        engine = InferenceEngine(
+            _FlakyOnce(scenario["classifier"]), batch_size=64, cache=cache
+        )
+        for record in records:
+            assert engine.submit(record) == []
+        with pytest.raises(RuntimeError, match="flaky forward"):
+            engine.flush()
+        # Nothing was served, so nothing may be cached — a retry must never
+        # hit a logits entry the crashed batch half-wrote.
+        assert len(cache) == 0
+        hits_before = cache.hits
+        # The bucket survived the crash: a retry on the same engine serves
+        # every record, bit-identical to a clean engine.
+        retried = engine.flush()
+        clean = make_engine(scenario, batch_size=64)
+        expected = []
+        for record in records:
+            expected.extend(clean.submit(record))
+        expected.extend(clean.flush())
+        assert sorted(prediction_key(p) for p in retried) == sorted(
+            prediction_key(p) for p in expected
+        )
+        # The retry forwards fresh logits; no stale hit was involved.
+        assert cache.hits == hits_before
+
+    def test_drain_pending_returns_exact_in_flight_set(self, scenario):
+        records = stream_records(scenario)[:6]
+        engine = make_engine(scenario, batch_size=64)
+        for record in records:
+            engine.submit(record)
+        drained = engine.drain_pending()
+        assert sorted(record_key(r) for r in drained) == sorted(
+            record_key(r) for r in records
+        )
+        assert engine.drain_pending() == []
+        assert engine.flush() == []  # nothing left behind
+
+    def test_cached_serving_unaffected_by_prior_crash(self, scenario):
+        # Serve once through a crash-then-retry engine, then re-serve the
+        # same records: every repeat must be a cache hit with exact logits.
+        records = stream_records(scenario)[:8]
+        cache = PredictionCache()
+        engine = InferenceEngine(
+            _FlakyOnce(scenario["classifier"]), batch_size=4, cache=cache
+        )
+        first: list = []
+        for record in records:
+            try:
+                first.extend(engine.submit(record))
+            except RuntimeError:
+                first.extend(engine.flush())  # retry the restored bucket
+        try:
+            first.extend(engine.flush())
+        except RuntimeError:
+            first.extend(engine.flush())  # the crash waited for the flush
+        assert sorted(record_key(p.record) for p in first) == sorted(
+            record_key(r) for r in records
+        )
+        by_key = {p.record.cache_key: p.logits for p in first}
+        for record in records:
+            hit = cache.get(record.cache_key)
+            assert hit is not None
+            np.testing.assert_array_equal(hit, by_key[record.cache_key])

@@ -163,7 +163,10 @@ def main(argv: list[str] | None = None) -> int:
         },
         "rows": {
             name: {
-                metric: (None if value != value else round(value, 3))  # NaN -> null
+                metric: (
+                    value if isinstance(value, dict)  # nested (resilience counters)
+                    else None if value != value else round(value, 3)  # NaN -> null
+                )
                 for metric, value in row.items()
             }
             for name, row in rows.items()
@@ -193,6 +196,13 @@ def main(argv: list[str] | None = None) -> int:
             "p99_latency_ms": round(serving["p99_ms"], 3),
             "cache_hit_rate": round(serving["cache_hit_rate"], 3),
             "mean_batch": round(serving["mean_batch"], 2),
+            # Resilience counters (repro.serve.resilience): all zero on the
+            # fault-free benchmark stream, surfaced so a chaos run's report
+            # is comparable field for field.
+            "errors": int(serving["resilience"]["errors"]),
+            "retries": int(serving["resilience"]["retries"]),
+            "quarantined": int(serving["resilience"]["quarantined"]),
+            "restarts": int(serving["resilience"]["restarts"]),
         },
         "serving_parallel": {
             "workers": int(parallel["workers"]),
