@@ -29,6 +29,19 @@ Two serving contracts live here rather than in the engine:
 
 Parameter arrays are re-read from the live modules on every call: fine-tune
 further and the fast path serves the new weights with no invalidation step.
+
+**Float32 serving builds take a different forward.**  Bit-identical replay
+pins the accumulation order, which pins the BLAS call shapes — so a float32
+build (``NetFMConfig.serve_dtype="float32"``, governed by the relaxed
+documented-ulp policy of :mod:`repro.nn.numeric`) dispatches per chunk to
+the packed kernels instead: one ``(b*s, d) @ (d, 3d)`` QKV gemm,
+head-packed contiguous ``(b*h, s, ·)`` score/context gemms,
+gemv-against-ones softmax/layernorm reductions
+(:func:`~repro.nn.kernels.eval_attention_packed`,
+:func:`~repro.nn.kernels.eval_layer_norm_packed`), and every remaining
+``(b, s, ·) @ (·, ·)`` projection reshaped to a single 2D gemm.  Both
+serving contracts above (batch invariance, attention recording) hold for
+that path too.  Float64 keeps the bit-exact replay unchanged.
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.autograd import _GELU_C
-from ..nn.kernels import ScratchPool
+from ..nn.kernels import ScratchPool, eval_attention_packed, eval_layer_norm_packed
 
 __all__ = ["EvalForward"]
 
@@ -64,7 +77,10 @@ class EvalForward:
         model = classifier.model
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if len(token_ids) == 0:
-            return np.zeros((0, classifier.num_classes))
+            return np.zeros(
+                (0, classifier.num_classes),
+                dtype=model.token_embedding.weight.data.dtype,
+            )
         n, seq = token_ids.shape
         if seq > model.config.max_len:
             raise ValueError(
@@ -104,6 +120,10 @@ class EvalForward:
         b, s = ids.shape
         d = token_table.shape[1]
         dtype = token_table.dtype
+        # Float32 serving builds run the packed-gemm forward under the
+        # relaxed-ulp policy; float64 keeps the bit-exact replay.
+        packed = dtype == np.float32
+        layer_norm = self._layer_norm_packed if packed else self._layer_norm
 
         # Embeddings: token gather + broadcast position add (same operand
         # pairs as the tiled-position composed path), then embedding norm.
@@ -113,7 +133,7 @@ class EvalForward:
         x += model.position_embedding.weight.data[:s]
         y = pool.take("res1", (b, s, d), dtype)
         norm = model.embedding_norm
-        self._layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, y)
+        layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, y)
         x, y = y, x
 
         mask = None
@@ -132,25 +152,36 @@ class EvalForward:
         for layer in model.encoder.layers:
             # x = x + out_proj(attention(norm1(x)))
             norm = layer.norm1
-            self._layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, blk)
+            layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, blk)
             att = layer.attention
-            merged, weights = self._attention(blk, att, mask)
+            if packed:
+                merged = pool.take("att_merged", (b, s, d), dtype)
+                merged, weights = eval_attention_packed(
+                    blk,
+                    att.q_proj.weight.data, att.q_proj.bias.data,
+                    att.k_proj.weight.data, att.k_proj.bias.data,
+                    att.v_proj.weight.data, att.v_proj.bias.data,
+                    att.num_heads, mask, pool, out=merged,
+                    need_weights=record,
+                )
+            else:
+                merged, weights = self._attention(blk, att, mask)
             att.last_attention = weights[:keep].copy() if record else None
-            np.matmul(merged, att.out_proj.weight.data, out=blk)
+            self._matmul(merged, att.out_proj.weight.data, blk, packed)
             blk += att.out_proj.bias.data
             np.add(x, blk, out=y)
             x, y = y, x
             # x = x + ff_out(gelu(ff_in(norm2(x))))
             norm = layer.norm2
-            self._layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, blk)
-            hidden = self._feed_forward(blk, layer)
-            np.matmul(hidden, layer.ff_out.weight.data, out=blk)
+            layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, blk)
+            hidden = self._feed_forward(blk, layer, packed)
+            self._matmul(hidden, layer.ff_out.weight.data, blk, packed)
             blk += layer.ff_out.bias.data
             np.add(x, blk, out=y)
             x, y = y, x
 
         norm = model.encoder.final_norm
-        self._layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, y)
+        layer_norm(x, norm.gamma.data, norm.beta.data, norm.eps, y)
 
         # [CLS] slice (a strided view, as in the module path) -> head.
         cls = y[:, 0, :]
@@ -162,6 +193,23 @@ class EvalForward:
     # ------------------------------------------------------------------
     # Op replays (each mirrors its fused kernel / composed op bit for bit)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _matmul(src, weight, out, packed: bool) -> None:
+        """``src @ weight -> out`` for ``(b, s, ·)`` activations.
+
+        The packed (float32) mode folds the batch into the rows so BLAS
+        runs one large gemm instead of ``b`` small ones; the float64 mode
+        keeps the 3D matmul the composed path runs, bit for bit.
+        """
+        if packed:
+            rows = src.shape[0] * src.shape[1]
+            np.matmul(src.reshape(rows, -1), weight, out=out.reshape(rows, -1))
+        else:
+            np.matmul(src, weight, out=out)
+
+    def _layer_norm_packed(self, data, gamma, beta, eps, out) -> None:
+        eval_layer_norm_packed(data, gamma, beta, eps, self._pool, out=out)
+
     def _layer_norm(self, data, gamma, beta, eps, out) -> None:
         pool = self._pool
         d = data.shape[-1]
@@ -221,13 +269,13 @@ class EvalForward:
         np.copyto(merged.reshape(b, s, h, dh), ctx.transpose(0, 2, 1, 3))
         return merged, scores
 
-    def _feed_forward(self, data, layer):
+    def _feed_forward(self, data, layer, packed: bool = False):
         """``gelu(ff_in(data))`` into a pooled hidden buffer."""
         pool = self._pool
         b, s, _ = data.shape
         d_ff = layer.ff_in.weight.data.shape[1]
         hidden = pool.take("ff_hidden", (b, s, d_ff), data.dtype)
-        np.matmul(data, layer.ff_in.weight.data, out=hidden)
+        self._matmul(data, layer.ff_in.weight.data, hidden, packed)
         hidden += layer.ff_in.bias.data
         # gelu(x) = 0.5 x (1 + tanh(C (x + 0.044715 x^3))); the cube is the
         # same (x * x) * x multiply chain as ``Tensor.gelu`` (NumPy's pow

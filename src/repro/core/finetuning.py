@@ -81,6 +81,12 @@ class SequenceClassifier(Module):
         rng = np.random.default_rng(self.config.seed + 7)
         self.dropout = Dropout(self.config.dropout, rng=rng)
         self.head = Linear(model.config.d_model, num_classes, rng=rng)
+        # The head serves the model's dtype: a float32 serving build must
+        # not silently upcast its logits through a float64 head.
+        target = model.token_embedding.weight.data.dtype
+        for param in self.head.parameters():
+            if param.data.dtype != target:
+                param.data = param.data.astype(target)
         self.num_classes = num_classes
         self._fastpath = None
         #: Record each layer's attention weights during ``predict_logits``
@@ -94,6 +100,33 @@ class SequenceClassifier(Module):
     def forward(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
         cls = self.model.encode_cls(token_ids, attention_mask=attention_mask)
         return self.head(self.dropout(cls))
+
+    @property
+    def model_dtype(self) -> str:
+        """The build dtype (``"float64"`` / ``"float32"``) this model serves in."""
+        return str(self.model.token_embedding.weight.data.dtype)
+
+    def serving_build(self, dtype: str = "float32") -> "SequenceClassifier":
+        """A serving replica of this classifier built in ``dtype``.
+
+        The one-time cast the accelerated serving path documents: a fresh
+        model is constructed with ``serve_dtype=dtype`` and this
+        classifier's trained weights are loaded into it
+        (:meth:`~repro.nn.module.Module.load_state_dict` casts state to the
+        parameter dtype).  The original keeps training in float64 as the
+        reference; the replica's eval forwards take the packed float32
+        kernels under the documented-ulp policy (:mod:`repro.nn.numeric`).
+        ``serving_build("float64")`` is a plain replica (useful for
+        symmetric comparisons).
+        """
+        dtype = str(np.dtype(dtype))
+        config = dataclasses.replace(self.model.config, serve_dtype=dtype)
+        replica = SequenceClassifier(
+            NetFoundationModel(config), self.num_classes, config=self.config
+        )
+        replica.load_state_dict(self.state_dict())
+        replica.record_attention = self.record_attention
+        return replica
 
     # ------------------------------------------------------------------
     # Training / inference over encoded arrays

@@ -48,6 +48,15 @@ class NetFoundationModel(Module):
             rng=rng,
             fused=fused,
         )
+        # Serving builds cast every parameter once at construction;
+        # load_state_dict then casts incoming float64 state to the
+        # parameter dtype, so restoring trained weights into a float32
+        # build is the one-time cast the serving path documents.
+        serve_dtype = getattr(config, "serve_dtype", "float64")
+        if serve_dtype != "float64":
+            target = np.dtype(serve_dtype)
+            for param in self.parameters():
+                param.data = param.data.astype(target)
 
     # ------------------------------------------------------------------
     # Forward passes

@@ -28,6 +28,18 @@ tape node each, with three properties the differential harness
 Dtype discipline: every kernel computes in the dtype of its input (scalars
 enter as Python floats, which NumPy treats as weak — no silent float64
 upcast), so the same code path serves float64 and float32 models.
+
+Float32 is special-cased further: bit-identical replay pins the accumulation
+order, which also pins the BLAS call shapes — batched attention dispatches
+``batch * heads`` tiny gemms and last-axis ufunc reductions run far slower
+than an equivalent gemv.  Under the relaxed-ulp policy
+(:mod:`repro.nn.numeric`) a float32 *eval* forward is allowed to
+reassociate, so the no-tape float32 paths here dispatch to the packed
+kernels (:func:`eval_attention_packed`, :func:`eval_layer_norm_packed`):
+one ``(b*s, d) @ (d, 3d)`` gemm for all three QKV projections, head-packed
+contiguous ``(b*h, s, ·)`` 3D gemms for scores and context, and
+gemv-against-ones for the softmax/layernorm reductions.  Float64 keeps the
+bit-exact replay unchanged.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ __all__ = [
     "fused_attention",
     "fused_cross_entropy",
     "fused_masked_cross_entropy",
+    "eval_layer_norm_packed",
+    "eval_attention_packed",
 ]
 
 
@@ -145,6 +159,13 @@ def fused_layer_norm(
     taping = is_grad_enabled() and (
         x.requires_grad or gamma.requires_grad or beta.requires_grad
     )
+
+    if not taping and data.dtype == np.float32:
+        # Float32 eval is governed by the relaxed-ulp policy
+        # (repro.nn.numeric): gemv-reduction layer norm.  Float64 keeps
+        # the bit-exact replay below.
+        out = eval_layer_norm_packed(data, gamma.data, beta.data, eps, pool)
+        return Tensor._make(out, False)
 
     mean = pool.take("ln_mean", stat_shape, data.dtype)
     np.sum(data, axis=-1, keepdims=True, out=mean)
@@ -272,6 +293,16 @@ def fused_attention(
         t.requires_grad for t in (x, wq, bq, wk, bk, wv, bv)
     )
 
+    if not taping and data.dtype == np.float32:
+        # Float32 eval is governed by the relaxed-ulp policy
+        # (repro.nn.numeric): head-packed gemms.  Float64 keeps the
+        # bit-exact replay below.
+        merged, weights = eval_attention_packed(
+            data, wq.data, bq.data, wk.data, bk.data, wv.data, bv.data,
+            num_heads, mask, pool,
+        )
+        return Tensor._make(merged, False), weights
+
     def _project(slot: str, w: Tensor, bias: Tensor) -> np.ndarray:
         out = np.empty((b, s, d), data.dtype) if taping else pool.take(slot, (b, s, d), data.dtype)
         np.matmul(data, w.data, out=out)
@@ -316,6 +347,162 @@ def fused_attention(
         _vjp_attention,
         (q4, k4, v4, weights, scale, pool),
     )
+    return out, weights
+
+
+# ----------------------------------------------------------------------
+# Packed eval kernels (the relaxed-ulp float32 serving path)
+# ----------------------------------------------------------------------
+
+def _ones(pool: ScratchPool, n: int, dtype) -> np.ndarray:
+    """A pooled all-ones vector (the gemv reduction operand)."""
+    ones = pool.take("ones", (n,), dtype)
+    ones.fill(1.0)
+    return ones
+
+
+def eval_layer_norm_packed(
+    data: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float,
+    pool: ScratchPool, out: np.ndarray | None = None,
+) -> np.ndarray:
+    """LayerNorm with gemv-against-ones reductions (relaxed-ulp policy).
+
+    Same mathematics as the composed path, but the mean and sum-of-squares
+    reductions run as one ``(rows, d) @ (d,)`` gemv each — far faster than
+    NumPy's last-axis pairwise sum, and associating differently, which is
+    why this path is only reachable from float32 eval forwards where the
+    documented-ulp contract (:mod:`repro.nn.numeric`) allows reassociation.
+    """
+    d = data.shape[-1]
+    rows = data.size // max(d, 1)
+    inv_d = 1.0 / max(d, 1)
+    dt = data.dtype
+    flat = data.reshape(rows, d)
+    ones = _ones(pool, d, dt)
+    stats = pool.take("lnp_stats", (2, rows), dt)
+    mean, var = stats[0], stats[1]
+    np.matmul(flat, ones, out=mean)
+    mean *= inv_d
+    centered = pool.take("lnp_centered", (rows, d), dt)
+    np.subtract(flat, mean[:, None], out=centered)
+    sq = pool.take("lnp_sq", (rows, d), dt)
+    np.multiply(centered, centered, out=sq)
+    np.matmul(sq, ones, out=var)
+    var *= inv_d
+    var += eps
+    np.sqrt(var, out=var)
+    if out is None:
+        out = np.empty(data.shape, dt)
+    flat_out = out.reshape(rows, d)
+    np.divide(centered, var[:, None], out=centered)
+    np.multiply(centered, gamma, out=flat_out)
+    flat_out += beta
+    return out
+
+
+def eval_attention_packed(
+    data: np.ndarray,
+    wq: np.ndarray, bq: np.ndarray,
+    wk: np.ndarray, bk: np.ndarray,
+    wv: np.ndarray, bv: np.ndarray,
+    num_heads: int,
+    mask: np.ndarray | None,
+    pool: ScratchPool,
+    out: np.ndarray | None = None,
+    need_weights: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """QKV + SDPA with head-packed gemms (relaxed-ulp policy).
+
+    BLAS sees a few large matrices instead of ``3 + 2 * b * h`` tiny ones:
+    the three projections run as one ``(b*s, d) @ (d, 3d)`` gemm, Q/K/V are
+    repacked head-major so the score and context matmuls are contiguous
+    ``(b*h, s, ·)`` batched gemms, and the softmax denominator is a single
+    ``(b*h*s, s) @ (s,)`` gemv.  Three more reassociations keep the
+    elementwise passes off the big ``(b*h, s, s)`` score matrix: the
+    ``1/sqrt(dh)`` scale is folded into Q before the score gemm, the
+    softmax stabilizer is a single flat max (NumPy's all-axes reduction is
+    SIMD-vectorized while the per-row one is not) guarded by a spread
+    check that falls back to exact per-row maxima, and with
+    ``need_weights=False`` the softmax division moves to the 8x-smaller
+    context matrix (``ctx / denom == (exp / denom) @ v`` in real
+    arithmetic).  Returns ``(merged context, attention weights)``; the
+    weights are a pooled ``(b, h, s, s)`` view, valid until the next call
+    on the same pool — or ``None`` with ``need_weights=False``, where the
+    normalized weights are never materialized.
+    """
+    b, s, d = data.shape
+    h = num_heads
+    dh = d // h
+    scale = 1.0 / float(np.sqrt(dh))
+    dt = data.dtype
+
+    # Packed projection: the per-call weight copy is O(d^2) against the
+    # O(b*s*d^2) gemm it enables, and re-reading the live weight arrays
+    # keeps the fast path's no-invalidation contract.
+    wqkv = pool.take("attp_wqkv", (d, 3 * d), dt)
+    np.copyto(wqkv[:, :d], wq)
+    np.copyto(wqkv[:, d:2 * d], wk)
+    np.copyto(wqkv[:, 2 * d:], wv)
+    bqkv = pool.take("attp_bqkv", (3 * d,), dt)
+    np.copyto(bqkv[:d], bq)
+    np.copyto(bqkv[d:2 * d], bk)
+    np.copyto(bqkv[2 * d:], bv)
+    qkv = pool.take("attp_qkv", (b * s, 3 * d), dt)
+    np.matmul(data.reshape(b * s, d), wqkv, out=qkv)
+    qkv += bqkv
+
+    # Head-major repack: (b, s, 3, h, dh) -> (3, b*h, s, dh) in one copy,
+    # so the batched gemms below run over contiguous 2D slices instead of
+    # the strided transpose views the bit-exact path hands to matmul.
+    packed = pool.take("attp_packed", (3, b * h, s, dh), dt)
+    np.copyto(
+        packed.reshape(3, b, h, s, dh),
+        qkv.reshape(b, s, 3, h, dh).transpose(2, 0, 3, 1, 4),
+    )
+    q3, k3, v3 = packed[0], packed[1], packed[2]
+    q3 *= scale  # fold the score scale into Q: s*dh elements, not s*s
+
+    scores = pool.take("attp_scores", (b * h, s, s), dt)
+    np.matmul(q3, k3.transpose(0, 2, 1), out=scores)
+    raw = scores.reshape(b, h, s, s)
+    if mask is not None:
+        np.copyto(raw, -1e9, where=mask)
+    # Softmax stabilizer.  Softmax is shift-invariant, so any per-row-or-
+    # larger shift near the maximum works; the flat all-axes max is ~17x
+    # faster than NumPy's per-row reduction at serving shapes.  It is only
+    # safe while every row's own maximum stays within exp's float range of
+    # the global one — guarded by the spread check (rows further than 60
+    # below the shift would push exp toward the subnormal floor), which
+    # falls back to exact per-row maxima (always, under a mask: the -1e9
+    # fill floors the global minimum).
+    stable = False
+    if mask is None:
+        gmax = float(scores.max())
+        gmin = float(scores.min())
+        stable = gmax - gmin < 60.0  # False for NaN/inf spreads too
+    if stable:
+        scores -= dt.type(gmax)
+    else:
+        mx = pool.take("attp_max", (b * h, s, 1), dt)
+        np.max(scores, axis=-1, keepdims=True, out=mx)
+        np.subtract(scores, mx, out=scores)
+    np.exp(scores, out=scores)
+    denom = pool.take("attp_denom", (b * h * s,), dt)
+    np.matmul(scores.reshape(b * h * s, s), _ones(pool, s, dt), out=denom)
+    weights = None
+    if need_weights:
+        scores /= denom.reshape(b * h, s, 1)
+        weights = scores.reshape(b, h, s, s)
+
+    ctx = pool.take("attp_ctx", (b * h, s, dh), dt)
+    np.matmul(scores, v3, out=ctx)
+    if not need_weights:
+        # Normalize the context instead of the score matrix: same real
+        # arithmetic, dh columns instead of s.
+        ctx /= denom.reshape(b * h, s, 1)
+    if out is None:
+        out = np.empty((b, s, d), dt)
+    np.copyto(out.reshape(b, s, h, dh), ctx.reshape(b, h, s, dh).transpose(0, 2, 1, 3))
     return out, weights
 
 

@@ -99,8 +99,20 @@ class Module:
         """Return a flat mapping of parameter names to array copies."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load parameter values from a flat mapping produced by :meth:`state_dict`."""
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], strict: bool = True, dtype: str = "param"
+    ) -> None:
+        """Load parameter values from a flat mapping produced by :meth:`state_dict`.
+
+        ``dtype`` selects which side's dtype wins: ``"param"`` (default)
+        casts incoming values to each parameter's dtype — the one-time cast
+        that loads trained float64 state into a float32 serving build —
+        while ``"state"`` adopts the stored dtype, so restoring a float32
+        checkpoint into a float64-built module converts the module in
+        place (the serialization round-trip).
+        """
+        if dtype not in ("param", "state"):
+            raise ValueError(f"dtype must be 'param' or 'state', got {dtype!r}")
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -111,7 +123,10 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=param.data.dtype)
+            if dtype == "param":
+                value = np.asarray(state[name], dtype=param.data.dtype)
+            else:
+                value = np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"

@@ -41,12 +41,32 @@ def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
 
 
 def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
-    """Serialize a module's parameters plus optional metadata."""
-    return save_state(model.state_dict(), path, metadata)
+    """Serialize a module's parameters plus optional metadata.
+
+    The parameter arrays keep their build dtype in the ``.npz`` (a float32
+    serving build round-trips as float32), and the dominant dtype is also
+    recorded as ``model_dtype`` metadata so tooling can tell a serving
+    checkpoint from a reference one without opening the arrays.
+    """
+    state = model.state_dict()
+    metadata = dict(metadata or {})
+    if "model_dtype" not in metadata and state:
+        dtypes = sorted({str(value.dtype) for value in state.values()})
+        metadata["model_dtype"] = dtypes[0] if len(dtypes) == 1 else "mixed"
+    return save_state(state, path, metadata)
 
 
-def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> dict:
-    """Restore a module's parameters; returns the stored metadata."""
+def load_checkpoint(
+    model: Module, path: str | Path, strict: bool = True, dtype: str = "param"
+) -> dict:
+    """Restore a module's parameters; returns the stored metadata.
+
+    ``dtype="param"`` (default) casts stored values to the module's build
+    dtype; ``dtype="state"`` adopts the checkpoint's dtype, so a float32
+    serving checkpoint restores as a float32 build even into a module that
+    was constructed in float64 (see :meth:`Module.load_state_dict
+    <repro.nn.module.Module.load_state_dict>`).
+    """
     state, metadata = load_state(path)
-    model.load_state_dict(state, strict=strict)
+    model.load_state_dict(state, strict=strict, dtype=dtype)
     return metadata

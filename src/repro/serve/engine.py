@@ -26,10 +26,19 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..nn.numeric import numeric_policy
 from .assembler import FlowRecord
 from .report import ServingReport
 
 __all__ = ["PredictionCache", "FlowPrediction", "InferenceEngine", "serve_stream"]
+
+
+def _numeric_policy(dtype: str) -> str:
+    """The policy identifier for a build dtype; ``"unknown"`` off-policy."""
+    try:
+        return numeric_policy(dtype)
+    except (TypeError, ValueError):
+        return "unknown"
 
 
 class PredictionCache:
@@ -131,6 +140,17 @@ class InferenceEngine:
         entirely — bit-identical (no position is masked) and measurably
         faster, since the mask materializes ``(batch, heads, seq, seq)``
         temporaries.
+    serve_dtype:
+        ``None`` (default) serves the classifier as built.  ``"float32"``
+        builds a float32 serving replica up front (via the classifier's
+        ``serving_build``) and serves that: the accelerated packed-gemm
+        path under the documented-ulp policy of :mod:`repro.nn.numeric`.
+
+    Cache keys are namespaced by the model build dtype: an engine caches
+    and looks up under ``b"<dtype>:" + record.cache_key``, so a float32 and
+    a float64 engine sharing one :class:`PredictionCache` (or one
+    checkpoint) can never serve each other's logits — a hit is always the
+    same dtype, same numeric policy as the forward it replaced.
     """
 
     def __init__(
@@ -141,6 +161,7 @@ class InferenceEngine:
         cache: "PredictionCache | None" = None,
         bucket_rounding: int = 1,
         lock=None,
+        serve_dtype: "str | None" = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -148,6 +169,16 @@ class InferenceEngine:
             raise ValueError("max_pending must be at least batch_size")
         if bucket_rounding <= 0:
             raise ValueError("bucket_rounding must be positive")
+        if serve_dtype is not None and serve_dtype != getattr(
+            classifier, "model_dtype", "float64"
+        ):
+            build = getattr(classifier, "serving_build", None)
+            if build is None:
+                raise ValueError(
+                    f"classifier cannot be rebuilt in {serve_dtype!r}: "
+                    "it has no serving_build()"
+                )
+            classifier = build(serve_dtype)
         self.classifier = classifier
         self.batch_size = batch_size
         self.max_pending = max_pending
@@ -165,7 +196,13 @@ class InferenceEngine:
         self._completed_backlog: list[FlowPrediction] = []
         self._buckets: dict[int, list[tuple[FlowRecord, float]]] = {}
         self._pending = 0
+        # Cache-key namespace: the build dtype is part of every key (see
+        # class docstring).  Fixed at construction — serving builds cast
+        # once at load and never change dtype afterwards.
+        self._cache_prefix = (self.model_dtype + ":").encode("ascii")
         self.report = ServingReport()
+        self.report.model_dtype = self.model_dtype
+        self.report.numeric_policy = _numeric_policy(self.model_dtype)
 
     def clone(self, classifier=None, lock=None) -> "InferenceEngine":
         """A fresh engine with this one's configuration and empty state.
@@ -193,6 +230,15 @@ class InferenceEngine:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def model_dtype(self) -> str:
+        """The served model's build dtype (``"float64"`` / ``"float32"``)."""
+        return getattr(self.classifier, "model_dtype", "float64")
+
+    def cache_key_for(self, record: FlowRecord) -> bytes:
+        """The dtype-namespaced cache key this engine stores ``record`` under."""
+        return self._cache_prefix + record.cache_key
+
+    @property
     def pending(self) -> int:
         """Flows submitted but not yet run through the model."""
         return self._pending
@@ -216,7 +262,7 @@ class InferenceEngine:
         submitted = self.report.mark_submit()
         completed: list[FlowPrediction] = []
         if self.cache is not None:
-            logits = self.cache.get(record.cache_key)
+            logits = self.cache.get(self.cache_key_for(record))
             if logits is not None:
                 prediction = FlowPrediction(
                     record=record,
@@ -347,7 +393,7 @@ class InferenceEngine:
             # Never cache fallback logits: a later identical flow must get a
             # real forward, not a poisoned hit.
             if self.cache is not None and not degraded:
-                self.cache.put(record.cache_key, row)
+                self.cache.put(self.cache_key_for(record), row)
             self.report.observe(prediction)
             predictions.append(prediction)
         return predictions

@@ -32,6 +32,12 @@ class ServingReport:
         self.queue_depths: dict[str, list[int]] = {}
         self.workers: dict[str, dict] = {}
         self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
+        #: Build dtype of the serving model (stamped by the engine at
+        #: construction; ``None`` until a report belongs to an engine).
+        self.model_dtype: str | None = None
+        #: Numeric-policy identifier governing the served logits
+        #: (:func:`repro.nn.numeric.numeric_policy` of the build dtype).
+        self.numeric_policy: str | None = None
         self._counter_lock = threading.Lock()
         self._first_submit: float | None = None
         self._last_completion: float | None = None
@@ -85,7 +91,17 @@ class ServingReport:
             self.counters[name] += n
 
     def merge(self, other: "ServingReport") -> None:
-        """Fold another report (one fabric worker's) into this one."""
+        """Fold another report (one fabric worker's) into this one.
+
+        The dtype/policy stamps are adopted from ``other`` when this report
+        has none; a genuine conflict (workers serving different builds)
+        surfaces as ``"mixed"`` rather than silently keeping one side.
+        """
+        for field in ("model_dtype", "numeric_policy"):
+            theirs = getattr(other, field, None)
+            if theirs is not None:
+                mine = getattr(self, field)
+                setattr(self, field, theirs if mine in (None, theirs) else "mixed")
         self.latencies.extend(other.latencies)
         self.flows += other.flows
         self.packets += other.packets
@@ -144,6 +160,8 @@ class ServingReport:
                 float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
             ),
             "cache_hit_rate": cache.hit_rate if cache is not None else None,
+            "model_dtype": self.model_dtype,
+            "numeric_policy": self.numeric_policy,
             "resilience": dict(self.counters),
         }
         if self.queue_depths:

@@ -320,6 +320,60 @@ class TestInferenceEngine:
             len(hits) / len(predictions)
         )
 
+    def test_cache_keys_are_dtype_namespaced(self, capture, encoded, classifier):
+        # A float64 and a float32 engine sharing one PredictionCache must
+        # never serve each other's logits: engine keys carry a dtype prefix
+        # (see InferenceEngine.cache_key_for), so the f32 pass below runs
+        # against a cache already warm with f64 rows and hits none of them.
+        columns, _ = capture
+        cache = PredictionCache()
+        predictions64, engine64 = self._streamed(
+            columns, encoded, classifier, chunk_rows=32, batch_size=8,
+            cache=cache,
+        )
+        hits64 = cache.hits
+        predictions32, engine32 = self._streamed(
+            columns, encoded, classifier, chunk_rows=32, batch_size=8,
+            cache=cache, serve_dtype="float32",
+        )
+        assert engine64.model_dtype == "float64"
+        assert engine32.model_dtype == "float32"
+        record = predictions64[0].record
+        assert engine64.cache_key_for(record).startswith(b"float64:")
+        assert engine32.cache_key_for(record).startswith(b"float32:")
+        assert engine64.cache_key_for(record) != engine32.cache_key_for(record)
+        assert all(p.logits.dtype == np.float64 for p in predictions64)
+        assert all(p.logits.dtype == np.float32 for p in predictions32)
+        # Identical hit pattern within each dtype (keys ignore logits), but
+        # zero cross-dtype hits: the second pass earns exactly as many hits
+        # again as the first did, all against its own float32 entries.
+        assert [p.cached for p in predictions32] == [
+            p.cached for p in predictions64
+        ]
+        assert cache.hits == 2 * hits64
+        assert [p.class_id for p in predictions32] == [
+            p.class_id for p in predictions64
+        ]
+
+    def test_report_stamps_dtype_and_policy(self, capture, encoded, classifier):
+        columns, _ = capture
+        _, engine64 = self._streamed(
+            columns, encoded, classifier, chunk_rows=32, batch_size=8
+        )
+        _, engine32 = self._streamed(
+            columns, encoded, classifier, chunk_rows=32, batch_size=8,
+            serve_dtype="float32",
+        )
+        assert engine64.summary()["model_dtype"] == "float64"
+        assert engine64.summary()["numeric_policy"] == "bit-exact-f64"
+        assert engine32.summary()["model_dtype"] == "float32"
+        assert engine32.summary()["numeric_policy"] == "relaxed-ulp-f32"
+        # Merging reports from workers serving different builds must not
+        # silently keep one side: the stamp degrades to "mixed".
+        engine64.report.merge(engine32.report)
+        assert engine64.report.model_dtype == "mixed"
+        assert engine64.report.numeric_policy == "mixed"
+
     def test_cache_key_ignores_cache_exempt_bytes(self, encoded):
         # Two DNS transactions identical modulo the transaction id — the
         # byte PR 4's decode cache is keyed modulo — produce identical

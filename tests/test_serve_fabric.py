@@ -40,6 +40,7 @@ from repro.serve import (
     interleave_columns,
     serve_stream,
 )
+from repro.nn.numeric import assert_within_ulp, ulp_budget
 from repro.tokenize import FieldAwareTokenizer, Vocabulary
 from repro.traffic import (
     AttackConfig,
@@ -271,6 +272,46 @@ class TestDifferentialScenarioSweep:
             sorted(prediction_key(p) for p in predictions)
             == sorted(prediction_key(p) for p in sync)
         )
+
+
+class TestFloat32ServingParity:
+    """The float32 serving build vs the float64 reference, per scenario.
+
+    The relaxed-ulp policy's serving acceptance (repro.nn.numeric): on
+    every E14 scenario the f32 engine must produce *identical* class
+    predictions and an *identical* cache-hit pattern, with logits inside
+    the documented ``logits`` ulp budget of the f64 reference.
+    """
+
+    def test_f32_engine_matches_f64_reference(self, scenario):
+        source = lambda: ColumnsSource(scenario["columns"], chunk_rows=13)
+        p64 = run_serve(scenario, source(), engine=make_engine(scenario))
+        p32 = run_serve(
+            scenario, source(),
+            engine=make_engine(scenario, serve_dtype="float32"),
+        )
+        identity = lambda p: (str(p.record.key), p.record.generation)
+        assert [identity(p) for p in p32] == [identity(p) for p in p64]
+        assert [p.class_id for p in p32] == [p.class_id for p in p64]
+        assert [p.cached for p in p32] == [p.cached for p in p64]
+        budget = ulp_budget("logits")
+        for ours, theirs in zip(p32, p64):
+            assert ours.logits.dtype == np.float32
+            assert_within_ulp(
+                ours.logits, theirs.logits, budget,
+                f"{scenario['name']} logits for flow {ours.record.key}",
+            )
+
+    def test_fabric_workers_serve_the_f32_build(self, scenario):
+        engine = make_engine(scenario, serve_dtype="float32")
+        predictions = run_serve(
+            scenario, ColumnsSource(scenario["columns"], chunk_rows=13),
+            workers=2, engine=engine,
+        )
+        assert all(p.logits.dtype == np.float32 for p in predictions)
+        # The fabric's merged report keeps the build's numeric provenance.
+        assert engine.report.model_dtype == "float32"
+        assert engine.report.numeric_policy == "relaxed-ulp-f32"
 
 
 class TestShardedAssembler:

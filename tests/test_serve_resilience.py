@@ -716,6 +716,8 @@ class TestEngineCrashHygiene:
         )
         by_key = {p.record.cache_key: p.logits for p in first}
         for record in records:
-            hit = cache.get(record.cache_key)
+            # Engine entries live under the dtype-namespaced key (the
+            # cache-key dtype rule, docs/SERVING.md).
+            hit = cache.get(engine.cache_key_for(record))
             assert hit is not None
             np.testing.assert_array_equal(hit, by_key[record.cache_key])

@@ -120,8 +120,14 @@ def main(argv: list[str] | None = None) -> int:
         "forward_latency": (
             "serve/forward (fused)", e14.FORWARD_LATENCY_SPEEDUP_FLOOR
         ),
+        "forward_latency_f32": (
+            "serve/forward (fused, f32)", e14.FORWARD_F32_SPEEDUP_FLOOR
+        ),
         "serving_micro_batch": (
             "serve/micro-batch (engine)", e14.SERVING_SPEEDUP_FLOOR
+        ),
+        "serving_f32": (
+            "serve/micro-batch (engine, f32)", e14.SERVING_F32_SPEEDUP_FLOOR
         ),
         "serving_parallel": (
             "serve/parallel (fabric)", e14.SERVING_PARALLEL_FLOOR
@@ -129,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     trailing_db = load_trailing()
     serving = rows["serve/micro-batch (engine)"]
+    serving_f32 = rows["serve/micro-batch (engine, f32)"]
     parallel = rows["serve/parallel (fabric)"]
     report = {
         "suite": "e14-throughput",
@@ -164,7 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         "rows": {
             name: {
                 metric: (
-                    value if isinstance(value, dict)  # nested (resilience counters)
+                    value if isinstance(value, (dict, str))  # nested / identifiers
                     else None if value != value else round(value, 3)  # NaN -> null
                 )
                 for metric, value in row.items()
@@ -185,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
             "forward_latency_ms": round(
                 rows["serve/forward (fused)"]["latency_ms"], 3
             ),
+            "forward_f32_speedup": round(
+                rows["serve/forward (fused, f32)"]["speedup"], 3
+            ),
+            "forward_f32_latency_ms": round(
+                rows["serve/forward (fused, f32)"]["latency_ms"], 3
+            ),
         },
         "serving": {
             "flows": int(serving["flows"]),
@@ -196,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
             "p99_latency_ms": round(serving["p99_ms"], 3),
             "cache_hit_rate": round(serving["cache_hit_rate"], 3),
             "mean_batch": round(serving["mean_batch"], 2),
+            # Numeric provenance (repro.nn.numeric, via ServingReport): the
+            # build dtype the engine served and the policy its logits are
+            # governed by.
+            "model_dtype": serving["model_dtype"],
+            "numeric_policy": serving["numeric_policy"],
             # Resilience counters (repro.serve.resilience): all zero on the
             # fault-free benchmark stream, surfaced so a chaos run's report
             # is comparable field for field.
@@ -203,6 +221,16 @@ def main(argv: list[str] | None = None) -> int:
             "retries": int(serving["resilience"]["retries"]),
             "quarantined": int(serving["resilience"]["quarantined"]),
             "restarts": int(serving["resilience"]["restarts"]),
+        },
+        "serving_f32": {
+            "speedup": round(serving_f32["speedup"], 3),
+            "throughput_flows_per_s": round(serving_f32["batched_tok_s"], 1),
+            "throughput_packets_per_s": round(serving_f32["packets_per_s"], 1),
+            "p50_latency_ms": round(serving_f32["p50_ms"], 3),
+            "p99_latency_ms": round(serving_f32["p99_ms"], 3),
+            "cache_hit_rate": round(serving_f32["cache_hit_rate"], 3),
+            "model_dtype": serving_f32["model_dtype"],
+            "numeric_policy": serving_f32["numeric_policy"],
         },
         "serving_parallel": {
             "workers": int(parallel["workers"]),
