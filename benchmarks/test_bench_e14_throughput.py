@@ -516,6 +516,55 @@ def _serving_times() -> dict[str, float]:
     batched_time = _best_of(batched)
     batched32_time = _best_of(batched32)
 
+    # Observability: the same engine pass with a TraceRecorder attached.
+    # ``batched`` above IS the tracing-off measurement (the gated path has
+    # no tracer), so ``tracing_on / batched`` is the span-recording overhead
+    # the zero-overhead-off contract bounds (docs/OBSERVABILITY.md).
+    from repro.nn.kernels import disable_kernel_profiling, enable_kernel_profiling
+    from repro.obs import TraceRecorder
+
+    def batched_traced() -> None:
+        engine = InferenceEngine(
+            classifier, batch_size=SERVING_BATCH_SIZE, tracer=TraceRecorder()
+        )
+        for record in records:
+            engine.submit(record)
+        engine.flush()
+
+    tracing_on_time = _best_of(batched_traced)
+
+    # Untimed full-pipeline traced pass (assembly included) for the
+    # per-stage latency breakdown BENCH_e14.json publishes.
+    trace = TraceRecorder()
+    traced_assembler = StreamingFlowAssembler(
+        tokenizer, vocabulary,
+        builder=FlowContextBuilder(max_tokens=64), tracer=trace,
+    )
+    traced_engine = InferenceEngine(
+        classifier, batch_size=SERVING_BATCH_SIZE, tracer=trace
+    )
+    for chunk in chunk_columns(columns, 256):
+        for record in traced_assembler.push(chunk):
+            traced_engine.submit(record)
+    for record in traced_assembler.flush():
+        traced_engine.submit(record)
+    traced_engine.flush()
+    trace_stages = {
+        stage: row for stage, row in trace.stage_breakdown().items()
+        if row["kind"] == "span"
+    }
+
+    # Kernel profile of one engine pass (profiler global on, then off).
+    # The float32 serving build is the profiled one: its forward runs the
+    # packed eval kernels (eval_layer_norm_packed / eval_attention_packed),
+    # while the float64 fast path inlines those stages un-profiled.
+    profiler = enable_kernel_profiling()
+    try:
+        batched32()
+    finally:
+        disable_kernel_profiling()
+    kernel_profile = profiler.snapshot()
+
     # Scorecard pass (cache enabled): hit rate, latency percentiles.
     engine = InferenceEngine(
         classifier, batch_size=SERVING_BATCH_SIZE, cache=PredictionCache()
@@ -561,6 +610,9 @@ def _serving_times() -> dict[str, float]:
         "cache_hit_rate_f32": summary32["cache_hit_rate"],
         "model_dtype_f32": summary32["model_dtype"],
         "numeric_policy_f32": summary32["numeric_policy"],
+        "tracing_on": tracing_on_time,
+        "trace_stages": trace_stages,
+        "kernel_profile": kernel_profile,
     }
 
 
@@ -623,6 +675,18 @@ def measure_serving() -> dict[str, dict[str, float]]:
             "cache_hit_rate": times["cache_hit_rate_f32"],
             "model_dtype": times["model_dtype_f32"],
             "numeric_policy": times["numeric_policy_f32"],
+        },
+        # The observability scorecard: tracing_off_s is the engine pass the
+        # serving gate times (no tracer in the loop), tracing_on_s the same
+        # pass with a TraceRecorder attached, so the ratio is the measured
+        # cost of turning tracing on — and the off-path cost is, by
+        # construction, whatever the gated serving row already pays (none).
+        "serve/observability": {
+            "tracing_off_s": times["batched"],
+            "tracing_on_s": times["tracing_on"],
+            "tracing_overhead_ratio": times["tracing_on"] / times["batched"],
+            "stages": times["trace_stages"],
+            "kernel_profile": times["kernel_profile"],
         },
     }
 

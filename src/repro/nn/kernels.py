@@ -44,6 +44,9 @@ bit-exact replay unchanged.
 
 from __future__ import annotations
 
+import functools
+import time
+
 import numpy as np
 
 from .autograd import Tensor, is_grad_enabled
@@ -51,6 +54,10 @@ from .autograd import Tensor, is_grad_enabled
 __all__ = [
     "ScratchPool",
     "scratch_allocations",
+    "KernelProfiler",
+    "enable_kernel_profiling",
+    "disable_kernel_profiling",
+    "kernel_profiler",
     "fused_layer_norm",
     "fused_attention",
     "fused_cross_entropy",
@@ -58,6 +65,124 @@ __all__ = [
     "eval_layer_norm_packed",
     "eval_attention_packed",
 ]
+
+
+# ----------------------------------------------------------------------
+# Kernel profiling hooks (process-global, off by default)
+# ----------------------------------------------------------------------
+
+# The active profiler, or None (the default).  Every hook site is one
+# global load plus an `is not None` check, so the disabled state costs
+# nothing measurable against the gemms the kernels dispatch — the
+# zero-overhead-off invariant docs/OBSERVABILITY.md documents and the E14
+# `train_step`/`forward_latency` gates enforce.
+_PROFILER = None
+
+
+class KernelProfiler:
+    """Per-kernel call counts and wall time, plus scratch-pool accounting.
+
+    Surfaces through a :class:`repro.obs.metrics.MetricsRegistry` (its own
+    by default, or one passed in so serving/training metrics and kernel
+    profiles share a single mergeable registry):
+
+    * ``kernel.<name>.calls`` / ``kernel.<name>.wall_s`` — one counter pair
+      per fused or packed kernel entry point; backward passes profile
+      separately as ``<name>.backward``.  Nested kernels (the float32 eval
+      dispatch runs ``eval_attention_packed`` inside ``fused_attention``)
+      each record their own wall time.
+    * ``kernel.pool.hits`` / ``misses`` / ``bytes_served`` /
+      ``bytes_allocated`` — :class:`ScratchPool` behavior; a warmed-up
+      steady state shows hits accumulating while misses stay flat.
+
+    Profiling observes values only — it never changes what a kernel
+    computes, so enabling it cannot perturb any bit-identity contract.
+    """
+
+    def __init__(self, registry=None, clock=time.perf_counter):
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.clock = clock
+        self._pool_hits = registry.counter("kernel.pool.hits")
+        self._pool_misses = registry.counter("kernel.pool.misses")
+        self._pool_served = registry.counter("kernel.pool.bytes_served")
+        self._pool_allocated = registry.counter("kernel.pool.bytes_allocated")
+
+    def record(self, name: str, seconds: float) -> None:
+        self.registry.counter(f"kernel.{name}.calls").inc()
+        self.registry.counter(f"kernel.{name}.wall_s").inc(seconds)
+
+    def pool_hit(self, nbytes: int) -> None:
+        self._pool_hits.inc()
+        self._pool_served.inc(nbytes)
+
+    def pool_miss(self, nbytes: int) -> None:
+        self._pool_misses.inc()
+        self._pool_allocated.inc(nbytes)
+
+    def snapshot(self) -> dict:
+        """``{"pool": {...}, "kernels": {name: {calls, wall_ms}}}``."""
+        kernels: dict[str, dict] = {}
+        for name, metric in self.registry.select("kernel.").items():
+            if name.startswith("kernel.pool."):
+                continue
+            base, field = name[len("kernel."):].rsplit(".", 1)
+            entry = kernels.setdefault(base, {"calls": 0, "wall_ms": 0.0})
+            if field == "calls":
+                entry["calls"] = int(metric.value)
+            elif field == "wall_s":
+                entry["wall_ms"] = float(metric.value) * 1000.0
+        return {
+            "pool": {
+                "hits": int(self._pool_hits.value),
+                "misses": int(self._pool_misses.value),
+                "bytes_served": int(self._pool_served.value),
+                "bytes_allocated": int(self._pool_allocated.value),
+            },
+            "kernels": dict(sorted(kernels.items())),
+        }
+
+
+def enable_kernel_profiling(registry=None, clock=time.perf_counter) -> KernelProfiler:
+    """Install (and return) a process-global :class:`KernelProfiler`."""
+    global _PROFILER
+    _PROFILER = KernelProfiler(registry=registry, clock=clock)
+    return _PROFILER
+
+
+def disable_kernel_profiling() -> "KernelProfiler | None":
+    """Remove the active profiler; returns it (for a final snapshot)."""
+    global _PROFILER
+    profiler, _PROFILER = _PROFILER, None
+    return profiler
+
+
+def kernel_profiler() -> "KernelProfiler | None":
+    """The active process-global profiler, or ``None`` (the default)."""
+    return _PROFILER
+
+
+def _profiled(name: str):
+    """Wrap a kernel entry point with the (default-off) profiling hook."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            profiler = _PROFILER
+            if profiler is None:
+                return fn(*args, **kwargs)
+            t0 = profiler.clock()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.record(name, profiler.clock() - t0)
+
+        return wrapper
+
+    return decorate
 
 
 # Count of scratch buffers allocated (pool misses) since process start.
@@ -89,10 +214,15 @@ class ScratchPool:
         global _POOL_ALLOCS
         key = (slot, shape, np.dtype(dtype).char)
         buf = self._buffers.get(key)
+        profiler = _PROFILER
         if buf is None:
             _POOL_ALLOCS += 1
             buf = np.empty(shape, dtype=dtype)
             self._buffers[key] = buf
+            if profiler is not None:
+                profiler.pool_miss(buf.nbytes)
+        elif profiler is not None:
+            profiler.pool_hit(buf.nbytes)
         return buf
 
     def __deepcopy__(self, memo):
@@ -105,6 +235,7 @@ class ScratchPool:
 # Fused LayerNorm
 # ----------------------------------------------------------------------
 
+@_profiled("layer_norm.backward")
 def _vjp_layer_norm(grad, parents, saved):
     # Backward temporaries come from the module's scratch pool (slots are
     # disjoint from the forward's, and ``_add_grad`` copies every returned
@@ -141,6 +272,7 @@ def _vjp_layer_norm(grad, parents, saved):
     return gx, ggamma, gbeta
 
 
+@_profiled("layer_norm")
 def fused_layer_norm(
     x: Tensor, gamma: Tensor, beta: Tensor, eps: float, pool: ScratchPool
 ) -> Tensor:
@@ -201,6 +333,7 @@ def fused_layer_norm(
 # Fused multi-head attention (QKV projection + SDPA + softmax)
 # ----------------------------------------------------------------------
 
+@_profiled("attention.backward")
 def _vjp_attention(grad, parents, saved):
     # The backward is the hottest kernel in a train step and its
     # temporaries are (batch, heads, seq, seq)-sized, so they come from the
@@ -263,6 +396,7 @@ def _vjp_attention(grad, parents, saved):
     return gx, gwq, gbq, gwk, gbk, gwv, gbv
 
 
+@_profiled("attention")
 def fused_attention(
     x: Tensor,
     wq: Tensor,
@@ -361,6 +495,7 @@ def _ones(pool: ScratchPool, n: int, dtype) -> np.ndarray:
     return ones
 
 
+@_profiled("layer_norm_packed")
 def eval_layer_norm_packed(
     data: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float,
     pool: ScratchPool, out: np.ndarray | None = None,
@@ -400,6 +535,7 @@ def eval_layer_norm_packed(
     return out
 
 
+@_profiled("attention_packed")
 def eval_attention_packed(
     data: np.ndarray,
     wq: np.ndarray, bq: np.ndarray,
@@ -514,6 +650,7 @@ def _softmax_from_saved(exp_shifted: np.ndarray, sum_exp: np.ndarray) -> np.ndar
     return exp_shifted / sum_exp
 
 
+@_profiled("cross_entropy.backward")
 def _vjp_cross_entropy(grad, parents, saved):
     (logits,) = parents
     exp_shifted, sum_exp, targets, label_smoothing = saved
@@ -550,6 +687,7 @@ def _cross_entropy_forward(
     return loss, exp_shifted, sum_exp
 
 
+@_profiled("cross_entropy")
 def fused_cross_entropy(
     logits, targets: np.ndarray, label_smoothing: float = 0.0
 ) -> Tensor:
@@ -578,6 +716,7 @@ def fused_cross_entropy(
     )
 
 
+@_profiled("masked_cross_entropy.backward")
 def _vjp_masked_cross_entropy(grad, parents, saved):
     (logits,) = parents
     exp_shifted, sum_exp, targets, indices, shape = saved
@@ -593,6 +732,7 @@ def _vjp_masked_cross_entropy(grad, parents, saved):
     return (full,)
 
 
+@_profiled("masked_cross_entropy")
 def fused_masked_cross_entropy(logits, targets: np.ndarray, mask: np.ndarray) -> Tensor:
     """Drop-in fused variant of :func:`repro.nn.losses.masked_cross_entropy`."""
     from .autograd import as_tensor

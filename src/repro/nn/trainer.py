@@ -54,6 +54,36 @@ class TrainingHistory:
             return float("nan")
         return max(values) if maximize else min(values)
 
+    def to_registry(self, registry=None):
+        """Express this history over a :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Scalar totals become ``train.*`` counters and the per-step series
+        become bounded log-scale histograms — the same mergeable, JSON-
+        exportable shapes the serving report uses, so training and serving
+        telemetry fold into one registry.  Pass a registry to accumulate
+        into (e.g. across fits); a fresh one is created otherwise.
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        registry.counter("train.steps").inc(len(self.losses))
+        registry.counter("train.tokens").inc(self.tokens_processed)
+        registry.counter("train.wall_s").inc(self.wall_time)
+        registry.counter("train.scratch_allocations").inc(
+            sum(self.step_scratch_allocations)
+        )
+        registry.counter("train.tensor_allocations").inc(
+            sum(self.step_tensor_allocations)
+        )
+        if self.losses:
+            registry.histogram("train.loss", 1e-6, 1e6).observe_many(self.losses)
+        if self.step_wall_times:
+            registry.histogram("train.step_wall_s", 1e-6, 1e3).observe_many(
+                self.step_wall_times
+            )
+        return registry
+
 
 class Trainer:
     """Drives epochs of (batch -> loss) closures over a model.
@@ -70,6 +100,7 @@ class Trainer:
         schedule: LRSchedule | None = None,
         max_grad_norm: float | None = 1.0,
         preallocate_grads: bool = True,
+        metrics=None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -80,6 +111,11 @@ class Trainer:
         #: not reallocate parameter gradients.
         self.preallocate_grads = bool(preallocate_grads)
         self.history = TrainingHistory()
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` receiving the
+        #: same per-step observations live (``train.*`` names, see
+        #: :meth:`TrainingHistory.to_registry`).  ``None`` (default) skips
+        #: all registry work in the step loop.
+        self.metrics = metrics
 
     def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
         """One optimization step; returns the scalar loss value."""
@@ -100,11 +136,20 @@ class Trainer:
         else:
             lr = self.optimizer.lr
         value = loss.item()
+        step_wall = time.perf_counter() - step_start
+        step_scratch = scratch_allocations() - scratch_before
+        step_tensors = tensor_allocations() - tensors_before
         self.history.losses.append(value)
         self.history.learning_rates.append(lr)
-        self.history.step_wall_times.append(time.perf_counter() - step_start)
-        self.history.step_scratch_allocations.append(scratch_allocations() - scratch_before)
-        self.history.step_tensor_allocations.append(tensor_allocations() - tensors_before)
+        self.history.step_wall_times.append(step_wall)
+        self.history.step_scratch_allocations.append(step_scratch)
+        self.history.step_tensor_allocations.append(step_tensors)
+        if self.metrics is not None:
+            self.metrics.counter("train.steps").inc()
+            self.metrics.counter("train.scratch_allocations").inc(step_scratch)
+            self.metrics.counter("train.tensor_allocations").inc(step_tensors)
+            self.metrics.histogram("train.loss", 1e-6, 1e6).observe(value)
+            self.metrics.histogram("train.step_wall_s", 1e-6, 1e3).observe(step_wall)
         return value
 
     def fit(
@@ -130,6 +175,7 @@ class Trainer:
             consecutive epochs.
         """
         start = time.perf_counter()
+        tokens_before = self.history.tokens_processed
         best = -np.inf
         stale = 0
         for epoch in range(epochs):
@@ -156,4 +202,9 @@ class Trainer:
                 mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
                 print(f"epoch {epoch + 1}/{epochs} loss={mean_loss:.4f}")
         self.history.wall_time = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.counter("train.wall_s").inc(self.history.wall_time)
+            self.metrics.counter("train.tokens").inc(
+                self.history.tokens_processed - tokens_before
+            )
         return self.history

@@ -119,6 +119,15 @@ class StreamingFlowAssembler:
         after its flow's first packet closes the flow and starts a new
         generation.  0 disables.  Both rules depend only on each flow's own
         packet sequence, so the emitted records are chunk-size invariant.
+    tracer:
+        Optional :class:`repro.obs.trace.TraceRecorder`.  When set, every
+        flow open is annotated as a ``first_packet`` event (the capture
+        timestamp rides in the ``packet_ts`` attr), every close as a
+        ``flow_closed`` event (reason and packet count), and the offline
+        ``encode_columns`` call is recorded as an ``encode`` span.  Tracing
+        observes only — the emitted records are bit-identical with or
+        without it — and ``None`` (the default) leaves the assembly path
+        unchanged.
 
     Chunks must arrive in capture-time order (all sources in
     :mod:`repro.serve.stream` yield time-sorted traces); within that
@@ -133,12 +142,14 @@ class StreamingFlowAssembler:
         builder: FlowContextBuilder | None = None,
         idle_timeout: float = 0.0,
         active_timeout: float = 0.0,
+        tracer=None,
     ):
         self.tokenizer = tokenizer
         self.vocabulary = vocabulary
         self.builder = builder if builder is not None else FlowContextBuilder()
         self.idle_timeout = float(idle_timeout)
         self.active_timeout = float(active_timeout)
+        self.tracer = tracer
         self._flows: dict[object, _FlowState] = {}
         self._next_generation: dict[object, int] = {}
         self._clock = float("-inf")  # stream time: max timestamp seen
@@ -380,6 +391,8 @@ class StreamingFlowAssembler:
         )
         self._seq += 1
         self._flows[key] = state
+        if self.tracer is not None:
+            self.tracer.annotate(key, generation, "first_packet", packet_ts=t)
         return state
 
     def _append(self, state: _FlowState, chunk: PacketColumns, rows: list[int]) -> None:
@@ -398,9 +411,21 @@ class StreamingFlowAssembler:
             if len(state.parts) == 1
             else type(state.parts[0]).concat(state.parts)
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.annotate(
+                key, state.generation, "flow_closed",
+                reason=reason, packet_count=state.count,
+            )
+            t0 = tracer.clock()
         ids, mask, labels = self.builder.encode_columns(
             columns, self.tokenizer, self.vocabulary, return_labels=True
         )
+        if tracer is not None:
+            tracer.record_span(
+                key, state.generation, "encode", t0, tracer.clock(),
+                tokens=int(mask[0].sum()),
+            )
         return FlowRecord(
             key=key,
             generation=state.generation,
@@ -500,10 +525,10 @@ class ShardedAssembler:
     ) -> "ShardedAssembler":
         """Build ``shards`` assemblers configured like ``assembler``.
 
-        The shards share the template's tokenizer, vocabulary and builder
-        (all read-mostly at serve time); each gets its own flow-state
-        dictionaries.  The template itself is not used, so its open-flow
-        state stays untouched.
+        The shards share the template's tokenizer, vocabulary, builder and
+        tracer (all read-mostly at serve time; the trace recorder is
+        thread-safe); each gets its own flow-state dictionaries.  The
+        template itself is not used, so its open-flow state stays untouched.
         """
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -514,6 +539,7 @@ class ShardedAssembler:
                 builder=assembler.builder,
                 idle_timeout=assembler.idle_timeout,
                 active_timeout=assembler.active_timeout,
+                tracer=assembler.tracer,
             )
             for _ in range(shards)
         ])

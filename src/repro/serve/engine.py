@@ -145,6 +145,15 @@ class InferenceEngine:
         builds a float32 serving replica up front (via the classifier's
         ``serving_build``) and serves that: the accelerated packed-gemm
         path under the documented-ulp policy of :mod:`repro.nn.numeric`.
+    tracer:
+        Optional :class:`repro.obs.trace.TraceRecorder`.  When set, every
+        served flow gets a ``batched`` span (submit until its micro-batch
+        ran: queue wait), an ``inferred`` span (the model forward, shared
+        start/end across the batch) and an ``emitted`` event; cache hits
+        get ``cache_hit`` + ``emitted`` events instead.  Tracing observes
+        only — predictions, logits and cache contents are bit-identical
+        with or without it — and ``None`` (the default) leaves the serving
+        path unchanged.
 
     Cache keys are namespaced by the model build dtype: an engine caches
     and looks up under ``b"<dtype>:" + record.cache_key``, so a float32 and
@@ -162,6 +171,7 @@ class InferenceEngine:
         bucket_rounding: int = 1,
         lock=None,
         serve_dtype: "str | None" = None,
+        tracer=None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -193,8 +203,15 @@ class InferenceEngine:
         # for every non-finite logits row before the batch is emitted;
         # returns "drop"/"degrade" or raises, per policy.
         self.output_guard = None
+        self.tracer = tracer
+        #: Optional label the fabric stamps on this engine's trace events
+        #: (its worker name), so a merged trace attributes work to workers.
+        self.trace_worker: "str | None" = None
         self._completed_backlog: list[FlowPrediction] = []
-        self._buckets: dict[int, list[tuple[FlowRecord, float]]] = {}
+        # Bucket entries are (record, submitted, trace_submit): the report
+        # timestamp and, when tracing, the tracer-clock submit time the
+        # ``batched`` (queue-wait) span starts from.
+        self._buckets: dict[int, list[tuple[FlowRecord, float, float]]] = {}
         self._pending = 0
         # Cache-key namespace: the build dtype is part of every key (see
         # class docstring).  Fixed at construction — serving builds cast
@@ -224,6 +241,7 @@ class InferenceEngine:
             ),
             bucket_rounding=self.bucket_rounding,
             lock=lock,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -260,6 +278,8 @@ class InferenceEngine:
         by a submission — consume the returned list every call.
         """
         submitted = self.report.mark_submit()
+        tracer = self.tracer
+        trace_submit = tracer.clock() if tracer is not None else 0.0
         completed: list[FlowPrediction] = []
         if self.cache is not None:
             logits = self.cache.get(self.cache_key_for(record))
@@ -271,11 +291,17 @@ class InferenceEngine:
                     latency=self.report.mark_submit() - submitted,
                 )
                 self.report.observe(prediction)
+                if tracer is not None:
+                    t = tracer.clock()
+                    tracer.annotate(
+                        record.key, record.generation, "cache_hit", t=t,
+                    )
+                    self._annotate_emitted(record, t, cached=True)
                 return [prediction]
         width = len(record)
         bucket = -(-width // self.bucket_rounding) * self.bucket_rounding
         queue = self._buckets.setdefault(bucket, [])
-        queue.append((record, submitted))
+        queue.append((record, submitted, trace_submit))
         self._pending += 1
         try:
             if len(queue) >= self.batch_size:
@@ -326,7 +352,7 @@ class InferenceEngine:
         """
         pending: list[FlowRecord] = []
         for bucket in sorted(self._buckets):
-            pending.extend(record for record, _ in self._buckets[bucket])
+            pending.extend(record for record, _, _ in self._buckets[bucket])
         self._buckets.clear()
         self._pending = 0
         return pending
@@ -334,11 +360,18 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _annotate_emitted(self, record, t: float, **attrs) -> None:
+        if self.trace_worker is not None:
+            attrs["worker"] = self.trace_worker
+        self.tracer.annotate(
+            record.key, record.generation, "emitted", t=t, **attrs
+        )
+
     def _run_bucket(self, bucket: int) -> list[FlowPrediction]:
         queue = self._buckets.pop(bucket, [])
         if not queue:
             return []
-        records = [record for record, _ in queue]
+        records = [record for record, _, _ in queue]
         width = max(len(record) for record in records)
         ids = np.stack([record.token_ids[:width] for record in records])
         mask = np.stack([record.attention_mask[:width] for record in records])
@@ -349,7 +382,9 @@ class InferenceEngine:
         # Exact-length buckets carry no padding, so attention needs no mask
         # at all — skipping it is bit-identical and skips the (batch, heads,
         # seq, seq) mask temporaries, the forward's largest arrays.
+        tracer = self.tracer
         try:
+            t_forward = tracer.clock() if tracer is not None else 0.0
             if self.lock is not None:
                 with self.lock:
                     logits = self.classifier.predict_logits(
@@ -359,6 +394,7 @@ class InferenceEngine:
                 logits = self.classifier.predict_logits(
                     ids, None if mask.all() else mask, batch_size=len(ids)
                 )
+            t_done = tracer.clock() if tracer is not None else 0.0
             # Poisoned-output scan happens before any row is cached or
             # emitted, so a fail_fast guard raise leaves the whole batch
             # replayable exactly like a forward crash.
@@ -379,7 +415,9 @@ class InferenceEngine:
         self.report.observe_batch(len(records))
         done = self.report.mark_submit()
         predictions = []
-        for j, ((record, submitted), row) in enumerate(zip(queue, logits)):
+        for j, ((record, submitted, trace_submit), row) in enumerate(
+            zip(queue, logits)
+        ):
             action = actions.get(j)
             if action == "drop":
                 continue
@@ -395,6 +433,18 @@ class InferenceEngine:
             if self.cache is not None and not degraded:
                 self.cache.put(self.cache_key_for(record), row)
             self.report.observe(prediction)
+            if tracer is not None:
+                tracer.record_span(
+                    record.key, record.generation, "batched",
+                    trace_submit, t_forward, batch=len(records),
+                )
+                tracer.record_span(
+                    record.key, record.generation, "inferred",
+                    t_forward, t_done, batch=len(records),
+                )
+                self._annotate_emitted(
+                    record, t_done, cached=False, degraded=degraded,
+                )
             predictions.append(prediction)
         return predictions
 

@@ -213,10 +213,15 @@ class ServingFabric:
                 # FaultInjectedClassifier.__deepcopy__ copies the model but
                 # shares the plan: each scheduled fault fires once pool-wide.
                 classifier = copy.deepcopy(classifier)
-            self.engines.append(engine.clone(classifier=classifier, lock=lock))
+            worker_engine = engine.clone(classifier=classifier, lock=lock)
+            # clone() carried the template's tracer (shared, thread-safe);
+            # the label attributes each worker's trace events to it.
+            worker_engine.trace_worker = f"worker[{worker}]"
+            self.engines.append(worker_engine)
         if self._resilient:
             self.dead_letters = (
-                dead_letters if dead_letters is not None else DeadLetterQueue()
+                dead_letters if dead_letters is not None
+                else DeadLetterQueue(tracer=engine.tracer)
             )
             for index, worker_engine in enumerate(self.engines):
                 worker_engine.output_guard = LogitGuard(
@@ -423,7 +428,7 @@ class ServingFabric:
                 f"worker[{worker}]",
                 {
                     "flows": engine.report.flows,
-                    "batches": len(engine.report.batch_sizes),
+                    "batches": engine.report.batches,
                     "busy_s": busy,
                     "wall_s": wall,
                     "utilization": busy / wall if wall > 0 else 0.0,

@@ -5,6 +5,24 @@ heavy traffic" goal is tracked by: every completed prediction is observed
 with its submit-to-completion latency, and :meth:`summary` folds the stream
 into the numbers ``tools/bench_report.py`` publishes in ``BENCH_e14.json``
 (flows/s, packets/s, p50/p99 latency, cache hit rate, batch shapes).
+
+Since the observability layer landed, the report is backed by a
+:class:`repro.obs.metrics.MetricsRegistry` rather than raw Python lists:
+
+* **Bounded memory.**  Latency, batch-size and queue-depth series are
+  fixed-bucket log-scale histograms — a million observations costs the
+  same memory as ten (regression-tested in ``tests/test_obs.py``).
+* **Exact merges.**  :meth:`merge` folds fabric workers' reports by
+  bucket-wise addition — commutative and associative, so any merge order
+  over any worker count yields the identical registry.
+* **Same scorecard.**  :meth:`summary` keeps its key shape; counts, sums,
+  means and maxima are exact, and the p50/p99 latency estimates carry at
+  most one histogram-bucket width (< 9%) of relative error — well inside
+  the E14 gates' trailing-margin tolerance, and these percentiles are
+  published, not gated.
+
+The raw registry is reachable as :attr:`ServingReport.metrics` (e.g. for
+JSON export via ``report.metrics.to_json()``).
 """
 
 from __future__ import annotations
@@ -12,26 +30,33 @@ from __future__ import annotations
 import threading
 import time
 
-import numpy as np
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServingReport"]
 
 #: Resilience counters every report carries (see :meth:`ServingReport.count`).
 _COUNTERS = ("errors", "retries", "quarantined", "degraded", "restarts")
 
+#: Latency histogram layout: 100 ns to 1000 s at 8 bins/octave (~270 buckets).
+_LATENCY_LAYOUT = (1e-7, 1e3)
+#: Size/depth histogram layout: 1 to 65536 at 8 bins/octave (130 buckets);
+#: zero depths land in the (exact-count) underflow bucket.
+_SIZE_LAYOUT = (1.0, 65536.0)
+
 
 class ServingReport:
     """Accumulates per-prediction latencies and stream counters."""
 
     def __init__(self):
-        self.latencies: list[float] = []
-        self.flows = 0
-        self.packets = 0
-        self.cached = 0
-        self.batch_sizes: list[int] = []
-        self.queue_depths: dict[str, list[int]] = {}
+        self.metrics = MetricsRegistry()
+        self._latency = self.metrics.histogram("serve.latency_s", *_LATENCY_LAYOUT)
+        self._batch = self.metrics.histogram("serve.batch_size", *_SIZE_LAYOUT)
+        self._flows = self.metrics.counter("serve.flows")
+        self._packets = self.metrics.counter("serve.packets")
+        self._cached = self.metrics.counter("serve.cached")
+        for name in _COUNTERS:
+            self.metrics.counter(f"serve.resilience.{name}")
         self.workers: dict[str, dict] = {}
-        self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
         #: Build dtype of the serving model (stamped by the engine at
         #: construction; ``None`` until a report belongs to an engine).
         self.model_dtype: str | None = None
@@ -41,6 +66,37 @@ class ServingReport:
         self._counter_lock = threading.Lock()
         self._first_submit: float | None = None
         self._last_completion: float | None = None
+
+    # ------------------------------------------------------------------
+    # Registry views
+    # ------------------------------------------------------------------
+    @property
+    def flows(self) -> int:
+        """Completed predictions observed."""
+        return int(self._flows.value)
+
+    @property
+    def packets(self) -> int:
+        """Packets across all observed flows."""
+        return int(self._packets.value)
+
+    @property
+    def cached(self) -> int:
+        """Predictions served from the cache."""
+        return int(self._cached.value)
+
+    @property
+    def batches(self) -> int:
+        """Model forwards observed (micro-batches run)."""
+        return int(self._batch.count)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The resilience counters as a plain dict (a snapshot, not a view)."""
+        return {
+            name: int(self.metrics.get(f"serve.resilience.{name}").value)
+            for name in _COUNTERS
+        }
 
     # ------------------------------------------------------------------
     # Observation (driven by the engine)
@@ -54,25 +110,27 @@ class ServingReport:
 
     def observe(self, prediction) -> None:
         """Record one completed :class:`~repro.serve.engine.FlowPrediction`."""
-        self.latencies.append(prediction.latency)
-        self.flows += 1
-        self.packets += prediction.record.packet_count
+        self._latency.observe(prediction.latency)
+        self._flows.inc()
+        self._packets.inc(prediction.record.packet_count)
         if prediction.cached:
-            self.cached += 1
+            self._cached.inc()
         self._last_completion = time.perf_counter()
 
     def observe_batch(self, size: int) -> None:
         """Record one model forward of ``size`` stacked flows."""
-        self.batch_sizes.append(size)
+        self._batch.observe(size)
 
     def observe_queue_depth(self, stage: str, depth: int) -> None:
         """Sample one inter-stage queue's depth (driven by the fabric).
 
-        Sampled at every enqueue, so the recorded maxima demonstrate the
-        bounded-queue backpressure contract: no stage's queue ever exceeds
-        its configured bound, however slow the consumer.
+        Sampled at every enqueue, so the recorded (exact) maxima demonstrate
+        the bounded-queue backpressure contract: no stage's queue ever
+        exceeds its configured bound, however slow the consumer.
         """
-        self.queue_depths.setdefault(stage, []).append(int(depth))
+        self.metrics.histogram(
+            f"serve.queue_depth.{stage}", *_SIZE_LAYOUT
+        ).observe(depth)
 
     def observe_worker(self, worker: str, stats: dict) -> None:
         """Record one fabric worker's utilization summary."""
@@ -83,36 +141,31 @@ class ServingReport:
         ``quarantined``, ``degraded``, ``restarts``).  Thread-safe: the
         supervisor and fabric stages count on a shared report.
         """
-        if name not in self.counters:
+        if name not in _COUNTERS:
             raise ValueError(
                 f"unknown counter {name!r} (choose from {_COUNTERS})"
             )
         with self._counter_lock:
-            self.counters[name] += n
+            self.metrics.counter(f"serve.resilience.{name}").inc(n)
 
     def merge(self, other: "ServingReport") -> None:
         """Fold another report (one fabric worker's) into this one.
 
-        The dtype/policy stamps are adopted from ``other`` when this report
-        has none; a genuine conflict (workers serving different builds)
-        surfaces as ``"mixed"`` rather than silently keeping one side.
+        Counter merges are sums and histogram merges are bucket-wise sums
+        (every report shares the fixed layouts above), so folding N worker
+        reports is exact and order-independent.  The dtype/policy stamps
+        are adopted from ``other`` when this report has none; a genuine
+        conflict (workers serving different builds) surfaces as ``"mixed"``
+        rather than silently keeping one side.
         """
         for field in ("model_dtype", "numeric_policy"):
             theirs = getattr(other, field, None)
             if theirs is not None:
                 mine = getattr(self, field)
                 setattr(self, field, theirs if mine in (None, theirs) else "mixed")
-        self.latencies.extend(other.latencies)
-        self.flows += other.flows
-        self.packets += other.packets
-        self.cached += other.cached
-        self.batch_sizes.extend(other.batch_sizes)
-        for stage, depths in other.queue_depths.items():
-            self.queue_depths.setdefault(stage, []).extend(depths)
+        with self._counter_lock:
+            self.metrics.merge(other.metrics)
         self.workers.update(other.workers)
-        for name, value in other.counters.items():
-            if value:
-                self.count(name, value)
         if other._first_submit is not None and (
             self._first_submit is None or other._first_submit < self._first_submit
         ):
@@ -140,38 +193,41 @@ class ServingReport:
         (or ``None``); its hit counters become ``cache_hit_rate``.
         """
         wall = self.wall_time
-        latencies = np.asarray(self.latencies, dtype=float)
+        flows = self.flows
 
         def percentile(q: float) -> float:
-            if not len(latencies):
+            if not self._latency.count:
                 return 0.0
-            return float(np.percentile(latencies, q) * 1000.0)
+            return self._latency.percentile(q) * 1000.0
 
         summary = {
-            "flows": self.flows,
+            "flows": flows,
             "packets": self.packets,
             "wall_s": wall,
-            "flows_per_s": self.flows / wall if wall > 0 else 0.0,
+            "flows_per_s": flows / wall if wall > 0 else 0.0,
             "packets_per_s": self.packets / wall if wall > 0 else 0.0,
             "p50_ms": percentile(50),
             "p99_ms": percentile(99),
-            "batches": len(self.batch_sizes),
-            "mean_batch": (
-                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
-            ),
+            "batches": self.batches,
+            "mean_batch": self._batch.mean,
             "cache_hit_rate": cache.hit_rate if cache is not None else None,
             "model_dtype": self.model_dtype,
             "numeric_policy": self.numeric_policy,
-            "resilience": dict(self.counters),
+            "resilience": self.counters,
         }
-        if self.queue_depths:
+        prefix = "serve.queue_depth."
+        queues = {
+            name[len(prefix):]: hist
+            for name, hist in self.metrics.select(prefix).items()
+        }
+        if queues:
             summary["queues"] = {
                 stage: {
-                    "samples": len(depths),
-                    "mean_depth": float(np.mean(depths)),
-                    "max_depth": int(max(depths)),
+                    "samples": hist.count,
+                    "mean_depth": hist.mean,
+                    "max_depth": int(hist.max),
                 }
-                for stage, depths in self.queue_depths.items()
+                for stage, hist in sorted(queues.items())
             }
         if self.workers:
             summary["workers"] = {name: dict(stats) for name, stats in self.workers.items()}

@@ -110,15 +110,29 @@ class DeadLetter:
 
 
 class DeadLetterQueue:
-    """Thread-safe append-only log of :class:`DeadLetter` entries."""
+    """Thread-safe append-only log of :class:`DeadLetter` entries.
 
-    def __init__(self):
+    With a :class:`repro.obs.trace.TraceRecorder` attached, every appended
+    entry also lands in the trace as a ``dead_letter`` event carrying the
+    entry's full provenance — so a dropped flow's trace shows exactly where
+    and why it left the pipeline.
+    """
+
+    def __init__(self, tracer=None):
         self._entries: list[DeadLetter] = []
         self._lock = threading.Lock()
+        self.tracer = tracer
 
     def append(self, entry: DeadLetter) -> None:
         with self._lock:
             self._entries.append(entry)
+        if self.tracer is not None:
+            self.tracer.annotate(
+                entry.flow_key, entry.generation, "dead_letter",
+                failed_stage=entry.stage, error=entry.error,
+                action=entry.action, packet_count=entry.packet_count,
+                chunk_index=entry.chunk_index, worker=entry.worker,
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -412,6 +426,15 @@ class WorkerSupervisor:
             old = self.engine
             self.engine = self._rebuild(old)
             self.retired_reports.append(old.report)
+            tracer = getattr(self.engine, "tracer", None)
+            if tracer is not None:
+                # Restarts are per-worker, not per-flow; the worker label
+                # stands in as the trace key so provenance still lands in
+                # the merged trace.
+                tracer.annotate(
+                    self.worker or "worker", self.restarts, "worker_restart",
+                    error=repr(error), replayed=len(pending),
+                )
             try:
                 while pending:
                     # Pop before submitting: if the replay crashes, the
@@ -419,6 +442,11 @@ class WorkerSupervisor:
                     # the exception-safe run), never in both places.
                     record = pending.pop(0)
                     self.report.count("retries")
+                    if tracer is not None:
+                        tracer.annotate(
+                            record.key, record.generation, "retry",
+                            restart=self.restarts, worker=self.worker,
+                        )
                     completed.extend(self.engine.submit(record))
                 if flushing:
                     completed.extend(self.engine.flush())
@@ -535,7 +563,10 @@ def resilient_serve(source, assembler, engine, *, policy: str = "fail_fast",
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r} (choose from {POLICIES})")
-    dlq = dead_letters if dead_letters is not None else DeadLetterQueue()
+    dlq = (
+        dead_letters if dead_letters is not None
+        else DeadLetterQueue(tracer=engine.tracer)
+    )
     report = engine.report
     engine.classifier = wrap_classifier(engine.classifier, fault_plan)
     engine.output_guard = LogitGuard(policy, dlq, report)

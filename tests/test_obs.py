@@ -1,0 +1,537 @@
+"""The unified observability layer (`repro.obs`).
+
+Three contracts under test: the metrics substrate is **bounded and exactly
+mergeable** (a million observations costs O(buckets) memory; folding worker
+registries is commutative/associative and lossless for counts, sums and
+extrema), traces driven by an injectable clock are **deterministic** (the
+same stream traced twice yields identical span rows, exportable/reloadable
+through JSONL), and kernel profiling is **off by default and observation
+only** (enabling it changes no computed value).  The serving-report
+satellites ride here too: stamp-conflict merges, empty merges in both
+directions, and the bounded-memory regression for the latency series.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.context import FlowContextBuilder
+from repro.core import NetFMConfig, NetFoundationModel, SequenceClassifier
+from repro.net import PacketColumns, build_packet
+from repro.nn.autograd import Tensor
+from repro.nn.kernels import (
+    ScratchPool,
+    disable_kernel_profiling,
+    enable_kernel_profiling,
+    fused_layer_norm,
+    kernel_profiler,
+)
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceRecorder,
+    critical_paths,
+    load_trace,
+    stage_breakdown,
+)
+from repro.serve import (
+    ColumnsSource,
+    InferenceEngine,
+    PredictionCache,
+    ServingReport,
+    StreamingFlowAssembler,
+    serve_stream,
+)
+from repro.tokenize import FieldAwareTokenizer, Vocabulary
+
+MAX_TOKENS = 32
+
+
+# ----------------------------------------------------------------------
+# Metrics primitives
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc()
+        a.inc(4)
+        b.inc(2.5)
+        a.merge(b)
+        assert a.value == 7.5
+        assert a.snapshot() == {"type": "counter", "value": 7.5}
+
+
+class TestGauge:
+    def test_envelope_is_exact(self):
+        g = Gauge("depth")
+        for v in (3, 1, 7, 2):
+            g.set(v)
+        assert (g.value, g.min, g.max, g.samples) == (2.0, 1.0, 7.0, 4)
+
+    def test_merge_combines_envelopes(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5)
+        b.set(2)
+        b.set(9)
+        a.merge(b)
+        assert (a.value, a.min, a.max, a.samples) == (9.0, 2.0, 9.0, 3)
+
+    def test_empty_merges_both_directions(self):
+        seen, empty = Gauge("g"), Gauge("g")
+        seen.set(4)
+        before = seen.snapshot()
+        seen.merge(Gauge("g"))
+        assert seen.snapshot() == before
+        empty.merge(seen)
+        assert empty.snapshot() == before
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean_are_exact(self):
+        h = Histogram("lat", 1e-6, 1e3)
+        values = np.random.default_rng(0).lognormal(-5, 2, size=1000)
+        for v in values:
+            h.observe(v)
+        assert h.count == 1000
+        assert h.total == pytest.approx(values.sum(), rel=1e-12)
+        assert h.min == values.min() and h.max == values.max()
+        assert h.mean == pytest.approx(values.mean(), rel=1e-12)
+
+    def test_percentile_within_one_bucket_width(self):
+        bpo = 8
+        h = Histogram("lat", 1e-6, 1e3, bins_per_octave=bpo)
+        values = np.random.default_rng(1).lognormal(-4, 1.5, size=5000)
+        h.observe_many(values)
+        width = 2.0 ** (1.0 / bpo)
+        for q in (50, 90, 99):
+            exact = np.percentile(values, q)
+            estimate = h.percentile(q)
+            assert exact / width <= estimate <= exact * width
+
+    def test_underflow_and_overflow_buckets(self):
+        h = Histogram("h", 1.0, 16.0)
+        for v in (0.0, -3.0, 0.5):
+            h.observe(v)
+        h.observe(16.0)
+        h.observe(1e9)
+        assert h.counts[0] == 3 and h.counts[-1] == 2
+        assert h.count == 5 and h.min == -3.0 and h.max == 1e9
+
+    def test_observe_many_matches_observe_loop(self):
+        one, many = Histogram("h", 1e-3, 1e3), Histogram("h", 1e-3, 1e3)
+        values = np.random.default_rng(2).lognormal(0, 3, size=2000)
+        values[:10] = 0.0  # underflow path
+        values[10:20] = 1e6  # overflow path
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert np.array_equal(one.counts, many.counts)
+        assert one.count == many.count and one.total == pytest.approx(many.total)
+
+    def test_merge_is_exact_bucketwise(self):
+        a, b = Histogram("h", 1e-3, 1e3), Histogram("h", 1e-3, 1e3)
+        whole = Histogram("h", 1e-3, 1e3)
+        va = np.random.default_rng(3).lognormal(0, 2, 500)
+        vb = np.random.default_rng(4).lognormal(1, 2, 700)
+        a.observe_many(va)
+        b.observe_many(vb)
+        whole.observe_many(np.concatenate([va, vb]))
+        a.merge(b)
+        assert np.array_equal(a.counts, whole.counts)
+        assert a.count == whole.count
+        assert a.total == pytest.approx(whole.total, rel=1e-12)
+        assert a.min == whole.min and a.max == whole.max
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = Histogram("h", 1e-3, 1e3)
+        with pytest.raises(ValueError, match="layouts differ"):
+            a.merge(Histogram("h", 1e-3, 1e4))
+
+    def test_million_observations_stay_o_buckets(self):
+        h = Histogram("lat", 1e-7, 1e3)
+        buckets_before = h.counts.size
+        bytes_before = h.counts.nbytes
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            h.observe_many(rng.lognormal(-5, 2, size=100_000))
+        assert h.count == 1_000_000
+        # Fixed layout: the backing array never grew, and the histogram has
+        # no per-observation state at all (__slots__ closes the door).
+        assert h.counts.size == buckets_before
+        assert h.counts.nbytes == bytes_before
+        assert not hasattr(h, "__dict__")
+
+
+class TestMetricsRegistry:
+    def test_constructors_are_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("c") is r.counter("c")
+        assert r.histogram("h", 1, 10) is r.histogram("h", 1, 10)
+        with pytest.raises(TypeError):
+            r.gauge("c")
+        with pytest.raises(ValueError, match="already registered with layout"):
+            r.histogram("h", 1, 100)
+
+    @staticmethod
+    def _worker_registry(seed):
+        rng = np.random.default_rng(seed)
+        r = MetricsRegistry()
+        r.counter("flows").inc(int(rng.integers(1, 100)))
+        r.gauge("depth").set(float(rng.integers(1, 50)))
+        r.histogram("lat", 1e-6, 1e3).observe_many(rng.lognormal(-4, 2, 300))
+        return r
+
+    def test_merge_commutes_across_three_workers(self):
+        # Satellite: commutativity of counter/histogram merges across 3+
+        # fabric workers — any fold order gives the identical registry.
+        # Histogram sums are floats, so the running total is only equal up
+        # to addition-reordering; every discrete quantity is exact.
+        def fold(order):
+            total = MetricsRegistry()
+            for seed in order:
+                total.merge(self._worker_registry(seed))
+            data = total.to_dict()
+            sums = {
+                name: snap.pop("sum")
+                for name, snap in data.items() if "sum" in snap
+            }
+            for snap in data.values():
+                snap.pop("mean", None)
+            return data, sums
+
+        folds = [fold([1, 2, 3]), fold([3, 1, 2]), fold([2, 3, 1])]
+        assert folds[0][0] == folds[1][0] == folds[2][0]
+        for name, value in folds[0][1].items():
+            assert folds[1][1][name] == pytest.approx(value, rel=1e-12)
+            assert folds[2][1][name] == pytest.approx(value, rel=1e-12)
+
+    def test_merge_clones_missing_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only-b").inc(3)
+        a.merge(b)
+        assert a.get("only-b").value == 3
+        b.counter("only-b").inc(10)  # the clone is independent
+        assert a.get("only-b").value == 3
+
+    def test_json_export_round_trips(self):
+        r = self._worker_registry(7)
+        data = json.loads(r.to_json())
+        expected = r.to_dict()
+        for snap in expected.values():  # JSON object keys are strings
+            if "buckets" in snap:
+                snap["buckets"] = {str(k): v for k, v in snap["buckets"].items()}
+        assert data == expected
+        assert data["flows"]["type"] == "counter"
+        assert data["lat"]["count"] == 300
+        assert sum(data["lat"]["buckets"].values()) == 300
+
+
+# ----------------------------------------------------------------------
+# ServingReport over the registry (satellites)
+# ----------------------------------------------------------------------
+def _observe_flows(report, seed, n=50):
+    class _Rec:
+        packet_count = 3
+
+    class _Pred:
+        record = _Rec()
+        cached = False
+
+    rng = np.random.default_rng(seed)
+    for latency in rng.lognormal(-5, 1, n):
+        report.mark_submit()
+        p = _Pred()
+        p.latency = float(latency)
+        report.observe(p)
+        report.observe_batch(int(rng.integers(1, 9)))
+    report.count("errors", int(rng.integers(0, 3)))
+
+
+class TestServingReportSatellites:
+    def test_stamp_conflicts_merge_to_mixed(self):
+        a, b = ServingReport(), ServingReport()
+        a.model_dtype, a.numeric_policy = "float64", "strict-fp64"
+        b.model_dtype, b.numeric_policy = "float32", "relaxed-ulp-f32"
+        a.merge(b)
+        assert a.model_dtype == "mixed"
+        assert a.numeric_policy == "mixed"
+
+    def test_empty_merge_both_directions(self):
+        seen = ServingReport()
+        _observe_flows(seen, seed=0)
+        before = seen.summary()
+        seen.merge(ServingReport())
+        assert seen.summary() == before
+
+        empty = ServingReport()
+        empty.merge(seen)
+        after = empty.summary()
+        # Timing envelopes travel with the merge, so the whole scorecard
+        # (rates included) survives merging into a fresh report.
+        assert after == before
+
+    def test_merge_commutes_across_three_workers(self):
+        def fold(order):
+            total = ServingReport()
+            for seed in order:
+                worker = ServingReport()
+                _observe_flows(worker, seed)
+                total.merge(worker)
+            summary = total.summary()
+            del summary["wall_s"], summary["flows_per_s"], summary["packets_per_s"]
+            data = total.metrics.to_dict()
+            for snap in data.values():  # float sums: equal up to reordering
+                snap.pop("sum", None)
+                snap.pop("mean", None)
+            return summary, data
+
+        first, second = fold([1, 2, 3]), fold([3, 1, 2])
+        assert first[1] == second[1]  # registries identical bucket for bucket
+        # mean_batch is a float sum divided by an exact count: equal only up
+        # to addition reordering.  Everything else is exactly equal.
+        assert first[0].pop("mean_batch") == pytest.approx(
+            second[0].pop("mean_batch"), rel=1e-12
+        )
+        assert first[0] == second[0]
+
+    def test_million_latencies_stay_o_buckets(self):
+        # Satellite: the report's latency series is bounded — it has no
+        # per-observation storage anywhere (the pre-obs implementation grew
+        # a Python list entry per prediction).
+        report = ServingReport()
+        hist = report.metrics.get("serve.latency_s")
+        size_before, nbytes_before = hist.counts.size, hist.counts.nbytes
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            hist.observe_many(rng.lognormal(-6, 1, size=100_000))
+        assert hist.count == 1_000_000
+        assert hist.counts.size == size_before
+        assert hist.counts.nbytes == nbytes_before
+        assert not hasattr(report, "latencies")
+        summary = report.summary()
+        assert summary["p99_ms"] >= summary["p50_ms"] > 0
+
+
+# ----------------------------------------------------------------------
+# Trace recorder
+# ----------------------------------------------------------------------
+def _tiny_stream():
+    packets = [
+        build_packet(t, "10.0.0.1", "10.0.0.2", "TCP", 1111, 80,
+                     metadata={"connection_id": conn})
+        for conn, times in enumerate([(0.0, 0.1, 0.2), (0.05, 0.3), (0.4,)])
+        for t in times
+    ]
+    return PacketColumns.from_packets(sorted(packets, key=lambda p: p.timestamp))
+
+
+def _tiny_serving(tracer):
+    columns = _tiny_stream()
+    tokenizer = FieldAwareTokenizer()
+    builder = FlowContextBuilder(max_tokens=MAX_TOKENS, label_key=None)
+    contexts = builder.build(columns.to_packets(), tokenizer)
+    vocabulary = Vocabulary.build([c.tokens for c in contexts])
+    config = NetFMConfig(
+        vocab_size=len(vocabulary), d_model=16, num_layers=1, num_heads=2,
+        d_ff=32, max_len=MAX_TOKENS, dropout=0.0, seed=0,
+    )
+    classifier = SequenceClassifier(NetFoundationModel(config), num_classes=2)
+    assembler = StreamingFlowAssembler(
+        tokenizer, vocabulary,
+        builder=FlowContextBuilder(max_tokens=MAX_TOKENS, label_key=None),
+        tracer=tracer,
+    )
+    engine = InferenceEngine(
+        classifier, batch_size=2, cache=PredictionCache(), tracer=tracer
+    )
+    predictions = list(serve_stream(
+        ColumnsSource(columns, chunk_rows=2), assembler, engine
+    ))
+    return predictions
+
+
+def _counting_clock():
+    ticks = iter(range(1_000_000))
+    return lambda: float(next(ticks))
+
+
+class TestTraceRecorder:
+    def test_sync_trace_is_deterministic_under_injected_clock(self):
+        # Same stream, same counting clock -> identical trace rows, run to
+        # run.  (Only the sync path is clock-deterministic; fabric thread
+        # interleaving is documented as non-deterministic.)
+        first = TraceRecorder(clock=_counting_clock())
+        second = TraceRecorder(clock=_counting_clock())
+        _tiny_serving(first)
+        _tiny_serving(second)
+        assert first.to_rows() == second.to_rows()
+        stages = {span.stage for span in first.spans}
+        assert {"first_packet", "flow_closed", "encode", "batched",
+                "inferred", "emitted"} <= stages
+
+    def test_full_lifecycle_per_flow(self):
+        tracer = TraceRecorder(clock=_counting_clock())
+        predictions = _tiny_serving(tracer)
+        assert predictions
+        for p in predictions:
+            stages = [
+                s.stage for s in tracer.spans_for(p.record.key, p.record.generation)
+            ]
+            assert stages[0] == "first_packet"
+            assert stages[-1] == "emitted"
+            assert {"flow_closed", "encode", "batched", "inferred"} <= set(stages)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = TraceRecorder(clock=_counting_clock())
+        _tiny_serving(tracer)
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(path)
+        rows = load_trace(path)
+        assert written == len(rows) == len(tracer.spans)
+        assert rows == tracer.to_rows()
+        breakdown = stage_breakdown(rows)
+        assert breakdown["inferred"]["count"] > 0
+        paths = critical_paths(rows)
+        assert paths and all(p["end_to_end_ms"] >= 0 for p in paths)
+        assert paths == sorted(
+            paths, key=lambda p: -p["end_to_end_ms"]
+        )
+
+    def test_max_spans_bounds_memory(self):
+        tracer = TraceRecorder(clock=_counting_clock(), max_spans=5)
+        for i in range(20):
+            tracer.annotate(f"flow-{i}", 0, "emitted")
+        assert len(tracer) == 5 and tracer.dropped == 15
+
+    def test_dead_letter_queue_annotates_with_provenance(self):
+        from repro.serve import DeadLetter, DeadLetterQueue
+
+        tracer = TraceRecorder(clock=_counting_clock())
+        queue = DeadLetterQueue(tracer=tracer)
+        queue.append(DeadLetter(
+            stage="assembly", error="ChunkIntegrityError('bad ts')",
+            action="dropped", flow_key="conn-9", generation=1,
+            packet_count=4, chunk_index=2, worker="worker[0]",
+        ))
+        (span,) = tracer.spans_for("conn-9")
+        assert span.stage == "dead_letter" and span.kind == "event"
+        assert span.attrs["failed_stage"] == "assembly"
+        assert span.attrs["action"] == "dropped"
+        assert span.attrs["worker"] == "worker[0]"
+
+    def test_annotation_attrs_survive(self):
+        tracer = TraceRecorder(clock=_counting_clock())
+        tracer.annotate(
+            "conn-1", 2, "dead_letter", failed_stage="assembly", action="dropped"
+        )
+        (span,) = tracer.spans_for("conn-1")
+        assert span.generation == 2 and span.kind == "event"
+        assert span.attrs == {"failed_stage": "assembly", "action": "dropped"}
+
+
+# ----------------------------------------------------------------------
+# Kernel profiling
+# ----------------------------------------------------------------------
+class TestKernelProfiling:
+    def teardown_method(self):
+        disable_kernel_profiling()
+
+    @staticmethod
+    def _run_kernel(pool):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 8)))
+        gamma, beta = Tensor(np.ones(8)), Tensor(np.zeros(8))
+        return fused_layer_norm(x, gamma, beta, 1e-5, pool).data
+
+    def test_off_by_default_and_observation_only(self):
+        assert kernel_profiler() is None
+        pool = ScratchPool()
+        baseline = self._run_kernel(pool)
+        profiler = enable_kernel_profiling()
+        profiled = self._run_kernel(ScratchPool())
+        disable_kernel_profiling()
+        assert kernel_profiler() is None
+        # Profiling observes only: bit-identical output.
+        np.testing.assert_array_equal(baseline, profiled)
+        snap = profiler.snapshot()
+        assert snap["kernels"]["layer_norm"]["calls"] == 1
+        assert snap["kernels"]["layer_norm"]["wall_ms"] >= 0.0
+
+    def test_pool_hit_miss_accounting(self):
+        profiler = enable_kernel_profiling()
+        pool = ScratchPool()
+        self._run_kernel(pool)   # cold: misses allocate
+        cold = profiler.snapshot()["pool"]
+        self._run_kernel(pool)   # warm: same shapes hit
+        warm = profiler.snapshot()["pool"]
+        assert cold["misses"] > 0
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] == cold["hits"] + cold["misses"]
+        assert warm["bytes_served"] > cold["bytes_served"]
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.flows").inc(5)
+        enable_kernel_profiling(registry=registry)
+        self._run_kernel(ScratchPool())
+        disable_kernel_profiling()
+        assert "kernel.layer_norm.calls" in registry
+        assert registry.get("serve.flows").value == 5
+
+
+# ----------------------------------------------------------------------
+# Trainer over the registry
+# ----------------------------------------------------------------------
+class _Scalar:
+    """A trivial one-parameter model for exercising the trainer."""
+
+    def __init__(self):
+        self.w = Tensor(np.asarray(2.0), requires_grad=True)
+
+    def parameters(self):
+        return [self.w]
+
+    def train(self):
+        pass
+
+    def eval(self):
+        pass
+
+
+class TestTrainerMetrics:
+    def _fit(self, metrics=None):
+        model = _Scalar()
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.1),
+            max_grad_norm=None, metrics=metrics,
+        )
+        trainer.fit(lambda: [lambda: model.w * model.w for _ in range(3)], epochs=2)
+        return trainer
+
+    def test_history_to_registry(self):
+        trainer = self._fit()
+        registry = trainer.history.to_registry()
+        assert registry.get("train.steps").value == 6
+        assert registry.get("train.loss").count == 6
+        assert registry.get("train.step_wall_s").count == 6
+        assert registry.get("train.wall_s").value == pytest.approx(
+            trainer.history.wall_time
+        )
+
+    def test_live_registry_matches_history(self):
+        live = MetricsRegistry()
+        trainer = self._fit(metrics=live)
+        replay = trainer.history.to_registry()
+        assert live.get("train.steps").value == replay.get("train.steps").value
+        assert np.array_equal(
+            live.get("train.loss").counts, replay.get("train.loss").counts
+        )
+        assert live.get("train.loss").total == pytest.approx(
+            replay.get("train.loss").total
+        )

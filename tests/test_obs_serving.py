@@ -1,0 +1,118 @@
+"""Tracing is observation-only — the serving differential, tracing on vs off.
+
+The observability hard constraint (``docs/OBSERVABILITY.md``): attaching a
+:class:`~repro.obs.trace.TraceRecorder` to the assembler and engine must not
+perturb a single served bit.  This suite runs every E14 traffic scenario
+through the sync path and the fabric at workers {1, 2, 4}, once without a
+tracer and once with, and asserts the served flow-record multiset *and*
+logits are bit-identical (the same ``prediction_key`` comparison the fabric
+bit-identity suite uses).  It also sanity-checks the traces themselves: every
+served flow has its full span lifecycle, and fabric spans carry worker
+provenance.  CI runs this as the dedicated observability step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.serve import ColumnsSource, serve_stream
+
+from test_serve_fabric import (
+    SCENARIOS,
+    make_assembler,
+    make_engine,
+    prediction_key,
+    run_serve,
+    scenario,  # noqa: F401  (module-scoped fixture, reused here)
+)
+
+CHUNK_ROWS = 13
+
+# Tracing-off references, computed once per scenario — against THIS module's
+# fixture instances.  Deliberately not test_serve_fabric's shared sync cache:
+# flow keys carry process-global connection ids, so each module's regenerated
+# captures differ by key and the caches must not cross-pollinate.
+_REFERENCE: dict = {}
+
+
+def reference(scn):
+    if scn["name"] not in _REFERENCE:
+        predictions = run_serve(
+            scn, ColumnsSource(scn["columns"], chunk_rows=CHUNK_ROWS)
+        )
+        _REFERENCE[scn["name"]] = sorted(prediction_key(p) for p in predictions)
+    return _REFERENCE[scn["name"]]
+
+
+def traced_serve(scn, workers=None):
+    """One full serve of the scenario with tracing on; returns (keys, tracer)."""
+    tracer = TraceRecorder()
+    assembler = make_assembler(scn, idle_timeout=0.0, tracer=tracer)
+    engine = make_engine(scn, tracer=tracer)
+    predictions = list(serve_stream(
+        ColumnsSource(scn["columns"], chunk_rows=CHUNK_ROWS),
+        assembler, engine, workers=workers,
+    ))
+    return sorted(prediction_key(p) for p in predictions), tracer, predictions
+
+
+class TestTracingIsObservationOnly:
+    """Served multiset + logits bit-identical, tracing on vs tracing off."""
+
+    def test_sync_bit_identical(self, scenario):
+        expected = reference(scenario)
+        traced, _, _ = traced_serve(scenario)
+        assert traced == expected
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fabric_bit_identical(self, scenario, workers):
+        expected = reference(scenario)
+        traced, _, _ = traced_serve(scenario, workers=workers)
+        assert traced == expected
+
+
+class TestTraceCoversTheServedFlows:
+    """The trace is complete and well-formed for every served flow."""
+
+    def test_sync_lifecycle_per_flow(self, scenario):
+        _, tracer, predictions = traced_serve(scenario)
+        # In-flow recording order: cache hits are announced just before the
+        # cached result is emitted, hence cache_hit slots in ahead of emitted.
+        rank = {stage: i for i, stage in enumerate((
+            "first_packet", "flow_closed", "encode", "batched", "inferred",
+            "cache_hit", "emitted",
+        ))}
+        for p in predictions:
+            spans = tracer.spans_for(p.record.key, p.record.generation)
+            stages = [s.stage for s in spans]
+            assert stages[0] == "first_packet"
+            assert "flow_closed" in stages and "encode" in stages
+            assert stages[-1] == "emitted"
+            if p.cached:
+                assert "cache_hit" in stages
+            else:
+                assert "batched" in stages and "inferred" in stages
+            # Pipeline order holds within a flow (sync path, single clock).
+            assert [rank[s] for s in stages if s in rank] == sorted(
+                rank[s] for s in stages if s in rank
+            )
+
+    @pytest.mark.parametrize("workers", [2])
+    def test_fabric_spans_carry_worker_provenance(self, scenario, workers):
+        _, tracer, predictions = traced_serve(scenario, workers=workers)
+        emitted = [s for s in tracer.spans if s.stage == "emitted"]
+        assert len(emitted) == len(predictions)
+        workers_seen = {s.attrs["worker"] for s in emitted}
+        assert workers_seen <= {f"worker[{w}]" for w in range(workers)}
+        # Every served flow still has its assembly-side spans.
+        for p in predictions:
+            stages = {
+                s.stage for s in tracer.spans_for(p.record.key, p.record.generation)
+            }
+            assert {"first_packet", "flow_closed", "encode", "emitted"} <= stages
+
+
+def test_all_scenarios_present():
+    """The sweep really covers the five E14 scenarios."""
+    assert sorted(SCENARIOS) == ["attack", "dns", "enterprise", "http", "tls"]

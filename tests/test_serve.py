@@ -432,7 +432,7 @@ class TestInferenceEngine:
         assert summary["flows_per_s"] > 0
         assert summary["packets_per_s"] > 0
         assert summary["p99_ms"] >= summary["p50_ms"] >= 0
-        assert summary["batches"] == len(engine.report.batch_sizes)
+        assert summary["batches"] == engine.report.batches
         assert 0.0 <= summary["cache_hit_rate"] <= 1.0
 
     def test_prediction_cache_lru_bound(self):

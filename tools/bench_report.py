@@ -137,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     serving = rows["serve/micro-batch (engine)"]
     serving_f32 = rows["serve/micro-batch (engine, f32)"]
     parallel = rows["serve/parallel (fabric)"]
+    obs = rows["serve/observability"]
     report = {
         "suite": "e14-throughput",
         "smoke": bool(e14.SMOKE),
@@ -238,6 +239,37 @@ def main(argv: list[str] | None = None) -> int:
             "speedup": round(parallel["speedup"], 3),
             "single_flows_per_s": round(parallel["per_packet_tok_s"], 1),
             "fabric_flows_per_s": round(parallel["batched_tok_s"], 1),
+        },
+        # Observability scorecard (repro.obs, docs/OBSERVABILITY.md): the
+        # measured cost of turning tracing on (tracing-off is the exact path
+        # the serving gate times, so its overhead is zero by construction),
+        # the per-stage span latency breakdown of a fully traced serve, and
+        # the kernel-layer profile (scratch-pool hit rate, per-fused-kernel
+        # calls and wall time) of one engine pass.
+        "observability": {
+            "tracing_off_s": round(obs["tracing_off_s"], 4),
+            "tracing_on_s": round(obs["tracing_on_s"], 4),
+            "tracing_overhead_ratio": round(obs["tracing_overhead_ratio"], 3),
+            "stages": {
+                stage: {
+                    "count": int(row["count"]),
+                    "mean_ms": round(row["mean_ms"], 4),
+                    "p50_ms": round(row["p50_ms"], 4),
+                    "p99_ms": round(row["p99_ms"], 4),
+                    "total_ms": round(row["total_ms"], 3),
+                }
+                for stage, row in obs["stages"].items()
+            },
+            "kernel_profile": {
+                "pool": {k: int(v) for k, v in obs["kernel_profile"]["pool"].items()},
+                "kernels": {
+                    name: {
+                        "calls": int(row["calls"]),
+                        "wall_ms": round(row["wall_ms"], 3),
+                    }
+                    for name, row in obs["kernel_profile"]["kernels"].items()
+                },
+            },
         },
     }
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Render a serving trace (JSONL) as per-stage and critical-path tables.
+
+Usage::
+
+    python tools/trace_report.py trace.jsonl            # both tables
+    python tools/trace_report.py trace.jsonl --top 5    # 5 slowest flows
+    python tools/trace_report.py trace.jsonl --json     # machine-readable
+    python tools/trace_report.py --selftest             # exercised in CI
+
+The input is the :meth:`repro.obs.trace.TraceRecorder.export_jsonl` format:
+one JSON object per line with ``flow``/``generation``/``stage``/``kind``/
+``start``/``end``/``attrs`` keys.  The analysis itself lives in
+:mod:`repro.obs.trace` (:func:`stage_breakdown`, :func:`critical_paths`) so
+benchmarks and tests share one implementation; this tool only formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.trace import (  # noqa: E402
+    TraceRecorder,
+    critical_paths,
+    load_trace,
+    stage_breakdown,
+)
+
+
+def format_stage_table(breakdown: dict) -> str:
+    """The per-stage latency table, pipeline order, one row per stage."""
+    lines = [
+        f"{'stage':<16} {'kind':<6} {'count':>7} {'total_ms':>10} "
+        f"{'mean_ms':>9} {'p50_ms':>9} {'p99_ms':>9}",
+        "-" * 70,
+    ]
+    for stage, row in breakdown.items():
+        if row["kind"] == "span":
+            lines.append(
+                f"{stage:<16} {'span':<6} {row['count']:>7} "
+                f"{row['total_ms']:>10.3f} {row['mean_ms']:>9.4f} "
+                f"{row['p50_ms']:>9.4f} {row['p99_ms']:>9.4f}"
+            )
+        else:
+            lines.append(
+                f"{stage:<16} {'event':<6} {row['count']:>7} "
+                f"{'-':>10} {'-':>9} {'-':>9} {'-':>9}"
+            )
+    return "\n".join(lines)
+
+
+def format_critical_paths(paths: list[dict], top: int) -> str:
+    """The slowest ``top`` flows, end-to-end, with per-stage attribution."""
+    lines = [
+        f"critical paths (top {min(top, len(paths))} of {len(paths)} flows):"
+    ]
+    for path in paths[:top]:
+        stages = ", ".join(
+            f"{stage}={ms:.3f}ms" for stage, ms in path["stages_ms"].items()
+        )
+        events = ",".join(path["events"])
+        lines.append(
+            f"  {path['flow']!s:<24} gen={path['generation']} "
+            f"end_to_end={path['end_to_end_ms']:.3f}ms "
+            f"[{stages}] unattributed={path['unattributed_ms']:.3f}ms "
+            f"events=({events})"
+        )
+    return "\n".join(lines)
+
+
+def render(rows: list[dict], top: int, as_json: bool) -> str:
+    breakdown = stage_breakdown(rows)
+    paths = critical_paths(rows)
+    if as_json:
+        return json.dumps(
+            {"stages": breakdown, "critical_paths": paths[:top]},
+            indent=2, sort_keys=True,
+        )
+    return "\n\n".join([
+        format_stage_table(breakdown),
+        format_critical_paths(paths, top),
+    ])
+
+
+def selftest() -> int:
+    """Round-trip a synthetic deterministic trace through the full tool path."""
+    ticks = iter(range(1000))
+    recorder = TraceRecorder(clock=lambda: float(next(ticks)))
+    for flow in ("conn-1", "conn-2"):
+        recorder.annotate(flow, 0, "first_packet", packet_ts=0.5)
+        recorder.annotate(flow, 0, "flow_closed", reason="flush", packet_count=3)
+        t0 = recorder.clock()
+        recorder.record_span(flow, 0, "encode", t0, recorder.clock(), tokens=12)
+        t1 = recorder.clock()
+        recorder.record_span(flow, 0, "batched", t1, recorder.clock(), batch=2)
+        t2 = recorder.clock()
+        recorder.record_span(flow, 0, "inferred", t2, recorder.clock(), batch=2)
+        recorder.annotate(flow, 0, "emitted", cached=False, degraded=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        written = recorder.export_jsonl(path)
+        rows = load_trace(path)
+    assert written == len(rows) == 12, (written, len(rows))
+    breakdown = stage_breakdown(rows)
+    assert list(breakdown) == [
+        "first_packet", "flow_closed", "encode", "batched", "inferred",
+        "emitted",
+    ], list(breakdown)
+    for stage in ("encode", "batched", "inferred"):
+        assert breakdown[stage]["count"] == 2, breakdown[stage]
+        assert breakdown[stage]["total_ms"] == 2000.0, breakdown[stage]
+    paths = critical_paths(rows)
+    assert len(paths) == 2 and paths[0]["end_to_end_ms"] > 0, paths
+    assert all(p["events"] == [
+        "first_packet", "flow_closed", "emitted",
+    ] for p in paths), paths
+    text = render(rows, top=3, as_json=False)
+    assert "inferred" in text and "critical paths" in text
+    machine = json.loads(render(rows, top=3, as_json=True))
+    assert set(machine) == {"stages", "critical_paths"}
+    print("trace_report selftest: OK "
+          f"({len(rows)} rows, {len(breakdown)} stages, {len(paths)} flows)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="JSONL trace file")
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="critical-path rows to show (default 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the built-in round-trip check and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.trace:
+        parser.error("a trace file is required (or --selftest)")
+    print(render(load_trace(args.trace), top=args.top, as_json=args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
